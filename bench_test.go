@@ -1,0 +1,208 @@
+// Package maligo's top-level benchmarks regenerate every table and
+// figure of the paper's evaluation (§V) as Go benchmarks: one
+// Benchmark per figure series plus the §V-D summary. Each benchmark
+// reports the paper-relevant quantities as custom metrics
+// (speedup-over-serial, normalized power/energy) so `go test -bench`
+// output reads like the figures.
+//
+// Workloads run at a reduced scale by default so the whole suite
+// finishes in minutes; set -paperscale for the full sizes used by
+// EXPERIMENTS.md.
+package maligo_test
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"testing"
+
+	"maligo/internal/bench"
+	"maligo/internal/harness"
+)
+
+var paperScale = flag.Bool("paperscale", false, "run figure benchmarks at full paper-equivalent workload sizes")
+
+func benchScale() float64 {
+	if *paperScale {
+		return 1.0
+	}
+	return 0.25
+}
+
+// figureResults caches one harness run per scale across benchmarks.
+var figureCache = map[float64]*harness.Results{}
+
+func results(b *testing.B) *harness.Results {
+	b.Helper()
+	scale := benchScale()
+	if res, ok := figureCache[scale]; ok {
+		return res
+	}
+	cfg := harness.DefaultConfig()
+	cfg.Scale = scale
+	res, err := harness.Run(cfg)
+	if err != nil {
+		b.Fatalf("harness: %v", err)
+	}
+	figureCache[scale] = res
+	return res
+}
+
+// reportFigure emits one figure's series as benchmark metrics.
+func reportFigure(b *testing.B, fig harness.Figure) {
+	res := results(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = res.FigureTable(fig)
+	}
+	b.StopTimer()
+	tab := res.FigureTable(fig)
+	for r, name := range tab.Rows {
+		for c := 1; c < len(tab.Cols); c++ {
+			v := tab.Values[r][c]
+			if math.IsNaN(v) {
+				continue
+			}
+			metric := fmt.Sprintf("%s/%s", name, shortCol(tab.Cols[c]))
+			b.ReportMetric(v, metric)
+		}
+	}
+}
+
+func shortCol(col string) string {
+	switch col {
+	case "OpenMP":
+		return "omp"
+	case "OpenCL":
+		return "cl"
+	case "OpenCL Opt":
+		return "opt"
+	}
+	return col
+}
+
+// BenchmarkFigure2a reproduces Figure 2(a): single-precision speedup
+// over Serial for all nine benchmarks and three parallel versions.
+func BenchmarkFigure2a(b *testing.B) { reportFigure(b, harness.Fig2a) }
+
+// BenchmarkFigure2b reproduces Figure 2(b): double-precision speedups,
+// including the amcd n/a cells and the nbody/2dcon fallbacks.
+func BenchmarkFigure2b(b *testing.B) { reportFigure(b, harness.Fig2b) }
+
+// BenchmarkFigure3a reproduces Figure 3(a): single-precision power
+// normalized to Serial.
+func BenchmarkFigure3a(b *testing.B) { reportFigure(b, harness.Fig3a) }
+
+// BenchmarkFigure3b reproduces Figure 3(b): double-precision power.
+func BenchmarkFigure3b(b *testing.B) { reportFigure(b, harness.Fig3b) }
+
+// BenchmarkFigure4a reproduces Figure 4(a): single-precision
+// energy-to-solution normalized to Serial.
+func BenchmarkFigure4a(b *testing.B) { reportFigure(b, harness.Fig4a) }
+
+// BenchmarkFigure4b reproduces Figure 4(b): double-precision
+// energy-to-solution.
+func BenchmarkFigure4b(b *testing.B) { reportFigure(b, harness.Fig4b) }
+
+// BenchmarkSummary reproduces the §V-D averages (8.7x speedup, 32%
+// energy, +31% OpenMP power, +7% OpenCL power).
+func BenchmarkSummary(b *testing.B) {
+	res := results(b)
+	b.ResetTimer()
+	var s harness.Summary
+	for i := 0; i < b.N; i++ {
+		s = res.Summarize()
+	}
+	b.StopTimer()
+	b.ReportMetric(s.OptSpeedupAll, "opt-speedup-x")
+	b.ReportMetric(s.OptEnergyFracAll*100, "opt-energy-%")
+	b.ReportMetric(s.OptEnergyFracF32*100, "opt-energy-f32-%")
+	b.ReportMetric(s.ClEnergyFracF32*100, "cl-energy-f32-%")
+	b.ReportMetric((1+s.OMPPowerIncrease)*100, "omp-power-%")
+	b.ReportMetric((1+s.CLPowerIncrease)*100, "cl-power-%")
+	b.ReportMetric(s.OMPSpeedupAvg, "omp-speedup-x")
+}
+
+// BenchmarkSimulatorThroughput measures the simulator itself: executed
+// kernel instructions per second for a representative compute kernel
+// (useful when tuning the VM).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := harness.DefaultConfig()
+	cfg.Scale = 0.1
+	cfg.Benchmarks = []string{"dmmm"}
+	cfg.Precisions = []bench.Precision{bench.F32}
+	cfg.Verify = false
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range res.CellsSorted() {
+			if c.Supported {
+				instrs += c.Activity.DRAMBytes // proxy touch to keep results alive
+			}
+		}
+	}
+	b.StopTimer()
+	_ = instrs
+}
+
+// --- per-optimization ablation benches (DESIGN.md §5) -----------------------
+
+// ablationRun measures one benchmark version pair and reports the
+// ratio as a metric.
+func ablationRun(b *testing.B, name string, prec bench.Precision) {
+	res := results(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = res.Speedup(name, prec, bench.OpenCLOpt)
+	}
+	b.StopTimer()
+	cl := res.Speedup(name, prec, bench.OpenCL)
+	opt := res.Speedup(name, prec, bench.OpenCLOpt)
+	if !math.IsNaN(cl) && !math.IsNaN(opt) && cl > 0 {
+		b.ReportMetric(opt/cl, "opt-vs-naive-x")
+		b.ReportMetric(opt, "opt-vs-serial-x")
+	}
+}
+
+// BenchmarkAblationVectorization isolates the vectorization payoff on
+// the bandwidth-bound vecop (vload4/vstore4 vs scalar).
+func BenchmarkAblationVectorization(b *testing.B) { ablationRun(b, "vecop", bench.F32) }
+
+// BenchmarkAblationPrivatization isolates local-memory privatization
+// on hist (local atomics vs contended global atomics).
+func BenchmarkAblationPrivatization(b *testing.B) { ablationRun(b, "hist", bench.F32) }
+
+// BenchmarkAblationUnrollTiling isolates register blocking + unrolling
+// on dmmm.
+func BenchmarkAblationUnrollTiling(b *testing.B) { ablationRun(b, "dmmm", bench.F32) }
+
+// BenchmarkAblationHostMemory measures §III-A's copy-vs-map host
+// memory strategies.
+func BenchmarkAblationHostMemory(b *testing.B) {
+	var res harness.HostMemResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = harness.RunHostMemAblation(1 << 18)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Speedup(), "map-vs-copy-x")
+}
+
+// BenchmarkAblationDataLayout measures §III-B's AoS-vs-SoA gap.
+func BenchmarkAblationDataLayout(b *testing.B) {
+	var res harness.LayoutResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = harness.RunLayoutAblation(1 << 18)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Speedup(), "soa-vs-aos-x")
+}

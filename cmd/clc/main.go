@@ -1,0 +1,75 @@
+// Command clc compiles an OpenCL C kernel file with the embedded
+// kernel compiler and prints diagnostics, per-kernel resource usage
+// (the numbers the Mali register-budget model uses), and optionally
+// the IR disassembly — a stand-in for ARM's offline kernel compiler.
+//
+// Usage:
+//
+//	clc [-D NAME=VAL ...] [-dis] [-check] file.cl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"maligo/internal/clc"
+	"maligo/internal/mali"
+)
+
+type defineFlags []string
+
+func (d *defineFlags) String() string { return strings.Join(*d, " ") }
+func (d *defineFlags) Set(s string) error {
+	*d = append(*d, "-D"+s)
+	return nil
+}
+
+func main() {
+	var defs defineFlags
+	dis := flag.Bool("dis", false, "print IR disassembly")
+	check := flag.Bool("check", false, "check each kernel against the Mali register budget")
+	flag.Var(&defs, "D", "preprocessor definition NAME[=VALUE] (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: clc [-D NAME=VAL] [-dis] [-check] file.cl")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := clc.Compile(flag.Arg(0), string(src), defs.String())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	for _, name := range prog.KernelNames() {
+		k := prog.Kernel(name)
+		fmt.Printf("kernel %-24s %4d instrs  regs I=%d F=%d (%d bytes live)  local %dB  private %dB",
+			name, len(k.Code), k.NumI, k.NumF, k.RegBytes, k.LocalBytes, k.PrivateBytes)
+		if k.UsesBarrier {
+			fmt.Print("  [barrier]")
+		}
+		if k.UsesDouble {
+			fmt.Print("  [fp64]")
+		}
+		fmt.Println()
+		if *check {
+			if err := mali.CheckResources(k); err != nil {
+				fmt.Printf("  !! %v\n", err)
+			} else {
+				fmt.Printf("  ok: %.0f register bytes/thread demanded\n", mali.RegisterDemand(k))
+			}
+		}
+		if *dis {
+			fmt.Println(k.Disassemble())
+		}
+	}
+	if n := len(prog.ConstantData); n > 0 {
+		fmt.Printf("constant segment: %d bytes\n", n)
+	}
+}

@@ -1,0 +1,121 @@
+// Command figures regenerates the paper's evaluation figures (Figure 2
+// speedup, Figure 3 power, Figure 4 energy-to-solution, in single and
+// double precision) plus the §V-D summary, on the simulated Exynos
+// 5250 platform.
+//
+// Usage:
+//
+//	figures [-fig 2a|2b|3a|3b|4a|4b] [-summary] [-scale 1.0] [-bench name,...] [-v]
+//
+// With no flags it renders everything (the full run takes a couple of
+// minutes: it executes every kernel instruction-by-instruction).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"maligo/internal/bench"
+	"maligo/internal/harness"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "render a single figure: 2a, 2b, 3a, 3b, 4a or 4b")
+		summary = flag.Bool("summary", false, "render only the §V-D summary")
+		ablate  = flag.Bool("ablations", false, "run the §III-A/§III-B ablation experiments instead of the figures")
+		csv     = flag.Bool("csv", false, "emit all figure data as CSV instead of rendered tables")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-equivalent sizes)")
+		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
+		verify  = flag.Bool("verify", true, "verify kernel results against host references")
+		verbose = flag.Bool("v", false, "also print raw per-configuration measurements")
+	)
+	flag.Parse()
+
+	if *ablate {
+		hm, err := harness.RunHostMemAblation(1 << 20)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		lo, err := harness.RunLayoutAblation(1 << 20)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Print(harness.RenderAblations(hm, lo))
+		return
+	}
+
+	cfg := harness.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Verify = *verify
+	if *benches != "" {
+		cfg.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *fig != "" {
+		valid := false
+		for _, f := range harness.Figures() {
+			if string(f) == *fig {
+				valid = true
+			}
+		}
+		if !valid {
+			fmt.Fprintf(os.Stderr, "unknown figure %q (want 2a, 2b, 3a, 3b, 4a or 4b)\n", *fig)
+			os.Exit(2)
+		}
+		prec := bench.F32
+		if strings.HasSuffix(*fig, "b") {
+			prec = bench.F64
+		}
+		cfg.Precisions = []bench.Precision{prec}
+	}
+
+	fmt.Fprintln(os.Stderr, "simulating… (every kernel runs instruction-by-instruction; paper scale takes ~2-3 minutes)")
+	res, err := harness.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *csv:
+		fmt.Print(res.CSV())
+	case *fig != "":
+		found := false
+		for _, f := range harness.Figures() {
+			if string(f) == *fig {
+				fmt.Print(res.FigureTable(f).Render())
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown figure %q (want 2a, 2b, 3a, 3b, 4a or 4b)\n", *fig)
+			os.Exit(2)
+		}
+	case *summary:
+		fmt.Print(res.Summarize().Render())
+	default:
+		fmt.Print(res.RenderAll())
+	}
+
+	if *verbose {
+		fmt.Println("\nRaw measurements")
+		fmt.Println("================")
+		for _, c := range res.CellsSorted() {
+			if !c.Supported {
+				fmt.Printf("%-30s n/a (%s)\n", cellLabel(c), c.Reason)
+				continue
+			}
+			fmt.Printf("%-30s t=%9.3fms  P=%5.2f±%.3fW  E=%8.4fJ  kernels=%v\n",
+				cellLabel(c), c.Seconds*1000, c.Power.MeanPowerW, c.Power.StdPowerW,
+				c.Power.EnergyJ, c.Kernels)
+		}
+	}
+}
+
+func cellLabel(c *harness.Cell) string {
+	return fmt.Sprintf("%s/%s/%s", c.Bench, c.Precision, c.Version)
+}

@@ -1,0 +1,104 @@
+// Command malisim runs one benchmark in one configuration on the
+// simulated Exynos 5250 and prints a detailed execution report:
+// runtime, device activity, memory traffic, power and energy.
+//
+// Usage:
+//
+//	malisim -bench dmmm [-version opt] [-prec single] [-scale 1.0]
+//
+// Versions: serial, omp, cl, opt (paper names: Serial, OpenMP, OpenCL,
+// OpenCL Opt).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"maligo/internal/bench"
+	"maligo/internal/harness"
+)
+
+func main() {
+	var (
+		name    = flag.String("bench", "", "benchmark: "+strings.Join(bench.Names(), ", "))
+		version = flag.String("version", "opt", "version: serial, omp, cl, opt")
+		prec    = flag.String("prec", "single", "precision: single or double")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range bench.All() {
+			fmt.Printf("%-7s %s\n", b.Name(), b.Description())
+		}
+		return
+	}
+	if bench.ByName(*name) == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q; -list shows the choices\n", *name)
+		os.Exit(2)
+	}
+	p := bench.F32
+	if strings.HasPrefix(*prec, "d") {
+		p = bench.F64
+	}
+	var v bench.Version
+	switch strings.ToLower(*version) {
+	case "serial":
+		v = bench.Serial
+	case "omp", "openmp":
+		v = bench.OpenMP
+	case "cl", "opencl":
+		v = bench.OpenCL
+	case "opt", "openclopt", "opencl-opt":
+		v = bench.OpenCLOpt
+	default:
+		fmt.Fprintf(os.Stderr, "unknown version %q (serial, omp, cl, opt)\n", *version)
+		os.Exit(2)
+	}
+
+	cfg := harness.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Benchmarks = []string{*name}
+	cfg.Precisions = []bench.Precision{p}
+	res, err := harness.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	c := res.Cell(*name, p, v)
+	if c == nil {
+		fmt.Fprintln(os.Stderr, "no result cell produced")
+		os.Exit(1)
+	}
+	fmt.Printf("benchmark      %s (%s)\n", *name, bench.ByName(*name).Description())
+	fmt.Printf("configuration  %s, %s precision, scale %g\n", v, p, *scale)
+	if !c.Supported {
+		fmt.Printf("status         n/a — %s\n", c.Reason)
+		return
+	}
+	fmt.Printf("kernels        %s\n", strings.Join(c.Kernels, " → "))
+	if c.FellBack {
+		fmt.Println("status         CL_OUT_OF_RESOURCES on the fully optimized kernel; fallback measured")
+	}
+	fmt.Printf("time           %.4f ms\n", c.Seconds*1000)
+	fmt.Printf("power          %.3f W (σ %.4f over %d meter repetitions)\n",
+		c.Power.MeanPowerW, c.Power.StdPowerW, 20)
+	fmt.Printf("energy         %.5f J (σ %.6f)\n", c.Power.EnergyJ, c.Power.StdEnergyJ)
+	fmt.Printf("DRAM traffic   %.2f MB (%.2f GB/s)\n",
+		float64(c.Activity.DRAMBytes)/1e6, float64(c.Activity.DRAMBytes)/c.Seconds/1e9)
+	if v.IsGPU() {
+		fmt.Printf("GPU busy       %.4f core-seconds, utilization %.0f%%\n",
+			c.Activity.GPUBusyCoreSeconds, c.Activity.GPUUtil*100)
+	} else {
+		fmt.Printf("CPU busy       %.4f core-seconds, utilization %.0f%%\n",
+			c.Activity.CPUBusyCoreSeconds, c.Activity.CPUUtil*100)
+	}
+	if base := res.Cell(*name, p, bench.Serial); base != nil && v != bench.Serial {
+		fmt.Printf("vs Serial      %.2fx speed, %.0f%% power, %.0f%% energy\n",
+			res.Speedup(*name, p, v), res.NormPower(*name, p, v)*100, res.NormEnergy(*name, p, v)*100)
+	}
+}

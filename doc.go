@@ -1,0 +1,28 @@
+// Package maligo is a full Go reproduction of "Energy Efficient HPC on
+// Embedded SoCs: Optimization Techniques for Mali GPU" (Grasso,
+// Radojković, Rajović, Gelado, Ramirez — IEEE IPDPS 2014).
+//
+// The original study needs a 2013 Samsung Exynos 5250 board with an
+// ARM Mali-T604 GPU, an OpenCL Full Profile driver and a bench power
+// meter. This module substitutes all of it with simulation built from
+// scratch on the Go standard library:
+//
+//   - internal/clc     — an OpenCL C compiler (preprocessor → lexer →
+//     parser → sema → IR with an optimizer),
+//   - internal/vm      — a register-machine interpreter executing
+//     kernels work-group by work-group with barriers and atomics,
+//   - internal/mali    — the Mali-T604 timing/energy model,
+//   - internal/cpu     — the Cortex-A15 timing/energy model,
+//   - internal/cl      — an OpenCL-style host runtime over unified
+//     memory,
+//   - internal/power   — the board power model and a simulated
+//     Yokogawa WT230 meter,
+//   - internal/bench   — the paper's nine benchmarks in four versions
+//     and two precisions,
+//   - internal/harness — the evaluation methodology regenerating every
+//     figure of the paper's §V.
+//
+// See README.md for usage, DESIGN.md for the architecture and
+// EXPERIMENTS.md for paper-versus-measured results. The benchmarks in
+// bench_test.go regenerate each figure as `go test -bench` targets.
+package maligo

@@ -1,0 +1,184 @@
+// Autotune example: the paper's §III-B "Vector Sizes" advice made
+// executable — "whenever the code allows it, experiment with different
+// vector sizes (e.g. size of 4, 8, 16)" and tune the work-group size
+// rather than trusting the driver default. This program sweeps vector
+// width x work-group size for a streaming triad kernel on the
+// simulated Mali-T604 and prints the full grid with the winner.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"maligo/internal/cl"
+	"maligo/internal/core"
+)
+
+// One kernel per vector width; width 1 is the scalar baseline.
+const src = `
+__kernel void triad1(__global const float* restrict a,
+                     __global const float* restrict b,
+                     __global float* restrict c,
+                     const float s) {
+    size_t i = get_global_id(0);
+    c[i] = a[i] + s * b[i];
+}
+
+__kernel void triad2(__global const float* restrict a,
+                     __global const float* restrict b,
+                     __global float* restrict c,
+                     const float s) {
+    size_t i = get_global_id(0);
+    float2 va = vload2(i, a);
+    float2 vb = vload2(i, b);
+    vstore2(va + (float2)(s) * vb, i, c);
+}
+
+__kernel void triad4(__global const float* restrict a,
+                     __global const float* restrict b,
+                     __global float* restrict c,
+                     const float s) {
+    size_t i = get_global_id(0);
+    float4 va = vload4(i, a);
+    float4 vb = vload4(i, b);
+    vstore4(va + (float4)(s) * vb, i, c);
+}
+
+__kernel void triad8(__global const float* restrict a,
+                     __global const float* restrict b,
+                     __global float* restrict c,
+                     const float s) {
+    size_t i = get_global_id(0);
+    float8 va = vload8(i, a);
+    float8 vb = vload8(i, b);
+    vstore8(va + (float8)(s) * vb, i, c);
+}
+
+__kernel void triad16(__global const float* restrict a,
+                      __global const float* restrict b,
+                      __global float* restrict c,
+                      const float s) {
+    size_t i = get_global_id(0);
+    float16 va = vload16(i, a);
+    float16 vb = vload16(i, b);
+    vstore16(va + (float16)(s) * vb, i, c);
+}
+`
+
+const n = 1 << 19
+
+func main() {
+	p := core.NewPlatform()
+	ctx := p.Context
+	prog := ctx.CreateProgramWithSource(src)
+	if err := prog.Build(""); err != nil {
+		log.Fatalf("build: %v", err)
+	}
+
+	bufA := mustBuf(ctx, n*4)
+	bufB := mustBuf(ctx, n*4)
+	bufC := mustBuf(ctx, n*4)
+	fill(bufA, 1)
+	fill(bufB, 2)
+
+	q := ctx.CreateCommandQueue(p.GPU)
+	widths := []int{1, 2, 4, 8, 16}
+	wgs := []int{32, 64, 128, 256}
+
+	fmt.Printf("triad c = a + s*b, n = %d floats on %s\n\n", n, p.GPU.Name())
+	fmt.Printf("%8s", "width\\wg")
+	for _, wg := range wgs {
+		fmt.Printf(" %9d", wg)
+	}
+	fmt.Println("   (ms per launch)")
+
+	best := math.Inf(1)
+	var bestW, bestWG int
+	for _, w := range widths {
+		kname := fmt.Sprintf("triad%d", w)
+		k, err := prog.CreateKernel(kname)
+		if err != nil {
+			log.Fatal(err)
+		}
+		must(k.SetArgBuffer(0, bufA))
+		must(k.SetArgBuffer(1, bufB))
+		must(k.SetArgBuffer(2, bufC))
+		must(k.SetArgFloat(3, 3.0))
+		fmt.Printf("%8d", w)
+		for _, wg := range wgs {
+			global := n / w
+			// Warm-up then measure, like the harness does.
+			if _, err := q.EnqueueNDRangeKernel(k, 1, []int{global}, []int{wg}); err != nil {
+				log.Fatal(err)
+			}
+			q.ResetEvents()
+			ev, err := q.EnqueueNDRangeKernel(k, 1, []int{global}, []int{wg})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ms := ev.Seconds * 1000
+			fmt.Printf(" %9.3f", ms)
+			if ev.Seconds < best {
+				best, bestW, bestWG = ev.Seconds, w, wg
+			}
+		}
+		fmt.Println()
+	}
+
+	// Driver-default local size for comparison (the §III-A trap).
+	k, _ := prog.CreateKernel("triad1")
+	must(k.SetArgBuffer(0, bufA))
+	must(k.SetArgBuffer(1, bufB))
+	must(k.SetArgBuffer(2, bufC))
+	must(k.SetArgFloat(3, 3.0))
+	q.ResetEvents()
+	ev, err := q.EnqueueNDRangeKernel(k, 1, []int{n}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nscalar kernel with driver-default local size: %.3f ms\n", ev.Seconds*1000)
+	fmt.Printf("best: width %d, work-group %d -> %.3f ms (%.1fx over driver default)\n",
+		bestW, bestWG, best*1000, ev.Seconds/best)
+	verify(bufA, bufB, bufC)
+	fmt.Println("verified: c = a + 3b for all elements")
+}
+
+func mustBuf(ctx *cl.Context, size int64) *cl.Buffer {
+	b, err := ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, size, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func fill(buf *cl.Buffer, base float32) {
+	raw, err := buf.Bytes(0, n*4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(base+float32(i%97)))
+	}
+}
+
+func verify(bufA, bufB, bufC *cl.Buffer) {
+	a, _ := bufA.Bytes(0, n*4)
+	b, _ := bufB.Bytes(0, n*4)
+	c, _ := bufC.Bytes(0, n*4)
+	for i := 0; i < n; i++ {
+		av := math.Float32frombits(binary.LittleEndian.Uint32(a[i*4:]))
+		bv := math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+		cv := math.Float32frombits(binary.LittleEndian.Uint32(c[i*4:]))
+		if cv != av+3*bv {
+			log.Fatalf("mismatch at %d: %v != %v", i, cv, av+3*bv)
+		}
+	}
+}

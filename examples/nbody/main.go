@@ -1,0 +1,200 @@
+// N-body example: a multi-step gravitational simulation on the
+// simulated Mali-T604, comparing the naive scalar kernel with the
+// vectorized one and tracking system momentum as a physics sanity
+// check. It mirrors the workload the paper's nbody benchmark models.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"maligo/internal/cl"
+	"maligo/internal/core"
+)
+
+const src = `
+#define EPS  0.0001f
+#define DT   0.005f
+
+__kernel void step_naive(__global const float* body,
+                         __global const float* vel,
+                         __global float* bodyOut,
+                         __global float* velOut,
+                         const int n) {
+    int i = (int)get_global_id(0);
+    float xi = body[4 * i];
+    float yi = body[4 * i + 1];
+    float zi = body[4 * i + 2];
+    float ax = 0.0f;
+    float ay = 0.0f;
+    float az = 0.0f;
+    for (int j = 0; j < n; j++) {
+        float dx = body[4 * j] - xi;
+        float dy = body[4 * j + 1] - yi;
+        float dz = body[4 * j + 2] - zi;
+        float r2 = dx * dx + dy * dy + dz * dz + EPS;
+        float inv = rsqrt(r2);
+        float f = body[4 * j + 3] * inv * inv * inv;
+        ax += f * dx;
+        ay += f * dy;
+        az += f * dz;
+    }
+    float vx = vel[3 * i] + ax * DT;
+    float vy = vel[3 * i + 1] + ay * DT;
+    float vz = vel[3 * i + 2] + az * DT;
+    velOut[3 * i] = vx;
+    velOut[3 * i + 1] = vy;
+    velOut[3 * i + 2] = vz;
+    bodyOut[4 * i] = xi + vx * DT;
+    bodyOut[4 * i + 1] = yi + vy * DT;
+    bodyOut[4 * i + 2] = zi + vz * DT;
+    bodyOut[4 * i + 3] = body[4 * i + 3];
+}
+
+__kernel void step_vec(__global const float* restrict body,
+                       __global const float* restrict vel,
+                       __global float* restrict bodyOut,
+                       __global float* restrict velOut,
+                       const int n) {
+    int i = (int)get_global_id(0);
+    float4 bi = vload4(i, body);
+    float ax = 0.0f;
+    float ay = 0.0f;
+    float az = 0.0f;
+    for (int j = 0; j < n; j++) {
+        float4 bj = vload4(j, body);
+        float dx = bj.x - bi.x;
+        float dy = bj.y - bi.y;
+        float dz = bj.z - bi.z;
+        float r2 = dx * dx + dy * dy + dz * dz + EPS;
+        float inv = rsqrt(r2);
+        float f = bj.w * inv * inv * inv;
+        ax = mad(f, dx, ax);
+        ay = mad(f, dy, ay);
+        az = mad(f, dz, az);
+    }
+    float vx = vel[3 * i] + ax * DT;
+    float vy = vel[3 * i + 1] + ay * DT;
+    float vz = vel[3 * i + 2] + az * DT;
+    velOut[3 * i] = vx;
+    velOut[3 * i + 1] = vy;
+    velOut[3 * i + 2] = vz;
+    float4 po = (float4)(bi.x + vx * DT, bi.y + vy * DT, bi.z + vz * DT, bi.w);
+    vstore4(po, i, bodyOut);
+}
+`
+
+const (
+	nBodies = 1024
+	steps   = 4
+)
+
+func main() {
+	p := core.NewPlatform()
+	ctx := p.Context
+	prog := ctx.CreateProgramWithSource(src)
+	if err := prog.Build(""); err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	q := ctx.CreateCommandQueue(p.GPU)
+
+	// Two position/velocity buffer pairs, ping-ponged between steps.
+	var body, vel [2]*cl.Buffer
+	var err error
+	for s := 0; s < 2; s++ {
+		if body[s], err = ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, nBodies*4*4, nil); err != nil {
+			log.Fatal(err)
+		}
+		if vel[s], err = ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, nBodies*3*4, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	initBodies(body[0], vel[0])
+
+	for _, kname := range []string{"step_naive", "step_vec"} {
+		initBodies(body[0], vel[0])
+		k, err := prog.CreateKernel(kname)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q.ResetEvents()
+		cur := 0
+		for s := 0; s < steps; s++ {
+			next := 1 - cur
+			must(k.SetArgBuffer(0, body[cur]))
+			must(k.SetArgBuffer(1, vel[cur]))
+			must(k.SetArgBuffer(2, body[next]))
+			must(k.SetArgBuffer(3, vel[next]))
+			must(k.SetArgInt(4, nBodies))
+			if _, err := q.EnqueueNDRangeKernel(k, 1, []int{nBodies}, []int{128}); err != nil {
+				log.Fatal(err)
+			}
+			cur = next
+		}
+		q.Finish()
+		m, _ := p.Measure(q, core.GPURun)
+		px, py, pz := momentum(body[cur], vel[cur])
+		fmt.Printf("%-11s %d bodies x %d steps: %7.3f ms, %.2f W, %.4f J,  |p| = %.3e\n",
+			kname, nBodies, steps, q.TotalSeconds()*1000, m.MeanPowerW, m.EnergyJ,
+			math.Sqrt(px*px+py*py+pz*pz))
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// initBodies places bodies deterministically on a perturbed shell.
+func initBodies(body, vel *cl.Buffer) {
+	bb, err := body.Bytes(0, int64(nBodies*4*4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	vb, err := vel.Bytes(0, int64(nBodies*3*4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	seed := uint64(42)
+	next := func() float64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return float64(seed>>11) / float64(1<<53)
+	}
+	putF := func(b []byte, i int, v float64) {
+		binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(float32(v)))
+	}
+	for i := 0; i < nBodies; i++ {
+		theta := 2 * math.Pi * next()
+		phi := math.Acos(2*next() - 1)
+		r := 1 + 0.1*next()
+		putF(bb, 4*i, r*math.Sin(phi)*math.Cos(theta))
+		putF(bb, 4*i+1, r*math.Sin(phi)*math.Sin(theta))
+		putF(bb, 4*i+2, r*math.Cos(phi))
+		putF(bb, 4*i+3, 1.0/nBodies)
+		for c := 0; c < 3; c++ {
+			putF(vb, 3*i+c, 0)
+		}
+	}
+}
+
+// momentum sums m·v over all bodies; it should stay near zero for a
+// symmetric system (the forces are equal and opposite).
+func momentum(body, vel *cl.Buffer) (px, py, pz float64) {
+	bb, _ := body.Bytes(0, int64(nBodies*4*4))
+	vb, _ := vel.Bytes(0, int64(nBodies*3*4))
+	getF := func(b []byte, i int) float64 {
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:])))
+	}
+	for i := 0; i < nBodies; i++ {
+		m := getF(bb, 4*i+3)
+		px += m * getF(vb, 3*i)
+		py += m * getF(vb, 3*i+1)
+		pz += m * getF(vb, 3*i+2)
+	}
+	return
+}

@@ -1,0 +1,3 @@
+module maligo
+
+go 1.22

@@ -1,0 +1,297 @@
+// Package bench implements the paper's nine HPC benchmarks (§IV-A) in
+// four versions each — Serial (one Cortex-A15 core), OpenMP (two
+// cores), OpenCL (straightforward Mali port) and OpenCL Opt (Mali port
+// with the §III optimizations applied) — in both single and double
+// precision. Each benchmark carries its OpenCL C sources, a workload
+// generator, drivers for every version, and a host-side verifier.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"maligo/internal/cl"
+)
+
+// Precision selects float or double kernels.
+type Precision int
+
+// Precisions.
+const (
+	F32 Precision = iota
+	F64
+)
+
+func (p Precision) String() string {
+	if p == F64 {
+		return "double"
+	}
+	return "single"
+}
+
+// Size returns the element size in bytes.
+func (p Precision) Size() int {
+	if p == F64 {
+		return 8
+	}
+	return 4
+}
+
+// BuildOptions returns the clBuildProgram options defining the REAL
+// type family for this precision.
+func (p Precision) BuildOptions() string {
+	if p == F64 {
+		return "-DREAL=double -DREAL2=double2 -DREAL4=double4 -DREAL8=double8 -DFP64"
+	}
+	return "-DREAL=float -DREAL2=float2 -DREAL4=float4 -DREAL8=float8 -DFP32"
+}
+
+// Version is one of the paper's four benchmark implementations.
+type Version int
+
+// Versions, in the paper's presentation order.
+const (
+	Serial Version = iota
+	OpenMP
+	OpenCL
+	OpenCLOpt
+)
+
+var versionNames = [...]string{"Serial", "OpenMP", "OpenCL", "OpenCL Opt"}
+
+func (v Version) String() string { return versionNames[v] }
+
+// Versions lists all four in order.
+func Versions() []Version { return []Version{Serial, OpenMP, OpenCL, OpenCLOpt} }
+
+// IsGPU reports whether the version runs on the Mali device.
+func (v Version) IsGPU() bool { return v == OpenCL || v == OpenCLOpt }
+
+// RunInfo reports details of one measured-region execution.
+type RunInfo struct {
+	// FellBack is set when the fully optimized kernel failed with
+	// CL_OUT_OF_RESOURCES and a narrower variant ran instead (the
+	// paper hit this with double-precision nbody and 2dcon).
+	FellBack bool
+	// Kernels lists the kernel names executed, in order.
+	Kernels []string
+}
+
+// Benchmark is one of the paper's nine HPC kernels.
+type Benchmark interface {
+	// Name is the paper's short name (spmv, vecop, ...).
+	Name() string
+	// Description is a one-line summary from §IV-A.
+	Description() string
+	// Source returns the OpenCL C program defining all versions'
+	// kernels (REAL macros resolved by Precision.BuildOptions).
+	Source() string
+	// Setup generates the workload at the given scale (1.0 = the
+	// sizes in sizes.go) and uploads it into context buffers.
+	Setup(ctx *cl.Context, prec Precision, scale float64) error
+	// Run executes one measured region of the given version on the
+	// queue (whose device matches the version).
+	Run(q *cl.CommandQueue, prog *cl.Program, version Version) (*RunInfo, error)
+	// Verify compares device results against a host reference.
+	Verify(prec Precision) error
+	// Supported reports whether the configuration can run; reason
+	// explains an unsupported one (e.g. the amcd FP64 compiler bug).
+	Supported(prec Precision, v Version) (bool, string)
+}
+
+// ErrUnsupported marks configurations the paper could not measure.
+var ErrUnsupported = errors.New("bench: configuration unsupported")
+
+// All returns the nine benchmarks in the paper's order.
+func All() []Benchmark {
+	return []Benchmark{
+		NewSpmv(), NewVecop(), NewHist(), NewStencil3D(), NewReduction(),
+		NewAMCD(), NewNBody(), NewConv2D(), NewDMMM(),
+	}
+}
+
+// ByName returns the named benchmark or nil.
+func ByName(name string) Benchmark {
+	for _, b := range All() {
+		if b.Name() == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Names lists the benchmark names in paper order.
+func Names() []string {
+	bs := All()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name()
+	}
+	return names
+}
+
+// --- host data helpers -------------------------------------------------------
+
+// rng is a small deterministic xorshift generator for workload data.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng {
+	if seed == 0 {
+		seed = 88172645463325252
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// float returns a uniform value in [0,1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// intn returns a uniform integer in [0,n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// writeReals stores vals into buffer b using the element width of prec.
+func writeReals(b *cl.Buffer, prec Precision, vals []float64) error {
+	raw, err := b.Bytes(0, int64(len(vals)*prec.Size()))
+	if err != nil {
+		return err
+	}
+	if prec == F64 {
+		for i, v := range vals {
+			bits := math.Float64bits(v)
+			for s := 0; s < 8; s++ {
+				raw[i*8+s] = byte(bits >> (8 * uint(s)))
+			}
+		}
+		return nil
+	}
+	for i, v := range vals {
+		bits := math.Float32bits(float32(v))
+		for s := 0; s < 4; s++ {
+			raw[i*4+s] = byte(bits >> (8 * uint(s)))
+		}
+	}
+	return nil
+}
+
+// readReals loads n elements from buffer b.
+func readReals(b *cl.Buffer, prec Precision, n int) ([]float64, error) {
+	raw, err := b.Bytes(0, int64(n*prec.Size()))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	if prec == F64 {
+		for i := range out {
+			var bits uint64
+			for s := 7; s >= 0; s-- {
+				bits = bits<<8 | uint64(raw[i*8+s])
+			}
+			out[i] = math.Float64frombits(bits)
+		}
+		return out, nil
+	}
+	for i := range out {
+		var bits uint32
+		for s := 3; s >= 0; s-- {
+			bits = bits<<8 | uint32(raw[i*4+s])
+		}
+		out[i] = float64(math.Float32frombits(bits))
+	}
+	return out, nil
+}
+
+// writeInts stores 32-bit integers into buffer b.
+func writeInts(b *cl.Buffer, vals []int32) error {
+	raw, err := b.Bytes(0, int64(len(vals)*4))
+	if err != nil {
+		return err
+	}
+	for i, v := range vals {
+		u := uint32(v)
+		raw[i*4] = byte(u)
+		raw[i*4+1] = byte(u >> 8)
+		raw[i*4+2] = byte(u >> 16)
+		raw[i*4+3] = byte(u >> 24)
+	}
+	return nil
+}
+
+// readInts loads n 32-bit integers from buffer b.
+func readInts(b *cl.Buffer, n int) ([]int32, error) {
+	raw, err := b.Bytes(0, int64(n*4))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(uint32(raw[i*4]) | uint32(raw[i*4+1])<<8 |
+			uint32(raw[i*4+2])<<16 | uint32(raw[i*4+3])<<24)
+	}
+	return out, nil
+}
+
+// tolerance is the verification tolerance for the precision.
+func tolerance(prec Precision) float64 {
+	if prec == F64 {
+		return 1e-9
+	}
+	return 2e-3
+}
+
+// relErr computes |a-b| / max(1, |b|).
+func relErr(a, b float64) float64 {
+	d := math.Abs(a - b)
+	m := math.Abs(b)
+	if m < 1 {
+		m = 1
+	}
+	return d / m
+}
+
+// checkClose verifies element-wise closeness.
+func checkClose(got, want []float64, tol float64, what string) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: length %d != %d", what, len(got), len(want))
+	}
+	worst, worstAt := 0.0, -1
+	for i := range got {
+		if e := relErr(got[i], want[i]); e > worst {
+			worst, worstAt = e, i
+		}
+	}
+	if worst > tol {
+		return fmt.Errorf("%s: element %d differs: got %g want %g (rel %g > tol %g)",
+			what, worstAt, got[worstAt], want[worstAt], worst, tol)
+	}
+	return nil
+}
+
+// scaled returns max(lo, int(base*scale)) rounded down to a multiple
+// of quantum.
+func scaled(base int, scale float64, lo, quantum int) int {
+	n := int(float64(base) * scale)
+	if n < lo {
+		n = lo
+	}
+	if quantum > 1 {
+		n = n / quantum * quantum
+		if n < quantum {
+			n = quantum
+		}
+	}
+	return n
+}
+
+// ompChunks is the number of CPU threads the OpenMP versions use
+// (§IV-B: executed on two Cortex-A15 cores).
+const ompChunks = 2
+
+// errf is a tiny alias to keep benchmark verifiers compact.
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }

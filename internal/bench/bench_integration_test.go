@@ -1,0 +1,196 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"maligo/internal/bench"
+	"maligo/internal/cl"
+	"maligo/internal/cpu"
+	"maligo/internal/mali"
+)
+
+// testScale keeps the instruction-level simulation fast while staying
+// above every benchmark's minimum workload.
+const testScale = 0.08
+
+// runAllVersions sets up one benchmark at one precision, runs every
+// supported version on its matching device, and verifies results.
+func runAllVersions(t *testing.T, name string, prec bench.Precision) {
+	t.Helper()
+	b := bench.ByName(name)
+	if b == nil {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	cpu1 := cpu.New(1)
+	cpu2 := cpu.New(2)
+	gpu := mali.New()
+	ctx := cl.NewContext(cpu1, cpu2, gpu)
+	prog := ctx.CreateProgramWithSource(b.Source())
+	if err := prog.Build(prec.BuildOptions()); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := b.Setup(ctx, prec, testScale); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	queues := map[bench.Version]*cl.CommandQueue{
+		bench.Serial:    ctx.CreateCommandQueue(cpu1),
+		bench.OpenMP:    ctx.CreateCommandQueue(cpu2),
+		bench.OpenCL:    ctx.CreateCommandQueue(gpu),
+		bench.OpenCLOpt: ctx.CreateCommandQueue(gpu),
+	}
+	ran := 0
+	for _, v := range bench.Versions() {
+		ok, reason := b.Supported(prec, v)
+		if !ok {
+			if reason == "" {
+				t.Errorf("%s unsupported without a reason", v)
+			}
+			continue
+		}
+		info, err := b.Run(queues[v], prog, v)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if len(info.Kernels) == 0 {
+			t.Errorf("%s: no kernels reported", v)
+		}
+		if err := b.Verify(prec); err != nil {
+			t.Fatalf("%s verification: %v", v, err)
+		}
+		ran++
+	}
+	if ran == 0 {
+		t.Fatal("no version executed")
+	}
+}
+
+func TestBenchmarksAllVersionsF32(t *testing.T) {
+	for _, name := range bench.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) { runAllVersions(t, name, bench.F32) })
+	}
+}
+
+func TestBenchmarksAllVersionsF64(t *testing.T) {
+	for _, name := range bench.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) { runAllVersions(t, name, bench.F64) })
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := bench.Names()
+	want := []string{"spmv", "vecop", "hist", "3dstc", "red", "amcd", "nbody", "2dcon", "dmmm"}
+	if len(names) != len(want) {
+		t.Fatalf("benchmarks = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("benchmark order = %v, want the paper's order %v", names, want)
+		}
+	}
+	if bench.ByName("nope") != nil {
+		t.Error("ByName of unknown benchmark should be nil")
+	}
+	for _, b := range bench.All() {
+		if b.Description() == "" {
+			t.Errorf("%s has no description", b.Name())
+		}
+		if !strings.Contains(b.Source(), "__kernel") {
+			t.Errorf("%s source has no kernels", b.Name())
+		}
+	}
+}
+
+func TestAmcdFP64GPUUnsupported(t *testing.T) {
+	b := bench.ByName("amcd")
+	for _, v := range []bench.Version{bench.OpenCL, bench.OpenCLOpt} {
+		if ok, reason := b.Supported(bench.F64, v); ok || reason == "" {
+			t.Errorf("amcd FP64 %s should be unsupported with a reason (paper §V-A)", v)
+		}
+	}
+	for _, v := range []bench.Version{bench.Serial, bench.OpenMP} {
+		if ok, _ := b.Supported(bench.F64, v); !ok {
+			t.Errorf("amcd FP64 %s (CPU) should be supported", v)
+		}
+	}
+	for _, v := range bench.Versions() {
+		if ok, _ := b.Supported(bench.F32, v); !ok {
+			t.Errorf("amcd FP32 %s should be supported", v)
+		}
+	}
+}
+
+func TestVersionMetadata(t *testing.T) {
+	if bench.Serial.IsGPU() || bench.OpenMP.IsGPU() {
+		t.Error("CPU versions misclassified")
+	}
+	if !bench.OpenCL.IsGPU() || !bench.OpenCLOpt.IsGPU() {
+		t.Error("GPU versions misclassified")
+	}
+	if bench.F32.Size() != 4 || bench.F64.Size() != 8 {
+		t.Error("precision sizes wrong")
+	}
+	if !strings.Contains(bench.F64.BuildOptions(), "-DREAL=double") {
+		t.Error("F64 build options wrong")
+	}
+}
+
+// TestFP64FallbackArtifact checks the CL_OUT_OF_RESOURCES fallback for
+// the double-precision optimized nbody and 2dcon kernels.
+func TestFP64FallbackArtifact(t *testing.T) {
+	for _, name := range []string{"nbody", "2dcon"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b := bench.ByName(name)
+			cpu1 := cpu.New(1)
+			gpu := mali.New()
+			ctx := cl.NewContext(cpu1, gpu)
+			prog := ctx.CreateProgramWithSource(b.Source())
+			if err := prog.Build(bench.F64.BuildOptions()); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Setup(ctx, bench.F64, testScale); err != nil {
+				t.Fatal(err)
+			}
+			q := ctx.CreateCommandQueue(gpu)
+			info, err := b.Run(q, prog, bench.OpenCLOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !info.FellBack {
+				t.Fatalf("%s FP64 Opt should fall back after CL_OUT_OF_RESOURCES (paper artifact)", name)
+			}
+			if err := b.Verify(bench.F64); err != nil {
+				t.Fatalf("fallback kernel produced wrong results: %v", err)
+			}
+		})
+	}
+}
+
+// TestFP32NoFallback checks that single-precision optimized kernels
+// fit the register budget.
+func TestFP32NoFallback(t *testing.T) {
+	for _, name := range []string{"nbody", "2dcon"} {
+		b := bench.ByName(name)
+		cpu1 := cpu.New(1)
+		gpu := mali.New()
+		ctx := cl.NewContext(cpu1, gpu)
+		prog := ctx.CreateProgramWithSource(b.Source())
+		if err := prog.Build(bench.F32.BuildOptions()); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Setup(ctx, bench.F32, testScale); err != nil {
+			t.Fatal(err)
+		}
+		q := ctx.CreateCommandQueue(gpu)
+		info, err := b.Run(q, prog, bench.OpenCLOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.FellBack {
+			t.Fatalf("%s FP32 Opt unexpectedly hit the register budget", name)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+
+	"maligo/internal/cl"
+)
+
+// hist is the Histogram benchmark (§IV-A): counting value occurrences
+// into a configurable number of buckets. The straightforward OpenCL
+// port hammers global atomics, which serialize in the Mali snoop
+// control unit and make the GPU slower than the serial CPU code — the
+// behaviour the paper reports. The optimized version privatizes the
+// histogram per work-group in local memory (hardware local atomics)
+// and merges once per group, "a reduction stage which can become a
+// bottleneck on highly parallel architectures".
+type hist struct {
+	prec Precision
+	n    int
+	data []int32
+
+	bufData *cl.Buffer
+	bufBins *cl.Buffer
+}
+
+// NewHist creates the hist benchmark.
+func NewHist() Benchmark { return &hist{} }
+
+func (h *hist) Name() string { return "hist" }
+
+func (h *hist) Description() string {
+	return "histogram with atomic updates; privatization + reduction on the GPU"
+}
+
+func (h *hist) Source() string {
+	return `
+#define NBINS 256
+
+__kernel void hist_serial(__global const int* data,
+                          __global int* bins,
+                          const uint n) {
+    int priv[NBINS];
+    for (int b = 0; b < NBINS; b++) {
+        priv[b] = 0;
+    }
+    for (uint i = 0; i < n; i++) {
+        priv[data[i]]++;
+    }
+    for (int b = 0; b < NBINS; b++) {
+        bins[b] = priv[b];
+    }
+}
+
+__kernel void hist_chunk(__global const int* data,
+                         __global int* bins,
+                         const uint n) {
+    size_t t  = get_global_id(0);
+    size_t nt = get_global_size(0);
+    uint chunk = (uint)((n + nt - 1) / nt);
+    uint lo = (uint)t * chunk;
+    uint hi = min(lo + chunk, n);
+    int priv[NBINS];
+    for (int b = 0; b < NBINS; b++) {
+        priv[b] = 0;
+    }
+    for (uint i = lo; i < hi; i++) {
+        priv[data[i]]++;
+    }
+    for (int b = 0; b < NBINS; b++) {
+        atomic_add(&bins[b], priv[b]);
+    }
+}
+
+__kernel void hist_cl(__global const int* data,
+                      __global int* bins,
+                      const uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) {
+        atomic_add(&bins[data[i]], 1);
+    }
+}
+
+// Optimized: per-work-group privatized histogram in __local memory
+// updated with hardware local atomics; each work-item walks a
+// contiguous chunk (Midgard-friendly), and each group merges once
+// into the global bins.
+__kernel void hist_opt(__global const int* restrict data,
+                       __global int* restrict bins,
+                       __local int* priv,
+                       const uint n) {
+    size_t lid = get_local_id(0);
+    size_t ls  = get_local_size(0);
+    for (uint b = (uint)lid; b < NBINS; b += (uint)ls) {
+        priv[b] = 0;
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    size_t gid = get_global_id(0);
+    size_t nwi = get_global_size(0);
+    uint chunk = (uint)((n + nwi - 1) / nwi);
+    uint lo = (uint)gid * chunk;
+    uint hi = min(lo + chunk, n);
+    for (uint i = lo; i < hi; i++) {
+        atomic_add(&priv[data[i]], 1);
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (uint b = (uint)lid; b < NBINS; b += (uint)ls) {
+        atomic_add(&bins[b], priv[b]);
+    }
+}
+
+__kernel void hist_clear(__global int* bins) {
+    bins[get_global_id(0)] = 0;
+}
+`
+}
+
+func (h *hist) Setup(ctx *cl.Context, prec Precision, scale float64) error {
+	h.prec = prec
+	h.n = scaled(histN, scale, 4096, tunedWGHist*8)
+	r := newRng(3)
+	h.data = make([]int32, h.n)
+	for i := range h.data {
+		// Zipf-ish skew so some bins are hot (atomic contention).
+		v := r.intn(histBins)
+		if r.intn(8) == 0 {
+			v = r.intn(8)
+		}
+		h.data[i] = int32(v)
+	}
+	var err error
+	if h.bufData, err = ctx.CreateBuffer(cl.MemReadOnly|cl.MemAllocHostPtr, int64(h.n*4), nil); err != nil {
+		return err
+	}
+	if h.bufBins, err = ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, histBins*4, nil); err != nil {
+		return err
+	}
+	return writeInts(h.bufData, h.data)
+}
+
+// clearBins zeroes the bins buffer host-side (setup work outside the
+// measured region, like the paper's excluded initialization phase).
+func (h *hist) clearBins() error {
+	raw, err := h.bufBins.Bytes(0, histBins*4)
+	if err != nil {
+		return err
+	}
+	for i := range raw {
+		raw[i] = 0
+	}
+	return nil
+}
+
+func (h *hist) Run(q *cl.CommandQueue, prog *cl.Program, version Version) (*RunInfo, error) {
+	if err := h.clearBins(); err != nil {
+		return nil, err
+	}
+	args := []any{h.bufData, h.bufBins, h.n}
+	switch version {
+	case Serial:
+		return &RunInfo{Kernels: []string{"hist_serial"}},
+			launch(q, prog, "hist_serial", 1, []int{1}, []int{1}, args...)
+	case OpenMP:
+		return &RunInfo{Kernels: []string{"hist_chunk"}},
+			launch(q, prog, "hist_chunk", 1, []int{ompChunks}, []int{1}, args...)
+	case OpenCL:
+		return &RunInfo{Kernels: []string{"hist_cl"}},
+			launch(q, prog, "hist_cl", 1, []int{h.n}, nil, args...)
+	default:
+		// 32 groups of tunedWGHist work-items, grid-stride loop.
+		groups := 32
+		global := groups * tunedWGHist
+		if global > h.n {
+			global = h.n
+		}
+		return &RunInfo{Kernels: []string{"hist_opt"}},
+			launch(q, prog, "hist_opt", 1, []int{global}, []int{tunedWGHist},
+				h.bufData, h.bufBins, localArg(histBins*4), h.n)
+	}
+}
+
+func (h *hist) Verify(prec Precision) error {
+	got, err := readInts(h.bufBins, histBins)
+	if err != nil {
+		return err
+	}
+	want := make([]int32, histBins)
+	for _, v := range h.data {
+		want[v]++
+	}
+	for b := range want {
+		if got[b] != want[b] {
+			return fmt.Errorf("hist bin %d = %d, want %d", b, got[b], want[b])
+		}
+	}
+	return nil
+}
+
+func (h *hist) Supported(prec Precision, v Version) (bool, string) { return true, "" }

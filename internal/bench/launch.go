@@ -1,0 +1,17 @@
+package bench
+
+import "maligo/internal/cl"
+
+// launch creates the named kernel, binds args positionally and
+// enqueues it; the common path for all benchmark drivers.
+func launch(q *cl.CommandQueue, prog *cl.Program, name string, workDim int, global, local []int, args ...any) error {
+	k, err := prog.CreateKernel(name)
+	if err != nil {
+		return err
+	}
+	if err := setArgs(k, args...); err != nil {
+		return err
+	}
+	_, err = q.EnqueueNDRangeKernel(k, workDim, global, local)
+	return err
+}

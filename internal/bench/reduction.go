@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"maligo/internal/cl"
+)
+
+// reduction is the Reduction benchmark (§IV-A): summing a vector to a
+// scalar. The GPU versions use the classic two-stage scheme the paper
+// describes — work-groups tree-reduce in local memory behind barriers
+// to per-group partials, then a single work-group reduces the
+// partials. The optimized version adds vectorized loads and a tuned
+// work-group size, which the paper identifies as the main difference
+// between OpenCL and OpenCL Opt for this benchmark.
+type reduction struct {
+	prec Precision
+	n    int
+	in   []float64
+
+	bufIn   *cl.Buffer
+	bufPart *cl.Buffer
+	bufOut  *cl.Buffer
+	groups  int
+}
+
+// NewReduction creates the red benchmark.
+func NewReduction() Benchmark { return &reduction{} }
+
+func (rd *reduction) Name() string { return "red" }
+
+func (rd *reduction) Description() string {
+	return "sum reduction; massively parallel stage funnelling to near-sequential"
+}
+
+func (rd *reduction) Source() string {
+	return `
+__kernel void red_serial(__global const REAL* in,
+                         __global REAL* out,
+                         const uint n) {
+    REAL acc = (REAL)0;
+    for (uint i = 0; i < n; i++) {
+        acc += in[i];
+    }
+    out[0] = acc;
+}
+
+__kernel void red_chunk(__global const REAL* in,
+                        __global REAL* part,
+                        const uint n) {
+    size_t t  = get_global_id(0);
+    size_t nt = get_global_size(0);
+    uint chunk = (uint)((n + nt - 1) / nt);
+    uint lo = (uint)t * chunk;
+    uint hi = min(lo + chunk, n);
+    REAL acc = (REAL)0;
+    for (uint i = lo; i < hi; i++) {
+        acc += in[i];
+    }
+    part[t] = acc;
+}
+
+__kernel void red_combine(__global const REAL* part,
+                          __global REAL* out,
+                          const uint m) {
+    REAL acc = (REAL)0;
+    for (uint i = 0; i < m; i++) {
+        acc += part[i];
+    }
+    out[0] = acc;
+}
+
+// Stage 1, straightforward port: the classic GPU reduction as first
+// written — one work-item per few elements (a huge NDRange), scalar
+// loads, then a tree reduction in local memory behind barriers.
+__kernel void red_cl(__global const REAL* in,
+                     __global REAL* part,
+                     __local REAL* scratch,
+                     const uint n) {
+    size_t gid = get_global_id(0);
+    size_t lid = get_local_id(0);
+    size_t ls  = get_local_size(0);
+    uint lo = (uint)gid * 16u;
+    uint hi = min(lo + 16u, n);
+    REAL acc = (REAL)0;
+    for (uint i = lo; i < hi; i++) {
+        acc += in[i];
+    }
+    scratch[lid] = acc;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (size_t s = ls / 2; s > 0; s = s / 2) {
+        if (lid < s) {
+            scratch[lid] = scratch[lid] + scratch[lid + s];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid == 0) {
+        part[get_group_id(0)] = scratch[0];
+    }
+}
+
+// Stage 1, optimized: contiguous vload4 accumulation per work-item
+// and a tuned work-group size.
+__kernel void red_opt(__global const REAL* restrict in,
+                      __global REAL* restrict part,
+                      __local REAL* scratch,
+                      const uint n4) {
+    size_t gid = get_global_id(0);
+    size_t lid = get_local_id(0);
+    size_t ls  = get_local_size(0);
+    size_t nwi = get_global_size(0);
+    uint chunk = (uint)((n4 + nwi - 1) / nwi);
+    uint lo = (uint)gid * chunk;
+    uint hi = min(lo + chunk, n4);
+    REAL4 acc4 = (REAL4)((REAL)0);
+    for (uint i = lo; i < hi; i++) {
+        acc4 += vload4(i, in);
+    }
+    scratch[lid] = acc4.x + acc4.y + acc4.z + acc4.w;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (size_t s = ls / 2; s > 0; s = s / 2) {
+        if (lid < s) {
+            scratch[lid] = scratch[lid] + scratch[lid + s];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid == 0) {
+        part[get_group_id(0)] = scratch[0];
+    }
+}
+`
+}
+
+func (rd *reduction) Setup(ctx *cl.Context, prec Precision, scale float64) error {
+	rd.prec = prec
+	rd.n = scaled(redN, scale, 8192, tunedWGRed*8)
+	r := newRng(5)
+	rd.in = make([]float64, rd.n)
+	for i := range rd.in {
+		rd.in[i] = r.float() - 0.5
+	}
+	rd.groups = 32
+	// The naive port's stage 1 produces one partial per work-group of
+	// its huge NDRange; size the partial buffer for that worst case.
+	maxPart := rd.n / 16 / 64
+	if maxPart < rd.groups {
+		maxPart = rd.groups
+	}
+	var err error
+	if rd.bufIn, err = ctx.CreateBuffer(cl.MemReadOnly|cl.MemAllocHostPtr, int64(rd.n*prec.Size()), nil); err != nil {
+		return err
+	}
+	if rd.bufPart, err = ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, int64(maxPart*prec.Size()), nil); err != nil {
+		return err
+	}
+	if rd.bufOut, err = ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, int64(prec.Size()), nil); err != nil {
+		return err
+	}
+	return writeReals(rd.bufIn, prec, rd.in)
+}
+
+func (rd *reduction) Run(q *cl.CommandQueue, prog *cl.Program, version Version) (*RunInfo, error) {
+	switch version {
+	case Serial:
+		return &RunInfo{Kernels: []string{"red_serial"}},
+			launch(q, prog, "red_serial", 1, []int{1}, []int{1}, rd.bufIn, rd.bufOut, rd.n)
+	case OpenMP:
+		if err := launch(q, prog, "red_chunk", 1, []int{ompChunks}, []int{1}, rd.bufIn, rd.bufPart, rd.n); err != nil {
+			return nil, err
+		}
+		return &RunInfo{Kernels: []string{"red_chunk", "red_combine"}},
+			launch(q, prog, "red_combine", 1, []int{1}, []int{1}, rd.bufPart, rd.bufOut, ompChunks)
+	case OpenCL:
+		// One work-item per sixteen elements (driver-default local
+		// size); stage 2 reduces the per-group partials.
+		nwi := rd.n / 16
+		groups := nwi / 64
+		if err := launch(q, prog, "red_cl", 1, []int{nwi}, nil,
+			rd.bufIn, rd.bufPart, localArg(64*rd.prec.Size()), rd.n); err != nil {
+			return nil, err
+		}
+		return &RunInfo{Kernels: []string{"red_cl", "red_combine"}},
+			launch(q, prog, "red_combine", 1, []int{1}, []int{1}, rd.bufPart, rd.bufOut, groups)
+	default:
+		if err := launch(q, prog, "red_opt", 1, []int{rd.groups * tunedWGRed}, []int{tunedWGRed},
+			rd.bufIn, rd.bufPart, localArg(tunedWGRed*rd.prec.Size()), rd.n/4); err != nil {
+			return nil, err
+		}
+		return &RunInfo{Kernels: []string{"red_opt", "red_combine"}},
+			launch(q, prog, "red_combine", 1, []int{1}, []int{1}, rd.bufPart, rd.bufOut, rd.groups)
+	}
+}
+
+func (rd *reduction) Verify(prec Precision) error {
+	got, err := readReals(rd.bufOut, prec, 1)
+	if err != nil {
+		return err
+	}
+	var want float64
+	for _, v := range rd.in {
+		want += v
+	}
+	tol := tolerance(prec)
+	if prec == F32 {
+		tol = 0.02 // different summation orders over 2M values
+	}
+	if relErr(got[0], want) > tol {
+		return errf("red: sum = %g, want %g", got[0], want)
+	}
+	return nil
+}
+
+func (rd *reduction) Supported(prec Precision, v Version) (bool, string) { return true, "" }

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"maligo/internal/cl"
+)
+
+// stencil3d is the 3D Stencil benchmark (§IV-A): each interior point
+// of the output volume is a linear combination of the corresponding
+// input point and its six axis neighbours — regular strided memory
+// accesses. Per the paper, this benchmark "does not take advantage of
+// vector instructions and limits the optimizations to work-group size
+// tuning and data reuse": the optimized kernel walks four consecutive
+// x-positions per work-item, reusing the overlapping loads in
+// registers, under a hand-tuned work-group shape.
+type stencil3d struct {
+	prec Precision
+	d    int // interior dimension; volume is (d+2)^3
+	in   []float64
+
+	bufIn  *cl.Buffer
+	bufOut *cl.Buffer
+}
+
+// NewStencil3D creates the 3dstc benchmark.
+func NewStencil3D() Benchmark { return &stencil3d{} }
+
+func (s *stencil3d) Name() string { return "3dstc" }
+
+func (s *stencil3d) Description() string {
+	return "7-point 3D stencil; regular strided accesses, work-group tuning"
+}
+
+func (s *stencil3d) Source() string {
+	return `
+#define C0 ((REAL)0.4)
+#define C1 ((REAL)0.1)
+
+// One 7-point stencil evaluation, accumulated in short statements to
+// keep the live-register window small.
+REAL stencil_at(__global const REAL* in, int idx, int s) {
+    REAL acc = C0 * in[idx];
+    acc += C1 * (in[idx - 1] + in[idx + 1]);
+    acc += C1 * (in[idx - s] + in[idx + s]);
+    acc += C1 * (in[idx - s * s] + in[idx + s * s]);
+    return acc;
+}
+
+// side = interior + 2 (halo).
+__kernel void stencil_serial(__global const REAL* in,
+                             __global REAL* out,
+                             const int d) {
+    int s = d + 2;
+    for (int z = 1; z <= d; z++) {
+        for (int y = 1; y <= d; y++) {
+            for (int x = 1; x <= d; x++) {
+                int idx = (z * s + y) * s + x;
+                out[idx] = stencil_at(in, idx, s);
+            }
+        }
+    }
+}
+
+__kernel void stencil_chunk(__global const REAL* in,
+                            __global REAL* out,
+                            const int d) {
+    int s = d + 2;
+    size_t t  = get_global_id(0);
+    size_t nt = get_global_size(0);
+    int chunk = (int)((d + (int)nt - 1) / (int)nt);
+    int zlo = 1 + (int)t * chunk;
+    int zhi = min(zlo + chunk, d + 1);
+    for (int z = zlo; z < zhi; z++) {
+        for (int y = 1; y <= d; y++) {
+            for (int x = 1; x <= d; x++) {
+                int idx = (z * s + y) * s + x;
+                out[idx] = stencil_at(in, idx, s);
+            }
+        }
+    }
+}
+
+__kernel void stencil_cl(__global const REAL* in,
+                         __global REAL* out,
+                         const int d) {
+    int s = d + 2;
+    int x = (int)get_global_id(0) + 1;
+    int y = (int)get_global_id(1) + 1;
+    int z = (int)get_global_id(2) + 1;
+    int idx = (z * s + y) * s + x;
+    out[idx] = stencil_at(in, idx, s);
+}
+
+// Optimized: 4 consecutive x-points per work-item with register reuse
+// of the overlapping x-direction loads, tuned work-group shape.
+__kernel void stencil_opt(__global const REAL* restrict in,
+                          __global REAL* restrict out,
+                          const int d) {
+    int s = d + 2;
+    int x0 = (int)get_global_id(0) * 4 + 1;
+    int y = (int)get_global_id(1) + 1;
+    int z = (int)get_global_id(2) + 1;
+    int idx = (z * s + y) * s + x0;
+    REAL left = in[idx - 1];
+    REAL cur = in[idx];
+    for (int k = 0; k < 4; k++) {
+        REAL right = in[idx + 1];
+        REAL acc = C0 * cur + C1 * (left + right);
+        acc += C1 * (in[idx - s] + in[idx + s]);
+        acc += C1 * (in[idx - s * s] + in[idx + s * s]);
+        out[idx] = acc;
+        left = cur;
+        cur = right;
+        idx++;
+    }
+}
+`
+}
+
+func (s *stencil3d) Setup(ctx *cl.Context, prec Precision, scale float64) error {
+	s.prec = prec
+	s.d = scaled(stencilDim, scale, 32, 32)
+	side := s.d + 2
+	vol := side * side * side
+	r := newRng(4)
+	s.in = make([]float64, vol)
+	for i := range s.in {
+		s.in[i] = r.float()
+	}
+	var err error
+	if s.bufIn, err = ctx.CreateBuffer(cl.MemReadOnly|cl.MemAllocHostPtr, int64(vol*prec.Size()), nil); err != nil {
+		return err
+	}
+	if s.bufOut, err = ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, int64(vol*prec.Size()), nil); err != nil {
+		return err
+	}
+	return writeReals(s.bufIn, prec, s.in)
+}
+
+func (s *stencil3d) Run(q *cl.CommandQueue, prog *cl.Program, version Version) (*RunInfo, error) {
+	args := []any{s.bufIn, s.bufOut, s.d}
+	switch version {
+	case Serial:
+		return &RunInfo{Kernels: []string{"stencil_serial"}},
+			launch(q, prog, "stencil_serial", 1, []int{1}, []int{1}, args...)
+	case OpenMP:
+		return &RunInfo{Kernels: []string{"stencil_chunk"}},
+			launch(q, prog, "stencil_chunk", 1, []int{ompChunks}, []int{1}, args...)
+	case OpenCL:
+		return &RunInfo{Kernels: []string{"stencil_cl"}},
+			launch(q, prog, "stencil_cl", 3, []int{s.d, s.d, s.d}, nil, args...)
+	default:
+		return &RunInfo{Kernels: []string{"stencil_opt"}},
+			launch(q, prog, "stencil_opt", 3, []int{s.d / 4, s.d, s.d}, []int{8, 8, 1}, args...)
+	}
+}
+
+func (s *stencil3d) Verify(prec Precision) error {
+	side := s.d + 2
+	vol := side * side * side
+	got, err := readReals(s.bufOut, prec, vol)
+	if err != nil {
+		return err
+	}
+	f32 := prec == F32
+	c0, c1 := real32(0.4, f32), real32(0.1, f32)
+	var worstErr float64
+	for z := 1; z <= s.d; z++ {
+		for y := 1; y <= s.d; y++ {
+			for x := 1; x <= s.d; x++ {
+				idx := (z*side+y)*side + x
+				want := c0*s.in[idx] + c1*(s.in[idx-1]+s.in[idx+1]+
+					s.in[idx-side]+s.in[idx+side]+
+					s.in[idx-side*side]+s.in[idx+side*side])
+				if e := relErr(got[idx], want); e > worstErr {
+					worstErr = e
+				}
+			}
+		}
+	}
+	if worstErr > tolerance(prec) {
+		return errf("3dstc: worst relative error %g exceeds %g", worstErr, tolerance(prec))
+	}
+	return nil
+}
+
+func (s *stencil3d) Supported(prec Precision, v Version) (bool, string) { return true, "" }
+
+// real32 optionally rounds a coefficient to float32 for reference
+// computation.
+func real32(v float64, f32 bool) float64 {
+	if f32 {
+		return float64(float32(v))
+	}
+	return v
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+
+	"maligo/internal/cl"
+)
+
+// vecop is the Vector Operation benchmark (§IV-A): element-wise
+// addition of two vectors. Memory-bound; it stresses the platform's
+// achievable bandwidth. The Opt version applies vectorized loads and
+// stores (vload4/vstore4) and a hand-tuned work-group size, cutting
+// both load/store-pipe slots and the number of work-items.
+type vecop struct {
+	prec Precision
+	n    int
+	a, b []float64
+	bufA *cl.Buffer
+	bufB *cl.Buffer
+	bufC *cl.Buffer
+}
+
+// NewVecop creates the vecop benchmark.
+func NewVecop() Benchmark { return &vecop{} }
+
+func (v *vecop) Name() string { return "vecop" }
+
+func (v *vecop) Description() string {
+	return "element-wise vector addition; stresses memory bandwidth"
+}
+
+func (v *vecop) Source() string {
+	return `
+// Vector Operation: c = a + b.
+
+__kernel void vecop_serial(__global const REAL* a,
+                           __global const REAL* b,
+                           __global REAL* c,
+                           const uint n) {
+    for (uint i = 0; i < n; i++) {
+        c[i] = a[i] + b[i];
+    }
+}
+
+__kernel void vecop_chunk(__global const REAL* a,
+                          __global const REAL* b,
+                          __global REAL* c,
+                          const uint n) {
+    size_t t  = get_global_id(0);
+    size_t nt = get_global_size(0);
+    uint chunk = (uint)((n + nt - 1) / nt);
+    uint lo = (uint)t * chunk;
+    uint hi = min(lo + chunk, n);
+    for (uint i = lo; i < hi; i++) {
+        c[i] = a[i] + b[i];
+    }
+}
+
+__kernel void vecop_cl(__global const REAL* a,
+                       __global const REAL* b,
+                       __global REAL* c,
+                       const uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) {
+        c[i] = a[i] + b[i];
+    }
+}
+
+__kernel void vecop_opt(__global const REAL* restrict a,
+                        __global const REAL* restrict b,
+                        __global REAL* restrict c) {
+    size_t i = get_global_id(0);
+    REAL4 va = vload4(i, a);
+    REAL4 vb = vload4(i, b);
+    vstore4(va + vb, i, c);
+}
+`
+}
+
+func (v *vecop) Setup(ctx *cl.Context, prec Precision, scale float64) error {
+	v.prec = prec
+	v.n = scaled(vecopN, scale, 1024, tunedWG1D*4)
+	r := newRng(1)
+	v.a = make([]float64, v.n)
+	v.b = make([]float64, v.n)
+	for i := 0; i < v.n; i++ {
+		v.a[i] = r.float()
+		v.b[i] = r.float()
+	}
+	size := int64(v.n * prec.Size())
+	var err error
+	if v.bufA, err = ctx.CreateBuffer(cl.MemReadOnly|cl.MemAllocHostPtr, size, nil); err != nil {
+		return err
+	}
+	if v.bufB, err = ctx.CreateBuffer(cl.MemReadOnly|cl.MemAllocHostPtr, size, nil); err != nil {
+		return err
+	}
+	if v.bufC, err = ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, size, nil); err != nil {
+		return err
+	}
+	if err := writeReals(v.bufA, prec, v.a); err != nil {
+		return err
+	}
+	return writeReals(v.bufB, prec, v.b)
+}
+
+func (v *vecop) Run(q *cl.CommandQueue, prog *cl.Program, version Version) (*RunInfo, error) {
+	switch version {
+	case Serial:
+		k, err := prog.CreateKernel("vecop_serial")
+		if err != nil {
+			return nil, err
+		}
+		if err := setArgs(k, v.bufA, v.bufB, v.bufC, int64(v.n)); err != nil {
+			return nil, err
+		}
+		if _, err := q.EnqueueNDRangeKernel(k, 1, []int{1}, []int{1}); err != nil {
+			return nil, err
+		}
+		return &RunInfo{Kernels: []string{"vecop_serial"}}, nil
+	case OpenMP:
+		k, err := prog.CreateKernel("vecop_chunk")
+		if err != nil {
+			return nil, err
+		}
+		if err := setArgs(k, v.bufA, v.bufB, v.bufC, int64(v.n)); err != nil {
+			return nil, err
+		}
+		if _, err := q.EnqueueNDRangeKernel(k, 1, []int{ompChunks}, []int{1}); err != nil {
+			return nil, err
+		}
+		return &RunInfo{Kernels: []string{"vecop_chunk"}}, nil
+	case OpenCL:
+		k, err := prog.CreateKernel("vecop_cl")
+		if err != nil {
+			return nil, err
+		}
+		if err := setArgs(k, v.bufA, v.bufB, v.bufC, int64(v.n)); err != nil {
+			return nil, err
+		}
+		if _, err := q.EnqueueNDRangeKernel(k, 1, []int{v.n}, nil); err != nil {
+			return nil, err
+		}
+		return &RunInfo{Kernels: []string{"vecop_cl"}}, nil
+	default:
+		k, err := prog.CreateKernel("vecop_opt")
+		if err != nil {
+			return nil, err
+		}
+		if err := setArgs(k, v.bufA, v.bufB, v.bufC); err != nil {
+			return nil, err
+		}
+		if _, err := q.EnqueueNDRangeKernel(k, 1, []int{v.n / 4}, []int{tunedWG1D}); err != nil {
+			return nil, err
+		}
+		return &RunInfo{Kernels: []string{"vecop_opt"}}, nil
+	}
+}
+
+func (v *vecop) Verify(prec Precision) error {
+	got, err := readReals(v.bufC, prec, v.n)
+	if err != nil {
+		return err
+	}
+	want := make([]float64, v.n)
+	for i := range want {
+		want[i] = v.a[i] + v.b[i]
+	}
+	return checkClose(got, want, tolerance(prec), "vecop c")
+}
+
+func (v *vecop) Supported(prec Precision, ver Version) (bool, string) { return true, "" }
+
+// setArgs binds positional arguments: *cl.Buffer, int64 (integer
+// scalars), float64 (float scalars) or localArg.
+func setArgs(k *cl.Kernel, args ...any) error {
+	for i, a := range args {
+		var err error
+		switch a := a.(type) {
+		case *cl.Buffer:
+			err = k.SetArgBuffer(i, a)
+		case int64:
+			err = k.SetArgInt(i, a)
+		case int:
+			err = k.SetArgInt(i, int64(a))
+		case float64:
+			err = k.SetArgFloat(i, a)
+		case localArg:
+			err = k.SetArgLocal(i, int(a))
+		default:
+			err = fmt.Errorf("setArgs: unsupported argument type %T at %d", a, i)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// localArg marks a __local pointer argument size in bytes.
+type localArg int

@@ -1,0 +1,434 @@
+// Package cl implements the host-side OpenCL-like runtime of the
+// simulated platform: contexts over the unified memory of the Exynos
+// 5250, buffer objects with USE_HOST_PTR/ALLOC_HOST_PTR semantics,
+// map/unmap zero-copy access, explicit read/write copies (with their
+// cost, so the paper's §III-A memory-mapping optimization is
+// measurable), program compilation via the clc compiler, kernels with
+// positional arguments, and in-order command queues that execute
+// NDRanges on a device model and record timing reports.
+package cl
+
+import (
+	"errors"
+	"fmt"
+
+	"maligo/internal/clc"
+	"maligo/internal/clc/ir"
+	"maligo/internal/clc/types"
+	"maligo/internal/device"
+	"maligo/internal/mem"
+	"maligo/internal/platform"
+	"maligo/internal/vm"
+)
+
+// Sentinel errors in the spirit of OpenCL status codes.
+var (
+	ErrInvalidArgIndex   = errors.New("CL_INVALID_ARG_INDEX")
+	ErrInvalidArgValue   = errors.New("CL_INVALID_ARG_VALUE")
+	ErrInvalidKernelArgs = errors.New("CL_INVALID_KERNEL_ARGS")
+	ErrInvalidBufferSize = errors.New("CL_INVALID_BUFFER_SIZE")
+	ErrBuildFailure      = errors.New("CL_BUILD_PROGRAM_FAILURE")
+	ErrKernelNotFound    = errors.New("CL_INVALID_KERNEL_NAME")
+	ErrMapFailure        = errors.New("CL_MAP_FAILURE")
+)
+
+// MemFlags mirror cl_mem_flags.
+type MemFlags uint32
+
+// Buffer creation flags.
+const (
+	MemReadWrite MemFlags = 1 << iota
+	MemReadOnly
+	MemWriteOnly
+	// MemUseHostPtr wraps host memory; on this unified-memory platform
+	// the runtime still keeps a device allocation and the benchmarks
+	// must copy explicitly (the trap §III-A describes).
+	MemUseHostPtr
+	// MemAllocHostPtr allocates host-visible device memory that can be
+	// mapped with zero copies — the recommended Mali pattern.
+	MemAllocHostPtr
+	MemCopyHostPtr
+)
+
+// Context owns the unified memory arena shared by every device.
+type Context struct {
+	arena   *mem.Arena
+	devices []device.Device
+}
+
+// DefaultArenaBytes is the simulated memory capacity (the board has
+// 2 GB; the simulator reserves less).
+const DefaultArenaBytes = 512 << 20
+
+// NewContext creates a context over the given devices.
+func NewContext(devices ...device.Device) *Context {
+	return &Context{arena: mem.NewArena(DefaultArenaBytes), devices: devices}
+}
+
+// Devices returns the context's devices.
+func (c *Context) Devices() []device.Device { return c.devices }
+
+// Arena exposes the unified memory (used by tests and examples to
+// inspect results without going through buffer reads).
+func (c *Context) Arena() *mem.Arena { return c.arena }
+
+// Buffer is a cl_mem buffer object.
+type Buffer struct {
+	ctx   *Context
+	base  int64
+	size  int64
+	flags MemFlags
+	freed bool
+}
+
+// CreateBuffer allocates a buffer of size bytes. hostData may be nil;
+// with MemCopyHostPtr or MemUseHostPtr it initializes the buffer.
+func (c *Context) CreateBuffer(flags MemFlags, size int64, hostData []byte) (*Buffer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("size %d: %w", size, ErrInvalidBufferSize)
+	}
+	if hostData != nil && int64(len(hostData)) > size {
+		return nil, fmt.Errorf("host data larger than buffer: %w", ErrInvalidBufferSize)
+	}
+	base, err := c.arena.Alloc(size, 64)
+	if err != nil {
+		return nil, err
+	}
+	b := &Buffer{ctx: c, base: base, size: size, flags: flags}
+	if hostData != nil && flags&(MemCopyHostPtr|MemUseHostPtr) != 0 {
+		dst, err := c.arena.Bytes(base, int64(len(hostData)))
+		if err != nil {
+			return nil, err
+		}
+		copy(dst, hostData)
+	}
+	return b, nil
+}
+
+// Size returns the buffer size in bytes.
+func (b *Buffer) Size() int64 { return b.size }
+
+// Base returns the buffer's offset in the unified arena.
+func (b *Buffer) Base() int64 { return b.base }
+
+// DeviceAddr returns the tagged device address of the buffer start.
+func (b *Buffer) DeviceAddr() int64 { return ir.EncodeAddr(ir.SpaceGlobal, b.base) }
+
+// Release frees the buffer.
+func (b *Buffer) Release() {
+	if !b.freed {
+		b.ctx.arena.Free(b.base)
+		b.freed = true
+	}
+}
+
+// Bytes returns the live backing slice [off, off+n) of the buffer —
+// what clEnqueueMapBuffer returns on a unified-memory system. It is
+// valid until Release.
+func (b *Buffer) Bytes(off, n int64) ([]byte, error) {
+	if off < 0 || off+n > b.size {
+		return nil, fmt.Errorf("map range [%d,%d) outside buffer of %d bytes: %w", off, off+n, b.size, ErrMapFailure)
+	}
+	return b.ctx.arena.Bytes(b.base+off, n)
+}
+
+// Program is a compiled OpenCL program.
+type Program struct {
+	ctx    *Context
+	source string
+	prog   *ir.Program
+	log    string
+}
+
+// CreateProgramWithSource mirrors clCreateProgramWithSource.
+func (c *Context) CreateProgramWithSource(source string) *Program {
+	return &Program{ctx: c, source: source}
+}
+
+// Build compiles the program with clBuildProgram-style options
+// (e.g. "-DREAL=float -DVEC=4").
+func (p *Program) Build(options string) error {
+	prog, err := clc.Compile("program.cl", p.source, options)
+	if err != nil {
+		p.log = err.Error()
+		return fmt.Errorf("%w: %v", ErrBuildFailure, err)
+	}
+	p.prog = prog
+	return nil
+}
+
+// BuildLog returns the compiler diagnostics of the last Build.
+func (p *Program) BuildLog() string { return p.log }
+
+// KernelNames lists the kernels the built program defines.
+func (p *Program) KernelNames() []string {
+	if p.prog == nil {
+		return nil
+	}
+	return p.prog.KernelNames()
+}
+
+// Kernel is a kernel object with bound arguments.
+type Kernel struct {
+	prog *Program
+	k    *ir.Kernel
+	args []vm.ArgValue
+	set  []bool
+}
+
+// CreateKernel mirrors clCreateKernel.
+func (p *Program) CreateKernel(name string) (*Kernel, error) {
+	if p.prog == nil {
+		return nil, fmt.Errorf("program not built: %w", ErrBuildFailure)
+	}
+	k := p.prog.Kernel(name)
+	if k == nil {
+		return nil, fmt.Errorf("kernel %q: %w", name, ErrKernelNotFound)
+	}
+	return &Kernel{
+		prog: p,
+		k:    k,
+		args: make([]vm.ArgValue, len(k.Params)),
+		set:  make([]bool, len(k.Params)),
+	}, nil
+}
+
+// IR exposes the lowered kernel (for tools and tests).
+func (k *Kernel) IR() *ir.Kernel { return k.k }
+
+// NumArgs returns the kernel's parameter count.
+func (k *Kernel) NumArgs() int { return len(k.k.Params) }
+
+func (k *Kernel) checkIndex(i int) error {
+	if i < 0 || i >= len(k.k.Params) {
+		return fmt.Errorf("arg %d of kernel %s (has %d): %w", i, k.k.Name, len(k.k.Params), ErrInvalidArgIndex)
+	}
+	return nil
+}
+
+// SetArgBuffer binds a buffer to a global/constant pointer parameter.
+func (k *Kernel) SetArgBuffer(i int, b *Buffer) error {
+	if err := k.checkIndex(i); err != nil {
+		return err
+	}
+	p := k.k.Params[i]
+	if p.Class != ir.ParamGlobalPtr {
+		return fmt.Errorf("arg %d of %s is %s, not a buffer pointer: %w", i, k.k.Name, p.Type, ErrInvalidArgValue)
+	}
+	k.args[i] = vm.ArgValue{Bits: b.DeviceAddr()}
+	k.set[i] = true
+	return nil
+}
+
+// SetArgLocal reserves size bytes of __local memory for parameter i
+// (clSetKernelArg with a nil pointer).
+func (k *Kernel) SetArgLocal(i int, size int) error {
+	if err := k.checkIndex(i); err != nil {
+		return err
+	}
+	p := k.k.Params[i]
+	if p.Class != ir.ParamLocalPtr {
+		return fmt.Errorf("arg %d of %s is %s, not a __local pointer: %w", i, k.k.Name, p.Type, ErrInvalidArgValue)
+	}
+	if size <= 0 {
+		return fmt.Errorf("local size %d: %w", size, ErrInvalidArgValue)
+	}
+	k.args[i] = vm.ArgValue{LocalSize: size}
+	k.set[i] = true
+	return nil
+}
+
+// SetArgInt binds an integer scalar argument.
+func (k *Kernel) SetArgInt(i int, v int64) error {
+	if err := k.checkIndex(i); err != nil {
+		return err
+	}
+	p := k.k.Params[i]
+	if p.Class != ir.ParamScalarI {
+		return fmt.Errorf("arg %d of %s is %s, not an integer scalar: %w", i, k.k.Name, p.Type, ErrInvalidArgValue)
+	}
+	k.args[i] = vm.ArgValue{Bits: v}
+	k.set[i] = true
+	return nil
+}
+
+// SetArgFloat binds a float/double scalar argument.
+func (k *Kernel) SetArgFloat(i int, v float64) error {
+	if err := k.checkIndex(i); err != nil {
+		return err
+	}
+	p := k.k.Params[i]
+	if p.Class != ir.ParamScalarF {
+		return fmt.Errorf("arg %d of %s is %s, not a float scalar: %w", i, k.k.Name, p.Type, ErrInvalidArgValue)
+	}
+	if p.Type.Base == types.Float {
+		v = float64(float32(v))
+	}
+	k.args[i] = vm.ArgValue{F: v}
+	k.set[i] = true
+	return nil
+}
+
+// Event records the outcome of one enqueued command.
+type Event struct {
+	// Kind is "ndrange", "write" or "read".
+	Kind string
+	// Report is the device report for NDRange events (nil otherwise).
+	Report *device.Report
+	// Seconds is the command duration (copies included).
+	Seconds float64
+	// Bytes moved for copy commands.
+	Bytes int64
+}
+
+// CommandQueue is an in-order queue bound to one device.
+type CommandQueue struct {
+	ctx    *Context
+	dev    device.Device
+	events []*Event
+}
+
+// CreateCommandQueue mirrors clCreateCommandQueue.
+func (c *Context) CreateCommandQueue(dev device.Device) *CommandQueue {
+	return &CommandQueue{ctx: c, dev: dev}
+}
+
+// Device returns the queue's device.
+func (q *CommandQueue) Device() device.Device { return q.dev }
+
+// Events returns all recorded events in order.
+func (q *CommandQueue) Events() []*Event { return q.events }
+
+// ResetEvents clears the recorded history (between measurement
+// regions).
+func (q *CommandQueue) ResetEvents() { q.events = nil }
+
+// memTarget adapts the context arena + a program's constant segment to
+// the VM's memory interface.
+type memTarget struct {
+	arena    *mem.Arena
+	constant []byte
+}
+
+func (t *memTarget) LoadBits(space int, off int64, size int) (uint64, error) {
+	if space == ir.SpaceConstant {
+		var v uint64
+		if off < 0 || off+int64(size) > int64(len(t.constant)) {
+			return 0, fmt.Errorf("constant segment: out-of-bounds load at %d", off)
+		}
+		for i := size - 1; i >= 0; i-- {
+			v = v<<8 | uint64(t.constant[off+int64(i)])
+		}
+		return v, nil
+	}
+	return t.arena.LoadBits(off, size)
+}
+
+func (t *memTarget) StoreBits(space int, off int64, size int, bits uint64) error {
+	if space == ir.SpaceConstant {
+		return fmt.Errorf("store to __constant memory at %d", off)
+	}
+	return t.arena.StoreBits(off, size, bits)
+}
+
+func (t *memTarget) AtomicRMW(space int, off int64, size int, fn func(uint64) uint64) (uint64, error) {
+	old, err := t.LoadBits(space, off, size)
+	if err != nil {
+		return 0, err
+	}
+	return old, t.StoreBits(space, off, size, fn(old))
+}
+
+// EnqueueNDRangeKernel launches the kernel. local may be nil to let
+// the driver pick (the paper's §III-A warns this is often slow on the
+// Mali driver). Execution is synchronous in the simulator; the
+// returned event carries the timing report.
+func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, workDim int, global, local []int) (*Event, error) {
+	for i, ok := range k.set {
+		if !ok {
+			return nil, fmt.Errorf("arg %d of kernel %s not set: %w", i, k.k.Name, ErrInvalidKernelArgs)
+		}
+	}
+	ndr := &device.NDRange{Kernel: k.k, WorkDim: workDim, Args: k.args}
+	for d := 0; d < workDim && d < 3; d++ {
+		if d < len(global) {
+			ndr.Global[d] = global[d]
+		}
+		if local != nil && d < len(local) {
+			ndr.Local[d] = local[d]
+		}
+	}
+	target := &memTarget{arena: q.ctx.arena, constant: k.prog.prog.ConstantData}
+	rep, err := q.dev.Run(ndr, target)
+	if err != nil {
+		return nil, err
+	}
+	ev := &Event{Kind: "ndrange", Report: rep, Seconds: rep.Seconds}
+	q.events = append(q.events, ev)
+	return ev, nil
+}
+
+// hostCopyBandwidth is the achievable memcpy bandwidth of one A15 core
+// (bytes/s) — the cost the paper's memory-mapping optimization avoids.
+const hostCopyBandwidth = 2.6e9
+
+// EnqueueWriteBuffer copies host data into a buffer, charging the copy
+// to the host CPU like clEnqueueWriteBuffer does.
+func (q *CommandQueue) EnqueueWriteBuffer(b *Buffer, off int64, data []byte) (*Event, error) {
+	dst, err := b.Bytes(off, int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	copy(dst, data)
+	ev := &Event{Kind: "write", Seconds: float64(len(data)) / hostCopyBandwidth, Bytes: int64(len(data))}
+	q.events = append(q.events, ev)
+	return ev, nil
+}
+
+// EnqueueReadBuffer copies buffer contents back to host memory.
+func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, off int64, data []byte) (*Event, error) {
+	src, err := b.Bytes(off, int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	copy(data, src)
+	ev := &Event{Kind: "read", Seconds: float64(len(data)) / hostCopyBandwidth, Bytes: int64(len(data))}
+	q.events = append(q.events, ev)
+	return ev, nil
+}
+
+// EnqueueMapBuffer returns a zero-copy view of the buffer — free on
+// this unified-memory platform apart from a fixed driver cost.
+func (q *CommandQueue) EnqueueMapBuffer(b *Buffer, off, n int64) ([]byte, *Event, error) {
+	view, err := b.Bytes(off, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	ev := &Event{Kind: "map", Seconds: 4e-6}
+	q.events = append(q.events, ev)
+	return view, ev, nil
+}
+
+// EnqueueUnmapMemObject releases a mapping (fixed driver cost).
+func (q *CommandQueue) EnqueueUnmapMemObject(b *Buffer) *Event {
+	ev := &Event{Kind: "unmap", Seconds: 4e-6}
+	q.events = append(q.events, ev)
+	return ev
+}
+
+// Finish drains the queue. The simulated queue executes synchronously,
+// so this only exists for API fidelity.
+func (q *CommandQueue) Finish() {}
+
+// TotalSeconds sums the duration of all recorded events.
+func (q *CommandQueue) TotalSeconds() float64 {
+	var t float64
+	for _, ev := range q.events {
+		t += ev.Seconds
+	}
+	return t
+}
+
+// GPUEnqueueOverhead re-exports the per-enqueue host overhead so the
+// harness can account host-spin power during GPU runs.
+const GPUEnqueueOverhead = platform.GPUEnqueueOverheadSec

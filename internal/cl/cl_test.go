@@ -1,0 +1,310 @@
+package cl_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"maligo/internal/cl"
+	"maligo/internal/cpu"
+	"maligo/internal/mali"
+)
+
+const testKernel = `
+__kernel void scale(__global float* x, const float k, const uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) {
+        x[i] = x[i] * k;
+    }
+}
+__kernel void withLocal(__global float* x, __local float* s) {
+    s[get_local_id(0)] = x[get_global_id(0)];
+    barrier(1);
+    x[get_global_id(0)] = s[get_local_id(0)] + 1.0f;
+}
+`
+
+func newCtx(t *testing.T) (*cl.Context, *mali.GPU) {
+	t.Helper()
+	gpu := mali.New()
+	return cl.NewContext(cpu.New(1), gpu), gpu
+}
+
+func buildProgram(t *testing.T, ctx *cl.Context) *cl.Program {
+	t.Helper()
+	prog := ctx.CreateProgramWithSource(testKernel)
+	if err := prog.Build(""); err != nil {
+		t.Fatalf("Build: %v\n%s", err, prog.BuildLog())
+	}
+	return prog
+}
+
+func TestBufferLifecycle(t *testing.T) {
+	ctx, _ := newCtx(t)
+	b, err := ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, 256, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Size() != 256 {
+		t.Errorf("Size = %d", b.Size())
+	}
+	raw, err := b.Bytes(0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] = 42
+	again, _ := b.Bytes(0, 1)
+	if again[0] != 42 {
+		t.Error("Bytes must return a live view")
+	}
+	if _, err := b.Bytes(250, 16); err == nil {
+		t.Error("out-of-range Bytes should fail")
+	}
+	b.Release()
+}
+
+func TestBufferErrors(t *testing.T) {
+	ctx, _ := newCtx(t)
+	if _, err := ctx.CreateBuffer(cl.MemReadWrite, 0, nil); !errors.Is(err, cl.ErrInvalidBufferSize) {
+		t.Errorf("zero-size error = %v", err)
+	}
+	if _, err := ctx.CreateBuffer(cl.MemReadWrite, 4, make([]byte, 8)); !errors.Is(err, cl.ErrInvalidBufferSize) {
+		t.Errorf("oversize host data error = %v", err)
+	}
+}
+
+func TestCopyHostPtr(t *testing.T) {
+	ctx, _ := newCtx(t)
+	data := []byte{1, 2, 3, 4}
+	b, err := ctx.CreateBuffer(cl.MemReadOnly|cl.MemCopyHostPtr, 4, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := b.Bytes(0, 4)
+	for i := range data {
+		if raw[i] != data[i] {
+			t.Fatalf("copy-host-ptr contents = %v", raw)
+		}
+	}
+}
+
+func TestBuildFailure(t *testing.T) {
+	ctx, _ := newCtx(t)
+	prog := ctx.CreateProgramWithSource("__kernel void broken( {")
+	err := prog.Build("")
+	if !errors.Is(err, cl.ErrBuildFailure) {
+		t.Fatalf("Build error = %v", err)
+	}
+	if prog.BuildLog() == "" {
+		t.Error("build log should carry diagnostics")
+	}
+	if _, err := prog.CreateKernel("broken"); err == nil {
+		t.Error("CreateKernel on unbuilt program should fail")
+	}
+}
+
+func TestBuildOptionsSelectTypes(t *testing.T) {
+	ctx, _ := newCtx(t)
+	prog := ctx.CreateProgramWithSource(`__kernel void k(__global REAL* p) { p[0] = (REAL)1; }`)
+	if err := prog.Build("-DREAL=double"); err != nil {
+		t.Fatalf("Build with -D: %v", err)
+	}
+	k, err := prog.CreateKernel("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.IR().UsesDouble {
+		t.Error("-DREAL=double should produce a double kernel")
+	}
+}
+
+func TestKernelNotFound(t *testing.T) {
+	ctx, _ := newCtx(t)
+	prog := buildProgram(t, ctx)
+	if _, err := prog.CreateKernel("nope"); !errors.Is(err, cl.ErrKernelNotFound) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestArgTypeChecking(t *testing.T) {
+	ctx, _ := newCtx(t)
+	prog := buildProgram(t, ctx)
+	k, _ := prog.CreateKernel("scale")
+	buf, _ := ctx.CreateBuffer(cl.MemReadWrite, 64, nil)
+
+	if err := k.SetArgInt(0, 1); !errors.Is(err, cl.ErrInvalidArgValue) {
+		t.Errorf("int into buffer slot = %v", err)
+	}
+	if err := k.SetArgBuffer(1, buf); !errors.Is(err, cl.ErrInvalidArgValue) {
+		t.Errorf("buffer into float slot = %v", err)
+	}
+	if err := k.SetArgFloat(2, 1); !errors.Is(err, cl.ErrInvalidArgValue) {
+		t.Errorf("float into uint slot = %v", err)
+	}
+	if err := k.SetArgBuffer(9, buf); !errors.Is(err, cl.ErrInvalidArgIndex) {
+		t.Errorf("index out of range = %v", err)
+	}
+	if err := k.SetArgLocal(0, 64); !errors.Is(err, cl.ErrInvalidArgValue) {
+		t.Errorf("local into buffer slot = %v", err)
+	}
+}
+
+func TestUnsetArgsRejected(t *testing.T) {
+	ctx, gpu := newCtx(t)
+	prog := buildProgram(t, ctx)
+	k, _ := prog.CreateKernel("scale")
+	q := ctx.CreateCommandQueue(gpu)
+	if _, err := q.EnqueueNDRangeKernel(k, 1, []int{16}, []int{16}); !errors.Is(err, cl.ErrInvalidKernelArgs) {
+		t.Fatalf("enqueue with unset args = %v", err)
+	}
+}
+
+func TestEndToEndScale(t *testing.T) {
+	ctx, gpu := newCtx(t)
+	prog := buildProgram(t, ctx)
+	k, _ := prog.CreateKernel("scale")
+	const n = 64
+	buf, _ := ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, n*4, nil)
+	raw, _ := buf.Bytes(0, n*4)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(float32(i)))
+	}
+	if err := k.SetArgBuffer(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgFloat(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgInt(2, n); err != nil {
+		t.Fatal(err)
+	}
+	q := ctx.CreateCommandQueue(gpu)
+	ev, err := q.EnqueueNDRangeKernel(k, 1, []int{n}, []int{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Report == nil || ev.Seconds <= 0 {
+		t.Fatal("event must carry a timing report")
+	}
+	for i := 0; i < n; i++ {
+		got := math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+		if got != float32(2*i) {
+			t.Fatalf("x[%d] = %v", i, got)
+		}
+	}
+}
+
+func TestLocalArgAndBarrierKernel(t *testing.T) {
+	ctx, gpu := newCtx(t)
+	prog := buildProgram(t, ctx)
+	k, _ := prog.CreateKernel("withLocal")
+	const n = 32
+	buf, _ := ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, n*4, nil)
+	raw, _ := buf.Bytes(0, n*4)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(float32(i)))
+	}
+	if err := k.SetArgBuffer(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgLocal(1, 16*4); err != nil {
+		t.Fatal(err)
+	}
+	q := ctx.CreateCommandQueue(gpu)
+	if _, err := q.EnqueueNDRangeKernel(k, 1, []int{n}, []int{16}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got := math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+		if got != float32(i)+1 {
+			t.Fatalf("x[%d] = %v", i, got)
+		}
+	}
+}
+
+func TestWriteReadBufferEventsCost(t *testing.T) {
+	ctx, gpu := newCtx(t)
+	buf, _ := ctx.CreateBuffer(cl.MemReadWrite, 1<<20, nil)
+	q := ctx.CreateCommandQueue(gpu)
+	data := make([]byte, 1<<20)
+	data[7] = 99
+	ev, err := q.EnqueueWriteBuffer(buf, 0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seconds <= 0 {
+		t.Error("explicit copies must cost time (the paper's §III-A point)")
+	}
+	out := make([]byte, 1<<20)
+	if _, err := q.EnqueueReadBuffer(buf, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[7] != 99 {
+		t.Error("read back wrong data")
+	}
+	// Map/unmap is the cheap path.
+	view, mapEv, err := q.EnqueueMapBuffer(buf, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view[7] != 99 {
+		t.Error("mapped view wrong")
+	}
+	if mapEv.Seconds >= ev.Seconds {
+		t.Error("mapping must be much cheaper than copying")
+	}
+	q.EnqueueUnmapMemObject(buf)
+	if got := len(q.Events()); got != 4 {
+		t.Errorf("events recorded = %d, want 4", got)
+	}
+	q.ResetEvents()
+	if len(q.Events()) != 0 {
+		t.Error("ResetEvents failed")
+	}
+}
+
+func TestDriverDefaultLocalSize(t *testing.T) {
+	ctx, gpu := newCtx(t)
+	prog := buildProgram(t, ctx)
+	k, _ := prog.CreateKernel("scale")
+	buf, _ := ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, 128*4, nil)
+	if err := k.SetArgBuffer(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgFloat(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgInt(2, 128); err != nil {
+		t.Fatal(err)
+	}
+	q := ctx.CreateCommandQueue(gpu)
+	// nil local size: the driver heuristic must pick something valid.
+	if _, err := q.EnqueueNDRangeKernel(k, 1, []int{128}, nil); err != nil {
+		t.Fatalf("driver-default local size failed: %v", err)
+	}
+}
+
+func TestInvalidWorkGroupSize(t *testing.T) {
+	ctx, gpu := newCtx(t)
+	prog := buildProgram(t, ctx)
+	k, _ := prog.CreateKernel("scale")
+	buf, _ := ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, 64, nil)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(k.SetArgBuffer(0, buf))
+	must(k.SetArgFloat(1, 1))
+	must(k.SetArgInt(2, 16))
+	q := ctx.CreateCommandQueue(gpu)
+	// 100 not divisible by 32.
+	if _, err := q.EnqueueNDRangeKernel(k, 1, []int{100}, []int{32}); err == nil {
+		t.Fatal("indivisible local size must be rejected")
+	}
+	// Work-group larger than device max (256 on Mali-T604).
+	if _, err := q.EnqueueNDRangeKernel(k, 1, []int{512}, []int{512}); err == nil {
+		t.Fatal("oversized work-group must be rejected")
+	}
+}

@@ -1,0 +1,129 @@
+package cl
+
+import (
+	"fmt"
+
+	"maligo/internal/cpu"
+	"maligo/internal/device"
+	"maligo/internal/mali"
+	"maligo/internal/platform"
+)
+
+// DeviceInfo mirrors the subset of clGetDeviceInfo the benchmarks and
+// examples need; values come from the simulated Exynos 5250 platform.
+type DeviceInfo struct {
+	Name                  string
+	Vendor                string
+	Type                  string // "gpu" or "cpu"
+	ComputeUnits          int
+	ClockHz               float64
+	MaxWorkGroupSize      int
+	GlobalMemBytes        int64
+	LocalMemBytes         int
+	FP64                  bool
+	UnifiedMemory         bool
+	MaxAllocBytes         int64
+	ProfileFullOrEmbedded string
+}
+
+// GetDeviceInfo returns the device descriptor for any of the
+// platform's devices.
+func GetDeviceInfo(d device.Device) DeviceInfo {
+	info := DeviceInfo{
+		Name:             d.Name(),
+		Vendor:           "maligo simulated ARM",
+		MaxWorkGroupSize: d.MaxWorkGroupSize(),
+		GlobalMemBytes:   DefaultArenaBytes,
+		MaxAllocBytes:    DefaultArenaBytes / 4,
+		FP64:             true,
+		UnifiedMemory:    true,
+		// The paper's whole premise: Mali-T604 is the first embedded
+		// GPU with OpenCL *Full* Profile (FP64 + IEEE-754-2008).
+		ProfileFullOrEmbedded: "FULL_PROFILE",
+	}
+	switch dev := d.(type) {
+	case *mali.GPU:
+		info.Type = "gpu"
+		info.ComputeUnits = platform.GPUCores
+		info.ClockHz = platform.GPUFreqHz
+		info.LocalMemBytes = 32 << 10
+		if !dev.FP64() {
+			info.FP64 = false
+			info.ProfileFullOrEmbedded = "EMBEDDED_PROFILE"
+		}
+	case *cpu.CPU:
+		info.Type = "cpu"
+		info.ComputeUnits = dev.Cores()
+		info.ClockHz = platform.CPUFreqHz
+		info.LocalMemBytes = 32 << 10
+	default:
+		info.Type = "custom"
+	}
+	return info
+}
+
+// KernelWorkGroupInfo mirrors clGetKernelWorkGroupInfo: per-kernel,
+// per-device launch guidance.
+type KernelWorkGroupInfo struct {
+	// WorkGroupSize is the maximum work-group size this kernel can
+	// launch with on the device.
+	WorkGroupSize int
+	// PreferredWorkGroupSizeMultiple is the scheduling granularity the
+	// device favours.
+	PreferredWorkGroupSizeMultiple int
+	// LocalMemBytes is the kernel's static __local usage.
+	LocalMemBytes int
+	// PrivateMemBytes is the kernel's per-work-item private array
+	// usage.
+	PrivateMemBytes int
+	// RegisterBytes is the estimated per-thread register demand — the
+	// quantity the Mali register budget checks (non-standard, exposed
+	// because the paper's CL_OUT_OF_RESOURCES story hinges on it).
+	RegisterBytes float64
+}
+
+// WorkGroupInfo reports launch guidance for the kernel on a device.
+func (k *Kernel) WorkGroupInfo(d device.Device) KernelWorkGroupInfo {
+	info := KernelWorkGroupInfo{
+		WorkGroupSize:                  d.MaxWorkGroupSize(),
+		PreferredWorkGroupSizeMultiple: 4,
+		LocalMemBytes:                  k.k.LocalBytes,
+		PrivateMemBytes:                k.k.PrivateBytes,
+	}
+	if _, ok := d.(*mali.GPU); ok {
+		info.RegisterBytes = mali.RegisterDemand(k.k)
+		// The Mali driver suggests multiples of four work-items
+		// (quad-scheduling granularity).
+		info.PreferredWorkGroupSizeMultiple = 4
+	} else {
+		info.PreferredWorkGroupSizeMultiple = 1
+	}
+	return info
+}
+
+// ProfilingInfo carries the clGetEventProfilingInfo-style timestamps
+// of an event, in simulated nanoseconds since queue creation.
+type ProfilingInfo struct {
+	QueuedNs int64
+	StartNs  int64
+	EndNs    int64
+}
+
+// Profiling returns the event's simulated timeline. Events execute
+// back-to-back on the in-order queue, so Queued == Start of the
+// command and End = Start + duration.
+func (q *CommandQueue) Profiling(ev *Event) (ProfilingInfo, error) {
+	var clock float64
+	for _, e := range q.events {
+		if e == ev {
+			start := int64(clock * 1e9)
+			return ProfilingInfo{
+				QueuedNs: start,
+				StartNs:  start,
+				EndNs:    start + int64(e.Seconds*1e9),
+			}, nil
+		}
+		clock += e.Seconds
+	}
+	return ProfilingInfo{}, fmt.Errorf("cl: event not found on this queue")
+}

@@ -1,0 +1,108 @@
+package cl_test
+
+import (
+	"testing"
+
+	"maligo/internal/cl"
+	"maligo/internal/cpu"
+	"maligo/internal/mali"
+	"maligo/internal/platform"
+)
+
+func TestGetDeviceInfo(t *testing.T) {
+	gpu := mali.New()
+	info := cl.GetDeviceInfo(gpu)
+	if info.Type != "gpu" || info.ComputeUnits != platform.GPUCores {
+		t.Errorf("GPU info = %+v", info)
+	}
+	if !info.FP64 || !info.UnifiedMemory || info.ProfileFullOrEmbedded != "FULL_PROFILE" {
+		t.Error("Mali-T604 must report OpenCL Full Profile with FP64 and unified memory (the paper's premise)")
+	}
+	if info.MaxWorkGroupSize != platform.GPUMaxWorkGroupSize {
+		t.Errorf("MaxWorkGroupSize = %d", info.MaxWorkGroupSize)
+	}
+
+	c := cl.GetDeviceInfo(cpu.New(2))
+	if c.Type != "cpu" || c.ComputeUnits != 2 || c.ClockHz != platform.CPUFreqHz {
+		t.Errorf("CPU info = %+v", c)
+	}
+}
+
+func TestKernelWorkGroupInfo(t *testing.T) {
+	gpu := mali.New()
+	ctx := cl.NewContext(gpu)
+	prog := ctx.CreateProgramWithSource(`
+__kernel void k(__global float* p, __local float* s) {
+    float priv[4];
+    priv[0] = p[0];
+    s[get_local_id(0)] = priv[0];
+    barrier(1);
+    __local float fixed[16];
+    fixed[0] = s[0];
+    p[0] = fixed[0];
+}`)
+	if err := prog.Build(""); err != nil {
+		t.Fatal(err)
+	}
+	k, err := prog.CreateKernel("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := k.WorkGroupInfo(gpu)
+	if info.LocalMemBytes != 16*4 {
+		t.Errorf("LocalMemBytes = %d, want 64 (static __local only)", info.LocalMemBytes)
+	}
+	if info.PrivateMemBytes != 4*4 {
+		t.Errorf("PrivateMemBytes = %d, want 16", info.PrivateMemBytes)
+	}
+	if info.RegisterBytes <= 0 {
+		t.Error("RegisterBytes must be positive on the GPU")
+	}
+	if info.PreferredWorkGroupSizeMultiple != 4 {
+		t.Errorf("preferred multiple = %d", info.PreferredWorkGroupSizeMultiple)
+	}
+}
+
+func TestEventProfiling(t *testing.T) {
+	ctx, gpu := newCtx(t)
+	prog := buildProgram(t, ctx)
+	k, _ := prog.CreateKernel("scale")
+	buf, _ := ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, 1024*4, nil)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(k.SetArgBuffer(0, buf))
+	must(k.SetArgFloat(1, 2))
+	must(k.SetArgInt(2, 1024))
+	q := ctx.CreateCommandQueue(gpu)
+	ev1, err := q.EnqueueNDRangeKernel(k, 1, []int{1024}, []int{64})
+	must(err)
+	ev2, err := q.EnqueueNDRangeKernel(k, 1, []int{1024}, []int{64})
+	must(err)
+
+	p1, err := q.Profiling(ev1)
+	must(err)
+	p2, err := q.Profiling(ev2)
+	must(err)
+	if p1.StartNs != 0 {
+		t.Errorf("first event starts at %d", p1.StartNs)
+	}
+	if p1.EndNs <= p1.StartNs {
+		t.Error("event must have positive duration")
+	}
+	if p2.StartNs != p1.EndNs {
+		t.Errorf("in-order queue: second start %d != first end %d", p2.StartNs, p1.EndNs)
+	}
+	if _, err := q.Profiling(&cl.Event{}); err == nil {
+		t.Error("unknown event must error")
+	}
+}
+
+func TestEmbeddedProfileDeviceInfo(t *testing.T) {
+	info := cl.GetDeviceInfo(mali.NewEmbeddedProfile())
+	if info.FP64 || info.ProfileFullOrEmbedded != "EMBEDDED_PROFILE" {
+		t.Errorf("embedded profile info = %+v", info)
+	}
+}

@@ -1,0 +1,370 @@
+// Package ast defines the abstract syntax tree produced by the clc
+// parser for the OpenCL C dialect.
+package ast
+
+import "maligo/internal/clc/token"
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Types as written in source. Resolution to semantic types happens in
+// package sema.
+
+// AddressSpace is an OpenCL address-space qualifier.
+type AddressSpace int
+
+// Address spaces. PrivateSpace is the default for locals and
+// parameters of non-pointer type.
+const (
+	PrivateSpace AddressSpace = iota
+	GlobalSpace
+	LocalSpace
+	ConstantSpace
+)
+
+func (s AddressSpace) String() string {
+	switch s {
+	case GlobalSpace:
+		return "__global"
+	case LocalSpace:
+		return "__local"
+	case ConstantSpace:
+		return "__constant"
+	}
+	return "__private"
+}
+
+// TypeName is a type as spelled in the source, e.g.
+// "__global const float4 *restrict".
+type TypeName struct {
+	NamePos  token.Pos
+	Space    AddressSpace
+	Const    bool
+	Restrict bool
+	Volatile bool
+	Name     string // base type or typedef name, e.g. "float4"
+	PtrDepth int    // number of '*'
+}
+
+func (t *TypeName) Pos() token.Pos { return t.NamePos }
+
+// ---------------------------------------------------------------------------
+// Expressions.
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident is a reference to a named entity.
+type Ident struct {
+	NamePos token.Pos
+	Name    string
+}
+
+// IntLit is an integer literal; Value holds the parsed value and
+// Unsigned whether a u/U suffix was present.
+type IntLit struct {
+	LitPos   token.Pos
+	Text     string
+	Value    int64
+	Unsigned bool
+	Long     bool
+}
+
+// FloatLit is a floating-point literal; IsF32 reports an f/F suffix.
+type FloatLit struct {
+	LitPos token.Pos
+	Text   string
+	Value  float64
+	IsF32  bool
+}
+
+// BinaryExpr is a binary operation X Op Y.
+type BinaryExpr struct {
+	X, Y Expr
+	Op   token.Kind
+}
+
+// UnaryExpr is a prefix unary operation: -, +, !, ~, *, & and prefix
+// ++/--.
+type UnaryExpr struct {
+	OpPos token.Pos
+	Op    token.Kind
+	X     Expr
+}
+
+// PostfixExpr is a postfix ++ or --.
+type PostfixExpr struct {
+	X  Expr
+	Op token.Kind
+}
+
+// AssignExpr is an assignment, possibly compound (+= etc.).
+type AssignExpr struct {
+	LHS Expr
+	Op  token.Kind
+	RHS Expr
+}
+
+// CondExpr is the ternary operator Cond ? Then : Else.
+type CondExpr struct {
+	Cond, Then, Else Expr
+}
+
+// CallExpr is a function or builtin call.
+type CallExpr struct {
+	Fun  *Ident
+	Args []Expr
+}
+
+// IndexExpr is X[Index].
+type IndexExpr struct {
+	X, Index Expr
+}
+
+// MemberExpr is a vector component access or swizzle, X.Sel
+// (e.g. v.x, v.s3, v.lo, v.xyzw).
+type MemberExpr struct {
+	X      Expr
+	Sel    string
+	SelPos token.Pos
+}
+
+// CastExpr is a C-style scalar cast (T)x.
+type CastExpr struct {
+	LP token.Pos
+	To *TypeName
+	X  Expr
+}
+
+// VectorLit is an OpenCL vector literal (float4)(a, b, c, d) or the
+// splat form (float4)(x).
+type VectorLit struct {
+	LP    token.Pos
+	To    *TypeName
+	Elems []Expr
+}
+
+// SizeofExpr is sizeof(T).
+type SizeofExpr struct {
+	KwPos token.Pos
+	To    *TypeName
+}
+
+// ParenExpr preserves explicit grouping (needed for faithful
+// re-printing; semantically transparent).
+type ParenExpr struct {
+	LP token.Pos
+	X  Expr
+}
+
+func (e *Ident) Pos() token.Pos       { return e.NamePos }
+func (e *IntLit) Pos() token.Pos      { return e.LitPos }
+func (e *FloatLit) Pos() token.Pos    { return e.LitPos }
+func (e *BinaryExpr) Pos() token.Pos  { return e.X.Pos() }
+func (e *UnaryExpr) Pos() token.Pos   { return e.OpPos }
+func (e *PostfixExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *AssignExpr) Pos() token.Pos  { return e.LHS.Pos() }
+func (e *CondExpr) Pos() token.Pos    { return e.Cond.Pos() }
+func (e *CallExpr) Pos() token.Pos    { return e.Fun.Pos() }
+func (e *IndexExpr) Pos() token.Pos   { return e.X.Pos() }
+func (e *MemberExpr) Pos() token.Pos  { return e.X.Pos() }
+func (e *CastExpr) Pos() token.Pos    { return e.LP }
+func (e *VectorLit) Pos() token.Pos   { return e.LP }
+func (e *SizeofExpr) Pos() token.Pos  { return e.KwPos }
+func (e *ParenExpr) Pos() token.Pos   { return e.LP }
+
+func (*Ident) exprNode()       {}
+func (*IntLit) exprNode()      {}
+func (*FloatLit) exprNode()    {}
+func (*BinaryExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()   {}
+func (*PostfixExpr) exprNode() {}
+func (*AssignExpr) exprNode()  {}
+func (*CondExpr) exprNode()    {}
+func (*CallExpr) exprNode()    {}
+func (*IndexExpr) exprNode()   {}
+func (*MemberExpr) exprNode()  {}
+func (*CastExpr) exprNode()    {}
+func (*VectorLit) exprNode()   {}
+func (*SizeofExpr) exprNode()  {}
+func (*ParenExpr) exprNode()   {}
+
+// ---------------------------------------------------------------------------
+// Statements.
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Declarator is one name in a declaration statement, with an optional
+// fixed array length and initializer.
+type Declarator struct {
+	NamePos  token.Pos
+	Name     string
+	ArrayLen Expr // nil if not an array; must be constant
+	Init     Expr // nil if none
+	PtrDepth int  // extra '*' attached to this declarator
+}
+
+// DeclStmt declares one or more variables of a common base type.
+type DeclStmt struct {
+	Type  *TypeName
+	Decls []*Declarator
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X Expr
+}
+
+// EmptyStmt is a bare semicolon.
+type EmptyStmt struct {
+	Semi token.Pos
+}
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	LB   token.Pos
+	List []Stmt
+}
+
+// IfStmt is if (Cond) Then [else Else].
+type IfStmt struct {
+	KwPos token.Pos
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // nil if absent
+}
+
+// ForStmt is for (Init; Cond; Post) Body. Init may be a DeclStmt or
+// ExprStmt; any of the three clauses may be nil.
+type ForStmt struct {
+	KwPos token.Pos
+	Init  Stmt
+	Cond  Expr
+	Post  Expr
+	Body  Stmt
+}
+
+// WhileStmt is while (Cond) Body.
+type WhileStmt struct {
+	KwPos token.Pos
+	Cond  Expr
+	Body  Stmt
+}
+
+// DoWhileStmt is do Body while (Cond);.
+type DoWhileStmt struct {
+	KwPos token.Pos
+	Body  Stmt
+	Cond  Expr
+}
+
+// ReturnStmt is return [X];.
+type ReturnStmt struct {
+	KwPos token.Pos
+	X     Expr // nil for bare return
+}
+
+// BreakStmt is break;.
+type BreakStmt struct {
+	KwPos token.Pos
+}
+
+// ContinueStmt is continue;.
+type ContinueStmt struct {
+	KwPos token.Pos
+}
+
+func (s *DeclStmt) Pos() token.Pos     { return s.Type.Pos() }
+func (s *ExprStmt) Pos() token.Pos     { return s.X.Pos() }
+func (s *EmptyStmt) Pos() token.Pos    { return s.Semi }
+func (s *BlockStmt) Pos() token.Pos    { return s.LB }
+func (s *IfStmt) Pos() token.Pos       { return s.KwPos }
+func (s *ForStmt) Pos() token.Pos      { return s.KwPos }
+func (s *WhileStmt) Pos() token.Pos    { return s.KwPos }
+func (s *DoWhileStmt) Pos() token.Pos  { return s.KwPos }
+func (s *ReturnStmt) Pos() token.Pos   { return s.KwPos }
+func (s *BreakStmt) Pos() token.Pos    { return s.KwPos }
+func (s *ContinueStmt) Pos() token.Pos { return s.KwPos }
+
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*EmptyStmt) stmtNode()    {}
+func (*BlockStmt) stmtNode()    {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// ---------------------------------------------------------------------------
+// Declarations.
+
+// Param is a function parameter.
+type Param struct {
+	Type    *TypeName
+	NamePos token.Pos
+	Name    string
+}
+
+// Pos returns the parameter's source position.
+func (p *Param) Pos() token.Pos { return p.Type.Pos() }
+
+// FuncDecl is a kernel or helper function definition.
+type FuncDecl struct {
+	KwPos    token.Pos
+	IsKernel bool
+	IsInline bool
+	Ret      *TypeName
+	Name     string
+	Params   []*Param
+	Body     *BlockStmt
+}
+
+func (d *FuncDecl) Pos() token.Pos { return d.KwPos }
+
+// TypedefDecl is `typedef <type> <name>;`.
+type TypedefDecl struct {
+	KwPos token.Pos
+	Type  *TypeName
+	Name  string
+}
+
+func (d *TypedefDecl) Pos() token.Pos { return d.KwPos }
+
+// FileVarDecl is a file-scope variable declaration; only
+// __constant variables with constant initializers are legal OpenCL,
+// which sema enforces.
+type FileVarDecl struct {
+	Type  *TypeName
+	Decls []*Declarator
+}
+
+func (d *FileVarDecl) Pos() token.Pos { return d.Type.Pos() }
+
+// Decl is implemented by all top-level declarations.
+type Decl interface {
+	Node
+	declNode()
+}
+
+func (*FuncDecl) declNode()    {}
+func (*TypedefDecl) declNode() {}
+func (*FileVarDecl) declNode() {}
+
+// File is a parsed compilation unit.
+type File struct {
+	Name  string
+	Decls []Decl
+}

@@ -1,0 +1,235 @@
+// Package builtin enumerates the OpenCL C built-in functions known to
+// the clc compiler and the VM. The set covers work-item queries,
+// synchronization, math, common integer/geometric functions, vector
+// load/store, and atomics — everything used by the benchmark kernels
+// plus room for user kernels.
+package builtin
+
+// ID identifies a built-in function.
+type ID int
+
+// Built-in function IDs.
+const (
+	Invalid ID = iota
+
+	// Work-item functions.
+	GetWorkDim
+	GetGlobalID
+	GetLocalID
+	GetGroupID
+	GetGlobalSize
+	GetLocalSize
+	GetNumGroups
+	GetGlobalOffset
+
+	// Synchronization.
+	Barrier
+	MemFence
+
+	// Math (element-wise on scalars and vectors).
+	Sqrt
+	Rsqrt
+	Cbrt
+	Exp
+	Exp2
+	Log
+	Log2
+	Sin
+	Cos
+	Tan
+	Fabs
+	Floor
+	Ceil
+	Round
+	Trunc
+	Pow
+	Hypot
+	Fmin
+	Fmax
+	Fmod
+	Fma
+	Mad
+	NativeSin
+	NativeCos
+	NativeExp
+	NativeLog
+	NativeSqrt
+	NativeRsqrt
+	NativeRecip
+	NativeDivide
+
+	// Common/integer functions.
+	MinF // fmin-like via min() on floats
+	Min
+	Max
+	Abs
+	Clamp
+	Mix
+	Step
+	Select
+
+	// Geometric.
+	Dot
+	Length
+	Distance
+	Normalize
+
+	// Vector data (handled specially by the code generator; listed so
+	// sema can recognize the names).
+	Vload2
+	Vload3
+	Vload4
+	Vload8
+	Vload16
+	Vstore2
+	Vstore3
+	Vstore4
+	Vstore8
+	Vstore16
+
+	// Atomics (global and local int/uint, per OpenCL 1.1 + Mali HW).
+	AtomicAdd
+	AtomicSub
+	AtomicInc
+	AtomicDec
+	AtomicXchg
+	AtomicMin
+	AtomicMax
+	AtomicAnd
+	AtomicOr
+	AtomicXor
+	AtomicCmpXchg
+
+	numIDs
+)
+
+// names maps source spellings to IDs. Conversions (convert_<type>) and
+// as_<type> reinterpret casts are recognized by prefix in sema, not
+// listed here.
+var names = map[string]ID{
+	"get_work_dim":      GetWorkDim,
+	"get_global_id":     GetGlobalID,
+	"get_local_id":      GetLocalID,
+	"get_group_id":      GetGroupID,
+	"get_global_size":   GetGlobalSize,
+	"get_local_size":    GetLocalSize,
+	"get_num_groups":    GetNumGroups,
+	"get_global_offset": GetGlobalOffset,
+
+	"barrier":   Barrier,
+	"mem_fence": MemFence,
+
+	"sqrt": Sqrt, "rsqrt": Rsqrt, "cbrt": Cbrt,
+	"exp": Exp, "exp2": Exp2, "log": Log, "log2": Log2,
+	"sin": Sin, "cos": Cos, "tan": Tan,
+	"fabs": Fabs, "floor": Floor, "ceil": Ceil, "round": Round, "trunc": Trunc,
+	"pow": Pow, "hypot": Hypot,
+	"fmin": Fmin, "fmax": Fmax, "fmod": Fmod,
+	"fma": Fma, "mad": Mad,
+	"native_sin": NativeSin, "native_cos": NativeCos,
+	"native_exp": NativeExp, "native_log": NativeLog,
+	"native_sqrt": NativeSqrt, "native_rsqrt": NativeRsqrt,
+	"native_recip": NativeRecip, "native_divide": NativeDivide,
+
+	"min": Min, "max": Max, "abs": Abs,
+	"clamp": Clamp, "mix": Mix, "step": Step, "select": Select,
+
+	"dot": Dot, "length": Length, "distance": Distance, "normalize": Normalize,
+
+	"vload2": Vload2, "vload3": Vload3, "vload4": Vload4, "vload8": Vload8, "vload16": Vload16,
+	"vstore2": Vstore2, "vstore3": Vstore3, "vstore4": Vstore4, "vstore8": Vstore8, "vstore16": Vstore16,
+
+	"atomic_add": AtomicAdd, "atom_add": AtomicAdd,
+	"atomic_sub": AtomicSub, "atom_sub": AtomicSub,
+	"atomic_inc": AtomicInc, "atom_inc": AtomicInc,
+	"atomic_dec": AtomicDec, "atom_dec": AtomicDec,
+	"atomic_xchg": AtomicXchg, "atom_xchg": AtomicXchg,
+	"atomic_min": AtomicMin, "atom_min": AtomicMin,
+	"atomic_max": AtomicMax, "atom_max": AtomicMax,
+	"atomic_and": AtomicAnd, "atom_and": AtomicAnd,
+	"atomic_or": AtomicOr, "atom_or": AtomicOr,
+	"atomic_xor": AtomicXor, "atom_xor": AtomicXor,
+	"atomic_cmpxchg": AtomicCmpXchg, "atom_cmpxchg": AtomicCmpXchg,
+}
+
+var idNames = func() map[ID]string {
+	m := make(map[ID]string, numIDs)
+	for n, id := range names {
+		if _, ok := m[id]; !ok {
+			m[id] = n
+		}
+	}
+	return m
+}()
+
+// Lookup resolves a function name to a builtin ID; Invalid if unknown.
+func Lookup(name string) ID { return names[name] }
+
+// String returns the canonical source spelling of the builtin.
+func (id ID) String() string {
+	if n, ok := idNames[id]; ok {
+		return n
+	}
+	return "builtin(?)"
+}
+
+// IsWorkItemQuery reports whether the builtin reads the work-item
+// coordinate state (and therefore takes a dimension argument).
+func (id ID) IsWorkItemQuery() bool {
+	switch id {
+	case GetGlobalID, GetLocalID, GetGroupID, GetGlobalSize, GetLocalSize, GetNumGroups, GetGlobalOffset:
+		return true
+	}
+	return false
+}
+
+// IsAtomic reports whether the builtin is an atomic memory operation.
+func (id ID) IsAtomic() bool { return id >= AtomicAdd && id <= AtomicCmpXchg }
+
+// IsVload reports whether the builtin is a vector load, returning its
+// width.
+func (id ID) IsVload() (int, bool) {
+	switch id {
+	case Vload2:
+		return 2, true
+	case Vload3:
+		return 3, true
+	case Vload4:
+		return 4, true
+	case Vload8:
+		return 8, true
+	case Vload16:
+		return 16, true
+	}
+	return 0, false
+}
+
+// IsVstore reports whether the builtin is a vector store, returning
+// its width.
+func (id ID) IsVstore() (int, bool) {
+	switch id {
+	case Vstore2:
+		return 2, true
+	case Vstore3:
+		return 3, true
+	case Vstore4:
+		return 4, true
+	case Vstore8:
+		return 8, true
+	case Vstore16:
+		return 16, true
+	}
+	return 0, false
+}
+
+// IsTranscendental reports whether the builtin maps to the long-latency
+// transcendental unit in the device timing models.
+func (id ID) IsTranscendental() bool {
+	switch id {
+	case Sqrt, Rsqrt, Cbrt, Exp, Exp2, Log, Log2, Sin, Cos, Tan, Pow, Hypot,
+		NativeSin, NativeCos, NativeExp, NativeLog, NativeSqrt, NativeRsqrt,
+		NativeRecip, NativeDivide, Length, Distance, Normalize:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,82 @@
+package builtin
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	cases := map[string]ID{
+		"get_global_id": GetGlobalID,
+		"barrier":       Barrier,
+		"sqrt":          Sqrt,
+		"rsqrt":         Rsqrt,
+		"mad":           Mad,
+		"vload4":        Vload4,
+		"vstore16":      Vstore16,
+		"atomic_add":    AtomicAdd,
+		"atom_add":      AtomicAdd, // 1.0 spelling
+		"dot":           Dot,
+		"nonsense":      Invalid,
+		"convert_float": Invalid, // conversions resolved by prefix in sema
+	}
+	for name, want := range cases {
+		if got := Lookup(name); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	for _, id := range []ID{GetGlobalID, GetLocalID, GetGroupID, GetGlobalSize, GetLocalSize, GetNumGroups} {
+		if !id.IsWorkItemQuery() {
+			t.Errorf("%v should be a work-item query", id)
+		}
+	}
+	if Barrier.IsWorkItemQuery() || Sqrt.IsWorkItemQuery() {
+		t.Error("misclassified work-item query")
+	}
+	for _, id := range []ID{AtomicAdd, AtomicSub, AtomicInc, AtomicDec, AtomicXchg, AtomicMin, AtomicMax, AtomicAnd, AtomicOr, AtomicXor, AtomicCmpXchg} {
+		if !id.IsAtomic() {
+			t.Errorf("%v should be atomic", id)
+		}
+	}
+	if Mad.IsAtomic() {
+		t.Error("mad is not atomic")
+	}
+	for _, id := range []ID{Sqrt, Rsqrt, Exp, Log, Sin, Cos, Pow, NativeSqrt, Length, Normalize} {
+		if !id.IsTranscendental() {
+			t.Errorf("%v should be transcendental", id)
+		}
+	}
+	if Fabs.IsTranscendental() || Mad.IsTranscendental() {
+		t.Error("cheap ops misclassified as transcendental")
+	}
+}
+
+func TestVloadVstoreWidths(t *testing.T) {
+	vl := map[ID]int{Vload2: 2, Vload3: 3, Vload4: 4, Vload8: 8, Vload16: 16}
+	for id, want := range vl {
+		if w, ok := id.IsVload(); !ok || w != want {
+			t.Errorf("%v IsVload = %d,%v", id, w, ok)
+		}
+		if _, ok := id.IsVstore(); ok {
+			t.Errorf("%v should not be a vstore", id)
+		}
+	}
+	vs := map[ID]int{Vstore2: 2, Vstore3: 3, Vstore4: 4, Vstore8: 8, Vstore16: 16}
+	for id, want := range vs {
+		if w, ok := id.IsVstore(); !ok || w != want {
+			t.Errorf("%v IsVstore = %d,%v", id, w, ok)
+		}
+	}
+	if _, ok := Sqrt.IsVload(); ok {
+		t.Error("sqrt is not a vload")
+	}
+}
+
+func TestString(t *testing.T) {
+	if GetGlobalID.String() != "get_global_id" {
+		t.Errorf("String() = %q", GetGlobalID.String())
+	}
+	if ID(9999).String() != "builtin(?)" {
+		t.Errorf("unknown id String() = %q", ID(9999).String())
+	}
+}

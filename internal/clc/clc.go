@@ -1,0 +1,62 @@
+// Package clc is the driver for the OpenCL C kernel compiler: it runs
+// the preprocessor, parser, semantic analyzer and IR lowering in
+// sequence, mirroring what clBuildProgram does inside a real OpenCL
+// driver.
+package clc
+
+import (
+	"maligo/internal/clc/ir"
+	"maligo/internal/clc/parser"
+	"maligo/internal/clc/preproc"
+	"maligo/internal/clc/sema"
+)
+
+// predefined are the macros every compilation sees, matching the
+// OpenCL C environment of the simulated platform.
+var predefined = map[string]string{
+	"__OPENCL_VERSION__":        "110",
+	"CL_VERSION_1_0":            "100",
+	"CL_VERSION_1_1":            "110",
+	"__ENDIAN_LITTLE__":         "1",
+	"__kernel_exec":             "",
+	"CLK_LOCAL_MEM_FENCE":       "1",
+	"CLK_GLOBAL_MEM_FENCE":      "2",
+	"MAXFLOAT":                  "3.402823466e+38f",
+	"HUGE_VALF":                 "3.402823466e+38f",
+	"FLT_EPSILON":               "1.19209290e-7f",
+	"DBL_EPSILON":               "2.2204460492503131e-16",
+	"M_PI":                      "3.14159265358979323846",
+	"M_PI_F":                    "3.14159274101257f",
+	"M_E":                       "2.71828182845904523536",
+	"cl_khr_fp64":               "1",
+	"cl_khr_int64_base_atomics": "1",
+}
+
+// Compile builds OpenCL C source into an executable IR program.
+// options is a clBuildProgram-style option string ("-DREAL=float ...").
+func Compile(name, src, options string) (*ir.Program, error) {
+	defs := preproc.ParseOptions(options)
+	for k, v := range predefined {
+		if _, user := defs[k]; !user {
+			defs[k] = v
+		}
+	}
+	expanded, err := preproc.Process(src, defs)
+	if err != nil {
+		return nil, err
+	}
+	file, err := parser.Parse(name, expanded)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sema.Check(file)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := ir.Lower(res)
+	if err != nil {
+		return nil, err
+	}
+	prog.Source = expanded
+	return prog, nil
+}

@@ -1,0 +1,90 @@
+package clc_test
+
+import (
+	"strings"
+	"testing"
+
+	"maligo/internal/clc"
+)
+
+func TestPredefinedMacros(t *testing.T) {
+	// CLK_* fence flags and __OPENCL_VERSION__ must be available
+	// without user definitions, as in a real driver.
+	src := `
+#if __OPENCL_VERSION__
+__kernel void k(__global float* p, __local float* s) {
+    s[get_local_id(0)] = p[0];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    p[0] = s[0] + M_PI_F;
+}
+#endif
+`
+	prog, err := clc.Compile("predef.cl", src, "")
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if prog.Kernel("k") == nil {
+		t.Fatal("kernel missing — #if __OPENCL_VERSION__ branch not taken?")
+	}
+}
+
+func TestBuildOptionsOverridePredefined(t *testing.T) {
+	src := `
+__kernel void k(__global float* p) {
+    p[0] = (float)VALUE;
+}
+`
+	if _, err := clc.Compile("opts.cl", src, "-DVALUE=3"); err != nil {
+		t.Fatalf("Compile with -D: %v", err)
+	}
+	if _, err := clc.Compile("opts.cl", src, ""); err == nil {
+		t.Fatal("VALUE undefined should fail to compile")
+	}
+}
+
+func TestPrecisionSelectionViaReal(t *testing.T) {
+	src := `
+__kernel void k(__global REAL* p) {
+#ifdef FP64
+    p[0] = (REAL)1.0;
+#else
+    p[0] = (REAL)1.0f;
+#endif
+}
+`
+	f32, err := clc.Compile("r.cl", src, "-DREAL=float -DFP32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f64, err := clc.Compile("r.cl", src, "-DREAL=double -DFP64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f32.Kernel("k").UsesDouble {
+		t.Error("float build marked as double")
+	}
+	if !f64.Kernel("k").UsesDouble {
+		t.Error("double build not marked as double")
+	}
+}
+
+func TestErrorsCarryPositions(t *testing.T) {
+	src := "__kernel void k(__global float* p) {\n    p[0] = undefined_var;\n}\n"
+	_, err := clc.Compile("pos.cl", src, "")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error %q should carry line 2", err)
+	}
+}
+
+func TestSourceRetained(t *testing.T) {
+	prog, err := clc.Compile("s.cl", "#define X 1\n__kernel void k(__global int* p) { p[0] = X; }", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.Source, "p[0] = 1") {
+		t.Errorf("preprocessed source not retained: %q", prog.Source)
+	}
+}

@@ -1,0 +1,28 @@
+package ir
+
+// Simulated 64-bit virtual addresses carry their address space in the
+// top two bits, mirroring how the Mali MMU model distinguishes the
+// global heap, work-group local memory, the constant segment and
+// per-work-item private arenas.
+
+// Address space tags.
+const (
+	SpaceGlobal   = 0
+	SpaceLocal    = 1
+	SpaceConstant = 2
+	SpacePrivate  = 3
+
+	spaceShift = 62
+	// OffsetMask extracts the in-space byte offset.
+	OffsetMask = (int64(1) << spaceShift) - 1
+)
+
+// EncodeAddr builds a tagged simulated address.
+func EncodeAddr(space int, offset int64) int64 {
+	return int64(space)<<spaceShift | (offset & OffsetMask)
+}
+
+// DecodeAddr splits a tagged simulated address.
+func DecodeAddr(addr int64) (space int, offset int64) {
+	return int(uint64(addr) >> spaceShift), addr & OffsetMask
+}

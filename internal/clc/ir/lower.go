@@ -1,0 +1,655 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+
+	"maligo/internal/clc/ast"
+	"maligo/internal/clc/sema"
+	"maligo/internal/clc/token"
+	"maligo/internal/clc/types"
+)
+
+// LowerError is an error produced during lowering.
+type LowerError struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *LowerError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lower translates a semantically-checked translation unit into a
+// Program of executable kernels. All user helper calls are inlined.
+func Lower(res *sema.Result) (*Program, error) {
+	prog := &Program{Kernels: make(map[string]*Kernel)}
+
+	// Lay out file-scope __constant data.
+	constOffsets := make(map[*sema.Symbol]int64)
+	var constData []byte
+	for _, fn := range res.Kernels {
+		_ = fn
+	}
+	constData, constOffsets = layoutConstants(res)
+	prog.ConstantData = constData
+
+	for _, fn := range res.Kernels {
+		lw := &lowerer{res: res, constOffsets: constOffsets}
+		k, err := lw.lowerKernel(fn)
+		if err != nil {
+			return nil, err
+		}
+		Optimize(k)
+		prog.Kernels[k.Name] = k
+	}
+	return prog, nil
+}
+
+// layoutConstants assigns each file-scope __constant symbol an offset
+// in the constant segment and serializes initializers.
+func layoutConstants(res *sema.Result) ([]byte, map[*sema.Symbol]int64) {
+	offsets := make(map[*sema.Symbol]int64)
+	var data []byte
+	align := func(n int) {
+		for len(data)%n != 0 {
+			data = append(data, 0)
+		}
+	}
+	put := func(t *types.Type, v float64) {
+		switch t.Base {
+		case types.Float:
+			bits := math.Float32bits(float32(v))
+			data = append(data, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24))
+		case types.Double:
+			bits := math.Float64bits(v)
+			for s := 0; s < 64; s += 8 {
+				data = append(data, byte(bits>>uint(s)))
+			}
+		default:
+			iv := uint64(int64(v))
+			for s := 0; s < t.Base.Size()*8; s += 8 {
+				data = append(data, byte(iv>>uint(s)))
+			}
+		}
+	}
+	for _, ident := range sortedFileVarSyms(res) {
+		sym := ident
+		init, _ := res.FileVarInit(sym)
+		align(sym.Type.Align())
+		offsets[sym] = int64(len(data))
+		n := sym.ArrayLen
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			v := 0.0
+			if i < len(init) {
+				v = init[i]
+			}
+			put(sym.Type, v)
+		}
+	}
+	return data, offsets
+}
+
+func sortedFileVarSyms(res *sema.Result) []*sema.Symbol {
+	var syms []*sema.Symbol
+	for _, fv := range res.FileVars {
+		syms = append(syms, fv.Sym)
+	}
+	return syms
+}
+
+// --- register model ----------------------------------------------------------
+
+type bank int
+
+const (
+	bi bank = iota // int64 bank
+	bf             // float64 bank
+)
+
+// reg is a virtual register: width consecutive slots in a bank.
+type reg struct {
+	bank  bank
+	slot  int32
+	width int
+	base  types.Base
+}
+
+func (r reg) valid() bool { return r.width > 0 }
+
+// lvalue is an assignable location: either a register-resident
+// variable or a memory address held in an integer register.
+type lvalue struct {
+	isReg bool
+	r     reg   // register form
+	lanes []int // register-lane swizzle, nil = whole register
+	addr  reg   // memory form: scalar I reg holding the address
+	elem  *types.Type
+}
+
+type storage struct {
+	r       reg   // register-resident variable
+	memAddr int64 // arrays: encoded base address constant
+	isArray bool
+}
+
+type inlineFrame struct {
+	retReg     reg
+	retVoid    bool
+	endPatches []int
+}
+
+type loopFrame struct {
+	breakPatches    []int
+	continuePatches []int
+}
+
+type lowerer struct {
+	res          *sema.Result
+	constOffsets map[*sema.Symbol]int64
+
+	k            *Kernel
+	code         []Instr
+	numI         int
+	numF         int
+	maxI         int // frame high-water marks (temps are reclaimed at
+	maxF         int // statement boundaries, so numI/numF can shrink)
+	permI        int // floor below which slots belong to named variables
+	permF        int
+	curRegBytes  int
+	permRegBytes int
+	maxRegBytes  int
+	vars         []map[*sema.Symbol]storage
+	inl          []inlineFrame
+	loops        []loopFrame
+	locOff       int
+	prvOff       int
+	err          error
+}
+
+func (lw *lowerer) fail(pos token.Pos, format string, args ...any) {
+	if lw.err == nil {
+		lw.err = &LowerError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	}
+}
+
+func (lw *lowerer) alloc(t *types.Type) reg {
+	w := t.Width
+	if w == 0 {
+		w = 1
+	}
+	base := t.Base
+	if t.IsPointer() {
+		base = types.ULong
+	}
+	lw.curRegBytes += w * base.Size()
+	if lw.curRegBytes > lw.maxRegBytes {
+		lw.maxRegBytes = lw.curRegBytes
+	}
+	if base.IsFloat() {
+		r := reg{bank: bf, slot: int32(lw.numF), width: w, base: base}
+		lw.numF += w
+		if lw.numF > lw.maxF {
+			lw.maxF = lw.numF
+		}
+		if base == types.Double {
+			lw.k.UsesDouble = true
+		}
+		if w > lw.k.MaxVectorWidth {
+			lw.k.MaxVectorWidth = w
+		}
+		return r
+	}
+	r := reg{bank: bi, slot: int32(lw.numI), width: w, base: base}
+	lw.numI += w
+	if lw.numI > lw.maxI {
+		lw.maxI = lw.numI
+	}
+	if w > lw.k.MaxVectorWidth {
+		lw.k.MaxVectorWidth = w
+	}
+	return r
+}
+
+func (lw *lowerer) emit(in Instr) int {
+	lw.code = append(lw.code, in)
+	return len(lw.code) - 1
+}
+
+func (lw *lowerer) here() int64 { return int64(len(lw.code)) }
+
+func (lw *lowerer) patch(idx int, target int64) { lw.code[idx].Imm = target }
+
+func (lw *lowerer) pushScope() { lw.vars = append(lw.vars, make(map[*sema.Symbol]storage)) }
+func (lw *lowerer) popScope()  { lw.vars = lw.vars[:len(lw.vars)-1] }
+
+func (lw *lowerer) bind(sym *sema.Symbol, st storage) {
+	lw.vars[len(lw.vars)-1][sym] = st
+	if !st.isArray {
+		// Named variables pin their slots: the statement-boundary
+		// temp reclamation must not descend below them.
+		end := int(st.r.slot) + st.r.width
+		if st.r.bank == bi {
+			if end > lw.permI {
+				lw.permI = end
+			}
+		} else {
+			if end > lw.permF {
+				lw.permF = end
+			}
+		}
+		if lw.curRegBytes > lw.permRegBytes {
+			lw.permRegBytes = lw.curRegBytes
+		}
+	}
+}
+
+func (lw *lowerer) lookup(sym *sema.Symbol) (storage, bool) {
+	for i := len(lw.vars) - 1; i >= 0; i-- {
+		if st, ok := lw.vars[i][sym]; ok {
+			return st, true
+		}
+	}
+	return storage{}, false
+}
+
+// --- kernel lowering ---------------------------------------------------------
+
+func (lw *lowerer) lowerKernel(fn *ast.FuncDecl) (*Kernel, error) {
+	lw.k = &Kernel{Name: fn.Name, MaxVectorWidth: 1}
+	lw.pushScope()
+	for _, p := range fn.Params {
+		pt := lw.res.ParamTypes[p]
+		r := lw.alloc(pt)
+		param := Param{Name: p.Name, Type: pt, Slot: r.slot}
+		switch {
+		case pt.IsPointer() && pt.Space == ast.LocalSpace:
+			param.Class = ParamLocalPtr
+			param.Space = ast.LocalSpace
+		case pt.IsPointer():
+			param.Class = ParamGlobalPtr
+			param.Space = pt.Space
+			if pt.Restrict {
+				lw.k.RestrictParams++
+			}
+			if pt.Const || pt.Space == ast.ConstantSpace {
+				lw.k.ConstParams++
+			}
+		case pt.Base.IsFloat():
+			param.Class = ParamScalarF
+		default:
+			param.Class = ParamScalarI
+		}
+		lw.k.Params = append(lw.k.Params, param)
+		sym := lw.symbolForParam(fn, p)
+		if sym != nil {
+			lw.bind(sym, storage{r: r})
+		}
+	}
+	lw.genBlock(fn.Body)
+	lw.emit(Instr{Op: Ret})
+	lw.popScope()
+	if lw.err != nil {
+		return nil, lw.err
+	}
+	lw.k.Code = lw.code
+	lw.k.NumI = lw.maxI
+	lw.k.NumF = lw.maxF
+	lw.k.RegBytes = lw.maxRegBytes
+	lw.k.LocalBytes = lw.locOff
+	lw.k.PrivateBytes = lw.prvOff
+	return lw.k, nil
+}
+
+// symbolForParam finds the sema Symbol bound to a function parameter by
+// scanning the body for the first resolved identifier referring to it.
+func (lw *lowerer) symbolForParam(fn *ast.FuncDecl, p *ast.Param) *sema.Symbol {
+	var found *sema.Symbol
+	walkIdents(fn.Body, func(id *ast.Ident) {
+		if found != nil {
+			return
+		}
+		if sym := lw.res.Syms[id]; sym != nil && sym.Decl == ast.Node(p) {
+			found = sym
+		}
+	})
+	return found
+}
+
+func walkIdents(n ast.Node, fn func(*ast.Ident)) {
+	switch n := n.(type) {
+	case nil:
+	case *ast.Ident:
+		fn(n)
+	case *ast.BlockStmt:
+		for _, s := range n.List {
+			walkIdents(s, fn)
+		}
+	case *ast.DeclStmt:
+		for _, d := range n.Decls {
+			walkIdents(d.Init, fn)
+			walkIdents(d.ArrayLen, fn)
+		}
+	case *ast.ExprStmt:
+		walkIdents(n.X, fn)
+	case *ast.IfStmt:
+		walkIdents(n.Cond, fn)
+		walkIdents(n.Then, fn)
+		walkIdents(n.Else, fn)
+	case *ast.ForStmt:
+		walkIdents(n.Init, fn)
+		walkIdents(n.Cond, fn)
+		walkIdents(n.Post, fn)
+		walkIdents(n.Body, fn)
+	case *ast.WhileStmt:
+		walkIdents(n.Cond, fn)
+		walkIdents(n.Body, fn)
+	case *ast.DoWhileStmt:
+		walkIdents(n.Body, fn)
+		walkIdents(n.Cond, fn)
+	case *ast.ReturnStmt:
+		walkIdents(n.X, fn)
+	case *ast.BinaryExpr:
+		walkIdents(n.X, fn)
+		walkIdents(n.Y, fn)
+	case *ast.UnaryExpr:
+		walkIdents(n.X, fn)
+	case *ast.PostfixExpr:
+		walkIdents(n.X, fn)
+	case *ast.AssignExpr:
+		walkIdents(n.LHS, fn)
+		walkIdents(n.RHS, fn)
+	case *ast.CondExpr:
+		walkIdents(n.Cond, fn)
+		walkIdents(n.Then, fn)
+		walkIdents(n.Else, fn)
+	case *ast.CallExpr:
+		for _, a := range n.Args {
+			walkIdents(a, fn)
+		}
+	case *ast.IndexExpr:
+		walkIdents(n.X, fn)
+		walkIdents(n.Index, fn)
+	case *ast.MemberExpr:
+		walkIdents(n.X, fn)
+	case *ast.CastExpr:
+		walkIdents(n.X, fn)
+	case *ast.VectorLit:
+		for _, el := range n.Elems {
+			walkIdents(el, fn)
+		}
+	case *ast.ParenExpr:
+		walkIdents(n.X, fn)
+	}
+}
+
+// --- statements --------------------------------------------------------------
+
+func (lw *lowerer) genBlock(b *ast.BlockStmt) {
+	lw.pushScope()
+	for _, s := range b.List {
+		if lw.err != nil {
+			return
+		}
+		lw.genStmt(s)
+	}
+	lw.popScope()
+}
+
+// genStmt lowers one statement. Expression temporaries allocated
+// while lowering it are reclaimed afterwards (a simple region-based
+// register allocator): named variables raise the permanent floor via
+// bind, everything above it is reusable by the next statement. This
+// keeps frames small and makes RegBytes a live-pressure estimate the
+// Mali register-budget model can use.
+func (lw *lowerer) genStmt(s ast.Stmt) {
+	i0, f0, b0 := lw.numI, lw.numF, lw.curRegBytes
+	lw.genStmtInner(s)
+	if lw.permI > i0 {
+		i0 = lw.permI
+	}
+	if lw.permF > f0 {
+		f0 = lw.permF
+	}
+	if lw.permRegBytes > b0 {
+		b0 = lw.permRegBytes
+	}
+	lw.numI, lw.numF, lw.curRegBytes = i0, f0, b0
+}
+
+func (lw *lowerer) genStmtInner(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		lw.genBlock(s)
+	case *ast.EmptyStmt:
+	case *ast.DeclStmt:
+		lw.genDecl(s)
+	case *ast.ExprStmt:
+		lw.genExpr(s.X)
+	case *ast.IfStmt:
+		lw.genIf(s)
+	case *ast.ForStmt:
+		lw.genFor(s)
+	case *ast.WhileStmt:
+		lw.genWhile(s)
+	case *ast.DoWhileStmt:
+		lw.genDoWhile(s)
+	case *ast.ReturnStmt:
+		lw.genReturn(s)
+	case *ast.BreakStmt:
+		if len(lw.loops) == 0 {
+			lw.fail(s.Pos(), "break outside loop")
+			return
+		}
+		idx := lw.emit(Instr{Op: Jmp})
+		top := &lw.loops[len(lw.loops)-1]
+		top.breakPatches = append(top.breakPatches, idx)
+	case *ast.ContinueStmt:
+		if len(lw.loops) == 0 {
+			lw.fail(s.Pos(), "continue outside loop")
+			return
+		}
+		idx := lw.emit(Instr{Op: Jmp})
+		top := &lw.loops[len(lw.loops)-1]
+		top.continuePatches = append(top.continuePatches, idx)
+	default:
+		lw.fail(s.Pos(), "unsupported statement in lowering")
+	}
+}
+
+func (lw *lowerer) genDecl(s *ast.DeclStmt) {
+	for _, dec := range s.Decls {
+		sym := lw.symbolForDecl(s, dec)
+		if sym == nil {
+			// Unreferenced variable: still evaluate initializer for
+			// side effects.
+			if dec.Init != nil {
+				lw.genExpr(dec.Init)
+			}
+			continue
+		}
+		if sym.Kind == sema.SymArray {
+			size := sym.ArrayLen * sym.Type.Size()
+			var addr int64
+			if sym.Space == ast.LocalSpace {
+				lw.locOff = alignUp(lw.locOff, sym.Type.Align())
+				addr = EncodeAddr(SpaceLocal, int64(lw.locOff))
+				lw.locOff += size
+			} else {
+				lw.prvOff = alignUp(lw.prvOff, sym.Type.Align())
+				addr = EncodeAddr(SpacePrivate, int64(lw.prvOff))
+				lw.prvOff += size
+			}
+			lw.bind(sym, storage{memAddr: addr, isArray: true})
+			continue
+		}
+		r := lw.alloc(sym.Type)
+		lw.bind(sym, storage{r: r})
+		if dec.Init != nil {
+			v := lw.genExpr(dec.Init)
+			if lw.err != nil {
+				return
+			}
+			v = lw.convert(v, lw.res.Types[dec.Init], sym.Type, dec.Init.Pos())
+			lw.mov(r, v)
+		}
+	}
+}
+
+func alignUp(n, a int) int {
+	if a <= 0 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// symbolForDecl finds the Symbol declared by dec. sema stores Decl=DeclStmt,
+// so we match by declaration statement and name via scope introspection:
+// the symbol appears in Syms for later identifier uses; for never-used
+// variables we synthesize lookup by walking sema's recorded symbols.
+func (lw *lowerer) symbolForDecl(s *ast.DeclStmt, dec *ast.Declarator) *sema.Symbol {
+	for _, sym := range lw.res.Syms {
+		if sym.Decl == ast.Node(s) && sym.Name == dec.Name {
+			return sym
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) genIf(s *ast.IfStmt) {
+	cond := lw.genCond(s.Cond)
+	if lw.err != nil {
+		return
+	}
+	jElse := lw.emit(Instr{Op: JmpIfZ, B: cond.slot})
+	lw.genStmt(s.Then)
+	if s.Else != nil {
+		jEnd := lw.emit(Instr{Op: Jmp})
+		lw.patch(jElse, lw.here())
+		lw.genStmt(s.Else)
+		lw.patch(jEnd, lw.here())
+	} else {
+		lw.patch(jElse, lw.here())
+	}
+}
+
+func (lw *lowerer) genFor(s *ast.ForStmt) {
+	lw.pushScope()
+	if s.Init != nil {
+		lw.genStmt(s.Init)
+	}
+	condAt := lw.here()
+	var jExit int = -1
+	if s.Cond != nil {
+		cond := lw.genCond(s.Cond)
+		if lw.err != nil {
+			lw.popScope()
+			return
+		}
+		jExit = lw.emit(Instr{Op: JmpIfZ, B: cond.slot})
+	}
+	lw.loops = append(lw.loops, loopFrame{})
+	lw.genStmt(s.Body)
+	frame := lw.loops[len(lw.loops)-1]
+	lw.loops = lw.loops[:len(lw.loops)-1]
+	contAt := lw.here()
+	if s.Post != nil {
+		lw.genExpr(s.Post)
+	}
+	lw.emit(Instr{Op: Jmp, Imm: condAt})
+	end := lw.here()
+	if jExit >= 0 {
+		lw.patch(jExit, end)
+	}
+	for _, idx := range frame.breakPatches {
+		lw.patch(idx, end)
+	}
+	for _, idx := range frame.continuePatches {
+		lw.patch(idx, contAt)
+	}
+	lw.popScope()
+}
+
+func (lw *lowerer) genWhile(s *ast.WhileStmt) {
+	condAt := lw.here()
+	cond := lw.genCond(s.Cond)
+	if lw.err != nil {
+		return
+	}
+	jExit := lw.emit(Instr{Op: JmpIfZ, B: cond.slot})
+	lw.loops = append(lw.loops, loopFrame{})
+	lw.genStmt(s.Body)
+	frame := lw.loops[len(lw.loops)-1]
+	lw.loops = lw.loops[:len(lw.loops)-1]
+	lw.emit(Instr{Op: Jmp, Imm: condAt})
+	end := lw.here()
+	lw.patch(jExit, end)
+	for _, idx := range frame.breakPatches {
+		lw.patch(idx, end)
+	}
+	for _, idx := range frame.continuePatches {
+		lw.patch(idx, condAt)
+	}
+}
+
+func (lw *lowerer) genDoWhile(s *ast.DoWhileStmt) {
+	bodyAt := lw.here()
+	lw.loops = append(lw.loops, loopFrame{})
+	lw.genStmt(s.Body)
+	frame := lw.loops[len(lw.loops)-1]
+	lw.loops = lw.loops[:len(lw.loops)-1]
+	condAt := lw.here()
+	cond := lw.genCond(s.Cond)
+	if lw.err != nil {
+		return
+	}
+	lw.emit(Instr{Op: JmpIf, B: cond.slot, Imm: bodyAt})
+	end := lw.here()
+	for _, idx := range frame.breakPatches {
+		lw.patch(idx, end)
+	}
+	for _, idx := range frame.continuePatches {
+		lw.patch(idx, condAt)
+	}
+}
+
+func (lw *lowerer) genReturn(s *ast.ReturnStmt) {
+	if len(lw.inl) == 0 {
+		// Kernel-level return.
+		lw.emit(Instr{Op: Ret})
+		return
+	}
+	// Note: the frame must be re-fetched after evaluating the return
+	// expression — nested inlining appends to lw.inl and may
+	// reallocate the slice.
+	depth := len(lw.inl) - 1
+	if s.X != nil && !lw.inl[depth].retVoid {
+		retReg := lw.inl[depth].retReg
+		v := lw.genExpr(s.X)
+		if lw.err != nil {
+			return
+		}
+		v = lw.convertToReg(v, retReg, s.X.Pos())
+		lw.mov(retReg, v)
+	}
+	idx := lw.emit(Instr{Op: Jmp})
+	lw.inl[depth].endPatches = append(lw.inl[depth].endPatches, idx)
+}
+
+// mov copies src into dst (same bank and width expected).
+func (lw *lowerer) mov(dst, src reg) {
+	if dst.bank != src.bank || dst.width != src.width {
+		// Conversions must have been applied by callers.
+		lw.fail(token.Pos{}, "internal: mov bank/width mismatch (%v <- %v)", dst, src)
+		return
+	}
+	if dst.slot == src.slot && dst.bank == src.bank {
+		return
+	}
+	op := MovI
+	if dst.bank == bf {
+		op = MovF
+	}
+	lw.emit(Instr{Op: op, A: dst.slot, B: src.slot, Width: uint8(dst.width), Base: dst.base})
+}

@@ -1,0 +1,211 @@
+package ir
+
+import (
+	"maligo/internal/clc/ast"
+	"maligo/internal/clc/builtin"
+	"maligo/internal/clc/sema"
+	"maligo/internal/clc/types"
+)
+
+const maxInlineDepth = 64
+
+func (lw *lowerer) genCall(e *ast.CallExpr) reg {
+	info := lw.res.Calls[e]
+	if info == nil {
+		lw.fail(e.Pos(), "internal: unresolved call %s", e.Fun.Name)
+		return reg{width: 1}
+	}
+	switch info.Kind {
+	case sema.CallConvert:
+		from := lw.genExpr(e.Args[0])
+		return lw.convert(from, lw.typeOf(e.Args[0]), info.ConvTo, e.Pos())
+	case sema.CallUser:
+		return lw.inlineCall(e, info.Target)
+	}
+	return lw.genBuiltin(e, info.Builtin)
+}
+
+// inlineCall expands a user helper function at the call site.
+func (lw *lowerer) inlineCall(e *ast.CallExpr, fn *ast.FuncDecl) reg {
+	if len(lw.inl) >= maxInlineDepth {
+		lw.fail(e.Pos(), "inline depth exceeded while expanding %s", fn.Name)
+		return reg{width: 1}
+	}
+	// Evaluate arguments in the caller's scope.
+	args := make([]reg, len(e.Args))
+	for i, a := range e.Args {
+		v := lw.genExpr(a)
+		if lw.err != nil {
+			return v
+		}
+		pt := lw.res.ParamTypes[fn.Params[i]]
+		args[i] = lw.convert(v, lw.typeOf(a), pt, a.Pos())
+	}
+
+	retType := lw.res.FuncRets[fn]
+	frame := inlineFrame{retVoid: retType.IsVoid()}
+	if !frame.retVoid {
+		frame.retReg = lw.alloc(retType)
+	}
+
+	// The callee's named variables live only for the duration of the
+	// inlined body: snapshot the permanent register floor so their
+	// slots are reclaimable once the call site's statement completes.
+	permI0, permF0, permB0 := lw.permI, lw.permF, lw.permRegBytes
+
+	lw.pushScope()
+	// Bind parameters to fresh registers (copy for by-value semantics;
+	// a parameter may be reassigned inside the callee).
+	for i, p := range fn.Params {
+		sym := lw.symbolForParam(fn, p)
+		pt := lw.res.ParamTypes[p]
+		r := lw.alloc(pt)
+		lw.mov(r, args[i])
+		if sym != nil {
+			lw.bind(sym, storage{r: r})
+		}
+	}
+	lw.inl = append(lw.inl, frame)
+	lw.genBlock(fn.Body)
+	top := lw.inl[len(lw.inl)-1]
+	lw.inl = lw.inl[:len(lw.inl)-1]
+	for _, idx := range top.endPatches {
+		lw.patch(idx, lw.here())
+	}
+	lw.popScope()
+	lw.permI, lw.permF, lw.permRegBytes = permI0, permF0, permB0
+	if frame.retVoid {
+		return reg{width: 1, bank: bi}
+	}
+	return frame.retReg
+}
+
+func (lw *lowerer) genBuiltin(e *ast.CallExpr, id builtin.ID) reg {
+	rt := lw.typeOf(e)
+
+	switch {
+	case id == builtin.Barrier:
+		lw.genExpr(e.Args[0]) // fence flags evaluated, then dropped
+		lw.emit(Instr{Op: BarrierOp})
+		lw.k.UsesBarrier = true
+		return reg{width: 1, bank: bi}
+	case id == builtin.MemFence:
+		lw.genExpr(e.Args[0])
+		return reg{width: 1, bank: bi}
+	case id == builtin.GetWorkDim:
+		dst := lw.alloc(rt)
+		lw.emit(Instr{Op: CallB, A: dst.slot, Imm: int64(id), Width: 1, Base: rt.Base})
+		return dst
+	case id.IsWorkItemQuery():
+		dim := lw.genExpr(e.Args[0])
+		dim = lw.convert(dim, lw.typeOf(e.Args[0]), types.IntType, e.Pos())
+		dst := lw.alloc(rt)
+		lw.emit(Instr{Op: CallB, A: dst.slot, B: dim.slot, Imm: int64(id), Width: 1, Base: rt.Base})
+		return dst
+	}
+
+	if w, ok := id.IsVload(); ok {
+		off := lw.genExpr(e.Args[0])
+		off = lw.convert(off, lw.typeOf(e.Args[0]), types.LongType, e.Pos())
+		ptr := lw.genExpr(e.Args[1])
+		pt := lw.typeOf(e.Args[1])
+		elemSize := pt.Elem.Size()
+		// addr = ptr + off * w * elemSize
+		scaled := lw.alloc(types.LongType)
+		factor := lw.alloc(types.LongType)
+		lw.emit(Instr{Op: ImmI, A: factor.slot, Imm: int64(w * elemSize), Width: 1, Base: types.Long})
+		lw.emit(Instr{Op: MulI, A: scaled.slot, B: off.slot, C: factor.slot, Width: 1, Base: types.Long})
+		addr := lw.alloc(types.ULongType)
+		lw.emit(Instr{Op: AddI, A: addr.slot, B: ptr.slot, C: scaled.slot, Width: 1, Base: types.ULong})
+		dst := lw.alloc(rt)
+		op := LoadI
+		if rt.Base.IsFloat() {
+			op = LoadF
+		}
+		lw.emit(Instr{Op: op, A: dst.slot, B: addr.slot, Width: uint8(w), Base: rt.Base})
+		return dst
+	}
+	if w, ok := id.IsVstore(); ok {
+		data := lw.genExpr(e.Args[0])
+		off := lw.genExpr(e.Args[1])
+		off = lw.convert(off, lw.typeOf(e.Args[1]), types.LongType, e.Pos())
+		ptr := lw.genExpr(e.Args[2])
+		pt := lw.typeOf(e.Args[2])
+		elemSize := pt.Elem.Size()
+		scaled := lw.alloc(types.LongType)
+		factor := lw.alloc(types.LongType)
+		lw.emit(Instr{Op: ImmI, A: factor.slot, Imm: int64(w * elemSize), Width: 1, Base: types.Long})
+		lw.emit(Instr{Op: MulI, A: scaled.slot, B: off.slot, C: factor.slot, Width: 1, Base: types.Long})
+		addr := lw.alloc(types.ULongType)
+		lw.emit(Instr{Op: AddI, A: addr.slot, B: ptr.slot, C: scaled.slot, Width: 1, Base: types.ULong})
+		op := StoreI
+		base := pt.Elem.Base
+		if base.IsFloat() {
+			op = StoreF
+		}
+		lw.emit(Instr{Op: op, A: data.slot, B: addr.slot, Width: uint8(w), Base: base})
+		return reg{width: 1, bank: bi}
+	}
+
+	if id.IsAtomic() {
+		ptr := lw.genExpr(e.Args[0])
+		pt := lw.typeOf(e.Args[0])
+		var valSlot, cmpSlot int32
+		if len(e.Args) > 1 {
+			v := lw.genExpr(e.Args[1])
+			v = lw.convert(v, lw.typeOf(e.Args[1]), pt.Elem, e.Pos())
+			valSlot = v.slot
+		}
+		if len(e.Args) > 2 {
+			v := lw.genExpr(e.Args[2])
+			v = lw.convert(v, lw.typeOf(e.Args[2]), pt.Elem, e.Pos())
+			cmpSlot = v.slot
+		}
+		dst := lw.alloc(rt)
+		lw.emit(Instr{
+			Op: AtomicOp, A: dst.slot, B: ptr.slot, C: valSlot, D: cmpSlot,
+			Imm: int64(id), Width: 1, Base: pt.Elem.Base,
+		})
+		return dst
+	}
+
+	// Generic math/common/geometric builtins: convert args to the
+	// result gentype (or condition type for select) and emit CallB.
+	argRegs := make([]reg, len(e.Args))
+	for i, a := range e.Args {
+		v := lw.genExpr(a)
+		if lw.err != nil {
+			return v
+		}
+		at := lw.typeOf(a)
+		switch {
+		case id == builtin.Select && i == 2:
+			// Condition keeps its own integer type, widened to lanes.
+			v = lw.convert(v, at, types.Vector(at.Base, widthOf(rt)), a.Pos())
+		case id == builtin.Dot || id == builtin.Distance:
+			// Vector inputs, scalar result: keep operand type.
+		case id == builtin.Length || id == builtin.Normalize:
+		default:
+			v = lw.convert(v, at, rt, a.Pos())
+		}
+		argRegs[i] = v
+	}
+	dst := lw.alloc(rt)
+	in := Instr{Op: CallB, A: dst.slot, Imm: int64(id), Width: uint8(widthOf(rt)), Base: rt.Base}
+	if id == builtin.Dot || id == builtin.Distance || id == builtin.Length || id == builtin.Normalize {
+		// Width describes the operand vectors.
+		in.Width = uint8(widthOf(lw.typeOf(e.Args[0])))
+		in.Base = lw.typeOf(e.Args[0]).Base
+	}
+	if len(argRegs) > 0 {
+		in.B = argRegs[0].slot
+	}
+	if len(argRegs) > 1 {
+		in.C = argRegs[1].slot
+	}
+	if len(argRegs) > 2 {
+		in.D = argRegs[2].slot
+	}
+	lw.emit(in)
+	return dst
+}

@@ -1,0 +1,826 @@
+package ir
+
+import (
+	"maligo/internal/clc/ast"
+	"maligo/internal/clc/sema"
+	"maligo/internal/clc/token"
+	"maligo/internal/clc/types"
+)
+
+// typeOf returns sema's type for e (never nil after a successful check).
+func (lw *lowerer) typeOf(e ast.Expr) *types.Type {
+	t := lw.res.Types[e]
+	if t == nil {
+		lw.fail(e.Pos(), "internal: missing type for expression")
+		return types.IntType
+	}
+	return t
+}
+
+// genExpr evaluates e into a fresh or existing register.
+func (lw *lowerer) genExpr(e ast.Expr) reg {
+	if lw.err != nil {
+		return reg{width: 1}
+	}
+	switch e := e.(type) {
+	case *ast.IntLit:
+		t := lw.typeOf(e)
+		r := lw.alloc(t)
+		lw.emit(Instr{Op: ImmI, A: r.slot, Imm: e.Value, Width: 1, Base: r.base})
+		return r
+	case *ast.FloatLit:
+		t := lw.typeOf(e)
+		r := lw.alloc(t)
+		v := e.Value
+		if t.Base == types.Float {
+			v = float64(float32(v))
+		}
+		lw.emit(Instr{Op: ImmF, A: r.slot, FImm: v, Width: 1, Base: r.base})
+		return r
+	case *ast.ParenExpr:
+		return lw.genExpr(e.X)
+	case *ast.Ident:
+		return lw.genIdent(e)
+	case *ast.BinaryExpr:
+		return lw.genBinary(e)
+	case *ast.UnaryExpr:
+		return lw.genUnary(e)
+	case *ast.PostfixExpr:
+		return lw.genIncDec(e.X, e.Op, true)
+	case *ast.AssignExpr:
+		return lw.genAssign(e)
+	case *ast.CondExpr:
+		return lw.genTernary(e)
+	case *ast.CallExpr:
+		return lw.genCall(e)
+	case *ast.IndexExpr:
+		lv := lw.genLValue(e)
+		return lw.loadLValue(lv, lw.typeOf(e))
+	case *ast.MemberExpr:
+		return lw.genMember(e)
+	case *ast.CastExpr:
+		from := lw.genExpr(e.X)
+		return lw.convert(from, lw.typeOf(e.X), lw.typeOf(e), e.Pos())
+	case *ast.VectorLit:
+		return lw.genVectorLit(e)
+	case *ast.SizeofExpr:
+		t := lw.typeOf(e)
+		r := lw.alloc(t)
+		st := types.ByName(e.To.Name)
+		size := int64(8)
+		if st != nil {
+			size = int64(st.Size())
+		}
+		for i := 0; i < e.To.PtrDepth; i++ {
+			size = 8
+		}
+		lw.emit(Instr{Op: ImmI, A: r.slot, Imm: size, Width: 1, Base: r.base})
+		return r
+	}
+	lw.fail(e.Pos(), "unsupported expression in lowering")
+	return reg{width: 1}
+}
+
+func (lw *lowerer) genIdent(e *ast.Ident) reg {
+	sym := lw.res.Syms[e]
+	if sym == nil {
+		lw.fail(e.Pos(), "internal: unresolved identifier %s", e.Name)
+		return reg{width: 1}
+	}
+	if sym.Kind == sema.SymFileVar {
+		off, ok := lw.constOffsets[sym]
+		if !ok {
+			lw.fail(e.Pos(), "internal: constant %s not laid out", sym.Name)
+			return reg{width: 1}
+		}
+		addr := EncodeAddr(SpaceConstant, off)
+		if sym.ArrayLen > 0 {
+			r := lw.alloc(types.ULongType)
+			lw.emit(Instr{Op: ImmI, A: r.slot, Imm: addr, Width: 1, Base: types.ULong})
+			return r
+		}
+		// Scalar constant: load it.
+		addrReg := lw.alloc(types.ULongType)
+		lw.emit(Instr{Op: ImmI, A: addrReg.slot, Imm: addr, Width: 1, Base: types.ULong})
+		dst := lw.alloc(sym.Type)
+		op := LoadI
+		if sym.Type.Base.IsFloat() {
+			op = LoadF
+		}
+		lw.emit(Instr{Op: op, A: dst.slot, B: addrReg.slot, Width: uint8(dst.width), Base: sym.Type.Base})
+		return dst
+	}
+	st, ok := lw.lookup(sym)
+	if !ok {
+		lw.fail(e.Pos(), "internal: no storage for %s", sym.Name)
+		return reg{width: 1}
+	}
+	if st.isArray {
+		r := lw.alloc(types.ULongType)
+		lw.emit(Instr{Op: ImmI, A: r.slot, Imm: st.memAddr, Width: 1, Base: types.ULong})
+		return r
+	}
+	return st.r
+}
+
+// --- conversions -------------------------------------------------------------
+
+// convert adjusts value v of type 'from' to type 'to', emitting
+// conversion and broadcast instructions as needed.
+func (lw *lowerer) convert(v reg, from, to *types.Type, pos token.Pos) reg {
+	if lw.err != nil || from == nil || to == nil {
+		return v
+	}
+	if from.IsPointer() && to.IsPointer() {
+		return v
+	}
+	if from.IsPointer() && to.IsArith() {
+		return v // pointer-to-integer reinterpretation
+	}
+	if to.IsPointer() && from.IsArith() {
+		return v
+	}
+	if !from.IsArith() || !to.IsArith() {
+		return v
+	}
+	fw, tw := widthOf(from), widthOf(to)
+	// Scalar base conversion first.
+	cur := v
+	if from.Base != to.Base {
+		dst := lw.alloc(types.Vector(to.Base, fw))
+		op, b2 := cvtOp(from.Base, to.Base)
+		lw.emit(Instr{Op: op, A: dst.slot, B: cur.slot, Width: uint8(fw), Base: to.Base, Base2: b2})
+		cur = dst
+	}
+	if fw == tw {
+		return cur
+	}
+	if fw == 1 && tw > 1 {
+		dst := lw.alloc(to)
+		op := BcastI
+		if to.Base.IsFloat() {
+			op = BcastF
+		}
+		lw.emit(Instr{Op: op, A: dst.slot, B: cur.slot, Width: uint8(tw), Base: to.Base})
+		return dst
+	}
+	lw.fail(pos, "cannot convert %s to %s (width mismatch)", from, to)
+	return cur
+}
+
+// convertToReg converts v to the base/width of target register.
+func (lw *lowerer) convertToReg(v reg, target reg, pos token.Pos) reg {
+	from := types.Vector(v.base, v.width)
+	to := types.Vector(target.base, target.width)
+	return lw.convert(v, from, to, pos)
+}
+
+func widthOf(t *types.Type) int {
+	if t.IsVector() {
+		return t.Width
+	}
+	return 1
+}
+
+func cvtOp(from, to types.Base) (Op, types.Base) {
+	switch {
+	case from.IsFloat() && to.IsFloat():
+		return CvtFF, from
+	case from.IsFloat() && to.IsInteger():
+		return CvtFI, from
+	case from.IsInteger() && to.IsFloat():
+		return CvtIF, from
+	default:
+		return CvtII, from
+	}
+}
+
+// --- conditions --------------------------------------------------------------
+
+// genCond evaluates e as a scalar truth value into an int register.
+func (lw *lowerer) genCond(e ast.Expr) reg {
+	// Short-circuit forms get special treatment so side effects follow
+	// C semantics.
+	if b, ok := unparenE(e).(*ast.BinaryExpr); ok && (b.Op == token.LAND || b.Op == token.LOR) {
+		return lw.genShortCircuit(b)
+	}
+	v := lw.genExpr(e)
+	if lw.err != nil {
+		return reg{width: 1, bank: bi}
+	}
+	t := lw.typeOf(e)
+	if t.IsPointer() || (t.IsScalar() && t.Base.IsInteger()) {
+		return v
+	}
+	if t.IsScalar() && t.Base.IsFloat() {
+		zero := lw.alloc(types.Scalar(t.Base))
+		lw.emit(Instr{Op: ImmF, A: zero.slot, FImm: 0, Width: 1, Base: t.Base})
+		dst := lw.alloc(types.IntType)
+		lw.emit(Instr{Op: CmpNeF, A: dst.slot, B: v.slot, C: zero.slot, Width: 1, Base: t.Base})
+		return dst
+	}
+	lw.fail(e.Pos(), "condition must be scalar")
+	return reg{width: 1, bank: bi}
+}
+
+func unparenE(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func (lw *lowerer) genShortCircuit(b *ast.BinaryExpr) reg {
+	dst := lw.alloc(types.IntType)
+	x := lw.genCond(b.X)
+	if lw.err != nil {
+		return dst
+	}
+	if b.Op == token.LAND {
+		// dst = 0; if (!x) goto end; dst = (y != 0)
+		lw.emit(Instr{Op: ImmI, A: dst.slot, Imm: 0, Width: 1, Base: types.Int})
+		j := lw.emit(Instr{Op: JmpIfZ, B: x.slot})
+		y := lw.genCond(b.Y)
+		lw.emit(Instr{Op: normBool, A: dst.slot, B: y.slot, Width: 1, Base: types.Bool, Base2: types.Int})
+		lw.patch(j, lw.here())
+		return dst
+	}
+	// dst = 1; if (x) goto end; dst = (y != 0)
+	lw.emit(Instr{Op: ImmI, A: dst.slot, Imm: 1, Width: 1, Base: types.Int})
+	j := lw.emit(Instr{Op: JmpIf, B: x.slot})
+	y := lw.genCond(b.Y)
+	lw.emit(Instr{Op: normBool, A: dst.slot, B: y.slot, Width: 1, Base: types.Bool, Base2: types.Int})
+	lw.patch(j, lw.here())
+	return dst
+}
+
+// normBool is CvtII with Base=Bool, which the VM implements as
+// "normalize to 0/1".
+const normBool = CvtII
+
+// --- binary / unary ----------------------------------------------------------
+
+func (lw *lowerer) genBinary(e *ast.BinaryExpr) reg {
+	switch e.Op {
+	case token.LAND, token.LOR:
+		return lw.genShortCircuit(e)
+	}
+	xt, yt := lw.typeOf(e.X), lw.typeOf(e.Y)
+	rt := lw.typeOf(e)
+
+	// Pointer arithmetic.
+	if xt.IsPointer() || yt.IsPointer() {
+		return lw.genPointerArith(e, xt, yt, rt)
+	}
+
+	x := lw.genExpr(e.X)
+	y := lw.genExpr(e.Y)
+	if lw.err != nil {
+		return x
+	}
+
+	switch e.Op {
+	case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+		opnd, _ := types.Promote(xt, yt)
+		if opnd == nil {
+			opnd = xt
+		}
+		x = lw.convert(x, xt, opnd, e.Pos())
+		y = lw.convert(y, yt, opnd, e.Pos())
+		dst := lw.alloc(rt)
+		op, swap := cmpOp(e.Op, opnd.Base)
+		a, bv := x, y
+		if swap {
+			a, bv = y, x
+		}
+		lw.emit(Instr{Op: op, A: dst.slot, B: a.slot, C: bv.slot, Width: uint8(widthOf(opnd)), Base: opnd.Base})
+		return dst
+	}
+
+	x = lw.convert(x, xt, rt, e.Pos())
+	y = lw.convert(y, yt, rt, e.Pos())
+	dst := lw.alloc(rt)
+	var op Op
+	if rt.Base.IsFloat() {
+		switch e.Op {
+		case token.ADD:
+			op = AddF
+		case token.SUB:
+			op = SubF
+		case token.MUL:
+			op = MulF
+		case token.QUO:
+			op = DivF
+		default:
+			lw.fail(e.Pos(), "invalid float operator %s", e.Op)
+			return dst
+		}
+	} else {
+		switch e.Op {
+		case token.ADD:
+			op = AddI
+		case token.SUB:
+			op = SubI
+		case token.MUL:
+			op = MulI
+		case token.QUO:
+			op = DivI
+		case token.REM:
+			op = RemI
+		case token.AND:
+			op = AndI
+		case token.OR:
+			op = OrI
+		case token.XOR:
+			op = XorI
+		case token.SHL:
+			op = ShlI
+		case token.SHR:
+			op = ShrI
+		default:
+			lw.fail(e.Pos(), "invalid integer operator %s", e.Op)
+			return dst
+		}
+	}
+	lw.emit(Instr{Op: op, A: dst.slot, B: x.slot, C: y.slot, Width: uint8(widthOf(rt)), Base: rt.Base})
+	return dst
+}
+
+func cmpOp(op token.Kind, base types.Base) (Op, bool) {
+	f := base.IsFloat()
+	switch op {
+	case token.EQL:
+		if f {
+			return CmpEqF, false
+		}
+		return CmpEqI, false
+	case token.NEQ:
+		if f {
+			return CmpNeF, false
+		}
+		return CmpNeI, false
+	case token.LSS:
+		if f {
+			return CmpLtF, false
+		}
+		return CmpLtI, false
+	case token.LEQ:
+		if f {
+			return CmpLeF, false
+		}
+		return CmpLeI, false
+	case token.GTR:
+		if f {
+			return CmpLtF, true
+		}
+		return CmpLtI, true
+	case token.GEQ:
+		if f {
+			return CmpLeF, true
+		}
+		return CmpLeI, true
+	}
+	return Nop, false
+}
+
+func (lw *lowerer) genPointerArith(e *ast.BinaryExpr, xt, yt, rt *types.Type) reg {
+	x := lw.genExpr(e.X)
+	y := lw.genExpr(e.Y)
+	if lw.err != nil {
+		return x
+	}
+	switch {
+	case xt.IsPointer() && yt.IsPointer():
+		switch e.Op {
+		case token.SUB:
+			diff := lw.alloc(types.LongType)
+			lw.emit(Instr{Op: SubI, A: diff.slot, B: x.slot, C: y.slot, Width: 1, Base: types.Long})
+			size := lw.alloc(types.LongType)
+			lw.emit(Instr{Op: ImmI, A: size.slot, Imm: int64(xt.Elem.Size()), Width: 1, Base: types.Long})
+			dst := lw.alloc(types.LongType)
+			lw.emit(Instr{Op: DivI, A: dst.slot, B: diff.slot, C: size.slot, Width: 1, Base: types.Long})
+			return dst
+		case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+			dst := lw.alloc(types.IntType)
+			op, swap := cmpOp(e.Op, types.ULong)
+			a, b := x, y
+			if swap {
+				a, b = y, x
+			}
+			lw.emit(Instr{Op: op, A: dst.slot, B: a.slot, C: b.slot, Width: 1, Base: types.ULong})
+			return dst
+		}
+		lw.fail(e.Pos(), "invalid pointer operation %s", e.Op)
+		return x
+	case xt.IsPointer():
+		return lw.emitPtrOffset(x, y, yt, xt.Elem.Size(), e.Op == token.SUB)
+	default: // yt pointer, ADD
+		return lw.emitPtrOffset(y, x, xt, yt.Elem.Size(), false)
+	}
+}
+
+// emitPtrOffset computes ptr ± idx*elemSize.
+func (lw *lowerer) emitPtrOffset(ptr, idx reg, idxType *types.Type, elemSize int, sub bool) reg {
+	idx = lw.convert(idx, idxType, types.LongType, token.Pos{})
+	scaled := lw.alloc(types.LongType)
+	size := lw.alloc(types.LongType)
+	lw.emit(Instr{Op: ImmI, A: size.slot, Imm: int64(elemSize), Width: 1, Base: types.Long})
+	lw.emit(Instr{Op: MulI, A: scaled.slot, B: idx.slot, C: size.slot, Width: 1, Base: types.Long})
+	dst := lw.alloc(types.ULongType)
+	op := AddI
+	if sub {
+		op = SubI
+	}
+	lw.emit(Instr{Op: op, A: dst.slot, B: ptr.slot, C: scaled.slot, Width: 1, Base: types.ULong})
+	return dst
+}
+
+func (lw *lowerer) genUnary(e *ast.UnaryExpr) reg {
+	switch e.Op {
+	case token.INC, token.DEC:
+		return lw.genIncDec(e.X, e.Op, false)
+	case token.MUL:
+		lv := lw.genLValue(e)
+		return lw.loadLValue(lv, lw.typeOf(e))
+	case token.AND:
+		// &ptr[expr]: just the address computation.
+		ix, ok := unparenE(e.X).(*ast.IndexExpr)
+		if !ok {
+			lw.fail(e.Pos(), "address-of requires an indexed operand")
+			return reg{width: 1}
+		}
+		return lw.genElementAddr(ix)
+	}
+	t := lw.typeOf(e)
+	x := lw.genExpr(e.X)
+	if lw.err != nil {
+		return x
+	}
+	switch e.Op {
+	case token.SUB:
+		dst := lw.alloc(t)
+		op := NegI
+		if t.Base.IsFloat() {
+			op = NegF
+		}
+		lw.emit(Instr{Op: op, A: dst.slot, B: x.slot, Width: uint8(widthOf(t)), Base: t.Base})
+		return dst
+	case token.NOT:
+		dst := lw.alloc(t)
+		lw.emit(Instr{Op: NotI, A: dst.slot, B: x.slot, Width: uint8(widthOf(t)), Base: t.Base})
+		return dst
+	case token.LNOT:
+		cond := lw.genCond(e.X)
+		zero := lw.alloc(types.IntType)
+		lw.emit(Instr{Op: ImmI, A: zero.slot, Imm: 0, Width: 1, Base: types.Int})
+		dst := lw.alloc(types.IntType)
+		lw.emit(Instr{Op: CmpEqI, A: dst.slot, B: cond.slot, C: zero.slot, Width: 1, Base: types.Int})
+		return dst
+	}
+	lw.fail(e.Pos(), "unsupported unary operator %s", e.Op)
+	return x
+}
+
+// genIncDec handles ++/-- in prefix and postfix form.
+func (lw *lowerer) genIncDec(x ast.Expr, op token.Kind, postfix bool) reg {
+	t := lw.typeOf(x)
+	lv := lw.genLValue(x)
+	if lw.err != nil {
+		return reg{width: 1}
+	}
+	old := lw.loadLValue(lv, t)
+	var result reg
+	if postfix {
+		// Preserve the old value in a fresh register.
+		result = lw.alloc(t)
+		lw.mov(result, old)
+	}
+	oneType := types.ULongType
+	if t.IsArith() {
+		oneType = types.Scalar(t.Base)
+	}
+	one := lw.alloc(oneType)
+	step := int64(1)
+	if t.IsPointer() {
+		step = int64(t.Elem.Size())
+	}
+	var updated reg
+	if t.IsArith() && t.Base.IsFloat() {
+		lw.emit(Instr{Op: ImmF, A: one.slot, FImm: 1, Width: 1, Base: t.Base})
+		updated = lw.alloc(t)
+		o := AddF
+		if op == token.DEC {
+			o = SubF
+		}
+		lw.emit(Instr{Op: o, A: updated.slot, B: old.slot, C: one.slot, Width: 1, Base: t.Base})
+	} else {
+		lw.emit(Instr{Op: ImmI, A: one.slot, Imm: step, Width: 1, Base: types.Long})
+		updated = lw.alloc(t)
+		o := AddI
+		if op == token.DEC {
+			o = SubI
+		}
+		lw.emit(Instr{Op: o, A: updated.slot, B: old.slot, C: one.slot, Width: 1, Base: baseOrPtr(t)})
+	}
+	lw.storeLValue(lv, updated, t)
+	if postfix {
+		return result
+	}
+	return updated
+}
+
+func baseOrPtr(t *types.Type) types.Base {
+	if t.IsPointer() {
+		return types.ULong
+	}
+	return t.Base
+}
+
+// --- assignment / lvalues ------------------------------------------------------
+
+func (lw *lowerer) genAssign(e *ast.AssignExpr) reg {
+	lt := lw.typeOf(e.LHS)
+	rt := lw.typeOf(e.RHS)
+	lv := lw.genLValue(e.LHS)
+	if lw.err != nil {
+		return reg{width: 1}
+	}
+	rhs := lw.genExpr(e.RHS)
+	if lw.err != nil {
+		return rhs
+	}
+	if e.Op == token.ASSIGN {
+		rhs = lw.convert(rhs, rt, lt, e.Pos())
+		lw.storeLValue(lv, rhs, lt)
+		return rhs
+	}
+	// Compound: load, op, store.
+	old := lw.loadLValue(lv, lt)
+	baseOp := e.Op.BaseOf()
+	if lt.IsPointer() {
+		scaled := lw.emitPtrOffset(old, rhs, rt, lt.Elem.Size(), baseOp == token.SUB)
+		lw.storeLValue(lv, scaled, lt)
+		return scaled
+	}
+	rhs = lw.convert(rhs, rt, lt, e.Pos())
+	dst := lw.alloc(lt)
+	var op Op
+	if lt.Base.IsFloat() {
+		switch baseOp {
+		case token.ADD:
+			op = AddF
+		case token.SUB:
+			op = SubF
+		case token.MUL:
+			op = MulF
+		case token.QUO:
+			op = DivF
+		default:
+			lw.fail(e.Pos(), "invalid compound float op")
+			return dst
+		}
+	} else {
+		switch baseOp {
+		case token.ADD:
+			op = AddI
+		case token.SUB:
+			op = SubI
+		case token.MUL:
+			op = MulI
+		case token.QUO:
+			op = DivI
+		case token.REM:
+			op = RemI
+		case token.AND:
+			op = AndI
+		case token.OR:
+			op = OrI
+		case token.XOR:
+			op = XorI
+		case token.SHL:
+			op = ShlI
+		case token.SHR:
+			op = ShrI
+		}
+	}
+	lw.emit(Instr{Op: op, A: dst.slot, B: old.slot, C: rhs.slot, Width: uint8(widthOf(lt)), Base: lt.Base})
+	lw.storeLValue(lv, dst, lt)
+	return dst
+}
+
+// genLValue resolves e to an assignable location.
+func (lw *lowerer) genLValue(e ast.Expr) lvalue {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return lw.genLValue(e.X)
+	case *ast.Ident:
+		sym := lw.res.Syms[e]
+		if sym == nil {
+			lw.fail(e.Pos(), "internal: unresolved identifier")
+			return lvalue{}
+		}
+		st, ok := lw.lookup(sym)
+		if !ok || st.isArray {
+			lw.fail(e.Pos(), "cannot assign to %s", sym.Name)
+			return lvalue{}
+		}
+		return lvalue{isReg: true, r: st.r}
+	case *ast.IndexExpr:
+		addr := lw.genElementAddr(e)
+		return lvalue{addr: addr, elem: lw.typeOf(e)}
+	case *ast.UnaryExpr:
+		if e.Op == token.MUL {
+			ptr := lw.genExpr(e.X)
+			return lvalue{addr: ptr, elem: lw.typeOf(e)}
+		}
+	case *ast.MemberExpr:
+		inner := lw.genLValue(e.X)
+		if lw.err != nil {
+			return lvalue{}
+		}
+		lanes := lw.res.Swizzles[e]
+		if !inner.isReg {
+			lw.fail(e.Pos(), "swizzle assignment requires a register-resident vector")
+			return lvalue{}
+		}
+		// Compose swizzles.
+		if inner.lanes != nil {
+			composed := make([]int, len(lanes))
+			for i, l := range lanes {
+				composed[i] = inner.lanes[l]
+			}
+			lanes = composed
+		}
+		return lvalue{isReg: true, r: inner.r, lanes: lanes}
+	}
+	lw.fail(e.Pos(), "expression is not assignable")
+	return lvalue{}
+}
+
+// genElementAddr computes the byte address of ptr[idx].
+func (lw *lowerer) genElementAddr(e *ast.IndexExpr) reg {
+	pt := lw.typeOf(e.X)
+	ptr := lw.genExpr(e.X)
+	idx := lw.genExpr(e.Index)
+	if lw.err != nil {
+		return ptr
+	}
+	return lw.emitPtrOffset(ptr, idx, lw.typeOf(e.Index), pt.Elem.Size(), false)
+}
+
+// loadLValue reads the current value of lv.
+func (lw *lowerer) loadLValue(lv lvalue, t *types.Type) reg {
+	if lw.err != nil {
+		return reg{width: 1}
+	}
+	if lv.isReg {
+		if lv.lanes == nil {
+			return lv.r
+		}
+		dst := lw.alloc(types.Vector(lv.r.base, len(lv.lanes)))
+		op := MovI
+		if lv.r.bank == bf {
+			op = MovF
+		}
+		for i, l := range lv.lanes {
+			lw.emit(Instr{Op: op, A: dst.slot + int32(i), B: lv.r.slot + int32(l), Width: 1, Base: lv.r.base})
+		}
+		return dst
+	}
+	dst := lw.alloc(t)
+	op := LoadI
+	if t.IsArith() && t.Base.IsFloat() {
+		op = LoadF
+	}
+	base := baseOrPtr(t)
+	lw.emit(Instr{Op: op, A: dst.slot, B: lv.addr.slot, Width: uint8(widthOf(t)), Base: base})
+	return dst
+}
+
+// storeLValue writes v (already converted to t) into lv.
+func (lw *lowerer) storeLValue(lv lvalue, v reg, t *types.Type) {
+	if lw.err != nil {
+		return
+	}
+	if lv.isReg {
+		if lv.lanes == nil {
+			lw.mov(lv.r, v)
+			return
+		}
+		op := MovI
+		if lv.r.bank == bf {
+			op = MovF
+		}
+		for i, l := range lv.lanes {
+			src := v.slot
+			if v.width > 1 {
+				src += int32(i)
+			}
+			lw.emit(Instr{Op: op, A: lv.r.slot + int32(l), B: src, Width: 1, Base: lv.r.base})
+		}
+		return
+	}
+	op := StoreI
+	if t.IsArith() && t.Base.IsFloat() {
+		op = StoreF
+	}
+	lw.emit(Instr{Op: op, A: v.slot, B: lv.addr.slot, Width: uint8(widthOf(t)), Base: baseOrPtr(t)})
+}
+
+// --- ternary / member / vector literal ----------------------------------------
+
+func (lw *lowerer) genTernary(e *ast.CondExpr) reg {
+	ct := lw.typeOf(e.Cond)
+	rt := lw.typeOf(e)
+	if ct.IsVector() {
+		cond := lw.genExpr(e.Cond)
+		a := lw.genExpr(e.Then)
+		b := lw.genExpr(e.Else)
+		if lw.err != nil {
+			return cond
+		}
+		a = lw.convert(a, lw.typeOf(e.Then), rt, e.Pos())
+		b = lw.convert(b, lw.typeOf(e.Else), rt, e.Pos())
+		dst := lw.alloc(rt)
+		op := SelI
+		if rt.Base.IsFloat() {
+			op = SelF
+		}
+		lw.emit(Instr{Op: op, A: dst.slot, B: cond.slot, C: a.slot, D: b.slot, Width: uint8(widthOf(rt)), Base: rt.Base})
+		return dst
+	}
+	// Scalar condition: branch so only the taken arm evaluates.
+	dst := lw.alloc(rt)
+	cond := lw.genCond(e.Cond)
+	if lw.err != nil {
+		return dst
+	}
+	jElse := lw.emit(Instr{Op: JmpIfZ, B: cond.slot})
+	a := lw.genExpr(e.Then)
+	a = lw.convert(a, lw.typeOf(e.Then), rt, e.Pos())
+	lw.mov(dst, a)
+	jEnd := lw.emit(Instr{Op: Jmp})
+	lw.patch(jElse, lw.here())
+	b := lw.genExpr(e.Else)
+	b = lw.convert(b, lw.typeOf(e.Else), rt, e.Pos())
+	lw.mov(dst, b)
+	lw.patch(jEnd, lw.here())
+	return dst
+}
+
+func (lw *lowerer) genMember(e *ast.MemberExpr) reg {
+	src := lw.genExpr(e.X)
+	if lw.err != nil {
+		return src
+	}
+	lanes := lw.res.Swizzles[e]
+	t := lw.typeOf(e)
+	dst := lw.alloc(t)
+	op := MovI
+	if src.bank == bf {
+		op = MovF
+	}
+	for i, l := range lanes {
+		lw.emit(Instr{Op: op, A: dst.slot + int32(i), B: src.slot + int32(l), Width: 1, Base: src.base})
+	}
+	return dst
+}
+
+func (lw *lowerer) genVectorLit(e *ast.VectorLit) reg {
+	t := lw.typeOf(e)
+	dst := lw.alloc(t)
+	if len(e.Elems) == 1 {
+		et := lw.typeOf(e.Elems[0])
+		if et.IsScalar() {
+			v := lw.genExpr(e.Elems[0])
+			v = lw.convert(v, et, types.Scalar(t.Base), e.Pos())
+			op := BcastI
+			if t.Base.IsFloat() {
+				op = BcastF
+			}
+			lw.emit(Instr{Op: op, A: dst.slot, B: v.slot, Width: uint8(t.Width), Base: t.Base})
+			return dst
+		}
+	}
+	lane := 0
+	op := MovI
+	if t.Base.IsFloat() {
+		op = MovF
+	}
+	for _, el := range e.Elems {
+		et := lw.typeOf(el)
+		v := lw.genExpr(el)
+		if lw.err != nil {
+			return dst
+		}
+		v = lw.convert(v, et, types.Vector(t.Base, widthOf(et)), el.Pos())
+		for i := 0; i < widthOf(et); i++ {
+			lw.emit(Instr{Op: op, A: dst.slot + int32(lane), B: v.slot + int32(i), Width: 1, Base: t.Base})
+			lane++
+		}
+	}
+	return dst
+}

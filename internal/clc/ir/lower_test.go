@@ -1,0 +1,246 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"maligo/internal/clc"
+	"maligo/internal/clc/ir"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := clc.Compile("test.cl", src, "")
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return prog
+}
+
+func TestKernelDiscovery(t *testing.T) {
+	prog := compile(t, `
+__kernel void b(__global int* p) { p[0] = 2; }
+__kernel void a(__global int* p) { p[0] = 1; }
+float helper(float x) { return x; }
+`)
+	names := prog.KernelNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("KernelNames = %v (must be sorted, helpers excluded)", names)
+	}
+	if prog.Kernel("helper") != nil {
+		t.Fatal("helper functions must not appear as kernels")
+	}
+}
+
+func TestParamClasses(t *testing.T) {
+	prog := compile(t, `
+__kernel void k(__global float* a,
+                __constant float* c,
+                __local float* l,
+                const int n,
+                const float s) { a[0] = c[0] + l[0] + (float)n + s; }
+`)
+	k := prog.Kernel("k")
+	want := []ir.ParamClass{
+		ir.ParamGlobalPtr, ir.ParamGlobalPtr, ir.ParamLocalPtr,
+		ir.ParamScalarI, ir.ParamScalarF,
+	}
+	for i, p := range k.Params {
+		if p.Class != want[i] {
+			t.Errorf("param %d class = %v, want %v", i, p.Class, want[i])
+		}
+	}
+}
+
+func TestRestrictAndConstCounting(t *testing.T) {
+	prog := compile(t, `
+__kernel void k(__global const float* restrict a,
+                __global float* restrict b,
+                __global float* c) { c[0] = a[0] + b[0]; }
+`)
+	k := prog.Kernel("k")
+	if k.RestrictParams != 2 {
+		t.Errorf("RestrictParams = %d, want 2", k.RestrictParams)
+	}
+	if k.ConstParams != 1 {
+		t.Errorf("ConstParams = %d, want 1", k.ConstParams)
+	}
+}
+
+func TestBarrierAndDoubleFlags(t *testing.T) {
+	prog := compile(t, `
+__kernel void k(__global double* p, __local double* s) {
+    s[get_local_id(0)] = p[0];
+    barrier(1);
+    p[0] = s[0];
+}`)
+	k := prog.Kernel("k")
+	if !k.UsesBarrier {
+		t.Error("UsesBarrier not set")
+	}
+	if !k.UsesDouble {
+		t.Error("UsesDouble not set")
+	}
+}
+
+func TestLocalAndPrivateLayout(t *testing.T) {
+	prog := compile(t, `
+__kernel void k(__global float* p) {
+    __local float a[64];
+    __local float b[32];
+    float priv[8];
+    priv[0] = 1.0f;
+    a[0] = priv[0];
+    b[0] = a[0];
+    p[0] = b[0];
+}`)
+	k := prog.Kernel("k")
+	if k.LocalBytes != (64+32)*4 {
+		t.Errorf("LocalBytes = %d, want %d", k.LocalBytes, 96*4)
+	}
+	if k.PrivateBytes != 8*4 {
+		t.Errorf("PrivateBytes = %d, want 32", k.PrivateBytes)
+	}
+}
+
+func TestRegisterReuseAcrossStatements(t *testing.T) {
+	// Many statements with temporaries must not inflate the frame:
+	// temps are reclaimed per statement.
+	small := compile(t, `
+__kernel void k(__global float* p) {
+    p[0] = p[1] * p[2] + p[3];
+}`).Kernel("k")
+	big := compile(t, `
+__kernel void k(__global float* p) {
+    p[0] = p[1] * p[2] + p[3];
+    p[1] = p[2] * p[3] + p[4];
+    p[2] = p[3] * p[4] + p[5];
+    p[3] = p[4] * p[5] + p[6];
+    p[4] = p[5] * p[6] + p[7];
+    p[5] = p[6] * p[7] + p[8];
+}`).Kernel("k")
+	if big.RegBytes > small.RegBytes+16 {
+		t.Errorf("statement temps not reclaimed: small=%d big=%d", small.RegBytes, big.RegBytes)
+	}
+}
+
+func TestRegisterPressureScalesWithVectorWidth(t *testing.T) {
+	narrow := compile(t, `
+__kernel void k(__global float* p) {
+    float4 a = vload4(0, p);
+    float4 b = vload4(1, p);
+    vstore4(a + b, 2, p);
+}`).Kernel("k")
+	wide, err := clc.Compile("t", `
+__kernel void k(__global double* p) {
+    double4 a = vload4(0, p);
+    double4 b = vload4(1, p);
+    vstore4(a + b, 2, p);
+}`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Kernel("k").RegBytes <= narrow.RegBytes {
+		t.Errorf("double4 kernel must demand more register bytes: f32=%d f64=%d",
+			narrow.RegBytes, wide.Kernel("k").RegBytes)
+	}
+}
+
+func TestInlineCalleeRegistersReclaimed(t *testing.T) {
+	prog := compile(t, `
+float noisy(float x) {
+    float a = x * 2.0f;
+    float b = a + 1.0f;
+    float c = b * a;
+    float d = c - x;
+    return d;
+}
+__kernel void k(__global float* p) {
+    p[0] = noisy(p[1]);
+    p[1] = noisy(p[2]);
+    p[2] = noisy(p[3]);
+    p[3] = noisy(p[4]);
+}`)
+	k := prog.Kernel("k")
+	// Four inline sites must not quadruple the footprint.
+	if k.RegBytes > 200 {
+		t.Errorf("inline sites not reclaimed: RegBytes = %d", k.RegBytes)
+	}
+}
+
+func TestMaxVectorWidth(t *testing.T) {
+	prog := compile(t, `
+__kernel void k(__global float* p) {
+    float8 v = vload8(0, p);
+    vstore8(v * (float8)(2.0f), 1, p);
+}`)
+	if w := prog.Kernel("k").MaxVectorWidth; w != 8 {
+		t.Errorf("MaxVectorWidth = %d, want 8", w)
+	}
+}
+
+func TestConstantSegmentLayout(t *testing.T) {
+	prog := compile(t, `
+__constant float w[2] = {1.5f, -2.0f};
+__constant int flags = 7;
+__kernel void k(__global float* p) { p[0] = w[1] + (float)flags; }
+`)
+	if len(prog.ConstantData) < 12 {
+		t.Fatalf("constant segment = %d bytes", len(prog.ConstantData))
+	}
+}
+
+func TestDisassembleContainsOps(t *testing.T) {
+	prog := compile(t, `
+__kernel void k(__global float* a, const uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) {
+        a[i] = a[i] + 1.0f;
+    }
+}`)
+	dis := prog.Kernel("k").Disassemble()
+	for _, want := range []string{"kernel k(", "callb", "loadf", "storef", "addf", "ret"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestAddrEncoding(t *testing.T) {
+	for _, space := range []int{ir.SpaceGlobal, ir.SpaceLocal, ir.SpaceConstant, ir.SpacePrivate} {
+		for _, off := range []int64{0, 1, 4096, 1 << 40} {
+			addr := ir.EncodeAddr(space, off)
+			s, o := ir.DecodeAddr(addr)
+			if s != space || o != off {
+				t.Fatalf("EncodeAddr(%d, %d) round-trips to (%d, %d)", space, off, s, o)
+			}
+		}
+	}
+}
+
+func TestJumpTargetsInRange(t *testing.T) {
+	prog := compile(t, `
+__kernel void k(__global int* p, const int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) {
+        if (i % 3 == 0) { continue; }
+        if (acc > 100) { break; }
+        int j = 0;
+        while (j < i) { j++; acc += j > 2 ? 1 : 2; }
+        do { acc--; } while (acc > 50);
+    }
+    p[0] = acc;
+}`)
+	k := prog.Kernel("k")
+	for pc, in := range k.Code {
+		switch in.Op {
+		case ir.Jmp, ir.JmpIf, ir.JmpIfZ:
+			if in.Imm < 0 || in.Imm > int64(len(k.Code)) {
+				t.Fatalf("instruction %d: jump target %d out of range [0,%d]", pc, in.Imm, len(k.Code))
+			}
+			if in.Imm == 0 {
+				t.Fatalf("instruction %d: jump to 0 suggests an unpatched label", pc)
+			}
+		}
+	}
+}

@@ -1,0 +1,623 @@
+package ir
+
+import (
+	"maligo/internal/clc/builtin"
+	"maligo/internal/clc/types"
+)
+
+// Optimize runs the kernel-level optimization pipeline: basic-block
+// constant folding followed by global dead-code elimination with jump
+// retargeting. Lowering produces naive three-address code with many
+// materialized immediates (array strides, loop constants); folding and
+// DCE shrink both the static code and — more importantly for the
+// simulator — the dynamic instruction stream the VM executes.
+//
+// The pass is semantics-preserving: the differential tests in
+// internal/vm compile with the optimizer enabled and compare against
+// direct Go evaluation.
+func Optimize(k *Kernel) {
+	foldConstants(k)
+	eliminateDeadCode(k)
+}
+
+// --- constant folding ----------------------------------------------------
+
+// constVal tracks the statically-known contents of one register slot.
+type constVal struct {
+	known bool
+	i     int64
+	f     float64
+}
+
+// foldConstants performs local constant propagation within basic
+// blocks: an instruction whose source lanes are all known constants is
+// replaced by an immediate move of the computed result (when all
+// result lanes agree, which covers the scalar address arithmetic that
+// dominates lowered code).
+func foldConstants(k *Kernel) {
+	leaders := blockLeaders(k.Code)
+	iconst := make(map[int32]constVal)
+	fconst := make(map[int32]constVal)
+	reset := func() {
+		for s := range iconst {
+			delete(iconst, s)
+		}
+		for s := range fconst {
+			delete(fconst, s)
+		}
+	}
+
+	killI := func(a int32, w int) {
+		for l := int32(0); l < int32(w); l++ {
+			delete(iconst, a+l)
+		}
+	}
+	killF := func(a int32, w int) {
+		for l := int32(0); l < int32(w); l++ {
+			delete(fconst, a+l)
+		}
+	}
+
+	for pc := range k.Code {
+		if leaders[pc] {
+			reset()
+		}
+		in := &k.Code[pc]
+		w := int(in.Width)
+		if w == 0 {
+			w = 1
+		}
+		switch in.Op {
+		case ImmI:
+			for l := int32(0); l < int32(w); l++ {
+				iconst[in.A+l] = constVal{known: true, i: in.Imm}
+			}
+		case ImmF:
+			for l := int32(0); l < int32(w); l++ {
+				fconst[in.A+l] = constVal{known: true, f: in.FImm}
+			}
+		case MovI:
+			for l := int32(0); l < int32(w); l++ {
+				if v, ok := iconst[in.B+l]; ok && v.known {
+					iconst[in.A+l] = v
+				} else {
+					delete(iconst, in.A+l)
+				}
+			}
+		case MovF:
+			for l := int32(0); l < int32(w); l++ {
+				if v, ok := fconst[in.B+l]; ok && v.known {
+					fconst[in.A+l] = v
+				} else {
+					delete(fconst, in.A+l)
+				}
+			}
+		case BcastI:
+			if v, ok := iconst[in.B]; ok && v.known {
+				for l := int32(0); l < int32(w); l++ {
+					iconst[in.A+l] = v
+				}
+			} else {
+				killI(in.A, w)
+			}
+		case BcastF:
+			if v, ok := fconst[in.B]; ok && v.known {
+				for l := int32(0); l < int32(w); l++ {
+					fconst[in.A+l] = v
+				}
+			} else {
+				killF(in.A, w)
+			}
+
+		case AddI, SubI, MulI, DivI, RemI, AndI, OrI, XorI, ShlI, ShrI:
+			if w == 1 {
+				bv, bok := iconst[in.B]
+				cv, cok := iconst[in.C]
+				if bok && cok && bv.known && cv.known {
+					res := evalIntBin(in.Op, in.Base, bv.i, cv.i)
+					*in = Instr{Op: ImmI, A: in.A, Imm: res, Width: 1, Base: in.Base}
+					iconst[in.A] = constVal{known: true, i: res}
+					continue
+				}
+			}
+			killI(in.A, w)
+		case NegI:
+			if w == 1 {
+				if bv, ok := iconst[in.B]; ok && bv.known {
+					res := wrapIntIR(in.Base, -bv.i)
+					*in = Instr{Op: ImmI, A: in.A, Imm: res, Width: 1, Base: in.Base}
+					iconst[in.A] = constVal{known: true, i: res}
+					continue
+				}
+			}
+			killI(in.A, w)
+		case NotI:
+			if w == 1 {
+				if bv, ok := iconst[in.B]; ok && bv.known {
+					res := wrapIntIR(in.Base, ^bv.i)
+					*in = Instr{Op: ImmI, A: in.A, Imm: res, Width: 1, Base: in.Base}
+					iconst[in.A] = constVal{known: true, i: res}
+					continue
+				}
+			}
+			killI(in.A, w)
+
+		case AddF, SubF, MulF, DivF:
+			if w == 1 {
+				bv, bok := fconst[in.B]
+				cv, cok := fconst[in.C]
+				if bok && cok && bv.known && cv.known {
+					res := evalFloatBin(in.Op, in.Base, bv.f, cv.f)
+					*in = Instr{Op: ImmF, A: in.A, FImm: res, Width: 1, Base: in.Base}
+					fconst[in.A] = constVal{known: true, f: res}
+					continue
+				}
+			}
+			killF(in.A, w)
+		case NegF:
+			if w == 1 {
+				if bv, ok := fconst[in.B]; ok && bv.known {
+					res := roundBaseIR(in.Base, -bv.f)
+					*in = Instr{Op: ImmF, A: in.A, FImm: res, Width: 1, Base: in.Base}
+					fconst[in.A] = constVal{known: true, f: res}
+					continue
+				}
+			}
+			killF(in.A, w)
+
+		case CvtII:
+			if w == 1 {
+				if bv, ok := iconst[in.B]; ok && bv.known {
+					v := bv.i
+					if in.Base == types.Bool {
+						if v != 0 {
+							v = 1
+						} else {
+							v = 0
+						}
+					} else {
+						v = wrapIntIR(in.Base, v)
+					}
+					*in = Instr{Op: ImmI, A: in.A, Imm: v, Width: 1, Base: in.Base}
+					iconst[in.A] = constVal{known: true, i: v}
+					continue
+				}
+			}
+			killI(in.A, w)
+		case CvtIF:
+			if w == 1 {
+				if bv, ok := iconst[in.B]; ok && bv.known {
+					var f float64
+					if in.Base2.IsSigned() || in.Base2 == types.Bool {
+						f = float64(bv.i)
+					} else {
+						f = float64(uint64(bv.i))
+					}
+					f = roundBaseIR(in.Base, f)
+					*in = Instr{Op: ImmF, A: in.A, FImm: f, Width: 1, Base: in.Base}
+					fconst[in.A] = constVal{known: true, f: f}
+					continue
+				}
+			}
+			killF(in.A, w)
+		case CvtFF:
+			if w == 1 {
+				if bv, ok := fconst[in.B]; ok && bv.known {
+					f := roundBaseIR(in.Base, bv.f)
+					*in = Instr{Op: ImmF, A: in.A, FImm: f, Width: 1, Base: in.Base}
+					fconst[in.A] = constVal{known: true, f: f}
+					continue
+				}
+			}
+			killF(in.A, w)
+		case CvtFI:
+			killI(in.A, w)
+
+		case CmpEqI, CmpNeI, CmpLtI, CmpLeI:
+			if w == 1 {
+				bv, bok := iconst[in.B]
+				cv, cok := iconst[in.C]
+				if bok && cok && bv.known && cv.known {
+					res := evalIntCmp(in.Op, in.Base, bv.i, cv.i)
+					*in = Instr{Op: ImmI, A: in.A, Imm: res, Width: 1, Base: types.Int}
+					iconst[in.A] = constVal{known: true, i: res}
+					continue
+				}
+			}
+			killI(in.A, w)
+		case CmpEqF, CmpNeF, CmpLtF, CmpLeF, SelI:
+			killI(in.A, w)
+		case SelF:
+			killF(in.A, w)
+
+		case LoadI:
+			killI(in.A, w)
+		case LoadF:
+			killF(in.A, w)
+		case CallB:
+			// Builtins write either bank depending on the operation;
+			// conservatively kill both at the destination.
+			id := builtin.ID(in.Imm)
+			wDst := w
+			if id == builtin.Dot || id == builtin.Length || id == builtin.Distance {
+				wDst = 1
+			}
+			killI(in.A, wDst)
+			killF(in.A, wDst)
+		case AtomicOp:
+			killI(in.A, 1)
+		case StoreI, StoreF, BarrierOp, Jmp, JmpIf, JmpIfZ, Ret, Nop:
+			// No register results.
+		}
+	}
+}
+
+// blockLeaders marks the first instruction of every basic block.
+func blockLeaders(code []Instr) []bool {
+	leaders := make([]bool, len(code)+1)
+	if len(code) > 0 {
+		leaders[0] = true
+	}
+	for pc, in := range code {
+		switch in.Op {
+		case Jmp, JmpIf, JmpIfZ:
+			if in.Imm >= 0 && in.Imm <= int64(len(code)) {
+				leaders[in.Imm] = true
+			}
+			if pc+1 < len(code) {
+				leaders[pc+1] = true
+			}
+		case Ret, BarrierOp:
+			if pc+1 < len(code) {
+				leaders[pc+1] = true
+			}
+		}
+	}
+	return leaders[:len(code)]
+}
+
+func wrapIntIR(base types.Base, v int64) int64 {
+	switch base {
+	case types.Bool:
+		if v != 0 {
+			return 1
+		}
+		return 0
+	case types.Char:
+		return int64(int8(v))
+	case types.UChar:
+		return int64(uint8(v))
+	case types.Short:
+		return int64(int16(v))
+	case types.UShort:
+		return int64(uint16(v))
+	case types.Int:
+		return int64(int32(v))
+	case types.UInt:
+		return int64(uint32(v))
+	}
+	return v
+}
+
+func roundBaseIR(base types.Base, f float64) float64 {
+	if base == types.Float {
+		return float64(float32(f))
+	}
+	return f
+}
+
+func evalIntBin(op Op, base types.Base, a, b int64) int64 {
+	signed := base.IsSigned()
+	size := base.Size()
+	if size == 0 {
+		size = 8
+	}
+	var v int64
+	switch op {
+	case AddI:
+		v = a + b
+	case SubI:
+		v = a - b
+	case MulI:
+		v = a * b
+	case DivI:
+		if b == 0 {
+			v = 0
+		} else if signed {
+			v = a / b
+		} else {
+			v = int64(uint64(a) / uint64(b))
+		}
+	case RemI:
+		if b == 0 {
+			v = 0
+		} else if signed {
+			v = a % b
+		} else {
+			v = int64(uint64(a) % uint64(b))
+		}
+	case AndI:
+		v = a & b
+	case OrI:
+		v = a | b
+	case XorI:
+		v = a ^ b
+	case ShlI:
+		v = a << (uint64(b) & uint64(size*8-1))
+	case ShrI:
+		sh := uint64(b) & uint64(size*8-1)
+		if signed {
+			v = a >> sh
+		} else {
+			switch size {
+			case 1:
+				v = int64(uint8(a) >> sh)
+			case 2:
+				v = int64(uint16(a) >> sh)
+			case 4:
+				v = int64(uint32(a) >> sh)
+			default:
+				v = int64(uint64(a) >> sh)
+			}
+		}
+	}
+	return wrapIntIR(base, v)
+}
+
+func evalFloatBin(op Op, base types.Base, a, b float64) float64 {
+	var v float64
+	switch op {
+	case AddF:
+		v = a + b
+	case SubF:
+		v = a - b
+	case MulF:
+		v = a * b
+	case DivF:
+		v = a / b
+	}
+	return roundBaseIR(base, v)
+}
+
+func evalIntCmp(op Op, base types.Base, a, b int64) int64 {
+	signed := base.IsSigned()
+	var t bool
+	switch op {
+	case CmpEqI:
+		t = a == b
+	case CmpNeI:
+		t = a != b
+	case CmpLtI:
+		if signed {
+			t = a < b
+		} else {
+			t = uint64(a) < uint64(b)
+		}
+	case CmpLeI:
+		if signed {
+			t = a <= b
+		} else {
+			t = uint64(a) <= uint64(b)
+		}
+	}
+	if t {
+		return 1
+	}
+	return 0
+}
+
+// --- dead-code elimination -------------------------------------------------
+
+// pureWriters are opcodes with no effect other than writing their
+// destination register.
+func pureWriter(op Op) bool {
+	switch op {
+	case MovI, MovF, ImmI, ImmF, BcastI, BcastF,
+		AddI, SubI, MulI, DivI, RemI, AndI, OrI, XorI, ShlI, ShrI, NegI, NotI,
+		AddF, SubF, MulF, DivF, NegF,
+		CmpEqI, CmpNeI, CmpLtI, CmpLeI, CmpEqF, CmpNeF, CmpLtF, CmpLeF,
+		SelI, SelF, CvtII, CvtIF, CvtFI, CvtFF, Nop:
+		return true
+	}
+	return false
+}
+
+// readSlots appends the (bank-agnostic) slots an instruction reads.
+// Integer and float banks are disjoint register files, so reads are
+// tracked per bank; bankOfSources reports which bank each source
+// operand belongs to for the given op.
+func collectReads(in *Instr, intReads, fltReads map[int32]bool) {
+	w := int32(in.Width)
+	if w == 0 {
+		w = 1
+	}
+	markI := func(s int32, n int32) {
+		for l := int32(0); l < n; l++ {
+			intReads[s+l] = true
+		}
+	}
+	markF := func(s int32, n int32) {
+		for l := int32(0); l < n; l++ {
+			fltReads[s+l] = true
+		}
+	}
+	switch in.Op {
+	case MovI:
+		markI(in.B, w)
+	case MovF:
+		markF(in.B, w)
+	case BcastI:
+		markI(in.B, 1)
+	case BcastF:
+		markF(in.B, 1)
+	case AddI, SubI, MulI, DivI, RemI, AndI, OrI, XorI, ShlI, ShrI,
+		CmpEqI, CmpNeI, CmpLtI, CmpLeI:
+		markI(in.B, w)
+		markI(in.C, w)
+	case NegI, NotI, CvtII:
+		markI(in.B, w)
+	case AddF, SubF, MulF, DivF, CmpEqF, CmpNeF, CmpLtF, CmpLeF:
+		markF(in.B, w)
+		markF(in.C, w)
+	case NegF, CvtFF:
+		markF(in.B, w)
+	case CvtIF:
+		markI(in.B, w)
+	case CvtFI:
+		markF(in.B, w)
+	case SelI:
+		markI(in.B, w)
+		markI(in.C, w)
+		markI(in.D, w)
+	case SelF:
+		markI(in.B, w)
+		markF(in.C, w)
+		markF(in.D, w)
+	case LoadI, LoadF:
+		markI(in.B, 1) // address
+	case StoreI:
+		markI(in.A, w) // value
+		markI(in.B, 1)
+	case StoreF:
+		markF(in.A, w)
+		markI(in.B, 1)
+	case CallB:
+		id := builtin.ID(in.Imm)
+		switch {
+		case id.IsWorkItemQuery():
+			markI(in.B, 1)
+		case id == builtin.GetWorkDim:
+		case id == builtin.Min || id == builtin.Max || id == builtin.Abs ||
+			id == builtin.Clamp:
+			if in.Base.IsFloat() {
+				markF(in.B, w)
+				markF(in.C, w)
+				markF(in.D, w)
+			} else {
+				markI(in.B, w)
+				markI(in.C, w)
+				markI(in.D, w)
+			}
+		case id == builtin.Select:
+			if in.Base.IsFloat() {
+				markF(in.B, w)
+				markF(in.C, w)
+			} else {
+				markI(in.B, w)
+				markI(in.C, w)
+			}
+			markI(in.D, w)
+		default:
+			markF(in.B, w)
+			markF(in.C, w)
+			markF(in.D, w)
+		}
+	case AtomicOp:
+		markI(in.B, 1)
+		markI(in.C, 1)
+		markI(in.D, 1)
+	case JmpIf, JmpIfZ:
+		markI(in.B, 1)
+	}
+}
+
+// destBank reports which bank an instruction's destination lives in,
+// or -1 when it has no register destination.
+func destBank(in *Instr) int {
+	switch in.Op {
+	case MovI, ImmI, BcastI, AddI, SubI, MulI, DivI, RemI, AndI, OrI, XorI,
+		ShlI, ShrI, NegI, NotI, CmpEqI, CmpNeI, CmpLtI, CmpLeI,
+		CmpEqF, CmpNeF, CmpLtF, CmpLeF, SelI, CvtII, CvtFI:
+		return 0
+	case MovF, ImmF, BcastF, AddF, SubF, MulF, DivF, NegF, SelF, CvtIF, CvtFF:
+		return 1
+	}
+	return -1
+}
+
+// eliminateDeadCode removes pure instructions whose destinations are
+// never read anywhere in the kernel, then compacts the code and remaps
+// jump targets. The global never-read criterion is conservative but
+// safe across loops without full liveness analysis; iterating reaches
+// a fixpoint because each round only removes code.
+func eliminateDeadCode(k *Kernel) {
+	for {
+		intReads := make(map[int32]bool)
+		fltReads := make(map[int32]bool)
+		for i := range k.Code {
+			collectReads(&k.Code[i], intReads, fltReads)
+		}
+		// Kernel argument slots may be read by nothing — fine, they're
+		// inputs; no special handling needed.
+		removed := 0
+		keep := make([]bool, len(k.Code))
+		for i := range k.Code {
+			in := &k.Code[i]
+			keep[i] = true
+			if !pureWriter(in.Op) {
+				continue
+			}
+			if in.Op == Nop {
+				keep[i] = false
+				removed++
+				continue
+			}
+			w := int32(in.Width)
+			if w == 0 {
+				w = 1
+			}
+			reads := intReads
+			if destBank(in) == 1 {
+				reads = fltReads
+			}
+			dead := true
+			for l := int32(0); l < w; l++ {
+				if reads[in.A+l] {
+					dead = false
+					break
+				}
+			}
+			if dead {
+				keep[i] = false
+				removed++
+			}
+		}
+		if removed == 0 {
+			return
+		}
+		compact(k, keep)
+	}
+}
+
+// compact drops unkept instructions and remaps jump targets.
+func compact(k *Kernel, keep []bool) {
+	newIndex := make([]int64, len(k.Code)+1)
+	n := int64(0)
+	for i := range k.Code {
+		newIndex[i] = n
+		if keep[i] {
+			n++
+		}
+	}
+	newIndex[len(k.Code)] = n
+	out := make([]Instr, 0, n)
+	for i := range k.Code {
+		if !keep[i] {
+			continue
+		}
+		in := k.Code[i]
+		switch in.Op {
+		case Jmp, JmpIf, JmpIfZ:
+			t := in.Imm
+			if t < 0 {
+				t = 0
+			}
+			if t > int64(len(k.Code)) {
+				t = int64(len(k.Code))
+			}
+			in.Imm = newIndex[t]
+		}
+		out = append(out, in)
+	}
+	k.Code = out
+}

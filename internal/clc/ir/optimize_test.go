@@ -1,0 +1,159 @@
+package ir_test
+
+import (
+	"testing"
+
+	"maligo/internal/clc/ir"
+)
+
+// countOps tallies opcodes in a kernel.
+func countOps(k *ir.Kernel) map[ir.Op]int {
+	m := make(map[ir.Op]int)
+	for _, in := range k.Code {
+		m[in.Op]++
+	}
+	return m
+}
+
+func TestConstantFoldingCollapsesLiteralArithmetic(t *testing.T) {
+	prog := compile(t, `
+__kernel void k(__global int* p) {
+    p[0] = (3 + 4) * 2 - 1; // 13, entirely constant
+}`)
+	k := prog.Kernel("k")
+	ops := countOps(k)
+	// One AddI survives for the p+0 address computation (its base is a
+	// runtime parameter); the literal value arithmetic must be gone.
+	if ops[ir.MulI] != 0 || ops[ir.SubI] != 0 || ops[ir.AddI] > 1 {
+		t.Fatalf("literal arithmetic not folded:\n%s", k.Disassemble())
+	}
+	// The folded value must appear as an immediate.
+	found := false
+	for _, in := range k.Code {
+		if in.Op == ir.ImmI && in.Imm == 13 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("folded constant 13 missing:\n%s", k.Disassemble())
+	}
+}
+
+func TestDeadCodeEliminated(t *testing.T) {
+	prog := compile(t, `
+__kernel void k(__global int* p) {
+    int unused = 5 * 7;   // never read
+    int used = 3;
+    p[0] = used;
+}`)
+	k := prog.Kernel("k")
+	for _, in := range k.Code {
+		if in.Op == ir.ImmI && in.Imm == 35 {
+			t.Fatalf("dead computation survived:\n%s", k.Disassemble())
+		}
+	}
+}
+
+func TestOptimizerShrinksAddressArithmetic(t *testing.T) {
+	// Compile the same kernel, then re-run lowering without the
+	// optimizer by comparing against a hand-rolled unoptimized count:
+	// here we just assert the optimizer achieves a meaningful static
+	// reduction on a typical indexing-heavy kernel.
+	prog := compile(t, `
+__kernel void k(__global const float* a, __global float* b, const uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) {
+        b[i * 4 + 2] = a[i * 4] + a[i * 4 + 1] + a[i * 4 + 2] + a[i * 4 + 3];
+    }
+}`)
+	k := prog.Kernel("k")
+	if len(k.Code) > 60 {
+		t.Fatalf("optimized kernel unexpectedly large (%d instrs):\n%s", len(k.Code), k.Disassemble())
+	}
+}
+
+func TestOptimizePreservesJumpTargets(t *testing.T) {
+	prog := compile(t, `
+__kernel void k(__global int* p, const int n) {
+    int unused1 = 11 * 13;
+    int acc = 0;
+    for (int i = 0; i < n; i++) {
+        int unused2 = i; // pure, dead
+        if (i % 2 == 0) {
+            acc += i;
+        } else {
+            acc -= 1;
+        }
+    }
+    p[0] = acc;
+}`)
+	k := prog.Kernel("k")
+	for pc, in := range k.Code {
+		switch in.Op {
+		case ir.Jmp, ir.JmpIf, ir.JmpIfZ:
+			if in.Imm < 0 || in.Imm > int64(len(k.Code)) {
+				t.Fatalf("instr %d: jump target %d out of range after DCE:\n%s", pc, in.Imm, k.Disassemble())
+			}
+		}
+	}
+}
+
+// TestOptimizeIdempotent: running Optimize again must not change the
+// code (fixpoint).
+func TestOptimizeIdempotent(t *testing.T) {
+	prog := compile(t, `
+__kernel void k(__global float* p, const uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) {
+        p[i] = p[i] * 2.0f + 1.0f;
+    }
+}`)
+	k := prog.Kernel("k")
+	before := len(k.Code)
+	ir.Optimize(k)
+	if len(k.Code) != before {
+		t.Fatalf("Optimize not idempotent: %d -> %d instrs", before, len(k.Code))
+	}
+}
+
+// TestOptimizeKeepsSideEffects: stores, atomics and barriers must
+// survive even when their results are unused.
+func TestOptimizeKeepsSideEffects(t *testing.T) {
+	prog := compile(t, `
+__kernel void k(__global int* p, __local int* s) {
+    atomic_add(&p[0], 1);    // result discarded, op must stay
+    s[get_local_id(0)] = 1;
+    barrier(1);
+    p[1] = s[0];
+}`)
+	k := prog.Kernel("k")
+	ops := countOps(k)
+	if ops[ir.AtomicOp] != 1 {
+		t.Fatalf("atomic removed:\n%s", k.Disassemble())
+	}
+	if ops[ir.BarrierOp] != 1 {
+		t.Fatalf("barrier removed:\n%s", k.Disassemble())
+	}
+	if ops[ir.StoreI] < 2 {
+		t.Fatalf("stores removed:\n%s", k.Disassemble())
+	}
+}
+
+func TestFoldedComparisonDrivesBranch(t *testing.T) {
+	// A constant condition folds to an immediate; execution (covered
+	// by VM tests) must still take the right branch. Here we check the
+	// comparison instruction disappeared.
+	prog := compile(t, `
+__kernel void k(__global int* p) {
+    if (3 < 5) {
+        p[0] = 1;
+    } else {
+        p[0] = 2;
+    }
+}`)
+	k := prog.Kernel("k")
+	ops := countOps(k)
+	if ops[ir.CmpLtI] != 0 {
+		t.Fatalf("constant comparison not folded:\n%s", k.Disassemble())
+	}
+}

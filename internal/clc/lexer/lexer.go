@@ -1,0 +1,369 @@
+// Package lexer converts OpenCL C source text into a stream of tokens.
+//
+// The lexer operates on already-preprocessed source (see package
+// preproc); it still skips comments so it can be used directly on
+// sources that need no macro expansion.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"maligo/internal/clc/token"
+)
+
+// Error is a lexical error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans one compilation unit.
+type Lexer struct {
+	src  string
+	off  int // byte offset of the next unread character
+	line int
+	col  int
+	errs []*Error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// skipSpace consumes whitespace and comments.
+func (l *Lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token. At end of input it returns an EOF token
+// indefinitely.
+func (l *Lexer) Next() token.Token {
+	l.skipSpace()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		return l.lexIdent(pos)
+	case isDigit(c) || (c == '.' && isDigit(l.peek2())):
+		return l.lexNumber(pos)
+	case c == '\'':
+		return l.lexChar(pos)
+	case c == '"':
+		return l.lexString(pos)
+	}
+	return l.lexOperator(pos)
+}
+
+// Tokenize scans the whole input.
+func (l *Lexer) Tokenize() []token.Token {
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+func (l *Lexer) lexIdent(pos token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && isIdentCont(l.peek()) {
+		l.advance()
+	}
+	lit := l.src[start:l.off]
+	kind := token.Lookup(lit)
+	if kind != token.IDENT {
+		return token.Token{Kind: kind, Lit: lit, Pos: pos}
+	}
+	return token.Token{Kind: token.IDENT, Lit: lit, Pos: pos}
+}
+
+func (l *Lexer) lexNumber(pos token.Pos) token.Token {
+	start := l.off
+	isFloat := false
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+	} else {
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		if l.peek() == '.' {
+			isFloat = true
+			l.advance()
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		if l.peek() == 'e' || l.peek() == 'E' {
+			if isDigit(l.peek2()) || ((l.peek2() == '+' || l.peek2() == '-') && l.off+2 < len(l.src) && isDigit(l.src[l.off+2])) {
+				isFloat = true
+				l.advance() // e
+				if l.peek() == '+' || l.peek() == '-' {
+					l.advance()
+				}
+				for l.off < len(l.src) && isDigit(l.peek()) {
+					l.advance()
+				}
+			}
+		}
+	}
+	// Suffixes: f/F marks float; u/U/l/L are integer suffixes.
+	for l.off < len(l.src) {
+		switch l.peek() {
+		case 'f', 'F':
+			isFloat = true
+			l.advance()
+		case 'u', 'U', 'l', 'L':
+			l.advance()
+		default:
+			goto done
+		}
+	}
+done:
+	lit := l.src[start:l.off]
+	if isFloat {
+		return token.Token{Kind: token.FLOATLIT, Lit: lit, Pos: pos}
+	}
+	return token.Token{Kind: token.INTLIT, Lit: lit, Pos: pos}
+}
+
+func (l *Lexer) lexChar(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for l.off < len(l.src) && l.peek() != '\'' {
+		c := l.advance()
+		if c == '\\' && l.off < len(l.src) {
+			sb.WriteByte(unescape(l.advance()))
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	if l.off >= len(l.src) {
+		l.errorf(pos, "unterminated character literal")
+		return token.Token{Kind: token.ILLEGAL, Lit: sb.String(), Pos: pos}
+	}
+	l.advance() // closing quote
+	if sb.Len() != 1 {
+		l.errorf(pos, "character literal must contain exactly one character")
+	}
+	return token.Token{Kind: token.CHARLIT, Lit: sb.String(), Pos: pos}
+}
+
+func (l *Lexer) lexString(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for l.off < len(l.src) && l.peek() != '"' {
+		c := l.advance()
+		if c == '\\' && l.off < len(l.src) {
+			sb.WriteByte(unescape(l.advance()))
+			continue
+		}
+		if c == '\n' {
+			l.errorf(pos, "newline in string literal")
+			return token.Token{Kind: token.ILLEGAL, Lit: sb.String(), Pos: pos}
+		}
+		sb.WriteByte(c)
+	}
+	if l.off >= len(l.src) {
+		l.errorf(pos, "unterminated string literal")
+		return token.Token{Kind: token.ILLEGAL, Lit: sb.String(), Pos: pos}
+	}
+	l.advance()
+	return token.Token{Kind: token.STRINGLIT, Lit: sb.String(), Pos: pos}
+}
+
+func unescape(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	case '"':
+		return '"'
+	}
+	return c
+}
+
+func (l *Lexer) lexOperator(pos token.Pos) token.Token {
+	c := l.advance()
+	two := func(next byte, with, without token.Kind) token.Token {
+		if l.peek() == next {
+			l.advance()
+			return token.Token{Kind: with, Pos: pos}
+		}
+		return token.Token{Kind: without, Pos: pos}
+	}
+	switch c {
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return token.Token{Kind: token.INC, Pos: pos}
+		}
+		return two('=', token.ADD_ASSIGN, token.ADD)
+	case '-':
+		if l.peek() == '-' {
+			l.advance()
+			return token.Token{Kind: token.DEC, Pos: pos}
+		}
+		if l.peek() == '>' {
+			l.advance()
+			return token.Token{Kind: token.ARROW, Pos: pos}
+		}
+		return two('=', token.SUB_ASSIGN, token.SUB)
+	case '*':
+		return two('=', token.MUL_ASSIGN, token.MUL)
+	case '/':
+		return two('=', token.QUO_ASSIGN, token.QUO)
+	case '%':
+		return two('=', token.REM_ASSIGN, token.REM)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return token.Token{Kind: token.LAND, Pos: pos}
+		}
+		return two('=', token.AND_ASSIGN, token.AND)
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return token.Token{Kind: token.LOR, Pos: pos}
+		}
+		return two('=', token.OR_ASSIGN, token.OR)
+	case '^':
+		return two('=', token.XOR_ASSIGN, token.XOR)
+	case '~':
+		return token.Token{Kind: token.NOT, Pos: pos}
+	case '!':
+		return two('=', token.NEQ, token.LNOT)
+	case '=':
+		return two('=', token.EQL, token.ASSIGN)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return two('=', token.SHL_ASSIGN, token.SHL)
+		}
+		return two('=', token.LEQ, token.LSS)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return two('=', token.SHR_ASSIGN, token.SHR)
+		}
+		return two('=', token.GEQ, token.GTR)
+	case '?':
+		return token.Token{Kind: token.QUESTION, Pos: pos}
+	case ':':
+		return token.Token{Kind: token.COLON, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMICOLON, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}
+	case '.':
+		return token.Token{Kind: token.PERIOD, Pos: pos}
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBRACK, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACK, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: pos}
+	}
+	l.errorf(pos, "illegal character %q", string(rune(c)))
+	return token.Token{Kind: token.ILLEGAL, Lit: string(rune(c)), Pos: pos}
+}

@@ -1,0 +1,183 @@
+package lexer
+
+import (
+	"testing"
+
+	"maligo/internal/clc/token"
+)
+
+func kinds(src string) []token.Kind {
+	lx := New(src)
+	var out []token.Kind
+	for _, t := range lx.Tokenize() {
+		out = append(out, t.Kind)
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	got := kinds("a = b + 42;")
+	want := []token.Kind{token.IDENT, token.ASSIGN, token.IDENT, token.ADD,
+		token.INTLIT, token.SEMICOLON, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	cases := map[string]token.Kind{
+		"+": token.ADD, "-": token.SUB, "*": token.MUL, "/": token.QUO, "%": token.REM,
+		"+=": token.ADD_ASSIGN, "-=": token.SUB_ASSIGN, "*=": token.MUL_ASSIGN,
+		"/=": token.QUO_ASSIGN, "%=": token.REM_ASSIGN,
+		"&": token.AND, "|": token.OR, "^": token.XOR, "~": token.NOT,
+		"&=": token.AND_ASSIGN, "|=": token.OR_ASSIGN, "^=": token.XOR_ASSIGN,
+		"<<": token.SHL, ">>": token.SHR, "<<=": token.SHL_ASSIGN, ">>=": token.SHR_ASSIGN,
+		"&&": token.LAND, "||": token.LOR, "!": token.LNOT,
+		"==": token.EQL, "!=": token.NEQ, "<": token.LSS, ">": token.GTR,
+		"<=": token.LEQ, ">=": token.GEQ,
+		"++": token.INC, "--": token.DEC, "->": token.ARROW,
+		"?": token.QUESTION, ":": token.COLON, ".": token.PERIOD, ",": token.COMMA,
+		"(": token.LPAREN, ")": token.RPAREN, "[": token.LBRACK, "]": token.RBRACK,
+		"{": token.LBRACE, "}": token.RBRACE,
+	}
+	for src, want := range cases {
+		lx := New(src)
+		tok := lx.Next()
+		if tok.Kind != want {
+			t.Errorf("lex(%q) = %v, want %v", src, tok.Kind, want)
+		}
+		if next := lx.Next(); next.Kind != token.EOF {
+			t.Errorf("lex(%q): trailing token %v", src, next)
+		}
+	}
+}
+
+func TestNumberLiterals(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind token.Kind
+	}{
+		{"0", token.INTLIT},
+		{"123", token.INTLIT},
+		{"0x1F", token.INTLIT},
+		{"42u", token.INTLIT},
+		{"42UL", token.INTLIT},
+		{"1.5", token.FLOATLIT},
+		{"1.5f", token.FLOATLIT},
+		{".5", token.FLOATLIT},
+		{"1e10", token.FLOATLIT},
+		{"1.5e-3", token.FLOATLIT},
+		{"2E+4f", token.FLOATLIT},
+		{"3f", token.FLOATLIT}, // suffix makes it float
+	}
+	for _, c := range cases {
+		lx := New(c.src)
+		tok := lx.Next()
+		if tok.Kind != c.kind {
+			t.Errorf("lex(%q) = %v (%q), want %v", c.src, tok.Kind, tok.Lit, c.kind)
+		}
+		if tok.Lit != c.src {
+			t.Errorf("lex(%q) literal = %q", c.src, tok.Lit)
+		}
+	}
+}
+
+func TestDotAfterNumberVsMember(t *testing.T) {
+	// "v.x" must lex as IDENT PERIOD IDENT, not a float.
+	got := kinds("v.x")
+	want := []token.Kind{token.IDENT, token.PERIOD, token.IDENT, token.EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("v.x lexed as %v", got)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// line comment with * and /
+a /* block
+   comment */ b
+`
+	got := kinds(src)
+	want := []token.Kind{token.IDENT, token.IDENT, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("comments not skipped: %v", got)
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	lx := New("a /* never closed")
+	lx.Tokenize()
+	if len(lx.Errors()) == 0 {
+		t.Fatal("expected an error for unterminated block comment")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	lx := New("a\n  bb\n")
+	toks := lx.Tokenize()
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("bb at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestCharAndStringLiterals(t *testing.T) {
+	lx := New(`'x' "hello\n"`)
+	toks := lx.Tokenize()
+	if toks[0].Kind != token.CHARLIT || toks[0].Lit != "x" {
+		t.Errorf("char literal = %v", toks[0])
+	}
+	if toks[1].Kind != token.STRINGLIT || toks[1].Lit != "hello\n" {
+		t.Errorf("string literal = %v", toks[1])
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	lx := New("a @ b")
+	toks := lx.Tokenize()
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == token.ILLEGAL {
+			found = true
+		}
+	}
+	if !found || len(lx.Errors()) == 0 {
+		t.Fatal("expected ILLEGAL token and error for '@'")
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	lx := New("")
+	for i := 0; i < 3; i++ {
+		if tok := lx.Next(); tok.Kind != token.EOF {
+			t.Fatalf("Next() after EOF = %v", tok)
+		}
+	}
+}
+
+func TestKeywordRecognition(t *testing.T) {
+	got := kinds("__kernel void f(__global const float* restrict p) { return; }")
+	want := []token.Kind{
+		token.KwKernel, token.KwVoid, token.IDENT, token.LPAREN,
+		token.KwGlobal, token.KwConst, token.IDENT, token.MUL, token.KwRestrict,
+		token.IDENT, token.RPAREN, token.LBRACE, token.KwReturn, token.SEMICOLON,
+		token.RBRACE, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

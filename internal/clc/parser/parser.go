@@ -1,0 +1,745 @@
+// Package parser implements a recursive-descent parser for the OpenCL
+// C dialect accepted by clc. It produces the AST defined in package
+// ast; all semantic checking is deferred to package sema.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"maligo/internal/clc/ast"
+	"maligo/internal/clc/lexer"
+	"maligo/internal/clc/token"
+)
+
+// Error is a parse error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Parser holds the parse state for one compilation unit.
+type Parser struct {
+	toks     []token.Token
+	pos      int
+	typedefs map[string]bool
+	errs     []error
+}
+
+// Parse lexes and parses src, returning the file AST. name is used in
+// diagnostics only.
+func Parse(name, src string) (*ast.File, error) {
+	lx := lexer.New(src)
+	toks := lx.Tokenize()
+	if lexErrs := lx.Errors(); len(lexErrs) > 0 {
+		return nil, lexErrs[0]
+	}
+	p := &Parser{toks: toks, typedefs: make(map[string]bool)}
+	file := &ast.File{Name: name}
+	for !p.at(token.EOF) {
+		decl := p.parseTopDecl()
+		if decl != nil {
+			file.Decls = append(file.Decls, decl)
+		}
+		if len(p.errs) > 0 {
+			return nil, p.errs[0]
+		}
+	}
+	return file, nil
+}
+
+// --- token helpers ---------------------------------------------------------
+
+func (p *Parser) cur() token.Token     { return p.toks[p.pos] }
+func (p *Parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) peekKind(n int) token.Kind {
+	if p.pos+n >= len(p.toks) {
+		return token.EOF
+	}
+	return p.toks[p.pos+n].Kind
+}
+
+func (p *Parser) next() token.Token {
+	t := p.cur()
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) expect(k token.Kind) token.Token {
+	if !p.at(k) {
+		p.errorf("expected %s, found %s", k, p.cur())
+		return token.Token{Kind: k, Pos: p.cur().Pos}
+	}
+	return p.next()
+}
+
+func (p *Parser) errorf(format string, args ...any) {
+	p.errs = append(p.errs, &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)})
+	// Skip to a likely synchronization point to avoid error cascades.
+	for !p.at(token.EOF) && !p.at(token.SEMICOLON) && !p.at(token.RBRACE) {
+		p.next()
+	}
+}
+
+// --- type names ------------------------------------------------------------
+
+var scalarTypeNames = map[string]bool{
+	"void": true, "bool": true,
+	"char": true, "uchar": true, "short": true, "ushort": true,
+	"int": true, "uint": true, "long": true, "ulong": true,
+	"float": true, "double": true, "half": true,
+	"size_t": true, "ptrdiff_t": true, "intptr_t": true, "uintptr_t": true,
+}
+
+var vectorWidths = map[string]bool{"2": true, "3": true, "4": true, "8": true, "16": true}
+
+// IsBuiltinTypeName reports whether name is a builtin OpenCL C scalar
+// or vector type name.
+func IsBuiltinTypeName(name string) bool {
+	if scalarTypeNames[name] {
+		return true
+	}
+	// Vector types: base name followed by a width suffix.
+	for i := len(name) - 1; i > 0; i-- {
+		c := name[i]
+		if c < '0' || c > '9' {
+			base, width := name[:i+1], name[i+1:]
+			if width == "" {
+				return false
+			}
+			return vectorWidths[width] && scalarTypeNames[base] && base != "void" && base != "bool" &&
+				base != "size_t" && base != "ptrdiff_t" && base != "intptr_t" && base != "uintptr_t" && base != "half"
+		}
+	}
+	return false
+}
+
+func (p *Parser) isTypeName(name string) bool {
+	return IsBuiltinTypeName(name) || p.typedefs[name]
+}
+
+// startsType reports whether the token at offset n begins a type name
+// (including qualifiers).
+func (p *Parser) startsType(n int) bool {
+	switch p.peekKind(n) {
+	case token.KwConst, token.KwVolatile, token.KwGlobal, token.KwLocal,
+		token.KwConstant, token.KwPrivate, token.KwUnsigned, token.KwSigned, token.KwVoid:
+		return true
+	case token.IDENT:
+		return p.isTypeName(p.toks[p.pos+n].Lit)
+	}
+	return false
+}
+
+// parseTypeName parses qualifiers, a base type name, and pointer
+// declarator stars: [space] [const] [volatile] name *... [restrict] [const].
+func (p *Parser) parseTypeName() *ast.TypeName {
+	tn := &ast.TypeName{NamePos: p.cur().Pos, Space: ast.PrivateSpace}
+	// Leading qualifiers in any order.
+	for {
+		switch p.cur().Kind {
+		case token.KwGlobal:
+			tn.Space = ast.GlobalSpace
+			p.next()
+			continue
+		case token.KwLocal:
+			tn.Space = ast.LocalSpace
+			p.next()
+			continue
+		case token.KwConstant:
+			tn.Space = ast.ConstantSpace
+			tn.Const = true
+			p.next()
+			continue
+		case token.KwPrivate:
+			tn.Space = ast.PrivateSpace
+			p.next()
+			continue
+		case token.KwConst:
+			tn.Const = true
+			p.next()
+			continue
+		case token.KwVolatile:
+			tn.Volatile = true
+			p.next()
+			continue
+		case token.KwStatic:
+			p.next()
+			continue
+		}
+		break
+	}
+	switch p.cur().Kind {
+	case token.KwVoid:
+		tn.Name = "void"
+		p.next()
+	case token.KwUnsigned, token.KwSigned:
+		unsigned := p.cur().Kind == token.KwUnsigned
+		p.next()
+		base := "int"
+		if p.at(token.IDENT) && scalarTypeNames[p.cur().Lit] {
+			base = p.next().Lit
+		}
+		if unsigned {
+			switch base {
+			case "char":
+				base = "uchar"
+			case "short":
+				base = "ushort"
+			case "int":
+				base = "uint"
+			case "long":
+				base = "ulong"
+			}
+		}
+		tn.Name = base
+	case token.IDENT:
+		if !p.isTypeName(p.cur().Lit) {
+			p.errorf("expected type name, found %s", p.cur())
+			return tn
+		}
+		tn.Name = p.next().Lit
+	default:
+		p.errorf("expected type name, found %s", p.cur())
+		return tn
+	}
+	// Pointer stars with interleaved qualifiers.
+	for {
+		switch p.cur().Kind {
+		case token.MUL:
+			tn.PtrDepth++
+			p.next()
+		case token.KwRestrict:
+			tn.Restrict = true
+			p.next()
+		case token.KwConst:
+			tn.Const = true
+			p.next()
+		case token.KwVolatile:
+			tn.Volatile = true
+			p.next()
+		default:
+			return tn
+		}
+	}
+}
+
+// --- top-level declarations --------------------------------------------------
+
+func (p *Parser) parseTopDecl() ast.Decl {
+	switch p.cur().Kind {
+	case token.SEMICOLON:
+		p.next()
+		return nil
+	case token.KwTypedef:
+		kw := p.next()
+		tn := p.parseTypeName()
+		name := p.expect(token.IDENT)
+		p.expect(token.SEMICOLON)
+		p.typedefs[name.Lit] = true
+		return &ast.TypedefDecl{KwPos: kw.Pos, Type: tn, Name: name.Lit}
+	case token.KwStruct:
+		p.errorf("struct declarations are not supported; use SoA layouts (see the paper's Data Organization optimization)")
+		return nil
+	}
+
+	// Function or file-scope variable.
+	isKernel, isInline := false, false
+	kwPos := p.cur().Pos
+	for {
+		switch p.cur().Kind {
+		case token.KwKernel:
+			isKernel = true
+			p.next()
+			continue
+		case token.KwInline, token.KwStatic:
+			if p.cur().Kind == token.KwInline {
+				isInline = true
+			}
+			p.next()
+			continue
+		}
+		break
+	}
+	ret := p.parseTypeName()
+	if len(p.errs) > 0 {
+		return nil
+	}
+	name := p.expect(token.IDENT)
+	if p.at(token.LPAREN) {
+		return p.parseFuncRest(kwPos, isKernel, isInline, ret, name)
+	}
+	// File-scope variable declaration list.
+	decls := p.parseDeclarators(name)
+	p.expect(token.SEMICOLON)
+	return &ast.FileVarDecl{Type: ret, Decls: decls}
+}
+
+func (p *Parser) parseFuncRest(kwPos token.Pos, isKernel, isInline bool, ret *ast.TypeName, name token.Token) ast.Decl {
+	p.expect(token.LPAREN)
+	var params []*ast.Param
+	if !p.at(token.RPAREN) {
+		for {
+			if p.at(token.KwVoid) && p.peekKind(1) == token.RPAREN {
+				p.next()
+				break
+			}
+			tn := p.parseTypeName()
+			var pname token.Token
+			if p.at(token.IDENT) {
+				pname = p.next()
+			}
+			params = append(params, &ast.Param{Type: tn, NamePos: pname.Pos, Name: pname.Lit})
+			if !p.at(token.COMMA) {
+				break
+			}
+			p.next()
+		}
+	}
+	p.expect(token.RPAREN)
+	if p.at(token.SEMICOLON) { // prototype: accepted and dropped
+		p.next()
+		return nil
+	}
+	body := p.parseBlock()
+	return &ast.FuncDecl{
+		KwPos: kwPos, IsKernel: isKernel, IsInline: isInline,
+		Ret: ret, Name: name.Lit, Params: params, Body: body,
+	}
+}
+
+// parseDeclarators parses the remainder of a declaration after the
+// first declarator name has been consumed.
+func (p *Parser) parseDeclarators(first token.Token) []*ast.Declarator {
+	var decls []*ast.Declarator
+	d := p.parseDeclaratorRest(first)
+	decls = append(decls, d)
+	for p.at(token.COMMA) {
+		p.next()
+		ptrDepth := 0
+		for p.at(token.MUL) {
+			ptrDepth++
+			p.next()
+		}
+		name := p.expect(token.IDENT)
+		d := p.parseDeclaratorRest(name)
+		d.PtrDepth = ptrDepth
+		decls = append(decls, d)
+	}
+	return decls
+}
+
+func (p *Parser) parseDeclaratorRest(name token.Token) *ast.Declarator {
+	d := &ast.Declarator{NamePos: name.Pos, Name: name.Lit}
+	if p.at(token.LBRACK) {
+		p.next()
+		if !p.at(token.RBRACK) {
+			d.ArrayLen = p.parseExpr()
+		}
+		p.expect(token.RBRACK)
+	}
+	if p.at(token.ASSIGN) {
+		p.next()
+		d.Init = p.parseInitializer()
+	}
+	return d
+}
+
+// parseInitializer parses an initializer; brace-enclosed aggregate
+// initializers are encoded as VectorLit with To == nil.
+func (p *Parser) parseInitializer() ast.Expr {
+	if p.at(token.LBRACE) {
+		lb := p.next()
+		var elems []ast.Expr
+		for !p.at(token.RBRACE) && !p.at(token.EOF) {
+			elems = append(elems, p.parseInitializer())
+			if !p.at(token.COMMA) {
+				break
+			}
+			p.next()
+		}
+		p.expect(token.RBRACE)
+		return &ast.VectorLit{LP: lb.Pos, To: nil, Elems: elems}
+	}
+	return p.parseAssignExpr()
+}
+
+// --- statements --------------------------------------------------------------
+
+func (p *Parser) parseBlock() *ast.BlockStmt {
+	lb := p.expect(token.LBRACE)
+	blk := &ast.BlockStmt{LB: lb.Pos}
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		if len(p.errs) > 0 {
+			break
+		}
+		blk.List = append(blk.List, p.parseStmt())
+	}
+	p.expect(token.RBRACE)
+	return blk
+}
+
+func (p *Parser) parseStmt() ast.Stmt {
+	switch p.cur().Kind {
+	case token.LBRACE:
+		return p.parseBlock()
+	case token.SEMICOLON:
+		t := p.next()
+		return &ast.EmptyStmt{Semi: t.Pos}
+	case token.KwIf:
+		return p.parseIf()
+	case token.KwFor:
+		return p.parseFor()
+	case token.KwWhile:
+		return p.parseWhile()
+	case token.KwDo:
+		return p.parseDoWhile()
+	case token.KwReturn:
+		kw := p.next()
+		var x ast.Expr
+		if !p.at(token.SEMICOLON) {
+			x = p.parseExpr()
+		}
+		p.expect(token.SEMICOLON)
+		return &ast.ReturnStmt{KwPos: kw.Pos, X: x}
+	case token.KwBreak:
+		kw := p.next()
+		p.expect(token.SEMICOLON)
+		return &ast.BreakStmt{KwPos: kw.Pos}
+	case token.KwContinue:
+		kw := p.next()
+		p.expect(token.SEMICOLON)
+		return &ast.ContinueStmt{KwPos: kw.Pos}
+	case token.KwGoto, token.KwSwitch, token.KwCase, token.KwDefault:
+		p.errorf("%s statements are not supported by the clc dialect", p.cur().Kind)
+		p.next()
+		return &ast.EmptyStmt{Semi: p.cur().Pos}
+	}
+	if p.startsType(0) && p.isDeclStart() {
+		return p.parseDeclStmt()
+	}
+	x := p.parseExpr()
+	p.expect(token.SEMICOLON)
+	return &ast.ExprStmt{X: x}
+}
+
+// isDeclStart disambiguates a declaration from an expression that
+// begins with an identifier that happens to be a type name used in a
+// cast-like position; after qualifiers and the type name we must see
+// '*' or an identifier.
+func (p *Parser) isDeclStart() bool {
+	n := 0
+	for {
+		switch p.peekKind(n) {
+		case token.KwConst, token.KwVolatile, token.KwGlobal, token.KwLocal,
+			token.KwConstant, token.KwPrivate, token.KwStatic:
+			n++
+			continue
+		case token.KwUnsigned, token.KwSigned, token.KwVoid:
+			return true
+		case token.IDENT:
+			if !p.isTypeName(p.toks[p.pos+n].Lit) {
+				return false
+			}
+			n++
+			for p.peekKind(n) == token.MUL || p.peekKind(n) == token.KwRestrict || p.peekKind(n) == token.KwConst {
+				n++
+			}
+			return p.peekKind(n) == token.IDENT
+		default:
+			return false
+		}
+	}
+}
+
+func (p *Parser) parseDeclStmt() ast.Stmt {
+	tn := p.parseTypeName()
+	name := p.expect(token.IDENT)
+	decls := p.parseDeclarators(name)
+	p.expect(token.SEMICOLON)
+	return &ast.DeclStmt{Type: tn, Decls: decls}
+}
+
+func (p *Parser) parseIf() ast.Stmt {
+	kw := p.next()
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	then := p.parseStmt()
+	var els ast.Stmt
+	if p.at(token.KwElse) {
+		p.next()
+		els = p.parseStmt()
+	}
+	return &ast.IfStmt{KwPos: kw.Pos, Cond: cond, Then: then, Else: els}
+}
+
+func (p *Parser) parseFor() ast.Stmt {
+	kw := p.next()
+	p.expect(token.LPAREN)
+	var init ast.Stmt
+	if !p.at(token.SEMICOLON) {
+		if p.startsType(0) && p.isDeclStart() {
+			init = p.parseDeclStmt() // consumes ';'
+		} else {
+			x := p.parseExpr()
+			p.expect(token.SEMICOLON)
+			init = &ast.ExprStmt{X: x}
+		}
+	} else {
+		p.next()
+	}
+	var cond ast.Expr
+	if !p.at(token.SEMICOLON) {
+		cond = p.parseExpr()
+	}
+	p.expect(token.SEMICOLON)
+	var post ast.Expr
+	if !p.at(token.RPAREN) {
+		post = p.parseExpr()
+	}
+	p.expect(token.RPAREN)
+	body := p.parseStmt()
+	return &ast.ForStmt{KwPos: kw.Pos, Init: init, Cond: cond, Post: post, Body: body}
+}
+
+func (p *Parser) parseWhile() ast.Stmt {
+	kw := p.next()
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	body := p.parseStmt()
+	return &ast.WhileStmt{KwPos: kw.Pos, Cond: cond, Body: body}
+}
+
+func (p *Parser) parseDoWhile() ast.Stmt {
+	kw := p.next()
+	body := p.parseStmt()
+	p.expect(token.KwWhile)
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	p.expect(token.SEMICOLON)
+	return &ast.DoWhileStmt{KwPos: kw.Pos, Body: body, Cond: cond}
+}
+
+// --- expressions -------------------------------------------------------------
+
+// parseExpr parses a full expression including assignment and comma-free
+// top level (the comma operator is not supported).
+func (p *Parser) parseExpr() ast.Expr { return p.parseAssignExpr() }
+
+func (p *Parser) parseAssignExpr() ast.Expr {
+	lhs := p.parseCondExpr()
+	if p.cur().Kind.IsAssignOp() {
+		op := p.next().Kind
+		rhs := p.parseAssignExpr()
+		return &ast.AssignExpr{LHS: lhs, Op: op, RHS: rhs}
+	}
+	return lhs
+}
+
+func (p *Parser) parseCondExpr() ast.Expr {
+	cond := p.parseBinaryExpr(1)
+	if !p.at(token.QUESTION) {
+		return cond
+	}
+	p.next()
+	then := p.parseAssignExpr()
+	p.expect(token.COLON)
+	els := p.parseCondExpr()
+	return &ast.CondExpr{Cond: cond, Then: then, Else: els}
+}
+
+func (p *Parser) parseBinaryExpr(minPrec int) ast.Expr {
+	x := p.parseUnaryExpr()
+	for {
+		prec := p.cur().Kind.Precedence()
+		if prec < minPrec {
+			return x
+		}
+		op := p.next().Kind
+		y := p.parseBinaryExpr(prec + 1)
+		x = &ast.BinaryExpr{X: x, Op: op, Y: y}
+	}
+}
+
+func (p *Parser) parseUnaryExpr() ast.Expr {
+	switch p.cur().Kind {
+	case token.ADD:
+		p.next()
+		return p.parseUnaryExpr()
+	case token.SUB, token.LNOT, token.NOT, token.MUL, token.AND, token.INC, token.DEC:
+		t := p.next()
+		x := p.parseUnaryExpr()
+		return &ast.UnaryExpr{OpPos: t.Pos, Op: t.Kind, X: x}
+	case token.KwSizeof:
+		kw := p.next()
+		p.expect(token.LPAREN)
+		tn := p.parseTypeName()
+		p.expect(token.RPAREN)
+		return &ast.SizeofExpr{KwPos: kw.Pos, To: tn}
+	case token.LPAREN:
+		// Either a cast/vector literal "(T)..." or a parenthesized
+		// expression.
+		if p.startsType(1) {
+			return p.parseCastOrVectorLit()
+		}
+	}
+	return p.parsePostfixExpr()
+}
+
+func (p *Parser) parseCastOrVectorLit() ast.Expr {
+	lp := p.expect(token.LPAREN)
+	tn := p.parseTypeName()
+	p.expect(token.RPAREN)
+	// Vector literal: (float4)(a, b, c, d).
+	if p.at(token.LPAREN) && isVectorTypeName(tn.Name) && tn.PtrDepth == 0 {
+		p.next()
+		var elems []ast.Expr
+		for {
+			elems = append(elems, p.parseAssignExpr())
+			if !p.at(token.COMMA) {
+				break
+			}
+			p.next()
+		}
+		p.expect(token.RPAREN)
+		return &ast.VectorLit{LP: lp.Pos, To: tn, Elems: elems}
+	}
+	x := p.parseUnaryExpr()
+	return &ast.CastExpr{LP: lp.Pos, To: tn, X: x}
+}
+
+func isVectorTypeName(name string) bool {
+	return IsBuiltinTypeName(name) && name[len(name)-1] >= '0' && name[len(name)-1] <= '9'
+}
+
+func (p *Parser) parsePostfixExpr() ast.Expr {
+	x := p.parsePrimaryExpr()
+	for {
+		switch p.cur().Kind {
+		case token.LBRACK:
+			p.next()
+			idx := p.parseExpr()
+			p.expect(token.RBRACK)
+			x = &ast.IndexExpr{X: x, Index: idx}
+		case token.PERIOD:
+			p.next()
+			sel := p.expect(token.IDENT)
+			x = &ast.MemberExpr{X: x, Sel: sel.Lit, SelPos: sel.Pos}
+		case token.INC, token.DEC:
+			t := p.next()
+			x = &ast.PostfixExpr{X: x, Op: t.Kind}
+		case token.LPAREN:
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				p.errorf("called object is not a function name")
+				return x
+			}
+			p.next()
+			var args []ast.Expr
+			if !p.at(token.RPAREN) {
+				for {
+					args = append(args, p.parseAssignExpr())
+					if !p.at(token.COMMA) {
+						break
+					}
+					p.next()
+				}
+			}
+			p.expect(token.RPAREN)
+			x = &ast.CallExpr{Fun: id, Args: args}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parsePrimaryExpr() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.IDENT:
+		p.next()
+		return &ast.Ident{NamePos: t.Pos, Name: t.Lit}
+	case token.INTLIT:
+		p.next()
+		return parseIntLit(t)
+	case token.FLOATLIT:
+		p.next()
+		return parseFloatLit(t)
+	case token.CHARLIT:
+		p.next()
+		v := int64(0)
+		if len(t.Lit) > 0 {
+			v = int64(t.Lit[0])
+		}
+		return &ast.IntLit{LitPos: t.Pos, Text: t.Lit, Value: v}
+	case token.LPAREN:
+		p.next()
+		x := p.parseExpr()
+		p.expect(token.RPAREN)
+		return &ast.ParenExpr{LP: t.Pos, X: x}
+	}
+	p.errorf("unexpected token %s in expression", t)
+	p.next()
+	return &ast.IntLit{LitPos: t.Pos, Text: "0"}
+}
+
+func parseIntLit(t token.Token) *ast.IntLit {
+	text := t.Lit
+	unsigned := false
+	long := false
+	for len(text) > 0 {
+		switch text[len(text)-1] {
+		case 'u', 'U':
+			unsigned = true
+			text = text[:len(text)-1]
+			continue
+		case 'l', 'L':
+			long = true
+			text = text[:len(text)-1]
+			continue
+		}
+		break
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+		v, err = strconv.ParseUint(text[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(text, 10, 64)
+	}
+	if err != nil {
+		v = 0
+	}
+	return &ast.IntLit{LitPos: t.Pos, Text: t.Lit, Value: int64(v), Unsigned: unsigned, Long: long}
+}
+
+func parseFloatLit(t token.Token) *ast.FloatLit {
+	text := t.Lit
+	isF32 := false
+	for len(text) > 0 {
+		switch text[len(text)-1] {
+		case 'f', 'F':
+			isF32 = true
+			text = text[:len(text)-1]
+			continue
+		case 'l', 'L':
+			text = text[:len(text)-1]
+			continue
+		}
+		break
+	}
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		v = 0
+	}
+	return &ast.FloatLit{LitPos: t.Pos, Text: t.Lit, Value: v, IsF32: isF32}
+}

@@ -1,0 +1,242 @@
+package parser
+
+import (
+	"testing"
+
+	"maligo/internal/clc/ast"
+	"maligo/internal/clc/token"
+)
+
+func parse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := Parse("test.cl", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func firstFunc(t *testing.T, f *ast.File) *ast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			return fn
+		}
+	}
+	t.Fatal("no function declared")
+	return nil
+}
+
+func TestKernelDeclaration(t *testing.T) {
+	f := parse(t, `
+__kernel void add(__global const float* restrict a,
+                  __global float* b,
+                  const uint n) { }
+`)
+	fn := firstFunc(t, f)
+	if !fn.IsKernel || fn.Name != "add" {
+		t.Fatalf("kernel = %+v", fn)
+	}
+	if len(fn.Params) != 3 {
+		t.Fatalf("params = %d", len(fn.Params))
+	}
+	p0 := fn.Params[0]
+	if p0.Type.Space != ast.GlobalSpace || !p0.Type.Const || !p0.Type.Restrict || p0.Type.PtrDepth != 1 {
+		t.Errorf("param 0 type = %+v", p0.Type)
+	}
+	if fn.Params[2].Type.Name != "uint" || fn.Params[2].Type.PtrDepth != 0 {
+		t.Errorf("param 2 type = %+v", fn.Params[2].Type)
+	}
+}
+
+func TestHelperAndInline(t *testing.T) {
+	f := parse(t, `inline float sq(float x) { return x * x; }`)
+	fn := firstFunc(t, f)
+	if fn.IsKernel || !fn.IsInline || fn.Ret.Name != "float" {
+		t.Fatalf("helper = %+v", fn)
+	}
+}
+
+func TestTypedef(t *testing.T) {
+	f := parse(t, `
+typedef float real_t;
+__kernel void k(__global real_t* p) { real_t x = p[0]; }
+`)
+	td, ok := f.Decls[0].(*ast.TypedefDecl)
+	if !ok || td.Name != "real_t" {
+		t.Fatalf("typedef missing: %T", f.Decls[0])
+	}
+}
+
+func TestStatements(t *testing.T) {
+	f := parse(t, `
+__kernel void k(__global int* p, const int n) {
+    int total = 0;
+    for (int i = 0; i < n; i++) {
+        if (i % 2 == 0) { total += p[i]; } else { continue; }
+        while (total > 100) { total -= 10; }
+        do { total++; } while (total < 0);
+        if (total == 42) break;
+    }
+    p[0] = total;
+    ;
+    return;
+}
+`)
+	fn := firstFunc(t, f)
+	if len(fn.Body.List) < 4 {
+		t.Fatalf("body statements = %d", len(fn.Body.List))
+	}
+	if _, ok := fn.Body.List[1].(*ast.ForStmt); !ok {
+		t.Fatalf("second statement should be for, got %T", fn.Body.List[1])
+	}
+}
+
+func TestPrecedenceShape(t *testing.T) {
+	f := parse(t, `__kernel void k(__global int* p) { p[0] = 1 + 2 * 3; }`)
+	fn := firstFunc(t, f)
+	expr := fn.Body.List[0].(*ast.ExprStmt).X.(*ast.AssignExpr).RHS
+	add, ok := expr.(*ast.BinaryExpr)
+	if !ok || add.Op != token.ADD {
+		t.Fatalf("top = %T", expr)
+	}
+	mul, ok := add.Y.(*ast.BinaryExpr)
+	if !ok || mul.Op != token.MUL {
+		t.Fatalf("rhs of + should be *, got %T", add.Y)
+	}
+}
+
+func TestTernaryAndUnary(t *testing.T) {
+	f := parse(t, `__kernel void k(__global int* p, const int n) {
+		p[0] = n > 0 ? -n : ~n;
+		p[1] = !n;
+		p[2] = n++;
+		p[3] = --n;
+	}`)
+	fn := firstFunc(t, f)
+	if _, ok := fn.Body.List[0].(*ast.ExprStmt).X.(*ast.AssignExpr).RHS.(*ast.CondExpr); !ok {
+		t.Fatal("expected ternary")
+	}
+}
+
+func TestVectorLiteralAndSwizzle(t *testing.T) {
+	f := parse(t, `__kernel void k(__global float* p) {
+		float4 v = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+		float4 s = (float4)(0.5f);
+		v.x = s.w;
+		p[0] = v.y + dot(v, s);
+	}`)
+	fn := firstFunc(t, f)
+	decl := fn.Body.List[0].(*ast.DeclStmt)
+	if _, ok := decl.Decls[0].Init.(*ast.VectorLit); !ok {
+		t.Fatalf("init = %T", decl.Decls[0].Init)
+	}
+}
+
+func TestCastVsParen(t *testing.T) {
+	f := parse(t, `__kernel void k(__global int* p, const float x) {
+		p[0] = (int)x;
+		p[1] = (p[0] + 1);
+	}`)
+	fn := firstFunc(t, f)
+	if _, ok := fn.Body.List[0].(*ast.ExprStmt).X.(*ast.AssignExpr).RHS.(*ast.CastExpr); !ok {
+		t.Fatal("expected a cast")
+	}
+	if _, ok := fn.Body.List[1].(*ast.ExprStmt).X.(*ast.AssignExpr).RHS.(*ast.ParenExpr); !ok {
+		t.Fatal("expected a parenthesized expression")
+	}
+}
+
+func TestLocalArrayDecl(t *testing.T) {
+	f := parse(t, `__kernel void k(void) { __local float scratch[128]; }`)
+	fn := firstFunc(t, f)
+	d := fn.Body.List[0].(*ast.DeclStmt)
+	if d.Type.Space != ast.LocalSpace || d.Decls[0].ArrayLen == nil {
+		t.Fatalf("local array decl = %+v", d)
+	}
+	if len(fn.Params) != 0 {
+		t.Fatalf("void param list should be empty, got %d", len(fn.Params))
+	}
+}
+
+func TestFileConstant(t *testing.T) {
+	f := parse(t, `__constant float w[3] = {0.25f, 0.5f, 0.25f};`)
+	fv, ok := f.Decls[0].(*ast.FileVarDecl)
+	if !ok {
+		t.Fatalf("decl = %T", f.Decls[0])
+	}
+	agg, ok := fv.Decls[0].Init.(*ast.VectorLit)
+	if !ok || agg.To != nil || len(agg.Elems) != 3 {
+		t.Fatalf("aggregate init = %+v", fv.Decls[0].Init)
+	}
+}
+
+func TestMultipleDeclarators(t *testing.T) {
+	f := parse(t, `__kernel void k(void) { int a = 1, b = 2, c; c = a + b; }`)
+	fn := firstFunc(t, f)
+	d := fn.Body.List[0].(*ast.DeclStmt)
+	if len(d.Decls) != 3 {
+		t.Fatalf("declarators = %d", len(d.Decls))
+	}
+}
+
+func TestSizeof(t *testing.T) {
+	f := parse(t, `__kernel void k(__global ulong* p) { p[0] = sizeof(float4); }`)
+	fn := firstFunc(t, f)
+	if _, ok := fn.Body.List[0].(*ast.ExprStmt).X.(*ast.AssignExpr).RHS.(*ast.SizeofExpr); !ok {
+		t.Fatal("expected sizeof expression")
+	}
+}
+
+func TestPrototypeDropped(t *testing.T) {
+	f := parse(t, `
+float helper(float x);
+float helper(float x) { return x; }
+`)
+	if len(f.Decls) != 1 {
+		t.Fatalf("prototype should be dropped, decls = %d", len(f.Decls))
+	}
+}
+
+func TestIsBuiltinTypeName(t *testing.T) {
+	yes := []string{"float", "float4", "double8", "int2", "uint16", "uchar4", "size_t", "void", "bool", "half"}
+	no := []string{"float5", "floats", "real", "int0", "bool2", "size_t4", "half2", "x"}
+	for _, n := range yes {
+		if !IsBuiltinTypeName(n) {
+			t.Errorf("IsBuiltinTypeName(%q) = false", n)
+		}
+	}
+	for _, n := range no {
+		if IsBuiltinTypeName(n) {
+			t.Errorf("IsBuiltinTypeName(%q) = true", n)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`__kernel void k( { }`,
+		`__kernel void k(void) { int x = ; }`,
+		`__kernel void k(void) { for int i; }`,
+		`struct S { int x; };`,
+		`__kernel void k(void) { goto out; }`,
+		`__kernel void k(void) { switch (1) {} }`,
+		`__kernel void 123() {}`,
+	}
+	for _, src := range bad {
+		if _, err := Parse("bad.cl", src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestUnsignedSpelling(t *testing.T) {
+	f := parse(t, `__kernel void k(__global unsigned int* p, const unsigned long m) { p[0] = (int)m; }`)
+	fn := firstFunc(t, f)
+	if fn.Params[0].Type.Name != "uint" {
+		t.Errorf("unsigned int parsed as %q", fn.Params[0].Type.Name)
+	}
+	if fn.Params[1].Type.Name != "ulong" {
+		t.Errorf("unsigned long parsed as %q", fn.Params[1].Type.Name)
+	}
+}

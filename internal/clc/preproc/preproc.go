@@ -1,0 +1,472 @@
+// Package preproc implements the small C preprocessor subset needed to
+// build OpenCL kernels: object-like and function-like #define, #undef,
+// #ifdef/#ifndef/#else/#endif, #pragma passthrough, and -D build
+// options in the style of clBuildProgram. Expansion is textual with
+// identifier-boundary matching and a recursion guard, which matches
+// how the benchmark kernels in this repository use macros (type
+// aliases such as REAL/REAL4 and small inline expression helpers).
+package preproc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Macro is a single preprocessor definition.
+type Macro struct {
+	Name   string
+	Params []string // nil for object-like macros
+	Body   string
+	IsFunc bool
+}
+
+// Error is a preprocessing error with the 1-based source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+// ParseOptions parses a clBuildProgram-style option string, accepting
+// -DNAME, -DNAME=VALUE and -D NAME=VALUE forms (and ignoring options
+// it does not understand, like a real driver ignores -cl-* hints it
+// has no use for).
+func ParseOptions(options string) map[string]string {
+	defs := make(map[string]string)
+	fields := strings.Fields(options)
+	for i := 0; i < len(fields); i++ {
+		f := fields[i]
+		var def string
+		switch {
+		case f == "-D" && i+1 < len(fields):
+			i++
+			def = fields[i]
+		case strings.HasPrefix(f, "-D"):
+			def = f[2:]
+		default:
+			continue
+		}
+		if eq := strings.IndexByte(def, '='); eq >= 0 {
+			defs[def[:eq]] = def[eq+1:]
+		} else if def != "" {
+			defs[def] = "1"
+		}
+	}
+	return defs
+}
+
+// Process runs the preprocessor over src with the given predefined
+// macros (typically from ParseOptions). It returns the expanded source
+// with directives removed; line structure is preserved so downstream
+// diagnostics keep meaningful line numbers.
+func Process(src string, predefined map[string]string) (string, error) {
+	p := &state{macros: make(map[string]Macro)}
+	for name, val := range predefined {
+		p.macros[name] = Macro{Name: name, Body: val}
+	}
+	return p.run(src)
+}
+
+type condFrame struct {
+	active     bool // this branch is being emitted
+	everActive bool // some branch of this #if chain was emitted
+	parentLive bool
+	sawElse    bool
+	startLine  int
+}
+
+type state struct {
+	macros map[string]Macro
+	conds  []condFrame
+}
+
+func (p *state) live() bool {
+	for _, c := range p.conds {
+		if !c.active {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *state) run(src string) (string, error) {
+	lines := splitLinesJoinContinuations(src)
+	var out strings.Builder
+	for _, ln := range lines {
+		trimmed := strings.TrimSpace(ln.text)
+		if strings.HasPrefix(trimmed, "#") {
+			if err := p.directive(trimmed, ln.num, &out); err != nil {
+				return "", err
+			}
+			// Keep vertical position for diagnostics.
+			for i := 0; i < ln.span; i++ {
+				out.WriteByte('\n')
+			}
+			continue
+		}
+		if p.live() {
+			expanded, err := p.expand(ln.text, ln.num, nil, 0)
+			if err != nil {
+				return "", err
+			}
+			out.WriteString(expanded)
+		}
+		for i := 0; i < ln.span; i++ {
+			out.WriteByte('\n')
+		}
+	}
+	if len(p.conds) != 0 {
+		return "", &Error{Line: p.conds[len(p.conds)-1].startLine, Msg: "unterminated #if/#ifdef"}
+	}
+	return out.String(), nil
+}
+
+type logicalLine struct {
+	text string
+	num  int // first physical line number
+	span int // number of physical lines consumed
+}
+
+// splitLinesJoinContinuations splits src into logical lines, joining
+// backslash-newline continuations.
+func splitLinesJoinContinuations(src string) []logicalLine {
+	physical := strings.Split(src, "\n")
+	var out []logicalLine
+	for i := 0; i < len(physical); i++ {
+		start := i
+		text := physical[i]
+		for strings.HasSuffix(text, "\\") && i+1 < len(physical) {
+			text = text[:len(text)-1] + physical[i+1]
+			i++
+		}
+		out = append(out, logicalLine{text: text, num: start + 1, span: i - start + 1})
+	}
+	return out
+}
+
+func (p *state) directive(line string, num int, out *strings.Builder) error {
+	body := strings.TrimSpace(line[1:])
+	word := body
+	rest := ""
+	if sp := strings.IndexAny(body, " \t"); sp >= 0 {
+		word, rest = body[:sp], strings.TrimSpace(body[sp+1:])
+	}
+	switch word {
+	case "define":
+		if !p.live() {
+			return nil
+		}
+		return p.define(rest, num)
+	case "undef":
+		if !p.live() {
+			return nil
+		}
+		delete(p.macros, strings.TrimSpace(rest))
+		return nil
+	case "ifdef", "ifndef":
+		name := strings.TrimSpace(rest)
+		_, defined := p.macros[name]
+		want := defined
+		if word == "ifndef" {
+			want = !defined
+		}
+		parentLive := p.live()
+		p.conds = append(p.conds, condFrame{
+			active:     want && parentLive,
+			everActive: want,
+			parentLive: parentLive,
+			startLine:  num,
+		})
+		return nil
+	case "if":
+		parentLive := p.live()
+		v, err := p.evalCond(rest, num)
+		if err != nil {
+			return err
+		}
+		p.conds = append(p.conds, condFrame{
+			active:     v && parentLive,
+			everActive: v,
+			parentLive: parentLive,
+			startLine:  num,
+		})
+		return nil
+	case "elif":
+		if len(p.conds) == 0 {
+			return &Error{Line: num, Msg: "#elif without #if"}
+		}
+		top := &p.conds[len(p.conds)-1]
+		if top.sawElse {
+			return &Error{Line: num, Msg: "#elif after #else"}
+		}
+		if top.everActive {
+			top.active = false
+			return nil
+		}
+		v, err := p.evalCond(rest, num)
+		if err != nil {
+			return err
+		}
+		top.active = v && top.parentLive
+		top.everActive = v
+		return nil
+	case "else":
+		if len(p.conds) == 0 {
+			return &Error{Line: num, Msg: "#else without #if"}
+		}
+		top := &p.conds[len(p.conds)-1]
+		if top.sawElse {
+			return &Error{Line: num, Msg: "duplicate #else"}
+		}
+		top.sawElse = true
+		top.active = !top.everActive && top.parentLive
+		return nil
+	case "endif":
+		if len(p.conds) == 0 {
+			return &Error{Line: num, Msg: "#endif without #if"}
+		}
+		p.conds = p.conds[:len(p.conds)-1]
+		return nil
+	case "pragma":
+		// OpenCL extension pragmas (e.g. cl_khr_fp64) are accepted and
+		// dropped: the simulated device enables fp64 unconditionally.
+		return nil
+	case "include":
+		return &Error{Line: num, Msg: "#include is not supported (kernels are self-contained)"}
+	}
+	return &Error{Line: num, Msg: fmt.Sprintf("unknown directive #%s", word)}
+}
+
+// evalCond evaluates the tiny #if expression subset used by kernels:
+// an optionally-negated `defined(NAME)` / `defined NAME`, a macro
+// name, or an integer constant.
+func (p *state) evalCond(expr string, num int) (bool, error) {
+	expr = strings.TrimSpace(expr)
+	neg := false
+	for strings.HasPrefix(expr, "!") {
+		neg = !neg
+		expr = strings.TrimSpace(expr[1:])
+	}
+	var v bool
+	switch {
+	case strings.HasPrefix(expr, "defined"):
+		name := strings.TrimSpace(strings.TrimPrefix(expr, "defined"))
+		name = strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(name, "("), ")"))
+		_, v = p.macros[name]
+	case expr == "":
+		return false, &Error{Line: num, Msg: "empty #if condition"}
+	default:
+		// Expand macros, then require a plain integer.
+		expanded, err := p.expand(expr, num, nil, 0)
+		if err != nil {
+			return false, err
+		}
+		expanded = strings.TrimSpace(expanded)
+		var n int64
+		if _, err := fmt.Sscanf(expanded, "%d", &n); err != nil {
+			return false, &Error{Line: num, Msg: fmt.Sprintf("unsupported #if condition %q", expr)}
+		}
+		v = n != 0
+	}
+	if neg {
+		v = !v
+	}
+	return v, nil
+}
+
+func (p *state) define(rest string, num int) error {
+	if rest == "" {
+		return &Error{Line: num, Msg: "empty #define"}
+	}
+	// Name runs to first non-identifier char.
+	i := 0
+	for i < len(rest) && isIdentChar(rest[i]) {
+		i++
+	}
+	if i == 0 {
+		return &Error{Line: num, Msg: "malformed #define"}
+	}
+	name := rest[:i]
+	if i < len(rest) && rest[i] == '(' {
+		// Function-like macro.
+		end := strings.IndexByte(rest[i:], ')')
+		if end < 0 {
+			return &Error{Line: num, Msg: "unterminated macro parameter list"}
+		}
+		paramStr := rest[i+1 : i+end]
+		var params []string
+		if strings.TrimSpace(paramStr) != "" {
+			for _, prm := range strings.Split(paramStr, ",") {
+				params = append(params, strings.TrimSpace(prm))
+			}
+		}
+		body := strings.TrimSpace(rest[i+end+1:])
+		p.macros[name] = Macro{Name: name, Params: params, Body: body, IsFunc: true}
+		return nil
+	}
+	p.macros[name] = Macro{Name: name, Body: strings.TrimSpace(rest[i:])}
+	return nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+const maxExpandDepth = 32
+
+// expand performs macro expansion on one logical line. hide is the set
+// of macro names currently being expanded (to stop self-recursion).
+func (p *state) expand(line string, num int, hide map[string]bool, depth int) (string, error) {
+	if depth > maxExpandDepth {
+		return "", &Error{Line: num, Msg: "macro expansion too deep (recursive macro?)"}
+	}
+	var out strings.Builder
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		// Skip string and char literals untouched.
+		if c == '"' || c == '\'' {
+			j := i + 1
+			for j < len(line) && line[j] != c {
+				if line[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j < len(line) {
+				j++
+			}
+			out.WriteString(line[i:j])
+			i = j
+			continue
+		}
+		if !isIdentStartChar(c) {
+			out.WriteByte(c)
+			i++
+			continue
+		}
+		j := i
+		for j < len(line) && isIdentChar(line[j]) {
+			j++
+		}
+		word := line[i:j]
+		m, ok := p.macros[word]
+		if !ok || hide[word] {
+			out.WriteString(word)
+			i = j
+			continue
+		}
+		if m.IsFunc {
+			// Must be followed by '(' (possibly after spaces) to expand.
+			k := j
+			for k < len(line) && (line[k] == ' ' || line[k] == '\t') {
+				k++
+			}
+			if k >= len(line) || line[k] != '(' {
+				out.WriteString(word)
+				i = j
+				continue
+			}
+			args, end, err := scanArgs(line, k, num)
+			if err != nil {
+				return "", err
+			}
+			if len(args) != len(m.Params) && !(len(m.Params) == 0 && len(args) == 1 && strings.TrimSpace(args[0]) == "") {
+				return "", &Error{Line: num, Msg: fmt.Sprintf("macro %s expects %d arguments, got %d", word, len(m.Params), len(args))}
+			}
+			body := substituteParams(m, args)
+			newHide := withHidden(hide, word)
+			expanded, err := p.expand(body, num, newHide, depth+1)
+			if err != nil {
+				return "", err
+			}
+			out.WriteString(expanded)
+			i = end
+			continue
+		}
+		newHide := withHidden(hide, word)
+		expanded, err := p.expand(m.Body, num, newHide, depth+1)
+		if err != nil {
+			return "", err
+		}
+		out.WriteString(expanded)
+		i = j
+	}
+	return out.String(), nil
+}
+
+func isIdentStartChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func withHidden(hide map[string]bool, name string) map[string]bool {
+	newHide := make(map[string]bool, len(hide)+1)
+	for k := range hide {
+		newHide[k] = true
+	}
+	newHide[name] = true
+	return newHide
+}
+
+// scanArgs scans a parenthesized macro argument list starting at the
+// '(' at position start, honoring nested parentheses. It returns the
+// raw argument strings and the index just past the closing ')'.
+func scanArgs(line string, start, num int) ([]string, int, error) {
+	depth := 0
+	var args []string
+	argStart := start + 1
+	for i := start; i < len(line); i++ {
+		switch line[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				args = append(args, line[argStart:i])
+				return args, i + 1, nil
+			}
+		case ',':
+			if depth == 1 {
+				args = append(args, line[argStart:i])
+				argStart = i + 1
+			}
+		}
+	}
+	return nil, 0, &Error{Line: num, Msg: "unterminated macro argument list"}
+}
+
+// substituteParams replaces parameter names in the macro body with the
+// corresponding argument text, at identifier boundaries.
+func substituteParams(m Macro, args []string) string {
+	if len(m.Params) == 0 {
+		return m.Body
+	}
+	byName := make(map[string]string, len(m.Params))
+	for i, prm := range m.Params {
+		byName[prm] = strings.TrimSpace(args[i])
+	}
+	var out strings.Builder
+	body := m.Body
+	i := 0
+	for i < len(body) {
+		c := body[i]
+		if !isIdentStartChar(c) {
+			out.WriteByte(c)
+			i++
+			continue
+		}
+		j := i
+		for j < len(body) && isIdentChar(body[j]) {
+			j++
+		}
+		word := body[i:j]
+		if arg, ok := byName[word]; ok {
+			out.WriteString(arg)
+		} else {
+			out.WriteString(word)
+		}
+		i = j
+	}
+	return out.String()
+}

@@ -1,0 +1,206 @@
+package preproc
+
+import (
+	"strings"
+	"testing"
+)
+
+func process(t *testing.T, src string, defs map[string]string) string {
+	t.Helper()
+	out, err := Process(src, defs)
+	if err != nil {
+		t.Fatalf("Process: %v", err)
+	}
+	return out
+}
+
+func TestObjectMacro(t *testing.T) {
+	out := process(t, "#define N 42\nint x = N;\n", nil)
+	if !strings.Contains(out, "int x = 42;") {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestMacroIdentifierBoundaries(t *testing.T) {
+	out := process(t, "#define N 42\nint NN = N + xN;\n", nil)
+	if !strings.Contains(out, "int NN = 42 + xN;") {
+		t.Fatalf("boundary expansion broken: %q", out)
+	}
+}
+
+func TestFunctionMacro(t *testing.T) {
+	out := process(t, "#define SQ(x) ((x)*(x))\nfloat y = SQ(a + b);\n", nil)
+	if !strings.Contains(out, "((a + b)*(a + b))") {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestFunctionMacroNestedParens(t *testing.T) {
+	out := process(t, "#define F(a, b) a + b\nint y = F(g(1, 2), 3);\n", nil)
+	if !strings.Contains(out, "g(1, 2) + 3") {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestFunctionMacroNameWithoutCall(t *testing.T) {
+	out := process(t, "#define F(a) a\nint F_count = F(1); int x = F;\n", nil)
+	// Bare F without parentheses must not expand.
+	if !strings.Contains(out, "int x = F;") {
+		t.Fatalf("bare function-macro name expanded: %q", out)
+	}
+}
+
+func TestNestedMacros(t *testing.T) {
+	out := process(t, "#define A B\n#define B 7\nint x = A;\n", nil)
+	if !strings.Contains(out, "int x = 7;") {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestRecursiveMacroStops(t *testing.T) {
+	out := process(t, "#define X X\nint x = X;\n", nil)
+	if !strings.Contains(out, "int x = X;") {
+		t.Fatalf("self-recursive macro should expand to itself: %q", out)
+	}
+}
+
+func TestUndef(t *testing.T) {
+	out := process(t, "#define N 1\n#undef N\nint x = N;\n", nil)
+	if !strings.Contains(out, "int x = N;") {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestIfdef(t *testing.T) {
+	src := `#ifdef FP64
+double
+#else
+float
+#endif
+`
+	out := process(t, src, map[string]string{"FP64": "1"})
+	if !strings.Contains(out, "double") || strings.Contains(out, "float") {
+		t.Fatalf("ifdef taken branch wrong: %q", out)
+	}
+	out = process(t, src, nil)
+	if strings.Contains(out, "double") || !strings.Contains(out, "float") {
+		t.Fatalf("ifdef else branch wrong: %q", out)
+	}
+}
+
+func TestIfndefAndNesting(t *testing.T) {
+	src := `#ifndef A
+#ifdef B
+b
+#else
+nob
+#endif
+#endif
+`
+	out := process(t, src, map[string]string{"B": "1"})
+	if !strings.Contains(out, "b") || strings.Contains(out, "nob") {
+		t.Fatalf("nested conditional wrong: %q", out)
+	}
+	out = process(t, src, map[string]string{"A": "1", "B": "1"})
+	if strings.Contains(out, "b") {
+		t.Fatalf("dead outer branch leaked: %q", out)
+	}
+}
+
+func TestElif(t *testing.T) {
+	src := `#if defined(A)
+a
+#elif defined(B)
+b
+#else
+c
+#endif
+`
+	if out := process(t, src, map[string]string{"B": "1"}); !strings.Contains(out, "b") {
+		t.Fatalf("elif branch: %q", out)
+	}
+	if out := process(t, src, nil); !strings.Contains(out, "c") {
+		t.Fatalf("else branch: %q", out)
+	}
+	if out := process(t, src, map[string]string{"A": "1", "B": "1"}); !strings.Contains(out, "a") || strings.Contains(out, "b") {
+		t.Fatalf("first branch must win: %q", out)
+	}
+}
+
+func TestIfIntegerCondition(t *testing.T) {
+	src := "#define V 2\n#if V\nyes\n#endif\n"
+	if out := process(t, src, nil); !strings.Contains(out, "yes") {
+		t.Fatalf("integer #if: %q", out)
+	}
+	src = "#define V 0\n#if V\nyes\n#endif\n"
+	if out := process(t, src, nil); strings.Contains(out, "yes") {
+		t.Fatalf("zero #if taken: %q", out)
+	}
+}
+
+func TestLineContinuation(t *testing.T) {
+	out := process(t, "#define LONG a + \\\n  b\nint x = LONG;\n", nil)
+	if !strings.Contains(out, "a +   b") {
+		t.Fatalf("continuation: %q", out)
+	}
+}
+
+func TestLineNumbersPreserved(t *testing.T) {
+	src := "#define N 1\n\n\nline4\n"
+	out := process(t, src, nil)
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 || strings.TrimSpace(lines[3]) != "line4" {
+		t.Fatalf("vertical position lost: %q", out)
+	}
+}
+
+func TestStringsUntouched(t *testing.T) {
+	out := process(t, "#define N 1\nchar* s = \"N is N\";\n", nil)
+	if !strings.Contains(out, `"N is N"`) {
+		t.Fatalf("macro expanded inside string: %q", out)
+	}
+}
+
+func TestPragmaDropped(t *testing.T) {
+	out := process(t, "#pragma OPENCL EXTENSION cl_khr_fp64 : enable\nx\n", nil)
+	if strings.Contains(out, "pragma") {
+		t.Fatalf("pragma leaked: %q", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, src := range []string{
+		"#endif\n",
+		"#else\n",
+		"#ifdef A\n", // unterminated
+		"#include \"x.h\"\n",
+		"#bogus\n",
+		"#define F(a b\n",
+	} {
+		if _, err := Process(src, nil); err == nil {
+			t.Errorf("Process(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseOptions(t *testing.T) {
+	defs := ParseOptions("-DREAL=float -DFP32 -D NAME=v -cl-fast-relaxed-math -Ifoo")
+	if defs["REAL"] != "float" {
+		t.Errorf("REAL = %q", defs["REAL"])
+	}
+	if defs["FP32"] != "1" {
+		t.Errorf("FP32 = %q", defs["FP32"])
+	}
+	if defs["NAME"] != "v" {
+		t.Errorf("NAME = %q", defs["NAME"])
+	}
+	if len(defs) != 3 {
+		t.Errorf("unexpected defs: %v", defs)
+	}
+}
+
+func TestMacroArgCountMismatch(t *testing.T) {
+	if _, err := Process("#define F(a,b) a+b\nint x = F(1);\n", nil); err == nil {
+		t.Fatal("argument count mismatch should fail")
+	}
+}

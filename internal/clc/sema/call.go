@@ -1,0 +1,552 @@
+package sema
+
+import (
+	"strings"
+
+	"maligo/internal/clc/ast"
+	"maligo/internal/clc/builtin"
+	"maligo/internal/clc/token"
+	"maligo/internal/clc/types"
+)
+
+func (c *checker) callType(e *ast.CallExpr) *types.Type {
+	name := e.Fun.Name
+
+	// convert_<type>() and as_<type>() conversions.
+	if strings.HasPrefix(name, "convert_") || strings.HasPrefix(name, "as_") {
+		target := strings.TrimPrefix(strings.TrimPrefix(name, "convert_"), "as_")
+		// Strip rounding/saturation suffixes like _sat or _rte.
+		if i := strings.Index(target, "_"); i >= 0 {
+			target = target[:i]
+		}
+		to := types.ByName(target)
+		if to == nil || to.IsVoid() {
+			c.errorf(e.Pos(), "unknown conversion target in %s", name)
+			return nil
+		}
+		if len(e.Args) != 1 {
+			c.errorf(e.Pos(), "%s takes exactly one argument", name)
+			return nil
+		}
+		at := c.checkExpr(e.Args[0])
+		if at == nil {
+			return nil
+		}
+		if !at.IsArith() {
+			c.errorf(e.Pos(), "%s requires an arithmetic argument, got %s", name, at)
+			return nil
+		}
+		aw, tw := 1, 1
+		if at.IsVector() {
+			aw = at.Width
+		}
+		if to.IsVector() {
+			tw = to.Width
+		}
+		if aw != tw {
+			c.errorf(e.Pos(), "%s: width mismatch (%s -> %s)", name, at, to)
+			return nil
+		}
+		c.res.Calls[e] = &CallInfo{Kind: CallConvert, ConvTo: to}
+		return to
+	}
+
+	// User-defined functions shadow nothing: OpenCL builtins are
+	// reserved, so check user functions first only when not a builtin.
+	if id := builtin.Lookup(name); id != builtin.Invalid {
+		return c.builtinType(e, id)
+	}
+
+	fn, ok := c.res.Funcs[name]
+	if !ok {
+		c.errorf(e.Pos(), "call to undefined function %q", name)
+		return nil
+	}
+	if fn.IsKernel {
+		c.errorf(e.Pos(), "kernels cannot be called from device code in OpenCL 1.x")
+		return nil
+	}
+	if len(e.Args) != len(fn.Params) {
+		c.errorf(e.Pos(), "%s expects %d arguments, got %d", name, len(fn.Params), len(e.Args))
+		return nil
+	}
+	for i, a := range e.Args {
+		at := c.checkExpr(a)
+		pt := c.res.ParamTypes[fn.Params[i]]
+		if at == nil || pt == nil {
+			continue
+		}
+		if !c.assignable(pt, at) {
+			c.errorf(a.Pos(), "argument %d of %s: cannot pass %s as %s", i+1, name, at, pt)
+		}
+	}
+	c.res.Calls[e] = &CallInfo{Kind: CallUser, Target: fn}
+	return c.res.FuncRets[fn]
+}
+
+func (c *checker) builtinType(e *ast.CallExpr, id builtin.ID) *types.Type {
+	args := make([]*types.Type, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = c.checkExpr(a)
+		if args[i] == nil {
+			return nil
+		}
+	}
+	record := func(t *types.Type) *types.Type {
+		c.res.Calls[e] = &CallInfo{Kind: CallBuiltin, Builtin: id}
+		return t
+	}
+	wantArgs := func(n int) bool {
+		if len(args) != n {
+			c.errorf(e.Pos(), "%s expects %d arguments, got %d", id, n, len(args))
+			return false
+		}
+		return true
+	}
+
+	switch {
+	case id.IsWorkItemQuery():
+		if !wantArgs(1) {
+			return nil
+		}
+		if !args[0].IsScalar() || !args[0].Base.IsInteger() {
+			c.errorf(e.Pos(), "%s dimension must be an integer", id)
+		}
+		return record(types.ULongType)
+	case id == builtin.GetWorkDim:
+		if !wantArgs(0) {
+			return nil
+		}
+		return record(types.UIntType)
+	case id == builtin.Barrier, id == builtin.MemFence:
+		if !wantArgs(1) {
+			return nil
+		}
+		if c.curFn != nil && !c.curFn.IsKernel {
+			// Allowed in helpers too (inlined), but record for clarity.
+		}
+		return record(types.VoidType)
+	}
+
+	if w, ok := id.IsVload(); ok {
+		if !wantArgs(2) {
+			return nil
+		}
+		off, ptr := args[0], args[1]
+		if !off.IsScalar() || !off.Base.IsInteger() {
+			c.errorf(e.Args[0].Pos(), "vload offset must be an integer")
+		}
+		if !ptr.IsPointer() || !ptr.Elem.IsScalar() {
+			c.errorf(e.Args[1].Pos(), "vload pointer must point to a scalar type, got %s", ptr)
+			return nil
+		}
+		return record(types.Vector(ptr.Elem.Base, w))
+	}
+	if w, ok := id.IsVstore(); ok {
+		if !wantArgs(3) {
+			return nil
+		}
+		data, off, ptr := args[0], args[1], args[2]
+		if !off.IsScalar() || !off.Base.IsInteger() {
+			c.errorf(e.Args[1].Pos(), "vstore offset must be an integer")
+		}
+		if !ptr.IsPointer() || !ptr.Elem.IsScalar() {
+			c.errorf(e.Args[2].Pos(), "vstore pointer must point to a scalar type, got %s", ptr)
+			return nil
+		}
+		if ptr.Const || ptr.Space == ast.ConstantSpace {
+			c.errorf(e.Args[2].Pos(), "vstore through const/__constant pointer")
+		}
+		if !data.IsVector() || data.Width != w || data.Base != ptr.Elem.Base {
+			c.errorf(e.Args[0].Pos(), "vstore%d data must be %s%d, got %s", w, ptr.Elem.Base, w, data)
+		}
+		return record(types.VoidType)
+	}
+
+	if id.IsAtomic() {
+		nargs := 2
+		switch id {
+		case builtin.AtomicInc, builtin.AtomicDec:
+			nargs = 1
+		case builtin.AtomicCmpXchg:
+			nargs = 3
+		}
+		if !wantArgs(nargs) {
+			return nil
+		}
+		ptr := args[0]
+		if !ptr.IsPointer() || !ptr.Elem.IsScalar() ||
+			!(ptr.Elem.Base == types.Int || ptr.Elem.Base == types.UInt) {
+			c.errorf(e.Args[0].Pos(), "%s requires a pointer to int or uint, got %s", id, ptr)
+			return nil
+		}
+		if ptr.Space != ast.GlobalSpace && ptr.Space != ast.LocalSpace {
+			c.errorf(e.Args[0].Pos(), "%s requires a __global or __local pointer", id)
+		}
+		for i := 1; i < nargs; i++ {
+			if !args[i].IsScalar() || !args[i].Base.IsInteger() {
+				c.errorf(e.Args[i].Pos(), "%s operand must be an integer", id)
+			}
+		}
+		return record(ptr.Elem)
+	}
+
+	switch id {
+	case builtin.Sqrt, builtin.Rsqrt, builtin.Cbrt, builtin.Exp, builtin.Exp2,
+		builtin.Log, builtin.Log2, builtin.Sin, builtin.Cos, builtin.Tan,
+		builtin.Fabs, builtin.Floor, builtin.Ceil, builtin.Round, builtin.Trunc,
+		builtin.NativeSin, builtin.NativeCos, builtin.NativeExp, builtin.NativeLog,
+		builtin.NativeSqrt, builtin.NativeRsqrt, builtin.NativeRecip, builtin.Normalize:
+		if !wantArgs(1) {
+			return nil
+		}
+		if !args[0].IsFloatArith() {
+			c.errorf(e.Pos(), "%s requires a floating-point argument, got %s", id, args[0])
+			return nil
+		}
+		return record(args[0])
+	case builtin.Pow, builtin.Hypot, builtin.Fmin, builtin.Fmax, builtin.Fmod,
+		builtin.Step, builtin.NativeDivide:
+		if !wantArgs(2) {
+			return nil
+		}
+		t := c.genType2(e, args[0], args[1])
+		if t == nil {
+			return nil
+		}
+		if !t.IsFloatArith() {
+			c.errorf(e.Pos(), "%s requires floating-point arguments", id)
+			return nil
+		}
+		return record(t)
+	case builtin.Fma, builtin.Mad, builtin.Mix:
+		if !wantArgs(3) {
+			return nil
+		}
+		t := c.genType2(e, args[0], args[1])
+		if t == nil {
+			return nil
+		}
+		t = c.genType2(e, t, args[2])
+		if t == nil {
+			return nil
+		}
+		if !t.IsFloatArith() {
+			c.errorf(e.Pos(), "%s requires floating-point arguments", id)
+			return nil
+		}
+		return record(t)
+	case builtin.Min, builtin.Max:
+		if !wantArgs(2) {
+			return nil
+		}
+		t := c.genType2(e, args[0], args[1])
+		if t == nil {
+			return nil
+		}
+		return record(t)
+	case builtin.Abs:
+		if !wantArgs(1) {
+			return nil
+		}
+		if !args[0].IsIntegerArith() {
+			c.errorf(e.Pos(), "abs requires an integer argument (use fabs for floats), got %s", args[0])
+			return nil
+		}
+		return record(args[0])
+	case builtin.Clamp:
+		if !wantArgs(3) {
+			return nil
+		}
+		t := c.genType2(e, args[0], args[1])
+		if t == nil {
+			return nil
+		}
+		t = c.genType2(e, t, args[2])
+		if t == nil {
+			return nil
+		}
+		return record(t)
+	case builtin.Select:
+		if !wantArgs(3) {
+			return nil
+		}
+		t := c.genType2(e, args[0], args[1])
+		if t == nil {
+			return nil
+		}
+		if !args[2].IsIntegerArith() {
+			c.errorf(e.Args[2].Pos(), "select condition must be an integer type, got %s", args[2])
+		}
+		return record(t)
+	case builtin.Dot:
+		if !wantArgs(2) {
+			return nil
+		}
+		if !args[0].IsFloatArith() || !args[0].Equal(args[1]) {
+			c.errorf(e.Pos(), "dot requires two equal float vectors, got %s and %s", args[0], args[1])
+			return nil
+		}
+		return record(types.Scalar(args[0].Base))
+	case builtin.Length:
+		if !wantArgs(1) {
+			return nil
+		}
+		if !args[0].IsFloatArith() {
+			c.errorf(e.Pos(), "length requires a float vector")
+			return nil
+		}
+		return record(types.Scalar(args[0].Base))
+	case builtin.Distance:
+		if !wantArgs(2) {
+			return nil
+		}
+		if !args[0].IsFloatArith() || !args[0].Equal(args[1]) {
+			c.errorf(e.Pos(), "distance requires two equal float vectors")
+			return nil
+		}
+		return record(types.Scalar(args[0].Base))
+	}
+	c.errorf(e.Pos(), "builtin %s is not supported", id)
+	return nil
+}
+
+// genType2 merges two gentype arguments per the OpenCL convention that
+// one of them may be a scalar matched against a vector.
+func (c *checker) genType2(e *ast.CallExpr, a, b *types.Type) *types.Type {
+	t, err := types.Promote(a, b)
+	if err != nil {
+		c.errorf(e.Pos(), "%v", err)
+		return nil
+	}
+	return t
+}
+
+// --- constant folding --------------------------------------------------------
+
+// constInt evaluates an integer constant expression.
+func (c *checker) constInt(e ast.Expr) (int64, bool) {
+	v, isFloat, ok := c.constVal(e)
+	if !ok || isFloat {
+		return 0, false
+	}
+	return int64(v), true
+}
+
+// constFloat evaluates a numeric constant expression to float64.
+func (c *checker) constFloat(e ast.Expr) (float64, bool) {
+	v, _, ok := c.constVal(e)
+	return v, ok
+}
+
+func (c *checker) constVal(e ast.Expr) (val float64, isFloat, ok bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return float64(e.Value), false, true
+	case *ast.FloatLit:
+		return e.Value, true, true
+	case *ast.ParenExpr:
+		return c.constVal(e.X)
+	case *ast.UnaryExpr:
+		v, f, ok := c.constVal(e.X)
+		if !ok {
+			return 0, false, false
+		}
+		switch e.Op {
+		case token.SUB:
+			return -v, f, true
+		case token.NOT:
+			if f {
+				return 0, false, false
+			}
+			return float64(^int64(v)), false, true
+		case token.LNOT:
+			if v == 0 {
+				return 1, false, true
+			}
+			return 0, false, true
+		}
+		return 0, false, false
+	case *ast.BinaryExpr:
+		x, fx, ok := c.constVal(e.X)
+		if !ok {
+			return 0, false, false
+		}
+		y, fy, ok := c.constVal(e.Y)
+		if !ok {
+			return 0, false, false
+		}
+		f := fx || fy
+		if !f {
+			xi, yi := int64(x), int64(y)
+			switch e.Op {
+			case token.ADD:
+				return float64(xi + yi), false, true
+			case token.SUB:
+				return float64(xi - yi), false, true
+			case token.MUL:
+				return float64(xi * yi), false, true
+			case token.QUO:
+				if yi == 0 {
+					return 0, false, false
+				}
+				return float64(xi / yi), false, true
+			case token.REM:
+				if yi == 0 {
+					return 0, false, false
+				}
+				return float64(xi % yi), false, true
+			case token.SHL:
+				return float64(xi << uint(yi)), false, true
+			case token.SHR:
+				return float64(xi >> uint(yi)), false, true
+			case token.AND:
+				return float64(xi & yi), false, true
+			case token.OR:
+				return float64(xi | yi), false, true
+			case token.XOR:
+				return float64(xi ^ yi), false, true
+			}
+		}
+		switch e.Op {
+		case token.ADD:
+			return x + y, f, true
+		case token.SUB:
+			return x - y, f, true
+		case token.MUL:
+			return x * y, f, true
+		case token.QUO:
+			if y == 0 {
+				return 0, false, false
+			}
+			return x / y, f, true
+		}
+		return 0, false, false
+	case *ast.SizeofExpr:
+		t := c.resolveType(e.To)
+		if t == nil {
+			return 0, false, false
+		}
+		return float64(t.Size()), false, true
+	}
+	return 0, false, false
+}
+
+// --- recursion check ---------------------------------------------------------
+
+// checkNoRecursion rejects call cycles: OpenCL C forbids recursion and
+// the lowering pass relies on full inlining terminating.
+func (c *checker) checkNoRecursion() {
+	callees := make(map[string][]string)
+	for name, fn := range c.res.Funcs {
+		var list []string
+		collectCalls(fn.Body, func(call *ast.CallExpr) {
+			if info := c.res.Calls[call]; info != nil && info.Kind == CallUser {
+				list = append(list, info.Target.Name)
+			}
+		})
+		callees[name] = list
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var visit func(string) bool
+	visit = func(name string) bool {
+		switch color[name] {
+		case gray:
+			return false
+		case black:
+			return true
+		}
+		color[name] = gray
+		for _, callee := range callees[name] {
+			if !visit(callee) {
+				if len(c.errs) == 0 || color[name] == gray {
+					fn := c.res.Funcs[name]
+					c.errorf(fn.Pos(), "recursive call chain involving %s is illegal in OpenCL C", name)
+				}
+				color[name] = black
+				return false
+			}
+		}
+		color[name] = black
+		return true
+	}
+	for name := range callees {
+		visit(name)
+	}
+}
+
+func collectCalls(n ast.Node, fn func(*ast.CallExpr)) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.BlockStmt:
+		for _, s := range n.List {
+			collectCalls(s, fn)
+		}
+	case *ast.DeclStmt:
+		for _, d := range n.Decls {
+			if d.Init != nil {
+				collectCalls(d.Init, fn)
+			}
+			if d.ArrayLen != nil {
+				collectCalls(d.ArrayLen, fn)
+			}
+		}
+	case *ast.ExprStmt:
+		collectCalls(n.X, fn)
+	case *ast.IfStmt:
+		collectCalls(n.Cond, fn)
+		collectCalls(n.Then, fn)
+		collectCalls(n.Else, fn)
+	case *ast.ForStmt:
+		collectCalls(n.Init, fn)
+		collectCalls(n.Cond, fn)
+		collectCalls(n.Post, fn)
+		collectCalls(n.Body, fn)
+	case *ast.WhileStmt:
+		collectCalls(n.Cond, fn)
+		collectCalls(n.Body, fn)
+	case *ast.DoWhileStmt:
+		collectCalls(n.Body, fn)
+		collectCalls(n.Cond, fn)
+	case *ast.ReturnStmt:
+		collectCalls(n.X, fn)
+	case *ast.CallExpr:
+		fn(n)
+		for _, a := range n.Args {
+			collectCalls(a, fn)
+		}
+	case *ast.BinaryExpr:
+		collectCalls(n.X, fn)
+		collectCalls(n.Y, fn)
+	case *ast.UnaryExpr:
+		collectCalls(n.X, fn)
+	case *ast.PostfixExpr:
+		collectCalls(n.X, fn)
+	case *ast.AssignExpr:
+		collectCalls(n.LHS, fn)
+		collectCalls(n.RHS, fn)
+	case *ast.CondExpr:
+		collectCalls(n.Cond, fn)
+		collectCalls(n.Then, fn)
+		collectCalls(n.Else, fn)
+	case *ast.IndexExpr:
+		collectCalls(n.X, fn)
+		collectCalls(n.Index, fn)
+	case *ast.MemberExpr:
+		collectCalls(n.X, fn)
+	case *ast.CastExpr:
+		collectCalls(n.X, fn)
+	case *ast.VectorLit:
+		for _, el := range n.Elems {
+			collectCalls(el, fn)
+		}
+	case *ast.ParenExpr:
+		collectCalls(n.X, fn)
+	}
+}

@@ -1,0 +1,483 @@
+package sema
+
+import (
+	"strings"
+
+	"maligo/internal/clc/ast"
+	"maligo/internal/clc/token"
+	"maligo/internal/clc/types"
+)
+
+// checkExpr type-checks e, records its type, and returns it. A nil
+// return means an error was already reported.
+func (c *checker) checkExpr(e ast.Expr) *types.Type {
+	t := c.exprType(e)
+	if t != nil {
+		c.res.Types[e] = t
+	}
+	return t
+}
+
+func (c *checker) exprType(e ast.Expr) *types.Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		switch {
+		case e.Long && e.Unsigned:
+			return types.ULongType
+		case e.Long:
+			return types.LongType
+		case e.Unsigned:
+			return types.UIntType
+		}
+		return types.IntType
+	case *ast.FloatLit:
+		if e.IsF32 {
+			return types.FloatType
+		}
+		return types.DoubleType
+	case *ast.Ident:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			c.errorf(e.Pos(), "undeclared identifier %q", e.Name)
+			return nil
+		}
+		c.res.Syms[e] = sym
+		if sym.Kind == SymArray || (sym.Kind == SymFileVar && sym.ArrayLen > 0) {
+			// Arrays decay to pointers to their element type.
+			return types.Pointer(sym.Type, sym.Space, sym.Const, false)
+		}
+		return sym.Type
+	case *ast.ParenExpr:
+		return c.checkExpr(e.X)
+	case *ast.BinaryExpr:
+		return c.binaryType(e)
+	case *ast.UnaryExpr:
+		return c.unaryType(e)
+	case *ast.PostfixExpr:
+		t := c.checkExpr(e.X)
+		if t == nil {
+			return nil
+		}
+		if !c.isLValue(e.X) {
+			c.errorf(e.Pos(), "operand of %s must be an lvalue", e.Op)
+		}
+		if !t.IsScalar() && !t.IsPointer() {
+			c.errorf(e.Pos(), "%s requires a scalar or pointer operand, got %s", e.Op, t)
+		}
+		return t
+	case *ast.AssignExpr:
+		return c.assignType(e)
+	case *ast.CondExpr:
+		return c.condType(e)
+	case *ast.CallExpr:
+		return c.callType(e)
+	case *ast.IndexExpr:
+		pt := c.checkExpr(e.X)
+		it := c.checkExpr(e.Index)
+		if pt == nil || it == nil {
+			return nil
+		}
+		if !pt.IsPointer() {
+			c.errorf(e.Pos(), "indexed expression must be a pointer or array, got %s", pt)
+			return nil
+		}
+		if !it.IsScalar() || !it.Base.IsInteger() {
+			c.errorf(e.Index.Pos(), "array index must be an integer, got %s", it)
+		}
+		return pt.Elem
+	case *ast.MemberExpr:
+		return c.memberType(e)
+	case *ast.CastExpr:
+		to := c.resolveType(e.To)
+		from := c.checkExpr(e.X)
+		if to == nil || from == nil {
+			return nil
+		}
+		if to.IsPointer() {
+			if !from.IsPointer() && !(from.IsScalar() && from.Base.IsInteger()) {
+				c.errorf(e.Pos(), "cannot cast %s to %s", from, to)
+			}
+			return to
+		}
+		if to.IsVector() {
+			if from.IsVector() && from.Width != to.Width {
+				c.errorf(e.Pos(), "cannot cast %s to %s (width mismatch); use convert_%s", from, to, to)
+			}
+			return to
+		}
+		if to.IsScalar() {
+			if from.IsVector() {
+				c.errorf(e.Pos(), "cannot cast vector %s to scalar %s", from, to)
+			}
+			return to
+		}
+		c.errorf(e.Pos(), "invalid cast target %s", to)
+		return nil
+	case *ast.VectorLit:
+		return c.vectorLitType(e)
+	case *ast.SizeofExpr:
+		t := c.resolveType(e.To)
+		if t == nil {
+			return nil
+		}
+		return types.ULongType
+	}
+	c.errorf(e.Pos(), "unsupported expression")
+	return nil
+}
+
+func (c *checker) binaryType(e *ast.BinaryExpr) *types.Type {
+	xt := c.checkExpr(e.X)
+	yt := c.checkExpr(e.Y)
+	if xt == nil || yt == nil {
+		return nil
+	}
+	switch e.Op {
+	case token.LAND, token.LOR:
+		c.wantScalarCond(xt, e.X)
+		c.wantScalarCond(yt, e.Y)
+		return types.IntType
+	case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+		if xt.IsPointer() && yt.IsPointer() {
+			return types.IntType
+		}
+		t, err := types.Promote(xt, yt)
+		if err != nil {
+			c.errorf(e.Pos(), "invalid comparison: %v", err)
+			return nil
+		}
+		if t.IsVector() {
+			// OpenCL vector comparisons yield a signed integer vector.
+			return types.Vector(types.Int, t.Width)
+		}
+		return types.IntType
+	case token.ADD, token.SUB:
+		// Pointer arithmetic.
+		if xt.IsPointer() && yt.IsScalar() && yt.Base.IsInteger() {
+			return xt
+		}
+		if e.Op == token.ADD && yt.IsPointer() && xt.IsScalar() && xt.Base.IsInteger() {
+			return yt
+		}
+		if e.Op == token.SUB && xt.IsPointer() && yt.IsPointer() {
+			return types.LongType
+		}
+	case token.REM, token.AND, token.OR, token.XOR, token.SHL, token.SHR:
+		if !xt.IsIntegerArith() || !yt.IsIntegerArith() {
+			c.errorf(e.Pos(), "operator %s requires integer operands, got %s and %s", e.Op, xt, yt)
+			return nil
+		}
+	}
+	t, err := types.Promote(xt, yt)
+	if err != nil {
+		c.errorf(e.Pos(), "invalid operands to %s: %v", e.Op, err)
+		return nil
+	}
+	if e.Op == token.SHL || e.Op == token.SHR {
+		// Shift result has the (promoted) type of the left operand.
+		w := 1
+		if xt.IsVector() {
+			w = xt.Width
+		}
+		base := xt.Base
+		if base.IsInteger() && base.Rank() < types.Int.Rank() {
+			base = types.Int
+		}
+		return types.Vector(base, w)
+	}
+	return t
+}
+
+func (c *checker) unaryType(e *ast.UnaryExpr) *types.Type {
+	t := c.checkExpr(e.X)
+	if t == nil {
+		return nil
+	}
+	switch e.Op {
+	case token.SUB:
+		if !t.IsArith() {
+			c.errorf(e.Pos(), "cannot negate %s", t)
+			return nil
+		}
+		return t
+	case token.LNOT:
+		c.wantScalarCond(t, e.X)
+		return types.IntType
+	case token.NOT:
+		if !t.IsIntegerArith() {
+			c.errorf(e.Pos(), "operator ~ requires an integer operand, got %s", t)
+			return nil
+		}
+		return t
+	case token.MUL:
+		if !t.IsPointer() {
+			c.errorf(e.Pos(), "cannot dereference non-pointer %s", t)
+			return nil
+		}
+		return t.Elem
+	case token.AND:
+		// Address-of: only of lvalue memory (index of pointer, array
+		// element, or array identifier) — registers have no address.
+		switch x := e.X.(type) {
+		case *ast.IndexExpr:
+			_ = x
+			pt := c.res.Types[e.X]
+			if pt == nil {
+				return nil
+			}
+			base := c.res.Types[x.X]
+			if base == nil || !base.IsPointer() {
+				return nil
+			}
+			return types.Pointer(pt, base.Space, base.Const, false)
+		default:
+			c.errorf(e.Pos(), "address-of is only supported on array/pointer elements")
+			return nil
+		}
+	case token.INC, token.DEC:
+		if !c.isLValue(e.X) {
+			c.errorf(e.Pos(), "operand of %s must be an lvalue", e.Op)
+		}
+		if !t.IsScalar() && !t.IsPointer() {
+			c.errorf(e.Pos(), "%s requires a scalar or pointer operand, got %s", e.Op, t)
+		}
+		return t
+	}
+	c.errorf(e.Pos(), "unsupported unary operator %s", e.Op)
+	return nil
+}
+
+// isLValue reports whether e designates a storage location.
+func (c *checker) isLValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		sym := c.res.Syms[e]
+		if sym == nil {
+			return false
+		}
+		return sym.Kind == SymVar || sym.Kind == SymParam
+	case *ast.IndexExpr:
+		return true
+	case *ast.UnaryExpr:
+		return e.Op == token.MUL
+	case *ast.MemberExpr:
+		return c.isLValue(e.X)
+	case *ast.ParenExpr:
+		return c.isLValue(e.X)
+	}
+	return false
+}
+
+func (c *checker) assignType(e *ast.AssignExpr) *types.Type {
+	lt := c.checkExpr(e.LHS)
+	rt := c.checkExpr(e.RHS)
+	if lt == nil || rt == nil {
+		return nil
+	}
+	if !c.isLValue(e.LHS) {
+		c.errorf(e.Pos(), "assignment target is not an lvalue")
+		return lt
+	}
+	if id, ok := unparen(e.LHS).(*ast.Ident); ok {
+		if sym := c.res.Syms[id]; sym != nil && sym.Const && sym.Kind != SymParam {
+			c.errorf(e.Pos(), "cannot assign to const %s", sym.Name)
+		}
+	}
+	if ix, ok := unparen(e.LHS).(*ast.IndexExpr); ok {
+		if pt := c.res.Types[ix.X]; pt != nil && pt.IsPointer() && (pt.Const || pt.Space == ast.ConstantSpace) {
+			c.errorf(e.Pos(), "cannot store through const/__constant pointer")
+		}
+	}
+	if e.Op != token.ASSIGN {
+		// Compound assignment: LHS op RHS must be valid and assignable back.
+		if !lt.IsArith() && !lt.IsPointer() {
+			c.errorf(e.Pos(), "invalid compound assignment to %s", lt)
+			return lt
+		}
+		if lt.IsPointer() {
+			if e.Op != token.ADD_ASSIGN && e.Op != token.SUB_ASSIGN {
+				c.errorf(e.Pos(), "invalid pointer compound assignment %s", e.Op)
+			}
+			return lt
+		}
+	}
+	if !c.assignable(lt, rt) {
+		c.errorf(e.Pos(), "cannot assign %s to %s", rt, lt)
+	}
+	return lt
+}
+
+func (c *checker) condType(e *ast.CondExpr) *types.Type {
+	ct := c.checkExpr(e.Cond)
+	tt := c.checkExpr(e.Then)
+	et := c.checkExpr(e.Else)
+	if ct == nil || tt == nil || et == nil {
+		return nil
+	}
+	t, err := types.Promote(tt, et)
+	if err != nil {
+		if tt.IsPointer() && et.IsPointer() && tt.Equal(et) {
+			t = tt
+		} else {
+			c.errorf(e.Pos(), "mismatched ternary arms: %v", err)
+			return nil
+		}
+	}
+	if ct.IsVector() {
+		if !t.IsVector() || t.Width != ct.Width {
+			c.errorf(e.Pos(), "vector ternary requires matching widths (%s vs %s)", ct, t)
+			return nil
+		}
+	} else {
+		c.wantScalarCond(ct, e.Cond)
+	}
+	return t
+}
+
+func (c *checker) vectorLitType(e *ast.VectorLit) *types.Type {
+	if e.To == nil {
+		c.errorf(e.Pos(), "aggregate initializers are only supported for file-scope __constant arrays")
+		return nil
+	}
+	t := c.resolveType(e.To)
+	if t == nil {
+		return nil
+	}
+	if !t.IsVector() {
+		c.errorf(e.Pos(), "vector literal requires a vector type, got %s", t)
+		return nil
+	}
+	total := 0
+	for _, el := range e.Elems {
+		et := c.checkExpr(el)
+		if et == nil {
+			return nil
+		}
+		switch {
+		case et.IsScalar():
+			total++
+		case et.IsVector():
+			total += et.Width
+		default:
+			c.errorf(el.Pos(), "vector literal element must be arithmetic, got %s", et)
+			return nil
+		}
+	}
+	if len(e.Elems) == 1 && total == 1 {
+		return t // splat form
+	}
+	if total != t.Width {
+		c.errorf(e.Pos(), "vector literal for %s has %d components, want %d", t, total, t.Width)
+	}
+	return t
+}
+
+// ParseSwizzle parses an OpenCL vector component selector against a
+// vector of the given width, returning the selected component indices.
+func ParseSwizzle(sel string, width int) ([]int, bool) {
+	lower := strings.ToLower(sel)
+	switch lower {
+	case "lo":
+		n := width / 2
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out, true
+	case "hi":
+		n := width / 2
+		out := make([]int, n)
+		for i := range out {
+			out[i] = width - n + i
+		}
+		return out, true
+	case "even":
+		var out []int
+		for i := 0; i < width; i += 2 {
+			out = append(out, i)
+		}
+		return out, true
+	case "odd":
+		var out []int
+		for i := 1; i < width; i += 2 {
+			out = append(out, i)
+		}
+		return out, true
+	}
+	if strings.HasPrefix(lower, "s") && len(lower) > 1 {
+		var out []int
+		for _, ch := range lower[1:] {
+			var idx int
+			switch {
+			case ch >= '0' && ch <= '9':
+				idx = int(ch - '0')
+			case ch >= 'a' && ch <= 'f':
+				idx = int(ch-'a') + 10
+			default:
+				return nil, false
+			}
+			if idx >= width {
+				return nil, false
+			}
+			out = append(out, idx)
+		}
+		return out, true
+	}
+	var out []int
+	for _, ch := range lower {
+		var idx int
+		switch ch {
+		case 'x':
+			idx = 0
+		case 'y':
+			idx = 1
+		case 'z':
+			idx = 2
+		case 'w':
+			idx = 3
+		default:
+			return nil, false
+		}
+		if idx >= width {
+			return nil, false
+		}
+		out = append(out, idx)
+	}
+	return out, len(out) > 0
+}
+
+func (c *checker) memberType(e *ast.MemberExpr) *types.Type {
+	xt := c.checkExpr(e.X)
+	if xt == nil {
+		return nil
+	}
+	if !xt.IsVector() {
+		c.errorf(e.SelPos, "component access on non-vector type %s", xt)
+		return nil
+	}
+	idx, ok := ParseSwizzle(e.Sel, xt.Width)
+	if !ok {
+		c.errorf(e.SelPos, "invalid component selector .%s for %s", e.Sel, xt)
+		return nil
+	}
+	c.res.Swizzles[e] = idx
+	if len(idx) == 1 {
+		return types.Scalar(xt.Base)
+	}
+	switch len(idx) {
+	case 2, 3, 4, 8, 16:
+		return types.Vector(xt.Base, len(idx))
+	}
+	c.errorf(e.SelPos, "swizzle .%s selects %d components, which is not a valid vector width", e.Sel, len(idx))
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

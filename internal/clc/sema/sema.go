@@ -1,0 +1,488 @@
+// Package sema performs semantic analysis of parsed OpenCL C: name
+// resolution, type checking, constant folding for array bounds,
+// swizzle validation, builtin signature checking, and the structural
+// rules of OpenCL C (kernel signatures, address-space constraints, no
+// recursion). Its Result feeds the IR lowering in package ir.
+package sema
+
+import (
+	"fmt"
+
+	"maligo/internal/clc/ast"
+	"maligo/internal/clc/builtin"
+	"maligo/internal/clc/parser"
+	"maligo/internal/clc/token"
+	"maligo/internal/clc/types"
+)
+
+// Error is a semantic error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// SymKind classifies a resolved symbol.
+type SymKind int
+
+// Symbol kinds.
+const (
+	SymParam SymKind = iota
+	SymVar
+	SymArray   // fixed-size array variable (private or local)
+	SymFileVar // file-scope __constant variable
+	SymFunc
+)
+
+// Symbol is a named entity visible in some scope.
+type Symbol struct {
+	Name     string
+	Kind     SymKind
+	Type     *types.Type      // element type for arrays
+	Space    ast.AddressSpace // storage space for arrays / file vars
+	ArrayLen int
+	Const    bool
+	Decl     ast.Node
+	Func     *ast.FuncDecl // for SymFunc
+}
+
+// CallKind classifies what a CallExpr invokes.
+type CallKind int
+
+// Call kinds.
+const (
+	CallUser CallKind = iota
+	CallBuiltin
+	CallConvert // convert_<type>() / as_<type>()
+)
+
+// CallInfo is sema's resolution of one call site.
+type CallInfo struct {
+	Kind    CallKind
+	Builtin builtin.ID
+	Target  *ast.FuncDecl
+	ConvTo  *types.Type // for CallConvert
+}
+
+// Result carries all facts the lowering pass needs.
+type Result struct {
+	File      *ast.File
+	Types     map[ast.Expr]*types.Type
+	Syms      map[*ast.Ident]*Symbol
+	Calls     map[*ast.CallExpr]*CallInfo
+	Swizzles  map[*ast.MemberExpr][]int
+	ArrayLens map[*ast.Declarator]int
+	Funcs     map[string]*ast.FuncDecl
+	Kernels   []*ast.FuncDecl
+	FileVars  []*fileVar
+	Typedefs  map[string]*types.Type
+	// FuncRets maps each function to its semantic return type.
+	FuncRets map[*ast.FuncDecl]*types.Type
+	// ParamTypes maps each function param to its semantic type.
+	ParamTypes map[*ast.Param]*types.Type
+}
+
+type fileVar struct {
+	Sym  *Symbol
+	Init []float64 // scalar/array initializer values, as float64
+	IsFP bool
+}
+
+// FileVarInit exposes a file-scope constant's initializer for lowering.
+func (r *Result) FileVarInit(sym *Symbol) ([]float64, bool) {
+	for _, fv := range r.FileVars {
+		if fv.Sym == sym {
+			return fv.Init, true
+		}
+	}
+	return nil, false
+}
+
+type checker struct {
+	res    *Result
+	scopes []map[string]*Symbol
+	curFn  *ast.FuncDecl
+	curRet *types.Type
+	loop   int
+	errs   []error
+}
+
+// Check analyzes a parsed file.
+func Check(file *ast.File) (*Result, error) {
+	c := &checker{
+		res: &Result{
+			File:       file,
+			Types:      make(map[ast.Expr]*types.Type),
+			Syms:       make(map[*ast.Ident]*Symbol),
+			Calls:      make(map[*ast.CallExpr]*CallInfo),
+			Swizzles:   make(map[*ast.MemberExpr][]int),
+			ArrayLens:  make(map[*ast.Declarator]int),
+			Funcs:      make(map[string]*ast.FuncDecl),
+			Typedefs:   make(map[string]*types.Type),
+			FuncRets:   make(map[*ast.FuncDecl]*types.Type),
+			ParamTypes: make(map[*ast.Param]*types.Type),
+		},
+	}
+	c.push() // file scope
+
+	// Pass 1: typedefs, file vars, function signatures.
+	for _, d := range file.Decls {
+		switch d := d.(type) {
+		case *ast.TypedefDecl:
+			t := c.resolveType(d.Type)
+			if t == nil {
+				continue
+			}
+			c.res.Typedefs[d.Name] = t
+		case *ast.FileVarDecl:
+			c.checkFileVar(d)
+		case *ast.FuncDecl:
+			if _, dup := c.res.Funcs[d.Name]; dup {
+				c.errorf(d.Pos(), "function %s redefined", d.Name)
+				continue
+			}
+			c.res.Funcs[d.Name] = d
+			ret := c.resolveType(d.Ret)
+			if ret == nil {
+				ret = types.VoidType
+			}
+			c.res.FuncRets[d] = ret
+			if d.IsKernel {
+				if !ret.IsVoid() {
+					c.errorf(d.Pos(), "kernel %s must return void", d.Name)
+				}
+				c.res.Kernels = append(c.res.Kernels, d)
+			}
+			for _, p := range d.Params {
+				pt := c.resolveType(p.Type)
+				if pt == nil {
+					pt = types.IntType
+				}
+				c.res.ParamTypes[p] = pt
+				if d.IsKernel && pt.IsPointer() && pt.Space == ast.PrivateSpace {
+					c.errorf(p.Type.Pos(), "kernel pointer argument %s must be __global, __local or __constant", p.Name)
+				}
+			}
+		}
+	}
+
+	// Pass 2: function bodies. Redefinitions diagnosed in pass 1 have
+	// no recorded signature and are skipped.
+	for _, d := range file.Decls {
+		fn, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if _, known := c.res.FuncRets[fn]; !known {
+			continue
+		}
+		c.checkFunc(fn)
+	}
+
+	c.checkNoRecursion()
+
+	if len(c.errs) > 0 {
+		return nil, c.errs[0]
+	}
+	return c.res, nil
+}
+
+// Compile is a convenience that parses and checks in one step.
+func Compile(name, src string) (*Result, error) {
+	file, err := parser.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return Check(file)
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, make(map[string]*Symbol)) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(sym *Symbol, pos token.Pos) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[sym.Name]; dup {
+		c.errorf(pos, "%s redeclared in this scope", sym.Name)
+		return
+	}
+	top[sym.Name] = sym
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// resolveType converts a source TypeName to a semantic type.
+func (c *checker) resolveType(tn *ast.TypeName) *types.Type {
+	var base *types.Type
+	if t, ok := c.res.Typedefs[tn.Name]; ok {
+		base = t
+	} else {
+		base = types.ByName(tn.Name)
+	}
+	if base == nil {
+		c.errorf(tn.Pos(), "unknown type %q", tn.Name)
+		return nil
+	}
+	t := base
+	for i := 0; i < tn.PtrDepth; i++ {
+		t = types.Pointer(t, tn.Space, tn.Const, tn.Restrict)
+	}
+	if tn.PtrDepth == 0 && t.IsVoid() {
+		return types.VoidType
+	}
+	return t
+}
+
+func (c *checker) checkFileVar(d *ast.FileVarDecl) {
+	t := c.resolveType(d.Type)
+	if t == nil {
+		return
+	}
+	if d.Type.Space != ast.ConstantSpace {
+		c.errorf(d.Pos(), "file-scope variables must be __constant in OpenCL C")
+		return
+	}
+	for _, dec := range d.Decls {
+		sym := &Symbol{Name: dec.Name, Kind: SymFileVar, Type: t, Space: ast.ConstantSpace, Const: true, Decl: d}
+		n := 0
+		var vals []float64
+		if dec.ArrayLen != nil {
+			ln, ok := c.constInt(dec.ArrayLen)
+			if !ok || ln <= 0 {
+				c.errorf(dec.NamePos, "array length of %s must be a positive integer constant", dec.Name)
+				continue
+			}
+			n = int(ln)
+			sym.Kind = SymFileVar
+			sym.ArrayLen = n
+		}
+		if dec.Init == nil {
+			c.errorf(dec.NamePos, "__constant variable %s must be initialized", dec.Name)
+			continue
+		}
+		if agg, ok := dec.Init.(*ast.VectorLit); ok && agg.To == nil {
+			for _, e := range agg.Elems {
+				v, ok := c.constFloat(e)
+				if !ok {
+					c.errorf(e.Pos(), "initializer element must be constant")
+					v = 0
+				}
+				vals = append(vals, v)
+			}
+			if n == 0 {
+				n = len(vals)
+				sym.ArrayLen = n
+			}
+			if len(vals) > n {
+				c.errorf(dec.NamePos, "too many initializers for %s", dec.Name)
+			}
+			for len(vals) < n {
+				vals = append(vals, 0)
+			}
+		} else {
+			v, ok := c.constFloat(dec.Init)
+			if !ok {
+				c.errorf(dec.Init.Pos(), "__constant initializer must be constant")
+			}
+			vals = []float64{v}
+		}
+		c.res.ArrayLens[dec] = sym.ArrayLen
+		c.declare(sym, dec.NamePos)
+		c.res.FileVars = append(c.res.FileVars, &fileVar{Sym: sym, Init: vals, IsFP: t.Base.IsFloat()})
+	}
+}
+
+func (c *checker) checkFunc(fn *ast.FuncDecl) {
+	c.curFn = fn
+	c.curRet = c.res.FuncRets[fn]
+	c.push()
+	for _, p := range fn.Params {
+		pt := c.res.ParamTypes[p]
+		if p.Name == "" {
+			continue
+		}
+		c.declare(&Symbol{Name: p.Name, Kind: SymParam, Type: pt, Space: spaceOf(pt), Const: pt.IsPointer() && pt.Const, Decl: p}, p.NamePos)
+	}
+	c.checkBlock(fn.Body)
+	c.pop()
+	c.curFn = nil
+}
+
+func spaceOf(t *types.Type) ast.AddressSpace {
+	if t.IsPointer() {
+		return t.Space
+	}
+	return ast.PrivateSpace
+}
+
+func (c *checker) checkBlock(b *ast.BlockStmt) {
+	c.push()
+	for _, s := range b.List {
+		c.checkStmt(s)
+	}
+	c.pop()
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.checkBlock(s)
+	case *ast.EmptyStmt:
+	case *ast.DeclStmt:
+		c.checkDecl(s)
+	case *ast.ExprStmt:
+		c.checkExpr(s.X)
+	case *ast.IfStmt:
+		ct := c.checkExpr(s.Cond)
+		c.wantScalarCond(ct, s.Cond)
+		c.checkStmt(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *ast.ForStmt:
+		c.push()
+		if s.Init != nil {
+			c.checkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.wantScalarCond(c.checkExpr(s.Cond), s.Cond)
+		}
+		if s.Post != nil {
+			c.checkExpr(s.Post)
+		}
+		c.loop++
+		c.checkStmt(s.Body)
+		c.loop--
+		c.pop()
+	case *ast.WhileStmt:
+		c.wantScalarCond(c.checkExpr(s.Cond), s.Cond)
+		c.loop++
+		c.checkStmt(s.Body)
+		c.loop--
+	case *ast.DoWhileStmt:
+		c.loop++
+		c.checkStmt(s.Body)
+		c.loop--
+		c.wantScalarCond(c.checkExpr(s.Cond), s.Cond)
+	case *ast.ReturnStmt:
+		if s.X == nil {
+			if c.curRet != nil && !c.curRet.IsVoid() {
+				c.errorf(s.Pos(), "missing return value in %s", c.curFn.Name)
+			}
+			return
+		}
+		t := c.checkExpr(s.X)
+		if c.curRet == nil || c.curRet.IsVoid() {
+			c.errorf(s.Pos(), "return with value in void function %s", c.curFn.Name)
+			return
+		}
+		if t != nil && !c.assignable(c.curRet, t) {
+			c.errorf(s.Pos(), "cannot return %s as %s", t, c.curRet)
+		}
+	case *ast.BreakStmt, *ast.ContinueStmt:
+		if c.loop == 0 {
+			c.errorf(s.Pos(), "break/continue outside loop")
+		}
+	default:
+		c.errorf(s.Pos(), "unsupported statement")
+	}
+}
+
+func (c *checker) wantScalarCond(t *types.Type, e ast.Expr) {
+	if t == nil {
+		return
+	}
+	if !t.IsScalar() && !t.IsPointer() {
+		c.errorf(e.Pos(), "condition must be scalar, got %s", t)
+	}
+}
+
+func (c *checker) checkDecl(s *ast.DeclStmt) {
+	base := c.resolveType(s.Type)
+	if base == nil {
+		return
+	}
+	space := s.Type.Space
+	for _, dec := range s.Decls {
+		t := base
+		for i := 0; i < dec.PtrDepth; i++ {
+			t = types.Pointer(t, space, s.Type.Const, s.Type.Restrict)
+		}
+		if dec.ArrayLen != nil {
+			ln, ok := c.constInt(dec.ArrayLen)
+			if !ok || ln <= 0 {
+				c.errorf(dec.NamePos, "array length of %s must be a positive integer constant", dec.Name)
+				continue
+			}
+			if t.IsPointer() {
+				c.errorf(dec.NamePos, "arrays of pointers are not supported")
+				continue
+			}
+			sym := &Symbol{Name: dec.Name, Kind: SymArray, Type: t, Space: space, ArrayLen: int(ln), Const: s.Type.Const, Decl: s}
+			c.res.ArrayLens[dec] = int(ln)
+			c.declare(sym, dec.NamePos)
+			if dec.Init != nil {
+				c.errorf(dec.NamePos, "array initializers are only supported for file-scope __constant arrays")
+			}
+			continue
+		}
+		if space == ast.LocalSpace && !t.IsPointer() {
+			c.errorf(dec.NamePos, "__local variables must be arrays in the clc dialect (use __local T name[N])")
+			continue
+		}
+		sym := &Symbol{Name: dec.Name, Kind: SymVar, Type: t, Space: ast.PrivateSpace, Const: s.Type.Const && !t.IsPointer(), Decl: s}
+		if dec.Init != nil {
+			it := c.checkExpr(dec.Init)
+			if it != nil && !c.assignable(t, it) {
+				c.errorf(dec.Init.Pos(), "cannot initialize %s (%s) with %s", dec.Name, t, it)
+			}
+		}
+		c.declare(sym, dec.NamePos)
+	}
+}
+
+// assignable reports whether a value of type 'from' can be assigned to
+// type 'to', applying C implicit conversion rules extended with OpenCL
+// scalar-to-vector splats.
+func (c *checker) assignable(to, from *types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	if to.Equal(from) {
+		return true
+	}
+	if to.IsArith() && from.IsArith() {
+		if to.IsVector() && from.IsVector() {
+			return to.Width == from.Width // implicit vector base conversion allowed
+		}
+		if to.IsVector() && from.IsScalar() {
+			return true // splat
+		}
+		if to.IsScalar() && from.IsVector() {
+			return false
+		}
+		return true
+	}
+	if to.IsPointer() && from.IsPointer() {
+		// Same space; element types must match or one side void.
+		if to.Space != from.Space {
+			return false
+		}
+		return to.Elem.Equal(from.Elem) || to.Elem.IsVoid() || from.Elem.IsVoid()
+	}
+	if to.IsScalar() && to.Base.IsInteger() && from.IsPointer() {
+		return false
+	}
+	return false
+}

@@ -1,0 +1,395 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"maligo/internal/clc/types"
+)
+
+func check(t *testing.T, src string) *Result {
+	t.Helper()
+	res, err := Compile("test.cl", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return res
+}
+
+func wantError(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, err := Compile("bad.cl", src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("error %q does not contain %q", err, fragment)
+	}
+}
+
+func TestSimpleKernel(t *testing.T) {
+	res := check(t, `
+__kernel void k(__global const float* a, __global float* b, const uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) {
+        b[i] = a[i] * 2.0f;
+    }
+}`)
+	if len(res.Kernels) != 1 || res.Kernels[0].Name != "k" {
+		t.Fatalf("kernels = %v", res.Kernels)
+	}
+}
+
+func TestTypeAnnotations(t *testing.T) {
+	res := check(t, `
+__kernel void k(__global float* p) {
+    float4 v = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+    float s = dot(v, v);
+    p[0] = s + v.w;
+}`)
+	// Every expression node must carry a type.
+	count := 0
+	for _, ty := range res.Types {
+		if ty == nil {
+			t.Fatal("nil type recorded")
+		}
+		count++
+	}
+	if count < 10 {
+		t.Fatalf("too few typed expressions: %d", count)
+	}
+}
+
+func TestKernelMustReturnVoid(t *testing.T) {
+	wantError(t, `__kernel int k(void) { return 1; }`, "must return void")
+}
+
+func TestKernelPointerSpace(t *testing.T) {
+	wantError(t, `__kernel void k(float* p) { }`, "__global, __local or __constant")
+}
+
+func TestUndeclared(t *testing.T) {
+	wantError(t, `__kernel void k(void) { x = 1; }`, "undeclared")
+}
+
+func TestRedeclared(t *testing.T) {
+	wantError(t, `__kernel void k(void) { int x = 1; float x = 2.0f; }`, "redeclared")
+}
+
+func TestScopeShadowingAllowed(t *testing.T) {
+	check(t, `__kernel void k(__global int* p) {
+		int x = 1;
+		{ float x = 2.0f; p[0] = (int)x; }
+		p[1] = x;
+	}`)
+}
+
+func TestConstAssignment(t *testing.T) {
+	wantError(t, `__kernel void k(void) { const int x = 1; x = 2; }`, "cannot assign to const")
+}
+
+func TestConstantPointerStore(t *testing.T) {
+	wantError(t, `__kernel void k(__global const float* p) { p[0] = 1.0f; }`, "const")
+}
+
+func TestRecursionRejected(t *testing.T) {
+	wantError(t, `
+int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }
+__kernel void k(__global int* p) { p[0] = fact(5); }
+`, "recursive")
+}
+
+func TestMutualRecursionRejected(t *testing.T) {
+	wantError(t, `
+int g(int n);
+int f(int n) { return g(n); }
+int g(int n) { return f(n); }
+__kernel void k(__global int* p) { p[0] = f(1); }
+`, "")
+}
+
+func TestBadSwizzle(t *testing.T) {
+	wantError(t, `__kernel void k(void) { float2 v; float x = v.z; }`, "component")
+}
+
+func TestSwizzleRecorded(t *testing.T) {
+	res := check(t, `__kernel void k(__global float* p) {
+		float4 v = (float4)(1.0f);
+		p[0] = v.w;
+		float2 h = v.hi;
+		p[1] = h.x;
+	}`)
+	found := 0
+	for _, idx := range res.Swizzles {
+		found++
+		if len(idx) == 0 {
+			t.Fatal("empty swizzle")
+		}
+	}
+	if found != 3 {
+		t.Fatalf("swizzles recorded = %d, want 3", found)
+	}
+}
+
+func TestParseSwizzle(t *testing.T) {
+	cases := []struct {
+		sel   string
+		width int
+		want  []int
+		ok    bool
+	}{
+		{"x", 4, []int{0}, true},
+		{"w", 4, []int{3}, true},
+		{"xyzw", 4, []int{0, 1, 2, 3}, true},
+		{"xy", 2, []int{0, 1}, true},
+		{"s0", 8, []int{0}, true},
+		{"s7", 8, []int{7}, true},
+		{"s01", 4, []int{0, 1}, true},
+		{"lo", 4, []int{0, 1}, true},
+		{"hi", 4, []int{2, 3}, true},
+		{"even", 4, []int{0, 2}, true},
+		{"odd", 4, []int{1, 3}, true},
+		{"z", 2, nil, false},
+		{"s9", 8, nil, false},
+		{"q", 4, nil, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseSwizzle(c.sel, c.width)
+		if ok != c.ok {
+			t.Errorf("ParseSwizzle(%q, %d) ok = %v, want %v", c.sel, c.width, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("ParseSwizzle(%q, %d) = %v, want %v", c.sel, c.width, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ParseSwizzle(%q, %d) = %v, want %v", c.sel, c.width, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestVectorWidthMismatch(t *testing.T) {
+	wantError(t, `__kernel void k(void) { float4 a; float2 b; float4 c = a + b; }`, "width")
+}
+
+func TestVectorLiteralCount(t *testing.T) {
+	wantError(t, `__kernel void k(void) { float4 v = (float4)(1.0f, 2.0f); }`, "components")
+}
+
+func TestBuiltinSignatures(t *testing.T) {
+	check(t, `__kernel void k(__global float* p, __global int* q) {
+		float4 v = (float4)(2.0f);
+		p[0] = sqrt(p[1]) + fmax(p[2], 1.0f) + dot(v, v) + length(v);
+		p[1] = clamp(p[1], 0.0f, 1.0f) + mad(p[2], p[3], p[4]);
+		q[0] = min(q[1], 7) + abs(q[2]);
+		q[1] = (int)get_local_size(0);
+		atomic_add(&q[0], 1);
+		barrier(1);
+	}`)
+}
+
+func TestBuiltinArity(t *testing.T) {
+	wantError(t, `__kernel void k(__global float* p) { p[0] = sqrt(p[0], p[1]); }`, "expects")
+}
+
+func TestSqrtOnInt(t *testing.T) {
+	wantError(t, `__kernel void k(__global int* p) { p[0] = (int)sqrt(p[0]); }`, "floating-point")
+}
+
+func TestAtomicPointerChecks(t *testing.T) {
+	wantError(t, `__kernel void k(__global float* p) { atomic_add(&p[0], 1); }`, "int or uint")
+}
+
+func TestVloadTyping(t *testing.T) {
+	res := check(t, `__kernel void k(__global const float* p, __global float* q) {
+		float4 v = vload4(0, p);
+		vstore4(v, 0, q);
+	}`)
+	_ = res
+	wantError(t, `__kernel void k(__global const float* p) { float2 v = vload4(0, p); }`, "initialize")
+}
+
+func TestConvertFunctions(t *testing.T) {
+	check(t, `__kernel void k(__global float* p, __global int* q) {
+		int4 iv = (int4)(1);
+		float4 fv = convert_float4(iv);
+		q[0] = convert_int(p[0]);
+		p[0] = fv.x;
+	}`)
+	wantError(t, `__kernel void k(void) { int4 v = (int4)(1); float2 f = convert_float2(v); }`, "width")
+}
+
+func TestCallUndefined(t *testing.T) {
+	wantError(t, `__kernel void k(void) { frob(1); }`, "undefined function")
+}
+
+func TestCallKernelFromDevice(t *testing.T) {
+	wantError(t, `
+__kernel void a(__global int* p) { p[0] = 1; }
+__kernel void b(__global int* p) { a(p); }
+`, "kernels cannot be called")
+}
+
+func TestArgumentCountAndTypes(t *testing.T) {
+	wantError(t, `
+float f(float x, float y) { return x + y; }
+__kernel void k(__global float* p) { p[0] = f(1.0f); }
+`, "expects 2 arguments")
+}
+
+func TestFileScopeConstant(t *testing.T) {
+	res := check(t, `
+__constant float w[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+__kernel void k(__global float* p) { p[0] = w[2]; }
+`)
+	if len(res.FileVars) != 1 {
+		t.Fatalf("file vars = %d", len(res.FileVars))
+	}
+	init, ok := res.FileVarInit(res.FileVars[0].Sym)
+	if !ok || len(init) != 4 || init[2] != 3 {
+		t.Fatalf("init = %v", init)
+	}
+}
+
+func TestFileScopeMustBeConstant(t *testing.T) {
+	wantError(t, `__global float g = 1.0f;`, "__constant")
+}
+
+func TestLocalScalarRejected(t *testing.T) {
+	wantError(t, `__kernel void k(void) { __local float x; }`, "__local")
+}
+
+func TestBreakOutsideLoop(t *testing.T) {
+	wantError(t, `__kernel void k(void) { break; }`, "outside loop")
+}
+
+func TestConditionMustBeScalar(t *testing.T) {
+	wantError(t, `__kernel void k(void) { float4 v = (float4)(1.0f); if (v) {} }`, "scalar")
+}
+
+func TestVectorTernary(t *testing.T) {
+	check(t, `__kernel void k(__global float* p) {
+		float4 a = (float4)(1.0f);
+		float4 b = (float4)(2.0f);
+		int4 m = a < b;
+		float4 r = m ? a : b;
+		p[0] = r.x;
+	}`)
+}
+
+func TestIntLiteralTypes(t *testing.T) {
+	res := check(t, `__kernel void k(__global ulong* p) { p[0] = 1u + 2; }`)
+	found := false
+	for e, ty := range res.Types {
+		_ = e
+		if ty.Equal(types.UIntType) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no uint-typed expression found (1u)")
+	}
+}
+
+func TestFuncRedefinition(t *testing.T) {
+	wantError(t, `
+float f(float x) { return x; }
+float f(float x) { return x + 1.0f; }
+`, "redefined")
+}
+
+func TestPointerComparisonsAndArithmetic(t *testing.T) {
+	check(t, `__kernel void k(__global float* p, __global float* q, __global long* out) {
+		out[0] = q - p;
+		out[1] = (long)(p < q);
+		__global float* r = p + 4;
+		r += 2;
+		r--;
+		out[2] = r - p;
+	}`)
+}
+
+func TestDerefAndAddressOf(t *testing.T) {
+	check(t, `__kernel void k(__global float* p, __global int* bins) {
+		*p = 1.0f;
+		float v = *(p + 3);
+		p[1] = v;
+		atomic_add(&bins[2], 1);
+	}`)
+	wantError(t, `__kernel void k(void) { float x; float* px = &x; }`, "address-of")
+}
+
+func TestTernaryMismatchedArms(t *testing.T) {
+	wantError(t, `__kernel void k(__global float* p, __global int* q) {
+		p[0] = (p[0] > 0.0f) ? p : q;
+	}`, "")
+}
+
+func TestPostfixOnRValue(t *testing.T) {
+	wantError(t, `__kernel void k(void) { int x = 1; (x + 1)++; }`, "lvalue")
+}
+
+func TestAssignToRValue(t *testing.T) {
+	wantError(t, `__kernel void k(void) { int x; x + 1 = 3; }`, "lvalue")
+}
+
+func TestBitwiseOnFloats(t *testing.T) {
+	wantError(t, `__kernel void k(void) { float a; float b; float c = a & b; }`, "integer")
+}
+
+func TestRemainderOnFloats(t *testing.T) {
+	wantError(t, `__kernel void k(void) { float a; float c = a % 2.0f; }`, "integer")
+}
+
+func TestVectorCondTernaryWidthMismatch(t *testing.T) {
+	wantError(t, `__kernel void k(void) {
+		float4 a = (float4)(1.0f);
+		float2 b = (float2)(1.0f);
+		int4 m = a < a;
+		float2 r = m ? b : b;
+	}`, "")
+}
+
+func TestSwizzleWriteComposition(t *testing.T) {
+	res := check(t, `__kernel void k(__global float* p) {
+		float4 v = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+		v.hi.x = 9.0f; // composed swizzle write: lane 2
+		p[0] = v.z;
+	}`)
+	_ = res
+}
+
+func TestUnknownTypeName(t *testing.T) {
+	wantError(t, `__kernel void k(__global quux* p) { }`, "expected type name")
+}
+
+func TestTypedefResolution(t *testing.T) {
+	check(t, `
+typedef float real_t;
+__kernel void k(__global real_t* p) {
+	real_t v = p[0] * (real_t)2;
+	p[0] = v;
+}`)
+}
+
+func TestNegativeArrayLength(t *testing.T) {
+	wantError(t, `__kernel void k(void) { float a[0 - 4]; }`, "positive")
+}
+
+func TestNonConstantArrayLength(t *testing.T) {
+	wantError(t, `__kernel void k(const int n) { float a[n]; }`, "constant")
+}
+
+func TestSizeofConstantFolding(t *testing.T) {
+	check(t, `
+__constant int sz = sizeof(float4);
+__kernel void k(__global int* p) { p[0] = sz; }
+`)
+}

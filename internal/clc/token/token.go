@@ -1,0 +1,260 @@
+// Package token defines the lexical tokens of the OpenCL C dialect
+// accepted by the clc compiler. The dialect covers the subset of
+// OpenCL C 1.1 used by compute kernels: scalar and vector arithmetic
+// types, address-space qualifiers, control flow, and the kernel/helper
+// function declarations needed by the benchmarks in this repository.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// The list of token kinds.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT     // xyz
+	INTLIT    // 123, 0x1F, 42u
+	FLOATLIT  // 1.5f, 2.0, 1e-3
+	CHARLIT   // 'a'
+	STRINGLIT // "abc" (only in pragmas/attributes; not a kernel value type)
+
+	// Operators and delimiters.
+	ADD // +
+	SUB // -
+	MUL // *
+	QUO // /
+	REM // %
+
+	AND // &
+	OR  // |
+	XOR // ^
+	SHL // <<
+	SHR // >>
+	NOT // ~
+
+	LAND // &&
+	LOR  // ||
+	LNOT // !
+
+	EQL // ==
+	NEQ // !=
+	LSS // <
+	GTR // >
+	LEQ // <=
+	GEQ // >=
+
+	ASSIGN     // =
+	ADD_ASSIGN // +=
+	SUB_ASSIGN // -=
+	MUL_ASSIGN // *=
+	QUO_ASSIGN // /=
+	REM_ASSIGN // %=
+	AND_ASSIGN // &=
+	OR_ASSIGN  // |=
+	XOR_ASSIGN // ^=
+	SHL_ASSIGN // <<=
+	SHR_ASSIGN // >>=
+
+	INC // ++
+	DEC // --
+
+	QUESTION  // ?
+	COLON     // :
+	SEMICOLON // ;
+	COMMA     // ,
+	PERIOD    // .
+	ARROW     // ->
+
+	LPAREN // (
+	RPAREN // )
+	LBRACK // [
+	RBRACK // ]
+	LBRACE // {
+	RBRACE // }
+
+	// Keywords.
+	KwKernel   // __kernel / kernel
+	KwGlobal   // __global / global
+	KwLocal    // __local / local
+	KwConstant // __constant / constant
+	KwPrivate  // __private / private
+	KwConst    // const
+	KwRestrict // restrict / __restrict
+	KwVolatile // volatile
+	KwInline   // inline / __inline
+	KwStatic   // static
+	KwUnsigned // unsigned
+	KwSigned   // signed
+	KwStruct   // struct
+	KwTypedef  // typedef
+	KwVoid     // void
+	KwIf       // if
+	KwElse     // else
+	KwFor      // for
+	KwWhile    // while
+	KwDo       // do
+	KwReturn   // return
+	KwBreak    // break
+	KwContinue // continue
+	KwSwitch   // switch
+	KwCase     // case
+	KwDefault  // default
+	KwSizeof   // sizeof
+	KwGoto     // goto (recognized, rejected in sema)
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF",
+	IDENT: "IDENT", INTLIT: "INTLIT", FLOATLIT: "FLOATLIT", CHARLIT: "CHARLIT", STRINGLIT: "STRINGLIT",
+	ADD: "+", SUB: "-", MUL: "*", QUO: "/", REM: "%",
+	AND: "&", OR: "|", XOR: "^", SHL: "<<", SHR: ">>", NOT: "~",
+	LAND: "&&", LOR: "||", LNOT: "!",
+	EQL: "==", NEQ: "!=", LSS: "<", GTR: ">", LEQ: "<=", GEQ: ">=",
+	ASSIGN: "=", ADD_ASSIGN: "+=", SUB_ASSIGN: "-=", MUL_ASSIGN: "*=", QUO_ASSIGN: "/=",
+	REM_ASSIGN: "%=", AND_ASSIGN: "&=", OR_ASSIGN: "|=", XOR_ASSIGN: "^=", SHL_ASSIGN: "<<=", SHR_ASSIGN: ">>=",
+	INC: "++", DEC: "--",
+	QUESTION: "?", COLON: ":", SEMICOLON: ";", COMMA: ",", PERIOD: ".", ARROW: "->",
+	LPAREN: "(", RPAREN: ")", LBRACK: "[", RBRACK: "]", LBRACE: "{", RBRACE: "}",
+	KwKernel: "__kernel", KwGlobal: "__global", KwLocal: "__local", KwConstant: "__constant",
+	KwPrivate: "__private", KwConst: "const", KwRestrict: "restrict", KwVolatile: "volatile",
+	KwInline: "inline", KwStatic: "static", KwUnsigned: "unsigned", KwSigned: "signed",
+	KwStruct: "struct", KwTypedef: "typedef", KwVoid: "void",
+	KwIf: "if", KwElse: "else", KwFor: "for", KwWhile: "while", KwDo: "do",
+	KwReturn: "return", KwBreak: "break", KwContinue: "continue",
+	KwSwitch: "switch", KwCase: "case", KwDefault: "default",
+	KwSizeof: "sizeof", KwGoto: "goto",
+}
+
+// String returns a printable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// keywords maps source spellings to keyword kinds. OpenCL C allows both
+// the double-underscore and plain spellings of the address-space and
+// function qualifiers.
+var keywords = map[string]Kind{
+	"__kernel": KwKernel, "kernel": KwKernel,
+	"__global": KwGlobal, "global": KwGlobal,
+	"__local": KwLocal, "local": KwLocal,
+	"__constant": KwConstant, "constant": KwConstant,
+	"__private": KwPrivate, "private": KwPrivate,
+	"const": KwConst, "restrict": KwRestrict, "__restrict": KwRestrict,
+	"volatile": KwVolatile,
+	"inline":   KwInline, "__inline": KwInline,
+	"static": KwStatic, "unsigned": KwUnsigned, "signed": KwSigned,
+	"struct": KwStruct, "typedef": KwTypedef, "void": KwVoid,
+	"if": KwIf, "else": KwElse, "for": KwFor, "while": KwWhile, "do": KwDo,
+	"return": KwReturn, "break": KwBreak, "continue": KwContinue,
+	"switch": KwSwitch, "case": KwCase, "default": KwDefault,
+	"sizeof": KwSizeof, "goto": KwGoto,
+}
+
+// Lookup maps an identifier to its keyword kind, or IDENT if it is not
+// a keyword.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// IsAssignOp reports whether k is an assignment operator (including
+// compound assignments).
+func (k Kind) IsAssignOp() bool {
+	return k >= ASSIGN && k <= SHR_ASSIGN
+}
+
+// BaseOf returns the arithmetic operator underlying a compound
+// assignment (ADD for ADD_ASSIGN, and so on). It returns ILLEGAL for
+// plain ASSIGN and for non-assignment kinds.
+func (k Kind) BaseOf() Kind {
+	switch k {
+	case ADD_ASSIGN:
+		return ADD
+	case SUB_ASSIGN:
+		return SUB
+	case MUL_ASSIGN:
+		return MUL
+	case QUO_ASSIGN:
+		return QUO
+	case REM_ASSIGN:
+		return REM
+	case AND_ASSIGN:
+		return AND
+	case OR_ASSIGN:
+		return OR
+	case XOR_ASSIGN:
+		return XOR
+	case SHL_ASSIGN:
+		return SHL
+	case SHR_ASSIGN:
+		return SHR
+	}
+	return ILLEGAL
+}
+
+// Pos is a source position: 1-based line and column within a named
+// compilation unit (the file name is carried by the Program).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a single lexical token with its source position and literal
+// text (for identifiers and literals).
+type Token struct {
+	Kind Kind
+	Lit  string
+	Pos  Pos
+}
+
+// String formats the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INTLIT, FLOATLIT, CHARLIT, STRINGLIT:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}
+
+// Precedence returns the binary operator precedence for expression
+// parsing; higher binds tighter. Non-binary operators return 0.
+func (k Kind) Precedence() int {
+	switch k {
+	case LOR:
+		return 1
+	case LAND:
+		return 2
+	case OR:
+		return 3
+	case XOR:
+		return 4
+	case AND:
+		return 5
+	case EQL, NEQ:
+		return 6
+	case LSS, GTR, LEQ, GEQ:
+		return 7
+	case SHL, SHR:
+		return 8
+	case ADD, SUB:
+		return 9
+	case MUL, QUO, REM:
+		return 10
+	}
+	return 0
+}

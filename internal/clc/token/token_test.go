@@ -1,0 +1,81 @@
+package token
+
+import "testing"
+
+func TestLookupKeywords(t *testing.T) {
+	cases := map[string]Kind{
+		"__kernel": KwKernel, "kernel": KwKernel,
+		"__global": KwGlobal, "global": KwGlobal,
+		"__local": KwLocal, "constant": KwConstant,
+		"const": KwConst, "restrict": KwRestrict, "__restrict": KwRestrict,
+		"if": KwIf, "else": KwElse, "for": KwFor, "while": KwWhile,
+		"return": KwReturn, "break": KwBreak, "continue": KwContinue,
+		"void": KwVoid, "unsigned": KwUnsigned, "sizeof": KwSizeof,
+		"typedef": KwTypedef, "inline": KwInline,
+		"banana": IDENT, "float": IDENT, "float4": IDENT, "get_global_id": IDENT,
+	}
+	for lit, want := range cases {
+		if got := Lookup(lit); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", lit, got, want)
+		}
+	}
+}
+
+func TestPrecedenceOrdering(t *testing.T) {
+	// Multiplicative > additive > shift > relational > equality >
+	// bitwise > logical.
+	ordered := []Kind{LOR, LAND, OR, XOR, AND, EQL, LSS, SHL, ADD, MUL}
+	for i := 1; i < len(ordered); i++ {
+		lo, hi := ordered[i-1], ordered[i]
+		if lo.Precedence() >= hi.Precedence() {
+			t.Errorf("%v precedence %d should be < %v precedence %d",
+				lo, lo.Precedence(), hi, hi.Precedence())
+		}
+	}
+	if QUESTION.Precedence() != 0 {
+		t.Errorf("non-binary token should have zero precedence")
+	}
+}
+
+func TestAssignOps(t *testing.T) {
+	for _, k := range []Kind{ASSIGN, ADD_ASSIGN, SUB_ASSIGN, MUL_ASSIGN, QUO_ASSIGN,
+		REM_ASSIGN, AND_ASSIGN, OR_ASSIGN, XOR_ASSIGN, SHL_ASSIGN, SHR_ASSIGN} {
+		if !k.IsAssignOp() {
+			t.Errorf("%v should be an assignment operator", k)
+		}
+	}
+	for _, k := range []Kind{ADD, EQL, IDENT, LBRACE} {
+		if k.IsAssignOp() {
+			t.Errorf("%v should not be an assignment operator", k)
+		}
+	}
+}
+
+func TestBaseOf(t *testing.T) {
+	cases := map[Kind]Kind{
+		ADD_ASSIGN: ADD, SUB_ASSIGN: SUB, MUL_ASSIGN: MUL, QUO_ASSIGN: QUO,
+		REM_ASSIGN: REM, AND_ASSIGN: AND, OR_ASSIGN: OR, XOR_ASSIGN: XOR,
+		SHL_ASSIGN: SHL, SHR_ASSIGN: SHR, ASSIGN: ILLEGAL, ADD: ILLEGAL,
+	}
+	for in, want := range cases {
+		if got := in.BaseOf(); got != want {
+			t.Errorf("%v.BaseOf() = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: IDENT, Lit: "foo", Pos: Pos{Line: 3, Col: 7}}
+	if got := tok.String(); got != `IDENT("foo")` {
+		t.Errorf("Token.String() = %q", got)
+	}
+	if got := (Token{Kind: ADD}).String(); got != "+" {
+		t.Errorf("operator token String() = %q", got)
+	}
+	if got := (Pos{Line: 3, Col: 7}).String(); got != "3:7" {
+		t.Errorf("Pos.String() = %q", got)
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero Pos should be invalid")
+	}
+}

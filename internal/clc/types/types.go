@@ -1,0 +1,333 @@
+// Package types defines the semantic type system of the clc dialect:
+// OpenCL C scalar types, vector types of width 2/3/4/8/16, and
+// address-space-qualified pointers.
+package types
+
+import (
+	"fmt"
+
+	"maligo/internal/clc/ast"
+)
+
+// Base identifies a scalar element type.
+type Base int
+
+// Scalar base types. Size-related semantics follow OpenCL C 1.1
+// (char 1, short 2, int/float 4, long/ulong/double/size_t 8 bytes).
+const (
+	Invalid Base = iota
+	Void
+	Bool
+	Char
+	UChar
+	Short
+	UShort
+	Int
+	UInt
+	Long
+	ULong
+	Float
+	Double
+)
+
+var baseNames = [...]string{
+	Invalid: "invalid", Void: "void", Bool: "bool",
+	Char: "char", UChar: "uchar", Short: "short", UShort: "ushort",
+	Int: "int", UInt: "uint", Long: "long", ULong: "ulong",
+	Float: "float", Double: "double",
+}
+
+func (b Base) String() string {
+	if int(b) < len(baseNames) {
+		return baseNames[b]
+	}
+	return fmt.Sprintf("Base(%d)", int(b))
+}
+
+// IsInteger reports whether b is an integer type (bool counts as an
+// integer of size 1 for arithmetic purposes, as in C).
+func (b Base) IsInteger() bool { return b >= Bool && b <= ULong }
+
+// IsFloat reports whether b is float or double.
+func (b Base) IsFloat() bool { return b == Float || b == Double }
+
+// IsSigned reports whether b is a signed integer type.
+func (b Base) IsSigned() bool {
+	switch b {
+	case Char, Short, Int, Long:
+		return true
+	}
+	return false
+}
+
+// Size returns the size in bytes of the scalar type.
+func (b Base) Size() int {
+	switch b {
+	case Bool, Char, UChar:
+		return 1
+	case Short, UShort:
+		return 2
+	case Int, UInt, Float:
+		return 4
+	case Long, ULong, Double:
+		return 8
+	}
+	return 0
+}
+
+// Rank orders types for usual arithmetic conversions.
+func (b Base) Rank() int {
+	switch b {
+	case Bool:
+		return 1
+	case Char, UChar:
+		return 2
+	case Short, UShort:
+		return 3
+	case Int, UInt:
+		return 4
+	case Long, ULong:
+		return 5
+	case Float:
+		return 6
+	case Double:
+		return 7
+	}
+	return 0
+}
+
+// Kind discriminates the structural form of a Type.
+type Kind int
+
+// Structural kinds.
+const (
+	KScalar Kind = iota
+	KVector
+	KPointer
+	KVoid
+)
+
+// Type is a semantic type. Types are immutable; use the constructors.
+type Type struct {
+	Kind     Kind
+	Base     Base             // element base for scalars/vectors; pointee base is in Elem
+	Width    int              // vector width (1 for scalars)
+	Elem     *Type            // pointee type for pointers
+	Space    ast.AddressSpace // address space for pointers
+	Const    bool             // pointee constness for pointers
+	Restrict bool
+}
+
+// Prebuilt singletons for common scalar types.
+var (
+	VoidType   = &Type{Kind: KVoid, Base: Void}
+	BoolType   = Scalar(Bool)
+	IntType    = Scalar(Int)
+	UIntType   = Scalar(UInt)
+	LongType   = Scalar(Long)
+	ULongType  = Scalar(ULong)
+	FloatType  = Scalar(Float)
+	DoubleType = Scalar(Double)
+)
+
+// Scalar returns the scalar type with base b.
+func Scalar(b Base) *Type { return &Type{Kind: KScalar, Base: b, Width: 1} }
+
+// Vector returns the vector type with base b and the given width.
+func Vector(b Base, width int) *Type {
+	if width == 1 {
+		return Scalar(b)
+	}
+	return &Type{Kind: KVector, Base: b, Width: width}
+}
+
+// Pointer returns a pointer type to elem in the given address space.
+func Pointer(elem *Type, space ast.AddressSpace, isConst, restrict bool) *Type {
+	return &Type{Kind: KPointer, Width: 1, Elem: elem, Space: space, Const: isConst, Restrict: restrict}
+}
+
+// IsScalar reports whether t is a scalar arithmetic type.
+func (t *Type) IsScalar() bool { return t.Kind == KScalar }
+
+// IsVector reports whether t is a vector type.
+func (t *Type) IsVector() bool { return t.Kind == KVector }
+
+// IsPointer reports whether t is a pointer type.
+func (t *Type) IsPointer() bool { return t.Kind == KPointer }
+
+// IsVoid reports whether t is void.
+func (t *Type) IsVoid() bool { return t.Kind == KVoid }
+
+// IsArith reports whether t is a scalar or vector arithmetic type.
+func (t *Type) IsArith() bool { return t.Kind == KScalar || t.Kind == KVector }
+
+// IsIntegerArith reports whether t is an integer scalar or vector.
+func (t *Type) IsIntegerArith() bool { return t.IsArith() && t.Base.IsInteger() }
+
+// IsFloatArith reports whether t is a floating scalar or vector.
+func (t *Type) IsFloatArith() bool { return t.IsArith() && t.Base.IsFloat() }
+
+// Size returns the size of the type in bytes. Per OpenCL, 3-component
+// vectors occupy the storage of 4 components. Pointers are 8 bytes
+// (the simulated devices use a 64-bit virtual address encoding).
+func (t *Type) Size() int {
+	switch t.Kind {
+	case KScalar:
+		return t.Base.Size()
+	case KVector:
+		w := t.Width
+		if w == 3 {
+			w = 4
+		}
+		return w * t.Base.Size()
+	case KPointer:
+		return 8
+	}
+	return 0
+}
+
+// Align returns the required alignment of the type in bytes (equal to
+// its size for scalars and vectors, as in OpenCL).
+func (t *Type) Align() int {
+	if t.Kind == KPointer {
+		return 8
+	}
+	a := t.Size()
+	if a == 0 {
+		a = 1
+	}
+	return a
+}
+
+// WithWidth returns the vector (or scalar) type with the same base and
+// the given width.
+func (t *Type) WithWidth(width int) *Type { return Vector(t.Base, width) }
+
+// ScalarOf returns the scalar element type of a scalar or vector type.
+func (t *Type) ScalarOf() *Type { return Scalar(t.Base) }
+
+// Equal reports structural type equality, ignoring const/restrict
+// qualifiers on pointers.
+func (t *Type) Equal(o *Type) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KScalar, KVector:
+		return t.Base == o.Base && t.Width == o.Width
+	case KPointer:
+		return t.Space == o.Space && t.Elem.Equal(o.Elem)
+	case KVoid:
+		return true
+	}
+	return false
+}
+
+// String renders the type in OpenCL C syntax.
+func (t *Type) String() string {
+	switch t.Kind {
+	case KVoid:
+		return "void"
+	case KScalar:
+		return t.Base.String()
+	case KVector:
+		return fmt.Sprintf("%s%d", t.Base, t.Width)
+	case KPointer:
+		q := ""
+		if t.Space != ast.PrivateSpace {
+			q = t.Space.String() + " "
+		}
+		if t.Const {
+			q += "const "
+		}
+		return fmt.Sprintf("%s%s*", q, t.Elem)
+	}
+	return "invalid"
+}
+
+// baseByName maps OpenCL C scalar type names to bases. size_t and
+// friends are 64-bit on the simulated devices.
+var baseByName = map[string]Base{
+	"void": Void, "bool": Bool,
+	"char": Char, "uchar": UChar, "short": Short, "ushort": UShort,
+	"int": Int, "uint": UInt, "long": Long, "ulong": ULong,
+	"float": Float, "double": Double,
+	"size_t": ULong, "ptrdiff_t": Long, "intptr_t": Long, "uintptr_t": ULong,
+}
+
+// ByName resolves a builtin scalar or vector type name ("float",
+// "double4", ...). It returns nil for unknown names.
+func ByName(name string) *Type {
+	if b, ok := baseByName[name]; ok {
+		if b == Void {
+			return VoidType
+		}
+		return Scalar(b)
+	}
+	// Vector: trailing digits are the width.
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	if i == 0 || i == len(name) {
+		return nil
+	}
+	base := name[:i]
+	switch base {
+	case "size_t", "ptrdiff_t", "intptr_t", "uintptr_t":
+		return nil // no vector forms of the pointer-sized aliases
+	}
+	b, ok := baseByName[base]
+	if !ok || b == Void || b == Bool {
+		return nil
+	}
+	switch name[i:] {
+	case "2":
+		return Vector(b, 2)
+	case "3":
+		return Vector(b, 3)
+	case "4":
+		return Vector(b, 4)
+	case "8":
+		return Vector(b, 8)
+	case "16":
+		return Vector(b, 16)
+	}
+	return nil
+}
+
+// Promote computes the usual arithmetic conversion result of two
+// arithmetic types, with OpenCL vector rules: if one operand is a
+// vector, the result is that vector type (the scalar is widened);
+// mixing two vectors requires equal widths.
+func Promote(a, b *Type) (*Type, error) {
+	if !a.IsArith() || !b.IsArith() {
+		return nil, fmt.Errorf("operands %s and %s are not arithmetic", a, b)
+	}
+	width := 1
+	switch {
+	case a.IsVector() && b.IsVector():
+		if a.Width != b.Width {
+			return nil, fmt.Errorf("vector width mismatch: %s vs %s", a, b)
+		}
+		width = a.Width
+	case a.IsVector():
+		width = a.Width
+	case b.IsVector():
+		width = b.Width
+	}
+	base := a.Base
+	if b.Base.Rank() > base.Rank() {
+		base = b.Base
+	} else if b.Base.Rank() == base.Rank() && !b.Base.IsSigned() {
+		base = b.Base // unsigned wins at equal rank
+	}
+	// Integer types below int promote to int.
+	if base.IsInteger() && base.Rank() < Int.Rank() {
+		base = Int
+	}
+	return Vector(base, width), nil
+}

@@ -1,0 +1,201 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+
+	"maligo/internal/clc/ast"
+)
+
+func TestScalarSizes(t *testing.T) {
+	cases := map[Base]int{
+		Bool: 1, Char: 1, UChar: 1, Short: 2, UShort: 2,
+		Int: 4, UInt: 4, Float: 4, Long: 8, ULong: 8, Double: 8,
+	}
+	for b, want := range cases {
+		if got := b.Size(); got != want {
+			t.Errorf("%v.Size() = %d, want %d", b, got, want)
+		}
+	}
+}
+
+func TestVectorSizesAndVec3Padding(t *testing.T) {
+	if got := Vector(Float, 4).Size(); got != 16 {
+		t.Errorf("float4 size = %d", got)
+	}
+	if got := Vector(Float, 3).Size(); got != 16 {
+		t.Errorf("float3 must occupy float4 storage, size = %d", got)
+	}
+	if got := Vector(Double, 8).Size(); got != 64 {
+		t.Errorf("double8 size = %d", got)
+	}
+	if got := Vector(Float, 1); !got.IsScalar() {
+		t.Error("width-1 vector should collapse to scalar")
+	}
+}
+
+func TestByName(t *testing.T) {
+	cases := map[string]string{
+		"float":    "float",
+		"float4":   "float4",
+		"double2":  "double2",
+		"uint16":   "uint16",
+		"size_t":   "ulong",
+		"intptr_t": "long",
+		"void":     "void",
+	}
+	for name, want := range cases {
+		ty := ByName(name)
+		if ty == nil {
+			t.Errorf("ByName(%q) = nil", name)
+			continue
+		}
+		if ty.String() != want {
+			t.Errorf("ByName(%q) = %s, want %s", name, ty, want)
+		}
+	}
+	for _, bad := range []string{"float5", "bool4", "size_t2", "quux", "17"} {
+		if ty := ByName(bad); ty != nil {
+			t.Errorf("ByName(%q) = %s, want nil", bad, ty)
+		}
+	}
+}
+
+func TestPromote(t *testing.T) {
+	cases := []struct {
+		a, b, want string
+	}{
+		{"int", "int", "int"},
+		{"int", "float", "float"},
+		{"float", "double", "double"},
+		{"int", "uint", "uint"},
+		{"char", "char", "int"}, // integer promotion
+		{"short", "ushort", "int"},
+		{"long", "int", "long"},
+		{"float4", "float", "float4"},
+		{"float", "float4", "float4"},
+		{"int4", "float4", "float4"},
+		{"double4", "float4", "double4"},
+	}
+	for _, c := range cases {
+		got, err := Promote(ByName(c.a), ByName(c.b))
+		if err != nil {
+			t.Errorf("Promote(%s, %s): %v", c.a, c.b, err)
+			continue
+		}
+		if got.String() != c.want {
+			t.Errorf("Promote(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := Promote(ByName("float4"), ByName("float2")); err == nil {
+		t.Error("mixed vector widths must not promote")
+	}
+	if _, err := Promote(Pointer(FloatType, ast.GlobalSpace, false, false), IntType); err == nil {
+		t.Error("pointers must not promote")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Vector(Float, 4).Equal(Vector(Float, 4)) {
+		t.Error("identical vectors must be equal")
+	}
+	if Vector(Float, 4).Equal(Vector(Float, 2)) {
+		t.Error("different widths must differ")
+	}
+	p1 := Pointer(FloatType, ast.GlobalSpace, true, false)
+	p2 := Pointer(FloatType, ast.GlobalSpace, false, true)
+	if !p1.Equal(p2) {
+		t.Error("pointer equality must ignore const/restrict")
+	}
+	p3 := Pointer(FloatType, ast.LocalSpace, false, false)
+	if p1.Equal(p3) {
+		t.Error("pointer equality must respect address space")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[string]*Type{
+		"float":              FloatType,
+		"double4":            Vector(Double, 4),
+		"__global float*":    Pointer(FloatType, ast.GlobalSpace, false, false),
+		"__local const int*": Pointer(IntType, ast.LocalSpace, true, false),
+		"void":               VoidType,
+	}
+	for want, ty := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !FloatType.IsFloatArith() || FloatType.IsIntegerArith() {
+		t.Error("float predicates wrong")
+	}
+	if !IntType.IsIntegerArith() || IntType.IsFloatArith() {
+		t.Error("int predicates wrong")
+	}
+	ptr := Pointer(FloatType, ast.GlobalSpace, false, false)
+	if ptr.IsArith() || !ptr.IsPointer() {
+		t.Error("pointer predicates wrong")
+	}
+	if !VoidType.IsVoid() {
+		t.Error("void predicate wrong")
+	}
+}
+
+// Property: Promote is commutative in its result type.
+func TestPromoteCommutativeProperty(t *testing.T) {
+	bases := []Base{Bool, Char, UChar, Short, UShort, Int, UInt, Long, ULong, Float, Double}
+	widths := []int{1, 2, 4, 8}
+	f := func(ai, aw, bi, bw uint8) bool {
+		a := Vector(bases[int(ai)%len(bases)], widths[int(aw)%len(widths)])
+		b := Vector(bases[int(bi)%len(bases)], widths[int(bw)%len(widths)])
+		r1, err1 := Promote(a, b)
+		r2, err2 := Promote(b, a)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return r1.Equal(r2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the promoted type's rank is at least each operand's rank
+// and its width the max of the operand widths (when widths agree or
+// one side is scalar).
+func TestPromoteMonotoneProperty(t *testing.T) {
+	bases := []Base{Bool, Char, UChar, Short, UShort, Int, UInt, Long, ULong, Float, Double}
+	widths := []int{1, 2, 4, 8, 16}
+	f := func(ai, bi, wi uint8, scalarLeft bool) bool {
+		w := widths[int(wi)%len(widths)]
+		a := Vector(bases[int(ai)%len(bases)], w)
+		b := Vector(bases[int(bi)%len(bases)], w)
+		if scalarLeft {
+			a = Scalar(a.Base)
+		}
+		r, err := Promote(a, b)
+		if err != nil {
+			return false
+		}
+		if r.Base.Rank() < a.Base.Rank() || r.Base.Rank() < b.Base.Rank() {
+			return false
+		}
+		return widthOf(r) == w || (scalarLeft && widthOf(r) == widthOf(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func widthOf(t *Type) int {
+	if t.IsVector() {
+		return t.Width
+	}
+	return 1
+}

@@ -1,0 +1,92 @@
+// Package core is the façade of the maligo library: it assembles the
+// simulated Samsung Exynos 5250 platform (Cortex-A15 CPU devices and
+// the Mali-T604 GPU device sharing unified memory), exposes the
+// OpenCL-style runtime on top of it, and wires in the power model —
+// everything a user needs to write and measure OpenCL workloads the
+// way the paper does.
+//
+// Typical use:
+//
+//	p := core.NewPlatform()
+//	prog := p.Context.CreateProgramWithSource(src)
+//	if err := prog.Build("-DREAL=float"); err != nil { ... }
+//	q := p.Context.CreateCommandQueue(p.GPU)
+//	... create buffers, set args, enqueue ...
+//	m := p.Measure(q, core.GPURun)
+package core
+
+import (
+	"maligo/internal/cl"
+	"maligo/internal/cpu"
+	"maligo/internal/device"
+	"maligo/internal/mali"
+	"maligo/internal/power"
+)
+
+// Platform is one simulated Arndale board: two CPU device views (one
+// and two cores), the Mali GPU, and a context over their shared
+// unified memory.
+type Platform struct {
+	CPU1    *cpu.CPU  // Cortex-A15, single core (the paper's Serial target)
+	CPU2    *cpu.CPU  // Cortex-A15, both cores (the OpenMP target)
+	GPU     *mali.GPU // Mali-T604
+	Context *cl.Context
+	Meter   *power.Meter
+}
+
+// NewPlatform assembles a fresh board with cold caches.
+func NewPlatform() *Platform {
+	cpu1 := cpu.New(1)
+	cpu2 := cpu.New(2)
+	gpu := mali.New()
+	return &Platform{
+		CPU1:    cpu1,
+		CPU2:    cpu2,
+		GPU:     gpu,
+		Context: cl.NewContext(cpu1, cpu2, gpu),
+		Meter:   power.NewMeter(1),
+	}
+}
+
+// Devices lists the platform's devices like clGetDeviceIDs would.
+func (p *Platform) Devices() []device.Device {
+	return []device.Device{p.CPU1, p.CPU2, p.GPU}
+}
+
+// RunKind tells Measure which units were active during the region.
+type RunKind int
+
+// Run kinds for Measure.
+const (
+	CPURun RunKind = iota // region executed on A15 cores
+	GPURun                // region executed on the Mali GPU (host spins)
+)
+
+// Measure folds the events recorded on q since the last ResetEvents
+// into a board-level power/energy measurement using the simulated
+// Yokogawa WT230 protocol (20 repetitions, 10 Hz sampling, 0.1%
+// accuracy). It returns the measurement and the region's activity.
+func (p *Platform) Measure(q *cl.CommandQueue, kind RunKind) (power.Measurement, power.Activity) {
+	var act power.Activity
+	for _, ev := range q.Events() {
+		act.Seconds += ev.Seconds
+		if ev.Report == nil {
+			act.CPUBusyCoreSeconds += ev.Seconds
+			if act.CPUUtil < 0.4 {
+				act.CPUUtil = 0.4
+			}
+			continue
+		}
+		rep := ev.Report
+		act.DRAMBytes += rep.DRAMBytes
+		if kind == GPURun {
+			act.GPUBusyCoreSeconds += rep.BusyCoreSeconds
+			act.GPUUtil = rep.Utilization
+			act.HostSpinSeconds += ev.Seconds
+		} else {
+			act.CPUBusyCoreSeconds += rep.BusyCoreSeconds
+			act.CPUUtil = rep.Utilization
+		}
+	}
+	return p.Meter.Measure(act), act
+}

@@ -1,0 +1,99 @@
+package core_test
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"maligo/internal/cl"
+	"maligo/internal/core"
+)
+
+func TestPlatformAssembly(t *testing.T) {
+	p := core.NewPlatform()
+	devs := p.Devices()
+	if len(devs) != 3 {
+		t.Fatalf("devices = %d", len(devs))
+	}
+	names := map[string]bool{}
+	for _, d := range devs {
+		names[d.Name()] = true
+	}
+	for _, want := range []string{"Cortex-A15 (1 core)", "Cortex-A15 (2 cores)", "Mali-T604"} {
+		if !names[want] {
+			t.Errorf("missing device %q", want)
+		}
+	}
+}
+
+func TestEndToEndMeasure(t *testing.T) {
+	p := core.NewPlatform()
+	prog := p.Context.CreateProgramWithSource(`
+__kernel void twice(__global float* x, const uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) {
+        x[i] = x[i] * 2.0f;
+    }
+}`)
+	if err := prog.Build(""); err != nil {
+		t.Fatal(err)
+	}
+	k, err := prog.CreateKernel("twice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4096
+	buf, err := p.Context.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, n*4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := buf.Bytes(0, n*4)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(1))
+	}
+	if err := k.SetArgBuffer(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgInt(1, n); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same kernel on the GPU and on one CPU core: both must compute
+	// the same result; the measurements must be internally consistent.
+	for _, tc := range []struct {
+		dev  string
+		kind core.RunKind
+	}{{"gpu", core.GPURun}, {"cpu", core.CPURun}} {
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(1))
+		}
+		var q *cl.CommandQueue
+		if tc.kind == core.GPURun {
+			q = p.Context.CreateCommandQueue(p.GPU)
+		} else {
+			q = p.Context.CreateCommandQueue(p.CPU1)
+		}
+		if _, err := q.EnqueueNDRangeKernel(k, 1, []int{n}, []int{64}); err != nil {
+			t.Fatalf("%s: %v", tc.dev, err)
+		}
+		m, act := p.Measure(q, tc.kind)
+		if m.MeanPowerW <= 2 || m.EnergyJ <= 0 {
+			t.Errorf("%s: measurement %+v implausible", tc.dev, m)
+		}
+		if act.Seconds <= 0 {
+			t.Errorf("%s: empty activity", tc.dev)
+		}
+		if tc.kind == core.GPURun && act.GPUBusyCoreSeconds <= 0 {
+			t.Errorf("gpu run with no GPU activity")
+		}
+		if tc.kind == core.CPURun && act.CPUBusyCoreSeconds <= 0 {
+			t.Errorf("cpu run with no CPU activity")
+		}
+		for i := 0; i < n; i++ {
+			got := math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+			if got != 2 {
+				t.Fatalf("%s: x[%d] = %v", tc.dev, i, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"maligo/internal/cl"
+	"maligo/internal/cpu"
+	"maligo/internal/platform"
+)
+
+const chunkSrc = `
+__kernel void work(__global float* p, const uint n) {
+    size_t t  = get_global_id(0);
+    size_t nt = get_global_size(0);
+    uint chunk = (uint)((n + nt - 1) / nt);
+    uint lo = (uint)t * chunk;
+    uint hi = min(lo + chunk, n);
+    float acc = 0.0f;
+    for (uint i = lo; i < hi; i++) {
+        acc += (float)i * 1.5f;
+    }
+    p[t] = acc;
+}`
+
+func runOn(t *testing.T, dev *cpu.CPU, threads int, n int) float64 {
+	t.Helper()
+	ctx := cl.NewContext(dev)
+	prog := ctx.CreateProgramWithSource(chunkSrc)
+	if err := prog.Build(""); err != nil {
+		t.Fatal(err)
+	}
+	k, err := prog.CreateKernel("work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, int64(threads*4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgBuffer(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgInt(1, int64(n)); err != nil {
+		t.Fatal(err)
+	}
+	q := ctx.CreateCommandQueue(dev)
+	ev, err := q.EnqueueNDRangeKernel(k, 1, []int{threads}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev.Seconds
+}
+
+func TestNames(t *testing.T) {
+	if cpu.New(1).Name() != "Cortex-A15 (1 core)" {
+		t.Error(cpu.New(1).Name())
+	}
+	if cpu.New(2).Name() != "Cortex-A15 (2 cores)" {
+		t.Error(cpu.New(2).Name())
+	}
+	if cpu.New(0).Cores() != 1 || cpu.New(99).Cores() != platform.CPUCores {
+		t.Error("core count clamping broken")
+	}
+}
+
+func TestTwoCoresNearlyHalveComputeBoundTime(t *testing.T) {
+	const n = 200000
+	t1 := runOn(t, cpu.New(1), 1, n)
+	t2 := runOn(t, cpu.New(2), 2, n)
+	speedup := t1 / t2
+	if speedup < 1.6 || speedup > 2.1 {
+		t.Fatalf("2-core speedup on compute-bound loop = %.2f, want ~2", speedup)
+	}
+}
+
+func TestOMPOverheadCharged(t *testing.T) {
+	// A tiny parallel region is dominated by fork/join overhead.
+	t2 := runOn(t, cpu.New(2), 2, 64)
+	if t2 < platform.OMPRegionOverheadSec {
+		t.Fatalf("OpenMP region cost %.3g s excludes the fork/join overhead", t2)
+	}
+}
+
+const streamSrc = `
+__kernel void stream(__global const float* a, __global float* b, const uint n) {
+    for (uint i = 0; i < n; i++) {
+        b[i] = a[i];
+    }
+}
+__kernel void gather(__global const float* a, __global const int* idx, __global float* b, const uint n) {
+    for (uint i = 0; i < n; i++) {
+        b[i] = a[idx[i]];
+    }
+}`
+
+func TestPrefetchMakesStreamsCheaperThanGathers(t *testing.T) {
+	dev := cpu.New(1)
+	ctx := cl.NewContext(dev)
+	prog := ctx.CreateProgramWithSource(streamSrc)
+	if err := prog.Build(""); err != nil {
+		t.Fatal(err)
+	}
+	const n = 1 << 18 // 1 MB working set per array: misses in both L1 and L2
+	bufA, _ := ctx.CreateBuffer(cl.MemReadOnly|cl.MemAllocHostPtr, n*4, nil)
+	bufB, _ := ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, n*4, nil)
+	bufI, _ := ctx.CreateBuffer(cl.MemReadOnly|cl.MemAllocHostPtr, n*4, nil)
+
+	// A pseudo-random permutation for the gather index.
+	raw, _ := bufI.Bytes(0, n*4)
+	seed := uint32(12345)
+	for i := 0; i < n; i++ {
+		seed = seed*1664525 + 1013904223
+		v := seed % n
+		raw[i*4] = byte(v)
+		raw[i*4+1] = byte(v >> 8)
+		raw[i*4+2] = byte(v >> 16)
+		raw[i*4+3] = byte(v >> 24)
+	}
+
+	q := ctx.CreateCommandQueue(dev)
+	runK := func(name string, args func(*cl.Kernel) error) float64 {
+		k, err := prog.CreateKernel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := args(k); err != nil {
+			t.Fatal(err)
+		}
+		// Warm-up pass, then measure.
+		if _, err := q.EnqueueNDRangeKernel(k, 1, []int{1}, []int{1}); err != nil {
+			t.Fatal(err)
+		}
+		ev, err := q.EnqueueNDRangeKernel(k, 1, []int{1}, []int{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev.Seconds
+	}
+	tStream := runK("stream", func(k *cl.Kernel) error {
+		if err := k.SetArgBuffer(0, bufA); err != nil {
+			return err
+		}
+		if err := k.SetArgBuffer(1, bufB); err != nil {
+			return err
+		}
+		return k.SetArgInt(2, n)
+	})
+	tGather := runK("gather", func(k *cl.Kernel) error {
+		if err := k.SetArgBuffer(0, bufA); err != nil {
+			return err
+		}
+		if err := k.SetArgBuffer(1, bufI); err != nil {
+			return err
+		}
+		if err := k.SetArgBuffer(2, bufB); err != nil {
+			return err
+		}
+		return k.SetArgInt(3, n)
+	})
+	if tGather < tStream*1.5 {
+		t.Fatalf("random gather (%.3g s) should be distinctly slower than a stream (%.3g s)", tGather, tStream)
+	}
+}
+
+func TestReportFields(t *testing.T) {
+	dev := cpu.New(2)
+	ctx := cl.NewContext(dev)
+	prog := ctx.CreateProgramWithSource(chunkSrc)
+	if err := prog.Build(""); err != nil {
+		t.Fatal(err)
+	}
+	k, _ := prog.CreateKernel("work")
+	buf, _ := ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, 8, nil)
+	if err := k.SetArgBuffer(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgInt(1, 10000); err != nil {
+		t.Fatal(err)
+	}
+	q := ctx.CreateCommandQueue(dev)
+	ev, err := q.EnqueueNDRangeKernel(k, 1, []int{2}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ev.Report
+	if rep.ActiveCores != 2 {
+		t.Errorf("ActiveCores = %d, want 2", rep.ActiveCores)
+	}
+	if rep.Utilization <= 0 || rep.Utilization > 1 {
+		t.Errorf("Utilization = %v", rep.Utilization)
+	}
+	if rep.BusyCoreSeconds <= 0 || rep.BusyCoreSeconds > 2*rep.Seconds {
+		t.Errorf("BusyCoreSeconds = %v vs Seconds %v", rep.BusyCoreSeconds, rep.Seconds)
+	}
+}

@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHostMemAblation(t *testing.T) {
+	res, err := RunHostMemAblation(1 << 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CopySeconds <= 0 || res.MapSeconds <= 0 {
+		t.Fatalf("non-positive times: %+v", res)
+	}
+	// §III-A: "to eliminate all the computationally expensive copies"
+	// — mapping must win clearly on the unified-memory platform.
+	if res.Speedup() < 1.3 {
+		t.Errorf("mapping only %.2fx faster than copying; expected a clear win", res.Speedup())
+	}
+	if res.MapEnergyJ >= res.CopyEnergyJ {
+		t.Errorf("mapping should also save energy: map %.5f J vs copy %.5f J",
+			res.MapEnergyJ, res.CopyEnergyJ)
+	}
+}
+
+func TestLayoutAblation(t *testing.T) {
+	res, err := RunLayoutAblation(1 << 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AoSSeconds <= 0 || res.SoASeconds <= 0 {
+		t.Fatalf("non-positive times: %+v", res)
+	}
+	// §III-B: SoA "would facilitate the application of vector
+	// instructions increasing the code performance".
+	if res.Speedup() < 1.5 {
+		t.Errorf("SoA only %.2fx faster than AoS; expected a clear win", res.Speedup())
+	}
+}
+
+func TestRenderAblations(t *testing.T) {
+	hm, err := RunHostMemAblation(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := RunLayoutAblation(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderAblations(hm, lo)
+	for _, want := range []string{"III-A", "III-B", "map/unmap", "SoA", "faster"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"maligo/internal/bench"
+)
+
+// smallRun executes the full matrix at a reduced scale; used by the
+// plumbing tests. The scale is large enough that the qualitative
+// artifacts (fallbacks, n/a cells) still appear. The run is shared
+// across tests — everything below only reads it.
+var (
+	smallOnce    sync.Once
+	smallResults *Results
+	smallErr     error
+)
+
+func smallRun(t *testing.T) *Results {
+	t.Helper()
+	smallOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.Scale = 0.08
+		smallResults, smallErr = Run(cfg)
+	})
+	if smallErr != nil {
+		t.Fatalf("Run: %v", smallErr)
+	}
+	return smallResults
+}
+
+func TestRunProducesAllCells(t *testing.T) {
+	res := smallRun(t)
+	want := len(bench.Names()) * 2 * 4
+	if len(res.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), want)
+	}
+	for _, c := range res.CellsSorted() {
+		if !c.Supported {
+			continue
+		}
+		if c.Seconds <= 0 {
+			t.Errorf("%s/%s/%s: non-positive time", c.Bench, c.Precision, c.Version)
+		}
+		if c.Power.MeanPowerW < 2 || c.Power.MeanPowerW > 8 {
+			t.Errorf("%s/%s/%s: implausible board power %.2f W", c.Bench, c.Precision, c.Version, c.Power.MeanPowerW)
+		}
+		if c.Power.EnergyJ <= 0 {
+			t.Errorf("%s/%s/%s: non-positive energy", c.Bench, c.Precision, c.Version)
+		}
+		if c.VerifyError != nil {
+			t.Errorf("%s/%s/%s: verification failed: %v", c.Bench, c.Precision, c.Version, c.VerifyError)
+		}
+	}
+}
+
+func TestUnsupportedCells(t *testing.T) {
+	res := smallRun(t)
+	for _, v := range []bench.Version{bench.OpenCL, bench.OpenCLOpt} {
+		c := res.Cell("amcd", bench.F64, v)
+		if c == nil || c.Supported {
+			t.Errorf("amcd/double/%s must be n/a", v)
+		}
+		if c != nil && !strings.Contains(c.Reason, "compiler") {
+			t.Errorf("reason = %q", c.Reason)
+		}
+	}
+	if v := res.Speedup("amcd", bench.F64, bench.OpenCL); !math.IsNaN(v) {
+		t.Errorf("speedup of unsupported cell = %v, want NaN", v)
+	}
+}
+
+func TestFallbackArtifactAppears(t *testing.T) {
+	res := smallRun(t)
+	for _, name := range []string{"nbody", "2dcon"} {
+		c := res.Cell(name, bench.F64, bench.OpenCLOpt)
+		if c == nil || !c.FellBack {
+			t.Errorf("%s/double/Opt must record the CL_OUT_OF_RESOURCES fallback", name)
+		}
+	}
+	for _, name := range bench.Names() {
+		if c := res.Cell(name, bench.F32, bench.OpenCLOpt); c != nil && c.FellBack {
+			t.Errorf("%s/single/Opt unexpectedly fell back", name)
+		}
+	}
+}
+
+func TestFigureTablesComplete(t *testing.T) {
+	res := smallRun(t)
+	for _, f := range Figures() {
+		tab := res.FigureTable(f)
+		if len(tab.Rows) != len(bench.Names()) {
+			t.Errorf("figure %s rows = %d", f, len(tab.Rows))
+		}
+		if len(tab.Cols) != 4 {
+			t.Errorf("figure %s cols = %d", f, len(tab.Cols))
+		}
+		out := tab.Render()
+		for _, name := range bench.Names() {
+			if !strings.Contains(out, name) {
+				t.Errorf("figure %s render missing %s", f, name)
+			}
+		}
+		if !strings.Contains(out, "Figure") {
+			t.Errorf("figure %s render missing title", f)
+		}
+	}
+	// amcd FP64 must render as n/a in figure 2b.
+	out := res.FigureTable(Fig2b).Render()
+	if !strings.Contains(out, "n/a") {
+		t.Error("figure 2b should contain n/a entries for amcd")
+	}
+}
+
+func TestSummaryFieldsPopulated(t *testing.T) {
+	res := smallRun(t)
+	s := res.Summarize()
+	for name, v := range map[string]float64{
+		"OptSpeedupAll":    s.OptSpeedupAll,
+		"OptEnergyFracAll": s.OptEnergyFracAll,
+		"OptEnergyFracF32": s.OptEnergyFracF32,
+		"ClEnergyFracF32":  s.ClEnergyFracF32,
+		"OMPSpeedupAvg":    s.OMPSpeedupAvg,
+	} {
+		if math.IsNaN(v) || v <= 0 {
+			t.Errorf("summary %s = %v", name, v)
+		}
+	}
+	if !strings.Contains(s.Render(), "paper") {
+		t.Error("summary render must compare against the paper")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.08
+	cfg.Benchmarks = []string{"vecop"}
+	cfg.Precisions = []bench.Precision{bench.F32}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range bench.Versions() {
+		c1 := r1.Cell("vecop", bench.F32, v)
+		c2 := r2.Cell("vecop", bench.F32, v)
+		if c1.Seconds != c2.Seconds || c1.Power.MeanPowerW != c2.Power.MeanPowerW {
+			t.Fatalf("%s: non-deterministic results: %v/%v vs %v/%v",
+				v, c1.Seconds, c1.Power.MeanPowerW, c2.Seconds, c2.Power.MeanPowerW)
+		}
+	}
+}
+
+func TestRefRanges(t *testing.T) {
+	r := RefRange{1, 3}
+	if !r.Contains(2) || r.Contains(0.5) || r.Contains(3.5) {
+		t.Error("RefRange.Contains broken")
+	}
+	if r.Mid() != 2 {
+		t.Error("RefRange.Mid broken")
+	}
+	// Every benchmark has reference speedups for both precisions.
+	for _, prec := range []bench.Precision{bench.F32, bench.F64} {
+		for _, name := range bench.Names() {
+			m, ok := RefSpeedup[prec][name]
+			if !ok {
+				t.Errorf("no reference speedups for %s/%s", name, prec)
+				continue
+			}
+			for _, v := range []bench.Version{bench.OpenMP, bench.OpenCL, bench.OpenCLOpt} {
+				if _, ok := m[v]; !ok {
+					t.Errorf("no reference for %s/%s/%s", name, prec, v)
+				}
+			}
+		}
+	}
+}
+
+// TestPaperShape runs the full-scale experiment matrix and asserts the
+// paper's qualitative claims. This is the repository's headline
+// regression test; it takes a couple of minutes and is skipped under
+// -short.
+func TestPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale simulation skipped in -short mode")
+	}
+	res, err := Run(DefaultConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, chk := range ShapeChecks() {
+		chk := chk
+		t.Run(chk.Name, func(t *testing.T) {
+			if !chk.OK(res) {
+				t.Errorf("shape check failed: %s", chk.Desc)
+			}
+		})
+	}
+
+	// Headline numbers within a factor-of-shape tolerance of §V-D.
+	s := res.Summarize()
+	if s.OptSpeedupAll < 5 || s.OptSpeedupAll > 14 {
+		t.Errorf("average Opt speedup %.2fx too far from the paper's 8.7x", s.OptSpeedupAll)
+	}
+	if s.OptEnergyFracAll < 0.15 || s.OptEnergyFracAll > 0.55 {
+		t.Errorf("average Opt energy fraction %.2f too far from the paper's 0.32", s.OptEnergyFracAll)
+	}
+	if s.OMPSpeedupAvg < 1.3 || s.OMPSpeedupAvg > 2.05 {
+		t.Errorf("average OpenMP speedup %.2f too far from the paper's 1.7", s.OMPSpeedupAvg)
+	}
+	if s.OMPPowerIncrease < 0.15 || s.OMPPowerIncrease > 0.5 {
+		t.Errorf("OpenMP power increase %.2f too far from the paper's 0.31", s.OMPPowerIncrease)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	res := smallRun(t)
+	csv := res.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	// Header + 6 figures x 9 benchmarks x 4 versions.
+	want := 1 + 6*9*4
+	if len(lines) != want {
+		t.Fatalf("CSV lines = %d, want %d", len(lines), want)
+	}
+	if lines[0] != "figure,bench,version,value" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	for _, ln := range lines[1:] {
+		if strings.Count(ln, ",") != 3 {
+			t.Fatalf("malformed CSV row %q", ln)
+		}
+	}
+}

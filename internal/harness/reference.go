@@ -1,0 +1,265 @@
+package harness
+
+import (
+	"math"
+
+	"maligo/internal/bench"
+)
+
+// Reference values transcribed from the paper's §V text and Figure 2.
+// Values the text states exactly are carried as-is; bars the text only
+// bounds ("between 2x and 4x", "below 2x") are carried as ranges; NaN
+// marks values the paper does not report (amcd double-precision
+// OpenCL, which failed to compile).
+//
+// These drive EXPERIMENTS.md's paper-vs-measured tables and the
+// shape-assertions in the test suite.
+
+// RefRange is a closed interval of plausible values for one bar.
+type RefRange struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies in the range.
+func (r RefRange) Contains(v float64) bool { return v >= r.Lo && v <= r.Hi }
+
+// Mid returns the range midpoint.
+func (r RefRange) Mid() float64 { return (r.Lo + r.Hi) / 2 }
+
+func exact(v float64) RefRange    { return RefRange{v, v} }
+func rng(lo, hi float64) RefRange { return RefRange{lo, hi} }
+
+var nan = math.NaN()
+
+func unknown() RefRange { return RefRange{nan, nan} }
+
+// RefSpeedup holds Figure 2's speedups over Serial.
+// Index: [precision][benchmark][version].
+var RefSpeedup = map[bench.Precision]map[string]map[bench.Version]RefRange{
+	bench.F32: {
+		// §V-A: OpenMP ranges 1.2x-1.9x, average 1.7x. Per-benchmark
+		// OpenMP bars are not individually quoted; the memory-bound
+		// kernels sit at the low end.
+		"spmv":  {bench.OpenMP: rng(1.4, 1.9), bench.OpenCL: rng(0.5, 1.0), bench.OpenCLOpt: exact(1.25)},
+		"vecop": {bench.OpenMP: rng(1.2, 1.6), bench.OpenCL: rng(0.5, 1.0), bench.OpenCLOpt: rng(2, 4)},
+		"hist":  {bench.OpenMP: rng(1.4, 1.9), bench.OpenCL: rng(0.3, 1.0), bench.OpenCLOpt: rng(2, 4)},
+		"3dstc": {bench.OpenMP: rng(1.4, 1.9), bench.OpenCL: exact(1.4), bench.OpenCLOpt: rng(2, 4)},
+		"red":   {bench.OpenMP: rng(1.4, 1.9), bench.OpenCL: exact(2.1), bench.OpenCLOpt: rng(2, 4)},
+		"amcd":  {bench.OpenMP: rng(1.4, 2.0), bench.OpenCL: exact(4.1), bench.OpenCLOpt: exact(4.7)},
+		"nbody": {bench.OpenMP: rng(1.4, 2.0), bench.OpenCL: exact(17.2), bench.OpenCLOpt: exact(20)},
+		"2dcon": {bench.OpenMP: rng(1.4, 2.0), bench.OpenCL: exact(3.6), bench.OpenCLOpt: exact(24)},
+		"dmmm":  {bench.OpenMP: rng(1.4, 2.0), bench.OpenCL: exact(6.2), bench.OpenCLOpt: exact(25.5)},
+	},
+	bench.F64: {
+		"spmv":  {bench.OpenMP: rng(1.4, 2.0), bench.OpenCL: rng(0.5, 1.0), bench.OpenCLOpt: rng(1.0, 2.0)},
+		"vecop": {bench.OpenMP: rng(1.2, 1.6), bench.OpenCL: exact(1.5), bench.OpenCLOpt: rng(1.0, 2.0)},
+		"hist":  {bench.OpenMP: rng(1.4, 2.0), bench.OpenCL: rng(0.3, 1.0), bench.OpenCLOpt: exact(3.0)},
+		"3dstc": {bench.OpenMP: rng(1.2, 1.9), bench.OpenCL: exact(1.6), bench.OpenCLOpt: exact(3.4)},
+		"red":   {bench.OpenMP: rng(1.2, 1.9), bench.OpenCL: exact(1.7), bench.OpenCLOpt: rng(1.0, 2.0)},
+		"amcd":  {bench.OpenMP: rng(1.4, 2.0), bench.OpenCL: unknown(), bench.OpenCLOpt: unknown()},
+		"nbody": {bench.OpenMP: rng(1.4, 2.0), bench.OpenCL: exact(9.3), bench.OpenCLOpt: exact(10)},
+		"2dcon": {bench.OpenMP: rng(1.4, 2.0), bench.OpenCL: exact(3.5), bench.OpenCLOpt: exact(9.6)},
+		"dmmm":  {bench.OpenMP: rng(1.4, 2.0), bench.OpenCL: exact(8.9), bench.OpenCLOpt: exact(30)},
+	},
+}
+
+// RefSummary holds the §V-D average claims.
+var RefSummary = struct {
+	// OptSpeedup is the combined single+double average speedup of
+	// OpenCL Opt over Serial.
+	OptSpeedup RefRange
+	// OptEnergyFrac is the combined average OpenCL Opt
+	// energy-to-solution as a fraction of Serial.
+	OptEnergyFrac RefRange
+	// OptEnergyFracF32 / ClEnergyFracF32 are §V-C's single-precision
+	// averages (28% and 56%).
+	OptEnergyFracF32 RefRange
+	ClEnergyFracF32  RefRange
+	// OptEnergyFracF64 / ClEnergyFracF64 are §V-C's double-precision
+	// averages (36% and 56%).
+	OptEnergyFracF64 RefRange
+	ClEnergyFracF64  RefRange
+	// OMPPowerIncrease is §V-B's average OpenMP power increase (31%).
+	OMPPowerIncrease RefRange
+	// CLPowerIncrease is §V-B's average OpenCL power increase (7%).
+	CLPowerIncrease RefRange
+	// OMPEnergyFrac is §V-C's OpenMP average energy reduction (~20%).
+	OMPEnergyFrac RefRange
+}{
+	OptSpeedup:       exact(8.7),
+	OptEnergyFrac:    exact(0.32),
+	OptEnergyFracF32: exact(0.28),
+	ClEnergyFracF32:  exact(0.56),
+	OptEnergyFracF64: exact(0.36),
+	ClEnergyFracF64:  exact(0.56),
+	OMPPowerIncrease: exact(0.31),
+	CLPowerIncrease:  exact(0.07),
+	OMPEnergyFrac:    exact(0.80),
+}
+
+// ShapeChecks are the qualitative claims of §V that the reproduction
+// asserts in its test suite; each maps to a predicate over Results.
+// See harness tests for their evaluation.
+type ShapeCheck struct {
+	Name string
+	Desc string
+	OK   func(*Results) bool
+}
+
+// ShapeChecks returns the qualitative §V assertions evaluated against
+// measured results.
+func ShapeChecks() []ShapeCheck {
+	sp := func(r *Results, n string, p bench.Precision, v bench.Version) float64 {
+		return r.Speedup(n, p, v)
+	}
+	return []ShapeCheck{
+		{
+			Name: "naive-gpu-not-always-faster",
+			Desc: "some OpenCL ports run slower than Serial (paper: spmv, vecop, hist in FP32)",
+			OK: func(r *Results) bool {
+				slow := 0
+				for _, n := range []string{"spmv", "vecop", "hist", "3dstc"} {
+					if v := sp(r, n, bench.F32, bench.OpenCL); !math.IsNaN(v) && v < 1.2 {
+						slow++
+					}
+				}
+				return slow >= 2
+			},
+		},
+		{
+			Name: "opt-always-helps",
+			Desc: "OpenCL Opt is at least as fast as OpenCL for every benchmark",
+			OK: func(r *Results) bool {
+				for _, n := range bench.Names() {
+					for _, p := range []bench.Precision{bench.F32, bench.F64} {
+						cl, opt := sp(r, n, p, bench.OpenCL), sp(r, n, p, bench.OpenCLOpt)
+						if math.IsNaN(cl) || math.IsNaN(opt) {
+							continue
+						}
+						if opt < cl*0.95 {
+							return false
+						}
+					}
+				}
+				return true
+			},
+		},
+		{
+			Name: "dmmm-2dcon-nbody-biggest",
+			Desc: "the three compute-rich kernels see the largest Opt speedups (paper: 20x-25.5x)",
+			OK: func(r *Results) bool {
+				big := map[string]bool{"nbody": true, "2dcon": true, "dmmm": true}
+				for _, n := range bench.Names() {
+					v := sp(r, n, bench.F32, bench.OpenCLOpt)
+					if math.IsNaN(v) {
+						continue
+					}
+					if !big[n] && v > sp(r, "nbody", bench.F32, bench.OpenCLOpt) &&
+						v > sp(r, "2dcon", bench.F32, bench.OpenCLOpt) &&
+						v > sp(r, "dmmm", bench.F32, bench.OpenCLOpt) {
+						return false
+					}
+				}
+				return true
+			},
+		},
+		{
+			Name: "spmv-weakest-opt",
+			Desc: "spmv is the weakest optimized benchmark (paper: 1.25x)",
+			OK: func(r *Results) bool {
+				s := sp(r, "spmv", bench.F32, bench.OpenCLOpt)
+				for _, n := range bench.Names() {
+					if n == "spmv" {
+						continue
+					}
+					if v := sp(r, n, bench.F32, bench.OpenCLOpt); !math.IsNaN(v) && v < s {
+						return false
+					}
+				}
+				return true
+			},
+		},
+		{
+			Name: "amcd-fp64-unsupported",
+			Desc: "amcd double-precision OpenCL configurations are n/a (compiler bug artifact)",
+			OK: func(r *Results) bool {
+				cl := r.Cell("amcd", bench.F64, bench.OpenCL)
+				opt := r.Cell("amcd", bench.F64, bench.OpenCLOpt)
+				return cl != nil && opt != nil && !cl.Supported && !opt.Supported
+			},
+		},
+		{
+			Name: "fp64-out-of-resources",
+			Desc: "double-precision optimized nbody and 2dcon hit CL_OUT_OF_RESOURCES and fall back",
+			OK: func(r *Results) bool {
+				nb := r.Cell("nbody", bench.F64, bench.OpenCLOpt)
+				cv := r.Cell("2dcon", bench.F64, bench.OpenCLOpt)
+				return nb != nil && nb.FellBack && cv != nil && cv.FellBack
+			},
+		},
+		{
+			Name: "fp32-no-out-of-resources",
+			Desc: "no single-precision kernel hits the register budget",
+			OK: func(r *Results) bool {
+				for _, n := range bench.Names() {
+					if c := r.Cell(n, bench.F32, bench.OpenCLOpt); c != nil && c.FellBack {
+						return false
+					}
+				}
+				return true
+			},
+		},
+		{
+			Name: "omp-power-higher",
+			Desc: "OpenMP draws distinctly more power than Serial (paper avg +31%)",
+			OK: func(r *Results) bool {
+				var sum float64
+				n := 0
+				for _, name := range bench.Names() {
+					if v := r.NormPower(name, bench.F32, bench.OpenMP); !math.IsNaN(v) {
+						sum += v
+						n++
+					}
+				}
+				return n > 0 && sum/float64(n) > 1.15 && sum/float64(n) < 1.5
+			},
+		},
+		{
+			Name: "gpu-power-similar",
+			Desc: "OpenCL power is close to Serial (paper avg +7%, within ±25%)",
+			OK: func(r *Results) bool {
+				var sum float64
+				n := 0
+				for _, name := range bench.Names() {
+					if v := r.NormPower(name, bench.F32, bench.OpenCL); !math.IsNaN(v) {
+						if v < 0.75 || v > 1.45 {
+							return false
+						}
+						sum += v
+						n++
+					}
+				}
+				return n > 0 && sum/float64(n) > 0.85 && sum/float64(n) < 1.25
+			},
+		},
+		{
+			Name: "opt-lowest-energy",
+			Desc: "OpenCL Opt has the lowest energy-to-solution for nearly every benchmark",
+			OK: func(r *Results) bool {
+				bad := 0
+				for _, name := range bench.Names() {
+					opt := r.NormEnergy(name, bench.F32, bench.OpenCLOpt)
+					if math.IsNaN(opt) {
+						continue
+					}
+					for _, v := range []bench.Version{bench.OpenMP, bench.OpenCL} {
+						if o := r.NormEnergy(name, bench.F32, v); !math.IsNaN(o) && o < opt*0.98 {
+							bad++
+						}
+					}
+				}
+				return bad <= 2
+			},
+		},
+	}
+}

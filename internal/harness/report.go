@@ -1,0 +1,304 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"maligo/internal/bench"
+	"maligo/internal/stats"
+)
+
+// Figure identifies one of the paper's evaluation figures.
+type Figure string
+
+// The paper's figures.
+const (
+	Fig2a Figure = "2a" // FP32 speedup over Serial
+	Fig2b Figure = "2b" // FP64 speedup over Serial
+	Fig3a Figure = "3a" // FP32 power normalized to Serial
+	Fig3b Figure = "3b" // FP64 power normalized to Serial
+	Fig4a Figure = "4a" // FP32 energy-to-solution normalized to Serial
+	Fig4b Figure = "4b" // FP64 energy-to-solution normalized to Serial
+)
+
+// Figures lists all six in paper order.
+func Figures() []Figure { return []Figure{Fig2a, Fig2b, Fig3a, Fig3b, Fig4a, Fig4b} }
+
+// Table is one figure's data in tabular form: one row per benchmark,
+// one column per version (Serial is the 1.0 baseline column).
+type Table struct {
+	Figure Figure
+	Title  string
+	Rows   []string // benchmark names
+	Cols   []string // version names
+	Values [][]float64
+	RefMid [][]float64 // paper reference midpoints (NaN if unknown)
+	Notes  []string
+}
+
+// precisionOf returns the precision a figure reports.
+func (f Figure) precision() bench.Precision {
+	if strings.HasSuffix(string(f), "b") {
+		return bench.F64
+	}
+	return bench.F32
+}
+
+// metric returns the figure family: 2 speedup, 3 power, 4 energy.
+func (f Figure) metric() byte { return f[0] }
+
+// Title returns the paper's caption for the figure.
+func (f Figure) Title() string {
+	prec := "Single-precision"
+	if f.precision() == bench.F64 {
+		prec = "Double-precision"
+	}
+	switch f.metric() {
+	case '2':
+		return fmt.Sprintf("Figure 2(%c): %s speedup over the Serial version", f[1], prec)
+	case '3':
+		return fmt.Sprintf("Figure 3(%c): %s power consumption normalized to Serial", f[1], prec)
+	default:
+		return fmt.Sprintf("Figure 4(%c): %s energy-to-solution normalized to Serial", f[1], prec)
+	}
+}
+
+// FigureTable builds the data behind one of the paper's figures.
+func (r *Results) FigureTable(f Figure) *Table {
+	prec := f.precision()
+	t := &Table{
+		Figure: f,
+		Title:  f.Title(),
+		Cols:   []string{"Serial", "OpenMP", "OpenCL", "OpenCL Opt"},
+	}
+	value := func(name string, v bench.Version) float64 {
+		switch f.metric() {
+		case '2':
+			return r.Speedup(name, prec, v)
+		case '3':
+			return r.NormPower(name, prec, v)
+		default:
+			return r.NormEnergy(name, prec, v)
+		}
+	}
+	for _, name := range bench.Names() {
+		t.Rows = append(t.Rows, name)
+		row := make([]float64, 4)
+		ref := make([]float64, 4)
+		for i, v := range bench.Versions() {
+			if v == bench.Serial {
+				if c := r.Cell(name, prec, v); c != nil && c.Supported {
+					row[i] = 1
+				} else {
+					row[i] = math.NaN()
+				}
+				ref[i] = 1
+				continue
+			}
+			row[i] = value(name, v)
+			ref[i] = math.NaN()
+			if f.metric() == '2' {
+				if m, ok := RefSpeedup[prec][name]; ok {
+					if rr, ok := m[v]; ok {
+						ref[i] = rr.Mid()
+					}
+				}
+			}
+		}
+		t.Values = append(t.Values, row)
+		t.RefMid = append(t.RefMid, ref)
+		if c := r.Cell(name, prec, bench.OpenCLOpt); c != nil && c.FellBack {
+			t.Notes = append(t.Notes,
+				fmt.Sprintf("%s: optimized kernel failed with CL_OUT_OF_RESOURCES; narrower fallback measured (paper artifact)", name))
+		}
+		if c := r.Cell(name, prec, bench.OpenCL); c != nil && !c.Supported {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: n/a — %s", name, c.Reason))
+		}
+	}
+	return t
+}
+
+// Render formats the table with an ASCII bar chart, mirroring the
+// paper's figures.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	fmt.Fprintf(&b, "%-7s", "bench")
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, " %10s", c)
+	}
+	b.WriteString("\n")
+	for i, name := range t.Rows {
+		fmt.Fprintf(&b, "%-7s", name)
+		for _, v := range t.Values[i] {
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, " %10s", "n/a")
+			} else {
+				fmt.Fprintf(&b, " %10.2f", v)
+			}
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\n")
+	b.WriteString(t.renderBars())
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// renderBars draws horizontal ASCII bars for the non-Serial versions.
+func (t *Table) renderBars() string {
+	var b strings.Builder
+	maxVal := 1.0
+	for _, row := range t.Values {
+		for _, v := range row {
+			if !math.IsNaN(v) && v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	const width = 46
+	scale := width / maxVal
+	for i, name := range t.Rows {
+		for j := 1; j < len(t.Cols); j++ {
+			v := t.Values[i][j]
+			label := fmt.Sprintf("%-7s %-10s", name, t.Cols[j])
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, "%s|n/a\n", label)
+				continue
+			}
+			n := int(v * scale)
+			if n < 1 {
+				n = 1
+			}
+			fmt.Fprintf(&b, "%s|%s %.2f\n", label, strings.Repeat("#", n), v)
+		}
+		if i != len(t.Rows)-1 {
+			b.WriteString(strings.Repeat(" ", 19) + "|\n")
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Summary carries the §V-D headline averages of a run.
+type Summary struct {
+	OptSpeedupAll    float64 // avg Opt speedup across precisions (paper: 8.7x)
+	OptEnergyFracAll float64 // avg Opt energy vs Serial (paper: 0.32)
+	OptSpeedupF32    float64
+	OptSpeedupF64    float64
+	OptEnergyFracF32 float64 // paper: 0.28
+	ClEnergyFracF32  float64 // paper: 0.56
+	OptEnergyFracF64 float64 // paper: 0.36
+	ClEnergyFracF64  float64 // paper: 0.56
+	OMPPowerIncrease float64 // paper: 0.31
+	CLPowerIncrease  float64 // paper: 0.07
+	OMPSpeedupAvg    float64 // paper: 1.7
+	OMPEnergyFracF32 float64 // paper: ~0.80
+}
+
+// Summarize computes the run's headline numbers.
+func (r *Results) Summarize() Summary {
+	collect := func(prec bench.Precision, v bench.Version, fn func(string, bench.Precision, bench.Version) float64) []float64 {
+		var out []float64
+		for _, name := range bench.Names() {
+			if x := fn(name, prec, v); !math.IsNaN(x) {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
+	var s Summary
+	spF32 := collect(bench.F32, bench.OpenCLOpt, r.Speedup)
+	spF64 := collect(bench.F64, bench.OpenCLOpt, r.Speedup)
+	s.OptSpeedupF32 = stats.Mean(spF32)
+	s.OptSpeedupF64 = stats.Mean(spF64)
+	s.OptSpeedupAll = stats.Mean(append(append([]float64{}, spF32...), spF64...))
+
+	enF32 := collect(bench.F32, bench.OpenCLOpt, r.NormEnergy)
+	enF64 := collect(bench.F64, bench.OpenCLOpt, r.NormEnergy)
+	s.OptEnergyFracF32 = stats.Mean(enF32)
+	s.OptEnergyFracF64 = stats.Mean(enF64)
+	s.OptEnergyFracAll = stats.Mean(append(append([]float64{}, enF32...), enF64...))
+	s.ClEnergyFracF32 = stats.Mean(collect(bench.F32, bench.OpenCL, r.NormEnergy))
+	s.ClEnergyFracF64 = stats.Mean(collect(bench.F64, bench.OpenCL, r.NormEnergy))
+
+	s.OMPPowerIncrease = stats.Mean(collect(bench.F32, bench.OpenMP, r.NormPower)) - 1
+	s.CLPowerIncrease = stats.Mean(collect(bench.F32, bench.OpenCL, r.NormPower)) - 1
+	s.OMPSpeedupAvg = stats.Mean(collect(bench.F32, bench.OpenMP, r.Speedup))
+	s.OMPEnergyFracF32 = stats.Mean(collect(bench.F32, bench.OpenMP, r.NormEnergy))
+	return s
+}
+
+// Render formats the summary against the paper's claims.
+func (s Summary) Render() string {
+	var b strings.Builder
+	b.WriteString("Summary (paper section V-D)\n===========================\n")
+	row := func(what string, got, paper float64, pct bool) {
+		if pct {
+			fmt.Fprintf(&b, "%-52s measured %6.0f%%   paper %6.0f%%\n", what, got*100, paper*100)
+		} else {
+			fmt.Fprintf(&b, "%-52s measured %6.2fx   paper %6.2fx\n", what, got, paper)
+		}
+	}
+	row("OpenCL Opt speedup over Serial (single+double avg)", s.OptSpeedupAll, RefSummary.OptSpeedup.Mid(), false)
+	row("OpenCL Opt energy vs Serial (single+double avg)", s.OptEnergyFracAll, RefSummary.OptEnergyFrac.Mid(), true)
+	row("OpenCL Opt energy vs Serial (single)", s.OptEnergyFracF32, RefSummary.OptEnergyFracF32.Mid(), true)
+	row("OpenCL (non-opt) energy vs Serial (single)", s.ClEnergyFracF32, RefSummary.ClEnergyFracF32.Mid(), true)
+	row("OpenCL Opt energy vs Serial (double)", s.OptEnergyFracF64, RefSummary.OptEnergyFracF64.Mid(), true)
+	row("OpenCL (non-opt) energy vs Serial (double)", s.ClEnergyFracF64, RefSummary.ClEnergyFracF64.Mid(), true)
+	row("OpenMP power increase over Serial", s.OMPPowerIncrease, RefSummary.OMPPowerIncrease.Mid(), true)
+	row("OpenCL power increase over Serial", s.CLPowerIncrease, RefSummary.CLPowerIncrease.Mid(), true)
+	row("OpenMP speedup over Serial (single avg)", s.OMPSpeedupAvg, 1.7, false)
+	return b.String()
+}
+
+// RenderAll renders every figure plus the summary.
+func (r *Results) RenderAll() string {
+	var b strings.Builder
+	for _, f := range Figures() {
+		b.WriteString(r.FigureTable(f).Render())
+		b.WriteString("\n")
+	}
+	b.WriteString(r.Summarize().Render())
+	return b.String()
+}
+
+// CSV renders every figure's data as comma-separated rows with the
+// header figure,bench,version,value — convenient for plotting the
+// results with external tools.
+func (r *Results) CSV() string {
+	var b strings.Builder
+	b.WriteString("figure,bench,version,value\n")
+	for _, f := range Figures() {
+		tab := r.FigureTable(f)
+		for i, name := range tab.Rows {
+			for j, col := range tab.Cols {
+				v := tab.Values[i][j]
+				if math.IsNaN(v) {
+					fmt.Fprintf(&b, "%s,%s,%s,\n", f, name, col)
+					continue
+				}
+				fmt.Fprintf(&b, "%s,%s,%s,%.4f\n", f, name, col, v)
+			}
+		}
+	}
+	return b.String()
+}
+
+// CellsSorted returns all cells ordered for deterministic reporting.
+func (r *Results) CellsSorted() []*Cell {
+	keys := make([]string, 0, len(r.Cells))
+	for k := range r.Cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Cell, len(keys))
+	for i, k := range keys {
+		out[i] = r.Cells[k]
+	}
+	return out
+}

@@ -1,0 +1,317 @@
+package mali_test
+
+import (
+	"errors"
+	"testing"
+
+	"maligo/internal/cl"
+	"maligo/internal/clc"
+	"maligo/internal/device"
+	"maligo/internal/mali"
+	"maligo/internal/platform"
+)
+
+func compileKernel(t *testing.T, src, opts, name string) *cl.Kernel {
+	t.Helper()
+	ctx := cl.NewContext(mali.New())
+	prog := ctx.CreateProgramWithSource(src)
+	if err := prog.Build(opts); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	k, err := prog.CreateKernel(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestDefaultLocalSizeHeuristic(t *testing.T) {
+	g := mali.New()
+	cases := []struct {
+		global [3]int
+		want   int
+	}{
+		{[3]int{1024, 1, 1}, 64}, // large power of two: driver max 64
+		{[3]int{96, 96, 96}, 32}, // 96 divisible by 32, not 64
+		{[3]int{94, 1, 1}, 2},    // 94 = 2*47: pathological pick
+		{[3]int{7, 1, 1}, 1},     // prime: serial groups
+	}
+	for _, c := range cases {
+		ndr := &device.NDRange{WorkDim: 3, Global: c.global}
+		got := g.DefaultLocalSize(ndr)
+		if got[0] != c.want || got[1] != 1 || got[2] != 1 {
+			t.Errorf("DefaultLocalSize(%v) = %v, want [%d 1 1]", c.global, got, c.want)
+		}
+	}
+}
+
+const simpleSrc = `
+__kernel void k(__global float* p, const uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) {
+        p[i] = p[i] + 1.0f;
+    }
+}`
+
+func TestRunReportSanity(t *testing.T) {
+	gpu := mali.New()
+	ctx := cl.NewContext(gpu)
+	prog := ctx.CreateProgramWithSource(simpleSrc)
+	if err := prog.Build(""); err != nil {
+		t.Fatal(err)
+	}
+	k, _ := prog.CreateKernel("k")
+	buf, _ := ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, 1024*4, nil)
+	if err := k.SetArgBuffer(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgInt(1, 1024); err != nil {
+		t.Fatal(err)
+	}
+	q := ctx.CreateCommandQueue(gpu)
+	ev, err := q.EnqueueNDRangeKernel(k, 1, []int{1024}, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ev.Report
+	if rep.Seconds <= 0 {
+		t.Error("Seconds must be positive")
+	}
+	if rep.Seconds < platform.GPUEnqueueOverheadSec {
+		t.Error("Seconds must include the enqueue overhead")
+	}
+	if rep.ActiveCores < 1 || rep.ActiveCores > platform.GPUCores {
+		t.Errorf("ActiveCores = %d", rep.ActiveCores)
+	}
+	if rep.Utilization < 0 || rep.Utilization > 1 {
+		t.Errorf("Utilization = %v", rep.Utilization)
+	}
+	if rep.Profile.WorkItems != 1024 {
+		t.Errorf("WorkItems = %d", rep.Profile.WorkItems)
+	}
+	if rep.BusyCoreSeconds <= 0 {
+		t.Error("BusyCoreSeconds must be positive")
+	}
+}
+
+func TestVectorizedKernelFasterThanScalar(t *testing.T) {
+	src := `
+__kernel void scalar(__global const float* a, __global float* b) {
+    size_t i = get_global_id(0);
+    b[i] = a[i] * 2.0f;
+}
+__kernel void vec(__global const float* restrict a, __global float* restrict b) {
+    size_t i = get_global_id(0);
+    vstore4(vload4(i, a) * (float4)(2.0f), i, b);
+}`
+	gpu := mali.New()
+	ctx := cl.NewContext(gpu)
+	prog := ctx.CreateProgramWithSource(src)
+	if err := prog.Build(""); err != nil {
+		t.Fatal(err)
+	}
+	const n = 1 << 16
+	bufA, _ := ctx.CreateBuffer(cl.MemReadOnly|cl.MemAllocHostPtr, n*4, nil)
+	bufB, _ := ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, n*4, nil)
+	q := ctx.CreateCommandQueue(gpu)
+
+	run := func(name string, global int) float64 {
+		k, err := prog.CreateKernel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.SetArgBuffer(0, bufA); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.SetArgBuffer(1, bufB); err != nil {
+			t.Fatal(err)
+		}
+		// Warm then measure.
+		if _, err := q.EnqueueNDRangeKernel(k, 1, []int{global}, []int{64}); err != nil {
+			t.Fatal(err)
+		}
+		ev, err := q.EnqueueNDRangeKernel(k, 1, []int{global}, []int{64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev.Seconds
+	}
+	ts := run("scalar", n)
+	tv := run("vec", n/4)
+	if tv >= ts {
+		t.Fatalf("vectorized kernel (%.3gs) must beat scalar (%.3gs) — the paper's §III-B claim", tv, ts)
+	}
+	if ts/tv < 1.5 {
+		t.Errorf("vectorization speedup only %.2fx; expected a distinct win", ts/tv)
+	}
+}
+
+func TestRegisterBudgetOutOfResources(t *testing.T) {
+	// Generated kernel with a huge live double-vector working set.
+	src := `
+__kernel void fat(__global double* p) {
+    double4 a0 = vload4(0, p);
+    double4 a1 = vload4(1, p);
+    double4 a2 = vload4(2, p);
+    double4 a3 = vload4(3, p);
+    double4 a4 = vload4(4, p);
+    double4 a5 = vload4(5, p);
+    double4 a6 = vload4(6, p);
+    double4 a7 = vload4(7, p);
+    double4 s = a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7;
+    vstore4(s, 0, p);
+}`
+	prog, err := clc.Compile("fat.cl", src, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mali.CheckResources(prog.Kernel("fat"))
+	if !errors.Is(err, device.ErrOutOfResources) {
+		t.Fatalf("fat double-vector kernel should exceed the register budget, got %v", err)
+	}
+
+	// The float version of the same kernel fits.
+	srcF := `
+__kernel void slim(__global float* p) {
+    float4 a0 = vload4(0, p);
+    float4 a1 = vload4(1, p);
+    float4 a2 = vload4(2, p);
+    float4 a3 = vload4(3, p);
+    float4 a4 = vload4(4, p);
+    float4 a5 = vload4(5, p);
+    float4 a6 = vload4(6, p);
+    float4 a7 = vload4(7, p);
+    float4 s = a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7;
+    vstore4(s, 0, p);
+}`
+	progF, err := clc.Compile("slim.cl", srcF, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mali.CheckResources(progF.Kernel("slim")); err != nil {
+		t.Fatalf("float version should fit the register budget: %v", err)
+	}
+}
+
+func TestContendedAtomicsSerialize(t *testing.T) {
+	src := `
+__kernel void hot(__global int* c) {
+    atomic_add(&c[0], 1);
+}
+__kernel void spread(__global int* c) {
+    atomic_add(&c[get_global_id(0) % 4096u], 1);
+}`
+	gpu := mali.New()
+	ctx := cl.NewContext(gpu)
+	prog := ctx.CreateProgramWithSource(src)
+	if err := prog.Build(""); err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, 4096*4, nil)
+	q := ctx.CreateCommandQueue(gpu)
+	const n = 1 << 15
+	run := func(name string) float64 {
+		k, err := prog.CreateKernel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.SetArgBuffer(0, buf); err != nil {
+			t.Fatal(err)
+		}
+		ev, err := q.EnqueueNDRangeKernel(k, 1, []int{n}, []int{64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev.Seconds
+	}
+	hot := run("hot")
+	spread := run("spread")
+	if hot <= spread {
+		t.Fatalf("atomics to one line (%.3g s) must serialize worse than spread atomics (%.3g s)", hot, spread)
+	}
+}
+
+func TestLoadImbalanceVisible(t *testing.T) {
+	// One work-group does n iterations, the rest do none: the device
+	// time must approach the heavy group's time, not the average.
+	src := `
+__kernel void skew(__global float* p, const int n) {
+    if (get_group_id(0) == 0u) {
+        float acc = 0.0f;
+        for (int i = 0; i < n; i++) {
+            acc += (float)i * 0.5f;
+        }
+        p[get_local_id(0)] = acc;
+    }
+}`
+	gpu := mali.New()
+	ctx := cl.NewContext(gpu)
+	prog := ctx.CreateProgramWithSource(src)
+	if err := prog.Build(""); err != nil {
+		t.Fatal(err)
+	}
+	k, _ := prog.CreateKernel("skew")
+	buf, _ := ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, 64*4, nil)
+	if err := k.SetArgBuffer(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgInt(1, 200000); err != nil {
+		t.Fatal(err)
+	}
+	q := ctx.CreateCommandQueue(gpu)
+	ev, err := q.EnqueueNDRangeKernel(k, 1, []int{64 * 64}, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ev.Report
+	// With perfect balance across 4 cores, Seconds ≈ Busy/4; with one
+	// heavy group it must be close to the whole busy time.
+	if rep.Seconds < rep.BusyCoreSeconds*0.7 {
+		t.Fatalf("imbalance hidden: device %.4gs vs busy %.4gs", rep.Seconds, rep.BusyCoreSeconds)
+	}
+	_ = compileKernel // keep helper referenced
+}
+
+func TestEmbeddedProfileRejectsFP64(t *testing.T) {
+	// The paper's premise (§I, §II-B): pre-Full-Profile embedded GPUs
+	// cannot run HPC's double-precision kernels at all.
+	src := `__kernel void k(__global double* p) { p[0] = p[0] * 2.0; }`
+	emb := mali.NewEmbeddedProfile()
+	if emb.FP64() {
+		t.Fatal("embedded-profile device must not report FP64")
+	}
+	ctx := cl.NewContext(emb)
+	prog := ctx.CreateProgramWithSource(src)
+	if err := prog.Build(""); err != nil {
+		t.Fatal(err)
+	}
+	k, _ := prog.CreateKernel("k")
+	buf, _ := ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, 64, nil)
+	if err := k.SetArgBuffer(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	q := ctx.CreateCommandQueue(emb)
+	if _, err := q.EnqueueNDRangeKernel(k, 1, []int{1}, []int{1}); err == nil {
+		t.Fatal("double kernel must fail on the embedded-profile device")
+	}
+
+	// The Full Profile device runs it.
+	full := mali.New()
+	if !full.FP64() {
+		t.Fatal("Mali-T604 must report FP64 (Full Profile)")
+	}
+	ctx2 := cl.NewContext(full)
+	prog2 := ctx2.CreateProgramWithSource(src)
+	if err := prog2.Build(""); err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := prog2.CreateKernel("k")
+	buf2, _ := ctx2.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, 64, nil)
+	if err := k2.SetArgBuffer(0, buf2); err != nil {
+		t.Fatal(err)
+	}
+	q2 := ctx2.CreateCommandQueue(full)
+	if _, err := q2.EnqueueNDRangeKernel(k2, 1, []int{1}, []int{1}); err != nil {
+		t.Fatalf("Full Profile device must run double kernels: %v", err)
+	}
+}

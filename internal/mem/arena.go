@@ -1,0 +1,110 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfMemory is returned when an allocation exceeds the arena
+// capacity (the board has 2 GB; the simulator defaults lower).
+var ErrOutOfMemory = errors.New("mem: arena exhausted")
+
+// Arena is the flat simulated physical memory backing the unified
+// global address space of the Exynos 5250 (CPU and GPU share it, as
+// the paper's zero-copy optimization exploits).
+type Arena struct {
+	data     []byte
+	capacity int64
+	next     int64
+	count    int64
+	allocs   map[int64]int64 // base -> size, live allocations
+}
+
+// NewArena creates an arena with the given capacity in bytes.
+func NewArena(capacity int64) *Arena {
+	return &Arena{capacity: capacity, allocs: make(map[int64]int64)}
+}
+
+// Alloc reserves size bytes with the given alignment and returns the
+// base offset.
+func (a *Arena) Alloc(size int64, align int64) (int64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("mem: invalid allocation size %d", size)
+	}
+	if align <= 0 {
+		align = 16
+	}
+	base := (a.next + align - 1) / align * align
+	// Page-coloring jitter: physical allocators hand out pages whose
+	// cache-set mappings are decorrelated; without this, large buffers
+	// allocated back-to-back land exactly one power-of-two apart and
+	// alias pathologically in the low-associativity L1 model.
+	base += (a.count % 29) * 1216
+	a.count++
+	if base+size > a.capacity {
+		return 0, ErrOutOfMemory
+	}
+	a.next = base + size
+	if need := int(a.next); need > len(a.data) {
+		grown := make([]byte, need)
+		copy(grown, a.data)
+		a.data = grown
+	}
+	a.allocs[base] = size
+	return base, nil
+}
+
+// Free releases an allocation. The arena is a bump allocator; freeing
+// the most recent allocation reclaims space, otherwise the range is
+// just dropped from the live set (matching the short-lived-context
+// usage pattern of the benchmarks).
+func (a *Arena) Free(base int64) {
+	size, ok := a.allocs[base]
+	if !ok {
+		return
+	}
+	delete(a.allocs, base)
+	if base+size == a.next {
+		a.next = base
+	}
+}
+
+// InUse returns the bytes currently allocated.
+func (a *Arena) InUse() int64 {
+	var n int64
+	for _, size := range a.allocs {
+		n += size
+	}
+	return n
+}
+
+// Bytes returns the backing storage for the range [off, off+n).
+func (a *Arena) Bytes(off, n int64) ([]byte, error) {
+	if off < 0 || off+n > int64(len(a.data)) {
+		return nil, fmt.Errorf("mem: range [%d,%d) outside arena of %d bytes", off, off+n, len(a.data))
+	}
+	return a.data[off : off+n], nil
+}
+
+// LoadBits reads a little-endian value of size bytes at off.
+func (a *Arena) LoadBits(off int64, size int) (uint64, error) {
+	if off < 0 || off+int64(size) > int64(len(a.data)) {
+		return 0, fmt.Errorf("mem: out-of-bounds load at %d (size %d)", off, size)
+	}
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(a.data[off+int64(i)])
+	}
+	return v, nil
+}
+
+// StoreBits writes a little-endian value of size bytes at off.
+func (a *Arena) StoreBits(off int64, size int, bits uint64) error {
+	if off < 0 || off+int64(size) > int64(len(a.data)) {
+		return fmt.Errorf("mem: out-of-bounds store at %d (size %d)", off, size)
+	}
+	for i := 0; i < size; i++ {
+		a.data[off+int64(i)] = byte(bits >> (8 * uint(i)))
+	}
+	return nil
+}

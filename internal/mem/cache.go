@@ -1,0 +1,142 @@
+// Package mem provides the simulated memory system shared by the
+// device models: a flat global arena with buffer allocation, a
+// set-associative write-back cache model, and a DRAM channel model for
+// the board's DDR3L-1600 memory.
+package mem
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	SizeBytes int
+	LineBytes int
+	Ways      int
+}
+
+// CacheStats accumulates cache behaviour.
+type CacheStats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate returns the fraction of accesses that missed.
+func (s CacheStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// Cache is a set-associative write-back, write-allocate cache with LRU
+// replacement. It models hit/miss behaviour only; data lives in the
+// backing arena.
+type Cache struct {
+	cfg   CacheConfig
+	sets  [][]line
+	nsets uint64
+	tick  uint64
+	stats CacheStats
+}
+
+// NewCache builds a cache from cfg. Sizes must be powers of two.
+func NewCache(cfg CacheConfig) *Cache {
+	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	if nsets < 1 {
+		nsets = 1
+	}
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{cfg: cfg, sets: sets, nsets: uint64(nsets)}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Stats returns the accumulated statistics.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = line{}
+		}
+	}
+	c.stats = CacheStats{}
+	c.tick = 0
+}
+
+// Access touches the byte range [addr, addr+size). It returns the
+// number of line misses the access caused (each implying a fill from
+// the next level) and the number of dirty writebacks.
+func (c *Cache) Access(addr uint64, size int, write bool) (misses, writebacks int) {
+	if size <= 0 {
+		size = 1
+	}
+	lb := uint64(c.cfg.LineBytes)
+	first := addr / lb
+	last := (addr + uint64(size) - 1) / lb
+	for ln := first; ln <= last; ln++ {
+		if c.accessLine(ln, write) {
+			continue
+		}
+		misses++
+		if c.fillLine(ln, write) {
+			writebacks++
+		}
+	}
+	return misses, writebacks
+}
+
+// accessLine probes for one line; returns true on hit.
+func (c *Cache) accessLine(lineAddr uint64, write bool) bool {
+	c.tick++
+	c.stats.Accesses++
+	set := c.sets[lineAddr%c.nsets]
+	tag := lineAddr / c.nsets
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// fillLine allocates a line (after a miss), returning true if a dirty
+// victim was evicted.
+func (c *Cache) fillLine(lineAddr uint64, write bool) bool {
+	set := c.sets[lineAddr%c.nsets]
+	tag := lineAddr / c.nsets
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	wb := set[victim].valid && set[victim].dirty
+	if wb {
+		c.stats.Writebacks++
+	}
+	set[victim] = line{tag: tag, valid: true, dirty: write, lru: c.tick}
+	return wb
+}

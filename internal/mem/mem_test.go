@@ -1,0 +1,196 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 1024, LineBytes: 64, Ways: 2})
+	if m, _ := c.Access(0, 4, false); m != 1 {
+		t.Fatalf("first access misses = %d, want 1", m)
+	}
+	if m, _ := c.Access(0, 4, false); m != 0 {
+		t.Fatalf("second access misses = %d, want 0", m)
+	}
+	if m, _ := c.Access(60, 4, false); m != 0 {
+		t.Fatalf("same-line access misses = %d, want 0", m)
+	}
+}
+
+func TestCacheLineSpanning(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 1024, LineBytes: 64, Ways: 2})
+	// A 16-byte access straddling a line boundary touches two lines.
+	if m, _ := c.Access(56, 16, false); m != 2 {
+		t.Fatalf("straddling access misses = %d, want 2", m)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// One set: 2 ways, 2 sets total (256B / 64B / 2).
+	c := NewCache(CacheConfig{SizeBytes: 256, LineBytes: 64, Ways: 2})
+	// Lines 0, 2, 4 map to set 0 (even line numbers with 2 sets).
+	c.Access(0*64, 4, false)
+	c.Access(2*64, 4, false)
+	c.Access(0*64, 4, false) // touch 0, making 2 the LRU
+	c.Access(4*64, 4, false) // evicts 2
+	if m, _ := c.Access(0*64, 4, false); m != 0 {
+		t.Fatal("line 0 should have survived (was MRU)")
+	}
+	if m, _ := c.Access(2*64, 4, false); m != 1 {
+		t.Fatal("line 2 should have been evicted (was LRU)")
+	}
+}
+
+func TestCacheWriteback(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 128, LineBytes: 64, Ways: 1})
+	c.Access(0, 4, true) // dirty line 0, set 0
+	// Line 2 maps to set 0 too (2 sets? 128/64/1 = 2 sets; line0->set0, line2->set0).
+	_, wb := c.Access(2*64, 4, false)
+	if wb != 1 {
+		t.Fatalf("writebacks = %d, want 1 (dirty eviction)", wb)
+	}
+	// Clean eviction must not write back.
+	_, wb = c.Access(4*64, 4, false)
+	if wb != 0 {
+		t.Fatalf("writebacks = %d, want 0 (clean eviction)", wb)
+	}
+}
+
+func TestCacheStatsAndReset(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 1024, LineBytes: 64, Ways: 2})
+	c.Access(0, 4, false)
+	c.Access(0, 4, false)
+	s := c.Stats()
+	if s.Accesses != 2 || s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if got := s.MissRate(); got != 0.5 {
+		t.Fatalf("MissRate = %v", got)
+	}
+	c.Reset()
+	if c.Stats().Accesses != 0 {
+		t.Fatal("Reset did not clear stats")
+	}
+	if m, _ := c.Access(0, 4, false); m != 1 {
+		t.Fatal("Reset did not clear contents")
+	}
+}
+
+// Property: a working set smaller than one way per set never misses
+// after the first pass (LRU must retain it).
+func TestCacheSmallWorkingSetProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		c := NewCache(CacheConfig{SizeBytes: 4096, LineBytes: 64, Ways: 4})
+		base := uint64(seed) * 64
+		// 16 lines = 1KB working set in a 4KB cache.
+		for pass := 0; pass < 3; pass++ {
+			for i := 0; i < 16; i++ {
+				m, _ := c.Access(base+uint64(i)*64, 4, false)
+				if pass > 0 && m != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArenaAllocAlignmentAndGrowth(t *testing.T) {
+	a := NewArena(1 << 20)
+	b1, err := a.Alloc(100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1%64 != 0 {
+		t.Fatalf("allocation not 64-aligned: %d", b1)
+	}
+	b2, err := a.Alloc(100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 < b1+100 {
+		t.Fatalf("allocations overlap: %d then %d", b1, b2)
+	}
+	if b2%64 != 0 {
+		t.Fatalf("second allocation not aligned: %d", b2)
+	}
+}
+
+func TestArenaExhaustion(t *testing.T) {
+	a := NewArena(4096)
+	if _, err := a.Alloc(1<<20, 64); err == nil {
+		t.Fatal("oversized allocation should fail")
+	}
+	if _, err := a.Alloc(-1, 64); err == nil {
+		t.Fatal("negative allocation should fail")
+	}
+}
+
+func TestArenaLoadStore(t *testing.T) {
+	a := NewArena(1 << 16)
+	base, err := a.Alloc(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.StoreBits(base, 4, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.LoadBits(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEADBEEF {
+		t.Fatalf("LoadBits = %#x", v)
+	}
+	// Little-endian byte order.
+	raw, err := a.Bytes(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] != 0xEF || raw[3] != 0xDE {
+		t.Fatalf("byte order wrong: % x", raw)
+	}
+	if _, err := a.LoadBits(1<<20, 4); err == nil {
+		t.Fatal("out-of-bounds load should fail")
+	}
+}
+
+func TestArenaFreeReclaimsTail(t *testing.T) {
+	a := NewArena(1 << 16)
+	b1, _ := a.Alloc(1024, 64)
+	inUse := a.InUse()
+	a.Free(b1)
+	if a.InUse() != inUse-1024 {
+		t.Fatalf("InUse after free = %d", a.InUse())
+	}
+	b2, _ := a.Alloc(512, 64)
+	if b2 > b1+4096 {
+		t.Fatalf("tail free did not reclaim space: %d then %d", b1, b2)
+	}
+}
+
+// Property: LoadBits(StoreBits(x)) == x for all sizes.
+func TestArenaRoundTripProperty(t *testing.T) {
+	a := NewArena(1 << 16)
+	base, _ := a.Alloc(4096, 64)
+	f := func(v uint64, off uint16, sizeSel uint8) bool {
+		size := []int{1, 2, 4, 8}[sizeSel%4]
+		o := base + int64(off%2048)
+		masked := v
+		if size < 8 {
+			masked = v & ((1 << (8 * uint(size))) - 1)
+		}
+		if err := a.StoreBits(o, size, v); err != nil {
+			return false
+		}
+		got, err := a.LoadBits(o, size)
+		return err == nil && got == masked
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

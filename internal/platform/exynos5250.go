@@ -1,0 +1,210 @@
+// Package platform holds the calibration constants of the simulated
+// Samsung Exynos 5250 ("Arndale") platform: clock frequencies,
+// microarchitectural cost factors, cache geometries, DRAM parameters
+// and the board power model. Every number the timing and power models
+// use lives here so the calibration procedure documented in
+// EXPERIMENTS.md touches exactly one file.
+package platform
+
+// CPU (ARM Cortex-A15) parameters.
+const (
+	// CPUFreqHz is the A15 clock of the Exynos 5250.
+	CPUFreqHz = 1.7e9
+	// CPUCores is the number of A15 cores on the SoC.
+	CPUCores = 2
+	// CPUIssueWidth bounds instructions decoded per cycle.
+	CPUIssueWidth = 3.0
+	// CPUInstrFactor converts simulator IR instruction counts into
+	// equivalent ARM instruction counts: the IR is unoptimized
+	// three-address code (explicit address arithmetic, no addressing
+	// modes, no fused compare-and-branch), so GCC -O3 output is
+	// roughly half as many instructions.
+	CPUInstrFactor = 0.45
+	// CPUIntALUs is the number of integer ALUs.
+	CPUIntALUs = 2.0
+	// CPUF64Factor is the relative cost of a double versus a float
+	// operation on the scalar VFP pipeline.
+	CPUF64Factor = 1.3
+	// CPUTranscCycles is the cost of one transcendental operation
+	// (sqrt, exp, ...) through VFP + libm-style sequences.
+	CPUTranscCycles = 45.0
+	// CPUL1HitExtra and miss latencies (cycles), after out-of-order
+	// overlap has been accounted for by the hide factors.
+	CPUL2HitLatency   = 12.0
+	CPUDRAMLatency    = 170.0
+	CPUL2HideFactor   = 0.55 // fraction of L2-hit latency exposed
+	CPUDRAMHideFactor = 0.65 // fraction of DRAM latency exposed on random misses
+	// CPUPrefetchHideFactor is the fraction of DRAM latency exposed on
+	// sequential (prefetchable) misses: the A15's L2 prefetchers hide
+	// almost all of a detected stream's latency.
+	CPUPrefetchHideFactor = 0.10
+	// CPUPerCoreBandwidth caps a single core's achievable DRAM
+	// streaming bandwidth (bytes/s); the A15 LSU and fill buffers on
+	// the Exynos 5250 saturate far below the channel peak (the SoC's
+	// CPU-side memory path was famously weak).
+	CPUPerCoreBandwidth = 2.8e9
+	// CPUClusterBandwidth caps both cores together — adding the second
+	// core buys little extra streaming bandwidth, which is why the
+	// paper's memory-bound OpenMP speedups are closer to 1.2x than 2x.
+	CPUClusterBandwidth = 3.6e9
+	// OMPRegionOverheadSec is the fork/join cost of one OpenMP
+	// parallel region (thread wake-up + barrier).
+	OMPRegionOverheadSec = 18e-6
+)
+
+// CPU cache geometry.
+// The hierarchy is scaled ~4-8x below the physical chip (32 KB L1,
+// 1 MB L2, 256 KB GPU L2) together with the workload sizes, so the
+// instruction-level simulator reproduces paper-scale miss behaviour at
+// tractable problem sizes; see EXPERIMENTS.md ("Simulation scaling").
+const (
+	CPUL1Size = 8 << 10
+	CPUL1Line = 64
+	CPUL1Ways = 2
+	CPUL2Size = 192 << 10
+	CPUL2Line = 64
+	CPUL2Ways = 8
+)
+
+// GPU (ARM Mali-T604) parameters.
+const (
+	// GPUFreqHz is the Mali-T604 shader clock in the Exynos 5250.
+	GPUFreqHz = 533e6
+	// GPUCores is the number of shader cores.
+	GPUCores = 4
+	// GPUArithPipes is the number of 128-bit arithmetic pipelines per
+	// shader core.
+	GPUArithPipes = 2.0
+	// GPUPackEff models how well the ARM kernel compiler packs
+	// arithmetic lanes into the 128-bit VLIW lanes of the pipes: 1.0
+	// would be perfect packing, real schedules reach ~70%.
+	GPUPackEff = 0.7
+	// GPUIntCostFactor discounts integer (mostly addressing)
+	// arithmetic: Midgard folds address computation into load/store
+	// descriptors and scalar VLIW slots.
+	GPUIntCostFactor = 0.5
+	// GPUTranscSlotCost is the number of 128-bit arithmetic slots one
+	// transcendental lane occupies (the special-function unit is
+	// pipelined but narrower than the main lanes).
+	GPUTranscSlotCost = 2.0
+	// GPUPrivateLSPenalty is the extra load/store slots each access to
+	// spilled __private arrays costs: private memory is emulated in
+	// main memory on Midgard with per-thread address swizzling.
+	GPUPrivateLSPenalty = 4.8
+	// GPUWorkItemOverhead is the per-work-item thread create/retire
+	// cost in cycles — the term that punishes huge scalar NDRanges and
+	// rewards vectorized kernels with fewer work-items (§III-B,
+	// Vectorization).
+	GPUWorkItemOverhead = 8.0
+	// GPUWorkGroupOverhead is the job-manager dispatch cost per
+	// work-group in cycles.
+	GPUWorkGroupOverhead = 280.0
+	// GPUEnqueueOverheadSec is the host-side cost of one
+	// clEnqueueNDRangeKernel round trip (driver + job chain setup).
+	GPUEnqueueOverheadSec = 60e-6
+	// GPUBarrierWICycles is the per-work-item cost of one barrier.
+	GPUBarrierWICycles = 2.0
+	// GPUBarrierWGCycles is the fixed re-convergence cost per barrier
+	// per work-group.
+	GPUBarrierWGCycles = 40.0
+	// GPUSeqMissLSOccupancy and GPURandMissLSOccupancy are the extra
+	// load/store-pipe occupancy (cycles) of loads that miss the GPU
+	// L2. Sequential fills stream efficiently; random fills
+	// (uncoalesced gathers such as spmv's x[colidx[j]]) hold the
+	// pipe's L2 interface for the whole fill, which is what makes
+	// gather-heavy kernels slow on Mali.
+	GPUSeqMissLSOccupancy  = 1.0
+	GPURandMissLSOccupancy = 28.0
+	// GPUL2HitLatency and GPUDRAMLatency are load-to-use latencies in
+	// GPU cycles.
+	GPUL2HitLatency = 16.0
+	GPUDRAMLatency  = 110.0
+	// GPUThreadsForHiding is the thread-level parallelism per core the
+	// latency-hiding model assumes when register pressure is low.
+	GPUThreadsForHiding = 64.0
+	// GPURegFileBytes is the per-core register file capacity; dividing
+	// by a kernel's register footprint bounds resident threads.
+	GPURegFileBytes = 32 << 10
+	// GPURegFootprintScale converts the lowering's (non-reusing)
+	// virtual register footprint into an estimate of the real
+	// allocator's demand.
+	GPURegFootprintScale = 0.22
+	// GPUMaxRegBytesPerThread is the hard per-thread register budget;
+	// kernels whose scaled footprint exceeds it fail to launch with
+	// CL_OUT_OF_RESOURCES. With the benchmark kernels in this
+	// repository, exactly the double-precision optimized nbody and
+	// 2dcon kernels exceed it — reproducing the paper's §V-A failures.
+	GPUMaxRegBytesPerThread = 103.0
+	// GPUPerCoreBandwidth caps one shader core's L2/DRAM streaming
+	// rate (bytes/s).
+	GPUPerCoreBandwidth = 4.5e9
+	// GPUAtomicSCUCycles is the snoop-control-unit serialization cost
+	// of one global atomic to a contended cache line.
+	GPUAtomicSCUCycles = 10.0
+	// GPULocalAtomicLSSlots is the extra load/store-pipe slots a local
+	// (intra-core) atomic costs relative to a plain access; Mali
+	// implements these in the core's L1 path, so they are cheap.
+	GPULocalAtomicLSSlots = 1.0
+	// GPUMaxWorkGroupSize per the Mali-T604 OpenCL driver.
+	GPUMaxWorkGroupSize = 256
+)
+
+// GPU cache geometry (shared L2; the small per-core L1s are folded
+// into the L2 hit latency).
+const (
+	GPUL2Size = 48 << 10
+	GPUL2Line = 64
+	GPUL2Ways = 8
+)
+
+// DRAM (DDR3L-1600, single 32-bit channel as on the Arndale board).
+const (
+	// DRAMPeakBandwidth is the theoretical channel peak (bytes/s).
+	DRAMPeakBandwidth = 12.8e9
+	// DRAMEfficiency derates the peak for row misses and refresh.
+	DRAMEfficiency = 0.72
+)
+
+// DRAMBandwidth is the sustainable channel bandwidth (bytes/s).
+const DRAMBandwidth = DRAMPeakBandwidth * DRAMEfficiency
+
+// Board power model. Total board power is
+//
+//	P = PBoardStatic
+//	  + Σ_cores (PCPUCoreBase + PCPUCoreDynamic·util)·active
+//	  + (PGPUBase + PGPUDynamic·util)·gpuActive
+//	  + PDRAMPerGBs·(GB/s of DRAM traffic)
+//
+// calibrated against the paper's §V-B observations: OpenMP draws ~31%
+// more than Serial on average, OpenCL within ±20% of Serial (avg +7%),
+// and power varies little between OpenCL and OpenCL Opt.
+const (
+	// PBoardStatic covers the always-on board: regulators, memory
+	// standby, peripherals (watts).
+	PBoardStatic = 2.10
+	// PCPUCoreBase is the power of a clocked, active A15 core
+	// independent of instruction mix.
+	PCPUCoreBase = 0.55
+	// PCPUCoreDynamic scales with pipeline utilization.
+	PCPUCoreDynamic = 0.95
+	// PCPUIdleHost is the host core's draw while it spins waiting on
+	// the GPU (clFinish polling).
+	PCPUIdleHost = 0.28
+	// PGPUBase is the clocked Mali power independent of load.
+	PGPUBase = 0.62
+	// PGPUDynamic scales with shader-core utilization.
+	PGPUDynamic = 1.05
+	// PDRAMPerGBs is DRAM dynamic power per GB/s of traffic.
+	PDRAMPerGBs = 0.065
+)
+
+// Power meter (Yokogawa WT230) model.
+const (
+	// MeterSampleHz is the meter's sampling rate.
+	MeterSampleHz = 10.0
+	// MeterAccuracy is the relative measurement error (0.1%).
+	MeterAccuracy = 0.001
+	// MeterRepetitions matches the paper's methodology (each
+	// experiment repeated 20 times).
+	MeterRepetitions = 20
+)

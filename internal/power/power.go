@@ -1,0 +1,163 @@
+// Package power implements the board-level power and energy model of
+// the simulated Arndale platform, plus a model of the Yokogawa WT230
+// power meter used by the paper (10 Hz sampling, 0.1% accuracy, 20
+// repetitions per experiment).
+package power
+
+import (
+	"math"
+
+	"maligo/internal/platform"
+)
+
+// Activity summarizes what the SoC did during a measured region; the
+// harness builds it from device reports.
+type Activity struct {
+	// Seconds is the wall-clock duration of the region.
+	Seconds float64
+	// CPUBusyCoreSeconds is Σ over A15 cores of busy time.
+	CPUBusyCoreSeconds float64
+	// CPUUtil is the average pipeline utilization of busy CPU cores.
+	CPUUtil float64
+	// GPUBusyCoreSeconds is Σ over shader cores of busy time.
+	GPUBusyCoreSeconds float64
+	// GPUUtil is the average pipe utilization of busy shader cores.
+	GPUUtil float64
+	// HostSpinSeconds is time an A15 core spends polling for GPU
+	// completion (clFinish).
+	HostSpinSeconds float64
+	// DRAMBytes is the total DRAM traffic of the region.
+	DRAMBytes uint64
+}
+
+// MeanPower returns the average board power in watts over the region.
+func MeanPower(a Activity) float64 {
+	if a.Seconds <= 0 {
+		return platform.PBoardStatic
+	}
+	p := platform.PBoardStatic
+
+	// CPU cores: base power while busy plus utilization-scaled
+	// dynamic power.
+	cpuBusyFrac := a.CPUBusyCoreSeconds / a.Seconds // in units of cores
+	p += cpuBusyFrac * (platform.PCPUCoreBase + platform.PCPUCoreDynamic*a.CPUUtil)
+
+	// Host core spinning on the GPU queue.
+	p += a.HostSpinSeconds / a.Seconds * platform.PCPUIdleHost
+
+	// GPU: base power whenever the GPU is on, dynamic scaled by
+	// utilization and occupancy.
+	if a.GPUBusyCoreSeconds > 0 {
+		occupancy := a.GPUBusyCoreSeconds / (a.Seconds * platform.GPUCores)
+		if occupancy > 1 {
+			occupancy = 1
+		}
+		p += platform.PGPUBase + platform.PGPUDynamic*a.GPUUtil*occupancy
+	}
+
+	// DRAM dynamic power per GB/s of traffic.
+	gbs := float64(a.DRAMBytes) / a.Seconds / 1e9
+	p += platform.PDRAMPerGBs * gbs
+	return p
+}
+
+// Energy returns the energy-to-solution of the region in joules.
+func Energy(a Activity) float64 { return MeanPower(a) * a.Seconds }
+
+// Measurement is the outcome of a metered experiment.
+type Measurement struct {
+	MeanPowerW float64 // mean across repetitions
+	StdPowerW  float64
+	EnergyJ    float64 // mean energy-to-solution
+	StdEnergyJ float64
+	Seconds    float64 // region duration (per repetition)
+	Samples    int     // meter samples per repetition
+}
+
+// Meter models the Yokogawa WT230: it samples the (piecewise-constant)
+// board power at 10 Hz with 0.1% gaussian accuracy and repeats the
+// experiment the configured number of times. The noise generator is a
+// deterministic xorshift so experiments are reproducible.
+type Meter struct {
+	seed uint64
+}
+
+// NewMeter creates a meter whose noise stream is derived from seed.
+func NewMeter(seed uint64) *Meter {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Meter{seed: seed}
+}
+
+// next returns a uniform float64 in [0,1).
+func (m *Meter) next() float64 {
+	m.seed ^= m.seed << 13
+	m.seed ^= m.seed >> 7
+	m.seed ^= m.seed << 17
+	return float64(m.seed>>11) / float64(1<<53)
+}
+
+// gauss returns a standard normal variate (Box-Muller).
+func (m *Meter) gauss() float64 {
+	u1 := m.next()
+	for u1 == 0 {
+		u1 = m.next()
+	}
+	u2 := m.next()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Measure runs the metering protocol over a region with the given
+// true activity: the region is repeated platform.MeterRepetitions
+// times; in each repetition the meter averages its 10 Hz samples, each
+// perturbed by 0.1% gaussian error. Regions shorter than one meter
+// sample period still yield one sample, as a real averaging power
+// meter integrating over the run would.
+func (m *Meter) Measure(a Activity) Measurement {
+	truePower := MeanPower(a)
+	samples := int(a.Seconds * platform.MeterSampleHz)
+	if samples < 1 {
+		samples = 1
+	}
+	reps := platform.MeterRepetitions
+	powers := make([]float64, reps)
+	for r := 0; r < reps; r++ {
+		var sum float64
+		for s := 0; s < samples; s++ {
+			noise := 1 + m.gauss()*platform.MeterAccuracy/3
+			sum += truePower * noise
+		}
+		powers[r] = sum / float64(samples)
+	}
+	meanP, stdP := meanStd(powers)
+	energies := make([]float64, reps)
+	for r := 0; r < reps; r++ {
+		energies[r] = powers[r] * a.Seconds
+	}
+	meanE, stdE := meanStd(energies)
+	return Measurement{
+		MeanPowerW: meanP,
+		StdPowerW:  stdP,
+		EnergyJ:    meanE,
+		StdEnergyJ: stdE,
+		Seconds:    a.Seconds,
+		Samples:    samples,
+	}
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

@@ -1,0 +1,135 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"maligo/internal/platform"
+)
+
+func TestMeanPowerIdle(t *testing.T) {
+	p := MeanPower(Activity{Seconds: 1})
+	if p != platform.PBoardStatic {
+		t.Fatalf("idle power = %v, want board static %v", p, platform.PBoardStatic)
+	}
+}
+
+func TestMeanPowerComponentsAdd(t *testing.T) {
+	base := MeanPower(Activity{Seconds: 1})
+	cpu := MeanPower(Activity{Seconds: 1, CPUBusyCoreSeconds: 1, CPUUtil: 1})
+	two := MeanPower(Activity{Seconds: 1, CPUBusyCoreSeconds: 2, CPUUtil: 1})
+	gpu := MeanPower(Activity{Seconds: 1, GPUBusyCoreSeconds: 4, GPUUtil: 1})
+	if cpu <= base {
+		t.Error("a busy CPU core must add power")
+	}
+	if two <= cpu {
+		t.Error("two busy cores must add more than one")
+	}
+	if gpu <= base {
+		t.Error("a busy GPU must add power")
+	}
+	// §V-B calibration: OpenMP (two cores) draws ~1.2-1.45x of Serial.
+	ratio := two / cpu
+	if ratio < 1.15 || ratio > 1.55 {
+		t.Errorf("2-core/1-core power ratio = %.2f, outside the paper's band", ratio)
+	}
+}
+
+func TestDRAMTrafficPower(t *testing.T) {
+	lo := MeanPower(Activity{Seconds: 1, DRAMBytes: 0})
+	hi := MeanPower(Activity{Seconds: 1, DRAMBytes: 8e9})
+	if hi <= lo {
+		t.Error("DRAM traffic must add power")
+	}
+	if hi-lo > 1.5 {
+		t.Errorf("8 GB/s adds %.2f W, implausibly high", hi-lo)
+	}
+}
+
+func TestEnergyIsPowerTimesTime(t *testing.T) {
+	act := Activity{Seconds: 2, CPUBusyCoreSeconds: 2, CPUUtil: 0.5}
+	if got, want := Energy(act), MeanPower(act)*2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Energy = %v, want %v", got, want)
+	}
+}
+
+func TestMeterDeterminism(t *testing.T) {
+	act := Activity{Seconds: 0.5, CPUBusyCoreSeconds: 0.5, CPUUtil: 0.8}
+	m1 := NewMeter(7).Measure(act)
+	m2 := NewMeter(7).Measure(act)
+	if m1 != m2 {
+		t.Fatalf("same seed must reproduce: %+v vs %+v", m1, m2)
+	}
+	m3 := NewMeter(8).Measure(act)
+	if m1.MeanPowerW == m3.MeanPowerW {
+		t.Fatal("different seeds should perturb the noise stream")
+	}
+}
+
+func TestMeterAccuracy(t *testing.T) {
+	act := Activity{Seconds: 2, CPUBusyCoreSeconds: 2, CPUUtil: 1}
+	truth := MeanPower(act)
+	m := NewMeter(3).Measure(act)
+	if rel := math.Abs(m.MeanPowerW-truth) / truth; rel > 0.002 {
+		t.Fatalf("meter error %.4f%% exceeds spec", rel*100)
+	}
+	if m.StdPowerW <= 0 || m.StdPowerW > truth*0.01 {
+		t.Fatalf("meter σ = %v implausible", m.StdPowerW)
+	}
+	if m.Samples != int(2*platform.MeterSampleHz) {
+		t.Fatalf("samples = %d", m.Samples)
+	}
+}
+
+func TestMeterShortRegionStillSampled(t *testing.T) {
+	m := NewMeter(1).Measure(Activity{Seconds: 0.001, CPUBusyCoreSeconds: 0.001, CPUUtil: 1})
+	if m.Samples < 1 {
+		t.Fatal("short regions must yield at least one sample")
+	}
+	if m.EnergyJ <= 0 {
+		t.Fatal("energy must be positive")
+	}
+}
+
+// Property: MeanPower is monotone in utilization and never below the
+// board's static floor.
+func TestMeanPowerMonotoneProperty(t *testing.T) {
+	f := func(u1, u2 uint8, gpu bool) bool {
+		a, b := float64(u1%101)/100, float64(u2%101)/100
+		if a > b {
+			a, b = b, a
+		}
+		actA := Activity{Seconds: 1}
+		actB := Activity{Seconds: 1}
+		if gpu {
+			actA.GPUBusyCoreSeconds, actA.GPUUtil = 4, a
+			actB.GPUBusyCoreSeconds, actB.GPUUtil = 4, b
+		} else {
+			actA.CPUBusyCoreSeconds, actA.CPUUtil = 1, a
+			actB.CPUBusyCoreSeconds, actB.CPUUtil = 1, b
+		}
+		pa, pb := MeanPower(actA), MeanPower(actB)
+		return pa >= platform.PBoardStatic && pb+1e-12 >= pa
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: meter energy mean scales linearly with region duration.
+func TestMeterEnergyScalesProperty(t *testing.T) {
+	f := func(k uint8) bool {
+		n := 1 + int(k%5)
+		base := Activity{Seconds: 1, CPUBusyCoreSeconds: 1, CPUUtil: 0.7}
+		scaled := base
+		scaled.Seconds = float64(n)
+		scaled.CPUBusyCoreSeconds = float64(n)
+		e1 := NewMeter(5).Measure(base).EnergyJ
+		en := NewMeter(5).Measure(scaled).EnergyJ
+		return math.Abs(en-float64(n)*e1)/en < 0.01
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2, 2}); got != 0 {
+		t.Errorf("StdDev of constants = %v", got)
+	}
+	got := StdDev([]float64{1, 3})
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("StdDev([1,3]) = %v, want 1", got)
+	}
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev of singleton = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean([1,4]) = %v, want 2", got)
+	}
+	// Non-positive values are skipped.
+	got = GeoMean([]float64{0, -3, 4, 4})
+	if math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean with non-positives = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{0}); got != 0 {
+		t.Errorf("GeoMean of zeros = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty Min/Max should be 0")
+	}
+}
+
+// Property: Min <= Mean <= Max and StdDev >= 0.
+func TestStatsOrderingProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		m := Mean(xs)
+		return Min(xs) <= m+1e-9 && m <= Max(xs)+1e-9 && StdDev(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GeoMean <= Mean for positive inputs (AM-GM inequality).
+func TestAMGMProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var xs []float64
+		for _, v := range raw {
+			xs = append(xs, float64(v)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,282 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"maligo/internal/clc/builtin"
+	"maligo/internal/clc/ir"
+	"maligo/internal/clc/types"
+)
+
+// execBuiltin evaluates a CallB instruction.
+func (r *groupRunner) execBuiltin(in *ir.Instr, st *wiState, w int) error {
+	id := builtin.ID(in.Imm)
+
+	// Work-item queries.
+	if id.IsWorkItemQuery() || id == builtin.GetWorkDim {
+		r.prof.IntInstrs++
+		r.prof.IntLanes++
+		var v int64
+		if id == builtin.GetWorkDim {
+			v = int64(r.cfg.WorkDim)
+		} else {
+			dim := int(st.ii[in.B])
+			if dim < 0 || dim > 2 {
+				// Per the OpenCL spec the result is undefined; return 0/1
+				// like real drivers do.
+				dim = 0
+			}
+			switch id {
+			case builtin.GetGlobalID:
+				v = int64(r.cfg.GroupID[dim]*dimOr1(r.cfg.LocalSize, dim) + r.localID[dim] + r.cfg.GlobalOffset[dim])
+			case builtin.GetLocalID:
+				v = int64(r.localID[dim])
+			case builtin.GetGroupID:
+				v = int64(r.cfg.GroupID[dim])
+			case builtin.GetGlobalSize:
+				v = int64(dimOr1(r.cfg.GlobalSize, dim))
+			case builtin.GetLocalSize:
+				v = int64(dimOr1(r.cfg.LocalSize, dim))
+			case builtin.GetNumGroups:
+				v = int64(dimOr1(r.cfg.GlobalSize, dim) / dimOr1(r.cfg.LocalSize, dim))
+			case builtin.GetGlobalOffset:
+				v = int64(r.cfg.GlobalOffset[dim])
+			}
+		}
+		st.ii[in.A] = v
+		return nil
+	}
+
+	if id.IsTranscendental() {
+		r.prof.TranscInstr++
+		r.prof.TranscLanes += uint64(w)
+	} else {
+		countFloatOrInt(r.prof, in.Base, w)
+	}
+
+	switch id {
+	// Unary float.
+	case builtin.Sqrt, builtin.NativeSqrt:
+		return r.mapUnary(in, st, w, math.Sqrt)
+	case builtin.Rsqrt, builtin.NativeRsqrt:
+		return r.mapUnary(in, st, w, func(x float64) float64 { return 1 / math.Sqrt(x) })
+	case builtin.Cbrt:
+		return r.mapUnary(in, st, w, math.Cbrt)
+	case builtin.Exp, builtin.NativeExp:
+		return r.mapUnary(in, st, w, math.Exp)
+	case builtin.Exp2:
+		return r.mapUnary(in, st, w, math.Exp2)
+	case builtin.Log, builtin.NativeLog:
+		return r.mapUnary(in, st, w, math.Log)
+	case builtin.Log2:
+		return r.mapUnary(in, st, w, math.Log2)
+	case builtin.Sin, builtin.NativeSin:
+		return r.mapUnary(in, st, w, math.Sin)
+	case builtin.Cos, builtin.NativeCos:
+		return r.mapUnary(in, st, w, math.Cos)
+	case builtin.Tan:
+		return r.mapUnary(in, st, w, math.Tan)
+	case builtin.Fabs:
+		return r.mapUnary(in, st, w, math.Abs)
+	case builtin.Floor:
+		return r.mapUnary(in, st, w, math.Floor)
+	case builtin.Ceil:
+		return r.mapUnary(in, st, w, math.Ceil)
+	case builtin.Round:
+		return r.mapUnary(in, st, w, math.Round)
+	case builtin.Trunc:
+		return r.mapUnary(in, st, w, math.Trunc)
+	case builtin.NativeRecip:
+		return r.mapUnary(in, st, w, func(x float64) float64 { return 1 / x })
+
+	// Binary float.
+	case builtin.Pow:
+		return r.mapBinary(in, st, w, math.Pow)
+	case builtin.Hypot:
+		return r.mapBinary(in, st, w, math.Hypot)
+	case builtin.Fmin:
+		return r.mapBinary(in, st, w, math.Min)
+	case builtin.Fmax:
+		return r.mapBinary(in, st, w, math.Max)
+	case builtin.Fmod:
+		return r.mapBinary(in, st, w, math.Mod)
+	case builtin.NativeDivide:
+		return r.mapBinary(in, st, w, func(a, b float64) float64 { return a / b })
+	case builtin.Step:
+		return r.mapBinary(in, st, w, func(edge, x float64) float64 {
+			if x < edge {
+				return 0
+			}
+			return 1
+		})
+
+	// Ternary float.
+	case builtin.Fma, builtin.Mad:
+		for l := 0; l < w; l++ {
+			a := st.ff[int(in.B)+l]
+			b := st.ff[int(in.C)+l]
+			c := st.ff[int(in.D)+l]
+			st.ff[int(in.A)+l] = roundBase(in.Base, a*b+c)
+		}
+		return nil
+	case builtin.Mix:
+		for l := 0; l < w; l++ {
+			a := st.ff[int(in.B)+l]
+			b := st.ff[int(in.C)+l]
+			t := st.ff[int(in.D)+l]
+			st.ff[int(in.A)+l] = roundBase(in.Base, a+(b-a)*t)
+		}
+		return nil
+
+	// min/max/abs/clamp on either bank.
+	case builtin.Min, builtin.Max:
+		if in.Base.IsFloat() {
+			fn := math.Min
+			if id == builtin.Max {
+				fn = math.Max
+			}
+			return r.mapBinary(in, st, w, fn)
+		}
+		signed := in.Base.IsSigned()
+		for l := 0; l < w; l++ {
+			a := st.ii[int(in.B)+l]
+			b := st.ii[int(in.C)+l]
+			less := (signed && a < b) || (!signed && uint64(a) < uint64(b))
+			if (id == builtin.Min) == less {
+				st.ii[int(in.A)+l] = a
+			} else {
+				st.ii[int(in.A)+l] = b
+			}
+		}
+		return nil
+	case builtin.Abs:
+		for l := 0; l < w; l++ {
+			v := st.ii[int(in.B)+l]
+			if in.Base.IsSigned() && v < 0 {
+				v = -v
+			}
+			st.ii[int(in.A)+l] = wrapInt(in.Base, v)
+		}
+		return nil
+	case builtin.Clamp:
+		if in.Base.IsFloat() {
+			for l := 0; l < w; l++ {
+				x := st.ff[int(in.B)+l]
+				lo := st.ff[int(in.C)+l]
+				hi := st.ff[int(in.D)+l]
+				st.ff[int(in.A)+l] = roundBase(in.Base, math.Min(math.Max(x, lo), hi))
+			}
+			return nil
+		}
+		signed := in.Base.IsSigned()
+		for l := 0; l < w; l++ {
+			x := st.ii[int(in.B)+l]
+			lo := st.ii[int(in.C)+l]
+			hi := st.ii[int(in.D)+l]
+			if signed {
+				if x < lo {
+					x = lo
+				}
+				if x > hi {
+					x = hi
+				}
+			} else {
+				if uint64(x) < uint64(lo) {
+					x = lo
+				}
+				if uint64(x) > uint64(hi) {
+					x = hi
+				}
+			}
+			st.ii[int(in.A)+l] = x
+		}
+		return nil
+	case builtin.Select:
+		if in.Base.IsFloat() {
+			for l := 0; l < w; l++ {
+				if st.ii[int(in.D)+l] != 0 {
+					st.ff[int(in.A)+l] = st.ff[int(in.C)+l]
+				} else {
+					st.ff[int(in.A)+l] = st.ff[int(in.B)+l]
+				}
+			}
+			return nil
+		}
+		for l := 0; l < w; l++ {
+			if st.ii[int(in.D)+l] != 0 {
+				st.ii[int(in.A)+l] = st.ii[int(in.C)+l]
+			} else {
+				st.ii[int(in.A)+l] = st.ii[int(in.B)+l]
+			}
+		}
+		return nil
+
+	// Geometric: operands are w-wide, result scalar (except normalize).
+	case builtin.Dot:
+		var sum float64
+		for l := 0; l < w; l++ {
+			sum += st.ff[int(in.B)+l] * st.ff[int(in.C)+l]
+		}
+		st.ff[in.A] = roundBase(in.Base, sum)
+		return nil
+	case builtin.Length:
+		var sum float64
+		for l := 0; l < w; l++ {
+			v := st.ff[int(in.B)+l]
+			sum += v * v
+		}
+		st.ff[in.A] = roundBase(in.Base, math.Sqrt(sum))
+		return nil
+	case builtin.Distance:
+		var sum float64
+		for l := 0; l < w; l++ {
+			d := st.ff[int(in.B)+l] - st.ff[int(in.C)+l]
+			sum += d * d
+		}
+		st.ff[in.A] = roundBase(in.Base, math.Sqrt(sum))
+		return nil
+	case builtin.Normalize:
+		var sum float64
+		for l := 0; l < w; l++ {
+			v := st.ff[int(in.B)+l]
+			sum += v * v
+		}
+		n := math.Sqrt(sum)
+		for l := 0; l < w; l++ {
+			st.ff[int(in.A)+l] = roundBase(in.Base, st.ff[int(in.B)+l]/n)
+		}
+		return nil
+	}
+	return fmt.Errorf("vm: unimplemented builtin %v", id)
+}
+
+func countFloatOrInt(prof *Profile, base types.Base, w int) {
+	if base.IsFloat() {
+		countFloat(prof, base, w)
+	} else {
+		prof.IntInstrs++
+		prof.IntLanes += uint64(w)
+	}
+}
+
+func (r *groupRunner) mapUnary(in *ir.Instr, st *wiState, w int, fn func(float64) float64) error {
+	for l := 0; l < w; l++ {
+		st.ff[int(in.A)+l] = roundBase(in.Base, fn(st.ff[int(in.B)+l]))
+	}
+	return nil
+}
+
+func (r *groupRunner) mapBinary(in *ir.Instr, st *wiState, w int, fn func(a, b float64) float64) error {
+	for l := 0; l < w; l++ {
+		st.ff[int(in.A)+l] = roundBase(in.Base, fn(st.ff[int(in.B)+l], st.ff[int(in.C)+l]))
+	}
+	return nil
+}
+
+func dimOr1(dims [3]int, d int) int {
+	if dims[d] <= 0 {
+		return 1
+	}
+	return dims[d]
+}

@@ -1,0 +1,250 @@
+package vm_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"maligo/internal/clc"
+	"maligo/internal/clc/ir"
+	"maligo/internal/vm"
+)
+
+// This file implements a differential tester: it generates random
+// integer expression trees over three variables, compiles them through
+// the full clc pipeline, executes them in the VM, and compares the
+// result against a direct Go evaluation with int32 semantics. It
+// exercises parser precedence, sema promotion, lowering and the
+// interpreter in one shot.
+
+type exprGen struct {
+	seed uint64
+	sb   strings.Builder
+}
+
+func (g *exprGen) next() uint64 {
+	g.seed ^= g.seed << 13
+	g.seed ^= g.seed >> 7
+	g.seed ^= g.seed << 17
+	return g.seed
+}
+
+func (g *exprGen) intn(n int) int { return int(g.next() % uint64(n)) }
+
+// gen emits a random expression of the given depth and returns a
+// closure evaluating it with int32 semantics.
+func (g *exprGen) gen(depth int) func(a, b, c int32) int64 {
+	if depth == 0 {
+		switch g.intn(4) {
+		case 0:
+			g.sb.WriteString("a")
+			return func(a, b, c int32) int64 { return int64(a) }
+		case 1:
+			g.sb.WriteString("b")
+			return func(a, b, c int32) int64 { return int64(b) }
+		case 2:
+			g.sb.WriteString("c")
+			return func(a, b, c int32) int64 { return int64(c) }
+		default:
+			k := int32(g.intn(201) - 100)
+			fmt.Fprintf(&g.sb, "(%d)", k)
+			return func(a, b, c int32) int64 { return int64(k) }
+		}
+	}
+	switch g.intn(10) {
+	case 0: // unary minus
+		g.sb.WriteString("(-")
+		x := g.gen(depth - 1)
+		g.sb.WriteString(")")
+		return func(a, b, c int32) int64 { return int64(-int32(x(a, b, c))) }
+	case 1: // bitwise not
+		g.sb.WriteString("(~")
+		x := g.gen(depth - 1)
+		g.sb.WriteString(")")
+		return func(a, b, c int32) int64 { return int64(^int32(x(a, b, c))) }
+	case 2: // ternary
+		g.sb.WriteString("((")
+		cond := g.gen(depth - 1)
+		g.sb.WriteString(") != 0 ? (")
+		tv := g.gen(depth - 1)
+		g.sb.WriteString(") : (")
+		fv := g.gen(depth - 1)
+		g.sb.WriteString("))")
+		return func(a, b, c int32) int64 {
+			if int32(cond(a, b, c)) != 0 {
+				return int64(int32(tv(a, b, c)))
+			}
+			return int64(int32(fv(a, b, c)))
+		}
+	case 3: // min/max builtins
+		name := "min"
+		if g.intn(2) == 0 {
+			name = "max"
+		}
+		fmt.Fprintf(&g.sb, "%s((", name)
+		x := g.gen(depth - 1)
+		g.sb.WriteString("), (")
+		y := g.gen(depth - 1)
+		g.sb.WriteString("))")
+		isMin := name == "min"
+		return func(a, b, c int32) int64 {
+			xv, yv := int32(x(a, b, c)), int32(y(a, b, c))
+			if (xv < yv) == isMin {
+				return int64(xv)
+			}
+			return int64(yv)
+		}
+	default: // binary operator
+		ops := []struct {
+			src string
+			fn  func(x, y int32) int32
+		}{
+			{"+", func(x, y int32) int32 { return x + y }},
+			{"-", func(x, y int32) int32 { return x - y }},
+			{"*", func(x, y int32) int32 { return x * y }},
+			{"&", func(x, y int32) int32 { return x & y }},
+			{"|", func(x, y int32) int32 { return x | y }},
+			{"^", func(x, y int32) int32 { return x ^ y }},
+			{"<", func(x, y int32) int32 {
+				if x < y {
+					return 1
+				}
+				return 0
+			}},
+			{"==", func(x, y int32) int32 {
+				if x == y {
+					return 1
+				}
+				return 0
+			}},
+		}
+		op := ops[g.intn(len(ops))]
+		g.sb.WriteString("((")
+		x := g.gen(depth - 1)
+		fmt.Fprintf(&g.sb, ") %s (", op.src)
+		y := g.gen(depth - 1)
+		g.sb.WriteString("))")
+		return func(a, b, c int32) int64 {
+			return int64(op.fn(int32(x(a, b, c)), int32(y(a, b, c))))
+		}
+	}
+}
+
+// TestRandomIntExpressionsMatchGo is the differential fuzz test.
+func TestRandomIntExpressionsMatchGo(t *testing.T) {
+	inputs := [][3]int32{
+		{0, 0, 0}, {1, 2, 3}, {-5, 7, 100},
+		{math.MaxInt32, 1, -1}, {math.MinInt32, -1, 2},
+		{12345, -9876, 42},
+	}
+	for trial := 0; trial < 60; trial++ {
+		g := &exprGen{seed: uint64(trial)*2654435761 + 1}
+		ref := g.gen(4)
+		expr := g.sb.String()
+		src := fmt.Sprintf(
+			`__kernel void f(__global int* out, const int a, const int b, const int c) { out[0] = %s; }`,
+			expr)
+		prog, err := clc.Compile("fuzz.cl", src, "")
+		if err != nil {
+			t.Fatalf("trial %d: compile %q: %v", trial, expr, err)
+		}
+		for _, in := range inputs {
+			mem := newFlatMem(8, nil)
+			cfg := &vm.GroupConfig{
+				Kernel:     prog.Kernel("f"),
+				WorkDim:    1,
+				LocalSize:  [3]int{1, 1, 1},
+				GlobalSize: [3]int{1, 1, 1},
+				Args: []vm.ArgValue{
+					{Bits: ir.EncodeAddr(ir.SpaceGlobal, 0)},
+					{Bits: int64(in[0])}, {Bits: int64(in[1])}, {Bits: int64(in[2])},
+				},
+				Mem: mem,
+			}
+			if err := vm.RunGroup(cfg, &vm.Profile{}); err != nil {
+				t.Fatalf("trial %d run: %v\nexpr: %s", trial, err, expr)
+			}
+			got := mem.getI32(0)
+			want := int32(ref(in[0], in[1], in[2]))
+			if got != want {
+				t.Fatalf("trial %d inputs %v: VM=%d Go=%d\nexpr: %s", trial, in, got, want, expr)
+			}
+		}
+	}
+}
+
+// TestRandomFloatExpressionsMatchGo does the same for float32
+// expressions restricted to exact operations (+, -, *) so results are
+// bit-comparable.
+func TestRandomFloatExpressionsMatchGo(t *testing.T) {
+	type fgen struct{ g exprGen }
+	var genF func(g *exprGen, depth int) func(a, b float32) float32
+	genF = func(g *exprGen, depth int) func(a, b float32) float32 {
+		if depth == 0 {
+			switch g.intn(3) {
+			case 0:
+				g.sb.WriteString("a")
+				return func(a, b float32) float32 { return a }
+			case 1:
+				g.sb.WriteString("b")
+				return func(a, b float32) float32 { return b }
+			default:
+				k := float32(g.intn(17)) * 0.25
+				fmt.Fprintf(&g.sb, "(%gf)", k)
+				return func(a, b float32) float32 { return k }
+			}
+		}
+		ops := []struct {
+			src string
+			fn  func(x, y float32) float32
+		}{
+			{"+", func(x, y float32) float32 { return x + y }},
+			{"-", func(x, y float32) float32 { return x - y }},
+			{"*", func(x, y float32) float32 { return x * y }},
+		}
+		op := ops[g.intn(len(ops))]
+		g.sb.WriteString("((")
+		x := genF(g, depth-1)
+		fmt.Fprintf(&g.sb, ") %s (", op.src)
+		y := genF(g, depth-1)
+		g.sb.WriteString("))")
+		return func(a, b float32) float32 { return op.fn(x(a, b), y(a, b)) }
+	}
+	_ = fgen{}
+
+	for trial := 0; trial < 40; trial++ {
+		g := &exprGen{seed: uint64(trial)*0x9E3779B9 + 7}
+		ref := genF(g, 5)
+		expr := g.sb.String()
+		src := fmt.Sprintf(
+			`__kernel void f(__global float* out, const float a, const float b) { out[0] = %s; }`,
+			expr)
+		prog, err := clc.Compile("fuzzf.cl", src, "")
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\nexpr: %s", trial, err, expr)
+		}
+		for _, in := range [][2]float32{{0, 0}, {1.5, -2.25}, {3.141592, 2.718281}, {1e10, -1e-10}} {
+			mem := newFlatMem(8, nil)
+			cfg := &vm.GroupConfig{
+				Kernel:     prog.Kernel("f"),
+				WorkDim:    1,
+				LocalSize:  [3]int{1, 1, 1},
+				GlobalSize: [3]int{1, 1, 1},
+				Args: []vm.ArgValue{
+					{Bits: ir.EncodeAddr(ir.SpaceGlobal, 0)},
+					{F: float64(in[0])}, {F: float64(in[1])},
+				},
+				Mem: mem,
+			}
+			if err := vm.RunGroup(cfg, &vm.Profile{}); err != nil {
+				t.Fatalf("trial %d run: %v", trial, err)
+			}
+			got := mem.getF32(0)
+			want := ref(in[0], in[1])
+			if got != want && !(math.IsNaN(float64(got)) && math.IsNaN(float64(want))) {
+				t.Fatalf("trial %d inputs %v: VM=%v Go=%v\nexpr: %s", trial, in, got, want, expr)
+			}
+		}
+	}
+}

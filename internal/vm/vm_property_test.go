@@ -1,0 +1,251 @@
+package vm_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"maligo/internal/clc"
+	"maligo/internal/clc/ir"
+	"maligo/internal/vm"
+)
+
+// runScalarKernel compiles a kernel of the form
+//
+//	__kernel void f(__global T* out, const T a, const T b) { out[0] = <expr>; }
+//
+// and executes it for one work-item, returning out[0]'s bits.
+func runScalarKernel(t *testing.T, typ, expr string, argA, argB vm.ArgValue, size int) uint64 {
+	t.Helper()
+	src := fmt.Sprintf(`__kernel void f(__global %s* out, const %s a, const %s b) { out[0] = %s; }`,
+		typ, typ, typ, expr)
+	prog, err := clc.Compile("prop.cl", src, "")
+	if err != nil {
+		t.Fatalf("compile %q: %v", expr, err)
+	}
+	mem := newFlatMem(16, nil)
+	cfg := &vm.GroupConfig{
+		Kernel:     prog.Kernel("f"),
+		WorkDim:    1,
+		LocalSize:  [3]int{1, 1, 1},
+		GlobalSize: [3]int{1, 1, 1},
+		Args:       []vm.ArgValue{{Bits: ir.EncodeAddr(ir.SpaceGlobal, 0)}, argA, argB},
+		Mem:        mem,
+	}
+	if err := vm.RunGroup(cfg, &vm.Profile{}); err != nil {
+		t.Fatalf("run %q: %v", expr, err)
+	}
+	bits, err := mem.LoadBits(ir.SpaceGlobal, 0, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bits
+}
+
+// Property: compiled 32-bit integer arithmetic matches Go's int32
+// semantics, including wrapping.
+func TestIntArithMatchesGoProperty(t *testing.T) {
+	ops := []struct {
+		src string
+		ref func(a, b int32) int32
+	}{
+		{"a + b", func(a, b int32) int32 { return a + b }},
+		{"a - b", func(a, b int32) int32 { return a - b }},
+		{"a * b", func(a, b int32) int32 { return a * b }},
+		{"a & b", func(a, b int32) int32 { return a & b }},
+		{"a | b", func(a, b int32) int32 { return a | b }},
+		{"a ^ b", func(a, b int32) int32 { return a ^ b }},
+		{"max(a, b)", func(a, b int32) int32 {
+			if a > b {
+				return a
+			}
+			return b
+		}},
+		{"min(a, b)", func(a, b int32) int32 {
+			if a < b {
+				return a
+			}
+			return b
+		}},
+	}
+	for _, op := range ops {
+		op := op
+		f := func(a, b int32) bool {
+			got := runScalarKernel(t, "int", op.src,
+				vm.ArgValue{Bits: int64(a)}, vm.ArgValue{Bits: int64(b)}, 4)
+			return int32(uint32(got)) == op.ref(a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("%s: %v", op.src, err)
+		}
+	}
+}
+
+// Property: division and remainder match Go, with the VM's documented
+// divide-by-zero result of 0.
+func TestIntDivRemProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		gotQ := int32(uint32(runScalarKernel(t, "int", "a / b",
+			vm.ArgValue{Bits: int64(a)}, vm.ArgValue{Bits: int64(b)}, 4)))
+		gotR := int32(uint32(runScalarKernel(t, "int", "a % b",
+			vm.ArgValue{Bits: int64(a)}, vm.ArgValue{Bits: int64(b)}, 4)))
+		if b == 0 {
+			return gotQ == 0 && gotR == 0
+		}
+		if a == math.MinInt32 && b == -1 {
+			// Overflow case: the VM wraps like the hardware does.
+			return true
+		}
+		return gotQ == a/b && gotR == a%b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: float arithmetic matches float32 semantics exactly
+// (including rounding of every intermediate).
+func TestFloatArithMatchesGoProperty(t *testing.T) {
+	ops := []struct {
+		src string
+		ref func(a, b float32) float32
+	}{
+		{"a + b", func(a, b float32) float32 { return a + b }},
+		{"a - b", func(a, b float32) float32 { return a - b }},
+		{"a * b", func(a, b float32) float32 { return a * b }},
+		{"a / b", func(a, b float32) float32 { return a / b }},
+		{"fmin(a, b)", func(a, b float32) float32 { return float32(math.Min(float64(a), float64(b))) }},
+		{"fmax(a, b)", func(a, b float32) float32 { return float32(math.Max(float64(a), float64(b))) }},
+		{"a * a + b", func(a, b float32) float32 { return a*a + b }},
+	}
+	for _, op := range ops {
+		op := op
+		f := func(ab, bb uint32) bool {
+			a := math.Float32frombits(ab)
+			b := math.Float32frombits(bb)
+			if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+				return true
+			}
+			got := math.Float32frombits(uint32(runScalarKernel(t, "float", op.src,
+				vm.ArgValue{F: float64(a)}, vm.ArgValue{F: float64(b)}, 4)))
+			want := op.ref(a, b)
+			if math.IsNaN(float64(want)) {
+				return math.IsNaN(float64(got))
+			}
+			return got == want
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("%s: %v", op.src, err)
+		}
+	}
+}
+
+// Property: double arithmetic is bit-exact float64.
+func TestDoubleArithMatchesGoProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		got := math.Float64frombits(runScalarKernel(t, "double", "a * b + a",
+			vm.ArgValue{F: a}, vm.ArgValue{F: b}, 8))
+		want := a*b + a
+		if math.IsNaN(want) {
+			return math.IsNaN(got)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: comparisons and the ternary operator agree with Go.
+func TestCompareSelectProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		got := int32(uint32(runScalarKernel(t, "int", "a < b ? a : b",
+			vm.ArgValue{Bits: int64(a)}, vm.ArgValue{Bits: int64(b)}, 4)))
+		want := b
+		if a < b {
+			want = a
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shifts use the masked shift count of 32-bit hardware.
+func TestShiftProperty(t *testing.T) {
+	f := func(a int32, s uint8) bool {
+		sh := int64(s)
+		got := int32(uint32(runScalarKernel(t, "int", "a << b",
+			vm.ArgValue{Bits: int64(a)}, vm.ArgValue{Bits: sh}, 4)))
+		want := a << (uint(sh) & 31)
+		gotR := int32(uint32(runScalarKernel(t, "int", "a >> b",
+			vm.ArgValue{Bits: int64(a)}, vm.ArgValue{Bits: sh}, 4)))
+		wantR := a >> (uint(sh) & 31)
+		return got == want && gotR == wantR
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: unsigned comparison differs from signed where it should.
+func TestUnsignedCompareProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		got := runScalarKernel(t, "uint", "a < b ? (uint)1 : (uint)0",
+			vm.ArgValue{Bits: int64(a)}, vm.ArgValue{Bits: int64(b)}, 4)
+		want := uint64(0)
+		if a < b {
+			want = 1
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: vector lane independence — a float4 op equals four scalar ops.
+func TestVectorLaneProperty(t *testing.T) {
+	f := func(a0, a1, a2, a3, s uint16) bool {
+		av := [4]float32{float32(a0), float32(a1), float32(a2), float32(a3)}
+		scale := float32(s)
+		src := `
+__kernel void f(__global float* out, const float s) {
+    float4 v = vload4(0, out);
+    vstore4(v * (float4)(s) + (float4)(1.0f), 0, out);
+}`
+		prog, err := clc.Compile("lane.cl", src, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem := newFlatMem(16, nil)
+		for i, v := range av {
+			mem.putF32(i*4, v)
+		}
+		cfg := &vm.GroupConfig{
+			Kernel:     prog.Kernel("f"),
+			WorkDim:    1,
+			LocalSize:  [3]int{1, 1, 1},
+			GlobalSize: [3]int{1, 1, 1},
+			Args:       []vm.ArgValue{{Bits: ir.EncodeAddr(ir.SpaceGlobal, 0)}, {F: float64(scale)}},
+			Mem:        mem,
+		}
+		if err := vm.RunGroup(cfg, &vm.Profile{}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range av {
+			if got := mem.getF32(i * 4); got != v*scale+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,10 @@
+// saxpy demo kernel for cmd/clc
+__kernel void saxpy(__global const REAL* restrict x,
+                    __global REAL* restrict y,
+                    const REAL a,
+                    const uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}
