@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build vet test race short bench figures verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+short:
+	$(GO) test -short ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel engine executes work-groups concurrently; the race
+# detector must stay green. -short skips only the paper-scale shape
+# regression (already covered by `make test`), which under the race
+# detector outlasts the default test timeout on small hosts.
+race:
+	$(GO) test -race -short -timeout 30m ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+figures:
+	$(GO) run ./cmd/figures
+
+# Full verification: what CI runs.
+verify: build vet test race

@@ -1,0 +1,97 @@
+package maligo
+
+import (
+	"maligo/internal/cl"
+	"maligo/internal/core"
+	"maligo/internal/device"
+	"maligo/internal/power"
+)
+
+// The OpenCL-style runtime surface, re-exported as type aliases so the
+// full method set of each handle is public without delegation
+// wrappers. A Platform's Context field hands out all of these.
+type (
+	// Context owns the unified memory arena and the engine worker
+	// pool; it creates buffers, programs and queues.
+	Context = cl.Context
+	// ContextOption configures cl.NewContextWith for callers that
+	// assemble a context without a full Platform.
+	ContextOption = cl.ContextOption
+	// Buffer is a cl_mem buffer object over unified memory.
+	Buffer = cl.Buffer
+	// Program is a compiled OpenCL C program.
+	Program = cl.Program
+	// Kernel is a kernel object with bound arguments.
+	Kernel = cl.Kernel
+	// Queue is an in-order command queue bound to one device.
+	Queue = cl.CommandQueue
+	// Event records the outcome of one enqueued command.
+	Event = cl.Event
+	// MemFlags mirror cl_mem_flags.
+	MemFlags = cl.MemFlags
+	// DeviceInfo mirrors clGetDeviceInfo.
+	DeviceInfo = cl.DeviceInfo
+	// KernelWorkGroupInfo mirrors clGetKernelWorkGroupInfo.
+	KernelWorkGroupInfo = cl.KernelWorkGroupInfo
+	// ProfilingInfo mirrors clGetEventProfilingInfo.
+	ProfilingInfo = cl.ProfilingInfo
+
+	// Device is the execution-device abstraction (CPU cluster views
+	// and the Mali GPU implement it).
+	Device = device.Device
+	// Report is the timing/activity outcome of one enqueue.
+	Report = device.Report
+
+	// Measurement is the outcome of a metered experiment on the
+	// simulated Yokogawa WT230.
+	Measurement = power.Measurement
+	// Activity summarizes what the SoC did during a measured region.
+	Activity = power.Activity
+	// Meter is the simulated power meter.
+	Meter = power.Meter
+
+	// RunKind tells MeasureKind which units were active.
+	RunKind = core.RunKind
+)
+
+// Buffer creation flags.
+const (
+	MemReadWrite      = cl.MemReadWrite
+	MemReadOnly       = cl.MemReadOnly
+	MemWriteOnly      = cl.MemWriteOnly
+	MemUseHostPtr     = cl.MemUseHostPtr
+	MemAllocHostPtr   = cl.MemAllocHostPtr
+	MemCopyHostPtr    = cl.MemCopyHostPtr
+	DefaultArenaBytes = cl.DefaultArenaBytes
+)
+
+// Run kinds for MeasureKind.
+const (
+	CPURun = core.CPURun
+	GPURun = core.GPURun
+)
+
+// NewContext creates a standalone context from functional options
+// (cl.WithDevices / cl.WithArenaBytes / cl.WithWorkers re-exported as
+// ContextDevices / ContextArenaBytes / ContextWorkers) for callers
+// that don't want a full Platform.
+func NewContext(opts ...ContextOption) *Context { return cl.NewContextWith(opts...) }
+
+// ContextDevices sets a standalone context's devices.
+func ContextDevices(devices ...Device) ContextOption { return cl.WithDevices(devices...) }
+
+// ContextArenaBytes sets a standalone context's memory capacity.
+func ContextArenaBytes(n int64) ContextOption { return cl.WithArenaBytes(n) }
+
+// ContextWorkers sets a standalone context's engine worker count.
+func ContextWorkers(n int) ContextOption { return cl.WithWorkers(n) }
+
+// GetDeviceInfo mirrors clGetDeviceInfo for any platform device.
+func GetDeviceInfo(d Device) DeviceInfo { return cl.GetDeviceInfo(d) }
+
+// NewMeter creates a standalone power meter with the default 10 Hz
+// sampling rate; NewMeterRate sets a custom rate.
+func NewMeter(seed uint64) *Meter { return power.NewMeter(seed) }
+
+// NewMeterRate creates a power meter sampling at hz.
+func NewMeterRate(seed uint64, hz float64) *Meter { return power.NewMeterRate(seed, hz) }

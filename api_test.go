@@ -1,0 +1,129 @@
+package maligo_test
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"maligo"
+)
+
+const saxpySrc = `
+__kernel void saxpy(__global const float* x,
+                    __global float* y,
+                    const float a,
+                    const uint n) {
+    size_t i = get_global_id(0);
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+`
+
+// saxpyRun executes one measured saxpy region on a fresh platform with
+// the given engine worker count and returns the output bytes and the
+// measurement.
+func saxpyRun(t *testing.T, workers int) ([]byte, maligo.Measurement, maligo.Activity) {
+	t.Helper()
+	const n = 1 << 14
+	p := maligo.NewPlatform(maligo.WithWorkers(workers))
+	defer p.Close()
+	ctx := p.Context
+
+	prog := ctx.CreateProgramWithSource(saxpySrc)
+	if err := prog.Build(""); err != nil {
+		t.Fatalf("build: %v\n%s", err, prog.BuildLog())
+	}
+	kernel, err := prog.CreateKernel("saxpy")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	host := make([]byte, n*4)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(host[i*4:], math.Float32bits(float32(i)))
+	}
+	bufX, err := ctx.CreateBuffer(maligo.MemReadOnly|maligo.MemCopyHostPtr, n*4, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufY, err := ctx.CreateBuffer(maligo.MemReadWrite|maligo.MemCopyHostPtr, n*4, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernel.SetArgBuffer(0, bufX)
+	kernel.SetArgBuffer(1, bufY)
+	kernel.SetArgFloat(2, 2.5)
+	kernel.SetArgInt(3, n)
+
+	q := ctx.CreateCommandQueue(p.Mali())
+	if _, err := q.EnqueueNDRangeKernel(kernel, 1, []int{n}, []int{64}); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	q.Finish()
+	meas, act := p.Measure(q)
+
+	out := make([]byte, n*4)
+	if _, err := q.EnqueueReadBuffer(bufY, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got := math.Float32frombits(binary.LittleEndian.Uint32(out[i*4:]))
+		want := 2.5*float32(i) + float32(i)
+		if got != want {
+			t.Fatalf("y[%d] = %g, want %g", i, got, want)
+		}
+	}
+	return out, meas, act
+}
+
+// TestPublicAPIDeterminism drives the whole public surface — platform
+// options, buffers, kernels, queue, Measure — and checks the serial
+// and sharded engines agree bit for bit on output and measurement.
+func TestPublicAPIDeterminism(t *testing.T) {
+	serialOut, serialMeas, serialAct := saxpyRun(t, 1)
+	shardedOut, shardedMeas, shardedAct := saxpyRun(t, 4)
+
+	for i := range serialOut {
+		if serialOut[i] != shardedOut[i] {
+			t.Fatalf("output differs at byte %d", i)
+		}
+	}
+	if serialMeas != shardedMeas {
+		t.Errorf("measurements differ:\n serial:  %+v\n sharded: %+v", serialMeas, shardedMeas)
+	}
+	if serialAct != shardedAct {
+		t.Errorf("activity differs:\n serial:  %+v\n sharded: %+v", serialAct, shardedAct)
+	}
+	if serialMeas.EnergyJ <= 0 || serialMeas.MeanPowerW <= 0 {
+		t.Errorf("implausible measurement: %+v", serialMeas)
+	}
+}
+
+// TestPlatformOptions checks the remaining NewPlatform options take
+// effect through the façade.
+func TestPlatformOptions(t *testing.T) {
+	p := maligo.NewPlatform(
+		maligo.WithArenaBytes(1<<22),
+		maligo.WithWorkers(2),
+		maligo.WithMeterHz(100),
+		maligo.WithMeterSeed(7),
+	)
+	defer p.Close()
+	if got := p.Context.ArenaBytes(); got != 1<<22 {
+		t.Errorf("ArenaBytes = %d, want %d", got, 1<<22)
+	}
+	if got := p.Context.Workers(); got != 2 {
+		t.Errorf("Workers = %d, want 2", got)
+	}
+	if got := p.Meter.SampleHz(); got != 100 {
+		t.Errorf("SampleHz = %g, want 100", got)
+	}
+	info := p.Context.DeviceInfo(p.Mali())
+	if info.GlobalMemBytes != 1<<22 {
+		t.Errorf("DeviceInfo.GlobalMemBytes = %d, want %d", info.GlobalMemBytes, 1<<22)
+	}
+	if p.CPU() == nil || p.CPUDual() == nil || p.Mali() == nil {
+		t.Error("device accessors returned nil")
+	}
+}

@@ -8,16 +8,20 @@
 // Workloads run at a reduced scale by default so the whole suite
 // finishes in minutes; set -paperscale for the full sizes used by
 // EXPERIMENTS.md.
+//
+// Everything here goes through the public maligo API — the file
+// doubles as a compile-time check that the façade covers the whole
+// evaluation surface.
 package maligo_test
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
-	"maligo/internal/bench"
-	"maligo/internal/harness"
+	"maligo"
 )
 
 var paperScale = flag.Bool("paperscale", false, "run figure benchmarks at full paper-equivalent workload sizes")
@@ -29,18 +33,18 @@ func benchScale() float64 {
 	return 0.25
 }
 
-// figureResults caches one harness run per scale across benchmarks.
-var figureCache = map[float64]*harness.Results{}
+// figureCache caches one harness run per scale across benchmarks.
+var figureCache = map[float64]*maligo.Results{}
 
-func results(b *testing.B) *harness.Results {
+func results(b *testing.B) *maligo.Results {
 	b.Helper()
 	scale := benchScale()
 	if res, ok := figureCache[scale]; ok {
 		return res
 	}
-	cfg := harness.DefaultConfig()
+	cfg := maligo.DefaultExperimentConfig()
 	cfg.Scale = scale
-	res, err := harness.Run(cfg)
+	res, err := maligo.RunExperiments(cfg)
 	if err != nil {
 		b.Fatalf("harness: %v", err)
 	}
@@ -49,7 +53,7 @@ func results(b *testing.B) *harness.Results {
 }
 
 // reportFigure emits one figure's series as benchmark metrics.
-func reportFigure(b *testing.B, fig harness.Figure) {
+func reportFigure(b *testing.B, fig maligo.Figure) {
 	res := results(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -83,33 +87,33 @@ func shortCol(col string) string {
 
 // BenchmarkFigure2a reproduces Figure 2(a): single-precision speedup
 // over Serial for all nine benchmarks and three parallel versions.
-func BenchmarkFigure2a(b *testing.B) { reportFigure(b, harness.Fig2a) }
+func BenchmarkFigure2a(b *testing.B) { reportFigure(b, maligo.Fig2a) }
 
 // BenchmarkFigure2b reproduces Figure 2(b): double-precision speedups,
 // including the amcd n/a cells and the nbody/2dcon fallbacks.
-func BenchmarkFigure2b(b *testing.B) { reportFigure(b, harness.Fig2b) }
+func BenchmarkFigure2b(b *testing.B) { reportFigure(b, maligo.Fig2b) }
 
 // BenchmarkFigure3a reproduces Figure 3(a): single-precision power
 // normalized to Serial.
-func BenchmarkFigure3a(b *testing.B) { reportFigure(b, harness.Fig3a) }
+func BenchmarkFigure3a(b *testing.B) { reportFigure(b, maligo.Fig3a) }
 
 // BenchmarkFigure3b reproduces Figure 3(b): double-precision power.
-func BenchmarkFigure3b(b *testing.B) { reportFigure(b, harness.Fig3b) }
+func BenchmarkFigure3b(b *testing.B) { reportFigure(b, maligo.Fig3b) }
 
 // BenchmarkFigure4a reproduces Figure 4(a): single-precision
 // energy-to-solution normalized to Serial.
-func BenchmarkFigure4a(b *testing.B) { reportFigure(b, harness.Fig4a) }
+func BenchmarkFigure4a(b *testing.B) { reportFigure(b, maligo.Fig4a) }
 
 // BenchmarkFigure4b reproduces Figure 4(b): double-precision
 // energy-to-solution.
-func BenchmarkFigure4b(b *testing.B) { reportFigure(b, harness.Fig4b) }
+func BenchmarkFigure4b(b *testing.B) { reportFigure(b, maligo.Fig4b) }
 
 // BenchmarkSummary reproduces the §V-D averages (8.7x speedup, 32%
 // energy, +31% OpenMP power, +7% OpenCL power).
 func BenchmarkSummary(b *testing.B) {
 	res := results(b)
 	b.ResetTimer()
-	var s harness.Summary
+	var s maligo.Summary
 	for i := 0; i < b.N; i++ {
 		s = res.Summarize()
 	}
@@ -127,15 +131,15 @@ func BenchmarkSummary(b *testing.B) {
 // kernel instructions per second for a representative compute kernel
 // (useful when tuning the VM).
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	cfg := harness.DefaultConfig()
+	cfg := maligo.DefaultExperimentConfig()
 	cfg.Scale = 0.1
 	cfg.Benchmarks = []string{"dmmm"}
-	cfg.Precisions = []bench.Precision{bench.F32}
+	cfg.Precisions = []maligo.Precision{maligo.F32}
 	cfg.Verify = false
 	b.ResetTimer()
 	var instrs uint64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.Run(cfg)
+		res, err := maligo.RunExperiments(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,19 +153,93 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	_ = instrs
 }
 
+// --- parallel execution engine --------------------------------------------
+
+// engineRun measures one conv2d+nbody harness pass with the given
+// worker count and returns total host wall-clock of the measured
+// regions plus the results for cross-checking.
+func engineRun(tb testing.TB, workers int) (float64, *maligo.Results) {
+	tb.Helper()
+	cfg := maligo.DefaultExperimentConfig()
+	cfg.Scale = benchScale()
+	cfg.Benchmarks = []string{"2dcon", "nbody"}
+	cfg.Precisions = []maligo.Precision{maligo.F32}
+	cfg.Workers = workers
+	res, err := maligo.RunExperiments(cfg)
+	if err != nil {
+		tb.Fatalf("harness(workers=%d): %v", workers, err)
+	}
+	var host float64
+	for _, c := range res.CellsSorted() {
+		if c.Supported {
+			host += c.HostSeconds
+		}
+	}
+	return host, res
+}
+
+// TestEngineSpeedup checks the point of the whole engine: with at
+// least four host CPUs, sharding conv2d+nbody across NumCPU workers
+// must cut host wall-clock at least 2x versus the serial engine while
+// every simulated number stays bit-identical.
+func TestEngineSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 host CPUs for a meaningful speedup bound, have %d", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("wall-clock comparison too slow for -short")
+	}
+	serialHost, serialRes := engineRun(t, 1)
+	shardedHost, shardedRes := engineRun(t, runtime.NumCPU())
+
+	for key, sc := range serialRes.Cells {
+		pc := shardedRes.Cells[key]
+		if pc == nil || sc.Supported != pc.Supported {
+			t.Fatalf("%s: cell mismatch", key)
+		}
+		if !sc.Supported {
+			continue
+		}
+		if sc.Seconds != pc.Seconds || sc.Power != pc.Power || sc.Activity != pc.Activity {
+			t.Errorf("%s: simulated results differ between engines", key)
+		}
+	}
+	speedup := serialHost / shardedHost
+	t.Logf("host wall-clock: serial %.2fs, %d workers %.2fs (%.2fx)",
+		serialHost, runtime.NumCPU(), shardedHost, speedup)
+	if speedup < 2 {
+		t.Errorf("engine speedup = %.2fx, want >= 2x with %d workers", speedup, runtime.NumCPU())
+	}
+}
+
+// BenchmarkEngineSerial measures host wall-clock of the conv2d+nbody
+// simulation on the serial engine.
+func BenchmarkEngineSerial(b *testing.B) { benchmarkEngine(b, 1) }
+
+// BenchmarkEngineParallel measures the same run sharded across all
+// host CPUs; compare ns/op against BenchmarkEngineSerial.
+func BenchmarkEngineParallel(b *testing.B) { benchmarkEngine(b, runtime.NumCPU()) }
+
+func benchmarkEngine(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		host, _ := engineRun(b, workers)
+		b.ReportMetric(host, "host-sec/run")
+	}
+}
+
 // --- per-optimization ablation benches (DESIGN.md §5) -----------------------
 
 // ablationRun measures one benchmark version pair and reports the
 // ratio as a metric.
-func ablationRun(b *testing.B, name string, prec bench.Precision) {
+func ablationRun(b *testing.B, name string, prec maligo.Precision) {
 	res := results(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = res.Speedup(name, prec, bench.OpenCLOpt)
+		_ = res.Speedup(name, prec, maligo.OpenCLOpt)
 	}
 	b.StopTimer()
-	cl := res.Speedup(name, prec, bench.OpenCL)
-	opt := res.Speedup(name, prec, bench.OpenCLOpt)
+	cl := res.Speedup(name, prec, maligo.OpenCL)
+	opt := res.Speedup(name, prec, maligo.OpenCLOpt)
 	if !math.IsNaN(cl) && !math.IsNaN(opt) && cl > 0 {
 		b.ReportMetric(opt/cl, "opt-vs-naive-x")
 		b.ReportMetric(opt, "opt-vs-serial-x")
@@ -170,23 +248,23 @@ func ablationRun(b *testing.B, name string, prec bench.Precision) {
 
 // BenchmarkAblationVectorization isolates the vectorization payoff on
 // the bandwidth-bound vecop (vload4/vstore4 vs scalar).
-func BenchmarkAblationVectorization(b *testing.B) { ablationRun(b, "vecop", bench.F32) }
+func BenchmarkAblationVectorization(b *testing.B) { ablationRun(b, "vecop", maligo.F32) }
 
 // BenchmarkAblationPrivatization isolates local-memory privatization
 // on hist (local atomics vs contended global atomics).
-func BenchmarkAblationPrivatization(b *testing.B) { ablationRun(b, "hist", bench.F32) }
+func BenchmarkAblationPrivatization(b *testing.B) { ablationRun(b, "hist", maligo.F32) }
 
 // BenchmarkAblationUnrollTiling isolates register blocking + unrolling
 // on dmmm.
-func BenchmarkAblationUnrollTiling(b *testing.B) { ablationRun(b, "dmmm", bench.F32) }
+func BenchmarkAblationUnrollTiling(b *testing.B) { ablationRun(b, "dmmm", maligo.F32) }
 
 // BenchmarkAblationHostMemory measures §III-A's copy-vs-map host
 // memory strategies.
 func BenchmarkAblationHostMemory(b *testing.B) {
-	var res harness.HostMemResult
+	var res maligo.HostMemResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = harness.RunHostMemAblation(1 << 18)
+		res, err = maligo.RunHostMemAblation(1 << 18)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -196,10 +274,10 @@ func BenchmarkAblationHostMemory(b *testing.B) {
 
 // BenchmarkAblationDataLayout measures §III-B's AoS-vs-SoA gap.
 func BenchmarkAblationDataLayout(b *testing.B) {
-	var res harness.LayoutResult
+	var res maligo.LayoutResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = harness.RunLayoutAblation(1 << 18)
+		res, err = maligo.RunLayoutAblation(1 << 18)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -14,8 +14,7 @@ import (
 	"os"
 	"strings"
 
-	"maligo/internal/clc"
-	"maligo/internal/mali"
+	"maligo"
 )
 
 type defineFlags []string
@@ -42,7 +41,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	prog, err := clc.Compile(flag.Arg(0), string(src), defs.String())
+	prog, err := maligo.Compile(flag.Arg(0), string(src), defs.String())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), err)
 		os.Exit(1)
@@ -59,10 +58,10 @@ func main() {
 		}
 		fmt.Println()
 		if *check {
-			if err := mali.CheckResources(k); err != nil {
+			if err := maligo.CheckKernelResources(k); err != nil {
 				fmt.Printf("  !! %v\n", err)
 			} else {
-				fmt.Printf("  ok: %.0f register bytes/thread demanded\n", mali.RegisterDemand(k))
+				fmt.Printf("  ok: %.0f register bytes/thread demanded\n", maligo.KernelRegisterDemand(k))
 			}
 		}
 		if *dis {

@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	figures [-fig 2a|2b|3a|3b|4a|4b] [-summary] [-scale 1.0] [-bench name,...] [-v]
+//	figures [-fig 2a|2b|3a|3b|4a|4b] [-summary] [-scale 1.0] [-bench name,...] [-workers N] [-v]
 //
-// With no flags it renders everything (the full run takes a couple of
-// minutes: it executes every kernel instruction-by-instruction).
+// With no flags it renders everything. The simulation shards
+// work-groups across all host CPUs by default (-workers 1 forces the
+// serial engine; the rendered figures are identical either way).
 package main
 
 import (
@@ -17,8 +18,7 @@ import (
 	"os"
 	"strings"
 
-	"maligo/internal/bench"
-	"maligo/internal/harness"
+	"maligo"
 )
 
 func main() {
@@ -29,35 +29,37 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit all figure data as CSV instead of rendered tables")
 		scale   = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-equivalent sizes)")
 		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
+		workers = flag.Int("workers", 0, "engine worker goroutines (0 = all host CPUs, 1 = serial engine)")
 		verify  = flag.Bool("verify", true, "verify kernel results against host references")
 		verbose = flag.Bool("v", false, "also print raw per-configuration measurements")
 	)
 	flag.Parse()
 
 	if *ablate {
-		hm, err := harness.RunHostMemAblation(1 << 20)
+		hm, err := maligo.RunHostMemAblation(1 << 20)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-		lo, err := harness.RunLayoutAblation(1 << 20)
+		lo, err := maligo.RunLayoutAblation(1 << 20)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-		fmt.Print(harness.RenderAblations(hm, lo))
+		fmt.Print(maligo.RenderAblations(hm, lo))
 		return
 	}
 
-	cfg := harness.DefaultConfig()
+	cfg := maligo.DefaultExperimentConfig()
 	cfg.Scale = *scale
 	cfg.Verify = *verify
+	cfg.Workers = *workers
 	if *benches != "" {
 		cfg.Benchmarks = strings.Split(*benches, ",")
 	}
 	if *fig != "" {
 		valid := false
-		for _, f := range harness.Figures() {
+		for _, f := range maligo.Figures() {
 			if string(f) == *fig {
 				valid = true
 			}
@@ -66,15 +68,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown figure %q (want 2a, 2b, 3a, 3b, 4a or 4b)\n", *fig)
 			os.Exit(2)
 		}
-		prec := bench.F32
+		prec := maligo.F32
 		if strings.HasSuffix(*fig, "b") {
-			prec = bench.F64
+			prec = maligo.F64
 		}
-		cfg.Precisions = []bench.Precision{prec}
+		cfg.Precisions = []maligo.Precision{prec}
 	}
 
 	fmt.Fprintln(os.Stderr, "simulating… (every kernel runs instruction-by-instruction; paper scale takes ~2-3 minutes)")
-	res, err := harness.Run(cfg)
+	res, err := maligo.RunExperiments(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
@@ -85,7 +87,7 @@ func main() {
 		fmt.Print(res.CSV())
 	case *fig != "":
 		found := false
-		for _, f := range harness.Figures() {
+		for _, f := range maligo.Figures() {
 			if string(f) == *fig {
 				fmt.Print(res.FigureTable(f).Render())
 				found = true
@@ -109,13 +111,13 @@ func main() {
 				fmt.Printf("%-30s n/a (%s)\n", cellLabel(c), c.Reason)
 				continue
 			}
-			fmt.Printf("%-30s t=%9.3fms  P=%5.2f±%.3fW  E=%8.4fJ  kernels=%v\n",
-				cellLabel(c), c.Seconds*1000, c.Power.MeanPowerW, c.Power.StdPowerW,
+			fmt.Printf("%-30s t=%9.3fms  host=%7.1fms  P=%5.2f±%.3fW  E=%8.4fJ  kernels=%v\n",
+				cellLabel(c), c.Seconds*1000, c.HostSeconds*1000, c.Power.MeanPowerW, c.Power.StdPowerW,
 				c.Power.EnergyJ, c.Kernels)
 		}
 	}
 }
 
-func cellLabel(c *harness.Cell) string {
+func cellLabel(c *maligo.Cell) string {
 	return fmt.Sprintf("%s/%s/%s", c.Bench, c.Precision, c.Version)
 }

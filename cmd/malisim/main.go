@@ -4,66 +4,70 @@
 //
 // Usage:
 //
-//	malisim -bench dmmm [-version opt] [-prec single] [-scale 1.0]
+//	malisim -bench dmmm [-version opt] [-prec single] [-scale 1.0] [-workers N]
 //
 // Versions: serial, omp, cl, opt (paper names: Serial, OpenMP, OpenCL,
-// OpenCL Opt).
+// OpenCL Opt). -workers shards the simulation's work-groups across N
+// host CPUs (default all); the simulated results are identical, only
+// the host wall-clock changes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
-	"maligo/internal/bench"
-	"maligo/internal/harness"
+	"maligo"
 )
 
 func main() {
 	var (
-		name    = flag.String("bench", "", "benchmark: "+strings.Join(bench.Names(), ", "))
+		name    = flag.String("bench", "", "benchmark: "+strings.Join(maligo.BenchmarkNames(), ", "))
 		version = flag.String("version", "opt", "version: serial, omp, cl, opt")
 		prec    = flag.String("prec", "single", "precision: single or double")
 		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		workers = flag.Int("workers", 0, "engine worker goroutines (0 = all host CPUs, 1 = serial engine)")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, b := range bench.All() {
+		for _, b := range maligo.Benchmarks() {
 			fmt.Printf("%-7s %s\n", b.Name(), b.Description())
 		}
 		return
 	}
-	if bench.ByName(*name) == nil {
+	if maligo.BenchmarkByName(*name) == nil {
 		fmt.Fprintf(os.Stderr, "unknown benchmark %q; -list shows the choices\n", *name)
 		os.Exit(2)
 	}
-	p := bench.F32
+	p := maligo.F32
 	if strings.HasPrefix(*prec, "d") {
-		p = bench.F64
+		p = maligo.F64
 	}
-	var v bench.Version
+	var v maligo.Version
 	switch strings.ToLower(*version) {
 	case "serial":
-		v = bench.Serial
+		v = maligo.Serial
 	case "omp", "openmp":
-		v = bench.OpenMP
+		v = maligo.OpenMP
 	case "cl", "opencl":
-		v = bench.OpenCL
+		v = maligo.OpenCL
 	case "opt", "openclopt", "opencl-opt":
-		v = bench.OpenCLOpt
+		v = maligo.OpenCLOpt
 	default:
 		fmt.Fprintf(os.Stderr, "unknown version %q (serial, omp, cl, opt)\n", *version)
 		os.Exit(2)
 	}
 
-	cfg := harness.DefaultConfig()
+	cfg := maligo.DefaultExperimentConfig()
 	cfg.Scale = *scale
 	cfg.Benchmarks = []string{*name}
-	cfg.Precisions = []bench.Precision{p}
-	res, err := harness.Run(cfg)
+	cfg.Precisions = []maligo.Precision{p}
+	cfg.Workers = *workers
+	res, err := maligo.RunExperiments(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
@@ -74,7 +78,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "no result cell produced")
 		os.Exit(1)
 	}
-	fmt.Printf("benchmark      %s (%s)\n", *name, bench.ByName(*name).Description())
+	engineWorkers := *workers
+	if engineWorkers <= 0 {
+		engineWorkers = runtime.NumCPU()
+	}
+	fmt.Printf("benchmark      %s (%s)\n", *name, maligo.BenchmarkByName(*name).Description())
 	fmt.Printf("configuration  %s, %s precision, scale %g\n", v, p, *scale)
 	if !c.Supported {
 		fmt.Printf("status         n/a — %s\n", c.Reason)
@@ -84,7 +92,9 @@ func main() {
 	if c.FellBack {
 		fmt.Println("status         CL_OUT_OF_RESOURCES on the fully optimized kernel; fallback measured")
 	}
-	fmt.Printf("time           %.4f ms\n", c.Seconds*1000)
+	fmt.Printf("time           %.4f ms simulated\n", c.Seconds*1000)
+	fmt.Printf("host time      %.1f ms wall-clock (%d engine workers)\n",
+		c.HostSeconds*1000, engineWorkers)
 	fmt.Printf("power          %.3f W (σ %.4f over %d meter repetitions)\n",
 		c.Power.MeanPowerW, c.Power.StdPowerW, 20)
 	fmt.Printf("energy         %.5f J (σ %.6f)\n", c.Power.EnergyJ, c.Power.StdEnergyJ)
@@ -97,7 +107,7 @@ func main() {
 		fmt.Printf("CPU busy       %.4f core-seconds, utilization %.0f%%\n",
 			c.Activity.CPUBusyCoreSeconds, c.Activity.CPUUtil*100)
 	}
-	if base := res.Cell(*name, p, bench.Serial); base != nil && v != bench.Serial {
+	if base := res.Cell(*name, p, maligo.Serial); base != nil && v != maligo.Serial {
 		fmt.Printf("vs Serial      %.2fx speed, %.0f%% power, %.0f%% energy\n",
 			res.Speedup(*name, p, v), res.NormPower(*name, p, v)*100, res.NormEnergy(*name, p, v)*100)
 	}

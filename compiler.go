@@ -1,0 +1,35 @@
+package maligo
+
+import (
+	"maligo/internal/clc"
+	"maligo/internal/clc/ir"
+	"maligo/internal/mali"
+)
+
+// The offline-compiler surface: compile OpenCL C without a platform,
+// inspect per-kernel resource usage, and check kernels against the
+// Mali register budget — what ARM's offline kernel compiler does.
+type (
+	// CompiledProgram is a compiled OpenCL C program: kernels plus the
+	// __constant data segment.
+	CompiledProgram = ir.Program
+	// CompiledKernel is one lowered kernel with its resource counts
+	// (Code, NumI, NumF, RegBytes, LocalBytes, PrivateBytes,
+	// UsesBarrier, UsesDouble) and Disassemble method.
+	CompiledKernel = ir.Kernel
+)
+
+// Compile compiles OpenCL C source with clBuildProgram-style options
+// (e.g. "-DREAL=float"). filename only labels diagnostics.
+func Compile(filename, source, options string) (*CompiledProgram, error) {
+	return clc.Compile(filename, source, options)
+}
+
+// CheckKernelResources returns CL_OUT_OF_RESOURCES when the kernel
+// cannot be mapped onto the Mali-T604 register file — the failure mode
+// the paper's double-precision optimized kernels hit.
+func CheckKernelResources(k *CompiledKernel) error { return mali.CheckResources(k) }
+
+// KernelRegisterDemand estimates the per-thread register bytes the
+// Mali compiler would allocate for k.
+func KernelRegisterDemand(k *CompiledKernel) float64 { return mali.RegisterDemand(k) }

@@ -5,24 +5,60 @@
 // The original study needs a 2013 Samsung Exynos 5250 board with an
 // ARM Mali-T604 GPU, an OpenCL Full Profile driver and a bench power
 // meter. This module substitutes all of it with simulation built from
-// scratch on the Go standard library:
+// scratch on the Go standard library, behind one public package.
 //
-//   - internal/clc     — an OpenCL C compiler (preprocessor → lexer →
-//     parser → sema → IR with an optimizer),
-//   - internal/vm      — a register-machine interpreter executing
-//     kernels work-group by work-group with barriers and atomics,
-//   - internal/mali    — the Mali-T604 timing/energy model,
-//   - internal/cpu     — the Cortex-A15 timing/energy model,
-//   - internal/cl      — an OpenCL-style host runtime over unified
-//     memory,
-//   - internal/power   — the board power model and a simulated
-//     Yokogawa WT230 meter,
-//   - internal/bench   — the paper's nine benchmarks in four versions
-//     and two precisions,
-//   - internal/harness — the evaluation methodology regenerating every
-//     figure of the paper's §V.
+// # Quickstart
+//
+// A Platform is one simulated Arndale board: two Cortex-A15 device
+// views, the Mali-T604, unified memory and a power meter.
+//
+//	p := maligo.NewPlatform()
+//	defer p.Close()
+//	ctx := p.Context
+//
+//	prog := ctx.CreateProgramWithSource(src)
+//	if err := prog.Build(""); err != nil { ... }
+//	k, _ := prog.CreateKernel("saxpy")
+//
+//	buf, _ := ctx.CreateBuffer(maligo.MemReadWrite|maligo.MemAllocHostPtr, n*4, nil)
+//	k.SetArgBuffer(0, buf)
+//
+//	q := ctx.CreateCommandQueue(p.Mali())
+//	q.EnqueueNDRangeKernel(k, 1, []int{n}, []int{64})
+//	q.Finish()
+//	meas, act := p.Measure(q) // board power, energy, device activity
+//
+// NewPlatform takes functional options: WithArenaBytes sizes the
+// unified memory, WithMeterHz and WithMeterSeed configure the
+// simulated power meter, and WithWorkers sets the parallel NDRange
+// engine's host worker count.
+//
+// # The parallel execution engine
+//
+// Kernels execute instruction by instruction, so simulation cost
+// scales with the workload. The engine shards an NDRange's work-groups
+// across a pool of host CPUs (default runtime.NumCPU()): each worker
+// runs groups against the shared unified-memory arena while recording
+// its memory accesses into a trace, and the traces are replayed in
+// dispatch order into the stateful cache/DRAM model. Simulated timing,
+// power and energy are therefore bit-identical at every worker count —
+// only the simulator's own wall-clock changes. WithWorkers(1) forces
+// the serial engine; Queue.FinishCtx and EnqueueNDRangeKernelCtx
+// accept a context.Context for cancellation.
+//
+// # Reproducing the paper
+//
+// RunExperiments executes the paper's nine benchmarks (BenchmarkNames)
+// in four versions and two precisions and regenerates every figure of
+// §V; see ExperimentConfig, Results and Figures. The benchmarks in
+// bench_test.go expose the same matrix as `go test -bench` targets,
+// and the commands under cmd/ (malisim, figures, clc) wrap it all on
+// the command line.
+//
+// Compile gives direct access to the embedded OpenCL C compiler, and
+// CheckKernelResources applies the Mali register-budget model the
+// paper's optimization chapters revolve around.
 //
 // See README.md for usage, DESIGN.md for the architecture and
-// EXPERIMENTS.md for paper-versus-measured results. The benchmarks in
-// bench_test.go regenerate each figure as `go test -bench` targets.
+// EXPERIMENTS.md for paper-versus-measured results.
 package maligo

@@ -12,8 +12,7 @@ import (
 	"log"
 	"math"
 
-	"maligo/internal/cl"
-	"maligo/internal/core"
+	"maligo"
 )
 
 // One kernel per vector width; width 1 is the scalar baseline.
@@ -70,7 +69,7 @@ __kernel void triad16(__global const float* restrict a,
 const n = 1 << 19
 
 func main() {
-	p := core.NewPlatform()
+	p := maligo.NewPlatform()
 	ctx := p.Context
 	prog := ctx.CreateProgramWithSource(src)
 	if err := prog.Build(""); err != nil {
@@ -83,11 +82,11 @@ func main() {
 	fill(bufA, 1)
 	fill(bufB, 2)
 
-	q := ctx.CreateCommandQueue(p.GPU)
+	q := ctx.CreateCommandQueue(p.Mali())
 	widths := []int{1, 2, 4, 8, 16}
 	wgs := []int{32, 64, 128, 256}
 
-	fmt.Printf("triad c = a + s*b, n = %d floats on %s\n\n", n, p.GPU.Name())
+	fmt.Printf("triad c = a + s*b, n = %d floats on %s\n\n", n, p.Mali().Name())
 	fmt.Printf("%8s", "width\\wg")
 	for _, wg := range wgs {
 		fmt.Printf(" %9d", wg)
@@ -145,8 +144,8 @@ func main() {
 	fmt.Println("verified: c = a + 3b for all elements")
 }
 
-func mustBuf(ctx *cl.Context, size int64) *cl.Buffer {
-	b, err := ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, size, nil)
+func mustBuf(ctx *maligo.Context, size int64) *maligo.Buffer {
+	b, err := ctx.CreateBuffer(maligo.MemReadWrite|maligo.MemAllocHostPtr, size, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -159,7 +158,7 @@ func must(err error) {
 	}
 }
 
-func fill(buf *cl.Buffer, base float32) {
+func fill(buf *maligo.Buffer, base float32) {
 	raw, err := buf.Bytes(0, n*4)
 	if err != nil {
 		log.Fatal(err)
@@ -169,7 +168,7 @@ func fill(buf *cl.Buffer, base float32) {
 	}
 }
 
-func verify(bufA, bufB, bufC *cl.Buffer) {
+func verify(bufA, bufB, bufC *maligo.Buffer) {
 	a, _ := bufA.Bytes(0, n*4)
 	b, _ := bufB.Bytes(0, n*4)
 	c, _ := bufC.Bytes(0, n*4)

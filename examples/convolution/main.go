@@ -11,8 +11,7 @@ import (
 	"log"
 	"math"
 
-	"maligo/internal/cl"
-	"maligo/internal/core"
+	"maligo"
 )
 
 const src = `
@@ -61,7 +60,7 @@ __kernel void blur_vec(__global const float* restrict in,
 const dim = 256
 
 func main() {
-	p := core.NewPlatform()
+	p := maligo.NewPlatform()
 	ctx := p.Context
 	prog := ctx.CreateProgramWithSource(src)
 	if err := prog.Build(""); err != nil {
@@ -69,22 +68,22 @@ func main() {
 	}
 
 	side := dim + 4
-	bufIn, err := ctx.CreateBuffer(cl.MemReadOnly|cl.MemAllocHostPtr, int64(side*side*4), nil)
+	bufIn, err := ctx.CreateBuffer(maligo.MemReadOnly|maligo.MemAllocHostPtr, int64(side*side*4), nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	bufFilt, err := ctx.CreateBuffer(cl.MemReadOnly|cl.MemAllocHostPtr, 25*4, nil)
+	bufFilt, err := ctx.CreateBuffer(maligo.MemReadOnly|maligo.MemAllocHostPtr, 25*4, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	bufOut, err := ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, int64(side*side*4), nil)
+	bufOut, err := ctx.CreateBuffer(maligo.MemReadWrite|maligo.MemAllocHostPtr, int64(side*side*4), nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fillImage(bufIn, side)
 	fillGaussian(bufFilt)
 
-	args := func(k *cl.Kernel) {
+	args := func(k *maligo.Kernel) {
 		for i, set := range []func() error{
 			func() error { return k.SetArgBuffer(0, bufIn) },
 			func() error { return k.SetArgBuffer(1, bufFilt) },
@@ -98,7 +97,7 @@ func main() {
 	}
 
 	// Serial baseline on one Cortex-A15 core.
-	qCPU := ctx.CreateCommandQueue(p.CPU1)
+	qCPU := ctx.CreateCommandQueue(p.CPU())
 	ks, err := prog.CreateKernel("blur_serial")
 	if err != nil {
 		log.Fatal(err)
@@ -107,12 +106,12 @@ func main() {
 	if _, err := qCPU.EnqueueNDRangeKernel(ks, 1, []int{1}, []int{1}); err != nil {
 		log.Fatal(err)
 	}
-	mCPU, _ := p.Measure(qCPU, core.CPURun)
+	mCPU, _ := p.Measure(qCPU)
 	tCPU := qCPU.TotalSeconds()
 	ref := checksum(bufOut, side)
 
 	// Vectorized Mali kernel.
-	qGPU := ctx.CreateCommandQueue(p.GPU)
+	qGPU := ctx.CreateCommandQueue(p.Mali())
 	kv, err := prog.CreateKernel("blur_vec")
 	if err != nil {
 		log.Fatal(err)
@@ -121,7 +120,7 @@ func main() {
 	if _, err := qGPU.EnqueueNDRangeKernel(kv, 2, []int{dim / 4, dim}, []int{32, 4}); err != nil {
 		log.Fatal(err)
 	}
-	mGPU, _ := p.Measure(qGPU, core.GPURun)
+	mGPU, _ := p.Measure(qGPU)
 	tGPU := qGPU.TotalSeconds()
 	got := checksum(bufOut, side)
 
@@ -135,7 +134,7 @@ func main() {
 		tCPU/tGPU, mGPU.EnergyJ/mCPU.EnergyJ*100, got)
 }
 
-func fillImage(buf *cl.Buffer, side int) {
+func fillImage(buf *maligo.Buffer, side int) {
 	raw, err := buf.Bytes(0, int64(side*side*4))
 	if err != nil {
 		log.Fatal(err)
@@ -148,7 +147,7 @@ func fillImage(buf *cl.Buffer, side int) {
 	}
 }
 
-func fillGaussian(buf *cl.Buffer) {
+func fillGaussian(buf *maligo.Buffer) {
 	raw, err := buf.Bytes(0, 25*4)
 	if err != nil {
 		log.Fatal(err)
@@ -167,7 +166,7 @@ func fillGaussian(buf *cl.Buffer) {
 	}
 }
 
-func checksum(buf *cl.Buffer, side int) float64 {
+func checksum(buf *maligo.Buffer, side int) float64 {
 	raw, err := buf.Bytes(0, int64(side*side*4))
 	if err != nil {
 		log.Fatal(err)

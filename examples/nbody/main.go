@@ -10,8 +10,7 @@ import (
 	"log"
 	"math"
 
-	"maligo/internal/cl"
-	"maligo/internal/core"
+	"maligo"
 )
 
 const src = `
@@ -92,22 +91,22 @@ const (
 )
 
 func main() {
-	p := core.NewPlatform()
+	p := maligo.NewPlatform()
 	ctx := p.Context
 	prog := ctx.CreateProgramWithSource(src)
 	if err := prog.Build(""); err != nil {
 		log.Fatalf("build: %v", err)
 	}
-	q := ctx.CreateCommandQueue(p.GPU)
+	q := ctx.CreateCommandQueue(p.Mali())
 
 	// Two position/velocity buffer pairs, ping-ponged between steps.
-	var body, vel [2]*cl.Buffer
+	var body, vel [2]*maligo.Buffer
 	var err error
 	for s := 0; s < 2; s++ {
-		if body[s], err = ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, nBodies*4*4, nil); err != nil {
+		if body[s], err = ctx.CreateBuffer(maligo.MemReadWrite|maligo.MemAllocHostPtr, nBodies*4*4, nil); err != nil {
 			log.Fatal(err)
 		}
-		if vel[s], err = ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, nBodies*3*4, nil); err != nil {
+		if vel[s], err = ctx.CreateBuffer(maligo.MemReadWrite|maligo.MemAllocHostPtr, nBodies*3*4, nil); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -134,7 +133,7 @@ func main() {
 			cur = next
 		}
 		q.Finish()
-		m, _ := p.Measure(q, core.GPURun)
+		m, _ := p.Measure(q)
 		px, py, pz := momentum(body[cur], vel[cur])
 		fmt.Printf("%-11s %d bodies x %d steps: %7.3f ms, %.2f W, %.4f J,  |p| = %.3e\n",
 			kname, nBodies, steps, q.TotalSeconds()*1000, m.MeanPowerW, m.EnergyJ,
@@ -149,7 +148,7 @@ func must(err error) {
 }
 
 // initBodies places bodies deterministically on a perturbed shell.
-func initBodies(body, vel *cl.Buffer) {
+func initBodies(body, vel *maligo.Buffer) {
 	bb, err := body.Bytes(0, int64(nBodies*4*4))
 	if err != nil {
 		log.Fatal(err)
@@ -184,7 +183,7 @@ func initBodies(body, vel *cl.Buffer) {
 
 // momentum sums m·v over all bodies; it should stay near zero for a
 // symmetric system (the forces are equal and opposite).
-func momentum(body, vel *cl.Buffer) (px, py, pz float64) {
+func momentum(body, vel *maligo.Buffer) (px, py, pz float64) {
 	bb, _ := body.Bytes(0, int64(nBodies*4*4))
 	vb, _ := vel.Bytes(0, int64(nBodies*3*4))
 	getF := func(b []byte, i int) float64 {

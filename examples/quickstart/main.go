@@ -10,8 +10,7 @@ import (
 	"log"
 	"math"
 
-	"maligo/internal/cl"
-	"maligo/internal/core"
+	"maligo"
 )
 
 const kernelSrc = `
@@ -27,7 +26,7 @@ __kernel void saxpy(__global const float* x,
 `
 
 func main() {
-	p := core.NewPlatform()
+	p := maligo.NewPlatform()
 	ctx := p.Context
 
 	prog := ctx.CreateProgramWithSource(kernelSrc)
@@ -40,18 +39,18 @@ func main() {
 	}
 
 	const n = 1 << 16
-	bufX, err := ctx.CreateBuffer(cl.MemReadOnly|cl.MemAllocHostPtr, n*4, nil)
+	bufX, err := ctx.CreateBuffer(maligo.MemReadOnly|maligo.MemAllocHostPtr, n*4, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	bufY, err := ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, n*4, nil)
+	bufY, err := ctx.CreateBuffer(maligo.MemReadWrite|maligo.MemAllocHostPtr, n*4, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Zero-copy initialization through a mapping (no clEnqueueWrite
 	// copies — the Mali-recommended path).
-	q := ctx.CreateCommandQueue(p.GPU)
+	q := ctx.CreateCommandQueue(p.Mali())
 	xs, _, err := q.EnqueueMapBuffer(bufX, 0, n*4)
 	if err != nil {
 		log.Fatal(err)
@@ -100,8 +99,8 @@ func main() {
 		}
 	}
 
-	m, act := p.Measure(q, core.GPURun)
-	fmt.Printf("\nkernel time   %.3f ms on %s\n", ev.Seconds*1000, p.GPU.Name())
+	m, act := p.Measure(q)
+	fmt.Printf("\nkernel time   %.3f ms on %s\n", ev.Seconds*1000, p.Mali().Name())
 	fmt.Printf("board power   %.2f W (simulated WT230, σ %.4f)\n", m.MeanPowerW, m.StdPowerW)
 	fmt.Printf("energy        %.4f J for %.1f MB of DRAM traffic\n",
 		m.EnergyJ, float64(act.DRAMBytes)/1e6)

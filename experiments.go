@@ -1,0 +1,95 @@
+package maligo
+
+import (
+	"maligo/internal/bench"
+	"maligo/internal/harness"
+)
+
+// The paper-reproduction surface: the nine benchmarks of §IV and the
+// harness that regenerates every figure of §V.
+type (
+	// ExperimentConfig controls a harness run (scale, precisions,
+	// benchmark subset, engine workers).
+	ExperimentConfig = harness.Config
+	// Results holds every measured cell of a harness run.
+	Results = harness.Results
+	// Cell is one measured benchmark/precision/version configuration.
+	Cell = harness.Cell
+	// Figure names one of the paper's evaluation figures (2a…4b).
+	Figure = harness.Figure
+	// Table is a rendered figure.
+	Table = harness.Table
+	// Summary is the §V-D cross-benchmark averages.
+	Summary = harness.Summary
+	// HostMemResult is the §III-A host-memory ablation outcome.
+	HostMemResult = harness.HostMemResult
+	// LayoutResult is the §III-B layout ablation outcome.
+	LayoutResult = harness.LayoutResult
+
+	// Precision selects float or double kernels.
+	Precision = bench.Precision
+	// Version selects Serial, OpenMP, OpenCL or OpenCL Opt.
+	Version = bench.Version
+	// Benchmark is one of the paper's nine workloads.
+	Benchmark = bench.Benchmark
+	// RunInfo reports which kernels a benchmark run launched.
+	RunInfo = bench.RunInfo
+)
+
+// Precisions.
+const (
+	F32 = bench.F32
+	F64 = bench.F64
+)
+
+// Benchmark versions.
+const (
+	Serial    = bench.Serial
+	OpenMP    = bench.OpenMP
+	OpenCL    = bench.OpenCL
+	OpenCLOpt = bench.OpenCLOpt
+)
+
+// Evaluation figures (speedup, power, energy × single/double).
+const (
+	Fig2a = harness.Fig2a
+	Fig2b = harness.Fig2b
+	Fig3a = harness.Fig3a
+	Fig3b = harness.Fig3b
+	Fig4a = harness.Fig4a
+	Fig4b = harness.Fig4b
+)
+
+// DefaultExperimentConfig is the paper-scale configuration.
+func DefaultExperimentConfig() ExperimentConfig { return harness.DefaultConfig() }
+
+// RunExperiments executes the configured experiments.
+func RunExperiments(cfg ExperimentConfig) (*Results, error) { return harness.Run(cfg) }
+
+// Figures lists the paper's evaluation figures.
+func Figures() []Figure { return harness.Figures() }
+
+// RunHostMemAblation reruns the §III-A host-memory experiment
+// (explicit copies vs zero-copy mapping) on n elements.
+func RunHostMemAblation(n int) (HostMemResult, error) { return harness.RunHostMemAblation(n) }
+
+// RunLayoutAblation reruns the §III-B data-layout experiment on n
+// elements.
+func RunLayoutAblation(n int) (LayoutResult, error) { return harness.RunLayoutAblation(n) }
+
+// RenderAblations renders both ablation outcomes as text.
+func RenderAblations(hm HostMemResult, lo LayoutResult) string {
+	return harness.RenderAblations(hm, lo)
+}
+
+// Benchmarks returns fresh instances of the paper's nine benchmarks.
+func Benchmarks() []Benchmark { return bench.All() }
+
+// BenchmarkNames lists the benchmark names in paper order.
+func BenchmarkNames() []string { return bench.Names() }
+
+// BenchmarkByName returns a fresh benchmark by name (nil if unknown).
+func BenchmarkByName(name string) Benchmark { return bench.ByName(name) }
+
+// BenchmarkVersions lists the four versions every benchmark has.
+func BenchmarkVersions() []Version { return bench.Versions() }

@@ -1,0 +1,94 @@
+package bench_test
+
+import (
+	"bytes"
+	"testing"
+
+	"maligo/internal/bench"
+	"maligo/internal/cl"
+	"maligo/internal/cpu"
+	"maligo/internal/mali"
+)
+
+// benchState runs one benchmark's GPU versions in a context with the
+// given engine worker count and returns the final arena image plus the
+// NDRange event reports, in order.
+func benchState(t *testing.T, name string, workers int) ([]byte, []cl.Event) {
+	t.Helper()
+	b := bench.ByName(name)
+	if b == nil {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	gpu := mali.New()
+	ctx := cl.NewContextWith(
+		cl.WithDevices(cpu.New(1), cpu.New(2), gpu),
+		cl.WithWorkers(workers),
+	)
+	defer ctx.Close()
+	prog := ctx.CreateProgramWithSource(b.Source())
+	if err := prog.Build(bench.F32.BuildOptions()); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := b.Setup(ctx, bench.F32, testScale); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	q := ctx.CreateCommandQueue(gpu)
+	var events []cl.Event
+	for _, v := range []bench.Version{bench.OpenCL, bench.OpenCLOpt} {
+		if ok, _ := b.Supported(bench.F32, v); !ok {
+			continue
+		}
+		if _, err := b.Run(q, prog, v); err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if err := b.Verify(bench.F32); err != nil {
+			t.Fatalf("%s verification: %v", v, err)
+		}
+	}
+	for _, ev := range q.Events() {
+		events = append(events, *ev)
+	}
+	return ctx.Arena().Snapshot(), events
+}
+
+// TestArenaStateDeterminism runs GPU benchmark versions under the
+// serial and sharded engines and compares the entire unified-memory
+// arena byte for byte, plus every queue event's timing and report.
+// hist covers cross-group global atomics, 2dcon covers local-memory
+// tiling with barriers, red covers multi-pass reductions.
+func TestArenaStateDeterminism(t *testing.T) {
+	for _, name := range []string{"hist", "2dcon", "red"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			serialMem, serialEvents := benchState(t, name, 1)
+			shardedMem, shardedEvents := benchState(t, name, 4)
+
+			if !bytes.Equal(serialMem, shardedMem) {
+				diff := -1
+				for i := range serialMem {
+					if serialMem[i] != shardedMem[i] {
+						diff = i
+						break
+					}
+				}
+				t.Fatalf("arena contents differ (first at byte %d of %d)", diff, len(serialMem))
+			}
+			if len(serialEvents) != len(shardedEvents) {
+				t.Fatalf("event count differs: %d vs %d", len(serialEvents), len(shardedEvents))
+			}
+			for i := range serialEvents {
+				se, pe := serialEvents[i], shardedEvents[i]
+				if se.Kind != pe.Kind || se.Seconds != pe.Seconds || se.Bytes != pe.Bytes {
+					t.Errorf("event %d differs: %+v vs %+v", i, se, pe)
+				}
+				switch {
+				case se.Report == nil && pe.Report == nil:
+				case se.Report == nil || pe.Report == nil:
+					t.Errorf("event %d: report presence differs", i)
+				case *se.Report != *pe.Report:
+					t.Errorf("event %d reports differ:\n serial:  %+v\n sharded: %+v", i, *se.Report, *pe.Report)
+				}
+			}
+		})
+	}
+}

@@ -9,8 +9,11 @@
 package cl
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"maligo/internal/clc"
 	"maligo/internal/clc/ir"
@@ -50,19 +53,79 @@ const (
 	MemCopyHostPtr
 )
 
-// Context owns the unified memory arena shared by every device.
+// Context owns the unified memory arena shared by every device, plus
+// the host worker pool the execution engine shards work-groups onto.
 type Context struct {
 	arena   *mem.Arena
 	devices []device.Device
+	workers int
+
+	poolMu sync.Mutex
+	pool   *device.Pool
+	closed bool
+
+	// atomicsMu serializes read-modify-write cycles on the arena when
+	// work-groups execute concurrently (global atomics are the only
+	// cross-group write contention the benchmark kernels have).
+	atomicsMu sync.Mutex
 }
 
-// DefaultArenaBytes is the simulated memory capacity (the board has
-// 2 GB; the simulator reserves less).
+// DefaultArenaBytes is the default simulated memory capacity (the
+// board has 2 GB; the simulator reserves less). Override per context
+// with WithArenaBytes.
 const DefaultArenaBytes = 512 << 20
 
-// NewContext creates a context over the given devices.
+// ContextOption configures a context at creation.
+type ContextOption func(*contextConfig)
+
+type contextConfig struct {
+	devices    []device.Device
+	arenaBytes int64
+	workers    int
+}
+
+// WithDevices sets the context's devices.
+func WithDevices(devices ...device.Device) ContextOption {
+	return func(cfg *contextConfig) { cfg.devices = devices }
+}
+
+// WithArenaBytes sets the simulated unified-memory capacity;
+// n <= 0 selects DefaultArenaBytes.
+func WithArenaBytes(n int64) ContextOption {
+	return func(cfg *contextConfig) { cfg.arenaBytes = n }
+}
+
+// WithWorkers sets the host worker count for the parallel NDRange
+// engine; n <= 0 selects runtime.NumCPU(), n == 1 forces the serial
+// engine. Simulated reports are bit-identical at every worker count —
+// only host wall-clock changes.
+func WithWorkers(n int) ContextOption {
+	return func(cfg *contextConfig) { cfg.workers = n }
+}
+
+// NewContextWith creates a context from functional options.
+func NewContextWith(opts ...ContextOption) *Context {
+	cfg := contextConfig{arenaBytes: DefaultArenaBytes, workers: runtime.NumCPU()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.arenaBytes <= 0 {
+		cfg.arenaBytes = DefaultArenaBytes
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.NumCPU()
+	}
+	return &Context{
+		arena:   mem.NewArena(cfg.arenaBytes),
+		devices: cfg.devices,
+		workers: cfg.workers,
+	}
+}
+
+// NewContext creates a context over the given devices with default
+// arena capacity and runtime.NumCPU() engine workers.
 func NewContext(devices ...device.Device) *Context {
-	return &Context{arena: mem.NewArena(DefaultArenaBytes), devices: devices}
+	return NewContextWith(WithDevices(devices...))
 }
 
 // Devices returns the context's devices.
@@ -71,6 +134,40 @@ func (c *Context) Devices() []device.Device { return c.devices }
 // Arena exposes the unified memory (used by tests and examples to
 // inspect results without going through buffer reads).
 func (c *Context) Arena() *mem.Arena { return c.arena }
+
+// ArenaBytes returns the context's unified-memory capacity.
+func (c *Context) ArenaBytes() int64 { return c.arena.Capacity() }
+
+// Workers returns the engine worker count the context was created
+// with.
+func (c *Context) Workers() int { return c.workers }
+
+// enginePool lazily creates the shared worker pool. It returns nil
+// when the context is serial (workers <= 1) or already closed.
+func (c *Context) enginePool() *device.Pool {
+	c.poolMu.Lock()
+	defer c.poolMu.Unlock()
+	if c.closed || c.workers <= 1 {
+		return nil
+	}
+	if c.pool == nil {
+		c.pool = device.NewPool(c.workers)
+	}
+	return c.pool
+}
+
+// Close releases the context's worker pool. Enqueues after Close fall
+// back to the serial engine; Close is idempotent.
+func (c *Context) Close() {
+	c.poolMu.Lock()
+	pool := c.pool
+	c.pool = nil
+	c.closed = true
+	c.poolMu.Unlock()
+	if pool != nil {
+		pool.Close()
+	}
+}
 
 // Buffer is a cl_mem buffer object.
 type Buffer struct {
@@ -304,10 +401,14 @@ func (q *CommandQueue) Events() []*Event { return q.events }
 func (q *CommandQueue) ResetEvents() { q.events = nil }
 
 // memTarget adapts the context arena + a program's constant segment to
-// the VM's memory interface.
+// the VM's memory interface. Plain loads and stores go straight to the
+// arena — concurrent work-groups touch disjoint ranges — while atomics
+// serialize on the context mutex so read-modify-write cycles stay
+// atomic when groups execute in parallel.
 type memTarget struct {
 	arena    *mem.Arena
 	constant []byte
+	mu       *sync.Mutex
 }
 
 func (t *memTarget) LoadBits(space int, off int64, size int) (uint64, error) {
@@ -332,6 +433,10 @@ func (t *memTarget) StoreBits(space int, off int64, size int, bits uint64) error
 }
 
 func (t *memTarget) AtomicRMW(space int, off int64, size int, fn func(uint64) uint64) (uint64, error) {
+	if t.mu != nil {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+	}
 	old, err := t.LoadBits(space, off, size)
 	if err != nil {
 		return 0, err
@@ -344,6 +449,15 @@ func (t *memTarget) AtomicRMW(space int, off int64, size int, fn func(uint64) ui
 // Mali driver). Execution is synchronous in the simulator; the
 // returned event carries the timing report.
 func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, workDim int, global, local []int) (*Event, error) {
+	return q.EnqueueNDRangeKernelCtx(context.Background(), k, workDim, global, local)
+}
+
+// EnqueueNDRangeKernelCtx is EnqueueNDRangeKernel with cancellation:
+// ctx aborts a long simulation between work-groups. Work-groups are
+// sharded across the context's worker pool when it has more than one
+// worker; the simulated report is bit-identical to serial execution
+// either way.
+func (q *CommandQueue) EnqueueNDRangeKernelCtx(ctx context.Context, k *Kernel, workDim int, global, local []int) (*Event, error) {
 	for i, ok := range k.set {
 		if !ok {
 			return nil, fmt.Errorf("arg %d of kernel %s not set: %w", i, k.k.Name, ErrInvalidKernelArgs)
@@ -358,8 +472,14 @@ func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, workDim int, global, loca
 			ndr.Local[d] = local[d]
 		}
 	}
-	target := &memTarget{arena: q.ctx.arena, constant: k.prog.prog.ConstantData}
-	rep, err := q.dev.Run(ndr, target)
+	target := &memTarget{arena: q.ctx.arena, constant: k.prog.prog.ConstantData, mu: &q.ctx.atomicsMu}
+	var rep *device.Report
+	var err error
+	if cr, ok := q.dev.(device.ContextRunner); ok {
+		rep, err = cr.RunWith(device.RunConfig{Ctx: ctx, Pool: q.ctx.enginePool()}, ndr, target)
+	} else {
+		rep, err = q.dev.Run(ndr, target)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -419,6 +539,11 @@ func (q *CommandQueue) EnqueueUnmapMemObject(b *Buffer) *Event {
 // Finish drains the queue. The simulated queue executes synchronously,
 // so this only exists for API fidelity.
 func (q *CommandQueue) Finish() {}
+
+// FinishCtx drains the queue, honouring ctx. Commands execute
+// synchronously at enqueue time in the simulator, so this only
+// reports whether the caller's context is still live.
+func (q *CommandQueue) FinishCtx(ctx context.Context) error { return ctx.Err() }
 
 // TotalSeconds sums the duration of all recorded events.
 func (q *CommandQueue) TotalSeconds() float64 {

@@ -1,0 +1,209 @@
+package cl_test
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"maligo/internal/cl"
+	"maligo/internal/cpu"
+	"maligo/internal/mali"
+)
+
+// atomicKernel exercises the cross-group global-atomic path, the one
+// part of the parallel engine that must serialize on the context
+// mutex.
+const atomicKernel = `
+__kernel void count(__global int* sum) {
+    atomic_add(&sum[0], 1);
+}
+`
+
+func TestContextOptions(t *testing.T) {
+	gpu := mali.New()
+	ctx := cl.NewContextWith(
+		cl.WithDevices(gpu),
+		cl.WithArenaBytes(1<<20),
+		cl.WithWorkers(3),
+	)
+	defer ctx.Close()
+	if ctx.ArenaBytes() != 1<<20 {
+		t.Errorf("ArenaBytes = %d, want %d", ctx.ArenaBytes(), 1<<20)
+	}
+	if ctx.Workers() != 3 {
+		t.Errorf("Workers = %d, want 3", ctx.Workers())
+	}
+	info := ctx.DeviceInfo(gpu)
+	if info.GlobalMemBytes != 1<<20 || info.MaxAllocBytes != 1<<18 {
+		t.Errorf("DeviceInfo mem = %d/%d, want arena capacity and capacity/4", info.GlobalMemBytes, info.MaxAllocBytes)
+	}
+	if _, err := ctx.CreateBuffer(cl.MemReadWrite, 1<<21, nil); err == nil {
+		t.Error("allocation beyond the shrunken arena should fail")
+	}
+}
+
+func TestDefaultContextDefaults(t *testing.T) {
+	ctx := cl.NewContext(cpu.New(1))
+	defer ctx.Close()
+	if ctx.ArenaBytes() != cl.DefaultArenaBytes {
+		t.Errorf("ArenaBytes = %d, want DefaultArenaBytes", ctx.ArenaBytes())
+	}
+	if ctx.Workers() < 1 {
+		t.Errorf("Workers = %d, want >= 1", ctx.Workers())
+	}
+}
+
+// runScale runs the scale kernel over n floats in a context with the
+// given worker count and returns the result buffer plus the device
+// report of the NDRange event.
+func runScale(t *testing.T, workers, n int) ([]byte, *cl.Event) {
+	t.Helper()
+	gpu := mali.New()
+	ctx := cl.NewContextWith(cl.WithDevices(gpu), cl.WithWorkers(workers))
+	defer ctx.Close()
+	prog := ctx.CreateProgramWithSource(testKernel)
+	if err := prog.Build(""); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	k, _ := prog.CreateKernel("scale")
+
+	host := make([]byte, n*4)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(host[i*4:], math.Float32bits(float32(i)))
+	}
+	buf, err := ctx.CreateBuffer(cl.MemReadWrite|cl.MemCopyHostPtr, int64(n*4), host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SetArgBuffer(0, buf)
+	k.SetArgFloat(1, 2.0)
+	k.SetArgInt(2, int64(n))
+
+	q := ctx.CreateCommandQueue(gpu)
+	ev, err := q.EnqueueNDRangeKernel(k, 1, []int{n}, []int{64})
+	if err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	q.Finish()
+	out := make([]byte, n*4)
+	if _, err := q.EnqueueReadBuffer(buf, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	return out, ev
+}
+
+// TestParallelEnqueueMatchesSerial checks a sharded enqueue produces
+// the same memory contents and the same device report as the serial
+// engine, down to the last bit.
+func TestParallelEnqueueMatchesSerial(t *testing.T) {
+	const n = 4096
+	serialOut, serialEv := runScale(t, 1, n)
+	parallelOut, parallelEv := runScale(t, 4, n)
+
+	for i := 0; i < n; i++ {
+		s := binary.LittleEndian.Uint32(serialOut[i*4:])
+		p := binary.LittleEndian.Uint32(parallelOut[i*4:])
+		if s != p {
+			t.Fatalf("element %d: serial %08x vs parallel %08x", i, s, p)
+		}
+		want := math.Float32bits(float32(i) * 2)
+		if s != want {
+			t.Fatalf("element %d: got %08x, want %08x", i, s, want)
+		}
+	}
+	if *serialEv.Report != *parallelEv.Report {
+		t.Errorf("device reports differ:\n serial:   %+v\n parallel: %+v", *serialEv.Report, *parallelEv.Report)
+	}
+	if serialEv.Seconds != parallelEv.Seconds {
+		t.Errorf("event seconds differ: %.17g vs %.17g", serialEv.Seconds, parallelEv.Seconds)
+	}
+}
+
+// TestParallelGlobalAtomics checks that cross-group atomic_add under
+// the sharded engine still sums exactly.
+func TestParallelGlobalAtomics(t *testing.T) {
+	const n = 8192
+	gpu := mali.New()
+	ctx := cl.NewContextWith(cl.WithDevices(gpu), cl.WithWorkers(4))
+	defer ctx.Close()
+	prog := ctx.CreateProgramWithSource(atomicKernel)
+	if err := prog.Build(""); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	k, _ := prog.CreateKernel("count")
+	buf, err := ctx.CreateBuffer(cl.MemReadWrite, 4, make([]byte, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SetArgBuffer(0, buf)
+	q := ctx.CreateCommandQueue(gpu)
+	if _, err := q.EnqueueNDRangeKernel(k, 1, []int{n}, []int{64}); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	out := make([]byte, 4)
+	if _, err := q.EnqueueReadBuffer(buf, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(out); got != n {
+		t.Fatalf("atomic sum = %d, want %d", got, n)
+	}
+}
+
+// TestEnqueueCtxCancellation checks the context-aware enqueue and
+// finish paths surface cancellation.
+func TestEnqueueCtxCancellation(t *testing.T) {
+	gpu := mali.New()
+	clctx := cl.NewContextWith(cl.WithDevices(gpu), cl.WithWorkers(4))
+	defer clctx.Close()
+	prog := clctx.CreateProgramWithSource(testKernel)
+	if err := prog.Build(""); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	k, _ := prog.CreateKernel("scale")
+	buf, _ := clctx.CreateBuffer(cl.MemReadWrite, 1<<20, nil)
+	k.SetArgBuffer(0, buf)
+	k.SetArgFloat(1, 2.0)
+	k.SetArgInt(2, 1<<18)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := clctx.CreateCommandQueue(gpu)
+	if _, err := q.EnqueueNDRangeKernelCtx(ctx, k, 1, []int{1 << 18}, []int{64}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("enqueue with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if err := q.FinishCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FinishCtx = %v, want context.Canceled", err)
+	}
+	if err := q.FinishCtx(context.Background()); err != nil {
+		t.Fatalf("FinishCtx(background) = %v", err)
+	}
+}
+
+// TestContextCloseIdempotent checks Close is safe to repeat and that
+// enqueues after Close fall back to the serial engine rather than
+// panicking on a closed pool.
+func TestContextCloseIdempotent(t *testing.T) {
+	gpu := mali.New()
+	ctx := cl.NewContextWith(cl.WithDevices(gpu), cl.WithWorkers(4))
+	prog := ctx.CreateProgramWithSource(testKernel)
+	if err := prog.Build(""); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	k, _ := prog.CreateKernel("scale")
+	buf, _ := ctx.CreateBuffer(cl.MemReadWrite, 256*4, nil)
+	k.SetArgBuffer(0, buf)
+	k.SetArgFloat(1, 1.5)
+	k.SetArgInt(2, 256)
+	q := ctx.CreateCommandQueue(gpu)
+	if _, err := q.EnqueueNDRangeKernel(k, 1, []int{256}, []int{64}); err != nil {
+		t.Fatalf("enqueue before close: %v", err)
+	}
+
+	ctx.Close()
+	ctx.Close()
+	if _, err := q.EnqueueNDRangeKernel(k, 1, []int{256}, []int{64}); err != nil {
+		t.Fatalf("enqueue after close: %v", err)
+	}
+}

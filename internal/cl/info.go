@@ -62,6 +62,15 @@ func GetDeviceInfo(d device.Device) DeviceInfo {
 	return info
 }
 
+// DeviceInfo returns the descriptor for d sized to this context's
+// arena; the free function GetDeviceInfo reports the default capacity.
+func (c *Context) DeviceInfo(d device.Device) DeviceInfo {
+	info := GetDeviceInfo(d)
+	info.GlobalMemBytes = c.arena.Capacity()
+	info.MaxAllocBytes = c.arena.Capacity() / 4
+	return info
+}
+
 // KernelWorkGroupInfo mirrors clGetKernelWorkGroupInfo: per-kernel,
 // per-device launch guidance.
 type KernelWorkGroupInfo struct {

@@ -34,19 +34,49 @@ type Platform struct {
 	Meter   *power.Meter
 }
 
-// NewPlatform assembles a fresh board with cold caches.
-func NewPlatform() *Platform {
+// Options configures platform assembly. Zero values select the
+// defaults: DefaultArenaBytes, runtime.NumCPU() engine workers, meter
+// seed 1 at the WT230's 10 Hz.
+type Options struct {
+	// ArenaBytes is the simulated unified-memory capacity.
+	ArenaBytes int64
+	// Workers is the host worker count of the parallel NDRange engine;
+	// 1 forces the serial engine.
+	Workers int
+	// MeterSeed seeds the power meter's deterministic noise stream.
+	MeterSeed uint64
+	// MeterHz is the power meter's sampling rate.
+	MeterHz float64
+}
+
+// NewPlatform assembles a fresh board with cold caches and default
+// options.
+func NewPlatform() *Platform { return NewPlatformWith(Options{}) }
+
+// NewPlatformWith assembles a fresh board from options.
+func NewPlatformWith(o Options) *Platform {
 	cpu1 := cpu.New(1)
 	cpu2 := cpu.New(2)
 	gpu := mali.New()
+	seed := o.MeterSeed
+	if seed == 0 {
+		seed = 1
+	}
 	return &Platform{
-		CPU1:    cpu1,
-		CPU2:    cpu2,
-		GPU:     gpu,
-		Context: cl.NewContext(cpu1, cpu2, gpu),
-		Meter:   power.NewMeter(1),
+		CPU1: cpu1,
+		CPU2: cpu2,
+		GPU:  gpu,
+		Context: cl.NewContextWith(
+			cl.WithDevices(cpu1, cpu2, gpu),
+			cl.WithArenaBytes(o.ArenaBytes),
+			cl.WithWorkers(o.Workers),
+		),
+		Meter: power.NewMeterRate(seed, o.MeterHz),
 	}
 }
+
+// Close releases platform resources (the engine worker pool).
+func (p *Platform) Close() { p.Context.Close() }
 
 // Devices lists the platform's devices like clGetDeviceIDs would.
 func (p *Platform) Devices() []device.Device {

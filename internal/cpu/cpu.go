@@ -181,11 +181,19 @@ func threadSeconds(p *vm.Profile, o *observer) (seconds, util float64) {
 	return seconds, util
 }
 
-// Run implements device.Device. Work-groups are distributed
-// round-robin over the cores, modelling OpenMP static scheduling of
-// chunked loops (each chunk is one work-item in the CPU versions of
-// the benchmarks).
+// Run implements device.Device: serial, non-cancellable execution.
 func (c *CPU) Run(ndr *device.NDRange, gmem vm.GlobalMemory) (*device.Report, error) {
+	return c.RunWith(device.RunConfig{}, ndr, gmem)
+}
+
+// RunWith implements device.ContextRunner. Work-groups are distributed
+// round-robin over the modelled cores (OpenMP static scheduling of
+// chunked loops — each chunk is one work-item in the CPU versions of
+// the benchmarks). With a pool in rc, groups execute functionally in
+// parallel on the host while their memory traces are replayed through
+// the per-core cache hierarchies in dispatch order, keeping the report
+// bit-identical to serial execution.
+func (c *CPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMemory) (*device.Report, error) {
 	device.NormalizeLocal(c, ndr)
 	if err := device.ValidateNDRange(c, ndr); err != nil {
 		return nil, err
@@ -201,22 +209,32 @@ func (c *CPU) Run(ndr *device.NDRange, gmem vm.GlobalMemory) (*device.Report, er
 		}
 	}
 
-	wgIndex := 0
-	err := device.ForEachGroup(ndr, func(group [3]int) error {
-		core := wgIndex % c.cores
-		cfg := &vm.GroupConfig{
-			Kernel:     ndr.Kernel,
-			WorkDim:    ndr.WorkDim,
-			GroupID:    group,
-			LocalSize:  ndr.Local,
-			GlobalSize: ndr.Global,
-			Args:       ndr.Args,
-			Mem:        gmem,
-			Observer:   observers[core],
-		}
-		wgIndex++
-		return vm.RunGroup(cfg, &profiles[core])
-	})
+	var err error
+	if rc.Parallel() {
+		err = device.RunGroups(rc, ndr, gmem, func(gw *device.GroupWork) error {
+			core := gw.Index % c.cores
+			gw.Trace.Replay(observers[core])
+			gw.Trace.Release()
+			profiles[core].Add(&gw.Profile)
+			return nil
+		})
+	} else {
+		err = device.SerialGroups(rc, ndr, func(wgIndex int, group [3]int) error {
+			core := wgIndex % c.cores
+			cfg := &vm.GroupConfig{
+				Kernel:       ndr.Kernel,
+				WorkDim:      ndr.WorkDim,
+				GroupID:      group,
+				LocalSize:    ndr.Local,
+				GlobalSize:   ndr.Global,
+				GlobalOffset: ndr.Offset,
+				Args:         ndr.Args,
+				Mem:          gmem,
+				Observer:     observers[core],
+			}
+			return vm.RunGroup(cfg, &profiles[core])
+		})
+	}
 	if err != nil {
 		return nil, err
 	}

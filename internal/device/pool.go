@@ -1,0 +1,251 @@
+package device
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"maligo/internal/vm"
+)
+
+// Pool is a host-side worker pool that executes work-groups
+// concurrently. Workers are persistent goroutines so repeated enqueues
+// (the harness runs thousands of groups) don't pay goroutine startup.
+type Pool struct {
+	jobs    chan func()
+	workers int
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// NewPool creates a pool with the given number of workers; workers <= 0
+// selects runtime.NumCPU().
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	p := &Pool{jobs: make(chan func()), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the workers. Safe to call more than once; must not race
+// with submit.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		close(p.jobs)
+		p.wg.Wait()
+	})
+}
+
+// RunConfig carries the execution context of one enqueue: an optional
+// cancellation context and an optional worker pool. The zero value
+// means "serial, non-cancellable" — exactly the legacy Run behaviour.
+type RunConfig struct {
+	Ctx  context.Context
+	Pool *Pool
+}
+
+// Parallel reports whether this config asks for concurrent execution.
+func (rc RunConfig) Parallel() bool { return rc.Pool != nil && rc.Pool.workers > 1 }
+
+// Context returns rc.Ctx or context.Background().
+func (rc RunConfig) Context() context.Context {
+	if rc.Ctx != nil {
+		return rc.Ctx
+	}
+	return context.Background()
+}
+
+// ContextRunner is implemented by devices that support cancellable
+// and/or pool-parallel execution. Devices that only implement Run keep
+// working: the runtime falls back to serial execution for them.
+type ContextRunner interface {
+	RunWith(rc RunConfig, ndr *NDRange, mem vm.GlobalMemory) (*Report, error)
+}
+
+// GroupWork is one functionally-executed work-group: its profile and
+// its recorded memory trace, ready for cost accounting.
+type GroupWork struct {
+	// Index is the dispatch index (row-major group order).
+	Index int
+	// Group is the 3-D work-group ID.
+	Group [3]int
+	// Profile holds the group's instruction counts.
+	Profile vm.Profile
+	// Trace is the group's memory-event stream in program order. The
+	// consumer should Release it after replaying.
+	Trace *vm.Trace
+}
+
+// groupResult pairs a GroupWork with its execution error for the
+// ordered fan-in.
+type groupResult struct {
+	index int
+	gw    *GroupWork
+	err   error
+}
+
+// RunGroups executes every work-group of the NDRange on the pool,
+// recording each group's memory trace, and invokes consume for each
+// group strictly in dispatch (row-major) order. Consume runs on the
+// calling goroutine, so a stateful cost model (shared cache, miss
+// classifier) sees the exact access stream serial execution would have
+// produced — that is what keeps parallel reports bit-identical.
+//
+// Functional memory effects (stores, atomics) hit mem during the
+// concurrent phase in nondeterministic group order; this is sound for
+// data-parallel kernels, whose groups write disjoint ranges or combine
+// via commutative atomics. The first error, in dispatch order, is
+// returned — matching the serial engine's "stop at first failing
+// group" semantics.
+func RunGroups(rc RunConfig, ndr *NDRange, gmem vm.GlobalMemory, consume func(*GroupWork) error) error {
+	ctx, cancel := context.WithCancel(rc.Context())
+	defer cancel()
+	pool := rc.Pool
+
+	// Bound the number of in-flight groups (dispatched but not yet
+	// consumed) so trace memory stays proportional to the pool size
+	// even when one slow group stalls the ordered consumer.
+	window := 2 * pool.Workers()
+	sem := make(chan struct{}, window)
+	results := make(chan groupResult, window)
+
+	// Dispatcher: enumerate groups in row-major order, submitting each
+	// to the pool. Reports how many it dispatched so the fan-in knows
+	// when to stop, including after cancellation.
+	dispatchedCh := make(chan int, 1)
+	go func() {
+		dispatched := 0
+		_ = ForEachGroup(ndr, func(group [3]int) error {
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			idx := dispatched
+			g := group
+			pool.jobs <- func() {
+				res := groupResult{index: idx}
+				if err := ctx.Err(); err != nil {
+					res.err = err
+				} else {
+					tr := vm.NewTrace()
+					gw := &GroupWork{Index: idx, Group: g, Trace: tr}
+					cfg := &vm.GroupConfig{
+						Kernel:       ndr.Kernel,
+						WorkDim:      ndr.WorkDim,
+						GroupID:      g,
+						LocalSize:    ndr.Local,
+						GlobalSize:   ndr.Global,
+						GlobalOffset: ndr.Offset,
+						Args:         ndr.Args,
+						Mem:          gmem,
+						Observer:     tr,
+					}
+					res.gw = gw
+					res.err = vm.RunGroup(cfg, &gw.Profile)
+				}
+				results <- res
+			}
+			dispatched++
+			return nil
+		})
+		dispatchedCh <- dispatched
+	}()
+
+	// Ordered fan-in: consume results in dispatch-index order using a
+	// reorder buffer. firstErr keeps the lowest-index error, which is
+	// the one serial execution would have hit first.
+	pending := make(map[int]groupResult)
+	next, received := 0, 0
+	dispatchedTotal, haveTotal := 0, false
+	var firstErr error
+	errIndex := -1
+
+	fail := func(idx int, err error) {
+		if firstErr == nil || idx < errIndex {
+			firstErr, errIndex = err, idx
+		}
+		cancel()
+	}
+
+	for {
+		if haveTotal && received == dispatchedTotal {
+			break
+		}
+		select {
+		case n := <-dispatchedCh:
+			dispatchedTotal, haveTotal = n, true
+		case res := <-results:
+			received++
+			<-sem
+			if res.err != nil {
+				if res.gw != nil {
+					res.gw.Trace.Release()
+				}
+				// A Canceled error caused by our own internal cancel
+				// (after an earlier failure) is fallout, not a finding
+				// — it must not displace the real first error.
+				if !(errors.Is(res.err, context.Canceled) && rc.Context().Err() == nil) {
+					fail(res.index, res.err)
+				}
+				continue
+			}
+			if firstErr != nil {
+				res.gw.Trace.Release()
+				continue
+			}
+			pending[res.index] = res
+			for {
+				r, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				if err := consume(r.gw); err != nil {
+					fail(r.index, err)
+					break
+				}
+				next++
+			}
+		}
+	}
+	for _, r := range pending {
+		r.gw.Trace.Release()
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return rc.Context().Err()
+}
+
+// SerialGroups executes the NDRange's work-groups one at a time on the
+// calling goroutine, checking rc's context between groups. run is
+// invoked in dispatch order with the group's index and ID.
+func SerialGroups(rc RunConfig, ndr *NDRange, run func(index int, group [3]int) error) error {
+	ctx := rc.Ctx
+	idx := 0
+	return ForEachGroup(ndr, func(group [3]int) error {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		err := run(idx, group)
+		idx++
+		return err
+	})
+}

@@ -1,0 +1,209 @@
+package device_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"maligo/internal/clc"
+	"maligo/internal/clc/ir"
+	"maligo/internal/device"
+	"maligo/internal/vm"
+)
+
+// poolMem is a minimal GlobalMemory over one flat byte slice;
+// concurrent work-groups touch disjoint ranges so plain stores are
+// safe.
+type poolMem struct {
+	data []byte
+}
+
+func (m *poolMem) LoadBits(space int, off int64, size int) (uint64, error) {
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(m.data[off+int64(i)])
+	}
+	return v, nil
+}
+
+func (m *poolMem) StoreBits(space int, off int64, size int, bits uint64) error {
+	for i := 0; i < size; i++ {
+		m.data[off+int64(i)] = byte(bits >> (8 * uint(i)))
+	}
+	return nil
+}
+
+func (m *poolMem) AtomicRMW(space int, off int64, size int, fn func(uint64) uint64) (uint64, error) {
+	old, err := m.LoadBits(space, off, size)
+	if err != nil {
+		return 0, err
+	}
+	return old, m.StoreBits(space, off, size, fn(old))
+}
+
+const idKernel = `
+__kernel void ids(__global int* out) {
+    size_t i = get_global_id(0);
+    out[i] = (int)i;
+}
+`
+
+func compileKernel(t *testing.T, src, name string) *ir.Kernel {
+	t.Helper()
+	prog, err := clc.Compile("pool_test.cl", src, "")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	k := prog.Kernel(name)
+	if k == nil {
+		t.Fatalf("kernel %s not found", name)
+	}
+	return k
+}
+
+func idNDRange(t *testing.T, n, local int) *device.NDRange {
+	t.Helper()
+	k := compileKernel(t, idKernel, "ids")
+	return &device.NDRange{
+		Kernel:  k,
+		WorkDim: 1,
+		Global:  [3]int{n, 1, 1},
+		Local:   [3]int{local, 1, 1},
+		Args:    []vm.ArgValue{{Bits: ir.EncodeAddr(ir.SpaceGlobal, 0)}},
+	}
+}
+
+// TestRunGroupsOrdering checks that consume sees every group exactly
+// once, in dispatch order, regardless of the concurrent execution
+// order, and that the functional result lands in memory.
+func TestRunGroupsOrdering(t *testing.T) {
+	const n, local = 1024, 16
+	ndr := idNDRange(t, n, local)
+	mem := &poolMem{data: make([]byte, n*4)}
+
+	pool := device.NewPool(4)
+	defer pool.Close()
+
+	var order []int
+	var workItems uint64
+	err := device.RunGroups(device.RunConfig{Pool: pool}, ndr, mem, func(gw *device.GroupWork) error {
+		order = append(order, gw.Index)
+		workItems += gw.Profile.WorkItems
+		if gw.Trace.Len() == 0 {
+			t.Errorf("group %d: empty trace", gw.Index)
+		}
+		gw.Trace.Release()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunGroups: %v", err)
+	}
+	if len(order) != n/local {
+		t.Fatalf("consumed %d groups, want %d", len(order), n/local)
+	}
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("consume order[%d] = %d, want %d", i, idx, i)
+		}
+	}
+	if workItems != n {
+		t.Fatalf("profile work-items = %d, want %d", workItems, n)
+	}
+	for i := 0; i < n; i++ {
+		v, _ := mem.LoadBits(ir.SpaceGlobal, int64(i*4), 4)
+		if int(int32(v)) != i {
+			t.Fatalf("out[%d] = %d, want %d", i, int32(v), i)
+		}
+	}
+}
+
+// TestRunGroupsConsumeError checks that an error returned by consume
+// aborts the run and is reported.
+func TestRunGroupsConsumeError(t *testing.T) {
+	ndr := idNDRange(t, 256, 16)
+	mem := &poolMem{data: make([]byte, 256*4)}
+	pool := device.NewPool(4)
+	defer pool.Close()
+
+	boom := errors.New("boom")
+	calls := 0
+	err := device.RunGroups(device.RunConfig{Pool: pool}, ndr, mem, func(gw *device.GroupWork) error {
+		calls++
+		gw.Trace.Release()
+		if gw.Index == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls < 4 {
+		t.Fatalf("consume ran %d times, want at least 4 (groups 0..3)", calls)
+	}
+}
+
+// TestRunGroupsCancel checks that a cancelled context aborts the run
+// with the context's error.
+func TestRunGroupsCancel(t *testing.T) {
+	ndr := idNDRange(t, 1024, 16)
+	mem := &poolMem{data: make([]byte, 1024*4)}
+	pool := device.NewPool(2)
+	defer pool.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := device.RunGroups(device.RunConfig{Ctx: ctx, Pool: pool}, ndr, mem, func(gw *device.GroupWork) error {
+		gw.Trace.Release()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSerialGroupsOrderAndCancel checks the serial fallback's dispatch
+// order and its between-group cancellation point.
+func TestSerialGroupsOrderAndCancel(t *testing.T) {
+	ndr := idNDRange(t, 64, 16)
+	var order []int
+	err := device.SerialGroups(device.RunConfig{}, ndr, func(idx int, group [3]int) error {
+		order = append(order, idx)
+		if group[0] != idx {
+			t.Errorf("group[0] = %d at index %d", group[0], idx)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("SerialGroups: %v", err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("ran %d groups, want 4", len(order))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err = device.SerialGroups(device.RunConfig{Ctx: ctx}, ndr, func(idx int, group [3]int) error {
+		ran++
+		if ran == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d groups after cancel, want 2", ran)
+	}
+}
+
+// TestPoolCloseIdempotent checks Close can be called repeatedly.
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := device.NewPool(3)
+	if p.Workers() != 3 {
+		t.Fatalf("Workers = %d, want 3", p.Workers())
+	}
+	p.Close()
+	p.Close()
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"testing"
+
+	"maligo/internal/bench"
+)
+
+// TestParallelEngineDeterminism runs the same configurations on the
+// serial engine (Workers=1) and a sharded engine (Workers=4) and
+// demands bit-identical simulated results: time, the full power
+// measurement and all activity counters. Only HostSeconds may differ.
+// The subset covers the three interesting execution shapes: 2dcon
+// (local tiling + barriers), nbody (arithmetic-bound) and hist
+// (cross-group global atomics).
+func TestParallelEngineDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation matrix too slow for -short")
+	}
+	run := func(workers int) *Results {
+		cfg := DefaultConfig()
+		cfg.Scale = 0.25
+		cfg.Benchmarks = []string{"2dcon", "nbody", "hist"}
+		cfg.Precisions = []bench.Precision{bench.F32}
+		cfg.Workers = workers
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		return res
+	}
+	serial := run(1)
+	sharded := run(4)
+
+	if len(serial.Cells) != len(sharded.Cells) {
+		t.Fatalf("cell count differs: %d vs %d", len(serial.Cells), len(sharded.Cells))
+	}
+	for key, sc := range serial.Cells {
+		pc, ok := sharded.Cells[key]
+		if !ok {
+			t.Errorf("%s: missing in sharded run", key)
+			continue
+		}
+		if sc.Supported != pc.Supported || sc.FellBack != pc.FellBack {
+			t.Errorf("%s: support/fallback flags differ", key)
+			continue
+		}
+		if !sc.Supported {
+			continue
+		}
+		if sc.Seconds != pc.Seconds {
+			t.Errorf("%s: simulated seconds differ: %.17g vs %.17g", key, sc.Seconds, pc.Seconds)
+		}
+		if sc.Power != pc.Power {
+			t.Errorf("%s: power measurement differs:\n serial:  %+v\n sharded: %+v", key, sc.Power, pc.Power)
+		}
+		if sc.Activity != pc.Activity {
+			t.Errorf("%s: activity differs:\n serial:  %+v\n sharded: %+v", key, sc.Activity, pc.Activity)
+		}
+		if sc.VerifyError != nil || pc.VerifyError != nil {
+			t.Errorf("%s: verification failed: serial=%v sharded=%v", key, sc.VerifyError, pc.VerifyError)
+		}
+	}
+}

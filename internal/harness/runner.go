@@ -8,6 +8,7 @@ package harness
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"maligo/internal/bench"
 	"maligo/internal/cl"
@@ -29,6 +30,11 @@ type Config struct {
 	Verify bool
 	// MeterSeed seeds the power-meter noise stream.
 	MeterSeed uint64
+	// Workers is the host worker count of the parallel NDRange engine;
+	// 0 selects runtime.NumCPU(), 1 forces the serial engine. The
+	// simulated results are bit-identical at every setting — Workers
+	// only changes how fast the simulation itself runs (HostSeconds).
+	Workers int
 }
 
 // DefaultConfig is the paper-scale configuration.
@@ -51,7 +57,11 @@ type Cell struct {
 	Supported bool
 	Reason    string // why unsupported
 
-	Seconds     float64
+	// Seconds is the simulated duration of the measured region.
+	Seconds float64
+	// HostSeconds is the host wall-clock the simulator itself spent on
+	// the measured run — what the parallel engine shrinks.
+	HostSeconds float64
 	Power       power.Measurement
 	FellBack    bool
 	Kernels     []string
@@ -144,7 +154,11 @@ func runBenchmark(cfg Config, res *Results, meter *power.Meter, name string, pre
 	cpu1 := cpu.New(1)
 	cpu2 := cpu.New(2)
 	gpu := mali.New()
-	ctx := cl.NewContext(cpu1, cpu2, gpu)
+	ctx := cl.NewContextWith(
+		cl.WithDevices(cpu1, cpu2, gpu),
+		cl.WithWorkers(cfg.Workers),
+	)
+	defer ctx.Close()
 
 	prog := ctx.CreateProgramWithSource(b.Source())
 	if err := prog.Build(prec.BuildOptions()); err != nil {
@@ -179,10 +193,12 @@ func runBenchmark(cfg Config, res *Results, meter *power.Meter, name string, pre
 		}
 		q.ResetEvents()
 
+		start := time.Now()
 		info, err := b.Run(q, prog, v)
 		if err != nil {
 			return fmt.Errorf("%s: %w", v, err)
 		}
+		cell.HostSeconds = time.Since(start).Seconds()
 		cell.FellBack = info.FellBack
 		cell.Kernels = info.Kernels
 

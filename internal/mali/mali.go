@@ -277,8 +277,17 @@ func groupCycles(k *ir.Kernel, p *vm.Profile, dramBytes uint64, nWI int, localAt
 	return wgCost{cycles: busy + overhead, arithSlots: alu, lsSlots: ls}
 }
 
-// Run implements device.Device.
+// Run implements device.Device: serial, non-cancellable execution.
 func (g *GPU) Run(ndr *device.NDRange, gmem vm.GlobalMemory) (*device.Report, error) {
+	return g.RunWith(device.RunConfig{}, ndr, gmem)
+}
+
+// RunWith implements device.ContextRunner. With a pool in rc,
+// work-groups execute functionally in parallel while their recorded
+// memory traces are replayed through the stateful L2/SCU model in
+// dispatch order — so the report is bit-identical to serial execution
+// regardless of worker count.
+func (g *GPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMemory) (*device.Report, error) {
 	k := ndr.Kernel
 	if k.UsesDouble && g.embedded {
 		return nil, fmt.Errorf("kernel %s uses double precision but device %s lacks cl_khr_fp64 (OpenCL Embedded Profile): %w",
@@ -307,32 +316,11 @@ func (g *GPU) Run(ndr *device.NDRange, gmem vm.GlobalMemory) (*device.Report, er
 		nWI *= ndr.Local[d]
 	}
 
-	wgIndex := 0
-	err := device.ForEachGroup(ndr, func(group [3]int) error {
-		prev := *total
-		prevDram := obs.dramBytes
-		prevLocalAtomics := obs.localAtomics
-		prevSeq, prevRnd := obs.seqMisses, obs.rndMisses
-		obs.localBase = (1 << 44) + uint64(wgIndex)*(1<<22)
-		obs.privateBase = (1 << 45) + uint64(wgIndex)*(1<<22)
-		cfg := &vm.GroupConfig{
-			Kernel:     k,
-			WorkDim:    ndr.WorkDim,
-			GroupID:    group,
-			LocalSize:  ndr.Local,
-			GlobalSize: ndr.Global,
-			Args:       ndr.Args,
-			Mem:        gmem,
-			Observer:   obs,
-		}
-		if err := vm.RunGroup(cfg, total); err != nil {
-			return err
-		}
-		delta := diffProfile(total, &prev)
-		cost := groupCycles(k, &delta, obs.dramBytes-prevDram, nWI,
-			obs.localAtomics-prevLocalAtomics,
-			obs.seqMisses-prevSeq, obs.rndMisses-prevRnd)
-
+	// account prices one work-group whose accesses have just passed
+	// through obs. It must run in dispatch order: the cache model, the
+	// miss classifier and the core scheduler are all stateful.
+	account := func(prof *vm.Profile, dram, localAtomics, seq, rnd uint64) {
+		cost := groupCycles(k, prof, dram, nWI, localAtomics, seq, rnd)
 		// Earliest-free core gets the group.
 		core := 0
 		for c := 1; c < platform.GPUCores; c++ {
@@ -345,9 +333,47 @@ func (g *GPU) Run(ndr *device.NDRange, gmem vm.GlobalMemory) (*device.Report, er
 		busyCycles += cost.cycles
 		arithSlots += cost.arithSlots
 		lsSlots += cost.lsSlots
-		wgIndex++
-		return nil
-	})
+		total.Add(prof)
+	}
+	beginGroup := func(wgIndex int) (dram, localAtomics, seq, rnd uint64) {
+		obs.localBase = (1 << 44) + uint64(wgIndex)*(1<<22)
+		obs.privateBase = (1 << 45) + uint64(wgIndex)*(1<<22)
+		return obs.dramBytes, obs.localAtomics, obs.seqMisses, obs.rndMisses
+	}
+
+	var err error
+	if rc.Parallel() {
+		err = device.RunGroups(rc, ndr, gmem, func(gw *device.GroupWork) error {
+			prevDram, prevLA, prevSeq, prevRnd := beginGroup(gw.Index)
+			gw.Trace.Replay(obs)
+			gw.Trace.Release()
+			account(&gw.Profile, obs.dramBytes-prevDram, obs.localAtomics-prevLA,
+				obs.seqMisses-prevSeq, obs.rndMisses-prevRnd)
+			return nil
+		})
+	} else {
+		err = device.SerialGroups(rc, ndr, func(wgIndex int, group [3]int) error {
+			prevDram, prevLA, prevSeq, prevRnd := beginGroup(wgIndex)
+			var prof vm.Profile
+			cfg := &vm.GroupConfig{
+				Kernel:       k,
+				WorkDim:      ndr.WorkDim,
+				GroupID:      group,
+				LocalSize:    ndr.Local,
+				GlobalSize:   ndr.Global,
+				GlobalOffset: ndr.Offset,
+				Args:         ndr.Args,
+				Mem:          gmem,
+				Observer:     obs,
+			}
+			if err := vm.RunGroup(cfg, &prof); err != nil {
+				return err
+			}
+			account(&prof, obs.dramBytes-prevDram, obs.localAtomics-prevLA,
+				obs.seqMisses-prevSeq, obs.rndMisses-prevRnd)
+			return nil
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -396,33 +422,4 @@ func (g *GPU) Run(ndr *device.NDRange, gmem vm.GlobalMemory) (*device.Report, er
 		DRAMBytes:       obs.dramBytes,
 		Profile:         *total,
 	}, nil
-}
-
-// diffProfile returns cur - prev field-wise.
-func diffProfile(cur, prev *vm.Profile) vm.Profile {
-	d := *cur
-	d.Instrs -= prev.Instrs
-	d.IntInstrs -= prev.IntInstrs
-	d.IntLanes -= prev.IntLanes
-	d.F32Instrs -= prev.F32Instrs
-	d.F32Lanes -= prev.F32Lanes
-	d.F64Instrs -= prev.F64Instrs
-	d.F64Lanes -= prev.F64Lanes
-	d.TranscInstr -= prev.TranscInstr
-	d.TranscLanes -= prev.TranscLanes
-	d.ArithSlots128 -= prev.ArithSlots128
-	d.LSSlots128 -= prev.LSSlots128
-	d.LSLanes -= prev.LSLanes
-	d.LoadInstrs -= prev.LoadInstrs
-	d.StoreInstrs -= prev.StoreInstrs
-	for i := range d.BytesRead {
-		d.BytesRead[i] -= prev.BytesRead[i]
-		d.BytesWritten[i] -= prev.BytesWritten[i]
-	}
-	d.PrivateAccesses -= prev.PrivateAccesses
-	d.Atomics -= prev.Atomics
-	d.Barriers -= prev.Barriers
-	d.WorkItems -= prev.WorkItems
-	d.WorkGroups -= prev.WorkGroups
-	return d
 }

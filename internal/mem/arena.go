@@ -69,6 +69,17 @@ func (a *Arena) Free(base int64) {
 	}
 }
 
+// Capacity returns the arena's total capacity in bytes.
+func (a *Arena) Capacity() int64 { return a.capacity }
+
+// Snapshot returns a copy of the arena's touched memory, for
+// comparing the full device-visible state of two runs byte by byte.
+func (a *Arena) Snapshot() []byte {
+	out := make([]byte, len(a.data))
+	copy(out, a.data)
+	return out
+}
+
 // InUse returns the bytes currently allocated.
 func (a *Arena) InUse() int64 {
 	var n int64

@@ -80,15 +80,30 @@ type Measurement struct {
 // deterministic xorshift so experiments are reproducible.
 type Meter struct {
 	seed uint64
+	hz   float64
 }
 
-// NewMeter creates a meter whose noise stream is derived from seed.
+// NewMeter creates a meter whose noise stream is derived from seed,
+// sampling at the platform's default rate (the WT230's 10 Hz).
 func NewMeter(seed uint64) *Meter {
+	return NewMeterRate(seed, platform.MeterSampleHz)
+}
+
+// NewMeterRate creates a meter with a custom sampling rate in Hz;
+// hz <= 0 selects the platform default. Higher rates model faster
+// acquisition hardware (more samples over short regions).
+func NewMeterRate(seed uint64, hz float64) *Meter {
 	if seed == 0 {
 		seed = 0x9E3779B97F4A7C15
 	}
-	return &Meter{seed: seed}
+	if hz <= 0 {
+		hz = platform.MeterSampleHz
+	}
+	return &Meter{seed: seed, hz: hz}
 }
+
+// SampleHz returns the meter's sampling rate.
+func (m *Meter) SampleHz() float64 { return m.hz }
 
 // next returns a uniform float64 in [0,1).
 func (m *Meter) next() float64 {
@@ -116,7 +131,7 @@ func (m *Meter) gauss() float64 {
 // meter integrating over the run would.
 func (m *Meter) Measure(a Activity) Measurement {
 	truePower := MeanPower(a)
-	samples := int(a.Seconds * platform.MeterSampleHz)
+	samples := int(a.Seconds * m.hz)
 	if samples < 1 {
 		samples = 1
 	}

@@ -1,0 +1,80 @@
+package vm
+
+import "sync"
+
+// traceRec is one recorded memory event. Records are 16 bytes so a
+// work-group's trace stays compact even for memory-heavy kernels.
+type traceRec struct {
+	addr  int64
+	size  uint16
+	space uint8
+	kind  uint8
+}
+
+// Record kinds.
+const (
+	recRead uint8 = iota
+	recWrite
+	recAtomic
+)
+
+// Trace records the exact sequence of memory events (loads, stores and
+// atomics) a work-group emits, in program order. It implements
+// AccessObserver, so a worker can execute a group against a Trace
+// instead of a device's stateful cache model, and the device can later
+// Replay the trace into that model on a single goroutine. Because the
+// serial engine interleaves nothing — it runs group 0's accesses, then
+// group 1's, and so on — replaying per-group traces in dispatch order
+// reproduces the serial access stream exactly, which is what keeps the
+// parallel engine's timing reports bit-identical to serial execution.
+type Trace struct {
+	recs []traceRec
+}
+
+// tracePool recycles record slices between work-groups; the parallel
+// engine churns through one Trace per group.
+var tracePool = sync.Pool{New: func() any { return new(Trace) }}
+
+// NewTrace returns an empty trace (possibly recycled).
+func NewTrace() *Trace {
+	t := tracePool.Get().(*Trace)
+	t.recs = t.recs[:0]
+	return t
+}
+
+// Release returns the trace to the recycle pool. The caller must not
+// use the trace afterwards.
+func (t *Trace) Release() {
+	if t != nil {
+		tracePool.Put(t)
+	}
+}
+
+// OnAccess implements AccessObserver.
+func (t *Trace) OnAccess(space int, addr int64, size int, write bool) {
+	kind := recRead
+	if write {
+		kind = recWrite
+	}
+	t.recs = append(t.recs, traceRec{addr: addr, size: uint16(size), space: uint8(space), kind: kind})
+}
+
+// OnAtomic implements AccessObserver.
+func (t *Trace) OnAtomic(space int, addr int64, size int) {
+	t.recs = append(t.recs, traceRec{addr: addr, size: uint16(size), space: uint8(space), kind: recAtomic})
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int { return len(t.recs) }
+
+// Replay feeds the recorded events into o in recording order.
+func (t *Trace) Replay(o AccessObserver) {
+	for i := range t.recs {
+		r := &t.recs[i]
+		if r.kind == recAtomic {
+			o.OnAtomic(int(r.space), r.addr, int(r.size))
+		} else {
+			o.OnAccess(int(r.space), r.addr, int(r.size), r.kind == recWrite)
+		}
+	}
+}

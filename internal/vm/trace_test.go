@@ -1,0 +1,157 @@
+package vm_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"maligo/internal/vm"
+)
+
+// recObserver records replayed callbacks verbatim.
+type recObserver struct {
+	events []traceEvent
+}
+
+type traceEvent struct {
+	space  int
+	addr   int64
+	size   int
+	write  bool
+	atomic bool
+}
+
+func (r *recObserver) OnAccess(space int, addr int64, size int, write bool) {
+	r.events = append(r.events, traceEvent{space: space, addr: addr, size: size, write: write})
+}
+
+func (r *recObserver) OnAtomic(space int, addr int64, size int) {
+	r.events = append(r.events, traceEvent{space: space, addr: addr, size: size, atomic: true})
+}
+
+// TestTraceReplayPreservesOrder records a mixed access sequence and
+// checks the replay delivers the same events in the same order.
+func TestTraceReplayPreservesOrder(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	tr := vm.NewTrace()
+	defer tr.Release()
+
+	var want []traceEvent
+	for i := 0; i < 10000; i++ {
+		ev := traceEvent{
+			space: rnd.Intn(4),
+			addr:  rnd.Int63n(1 << 40),
+			size:  1 << rnd.Intn(5),
+		}
+		switch rnd.Intn(3) {
+		case 0:
+			tr.OnAccess(ev.space, ev.addr, ev.size, false)
+		case 1:
+			ev.write = true
+			tr.OnAccess(ev.space, ev.addr, ev.size, true)
+		case 2:
+			ev.atomic = true
+			tr.OnAtomic(ev.space, ev.addr, ev.size)
+		}
+		want = append(want, ev)
+	}
+	if tr.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(want))
+	}
+
+	var got recObserver
+	tr.Replay(&got)
+	if len(got.events) != len(want) {
+		t.Fatalf("replayed %d events, want %d", len(got.events), len(want))
+	}
+	for i := range want {
+		if got.events[i] != want[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got.events[i], want[i])
+		}
+	}
+}
+
+// TestTraceRecycling checks a released trace comes back empty.
+func TestTraceRecycling(t *testing.T) {
+	tr := vm.NewTrace()
+	tr.OnAccess(0, 64, 4, true)
+	tr.Release()
+	tr2 := vm.NewTrace()
+	defer tr2.Release()
+	if tr2.Len() != 0 {
+		t.Fatalf("recycled trace has %d records, want 0", tr2.Len())
+	}
+}
+
+// randomProfile fills every numeric field of a Profile with random
+// values via reflection, so the permutation test cannot silently miss
+// fields added later.
+func randomProfile(rnd *rand.Rand) *vm.Profile {
+	p := &vm.Profile{}
+	v := reflect.ValueOf(p).Elem()
+	fillRandom(v, rnd)
+	return p
+}
+
+func fillRandom(v reflect.Value, rnd *rand.Rand) {
+	switch v.Kind() {
+	case reflect.Uint64:
+		v.SetUint(uint64(rnd.Intn(1 << 20)))
+	case reflect.Array, reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			fillRandom(v.Index(i), rnd)
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			fillRandom(v.Field(i), rnd)
+		}
+	}
+}
+
+// TestProfileAddPermutationInvariant checks that merging per-group
+// profiles is order-independent — the property the parallel engine
+// relies on to report identical totals for any execution order.
+func TestProfileAddPermutationInvariant(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rnd.Intn(32)
+		parts := make([]*vm.Profile, n)
+		for i := range parts {
+			parts[i] = randomProfile(rnd)
+		}
+
+		var inOrder vm.Profile
+		for _, p := range parts {
+			inOrder.Add(p)
+		}
+
+		perm := rnd.Perm(n)
+		var shuffled vm.Profile
+		for _, i := range perm {
+			shuffled.Add(parts[i])
+		}
+
+		if inOrder != shuffled {
+			t.Fatalf("trial %d: merge order changed totals:\n in-order: %+v\n shuffled: %+v",
+				trial, inOrder, shuffled)
+		}
+	}
+}
+
+// FuzzProfileAddCommutes fuzzes the two-profile case: a.Add(b) must
+// equal b.Add(a).
+func FuzzProfileAddCommutes(f *testing.F) {
+	f.Add(int64(1), int64(2))
+	f.Add(int64(-7), int64(1<<40))
+	f.Fuzz(func(t *testing.T, seedA, seedB int64) {
+		a1 := randomProfile(rand.New(rand.NewSource(seedA)))
+		b1 := randomProfile(rand.New(rand.NewSource(seedB)))
+		a2 := *a1
+		b2 := *b1
+		a1.Add(b1)  // a+b
+		b2.Add(&a2) // b+a
+		if *a1 != b2 {
+			t.Fatalf("Add not commutative:\n a+b: %+v\n b+a: %+v", *a1, b2)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package maligo
+
+import (
+	"maligo/internal/core"
+	"maligo/internal/cpu"
+	"maligo/internal/mali"
+)
+
+// Platform is one simulated Arndale board (Samsung Exynos 5250): two
+// Cortex-A15 device views, the Mali-T604 GPU, a context over their
+// shared unified memory, and the simulated power meter. It is the
+// entry point of the public API.
+type Platform struct {
+	*core.Platform
+}
+
+// Option configures NewPlatform.
+type Option func(*core.Options)
+
+// WithArenaBytes sets the simulated unified-memory capacity
+// (default 512 MiB).
+func WithArenaBytes(n int64) Option {
+	return func(o *core.Options) { o.ArenaBytes = n }
+}
+
+// WithWorkers sets the host worker count of the parallel NDRange
+// execution engine. The default (0) is runtime.NumCPU(); 1 forces the
+// serial engine. Simulated timing and energy reports are bit-identical
+// at every worker count — only the simulator's own wall-clock changes.
+func WithWorkers(n int) Option {
+	return func(o *core.Options) { o.Workers = n }
+}
+
+// WithMeterHz sets the power meter's sampling rate (default 10 Hz,
+// the Yokogawa WT230 the paper used).
+func WithMeterHz(hz float64) Option {
+	return func(o *core.Options) { o.MeterHz = hz }
+}
+
+// WithMeterSeed seeds the meter's deterministic noise stream.
+func WithMeterSeed(seed uint64) Option {
+	return func(o *core.Options) { o.MeterSeed = seed }
+}
+
+// NewPlatform assembles a fresh simulated board with cold caches.
+func NewPlatform(opts ...Option) *Platform {
+	var o core.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Platform{Platform: core.NewPlatformWith(o)}
+}
+
+// CPU returns the single-core Cortex-A15 device (the paper's Serial
+// target); CPUDual returns the two-core view (the OpenMP target).
+func (p *Platform) CPU() Device     { return p.Platform.CPU1 }
+func (p *Platform) CPUDual() Device { return p.Platform.CPU2 }
+
+// Mali returns the Mali-T604 GPU device.
+func (p *Platform) Mali() Device { return p.Platform.GPU }
+
+// Measure folds the events recorded on q since the last ResetEvents
+// into a board-level power/energy measurement, inferring from the
+// queue's device whether the region ran on the CPU cluster or on the
+// GPU (with the host spinning on clFinish).
+func (p *Platform) Measure(q *Queue) (Measurement, Activity) {
+	kind := core.CPURun
+	if _, ok := q.Device().(*mali.GPU); ok {
+		kind = core.GPURun
+	}
+	return p.Platform.Measure(q, kind)
+}
+
+// MeasureKind is Measure with the run kind stated explicitly.
+func (p *Platform) MeasureKind(q *Queue, kind RunKind) (Measurement, Activity) {
+	return p.Platform.Measure(q, kind)
+}
+
+// Close releases platform resources (the engine worker pool). Queues
+// created from the platform keep working afterwards on the serial
+// engine.
+func (p *Platform) Close() { p.Platform.Close() }
+
+// Compile-time checks that the devices still satisfy the public
+// Device surface.
+var (
+	_ Device = (*cpu.CPU)(nil)
+	_ Device = (*mali.GPU)(nil)
+)
