@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race short bench figures verify
+.PHONY: build vet test race short bench figures lint verify
 
 build:
 	$(GO) build ./...
@@ -24,8 +24,21 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
+# Static checks: Go hygiene plus the kernel linter over every tracked
+# .cl file. The golden corpus under testdata/analysis is excluded — it
+# intentionally contains positive findings and is locked down by the
+# analyzer's golden tests instead. The nine benchmarks' kernels are
+# embedded in Go and linted by TestKernelsLintClean.
+lint: vet
+	@fmtout="$$(gofmt -l . 2>/dev/null)"; \
+	if [ -n "$$fmtout" ]; then echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	@for f in $$(git ls-files '*.cl' | grep -v '^testdata/analysis/'); do \
+		echo "clc -analyze -Werror $$f"; \
+		$(GO) run ./cmd/clc -analyze -Werror -D REAL=float "$$f" || exit 1; \
+	done
+
 figures:
 	$(GO) run ./cmd/figures
 
 # Full verification: what CI runs.
-verify: build vet test race
+verify: build lint test race

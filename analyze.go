@@ -1,0 +1,62 @@
+package maligo
+
+import (
+	"maligo/internal/cl"
+	"maligo/internal/clc/analysis"
+	"maligo/internal/vm"
+)
+
+// The static-analysis surface: the kernel linter that checks OpenCL C
+// against the paper's Mali optimization techniques (vectorization,
+// const/restrict qualifiers, copy-to-local/private staging, SoA
+// layouts, register pressure) and diagnoses barrier divergence, static
+// intra-work-group races and out-of-bounds constant indices. The
+// dynamic half — cross-checking static race reports against executed
+// memory traces — hangs off Queue.SetRaceCheck and Event.RaceCheck.
+type (
+	// Diagnostic is one analyzer finding: position, severity, the pass
+	// that produced it, and a fix hint.
+	Diagnostic = analysis.Diagnostic
+	// Severity ranks diagnostics: Info < Warning < Error.
+	Severity = analysis.Severity
+	// AnalysisPass describes one registered lint or correctness pass.
+	AnalysisPass = analysis.Pass
+	// DataRace is one dynamically-observed intra-work-group race.
+	DataRace = vm.DataRace
+	// RaceCheckResult pairs static race diagnostics with the races the
+	// VM observed during an enqueue (Event.RaceCheck).
+	RaceCheckResult = cl.RaceCheckResult
+)
+
+// Diagnostic severities.
+const (
+	SevInfo    = analysis.Info
+	SevWarning = analysis.Warning
+	SevError   = analysis.Error
+)
+
+// Analyze runs every registered static-analysis pass over the given
+// OpenCL C source and returns the findings in source order. filename
+// only labels diagnostics; options are clBuildProgram-style.
+func Analyze(filename, source, options string) ([]Diagnostic, error) {
+	return analysis.AnalyzeSource(filename, source, options)
+}
+
+// AnalysisPasses lists the registered passes with their documentation.
+func AnalysisPasses() []AnalysisPass { return analysis.Passes() }
+
+// ParseSeverity converts "info", "warning" or "error" to a Severity.
+func ParseSeverity(s string) (Severity, error) { return analysis.ParseSeverity(s) }
+
+// FormatDiagnostics renders diagnostics one per line in
+// file:line:col: severity: [pass] message (hint) form.
+func FormatDiagnostics(diags []Diagnostic) string { return analysis.Format(diags) }
+
+// FormatDiagnosticsJSON renders diagnostics as a JSON array.
+func FormatDiagnosticsJSON(diags []Diagnostic) ([]byte, error) {
+	return analysis.FormatJSON(diags)
+}
+
+// MaxDiagnosticSeverity returns the highest severity present (Info for
+// an empty list) — the -Werror-style gate.
+func MaxDiagnosticSeverity(diags []Diagnostic) Severity { return analysis.MaxSeverity(diags) }

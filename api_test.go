@@ -3,6 +3,7 @@ package maligo_test
 import (
 	"encoding/binary"
 	"math"
+	"strings"
 	"testing"
 
 	"maligo"
@@ -125,5 +126,82 @@ func TestPlatformOptions(t *testing.T) {
 	}
 	if p.CPU() == nil || p.CPUDual() == nil || p.Mali() == nil {
 		t.Error("device accessors returned nil")
+	}
+}
+
+const racyKernelSrc = `
+__kernel void shift(__global float* out, __local float* tile) {
+    int lid = get_local_id(0);
+    tile[lid] = (float)lid;
+    out[get_global_id(0)] = tile[lid + 1];
+}
+`
+
+// TestAnalyzePublicAPI exercises the static-analysis surface: Analyze,
+// the severity gate, the formatters and the pass registry.
+func TestAnalyzePublicAPI(t *testing.T) {
+	diags, err := maligo.Analyze("saxpy.cl", saxpySrc, "")
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if maligo.MaxDiagnosticSeverity(diags) >= maligo.SevWarning {
+		t.Errorf("saxpy should lint clean at warning level: %s", maligo.FormatDiagnostics(diags))
+	}
+
+	diags, err = maligo.Analyze("racy.cl", racyKernelSrc, "")
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if maligo.MaxDiagnosticSeverity(diags) != maligo.SevError {
+		t.Fatalf("racy kernel must produce an error diagnostic, got:\n%s", maligo.FormatDiagnostics(diags))
+	}
+	text := maligo.FormatDiagnostics(diags)
+	if !strings.Contains(text, "[race]") || !strings.Contains(text, "racy.cl:") {
+		t.Errorf("formatted diagnostics missing pass tag or file: %s", text)
+	}
+	if raw, err := maligo.FormatDiagnosticsJSON(diags); err != nil || len(raw) == 0 {
+		t.Errorf("FormatDiagnosticsJSON: %v", err)
+	}
+	if len(maligo.AnalysisPasses()) < 6 {
+		t.Errorf("pass registry too small: %d", len(maligo.AnalysisPasses()))
+	}
+}
+
+// TestRaceCheckPublicAPI drives the dynamic confirmation tier through
+// the façade on the sharded engine: the queue records attributed
+// traces, the detector confirms the static report.
+func TestRaceCheckPublicAPI(t *testing.T) {
+	p := maligo.NewPlatform(maligo.WithWorkers(4))
+	defer p.Close()
+	ctx := p.Context
+
+	prog := ctx.CreateProgramWithSource(racyKernelSrc)
+	if err := prog.Build(""); err != nil {
+		t.Fatalf("build: %v\n%s", err, prog.BuildLog())
+	}
+	kernel, err := prog.CreateKernel("shift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, local = 64, 16
+	buf, err := ctx.CreateBuffer(maligo.MemReadWrite|maligo.MemAllocHostPtr, n*4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernel.SetArgBuffer(0, buf)
+	kernel.SetArgLocal(1, (local+1)*4)
+
+	q := ctx.CreateCommandQueue(p.Mali())
+	q.SetRaceCheck(true)
+	ev, err := q.EnqueueNDRangeKernel(kernel, 1, []int{n}, []int{local})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.RaceCheck == nil {
+		t.Fatal("race check enabled but event carries no result")
+	}
+	if len(ev.RaceCheck.Confirmed()) == 0 {
+		t.Fatalf("dynamic tier did not confirm the static race:\nstatic: %v\ndynamic: %v",
+			ev.RaceCheck.Static, ev.RaceCheck.Dynamic)
 	}
 }

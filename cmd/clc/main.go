@@ -3,15 +3,25 @@
 // (the numbers the Mali register-budget model uses), and optionally
 // the IR disassembly — a stand-in for ARM's offline kernel compiler.
 //
+// With -analyze it instead runs the static-analysis passes (Mali
+// optimization lints, barrier/race diagnostics) over one file or over
+// every .cl file in a directory, printing findings as text or JSON.
+//
 // Usage:
 //
 //	clc [-D NAME=VAL ...] [-dis] [-check] file.cl
+//	clc -analyze [-json] [-severity info|warning|error] [-Werror] [-D NAME=VAL ...] file.cl|dir
+//
+// In analyze mode the exit status is 1 when any finding at or above
+// the gate severity remains (error by default; warning with -Werror).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"maligo"
@@ -29,13 +39,21 @@ func main() {
 	var defs defineFlags
 	dis := flag.Bool("dis", false, "print IR disassembly")
 	check := flag.Bool("check", false, "check each kernel against the Mali register budget")
+	analyze := flag.Bool("analyze", false, "run the static-analysis passes instead of printing resources")
+	jsonOut := flag.Bool("json", false, "with -analyze: print findings as JSON")
+	minSev := flag.String("severity", "info", "with -analyze: lowest severity to report (info|warning|error)")
+	wError := flag.Bool("Werror", false, "with -analyze: exit nonzero on warnings, not just errors")
 	flag.Var(&defs, "D", "preprocessor definition NAME[=VALUE] (repeatable)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: clc [-D NAME=VAL] [-dis] [-check] file.cl")
+		fmt.Fprintln(os.Stderr, "usage: clc [-analyze] [-D NAME=VAL] [-dis] [-check] file.cl")
 		os.Exit(2)
 	}
+	if *analyze {
+		os.Exit(runAnalyze(flag.Arg(0), defs.String(), *minSev, *wError, *jsonOut))
+	}
+
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -71,4 +89,78 @@ func main() {
 	if n := len(prog.ConstantData); n > 0 {
 		fmt.Printf("constant segment: %d bytes\n", n)
 	}
+}
+
+// runAnalyze lints one .cl file, or every .cl file directly under a
+// directory, and returns the process exit code. Directory findings are
+// labeled with the base filename, so the output is independent of how
+// the directory path was spelled.
+func runAnalyze(target, options, minSev string, wError, jsonOut bool) int {
+	gate := maligo.SevError
+	if wError {
+		gate = maligo.SevWarning
+	}
+	floor, err := maligo.ParseSeverity(minSev)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	var files []string
+	if st, err := os.Stat(target); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	} else if st.IsDir() {
+		entries, err := os.ReadDir(target)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".cl") {
+				files = append(files, filepath.Join(target, e.Name()))
+			}
+		}
+		sort.Strings(files)
+		if len(files) == 0 {
+			fmt.Fprintf(os.Stderr, "no .cl files under %s\n", target)
+			return 1
+		}
+	} else {
+		files = []string{target}
+	}
+
+	var all []maligo.Diagnostic
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		diags, err := maligo.Analyze(filepath.Base(path), string(src), options)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			return 1
+		}
+		for _, d := range diags {
+			if d.Sev >= floor {
+				all = append(all, d)
+			}
+		}
+	}
+
+	if jsonOut {
+		raw, err := maligo.FormatDiagnosticsJSON(all)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Println(string(raw))
+	} else {
+		fmt.Print(maligo.FormatDiagnostics(all))
+	}
+	if len(all) > 0 && maligo.MaxDiagnosticSeverity(all) >= gate {
+		return 1
+	}
+	return 0
 }

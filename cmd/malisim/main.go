@@ -30,6 +30,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "workload scale factor")
 		workers = flag.Int("workers", 0, "engine worker goroutines (0 = all host CPUs, 1 = serial engine)")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
+		lint    = flag.Bool("lint", false, "run the kernel static analyzer over the benchmark's source (all benchmarks when -bench is empty) and exit")
 	)
 	flag.Parse()
 
@@ -39,13 +40,16 @@ func main() {
 		}
 		return
 	}
-	if maligo.BenchmarkByName(*name) == nil {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q; -list shows the choices\n", *name)
-		os.Exit(2)
-	}
 	p := maligo.F32
 	if strings.HasPrefix(*prec, "d") {
 		p = maligo.F64
+	}
+	if *lint {
+		os.Exit(runLint(*name, p))
+	}
+	if maligo.BenchmarkByName(*name) == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q; -list shows the choices\n", *name)
+		os.Exit(2)
 	}
 	var v maligo.Version
 	switch strings.ToLower(*version) {
@@ -111,4 +115,32 @@ func main() {
 		fmt.Printf("vs Serial      %.2fx speed, %.0f%% power, %.0f%% energy\n",
 			res.Speedup(*name, p, v), res.NormPower(*name, p, v)*100, res.NormEnergy(*name, p, v)*100)
 	}
+}
+
+// runLint analyzes the named benchmark's kernel source (or every
+// benchmark when name is empty) at the chosen precision and prints the
+// findings. Returns 1 when any error-severity diagnostic fires.
+func runLint(name string, p maligo.Precision) int {
+	benches := maligo.Benchmarks()
+	if name != "" {
+		b := maligo.BenchmarkByName(name)
+		if b == nil {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q; -list shows the choices\n", name)
+			return 2
+		}
+		benches = []maligo.Benchmark{b}
+	}
+	code := 0
+	for _, b := range benches {
+		diags, err := maligo.Analyze(b.Name()+".cl", b.Source(), p.BuildOptions())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", b.Name(), err)
+			return 1
+		}
+		fmt.Print(maligo.FormatDiagnostics(diags))
+		if len(diags) > 0 && maligo.MaxDiagnosticSeverity(diags) >= maligo.SevError {
+			code = 1
+		}
+	}
+	return code
 }

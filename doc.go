@@ -59,6 +59,30 @@
 // CheckKernelResources applies the Mali register-budget model the
 // paper's optimization chapters revolve around.
 //
+// # Kernel static analysis
+//
+// Analyze runs the kernel linter: a set of passes over the compiler's
+// typed AST and lowered IR that check OpenCL C against the paper's §V
+// optimization techniques (scalar loads in unit-stride loops that the
+// 128-bit pipes want vectorized, missing const/restrict qualifiers,
+// CPU-style copy-to-private staging that pessimizes Mali, AoS layouts,
+// short unrollable loops, register demand beyond the Mali budget) and
+// diagnose correctness hazards (barrier calls under divergent control
+// flow, static intra-work-group data races on affine indices,
+// out-of-bounds constant indices). Diagnostics carry a source
+// position, a severity and a fix hint; FormatDiagnostics and
+// FormatDiagnosticsJSON render them, MaxDiagnosticSeverity gates them,
+// and AnalysisPasses lists the registry. The same report is available
+// from a built Program via its Diagnostics method, and on the command
+// line as `clc -analyze` and `malisim -lint`.
+//
+// The race diagnostics have a dynamic confirmation tier:
+// Queue.SetRaceCheck(true) makes subsequent enqueues record
+// work-item-attributed memory traces, scan them for same-barrier-phase
+// conflicts in the VM, and attach a RaceCheckResult — the static
+// findings, the dynamically observed races (DataRace), and their
+// overlap via Confirmed — to the returned Event.
+//
 // See README.md for usage, DESIGN.md for the architecture and
 // EXPERIMENTS.md for paper-versus-measured results.
 package maligo

@@ -123,6 +123,7 @@ __kernel void amcd_serial(__global const REAL* pos0,
     }
 }
 
+// maligo:allow regbudget chunked kernel runs on the CPU device; the Mali register budget does not apply
 __kernel void amcd_chunk(__global const REAL* pos0,
                          __global REAL* energies,
                          __global uint* accepts,

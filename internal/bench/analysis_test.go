@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"maligo/internal/clc"
+	"maligo/internal/clc/analysis"
+)
+
+// TestKernelsLintClean runs every benchmark's kernel source through
+// the static analyzer at both precisions and requires that no
+// diagnostic of Warning severity or higher survives. Intentionally
+// unoptimized baseline kernels (the Serial/OpenMP/naive-port versions
+// the paper compares against) carry maligo:allow directives with the
+// reason; anything else that fires here is either a real defect in a
+// kernel or a false positive in a pass — both need fixing, not
+// silencing. Info-level notes (missing const/restrict on baselines)
+// are deliberate: the qualifier delta between the naive and optimized
+// versions is part of the experiment.
+func TestKernelsLintClean(t *testing.T) {
+	// The double-precision builds of the vectorized kernels are
+	// documented to blow the per-thread register budget — the paper's
+	// CL_OUT_OF_RESOURCES result. The analyzer must keep reproducing
+	// exactly those findings and nothing else.
+	type finding struct {
+		bench  string
+		prec   Precision
+		kernel string
+		pass   string
+	}
+	expected := map[finding]bool{
+		{"nbody", F64, "nbody_opt", "regbudget"}:  false,
+		{"2dcon", F64, "conv2d_opt", "regbudget"}: false,
+	}
+	for _, b := range All() {
+		for _, prec := range []Precision{F32, F64} {
+			art, err := clc.CompileArtifacts(b.Name()+".cl", b.Source(), prec.BuildOptions())
+			if err != nil {
+				t.Fatalf("%s (%v): compile: %v", b.Name(), prec, err)
+			}
+			for _, d := range analysis.Analyze(art) {
+				if d.Sev < analysis.Warning {
+					continue
+				}
+				key := finding{b.Name(), prec, d.Kernel, d.Pass}
+				if _, ok := expected[key]; ok {
+					expected[key] = true
+					continue
+				}
+				t.Errorf("%s (%v): unsuppressed %v: %v", b.Name(), prec, d.Sev, d)
+			}
+		}
+	}
+	for key, seen := range expected {
+		if !seen {
+			t.Errorf("expected diagnostic vanished: %s %v %s [%s]", key.bench, key.prec, key.kernel, key.pass)
+		}
+	}
+}
+
+// TestSaxpyLintClean keeps the tutorial kernel shipped under
+// testdata/ clean at Warning level.
+func TestSaxpyLintClean(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/saxpy.cl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.AnalyzeSource("saxpy.cl", string(src), "-DREAL=float")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Sev >= analysis.Warning {
+			t.Errorf("saxpy.cl: %v", d)
+		}
+	}
+}

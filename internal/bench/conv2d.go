@@ -58,6 +58,7 @@ REAL conv_at(__global const REAL* in,
     return acc;
 }
 
+// maligo:allow vectorize scalar reference kernel; conv2d_opt vectorizes the row loads (paper SV-B)
 __kernel void conv2d_serial(__global const REAL* in,
                             __global const REAL* filt,
                             __global REAL* out,
@@ -70,6 +71,7 @@ __kernel void conv2d_serial(__global const REAL* in,
     }
 }
 
+// maligo:allow vectorize scalar chunked kernel modelling the OpenMP CPU version
 __kernel void conv2d_chunk(__global const REAL* in,
                            __global const REAL* filt,
                            __global REAL* out,
@@ -168,6 +170,7 @@ __kernel void conv2d_opt(__global const REAL* restrict in,
 
 // Fallback for register-constrained configurations: two outputs per
 // work-item with REAL2 vectors.
+// maligo:allow vectorize the short filter-row loop reads __constant-sized data already in cache
 __kernel void conv2d_opt2(__global const REAL* restrict in,
                           __global const REAL* restrict filt,
                           __global REAL* restrict out,

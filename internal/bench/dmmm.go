@@ -32,6 +32,7 @@ func (d *dmmm) Description() string {
 
 func (d *dmmm) Source() string {
 	return `
+// maligo:allow vectorize scalar reference kernel; dmmm_opt vectorizes the dot products (paper SV-B)
 __kernel void dmmm_serial(__global const REAL* a,
                           __global const REAL* b,
                           __global REAL* c,
@@ -47,6 +48,7 @@ __kernel void dmmm_serial(__global const REAL* a,
     }
 }
 
+// maligo:allow vectorize scalar chunked kernel modelling the OpenMP CPU version
 __kernel void dmmm_chunk(__global const REAL* a,
                          __global const REAL* b,
                          __global REAL* c,
@@ -67,6 +69,7 @@ __kernel void dmmm_chunk(__global const REAL* a,
     }
 }
 
+// maligo:allow vectorize straightforward port kept scalar on purpose; the opt version uses vload4 (paper SV-B)
 __kernel void dmmm_cl(__global const REAL* a,
                       __global const REAL* b,
                       __global REAL* c,

@@ -36,6 +36,7 @@ func (h *hist) Source() string {
 	return `
 #define NBINS 256
 
+// maligo:allow vectorize scalar reference kernel; bin updates are data-dependent
 __kernel void hist_serial(__global const int* data,
                           __global int* bins,
                           const uint n) {
@@ -51,6 +52,7 @@ __kernel void hist_serial(__global const int* data,
     }
 }
 
+// maligo:allow vectorize scalar chunked kernel modelling the OpenMP CPU version
 __kernel void hist_chunk(__global const int* data,
                          __global int* bins,
                          const uint n) {
@@ -84,6 +86,7 @@ __kernel void hist_cl(__global const int* data,
 // updated with hardware local atomics; each work-item walks a
 // contiguous chunk (Midgard-friendly), and each group merges once
 // into the global bins.
+// maligo:allow vectorize data loads stay scalar: the kernel is bound by bin atomics, not load bandwidth
 __kernel void hist_opt(__global const int* restrict data,
                        __global int* restrict bins,
                        __local int* priv,

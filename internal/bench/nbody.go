@@ -122,6 +122,7 @@ __kernel void nbody_cl(__global const REAL* body,
 // win over the plain port is modest (exactly the paper's
 // observation) — and the doubled register working set is what pushes
 // the double-precision build over the Mali register budget.
+// maligo:allow soa interleaved xyz layout is the benchmark's defined input format; splitting it would change the workload
 __kernel void nbody_opt(__global const REAL* restrict body,
                         __global const REAL* restrict vel,
                         __global REAL* restrict posOut,

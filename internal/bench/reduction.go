@@ -33,6 +33,7 @@ func (rd *reduction) Description() string {
 
 func (rd *reduction) Source() string {
 	return `
+// maligo:allow vectorize,race single work-item launch: out[0] is exclusive and the scalar loop is the Serial baseline
 __kernel void red_serial(__global const REAL* in,
                          __global REAL* out,
                          const uint n) {
@@ -43,6 +44,7 @@ __kernel void red_serial(__global const REAL* in,
     out[0] = acc;
 }
 
+// maligo:allow vectorize scalar chunked kernel modelling the OpenMP CPU version
 __kernel void red_chunk(__global const REAL* in,
                         __global REAL* part,
                         const uint n) {
@@ -58,6 +60,7 @@ __kernel void red_chunk(__global const REAL* in,
     part[t] = acc;
 }
 
+// maligo:allow vectorize,race single work-item launch: out[0] is exclusive and m is tiny
 __kernel void red_combine(__global const REAL* part,
                           __global REAL* out,
                           const uint m) {
@@ -71,6 +74,7 @@ __kernel void red_combine(__global const REAL* part,
 // Stage 1, straightforward port: the classic GPU reduction as first
 // written — one work-item per few elements (a huge NDRange), scalar
 // loads, then a tree reduction in local memory behind barriers.
+// maligo:allow vectorize straightforward port kept scalar on purpose; red_opt uses vload4 (paper SV-B)
 __kernel void red_cl(__global const REAL* in,
                      __global REAL* part,
                      __local REAL* scratch,

@@ -42,6 +42,7 @@ func (s *spmv) Source() string {
 	return `
 // Sparse matrix-vector multiplication, CSR format: y = A*x.
 
+// maligo:allow vectorize scalar reference kernel; CSR gathers are irregular by nature
 __kernel void spmv_serial(__global const int* rowptr,
                           __global const int* colidx,
                           __global const REAL* vals,
@@ -57,6 +58,7 @@ __kernel void spmv_serial(__global const int* rowptr,
     }
 }
 
+// maligo:allow vectorize scalar chunked kernel modelling the OpenMP CPU version
 __kernel void spmv_chunk(__global const int* rowptr,
                          __global const int* colidx,
                          __global const REAL* vals,
@@ -77,6 +79,7 @@ __kernel void spmv_chunk(__global const int* rowptr,
     }
 }
 
+// maligo:allow vectorize straightforward port kept scalar; spmv_opt restructures the inner loop (paper SV-B)
 __kernel void spmv_cl(__global const int* rowptr,
                       __global const int* colidx,
                       __global const REAL* vals,

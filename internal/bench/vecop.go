@@ -33,6 +33,7 @@ func (v *vecop) Source() string {
 	return `
 // Vector Operation: c = a + b.
 
+// maligo:allow vectorize scalar reference kernel; vecop_opt is the vectorized version (paper SV-B)
 __kernel void vecop_serial(__global const REAL* a,
                            __global const REAL* b,
                            __global REAL* c,
@@ -42,6 +43,7 @@ __kernel void vecop_serial(__global const REAL* a,
     }
 }
 
+// maligo:allow vectorize scalar chunked kernel modelling the OpenMP CPU version
 __kernel void vecop_chunk(__global const REAL* a,
                           __global const REAL* b,
                           __global REAL* c,

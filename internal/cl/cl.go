@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"maligo/internal/clc"
+	"maligo/internal/clc/analysis"
 	"maligo/internal/clc/ir"
 	"maligo/internal/clc/types"
 	"maligo/internal/device"
@@ -234,7 +235,11 @@ type Program struct {
 	ctx    *Context
 	source string
 	prog   *ir.Program
+	art    *clc.Artifacts
 	log    string
+
+	diagsOnce sync.Once
+	diags     []analysis.Diagnostic
 }
 
 // CreateProgramWithSource mirrors clCreateProgramWithSource.
@@ -245,17 +250,29 @@ func (c *Context) CreateProgramWithSource(source string) *Program {
 // Build compiles the program with clBuildProgram-style options
 // (e.g. "-DREAL=float -DVEC=4").
 func (p *Program) Build(options string) error {
-	prog, err := clc.Compile("program.cl", p.source, options)
+	art, err := clc.CompileArtifacts("program.cl", p.source, options)
 	if err != nil {
 		p.log = err.Error()
 		return fmt.Errorf("%w: %v", ErrBuildFailure, err)
 	}
-	p.prog = prog
+	p.art = art
+	p.prog = art.Prog
 	return nil
 }
 
 // BuildLog returns the compiler diagnostics of the last Build.
 func (p *Program) BuildLog() string { return p.log }
+
+// Diagnostics runs the static analyzer over the built program (lazily,
+// once) and returns its findings: Mali optimization lints plus barrier
+// and race diagnostics. Nil before a successful Build.
+func (p *Program) Diagnostics() []analysis.Diagnostic {
+	if p.art == nil {
+		return nil
+	}
+	p.diagsOnce.Do(func() { p.diags = analysis.Analyze(p.art) })
+	return p.diags
+}
 
 // KernelNames lists the kernels the built program defines.
 func (p *Program) KernelNames() []string {
@@ -376,14 +393,59 @@ type Event struct {
 	Seconds float64
 	// Bytes moved for copy commands.
 	Bytes int64
+	// RaceCheck holds the race-check outcome when the queue has
+	// SetRaceCheck(true); nil otherwise.
+	RaceCheck *RaceCheckResult
+}
+
+// RaceCheckResult cross-checks the two race-analysis tiers for one
+// enqueue: the compiler's static race/barrier diagnostics for the
+// launched kernel, and the races the VM actually observed in the
+// executed work-groups' memory traces.
+type RaceCheckResult struct {
+	// Static holds the analyzer's race and barrier-divergence
+	// diagnostics for the launched kernel (other passes excluded).
+	Static []analysis.Diagnostic
+	// Dynamic holds the races observed during execution. Empty Dynamic
+	// does not prove absence: only the launched input was executed.
+	Dynamic []vm.DataRace
+}
+
+// Confirmed returns the dynamic races whose source lines appear in a
+// static diagnostic — the overlap where both tiers agree.
+func (r *RaceCheckResult) Confirmed() []vm.DataRace {
+	if r == nil {
+		return nil
+	}
+	lines := make(map[int]bool)
+	for _, d := range r.Static {
+		if d.Pass == "race" {
+			lines[d.Pos.Line] = true
+		}
+	}
+	var out []vm.DataRace
+	for _, dr := range r.Dynamic {
+		if lines[dr.LineA] || lines[dr.LineB] {
+			out = append(out, dr)
+		}
+	}
+	return out
 }
 
 // CommandQueue is an in-order queue bound to one device.
 type CommandQueue struct {
-	ctx    *Context
-	dev    device.Device
-	events []*Event
+	ctx       *Context
+	dev       device.Device
+	events    []*Event
+	raceCheck bool
 }
+
+// SetRaceCheck switches dynamic race checking on or off for subsequent
+// NDRange enqueues. When on, each enqueue records work-item-attributed
+// memory traces, runs them through a vm.RaceDetector and attaches a
+// RaceCheckResult (static diagnostics + dynamic observations) to the
+// event. Tracing costs time and memory, so it is off by default.
+func (q *CommandQueue) SetRaceCheck(on bool) { q.raceCheck = on }
 
 // CreateCommandQueue mirrors clCreateCommandQueue.
 func (c *Context) CreateCommandQueue(dev device.Device) *CommandQueue {
@@ -473,17 +535,37 @@ func (q *CommandQueue) EnqueueNDRangeKernelCtx(ctx context.Context, k *Kernel, w
 		}
 	}
 	target := &memTarget{arena: q.ctx.arena, constant: k.prog.prog.ConstantData, mu: &q.ctx.atomicsMu}
+	var detector *vm.RaceDetector
+	rc := device.RunConfig{Ctx: ctx, Pool: q.ctx.enginePool()}
+	if q.raceCheck {
+		detector = &vm.RaceDetector{Kernel: k.k.Name, Max: 32}
+		rc.Race = detector
+	}
 	var rep *device.Report
 	var err error
 	if cr, ok := q.dev.(device.ContextRunner); ok {
-		rep, err = cr.RunWith(device.RunConfig{Ctx: ctx, Pool: q.ctx.enginePool()}, ndr, target)
+		rep, err = cr.RunWith(rc, ndr, target)
 	} else {
+		// Legacy devices without RunWith cannot trace; the race check
+		// degrades to the static tier only.
 		rep, err = q.dev.Run(ndr, target)
 	}
 	if err != nil {
 		return nil, err
 	}
 	ev := &Event{Kind: "ndrange", Report: rep, Seconds: rep.Seconds}
+	if q.raceCheck {
+		res := &RaceCheckResult{}
+		for _, d := range k.prog.Diagnostics() {
+			if d.Kernel == k.k.Name && (d.Pass == "race" || d.Pass == "barrierdiv") {
+				res.Static = append(res.Static, d)
+			}
+		}
+		if detector != nil {
+			res.Dynamic = detector.Races()
+		}
+		ev.RaceCheck = res
+	}
 	q.events = append(q.events, ev)
 	return ev, nil
 }

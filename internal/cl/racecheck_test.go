@@ -1,0 +1,125 @@
+package cl_test
+
+import (
+	"testing"
+
+	"maligo/internal/cl"
+)
+
+const raceCheckKernels = `
+__kernel void shift(__global float* out, __local float* tile) {
+    int lid = get_local_id(0);
+    tile[lid] = (float)lid;
+    out[get_global_id(0)] = tile[lid + 1];
+}
+
+__kernel void shift_fixed(__global float* out, __local float* tile) {
+    int lid = get_local_id(0);
+    tile[lid] = (float)lid;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = tile[lid + 1];
+}
+`
+
+// TestEnqueueRaceCheck drives the full two-tier race check through the
+// runtime: the static analyzer flags the unsynchronized neighbour
+// read at build analysis time, the VM observes it dynamically during
+// the enqueue, and the event reports the cross-checked result.
+func TestEnqueueRaceCheck(t *testing.T) {
+	ctx, gpu := newCtx(t)
+	prog := ctx.CreateProgramWithSource(raceCheckKernels)
+	if err := prog.Build(""); err != nil {
+		t.Fatalf("Build: %v\n%s", err, prog.BuildLog())
+	}
+
+	const n, local = 32, 16
+	buf, _ := ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, n*4, nil)
+	setup := func(name string) *cl.Kernel {
+		k, err := prog.CreateKernel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.SetArgBuffer(0, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.SetArgLocal(1, (local+1)*4); err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+
+	q := ctx.CreateCommandQueue(gpu)
+
+	// Off by default: no result attached.
+	ev, err := q.EnqueueNDRangeKernel(setup("shift"), 1, []int{n}, []int{local})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.RaceCheck != nil {
+		t.Fatal("race check ran without SetRaceCheck(true)")
+	}
+
+	q.SetRaceCheck(true)
+	ev, err = q.EnqueueNDRangeKernel(setup("shift"), 1, []int{n}, []int{local})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := ev.RaceCheck
+	if rc == nil {
+		t.Fatal("race check enabled but event has no result")
+	}
+	if len(rc.Static) == 0 {
+		t.Error("static tier missed the unsynchronized neighbour read")
+	}
+	if len(rc.Dynamic) == 0 {
+		t.Error("dynamic tier missed the race during execution")
+	}
+	if len(rc.Confirmed()) == 0 {
+		t.Errorf("tiers did not agree on any race: static %v, dynamic %v", rc.Static, rc.Dynamic)
+	}
+	for _, d := range rc.Static {
+		if d.Kernel != "shift" {
+			t.Errorf("static diagnostic for wrong kernel: %v", d)
+		}
+	}
+
+	// The barrier-fixed variant must come back clean on both tiers.
+	ev, err = q.EnqueueNDRangeKernel(setup("shift_fixed"), 1, []int{n}, []int{local})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc = ev.RaceCheck
+	if rc == nil {
+		t.Fatal("race check enabled but event has no result")
+	}
+	if len(rc.Static) != 0 || len(rc.Dynamic) != 0 {
+		t.Errorf("barrier-synchronized kernel flagged: static %v, dynamic %v", rc.Static, rc.Dynamic)
+	}
+}
+
+// TestProgramDiagnostics checks the lazily-computed per-program lint
+// report is available through the runtime and memoized.
+func TestProgramDiagnostics(t *testing.T) {
+	ctx, _ := newCtx(t)
+	prog := ctx.CreateProgramWithSource(raceCheckKernels)
+	if prog.Diagnostics() != nil {
+		t.Fatal("diagnostics before Build must be nil")
+	}
+	if err := prog.Build(""); err != nil {
+		t.Fatal(err)
+	}
+	d1 := prog.Diagnostics()
+	found := false
+	for _, d := range d1 {
+		if d.Pass == "race" && d.Kernel == "shift" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("race diagnostic missing from program diagnostics: %v", d1)
+	}
+	d2 := prog.Diagnostics()
+	if len(d1) != len(d2) {
+		t.Error("diagnostics not memoized")
+	}
+}

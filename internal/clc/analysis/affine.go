@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"maligo/internal/clc/ast"
+	"maligo/internal/clc/builtin"
+	"maligo/internal/clc/sema"
+	"maligo/internal/clc/token"
+)
+
+// affine is an index expression decomposed as
+//
+//	al*get_local_id(0) + ag*get_global_id(0) + c
+//
+// in element units. Since get_global_id(0) = groupBase + lid with
+// groupBase uniform across the group, two affine accesses to the same
+// buffer are comparable for intra-group conflicts whenever their ag
+// coefficients match: the groupBase terms cancel and the effective
+// per-item stride is al+ag.
+type affine struct {
+	al, ag int64
+	c      int64
+	ok     bool
+}
+
+func (a affine) add(b affine) affine {
+	return affine{a.al + b.al, a.ag + b.ag, a.c + b.c, a.ok && b.ok}
+}
+
+func (a affine) sub(b affine) affine {
+	return affine{a.al - b.al, a.ag - b.ag, a.c - b.c, a.ok && b.ok}
+}
+
+func (a affine) scale(k int64) affine {
+	return affine{a.al * k, a.ag * k, a.c * k, a.ok}
+}
+
+func (a affine) isConst() bool { return a.ok && a.al == 0 && a.ag == 0 }
+
+// lidCoeff is the effective per-item stride within one work-group.
+func (a affine) lidCoeff() int64 { return a.al + a.ag }
+
+// at evaluates the group-relative element offset for local id l (the
+// uniform groupBase contribution of ag is dropped; it is identical
+// for every item and cancels when comparing two accesses with equal
+// ag).
+func (a affine) at(l int64) int64 { return a.lidCoeff()*l + a.c }
+
+// affineEnv maps single-assignment locals to their affine values so
+// `int i = get_global_id(0); s[i] = ...` resolves.
+type affineEnv struct {
+	res  *sema.Result
+	vals map[*sema.Symbol]affine
+}
+
+// newAffineEnv scans a kernel body and records the affine value of
+// every local that is initialized once and never reassigned.
+func newAffineEnv(res *sema.Result, fn *ast.FuncDecl) *affineEnv {
+	env := &affineEnv{res: res, vals: make(map[*sema.Symbol]affine)}
+
+	// Poison every symbol written outside its declaration.
+	poisoned := make(map[*sema.Symbol]bool)
+	allExprs(fn.Body, func(e ast.Expr) {
+		assignTargets(res, e, func(sym *sema.Symbol) { poisoned[sym] = true })
+	})
+
+	// Evaluate declaration initializers in source order so later decls
+	// can reference earlier ones.
+	walkStmts(fn.Body, func(s ast.Stmt) {
+		ds, ok := s.(*ast.DeclStmt)
+		if !ok {
+			return
+		}
+		for _, d := range ds.Decls {
+			if d.Init == nil || d.ArrayLen != nil {
+				continue
+			}
+			for _, sym := range res.Syms {
+				if sym.Decl != ds || sym.Name != d.Name || poisoned[sym] {
+					continue
+				}
+				if v := env.eval(d.Init); v.ok {
+					env.vals[sym] = v
+				}
+				break
+			}
+		}
+	})
+	return env
+}
+
+// eval decomposes e into affine form. Anything it cannot prove affine
+// in {lid, gid, constants} — group ids, kernel arguments, loads,
+// non-zero dimensions — yields ok=false, which makes the race pass
+// skip the access rather than guess.
+func (env *affineEnv) eval(e ast.Expr) affine {
+	switch e := unparen(e).(type) {
+	case *ast.IntLit:
+		return affine{c: e.Value, ok: true}
+	case *ast.Ident:
+		if v, ok := env.vals[env.res.Syms[e]]; ok {
+			return v
+		}
+	case *ast.CastExpr:
+		return env.eval(e.X)
+	case *ast.CallExpr:
+		id, dim, ok := workItemCall(env.res, e)
+		if !ok || dim != 0 {
+			return affine{}
+		}
+		switch id {
+		case builtin.GetLocalID:
+			return affine{al: 1, ok: true}
+		case builtin.GetGlobalID:
+			return affine{ag: 1, ok: true}
+		}
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.ADD:
+			return env.eval(e.X)
+		case token.SUB:
+			return env.eval(e.X).scale(-1)
+		}
+	case *ast.BinaryExpr:
+		x := env.eval(e.X)
+		y := env.eval(e.Y)
+		switch e.Op {
+		case token.ADD:
+			return x.add(y)
+		case token.SUB:
+			return x.sub(y)
+		case token.MUL:
+			if x.ok && x.isConst() {
+				return y.scale(x.c)
+			}
+			if y.ok && y.isConst() {
+				return x.scale(y.c)
+			}
+		case token.SHL:
+			if y.ok && y.isConst() && y.c >= 0 && y.c < 32 {
+				return x.scale(1 << uint(y.c))
+			}
+		}
+	}
+	return affine{}
+}
+
+// strideOf computes the coefficient of a designated loop/index
+// variable in e, treating every subexpression that does not mention
+// the variable as loop-invariant. isVar identifies occurrences of the
+// variable (an identifier, or a direct get_global_id(0) call). The
+// bool result is false when the dependence is not linear.
+func strideOf(res *sema.Result, e ast.Expr, isVar func(ast.Expr) bool) (int64, bool) {
+	e = unparen(e)
+	if isVar(e) {
+		return 1, true
+	}
+	if !mentionsVar(e, isVar) {
+		return 0, true
+	}
+	switch e := e.(type) {
+	case *ast.CastExpr:
+		return strideOf(res, e.X, isVar)
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.ADD:
+			return strideOf(res, e.X, isVar)
+		case token.SUB:
+			s, ok := strideOf(res, e.X, isVar)
+			return -s, ok
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD:
+			sx, okx := strideOf(res, e.X, isVar)
+			sy, oky := strideOf(res, e.Y, isVar)
+			return sx + sy, okx && oky
+		case token.SUB:
+			sx, okx := strideOf(res, e.X, isVar)
+			sy, oky := strideOf(res, e.Y, isVar)
+			return sx - sy, okx && oky
+		case token.MUL:
+			if !mentionsVar(e.Y, isVar) {
+				if k, ok := constEval(res, e.Y); ok {
+					s, oks := strideOf(res, e.X, isVar)
+					return s * k, oks
+				}
+				return 0, false
+			}
+			if !mentionsVar(e.X, isVar) {
+				if k, ok := constEval(res, e.X); ok {
+					s, oks := strideOf(res, e.Y, isVar)
+					return s * k, oks
+				}
+			}
+			return 0, false
+		case token.SHL:
+			if !mentionsVar(e.Y, isVar) {
+				if k, ok := constEval(res, e.Y); ok && k >= 0 && k < 32 {
+					s, oks := strideOf(res, e.X, isVar)
+					return s << uint(k), oks
+				}
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// mentionsVar reports whether the variable occurs anywhere in e.
+func mentionsVar(e ast.Expr, isVar func(ast.Expr) bool) bool {
+	found := false
+	walkExprs(e, func(x ast.Expr) {
+		if isVar(x) {
+			found = true
+		}
+	})
+	return found
+}

@@ -1,0 +1,119 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"maligo/internal/clc/analysis"
+)
+
+const racySrc = `__kernel void k(__global float* out, __local float* tile) {
+    int lid = get_local_id(0);
+    tile[lid] = (float)lid;
+    out[get_global_id(0)] = tile[lid + 1];
+}
+`
+
+func TestSeverityRoundTrip(t *testing.T) {
+	for _, sev := range []analysis.Severity{analysis.Info, analysis.Warning, analysis.Error} {
+		back, err := analysis.ParseSeverity(sev.String())
+		if err != nil || back != sev {
+			t.Errorf("round trip %v: got %v, err %v", sev, back, err)
+		}
+	}
+	if _, err := analysis.ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity accepted an unknown name")
+	}
+}
+
+func TestMaxSeverity(t *testing.T) {
+	diags, err := analysis.AnalyzeSource("racy.cl", racySrc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := analysis.MaxSeverity(diags); got != analysis.Error {
+		t.Fatalf("MaxSeverity = %v, want error (diags: %v)", got, diags)
+	}
+	if got := analysis.MaxSeverity(nil); got != analysis.Info {
+		t.Fatalf("MaxSeverity(nil) = %v, want info", got)
+	}
+}
+
+func TestFormatJSON(t *testing.T) {
+	diags, err := analysis.AnalyzeSource("racy.cl", racySrc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := analysis.FormatJSON(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, raw)
+	}
+	if len(decoded) != len(diags) {
+		t.Fatalf("JSON has %d entries, want %d", len(decoded), len(diags))
+	}
+	foundRace := false
+	for _, d := range decoded {
+		if d["pass"] == "race" && d["severity"] == "error" {
+			foundRace = true
+		}
+	}
+	if !foundRace {
+		t.Fatalf("race error missing from JSON output: %s", raw)
+	}
+	// Empty input must encode as [] rather than null.
+	raw, err = analysis.FormatJSON(nil)
+	if err != nil || strings.TrimSpace(string(raw)) != "[]" {
+		t.Fatalf("FormatJSON(nil) = %q, %v", raw, err)
+	}
+}
+
+func TestSuppressionScoping(t *testing.T) {
+	src := `// maligo:allow race,barrierdiv intentional for the test
+__kernel void first(__global float* out, __local float* tile) {
+    int lid = get_local_id(0);
+    tile[lid] = (float)lid;
+    out[get_global_id(0)] = tile[lid + 1];
+}
+__kernel void second(__global float* out, __local float* tile) {
+    int lid = get_local_id(0);
+    tile[lid] = (float)lid;
+    out[get_global_id(0)] = tile[lid + 1];
+}
+`
+	diags, err := analysis.AnalyzeSource("sup.cl", src, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Pass == "race" && d.Kernel == "first" {
+			t.Errorf("suppressed diagnostic survived: %v", d)
+		}
+	}
+	found := false
+	for _, d := range diags {
+		if d.Pass == "race" && d.Kernel == "second" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("directive leaked onto the second kernel: %v", diags)
+	}
+}
+
+func TestPassNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, n := range analysis.PassNames() {
+		if seen[n] {
+			t.Errorf("duplicate pass name %q", n)
+		}
+		seen[n] = true
+	}
+	if len(seen) < 6 {
+		t.Fatalf("only %d passes registered, want at least 6", len(seen))
+	}
+}

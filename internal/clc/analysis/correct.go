@@ -1,0 +1,515 @@
+package analysis
+
+import (
+	"fmt"
+
+	"maligo/internal/clc/ast"
+	"maligo/internal/clc/builtin"
+	"maligo/internal/clc/sema"
+	"maligo/internal/clc/token"
+)
+
+// passBarrierDiv reports barrier() calls reachable under work-item-
+// dependent control flow. Work-items that skip the barrier deadlock
+// the group (the VM raises ErrBarrierDivergence at run time; this
+// pass catches it at build time).
+func passBarrierDiv(c *Context) {
+	u := newUniformity(c.Sema, c.Fn)
+	seen := make(map[*ast.FuncDecl]bool)
+
+	checkCall := func(e ast.Expr, div bool) {
+		walkExprs(e, func(x ast.Expr) {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			info := c.Sema.Calls[call]
+			if info == nil || !div {
+				return
+			}
+			direct := info.Kind == sema.CallBuiltin && info.Builtin == builtin.Barrier
+			viaHelper := info.Kind == sema.CallUser && info.Target != nil &&
+				containsBarrier(c.Sema, info.Target.Body, seen)
+			if direct {
+				c.Report(Error, call.Pos(),
+					"barrier() under work-item-dependent control flow",
+					"every work-item of the group must reach the same barrier; hoist it out of the divergent branch")
+			} else if viaHelper {
+				c.Report(Error, call.Pos(),
+					fmt.Sprintf("call to '%s' executes barrier() under work-item-dependent control flow", call.Fun.Name),
+					"every work-item of the group must reach the same barrier; hoist the call out of the divergent branch")
+			}
+		})
+	}
+
+	var walk func(s ast.Stmt, div bool)
+	walk = func(s ast.Stmt, div bool) {
+		switch s := s.(type) {
+		case nil:
+		case *ast.BlockStmt:
+			for _, inner := range s.List {
+				walk(inner, div)
+			}
+		case *ast.IfStmt:
+			branch := div || u.Divergent(s.Cond)
+			walk(s.Then, branch)
+			walk(s.Else, branch)
+		case *ast.ForStmt:
+			walk(s.Init, div)
+			body := div || u.Divergent(s.Cond)
+			checkCall(s.Post, body)
+			walk(s.Body, body)
+		case *ast.WhileStmt:
+			walk(s.Body, div || u.Divergent(s.Cond))
+		case *ast.DoWhileStmt:
+			walk(s.Body, div || u.Divergent(s.Cond))
+		default:
+			stmtExprs(s, func(e ast.Expr) { checkCall(e, div) })
+		}
+	}
+	walk(c.Fn.Body, false)
+}
+
+// ---------------------------------------------------------------------------
+// Static race detection.
+
+// guardKind classifies the divergent conditions an access sits under.
+type guardKind int
+
+const (
+	guardAll    guardKind = iota // every work-item executes the access
+	guardLidEq                   // only local id == lidVal executes it
+	guardUnique                  // at most one (unknown) work-item executes it
+	guardOpaque                  // data-dependent subset; not analyzable
+)
+
+type guard struct {
+	kind   guardKind
+	lidVal int64
+	cond   ast.Expr // the divergent condition, to recognize accesses sharing a guard
+}
+
+// memAccess is one static memory access with its affine address.
+type memAccess struct {
+	sym    *sema.Symbol
+	space  ast.AddressSpace
+	start  affine // byte offset of the first accessed byte
+	span   int64  // bytes accessed
+	write  bool
+	atomic bool
+	pos    token.Pos
+	phase  int
+	guard  guard
+}
+
+// lidDomain bounds the brute-force local-id search; it covers every
+// legal work-group size of the simulated device.
+const lidDomain = 128
+
+// passRace proves intra-work-group write/write and read/write
+// conflicts on __local and __global memory when every participating
+// index is affine in the work-item id. Non-affine indices, data-
+// dependent guards and cross-phase pairs are skipped, trading recall
+// for a near-zero false-positive rate.
+func passRace(c *Context) {
+	u := newUniformity(c.Sema, c.Fn)
+	env := newAffineEnv(c.Sema, c.Fn)
+	col := &raceCollector{ctx: c, u: u, env: env}
+	col.walk(c.Fn.Body, guard{kind: guardAll})
+	col.reportConflicts()
+}
+
+type raceCollector struct {
+	ctx      *Context
+	u        *uniformity
+	env      *affineEnv
+	phase    int
+	accesses []memAccess
+}
+
+// classify merges the enclosing guard with a new condition.
+func (rc *raceCollector) classify(outer guard, cond ast.Expr) guard {
+	if cond == nil || !rc.u.Divergent(cond) {
+		return outer // uniform: all items agree, no per-item filtering
+	}
+	if outer.kind == guardOpaque {
+		return outer
+	}
+	g := guard{kind: guardOpaque, cond: cond}
+	if be, ok := unparen(cond).(*ast.BinaryExpr); ok && be.Op == token.EQL {
+		lhs := rc.env.eval(be.X)
+		rhs := rc.env.eval(be.Y)
+		if lhs.ok && rhs.ok {
+			diff := lhs.sub(rhs)
+			switch {
+			case diff.lidCoeff() == 0:
+				// Identical for all items; uniform after all.
+				return outer
+			case diff.ag == 0 && diff.c%diff.al == 0:
+				l := -diff.c / diff.al
+				if l >= 0 && l < lidDomain {
+					g = guard{kind: guardLidEq, lidVal: l, cond: cond}
+				} else {
+					g = guard{kind: guardUnique, cond: cond} // dead in-domain; be safe
+				}
+			default:
+				// gid == K etc.: exactly one item, unknown lid.
+				g = guard{kind: guardUnique, cond: cond}
+			}
+		}
+	}
+	// Merge with the outer guard.
+	switch {
+	case outer.kind == guardAll:
+		return g
+	case g.kind == guardOpaque || outer.kind == guardOpaque:
+		return guard{kind: guardOpaque, cond: cond}
+	case outer.kind == guardLidEq && g.kind == guardLidEq && outer.lidVal != g.lidVal:
+		return guard{kind: guardOpaque, cond: cond} // contradictory: dead code
+	case g.kind == guardLidEq:
+		return g
+	default:
+		return outer
+	}
+}
+
+func (rc *raceCollector) walk(s ast.Stmt, g guard) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			rc.walk(inner, g)
+		}
+	case *ast.IfStmt:
+		rc.walk(s.Then, rc.classify(g, s.Cond))
+		if s.Else != nil {
+			// The else branch of a divergent condition is an unknown
+			// complement subset; of a uniform condition, all items.
+			eg := g
+			if rc.u.Divergent(s.Cond) {
+				eg = guard{kind: guardOpaque, cond: s.Cond}
+			}
+			rc.walk(s.Else, eg)
+		}
+	case *ast.ForStmt:
+		rc.walk(s.Init, g)
+		bg := rc.classify(g, s.Cond)
+		rc.collectExpr(s.Post, bg, false)
+		rc.walk(s.Body, bg)
+	case *ast.WhileStmt:
+		rc.walk(s.Body, rc.classify(g, s.Cond))
+	case *ast.DoWhileStmt:
+		rc.walk(s.Body, rc.classify(g, s.Cond))
+	case *ast.ExprStmt:
+		if _, ok := builtinCall(rc.ctx.Sema, s.X, builtin.Barrier); ok {
+			rc.phase++
+			return
+		}
+		rc.collectExpr(s.X, g, false)
+	case *ast.DeclStmt:
+		for _, d := range s.Decls {
+			rc.collectExpr(d.Init, g, false)
+		}
+	case *ast.ReturnStmt:
+		rc.collectExpr(s.X, g, false)
+	}
+}
+
+// record adds an access to sym through an index expression.
+func (rc *raceCollector) record(sym *sema.Symbol, idx ast.Expr, elemBytes, spanBytes int64, write, atomic bool, pos token.Pos, g guard) {
+	if sym == nil || g.kind == guardOpaque {
+		return
+	}
+	var space ast.AddressSpace
+	switch {
+	case sym.Kind == sema.SymArray:
+		space = sym.Space
+	case sym.Kind == sema.SymParam && sym.Type != nil && sym.Type.IsPointer():
+		space = sym.Type.Space
+	default:
+		return
+	}
+	if space != ast.LocalSpace && space != ast.GlobalSpace {
+		return // __constant and __private cannot race within a group
+	}
+	aff := rc.env.eval(idx)
+	if !aff.ok {
+		return
+	}
+	rc.accesses = append(rc.accesses, memAccess{
+		sym:    sym,
+		space:  space,
+		start:  aff.scale(elemBytes),
+		span:   spanBytes,
+		write:  write,
+		atomic: atomic,
+		pos:    pos,
+		phase:  rc.phase,
+		guard:  g,
+	})
+}
+
+// elemSize returns the byte size of one indexed element of sym.
+func elemSize(sym *sema.Symbol) int64 {
+	if sym == nil || sym.Type == nil {
+		return 0
+	}
+	t := sym.Type
+	if sym.Kind == sema.SymParam && t.IsPointer() {
+		t = t.Elem
+	}
+	if t == nil {
+		return 0
+	}
+	return int64(t.Size())
+}
+
+// collectExpr records every memory access in e. isWrite marks the
+// expression itself as a store target (used for assignment LHS).
+func (rc *raceCollector) collectExpr(e ast.Expr, g guard, isWrite bool) {
+	if e == nil {
+		return
+	}
+	switch e := unparen(e).(type) {
+	case *ast.AssignExpr:
+		// Compound assignment reads then writes the target.
+		if lhs, ok := unparen(e.LHS).(*ast.IndexExpr); ok {
+			if e.Op != token.ASSIGN {
+				rc.collectIndex(lhs, g, false)
+			}
+			rc.collectIndex(lhs, g, true)
+			rc.collectExpr(lhs.Index, g, false)
+		} else {
+			rc.collectExpr(e.LHS, g, false)
+		}
+		rc.collectExpr(e.RHS, g, false)
+	case *ast.PostfixExpr:
+		if x, ok := unparen(e.X).(*ast.IndexExpr); ok {
+			rc.collectIndex(x, g, false)
+			rc.collectIndex(x, g, true)
+			rc.collectExpr(x.Index, g, false)
+		} else {
+			rc.collectExpr(e.X, g, false)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.INC || e.Op == token.DEC {
+			if x, ok := unparen(e.X).(*ast.IndexExpr); ok {
+				rc.collectIndex(x, g, false)
+				rc.collectIndex(x, g, true)
+				rc.collectExpr(x.Index, g, false)
+				return
+			}
+		}
+		rc.collectExpr(e.X, g, false)
+	case *ast.IndexExpr:
+		rc.collectIndex(e, g, isWrite)
+		rc.collectExpr(e.Index, g, false)
+	case *ast.CallExpr:
+		info := rc.ctx.Sema.Calls[e]
+		if info != nil && info.Kind == sema.CallBuiltin {
+			if n, ok := info.Builtin.IsVload(); ok && len(e.Args) == 2 {
+				rc.collectVec(e, n, false, g)
+				return
+			}
+			if n, ok := info.Builtin.IsVstore(); ok && len(e.Args) == 3 {
+				rc.collectExpr(e.Args[0], g, false)
+				rc.collectVec(e, n, true, g)
+				return
+			}
+			if info.Builtin.IsAtomic() && len(e.Args) > 0 {
+				// atomic_op(&p[i], ...) — an atomic access to p[i].
+				if addr, ok := unparen(e.Args[0]).(*ast.UnaryExpr); ok && addr.Op == token.AND {
+					if ix, ok := unparen(addr.X).(*ast.IndexExpr); ok {
+						sym := symOf(rc.ctx.Sema, ix.X)
+						es := elemSize(sym)
+						if es > 0 {
+							rc.record(sym, ix.Index, es, es, true, true, ix.Pos(), g)
+						}
+						rc.collectExpr(ix.Index, g, false)
+					}
+				}
+				for _, a := range e.Args[1:] {
+					rc.collectExpr(a, g, false)
+				}
+				return
+			}
+		}
+		for _, a := range e.Args {
+			rc.collectExpr(a, g, false)
+		}
+	case *ast.BinaryExpr:
+		rc.collectExpr(e.X, g, false)
+		rc.collectExpr(e.Y, g, false)
+	case *ast.CondExpr:
+		rc.collectExpr(e.Cond, g, false)
+		rc.collectExpr(e.Then, g, false)
+		rc.collectExpr(e.Else, g, false)
+	case *ast.MemberExpr:
+		rc.collectExpr(e.X, g, isWrite)
+	case *ast.CastExpr:
+		rc.collectExpr(e.X, g, false)
+	case *ast.VectorLit:
+		for _, el := range e.Elems {
+			rc.collectExpr(el, g, false)
+		}
+	}
+}
+
+func (rc *raceCollector) collectIndex(ix *ast.IndexExpr, g guard, write bool) {
+	sym := symOf(rc.ctx.Sema, ix.X)
+	es := elemSize(sym)
+	if es <= 0 {
+		return
+	}
+	rc.record(sym, ix.Index, es, es, write, false, ix.Pos(), g)
+}
+
+// collectVec records a vloadN/vstoreN access: the offset argument is
+// in units of N elements.
+func (rc *raceCollector) collectVec(call *ast.CallExpr, n int, write bool, g guard) {
+	ptrArg := call.Args[len(call.Args)-1]
+	offArg := call.Args[len(call.Args)-2]
+	if write {
+		offArg = call.Args[1]
+		ptrArg = call.Args[2]
+	}
+	sym := symOf(rc.ctx.Sema, ptrArg)
+	es := elemSize(sym)
+	if es <= 0 {
+		return
+	}
+	rc.record(sym, offArg, es*int64(n), es*int64(n), write, false, call.Pos(), g)
+	rc.collectExpr(offArg, g, false)
+}
+
+// reportConflicts brute-forces every comparable access pair over the
+// local-id domain and reports provable same-phase conflicts.
+func (rc *raceCollector) reportConflicts() {
+	type pairKey struct {
+		a, b token.Pos
+	}
+	reported := make(map[pairKey]bool)
+	for i := 0; i < len(rc.accesses); i++ {
+		for j := i; j < len(rc.accesses); j++ {
+			a, b := rc.accesses[i], rc.accesses[j]
+			if a.sym != b.sym || a.phase != b.phase {
+				continue
+			}
+			if !a.write && !b.write {
+				continue
+			}
+			if a.atomic && b.atomic {
+				continue // atomics serialize against each other
+			}
+			// The groupBase terms only cancel when both accesses carry
+			// the same get_global_id coefficient.
+			if a.start.ag != b.start.ag {
+				continue
+			}
+			// Accesses under the same single-item guard are executed by
+			// one work-item in program order.
+			if a.guard.cond != nil && a.guard.cond == b.guard.cond &&
+				a.guard.kind != guardAll && b.guard.kind != guardAll {
+				continue
+			}
+			if i == j && a.guard.kind != guardAll {
+				continue // a single-item access cannot race itself
+			}
+			l1, l2, found := findConflict(a, b)
+			if !found {
+				continue
+			}
+			key := pairKey{a.pos, b.pos}
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			what := "write/write"
+			if !a.write || !b.write {
+				what = "read/write"
+			}
+			if a.atomic != b.atomic {
+				what = "atomic/plain"
+			}
+			msg := fmt.Sprintf("intra-work-group %s race on %s '%s': work-items %d and %d touch the same bytes in the same barrier interval (other access at %s)",
+				what, a.space, a.sym.Name, l1, l2, earlierPos(a.pos, b.pos))
+			if i == j {
+				msg = fmt.Sprintf("intra-work-group %s race on %s '%s': every work-item stores to the same bytes in the same barrier interval",
+					what, a.space, a.sym.Name)
+			}
+			rc.ctx.Report(Error, laterPos(a.pos, b.pos), msg,
+				"separate the accesses with barrier(CLK_LOCAL_MEM_FENCE) or make the index work-item-private")
+		}
+	}
+}
+
+// findConflict searches the lid domain for two distinct work-items
+// whose accesses overlap in bytes while both guards are satisfied.
+func findConflict(a, b memAccess) (int64, int64, bool) {
+	admit := func(g guard, l int64) bool {
+		switch g.kind {
+		case guardLidEq:
+			return l == g.lidVal
+		default: // guardAll, guardUnique (some single unknown item)
+			return true
+		}
+	}
+	for l1 := int64(0); l1 < lidDomain; l1++ {
+		if !admit(a.guard, l1) {
+			continue
+		}
+		s1 := a.start.at(l1)
+		for l2 := int64(0); l2 < lidDomain; l2++ {
+			if l1 == l2 || !admit(b.guard, l2) {
+				continue
+			}
+			s2 := b.start.at(l2)
+			if s1 < s2+b.span && s2 < s1+a.span {
+				return l1, l2, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+func earlierPos(a, b token.Pos) token.Pos {
+	if a.Line < b.Line || (a.Line == b.Line && a.Col <= b.Col) {
+		return a
+	}
+	return b
+}
+
+func laterPos(a, b token.Pos) token.Pos {
+	if a.Line > b.Line || (a.Line == b.Line && a.Col > b.Col) {
+		return a
+	}
+	return b
+}
+
+// passBounds reports constant array indices that fall outside the
+// declared bounds of fixed-size __private/__local arrays.
+func passBounds(c *Context) {
+	allExprs(c.Fn.Body, func(e ast.Expr) {
+		ix, ok := e.(*ast.IndexExpr)
+		if !ok {
+			return
+		}
+		sym := symOf(c.Sema, ix.X)
+		if sym == nil || sym.ArrayLen <= 0 {
+			return
+		}
+		if sym.Kind != sema.SymArray && sym.Kind != sema.SymFileVar {
+			return
+		}
+		idx, ok := constEval(c.Sema, ix.Index)
+		if !ok {
+			return
+		}
+		if idx >= 0 && idx < int64(sym.ArrayLen) {
+			return
+		}
+		c.Report(Error, ix.Pos(),
+			fmt.Sprintf("index %d is out of bounds for '%s[%d]'", idx, sym.Name, sym.ArrayLen),
+			"the access wraps or faults at run time; fix the index or the array length")
+	})
+}

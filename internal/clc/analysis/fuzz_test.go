@@ -1,0 +1,42 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"maligo/internal/clc"
+	"maligo/internal/clc/analysis"
+)
+
+// FuzzAnalyze asserts the analyzer never panics on any input the
+// compiler accepts: whatever clc.CompileArtifacts swallows, every
+// pass must digest.
+func FuzzAnalyze(f *testing.F) {
+	entries, err := os.ReadDir(goldenDir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".cl") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(goldenDir, e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Add(`__kernel void k(__global float* p) { p[get_global_id(0)] = 0.0f; }`)
+	f.Add(`__kernel void k(__local int* l) { int i = get_local_id(0); l[i] = i; barrier(1); l[0] = l[i]; }`)
+	f.Add(`int h(int x) { return x * 2; } __kernel void k(__global int* p, int n) { for (int i = 0; i < 4; i++) { p[h(i)] += i; } }`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		art, err := clc.CompileArtifacts("fuzz.cl", src, "")
+		if err != nil {
+			return // only compiler-accepted inputs are in scope
+		}
+		analysis.Analyze(art)
+	})
+}

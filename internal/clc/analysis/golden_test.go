@@ -1,0 +1,95 @@
+package analysis_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"maligo/internal/clc/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden .want files")
+
+const goldenDir = "../../../testdata/analysis"
+
+// TestGolden compiles every kernel file under testdata/analysis and
+// compares the analyzer's text output against the checked-in .want
+// file. Each file holds the positive and the negative case for one
+// pass; `go test -run Golden -update ./internal/clc/analysis`
+// refreshes the goldens after an intentional change.
+func TestGolden(t *testing.T) {
+	entries, err := os.ReadDir(goldenDir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", goldenDir, err)
+	}
+	found := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".cl") {
+			continue
+		}
+		found++
+		name := e.Name()
+		t.Run(strings.TrimSuffix(name, ".cl"), func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(goldenDir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := analysis.AnalyzeSource(name, string(src), "")
+			if err != nil {
+				t.Fatalf("compile %s: %v", name, err)
+			}
+			got := analysis.Format(diags)
+			wantPath := filepath.Join(goldenDir, strings.TrimSuffix(name, ".cl")+".want")
+			if *update {
+				if err := os.WriteFile(wantPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(wantPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", name, got, want)
+			}
+		})
+	}
+	if found == 0 {
+		t.Fatal("no .cl files under " + goldenDir)
+	}
+}
+
+// TestGoldenCoverage asserts that the golden corpus exercises every
+// registered pass with at least one positive finding, so a new pass
+// cannot land without a golden case.
+func TestGoldenCoverage(t *testing.T) {
+	hit := make(map[string]bool)
+	entries, err := os.ReadDir(goldenDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".cl") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(goldenDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := analysis.AnalyzeSource(e.Name(), string(src), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			hit[d.Pass] = true
+		}
+	}
+	for _, p := range analysis.Passes() {
+		if !hit[p.Name] {
+			t.Errorf("pass %q has no positive golden case under %s", p.Name, goldenDir)
+		}
+	}
+}

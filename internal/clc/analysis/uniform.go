@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"maligo/internal/clc/ast"
+	"maligo/internal/clc/builtin"
+	"maligo/internal/clc/sema"
+	"maligo/internal/clc/token"
+)
+
+// uniformity is a taint analysis over one kernel: an expression is
+// "divergent" when its value can differ between work-items of the
+// same work-group. get_local_id/get_global_id are the taint sources;
+// get_group_id, get_*_size and kernel arguments are uniform because
+// every item of a group sees the same value. Memory loads are treated
+// as divergent (the loaded value may depend on a divergent address or
+// on racing writes). The analysis runs to a fixpoint so taint flows
+// through local variables and through assignments performed under
+// divergent control flow.
+type uniformity struct {
+	res       *sema.Result
+	divergent map[*sema.Symbol]bool
+	retDiv    map[*ast.FuncDecl]bool // user functions with divergent return values
+}
+
+func newUniformity(res *sema.Result, fn *ast.FuncDecl) *uniformity {
+	u := &uniformity{
+		res:       res,
+		divergent: make(map[*sema.Symbol]bool),
+		retDiv:    make(map[*ast.FuncDecl]bool),
+	}
+	// A helper whose body reads work-item identity returns a divergent
+	// value regardless of its arguments.
+	for _, f := range res.Funcs {
+		u.retDiv[f] = bodyReadsIdentity(res, f.Body)
+	}
+	// Fixpoint: each round may taint more symbols; symbol count bounds
+	// the rounds.
+	for i := 0; i < len(res.Syms)+2; i++ {
+		if !u.propagate(fn.Body, false) {
+			break
+		}
+	}
+	return u
+}
+
+// bodyReadsIdentity reports whether a statement tree calls
+// get_global_id or get_local_id (directly; helpers are handled by the
+// caller's per-function map, and OpenCL C forbids recursion).
+func bodyReadsIdentity(res *sema.Result, s ast.Stmt) bool {
+	found := false
+	allExprs(s, func(e ast.Expr) {
+		if call, ok := e.(*ast.CallExpr); ok {
+			if info := res.Calls[call]; info != nil && info.Kind == sema.CallBuiltin {
+				if info.Builtin == builtin.GetGlobalID || info.Builtin == builtin.GetLocalID {
+					found = true
+				}
+			}
+		}
+	})
+	return found
+}
+
+// propagate walks the body once, tainting symbols assigned divergent
+// values or assigned at all under divergent control flow. It reports
+// whether any new symbol was tainted.
+func (u *uniformity) propagate(body ast.Stmt, underDiv bool) bool {
+	changed := false
+	taint := func(sym *sema.Symbol) {
+		if sym != nil && !u.divergent[sym] {
+			u.divergent[sym] = true
+			changed = true
+		}
+	}
+	handleExpr := func(e ast.Expr, div bool) {
+		walkExprs(e, func(x ast.Expr) {
+			switch x := x.(type) {
+			case *ast.AssignExpr:
+				if div || u.Divergent(x.RHS) {
+					taint(baseSym(u.res, x.LHS))
+				}
+			case *ast.PostfixExpr:
+				if div {
+					taint(baseSym(u.res, x.X))
+				}
+			case *ast.UnaryExpr:
+				if div && (x.Op == token.INC || x.Op == token.DEC) {
+					taint(baseSym(u.res, x.X))
+				}
+			}
+		})
+	}
+	var walk func(s ast.Stmt, div bool)
+	walk = func(s ast.Stmt, div bool) {
+		switch s := s.(type) {
+		case nil:
+		case *ast.DeclStmt:
+			for _, d := range s.Decls {
+				if d.Init != nil && (div || u.Divergent(d.Init)) {
+					// sema links each local symbol to its DeclStmt;
+					// disambiguate multi-declarator statements by name.
+					for _, sym := range u.res.Syms {
+						if sym.Decl == s && sym.Name == d.Name {
+							taint(sym)
+							break
+						}
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			handleExpr(s.X, div)
+		case *ast.BlockStmt:
+			for _, c := range s.List {
+				walk(c, div)
+			}
+		case *ast.IfStmt:
+			branchDiv := div || u.Divergent(s.Cond)
+			walk(s.Then, branchDiv)
+			walk(s.Else, branchDiv)
+		case *ast.ForStmt:
+			walk(s.Init, div)
+			bodyDiv := div || u.Divergent(s.Cond)
+			handleExpr(s.Post, bodyDiv)
+			walk(s.Body, bodyDiv)
+		case *ast.WhileStmt:
+			walk(s.Body, div || u.Divergent(s.Cond))
+		case *ast.DoWhileStmt:
+			walk(s.Body, div || u.Divergent(s.Cond))
+		case *ast.ReturnStmt:
+			handleExpr(s.X, div)
+		}
+	}
+	walk(body, underDiv)
+	return changed
+}
+
+// Divergent reports whether e may evaluate differently across
+// work-items of one group.
+func (u *uniformity) Divergent(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	switch e := unparen(e).(type) {
+	case *ast.IntLit, *ast.FloatLit, *ast.SizeofExpr:
+		return false
+	case *ast.Ident:
+		return u.divergent[u.res.Syms[e]]
+	case *ast.CallExpr:
+		info := u.res.Calls[e]
+		if info == nil {
+			return true
+		}
+		switch info.Kind {
+		case sema.CallBuiltin:
+			switch info.Builtin {
+			case builtin.GetGlobalID, builtin.GetLocalID:
+				return true
+			case builtin.GetGroupID, builtin.GetGlobalSize, builtin.GetLocalSize,
+				builtin.GetNumGroups, builtin.GetGlobalOffset, builtin.GetWorkDim:
+				return false
+			}
+			if _, ok := info.Builtin.IsVload(); ok {
+				return true // loads from memory
+			}
+			if info.Builtin.IsAtomic() {
+				return true // returned old value differs per item
+			}
+			// Pure math builtins: divergent iff an argument is.
+			for _, a := range e.Args {
+				if u.Divergent(a) {
+					return true
+				}
+			}
+			return false
+		case sema.CallUser:
+			if info.Target != nil && u.retDiv[info.Target] {
+				return true
+			}
+			for _, a := range e.Args {
+				if u.Divergent(a) {
+					return true
+				}
+			}
+			return false
+		case sema.CallConvert:
+			for _, a := range e.Args {
+				if u.Divergent(a) {
+					return true
+				}
+			}
+			return false
+		}
+		return true
+	case *ast.IndexExpr:
+		return true // loaded value may differ per item
+	case *ast.UnaryExpr:
+		if e.Op == token.MUL {
+			return true // pointer dereference: a load
+		}
+		return u.Divergent(e.X)
+	case *ast.PostfixExpr:
+		return u.Divergent(e.X)
+	case *ast.BinaryExpr:
+		return u.Divergent(e.X) || u.Divergent(e.Y)
+	case *ast.AssignExpr:
+		return u.Divergent(e.LHS) || u.Divergent(e.RHS)
+	case *ast.CondExpr:
+		return u.Divergent(e.Cond) || u.Divergent(e.Then) || u.Divergent(e.Else)
+	case *ast.MemberExpr:
+		return u.Divergent(e.X)
+	case *ast.CastExpr:
+		return u.Divergent(e.X)
+	case *ast.VectorLit:
+		for _, el := range e.Elems {
+			if u.Divergent(el) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,301 @@
+package analysis
+
+import (
+	"maligo/internal/clc/ast"
+	"maligo/internal/clc/builtin"
+	"maligo/internal/clc/sema"
+	"maligo/internal/clc/token"
+)
+
+// walkStmts visits s and every statement nested inside it, pre-order.
+func walkStmts(s ast.Stmt, fn func(ast.Stmt)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, c := range s.List {
+			walkStmts(c, fn)
+		}
+	case *ast.IfStmt:
+		walkStmts(s.Then, fn)
+		walkStmts(s.Else, fn)
+	case *ast.ForStmt:
+		walkStmts(s.Init, fn)
+		walkStmts(s.Body, fn)
+	case *ast.WhileStmt:
+		walkStmts(s.Body, fn)
+	case *ast.DoWhileStmt:
+		walkStmts(s.Body, fn)
+	}
+}
+
+// walkExprs visits every expression appearing in e, pre-order.
+func walkExprs(e ast.Expr, fn func(ast.Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		walkExprs(e.X, fn)
+		walkExprs(e.Y, fn)
+	case *ast.UnaryExpr:
+		walkExprs(e.X, fn)
+	case *ast.PostfixExpr:
+		walkExprs(e.X, fn)
+	case *ast.AssignExpr:
+		walkExprs(e.LHS, fn)
+		walkExprs(e.RHS, fn)
+	case *ast.CondExpr:
+		walkExprs(e.Cond, fn)
+		walkExprs(e.Then, fn)
+		walkExprs(e.Else, fn)
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			walkExprs(a, fn)
+		}
+	case *ast.IndexExpr:
+		walkExprs(e.X, fn)
+		walkExprs(e.Index, fn)
+	case *ast.MemberExpr:
+		walkExprs(e.X, fn)
+	case *ast.CastExpr:
+		walkExprs(e.X, fn)
+	case *ast.VectorLit:
+		for _, a := range e.Elems {
+			walkExprs(a, fn)
+		}
+	case *ast.ParenExpr:
+		walkExprs(e.X, fn)
+	}
+}
+
+// stmtExprs visits every expression directly contained in s, without
+// descending into nested statements.
+func stmtExprs(s ast.Stmt, fn func(ast.Expr)) {
+	switch s := s.(type) {
+	case *ast.DeclStmt:
+		for _, d := range s.Decls {
+			walkExprs(d.Init, fn)
+		}
+	case *ast.ExprStmt:
+		walkExprs(s.X, fn)
+	case *ast.IfStmt:
+		walkExprs(s.Cond, fn)
+	case *ast.ForStmt:
+		walkExprs(s.Cond, fn)
+		walkExprs(s.Post, fn)
+	case *ast.WhileStmt:
+		walkExprs(s.Cond, fn)
+	case *ast.DoWhileStmt:
+		walkExprs(s.Cond, fn)
+	case *ast.ReturnStmt:
+		walkExprs(s.X, fn)
+	}
+}
+
+// allExprs visits every expression in the statement tree rooted at s.
+func allExprs(s ast.Stmt, fn func(ast.Expr)) {
+	walkStmts(s, func(inner ast.Stmt) { stmtExprs(inner, fn) })
+}
+
+// unparen strips grouping parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// symOf resolves an identifier expression to its symbol, or nil.
+func symOf(res *sema.Result, e ast.Expr) *sema.Symbol {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return res.Syms[id]
+}
+
+// builtinCall reports whether e is a call to the given builtin.
+func builtinCall(res *sema.Result, e ast.Expr, id builtin.ID) (*ast.CallExpr, bool) {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	info := res.Calls[call]
+	if info == nil || info.Kind != sema.CallBuiltin || info.Builtin != id {
+		return nil, false
+	}
+	return call, true
+}
+
+// workItemCall reports whether e is a work-item query builtin call,
+// returning the builtin and its constant dimension argument (-1 when
+// the dimension is not a constant).
+func workItemCall(res *sema.Result, e ast.Expr) (builtin.ID, int64, bool) {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return 0, 0, false
+	}
+	info := res.Calls[call]
+	if info == nil || info.Kind != sema.CallBuiltin || !info.Builtin.IsWorkItemQuery() {
+		return 0, 0, false
+	}
+	dim := int64(-1)
+	if len(call.Args) == 1 {
+		if v, ok := constEval(res, call.Args[0]); ok {
+			dim = v
+		}
+	}
+	return info.Builtin, dim, true
+}
+
+// constEval evaluates an integer constant expression, tolerating
+// parens, casts, unary +/-/~ and the usual binary operators. It
+// returns false for anything it cannot prove constant.
+func constEval(res *sema.Result, e ast.Expr) (int64, bool) {
+	switch e := unparen(e).(type) {
+	case *ast.IntLit:
+		return e.Value, true
+	case *ast.CastExpr:
+		return constEval(res, e.X)
+	case *ast.UnaryExpr:
+		v, ok := constEval(res, e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case token.ADD:
+			return v, true
+		case token.SUB:
+			return -v, true
+		case token.NOT:
+			return ^v, true
+		}
+	case *ast.BinaryExpr:
+		x, ok := constEval(res, e.X)
+		if !ok {
+			return 0, false
+		}
+		y, ok := constEval(res, e.Y)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case token.ADD:
+			return x + y, true
+		case token.SUB:
+			return x - y, true
+		case token.MUL:
+			return x * y, true
+		case token.QUO:
+			if y != 0 {
+				return x / y, true
+			}
+		case token.REM:
+			if y != 0 {
+				return x % y, true
+			}
+		case token.AND:
+			return x & y, true
+		case token.OR:
+			return x | y, true
+		case token.XOR:
+			return x ^ y, true
+		case token.SHL:
+			if y >= 0 && y < 63 {
+				return x << uint(y), true
+			}
+		case token.SHR:
+			if y >= 0 && y < 63 {
+				return x >> uint(y), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// assignTargets visits every symbol e writes to: assignment LHS
+// targets and ++/-- operands, looking through index/member/deref
+// forms to the base identifier.
+func assignTargets(res *sema.Result, e ast.Expr, fn func(*sema.Symbol)) {
+	walkExprs(e, func(x ast.Expr) {
+		switch x := x.(type) {
+		case *ast.AssignExpr:
+			if s := baseSym(res, x.LHS); s != nil {
+				fn(s)
+			}
+		case *ast.PostfixExpr:
+			if s := baseSym(res, x.X); s != nil {
+				fn(s)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.INC || x.Op == token.DEC {
+				if s := baseSym(res, x.X); s != nil {
+					fn(s)
+				}
+			}
+		}
+	})
+}
+
+// baseSym finds the base symbol of an lvalue expression: the x in
+// x, x[i], x.lo, *x, (&x[i]).
+func baseSym(res *sema.Result, e ast.Expr) *sema.Symbol {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return res.Syms[x]
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.MemberExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op == token.MUL || x.Op == token.AND || x.Op == token.INC || x.Op == token.DEC {
+				e = x.X
+				continue
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// containsBarrier reports whether the statement tree executes
+// barrier(), either directly or through a helper function.
+func containsBarrier(res *sema.Result, s ast.Stmt, seen map[*ast.FuncDecl]bool) bool {
+	found := false
+	allExprs(s, func(e ast.Expr) {
+		if found {
+			return
+		}
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		info := res.Calls[call]
+		if info == nil {
+			return
+		}
+		switch info.Kind {
+		case sema.CallBuiltin:
+			if info.Builtin == builtin.Barrier {
+				found = true
+			}
+		case sema.CallUser:
+			if info.Target != nil && !seen[info.Target] {
+				seen[info.Target] = true
+				if containsBarrier(res, info.Target.Body, seen) {
+					found = true
+				}
+			}
+		}
+	})
+	return found
+}

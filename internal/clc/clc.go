@@ -5,6 +5,7 @@
 package clc
 
 import (
+	"maligo/internal/clc/ast"
 	"maligo/internal/clc/ir"
 	"maligo/internal/clc/parser"
 	"maligo/internal/clc/preproc"
@@ -32,9 +33,32 @@ var predefined = map[string]string{
 	"cl_khr_int64_base_atomics": "1",
 }
 
+// Artifacts bundles every intermediate representation of one
+// compilation: the preprocessed source (comments and line structure
+// preserved), the parsed AST, the semantic analysis result and the
+// lowered IR program. The static-analysis passes in
+// internal/clc/analysis consume all four.
+type Artifacts struct {
+	Name   string
+	Source string // preprocessed source
+	File   *ast.File
+	Sema   *sema.Result
+	Prog   *ir.Program
+}
+
 // Compile builds OpenCL C source into an executable IR program.
 // options is a clBuildProgram-style option string ("-DREAL=float ...").
 func Compile(name, src, options string) (*ir.Program, error) {
+	art, err := CompileArtifacts(name, src, options)
+	if err != nil {
+		return nil, err
+	}
+	return art.Prog, nil
+}
+
+// CompileArtifacts runs the full pipeline and returns every
+// intermediate stage alongside the executable program.
+func CompileArtifacts(name, src, options string) (*Artifacts, error) {
 	defs := preproc.ParseOptions(options)
 	for k, v := range predefined {
 		if _, user := defs[k]; !user {
@@ -58,5 +82,5 @@ func Compile(name, src, options string) (*ir.Program, error) {
 		return nil, err
 	}
 	prog.Source = expanded
-	return prog, nil
+	return &Artifacts{Name: name, Source: expanded, File: file, Sema: res, Prog: prog}, nil
 }

@@ -19,6 +19,7 @@ import (
 
 	"maligo/internal/clc/ast"
 	"maligo/internal/clc/builtin"
+	"maligo/internal/clc/token"
 	"maligo/internal/clc/types"
 )
 
@@ -138,6 +139,12 @@ type Instr struct {
 	Width uint8 // lanes
 	Base  types.Base
 	Base2 types.Base // conversion source base
+
+	// Pos is the source position of the expression or statement the
+	// instruction was lowered from; diagnostics (static analysis, the
+	// dynamic race checker, VM memory faults) map IR back to source
+	// through it. Optimization rewrites preserve it.
+	Pos token.Pos
 }
 
 // String disassembles the instruction.

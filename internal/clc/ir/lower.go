@@ -165,7 +165,17 @@ type lowerer struct {
 	loops        []loopFrame
 	locOff       int
 	prvOff       int
+	pos          token.Pos // current source position, stamped onto emitted instructions
 	err          error
+}
+
+// setPos updates the position stamped onto subsequently emitted
+// instructions. Invalid positions are ignored so synthesized
+// sub-expressions inherit the position of the enclosing construct.
+func (lw *lowerer) setPos(p token.Pos) {
+	if p.IsValid() {
+		lw.pos = p
+	}
 }
 
 func (lw *lowerer) fail(pos token.Pos, format string, args ...any) {
@@ -213,6 +223,9 @@ func (lw *lowerer) alloc(t *types.Type) reg {
 }
 
 func (lw *lowerer) emit(in Instr) int {
+	if !in.Pos.IsValid() {
+		in.Pos = lw.pos
+	}
 	lw.code = append(lw.code, in)
 	return len(lw.code) - 1
 }
@@ -419,6 +432,7 @@ func (lw *lowerer) genStmt(s ast.Stmt) {
 }
 
 func (lw *lowerer) genStmtInner(s ast.Stmt) {
+	lw.setPos(s.Pos())
 	switch s := s.(type) {
 	case *ast.BlockStmt:
 		lw.genBlock(s)

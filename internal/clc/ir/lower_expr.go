@@ -22,6 +22,7 @@ func (lw *lowerer) genExpr(e ast.Expr) reg {
 	if lw.err != nil {
 		return reg{width: 1}
 	}
+	lw.setPos(e.Pos())
 	switch e := e.(type) {
 	case *ast.IntLit:
 		t := lw.typeOf(e)
@@ -554,10 +555,12 @@ func (lw *lowerer) genAssign(e *ast.AssignExpr) reg {
 	}
 	if e.Op == token.ASSIGN {
 		rhs = lw.convert(rhs, rt, lt, e.Pos())
+		lw.setPos(e.Pos()) // the store belongs to the assignment, not the last RHS term
 		lw.storeLValue(lv, rhs, lt)
 		return rhs
 	}
 	// Compound: load, op, store.
+	lw.setPos(e.Pos())
 	old := lw.loadLValue(lv, lt)
 	baseOp := e.Op.BaseOf()
 	if lt.IsPointer() {
@@ -607,6 +610,7 @@ func (lw *lowerer) genAssign(e *ast.AssignExpr) reg {
 		}
 	}
 	lw.emit(Instr{Op: op, A: dst.slot, B: old.slot, C: rhs.slot, Width: uint8(widthOf(lt)), Base: lt.Base})
+	lw.setPos(e.Pos())
 	lw.storeLValue(lv, dst, lt)
 	return dst
 }

@@ -115,7 +115,7 @@ func foldConstants(k *Kernel) {
 				cv, cok := iconst[in.C]
 				if bok && cok && bv.known && cv.known {
 					res := evalIntBin(in.Op, in.Base, bv.i, cv.i)
-					*in = Instr{Op: ImmI, A: in.A, Imm: res, Width: 1, Base: in.Base}
+					*in = Instr{Op: ImmI, A: in.A, Imm: res, Width: 1, Base: in.Base, Pos: in.Pos}
 					iconst[in.A] = constVal{known: true, i: res}
 					continue
 				}
@@ -125,7 +125,7 @@ func foldConstants(k *Kernel) {
 			if w == 1 {
 				if bv, ok := iconst[in.B]; ok && bv.known {
 					res := wrapIntIR(in.Base, -bv.i)
-					*in = Instr{Op: ImmI, A: in.A, Imm: res, Width: 1, Base: in.Base}
+					*in = Instr{Op: ImmI, A: in.A, Imm: res, Width: 1, Base: in.Base, Pos: in.Pos}
 					iconst[in.A] = constVal{known: true, i: res}
 					continue
 				}
@@ -135,7 +135,7 @@ func foldConstants(k *Kernel) {
 			if w == 1 {
 				if bv, ok := iconst[in.B]; ok && bv.known {
 					res := wrapIntIR(in.Base, ^bv.i)
-					*in = Instr{Op: ImmI, A: in.A, Imm: res, Width: 1, Base: in.Base}
+					*in = Instr{Op: ImmI, A: in.A, Imm: res, Width: 1, Base: in.Base, Pos: in.Pos}
 					iconst[in.A] = constVal{known: true, i: res}
 					continue
 				}
@@ -148,7 +148,7 @@ func foldConstants(k *Kernel) {
 				cv, cok := fconst[in.C]
 				if bok && cok && bv.known && cv.known {
 					res := evalFloatBin(in.Op, in.Base, bv.f, cv.f)
-					*in = Instr{Op: ImmF, A: in.A, FImm: res, Width: 1, Base: in.Base}
+					*in = Instr{Op: ImmF, A: in.A, FImm: res, Width: 1, Base: in.Base, Pos: in.Pos}
 					fconst[in.A] = constVal{known: true, f: res}
 					continue
 				}
@@ -158,7 +158,7 @@ func foldConstants(k *Kernel) {
 			if w == 1 {
 				if bv, ok := fconst[in.B]; ok && bv.known {
 					res := roundBaseIR(in.Base, -bv.f)
-					*in = Instr{Op: ImmF, A: in.A, FImm: res, Width: 1, Base: in.Base}
+					*in = Instr{Op: ImmF, A: in.A, FImm: res, Width: 1, Base: in.Base, Pos: in.Pos}
 					fconst[in.A] = constVal{known: true, f: res}
 					continue
 				}
@@ -178,7 +178,7 @@ func foldConstants(k *Kernel) {
 					} else {
 						v = wrapIntIR(in.Base, v)
 					}
-					*in = Instr{Op: ImmI, A: in.A, Imm: v, Width: 1, Base: in.Base}
+					*in = Instr{Op: ImmI, A: in.A, Imm: v, Width: 1, Base: in.Base, Pos: in.Pos}
 					iconst[in.A] = constVal{known: true, i: v}
 					continue
 				}
@@ -194,7 +194,7 @@ func foldConstants(k *Kernel) {
 						f = float64(uint64(bv.i))
 					}
 					f = roundBaseIR(in.Base, f)
-					*in = Instr{Op: ImmF, A: in.A, FImm: f, Width: 1, Base: in.Base}
+					*in = Instr{Op: ImmF, A: in.A, FImm: f, Width: 1, Base: in.Base, Pos: in.Pos}
 					fconst[in.A] = constVal{known: true, f: f}
 					continue
 				}
@@ -204,7 +204,7 @@ func foldConstants(k *Kernel) {
 			if w == 1 {
 				if bv, ok := fconst[in.B]; ok && bv.known {
 					f := roundBaseIR(in.Base, bv.f)
-					*in = Instr{Op: ImmF, A: in.A, FImm: f, Width: 1, Base: in.Base}
+					*in = Instr{Op: ImmF, A: in.A, FImm: f, Width: 1, Base: in.Base, Pos: in.Pos}
 					fconst[in.A] = constVal{known: true, f: f}
 					continue
 				}
@@ -219,7 +219,7 @@ func foldConstants(k *Kernel) {
 				cv, cok := iconst[in.C]
 				if bok && cok && bv.known && cv.known {
 					res := evalIntCmp(in.Op, in.Base, bv.i, cv.i)
-					*in = Instr{Op: ImmI, A: in.A, Imm: res, Width: 1, Base: types.Int}
+					*in = Instr{Op: ImmI, A: in.A, Imm: res, Width: 1, Base: types.Int, Pos: in.Pos}
 					iconst[in.A] = constVal{known: true, i: res}
 					continue
 				}

@@ -1,0 +1,92 @@
+package ir_test
+
+import (
+	"testing"
+
+	"maligo/internal/clc/ir"
+)
+
+// TestInstrPositions is the regression test for position threading:
+// lowering used to drop token.Pos entirely, so diagnostics could not
+// point at source lines. Every memory instruction must carry the line
+// of the statement it came from, including the expression forms that
+// previously lost positions (index loads, compound assignment,
+// increment, vector stores, builtin calls).
+func TestInstrPositions(t *testing.T) {
+	src := `__kernel void k(__global float* a,
+                __global float* b,
+                int n) {
+    int i = get_global_id(0);
+    float x = a[i];
+    x += b[i];
+    b[i] = x * 2.0f;
+    a[i]++;
+    float4 v = vload4(i, a);
+    vstore4(v, i, b);
+}
+`
+	prog := compile(t, src)
+	k := prog.Kernel("k")
+	if k == nil {
+		t.Fatal("kernel k missing")
+	}
+
+	// Every load/store must map back to one of the source lines that
+	// contains a memory access (lines 4-10 of the literal above).
+	wantLines := map[int]bool{}
+	var memLines []int
+	for _, in := range k.Code {
+		if !in.Op.IsMemory() {
+			continue
+		}
+		if !in.Pos.IsValid() {
+			t.Errorf("memory instruction %v has no source position", in)
+			continue
+		}
+		if in.Pos.Line < 4 || in.Pos.Line > 10 {
+			t.Errorf("memory instruction %v at line %d, want 4..10", in, in.Pos.Line)
+		}
+		wantLines[in.Pos.Line] = true
+		memLines = append(memLines, in.Pos.Line)
+	}
+	if len(memLines) == 0 {
+		t.Fatal("no memory instructions lowered")
+	}
+	// The accesses span several distinct statements; their lines must
+	// not have collapsed onto a single value.
+	if len(wantLines) < 4 {
+		t.Errorf("memory access lines collapsed to %v, want at least 4 distinct lines", wantLines)
+	}
+
+	// All executable instructions (everything but the final Ret and
+	// control-flow glue) should carry a valid position too.
+	valid := 0
+	for _, in := range k.Code {
+		if in.Pos.IsValid() {
+			valid++
+		}
+	}
+	if valid < len(k.Code)/2 {
+		t.Errorf("only %d/%d instructions carry positions", valid, len(k.Code))
+	}
+}
+
+// TestInstrPositionsSurviveFolding checks that the constant folder's
+// instruction rewrites keep the original position.
+func TestInstrPositionsSurviveFolding(t *testing.T) {
+	src := `__kernel void k(__global int* p) {
+    int c = 3 + 4;
+    p[0] = c * 2;
+}
+`
+	prog := compile(t, src)
+	k := prog.Kernel("k")
+	for _, in := range k.Code {
+		if in.Op == ir.ImmI && in.Imm == 7 && !in.Pos.IsValid() {
+			t.Errorf("folded constant %v lost its position", in)
+		}
+		if in.Op.IsMemory() && !in.Pos.IsValid() {
+			t.Errorf("memory instruction %v lost its position after optimization", in)
+		}
+	}
+}

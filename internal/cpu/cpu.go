@@ -232,7 +232,18 @@ func (c *CPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 				Mem:          gmem,
 				Observer:     observers[core],
 			}
-			return vm.RunGroup(cfg, &profiles[core])
+			var detail *vm.Trace
+			if rc.Race != nil {
+				detail = vm.NewTrace()
+				detail.EnableDetail()
+				cfg.Observer = vm.Tee(observers[core], detail)
+			}
+			err := vm.RunGroup(cfg, &profiles[core])
+			if err == nil && detail != nil {
+				rc.Race.ObserveGroup(group, detail)
+			}
+			detail.Release()
+			return err
 		})
 	}
 	if err != nil {

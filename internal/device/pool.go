@@ -50,12 +50,24 @@ func (p *Pool) Close() {
 	})
 }
 
+// RaceObserver receives each work-group's detailed memory trace for
+// dynamic race analysis (vm.RaceDetector implements it). Called in
+// dispatch order on the consuming goroutine.
+type RaceObserver interface {
+	ObserveGroup(group [3]int, tr *vm.Trace)
+}
+
 // RunConfig carries the execution context of one enqueue: an optional
-// cancellation context and an optional worker pool. The zero value
-// means "serial, non-cancellable" — exactly the legacy Run behaviour.
+// cancellation context, an optional worker pool and an optional race
+// observer. The zero value means "serial, non-cancellable, unchecked"
+// — exactly the legacy Run behaviour.
 type RunConfig struct {
 	Ctx  context.Context
 	Pool *Pool
+	// Race, when non-nil, makes the engine record detailed (work-item
+	// attributed) traces and hand each group's trace to the observer
+	// before cost accounting.
+	Race RaceObserver
 }
 
 // Parallel reports whether this config asks for concurrent execution.
@@ -143,6 +155,9 @@ func RunGroups(rc RunConfig, ndr *NDRange, gmem vm.GlobalMemory, consume func(*G
 					res.err = err
 				} else {
 					tr := vm.NewTrace()
+					if rc.Race != nil {
+						tr.EnableDetail()
+					}
 					gw := &GroupWork{Index: idx, Group: g, Trace: tr}
 					cfg := &vm.GroupConfig{
 						Kernel:       ndr.Kernel,
@@ -215,6 +230,9 @@ func RunGroups(rc RunConfig, ndr *NDRange, gmem vm.GlobalMemory, consume func(*G
 					break
 				}
 				delete(pending, next)
+				if rc.Race != nil {
+					rc.Race.ObserveGroup(r.gw.Group, r.gw.Trace)
+				}
 				if err := consume(r.gw); err != nil {
 					fail(r.index, err)
 					break

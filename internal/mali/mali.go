@@ -366,8 +366,19 @@ func (g *GPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 				Mem:          gmem,
 				Observer:     obs,
 			}
+			var detail *vm.Trace
+			if rc.Race != nil {
+				detail = vm.NewTrace()
+				detail.EnableDetail()
+				cfg.Observer = vm.Tee(obs, detail)
+			}
 			if err := vm.RunGroup(cfg, &prof); err != nil {
+				detail.Release()
 				return err
+			}
+			if detail != nil {
+				rc.Race.ObserveGroup(group, detail)
+				detail.Release()
 			}
 			account(&prof, obs.dramBytes-prevDram, obs.localAtomics-prevLA,
 				obs.seqMisses-prevSeq, obs.rndMisses-prevRnd)

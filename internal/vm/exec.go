@@ -457,6 +457,9 @@ func (r *groupRunner) execLoad(in *ir.Instr, st *wiState, w int) error {
 	}
 	r.prof.BytesRead[space&3] += uint64(size * w)
 	if r.cfg.Observer != nil {
+		if r.ctxObs != nil {
+			r.ctxObs.OnContext(r.item, r.phase, in.Pos.Line)
+		}
 		r.cfg.Observer.OnAccess(space, addr, size*w, false)
 	}
 	for l := 0; l < w; l++ {
@@ -485,6 +488,9 @@ func (r *groupRunner) execStore(in *ir.Instr, st *wiState, w int) error {
 	}
 	r.prof.BytesWritten[space&3] += uint64(size * w)
 	if r.cfg.Observer != nil {
+		if r.ctxObs != nil {
+			r.ctxObs.OnContext(r.item, r.phase, in.Pos.Line)
+		}
 		r.cfg.Observer.OnAccess(space, addr, size*w, true)
 	}
 	for l := 0; l < w; l++ {
@@ -567,6 +573,9 @@ func (r *groupRunner) execAtomic(in *ir.Instr, st *wiState) error {
 	r.prof.BytesRead[space&3] += uint64(size)
 	r.prof.BytesWritten[space&3] += uint64(size)
 	if r.cfg.Observer != nil {
+		if r.ctxObs != nil {
+			r.ctxObs.OnContext(r.item, r.phase, in.Pos.Line)
+		}
 		r.cfg.Observer.OnAccess(space, addr, size, true)
 		r.cfg.Observer.OnAtomic(space, addr, size)
 	}

@@ -7,6 +7,7 @@ import "sync"
 type traceRec struct {
 	addr  int64
 	size  uint16
+	line  uint16 // source line of the access (detail mode, else 0)
 	space uint8
 	kind  uint8
 }
@@ -16,6 +17,9 @@ const (
 	recRead uint8 = iota
 	recWrite
 	recAtomic
+	// recCtx marks a work-item/phase switch in detail mode; addr packs
+	// item<<32 | phase. Replay skips these.
+	recCtx
 )
 
 // Trace records the exact sequence of memory events (loads, stores and
@@ -27,8 +31,16 @@ const (
 // group 1's, and so on — replaying per-group traces in dispatch order
 // reproduces the serial access stream exactly, which is what keeps the
 // parallel engine's timing reports bit-identical to serial execution.
+//
+// In detail mode (EnableDetail) the trace additionally records which
+// work-item and barrier phase produced each access and the source line
+// of the access, which is what the dynamic race detector consumes.
 type Trace struct {
-	recs []traceRec
+	recs     []traceRec
+	detail   bool
+	line     uint16
+	curItem  int
+	curPhase int
 }
 
 // tracePool recycles record slices between work-groups; the parallel
@@ -39,6 +51,8 @@ var tracePool = sync.Pool{New: func() any { return new(Trace) }}
 func NewTrace() *Trace {
 	t := tracePool.Get().(*Trace)
 	t.recs = t.recs[:0]
+	t.detail = false
+	t.line = 0
 	return t
 }
 
@@ -50,30 +64,67 @@ func (t *Trace) Release() {
 	}
 }
 
+// EnableDetail switches the trace into detail mode: work-item/phase
+// context switches are interleaved with the access records and each
+// access carries its source line. Must be called before recording.
+func (t *Trace) EnableDetail() {
+	t.detail = true
+	t.curItem = -1
+	t.curPhase = -1
+}
+
+// Detailed reports whether the trace carries work-item context.
+func (t *Trace) Detailed() bool { return t.detail }
+
+// ContextActive implements ContextObserver: the VM only pays for
+// per-access context callbacks when detail mode is on.
+func (t *Trace) ContextActive() bool { return t.detail }
+
+// OnContext implements ContextObserver. The VM calls it immediately
+// before each access's OnAccess/OnAtomic callback.
+func (t *Trace) OnContext(item, phase, line int) {
+	if !t.detail {
+		return
+	}
+	t.line = uint16(line)
+	if item != t.curItem || phase != t.curPhase {
+		t.curItem, t.curPhase = item, phase
+		t.recs = append(t.recs, traceRec{
+			addr: int64(item)<<32 | int64(uint32(phase)),
+			kind: recCtx,
+		})
+	}
+}
+
 // OnAccess implements AccessObserver.
 func (t *Trace) OnAccess(space int, addr int64, size int, write bool) {
 	kind := recRead
 	if write {
 		kind = recWrite
 	}
-	t.recs = append(t.recs, traceRec{addr: addr, size: uint16(size), space: uint8(space), kind: kind})
+	t.recs = append(t.recs, traceRec{addr: addr, size: uint16(size), line: t.line, space: uint8(space), kind: kind})
 }
 
 // OnAtomic implements AccessObserver.
 func (t *Trace) OnAtomic(space int, addr int64, size int) {
-	t.recs = append(t.recs, traceRec{addr: addr, size: uint16(size), space: uint8(space), kind: recAtomic})
+	t.recs = append(t.recs, traceRec{addr: addr, size: uint16(size), line: t.line, space: uint8(space), kind: recAtomic})
 }
 
 // Len returns the number of recorded events.
 func (t *Trace) Len() int { return len(t.recs) }
 
-// Replay feeds the recorded events into o in recording order.
+// Replay feeds the recorded events into o in recording order. Context
+// records from detail mode are skipped, so replaying into a cache
+// model is unaffected by race checking.
 func (t *Trace) Replay(o AccessObserver) {
 	for i := range t.recs {
 		r := &t.recs[i]
-		if r.kind == recAtomic {
+		switch r.kind {
+		case recCtx:
+			// not a memory event
+		case recAtomic:
 			o.OnAtomic(int(r.space), r.addr, int(r.size))
-		} else {
+		default:
 			o.OnAccess(int(r.space), r.addr, int(r.size), r.kind == recWrite)
 		}
 	}

@@ -44,6 +44,65 @@ type AccessObserver interface {
 	OnAtomic(space int, addr int64, size int)
 }
 
+// ContextObserver is an optional extension of AccessObserver. When the
+// configured observer implements it and ContextActive returns true,
+// the VM calls OnContext immediately before every OnAccess/OnAtomic
+// callback with the flat local work-item index, the barrier phase
+// (number of barriers the item has passed) and the source line of the
+// memory instruction. Trace implements it in detail mode; the dynamic
+// race detector relies on it to attribute accesses to work-items.
+type ContextObserver interface {
+	OnContext(item, phase, line int)
+	// ContextActive reports whether context callbacks are wanted; the
+	// VM checks it once per group so inactive observers cost nothing.
+	ContextActive() bool
+}
+
+// Tee fans one access stream out to two observers (e.g. a device cache
+// model and a detail trace for race checking). Either may be nil.
+// Context callbacks are forwarded to whichever parts implement
+// ContextObserver.
+func Tee(a, b AccessObserver) AccessObserver {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	t := &tee{a: a, b: b}
+	t.ca, _ = a.(ContextObserver)
+	t.cb, _ = b.(ContextObserver)
+	return t
+}
+
+type tee struct {
+	a, b   AccessObserver
+	ca, cb ContextObserver
+}
+
+func (t *tee) OnAccess(space int, addr int64, size int, write bool) {
+	t.a.OnAccess(space, addr, size, write)
+	t.b.OnAccess(space, addr, size, write)
+}
+
+func (t *tee) OnAtomic(space int, addr int64, size int) {
+	t.a.OnAtomic(space, addr, size)
+	t.b.OnAtomic(space, addr, size)
+}
+
+func (t *tee) OnContext(item, phase, line int) {
+	if t.ca != nil {
+		t.ca.OnContext(item, phase, line)
+	}
+	if t.cb != nil {
+		t.cb.OnContext(item, phase, line)
+	}
+}
+
+func (t *tee) ContextActive() bool {
+	return (t.ca != nil && t.ca.ContextActive()) || (t.cb != nil && t.cb.ContextActive())
+}
+
 // Profile accumulates execution statistics for one enqueue (all
 // work-groups of one NDRange).
 type Profile struct {
@@ -175,6 +234,11 @@ type groupRunner struct {
 	cur     *wiState
 	steps   uint64
 	limit   uint64
+	// ctxObs, item and phase feed per-access context callbacks when the
+	// observer asks for them (race checking); ctxObs is nil otherwise.
+	ctxObs ContextObserver
+	item   int
+	phase  int
 }
 
 // RunGroup executes a single work-group to completion, accumulating
@@ -199,6 +263,9 @@ func RunGroup(cfg *GroupConfig, prof *Profile) error {
 		prof:  prof,
 		limit: limit,
 	}
+	if co, ok := cfg.Observer.(ContextObserver); ok && co.ContextActive() {
+		r.ctxObs = co
+	}
 	nloc := cfg.LocalSize[0] * max(cfg.LocalSize[1], 1) * max(cfg.LocalSize[2], 1)
 	if nloc <= 0 {
 		return fmt.Errorf("vm: empty work-group")
@@ -209,12 +276,15 @@ func RunGroup(cfg *GroupConfig, prof *Profile) error {
 	if !k.UsesBarrier {
 		// Fast path: run each work-item to completion, reusing one state.
 		st := r.newState()
+		item := 0
 		for lz := 0; lz < max(cfg.LocalSize[2], 1); lz++ {
 			for ly := 0; ly < max(cfg.LocalSize[1], 1); ly++ {
 				for lx := 0; lx < cfg.LocalSize[0]; lx++ {
 					r.resetState(st)
 					r.localID = [3]int{lx, ly, lz}
 					r.cur = st
+					r.item = item
+					item++
 					if err := r.run(st, false); err != nil {
 						return err
 					}
@@ -238,7 +308,7 @@ func RunGroup(cfg *GroupConfig, prof *Profile) error {
 			}
 		}
 	}
-	for {
+	for phase := 0; ; phase++ {
 		anyBar, anyDone, allFinished := false, false, true
 		for i, st := range states {
 			if st.done {
@@ -247,6 +317,8 @@ func RunGroup(cfg *GroupConfig, prof *Profile) error {
 			}
 			r.localID = coords[i]
 			r.cur = st
+			r.item = i
+			r.phase = phase
 			if err := r.run(st, true); err != nil {
 				return err
 			}

@@ -1,0 +1,26 @@
+/* Suppression directives: maligo:allow disables named passes for the
+ * next kernel only. */
+
+// maligo:allow vectorize scalar baseline kept on purpose for figures
+__kernel void allowed_scalar(__global const float* restrict a,
+                             __global float* restrict out,
+                             int n) {
+    int gid = get_global_id(0);
+    float s = 0.0f;
+    for (int i = 0; i < n; i++) {
+        s += a[i];
+    }
+    out[gid] = s;
+}
+
+/* The directive above does not leak onto this kernel. */
+__kernel void unallowed_scalar(__global const float* restrict a,
+                               __global float* restrict out,
+                               int n) {
+    int gid = get_global_id(0);
+    float s = 0.0f;
+    for (int i = 0; i < n; i++) {
+        s += a[i];
+    }
+    out[gid] = s;
+}

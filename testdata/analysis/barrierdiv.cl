@@ -1,0 +1,26 @@
+/* barrierdiv pass: positive and negative cases. */
+
+/* Positive: only work-item 0 reaches the barrier; the rest of the
+ * group waits forever. */
+__kernel void bad_barrier(__global float* restrict out,
+                          __local float* restrict l) {
+    int lid = get_local_id(0);
+    if (lid == 0) {
+        l[0] = 1.0f;
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[get_global_id(0)] = l[0];
+}
+
+/* Negative: the condition is uniform across the group, so either all
+ * work-items hit the barrier or none do. */
+__kernel void good_barrier(__global float* restrict out,
+                           __local float* restrict l,
+                           int n) {
+    int lid = get_local_id(0);
+    l[lid] = (float)lid;
+    if (n > 0) {
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[get_global_id(0)] = l[lid];
+}

@@ -1,0 +1,21 @@
+/* bounds pass: positive and negative cases. */
+
+/* Positive: constant index one past the end of a private array. */
+__kernel void oob(__global float* restrict out) {
+    float acc[16];
+    for (int i = 0; i < 16; i++) {
+        acc[i] = 0.0f;
+    }
+    acc[16] = 1.0f;
+    out[get_global_id(0)] = acc[15];
+}
+
+/* Negative: every constant index stays in range (acc[15] above). */
+__kernel void in_bounds(__global float* restrict out) {
+    float acc[16];
+    for (int i = 0; i < 16; i++) {
+        acc[i] = 0.0f;
+    }
+    acc[0] = 1.0f;
+    out[get_global_id(0)] = acc[15];
+}

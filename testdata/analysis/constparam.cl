@@ -1,0 +1,15 @@
+/* constparam pass: positive and negative cases. */
+
+/* Positive: 'in' is only ever read but lacks const. */
+__kernel void read_noconst(__global float* restrict in,
+                           __global float* restrict out) {
+    int gid = get_global_id(0);
+    out[gid] = in[gid] * 2.0f;
+}
+
+/* Negative: read-only buffer properly declared const. */
+__kernel void read_const(__global const float* restrict in,
+                         __global float* restrict out) {
+    int gid = get_global_id(0);
+    out[gid] = in[gid] * 2.0f;
+}

@@ -1,0 +1,31 @@
+/* copyprivate pass: positive and negative cases. */
+
+/* Positive: stages a __global row into a private array element by
+ * element. On the unified-memory SoC this moves every byte through
+ * the same LPDDR controller twice. */
+__kernel void stage_private(__global const float* restrict in,
+                            __global float* restrict out,
+                            int n) {
+    int gid = get_global_id(0);
+    float tmp[16];
+    for (int i = 0; i < 16; i++) {
+        tmp[i] = in[i * n + gid];
+    }
+    float s = 0.0f;
+    for (int i = 0; i < 16; i++) {
+        s += tmp[i];
+    }
+    out[gid] = s;
+}
+
+/* Negative: reads the __global buffer directly. */
+__kernel void no_stage(__global const float* restrict in,
+                       __global float* restrict out,
+                       int n) {
+    int gid = get_global_id(0);
+    float s = 0.0f;
+    for (int i = 0; i < 16; i++) {
+        s += in[i * n + gid];
+    }
+    out[gid] = s;
+}

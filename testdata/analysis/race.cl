@@ -1,0 +1,23 @@
+/* race pass: positive and negative cases. */
+
+/* Positive: each work-item reads its neighbor's __local slot in the
+ * same barrier interval the neighbor writes it. */
+__kernel void shift_race(__global const float* restrict in,
+                         __global float* restrict out,
+                         __local float* restrict tile) {
+    int lid = get_local_id(0);
+    int gid = get_global_id(0);
+    tile[lid] = in[gid];
+    out[gid] = tile[lid] - tile[lid + 1];
+}
+
+/* Negative: the barrier orders the writes before the neighbor reads. */
+__kernel void shift_ok(__global const float* restrict in,
+                       __global float* restrict out,
+                       __local float* restrict tile) {
+    int lid = get_local_id(0);
+    int gid = get_global_id(0);
+    tile[lid] = in[gid];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[gid] = tile[lid] - tile[lid + 1];
+}

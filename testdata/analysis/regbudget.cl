@@ -1,0 +1,21 @@
+/* regbudget pass: positive and negative cases. */
+
+/* Positive: several live double16 values; the estimated demand blows
+ * the per-thread register budget, the paper's CL_OUT_OF_RESOURCES
+ * failure mode. */
+__kernel void fat_regs(__global const double* restrict in,
+                       __global double* restrict out) {
+    int gid = get_global_id(0);
+    double16 a = vload16(gid, in);
+    double16 b = a * a;
+    double16 c = b + a;
+    double16 d = c * b + a;
+    out[gid] = d.s0 + d.s1 + c.s2 + b.s3;
+}
+
+/* Negative: a lean scalar kernel far under the budget. */
+__kernel void lean_regs(__global const float* restrict in,
+                        __global float* restrict out) {
+    int gid = get_global_id(0);
+    out[gid] = in[gid] + 1.0f;
+}

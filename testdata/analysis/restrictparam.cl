@@ -1,0 +1,18 @@
+/* restrictparam pass: positive and negative cases. */
+
+/* Positive: two __global buffers that could alias; neither carries
+ * restrict, so the compiler must order every load after every store. */
+__kernel void axpy_alias(__global const float* x,
+                         __global float* y,
+                         float a) {
+    int gid = get_global_id(0);
+    y[gid] += a * x[gid];
+}
+
+/* Negative: both buffers promise non-aliasing. */
+__kernel void axpy_restrict(__global const float* restrict x,
+                            __global float* restrict y,
+                            float a) {
+    int gid = get_global_id(0);
+    y[gid] += a * x[gid];
+}

@@ -1,0 +1,24 @@
+/* soa pass: positive and negative cases. */
+
+/* Positive: x/y/z interleaved per point (array of structures), so
+ * consecutive work-items load with stride 3. */
+__kernel void aos_norm(__global const float* restrict pos,
+                       __global float* restrict mag) {
+    int gid = get_global_id(0);
+    float x = pos[3 * gid + 0];
+    float y = pos[3 * gid + 1];
+    float z = pos[3 * gid + 2];
+    mag[gid] = sqrt(x * x + y * y + z * z);
+}
+
+/* Negative: structure of arrays; every access is unit-stride. */
+__kernel void soa_norm(__global const float* restrict px,
+                       __global const float* restrict py,
+                       __global const float* restrict pz,
+                       __global float* restrict mag) {
+    int gid = get_global_id(0);
+    float x = px[gid];
+    float y = py[gid];
+    float z = pz[gid];
+    mag[gid] = sqrt(x * x + y * y + z * z);
+}

@@ -1,0 +1,24 @@
+/* unroll pass: positive and negative cases. */
+
+/* Positive: constant trip count 4; the branch overhead outweighs the
+ * body. */
+__kernel void small_loop(__global const float* restrict in,
+                         __global float* restrict out) {
+    int gid = get_global_id(0);
+    float s = in[gid];
+    for (int i = 0; i < 4; i++) {
+        s = s * 2.0f + 1.0f;
+    }
+    out[gid] = s;
+}
+
+/* Negative: the trip count is long enough that the loop is fine. */
+__kernel void long_loop(__global const float* restrict in,
+                        __global float* restrict out) {
+    int gid = get_global_id(0);
+    float s = in[gid];
+    for (int i = 0; i < 100; i++) {
+        s = s * 2.0f + 1.0f;
+    }
+    out[gid] = s;
+}

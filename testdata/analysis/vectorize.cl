@@ -1,0 +1,26 @@
+/* vectorize pass: positive and negative cases. */
+
+/* Positive: scalar loads from __global memory in a unit-stride loop;
+ * each iteration moves 4 bytes where vload4 would move 16. */
+__kernel void vec_scalar(__global const float* restrict a,
+                         __global float* restrict out,
+                         int n) {
+    int gid = get_global_id(0);
+    float s = 0.0f;
+    for (int i = 0; i < n; i++) {
+        s += a[i];
+    }
+    out[gid] = s;
+}
+
+/* Negative: the loop already moves 128-bit lines through vload4. */
+__kernel void vec_wide(__global const float* restrict a,
+                       __global float* restrict out,
+                       int n) {
+    int gid = get_global_id(0);
+    float4 s = (float4)(0.0f);
+    for (int i = 0; i < n; i++) {
+        s += vload4(i, a);
+    }
+    out[gid] = s.x + s.y + s.z + s.w;
+}
