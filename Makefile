@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race short bench figures lint verify
+.PHONY: build vet test race short bench figures lint trace-smoke verify
 
 build:
 	$(GO) build ./...
@@ -40,5 +40,12 @@ lint: vet
 figures:
 	$(GO) run ./cmd/figures
 
+# Observability smoke test: run one small benchmark with trace +
+# metrics export and validate the JSON with tracecheck.
+trace-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/malisim -bench vecop -scale 0.05 -trace "$$tmp/trace.json" -metrics-out "$$tmp/metrics.json" >/dev/null && \
+	$(GO) run ./cmd/tracecheck -metrics "$$tmp/metrics.json" "$$tmp/trace.json"
+
 # Full verification: what CI runs.
-verify: build lint test race
+verify: build lint test race trace-smoke

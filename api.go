@@ -1,10 +1,14 @@
 package maligo
 
 import (
+	"io"
+
 	"maligo/internal/cl"
 	"maligo/internal/core"
 	"maligo/internal/device"
+	"maligo/internal/obs"
 	"maligo/internal/power"
+	"maligo/internal/vm"
 )
 
 // The OpenCL-style runtime surface, re-exported as type aliases so the
@@ -52,6 +56,25 @@ type (
 
 	// RunKind tells MeasureKind which units were active.
 	RunKind = core.RunKind
+
+	// The observability surface: metrics the runtime accumulates on
+	// every enqueue, queue timelines for trace export, and the
+	// pprof-style hot-line profile.
+
+	// MetricsRegistry is a context's live metric registry
+	// (Context.Metrics hands one out).
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a frozen, serializable view of a registry.
+	MetricsSnapshot = obs.Snapshot
+	// Span is one command on a queue timeline, the unit of trace
+	// export (Queue.Timeline produces them).
+	Span = obs.Span
+	// LineStat is one source line's share of the memory traffic in a
+	// hot-line profile.
+	LineStat = vm.LineStat
+	// LineProfiler accumulates hot-line profiles across enqueues
+	// (Queue.LineProfile hands one out after Queue.SetLineProfile).
+	LineProfiler = vm.LineProfiler
 )
 
 // Buffer creation flags.
@@ -95,3 +118,16 @@ func NewMeter(seed uint64) *Meter { return power.NewMeter(seed) }
 
 // NewMeterRate creates a power meter sampling at hz.
 func NewMeterRate(seed uint64, hz float64) *Meter { return power.NewMeterRate(seed, hz) }
+
+// WriteChromeTrace writes timeline spans (from Queue.Timeline, or a
+// harness Cell's Timeline) in the Chrome tracing JSON format loadable
+// by chrome://tracing and https://ui.perfetto.dev. Output is
+// deterministic for a given span slice.
+func WriteChromeTrace(w io.Writer, spans []Span) error { return obs.WriteChromeTrace(w, spans) }
+
+// FormatHotLines renders a hot-line profile (Queue.LineProfile().Top)
+// as a pprof-style top report, annotated with the kernel source text
+// when source is non-empty.
+func FormatHotLines(stats []LineStat, source string) string {
+	return vm.FormatHotLines(stats, source)
+}

@@ -5,11 +5,18 @@
 // Usage:
 //
 //	malisim -bench dmmm [-version opt] [-prec single] [-scale 1.0] [-workers N]
+//	        [-trace out.json] [-metrics] [-metrics-out m.json] [-hotlines N]
 //
 // Versions: serial, omp, cl, opt (paper names: Serial, OpenMP, OpenCL,
 // OpenCL Opt). -workers shards the simulation's work-groups across N
 // host CPUs (default all); the simulated results are identical, only
 // the host wall-clock changes.
+//
+// Observability: -trace writes the measured region's command timeline
+// as Chrome tracing JSON (open in chrome://tracing or
+// https://ui.perfetto.dev); -metrics dumps the runtime metrics
+// snapshot as text and -metrics-out writes it as JSON; -hotlines N
+// prints the top-N kernel source lines by bytes moved.
 package main
 
 import (
@@ -31,6 +38,11 @@ func main() {
 		workers = flag.Int("workers", 0, "engine worker goroutines (0 = all host CPUs, 1 = serial engine)")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 		lint    = flag.Bool("lint", false, "run the kernel static analyzer over the benchmark's source (all benchmarks when -bench is empty) and exit")
+
+		traceOut   = flag.String("trace", "", "write the measured region's timeline as Chrome tracing JSON to this file")
+		metrics    = flag.Bool("metrics", false, "print the runtime metrics snapshot")
+		metricsOut = flag.String("metrics-out", "", "write the runtime metrics snapshot as JSON to this file")
+		hotlines   = flag.Int("hotlines", 0, "profile and print the top-N kernel source lines by bytes moved")
 	)
 	flag.Parse()
 
@@ -71,6 +83,7 @@ func main() {
 	cfg.Benchmarks = []string{*name}
 	cfg.Precisions = []maligo.Precision{p}
 	cfg.Workers = *workers
+	cfg.ProfileLines = *hotlines > 0
 	res, err := maligo.RunExperiments(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -115,6 +128,62 @@ func main() {
 		fmt.Printf("vs Serial      %.2fx speed, %.0f%% power, %.0f%% energy\n",
 			res.Speedup(*name, p, v), res.NormPower(*name, p, v)*100, res.NormEnergy(*name, p, v)*100)
 	}
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, c.Timeline); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace          %s (%d spans; open in chrome://tracing or ui.perfetto.dev)\n",
+			*traceOut, len(c.Timeline))
+	}
+	if *hotlines > 0 {
+		top := c.HotLines
+		if len(top) > *hotlines {
+			top = top[:*hotlines]
+		}
+		fmt.Printf("\nhot lines (top %d by bytes moved)\n", len(top))
+		fmt.Print(maligo.FormatHotLines(top, maligo.BenchmarkByName(*name).Source()))
+	}
+	if *metrics {
+		fmt.Println("\nmetrics")
+		if err := c.Metrics.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, c.Metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace writes the cell's timeline as Chrome tracing JSON.
+func writeTrace(path string, spans []maligo.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := maligo.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics writes the cell's metrics snapshot as JSON.
+func writeMetrics(path string, snap maligo.MetricsSnapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runLint analyzes the named benchmark's kernel source (or every

@@ -1,0 +1,122 @@
+// Command tracecheck validates the observability exports: a Chrome
+// tracing JSON file written by malisim -trace (and optionally a
+// metrics JSON snapshot from -metrics-out). It parses the files,
+// checks the structural invariants viewers rely on — non-empty event
+// list, named tracks, non-negative timestamps, per-track monotone
+// start times — and exits non-zero on any violation. The Makefile's
+// trace-smoke target uses it to keep the exporters honest.
+//
+// Usage:
+//
+//	tracecheck [-metrics metrics.json] trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// traceEvent is the subset of a Chrome trace event tracecheck checks.
+type traceEvent struct {
+	Ph   string  `json:"ph"`
+	Tid  int     `json:"tid"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+}
+
+func main() {
+	metricsPath := flag.String("metrics", "", "also validate this metrics JSON snapshot")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-metrics metrics.json] trace.json")
+		os.Exit(2)
+	}
+	if err := checkTrace(flag.Arg(0)); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	if *metricsPath != "" {
+		if err := checkMetrics(*metricsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", *metricsPath, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Println("tracecheck: ok")
+}
+
+// checkTrace validates the structural invariants of a Chrome trace.
+func checkTrace(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tr struct {
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+		TraceEvents     []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		return fmt.Errorf("not valid trace JSON: %w", err)
+	}
+	named := map[int]bool{}
+	lastStart := map[int]float64{}
+	slices := 0
+	for i, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			named[ev.Tid] = true
+		case "X":
+			slices++
+			if ev.Ts < 0 || ev.Dur < 0 {
+				return fmt.Errorf("event %d (%s): negative ts/dur %g/%g", i, ev.Name, ev.Ts, ev.Dur)
+			}
+			if ev.Name == "" {
+				return fmt.Errorf("event %d: empty name", i)
+			}
+			if last, ok := lastStart[ev.Tid]; ok && ev.Ts < last {
+				return fmt.Errorf("event %d (%s): start %g before previous start %g on track %d",
+					i, ev.Name, ev.Ts, last, ev.Tid)
+			}
+			lastStart[ev.Tid] = ev.Ts
+		default:
+			return fmt.Errorf("event %d: unexpected phase %q", i, ev.Ph)
+		}
+	}
+	if slices == 0 {
+		return fmt.Errorf("trace has no slices")
+	}
+	for tid := range lastStart {
+		if !named[tid] {
+			return fmt.Errorf("track %d has slices but no thread_name metadata", tid)
+		}
+	}
+	fmt.Printf("tracecheck: %s: %d slices on %d tracks\n", path, slices, len(lastStart))
+	return nil
+}
+
+// checkMetrics validates a metrics JSON snapshot parses and carries
+// the counters the runtime always emits.
+func checkMetrics(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+		Gauges   map[string]float64
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("not valid metrics JSON: %w", err)
+	}
+	if len(snap.Counters) == 0 {
+		return fmt.Errorf("metrics snapshot has no counters")
+	}
+	if snap.Counters["cl.enqueues.ndrange"] == 0 {
+		return fmt.Errorf("cl.enqueues.ndrange counter missing or zero")
+	}
+	fmt.Printf("tracecheck: %s: %d counters, %d gauges\n", path, len(snap.Counters), len(snap.Gauges))
+	return nil
+}

@@ -83,6 +83,31 @@
 // findings, the dynamically observed races (DataRace), and their
 // overlap via Confirmed — to the returned Event.
 //
+// # Observability
+//
+// Every Event carries the four clGetEventProfilingInfo timestamps
+// (Queued, Submitted, Started, Ended) in simulated seconds on its
+// queue's clock; Queue.Profiling returns them in nanoseconds as
+// ProfilingInfo. Because they derive purely from the timing model,
+// they are bit-identical at every engine worker count. Queue.Timeline
+// exports the event history as Spans and WriteChromeTrace renders
+// them as Chrome tracing JSON, loadable in chrome://tracing or
+// https://ui.perfetto.dev.
+//
+// The runtime also feeds a metrics registry per context — enqueue and
+// work-item counters, DRAM/copy traffic, duration histograms, and
+// callback gauges for arena occupancy, engine-pool activity and
+// per-device L2 hit rates. Platform.Metrics (or Context.Metrics)
+// hands it out; Snapshot freezes it into a MetricsSnapshot with
+// deterministic text and JSON renderings.
+//
+// Queue.SetLineProfile(true) turns on pprof-style hot-line
+// attribution: subsequent enqueues record detailed traces and
+// Queue.LineProfile().Top(n) returns the n source lines moving the
+// most bytes; FormatHotLines renders them against the kernel source.
+// On the command line, `malisim -trace out.json -metrics -hotlines 5`
+// exposes all three, and `tracecheck` validates the exported JSON.
+//
 // See README.md for usage, DESIGN.md for the architecture and
 // EXPERIMENTS.md for paper-versus-measured results.
 package maligo

@@ -13,7 +13,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"maligo/internal/clc"
 	"maligo/internal/clc/analysis"
@@ -21,6 +24,7 @@ import (
 	"maligo/internal/clc/types"
 	"maligo/internal/device"
 	"maligo/internal/mem"
+	"maligo/internal/obs"
 	"maligo/internal/platform"
 	"maligo/internal/vm"
 )
@@ -55,15 +59,20 @@ const (
 )
 
 // Context owns the unified memory arena shared by every device, plus
-// the host worker pool the execution engine shards work-groups onto.
+// the host worker pool the execution engine shards work-groups onto
+// and the metrics registry every queue reports into.
 type Context struct {
 	arena   *mem.Arena
 	devices []device.Device
 	workers int
+	metrics *obs.Registry
 
-	poolMu sync.Mutex
-	pool   *device.Pool
-	closed bool
+	poolMu   sync.Mutex
+	pool     *device.Pool
+	closed   bool
+	inflight sync.WaitGroup // enqueues currently holding the pool
+
+	queueSeq atomic.Int64
 
 	// atomicsMu serializes read-modify-write cycles on the arena when
 	// work-groups execute concurrently (global atomics are the only
@@ -116,11 +125,87 @@ func NewContextWith(opts ...ContextOption) *Context {
 	if cfg.workers <= 0 {
 		cfg.workers = runtime.NumCPU()
 	}
-	return &Context{
+	c := &Context{
 		arena:   mem.NewArena(cfg.arenaBytes),
 		devices: cfg.devices,
 		workers: cfg.workers,
+		metrics: obs.NewRegistry(),
 	}
+	c.registerGauges()
+	return c
+}
+
+// registerGauges wires the callback gauges that read live runtime
+// state at snapshot time: arena occupancy, engine-pool activity and
+// per-device L2 hit rates.
+func (c *Context) registerGauges() {
+	c.metrics.GaugeFunc("arena.in_use_bytes", func() float64 {
+		return float64(c.arena.InUse())
+	})
+	c.metrics.GaugeFunc("arena.capacity_bytes", func() float64 {
+		return float64(c.arena.Capacity())
+	})
+	c.metrics.GaugeFunc("pool.workers", func() float64 {
+		c.poolMu.Lock()
+		defer c.poolMu.Unlock()
+		if c.pool == nil {
+			return 0
+		}
+		return float64(c.pool.Workers())
+	})
+	c.metrics.GaugeFunc("pool.jobs_done", func() float64 {
+		c.poolMu.Lock()
+		defer c.poolMu.Unlock()
+		if c.pool == nil {
+			return 0
+		}
+		done, _ := c.pool.Stats()
+		return float64(done)
+	})
+	c.metrics.GaugeFunc("pool.busy_workers", func() float64 {
+		c.poolMu.Lock()
+		defer c.poolMu.Unlock()
+		if c.pool == nil {
+			return 0
+		}
+		_, busy := c.pool.Stats()
+		return float64(busy)
+	})
+	for _, dev := range c.devices {
+		l2, ok := dev.(interface{ L2Stats() mem.CacheStats })
+		if !ok {
+			continue
+		}
+		name := metricName(dev.Name())
+		c.metrics.GaugeFunc("device."+name+".l2_hit_rate", func() float64 {
+			st := l2.L2Stats()
+			if st.Accesses == 0 {
+				return 0
+			}
+			return 1 - st.MissRate()
+		})
+	}
+}
+
+// metricName sanitizes a device display name into a metric-name
+// component: lower-case with runs of non-alphanumerics collapsed to
+// single underscores ("Mali-T604" -> "mali_t604").
+func metricName(s string) string {
+	var b strings.Builder
+	lastUnder := true
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastUnder = false
+		default:
+			if !lastUnder {
+				b.WriteByte('_')
+				lastUnder = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "_")
 }
 
 // NewContext creates a context over the given devices with default
@@ -143,22 +228,35 @@ func (c *Context) ArenaBytes() int64 { return c.arena.Capacity() }
 // with.
 func (c *Context) Workers() int { return c.workers }
 
-// enginePool lazily creates the shared worker pool. It returns nil
-// when the context is serial (workers <= 1) or already closed.
-func (c *Context) enginePool() *device.Pool {
+// Metrics returns the context's metrics registry. Queues feed it on
+// every enqueue; callers take point-in-time views with Snapshot.
+func (c *Context) Metrics() *obs.Registry { return c.metrics }
+
+// acquirePool lazily creates the shared worker pool and registers the
+// caller as an in-flight user, keeping Close from tearing the pool
+// down underneath a running enqueue. It returns a nil pool (and a
+// no-op release) when the context is serial (workers <= 1) or already
+// closed. The release function must be called exactly once when the
+// enqueue no longer touches the pool.
+func (c *Context) acquirePool() (*device.Pool, func()) {
 	c.poolMu.Lock()
 	defer c.poolMu.Unlock()
 	if c.closed || c.workers <= 1 {
-		return nil
+		return nil, func() {}
 	}
 	if c.pool == nil {
 		c.pool = device.NewPool(c.workers)
 	}
-	return c.pool
+	c.inflight.Add(1)
+	var once sync.Once
+	return c.pool, func() { once.Do(c.inflight.Done) }
 }
 
-// Close releases the context's worker pool. Enqueues after Close fall
-// back to the serial engine; Close is idempotent.
+// Close releases the context's worker pool. It first marks the
+// context closed (so no new enqueue can acquire the pool), then waits
+// for in-flight enqueues to release it before stopping the workers —
+// Close racing an enqueue is deterministic, not a panic. Enqueues
+// after Close fall back to the serial engine; Close is idempotent.
 func (c *Context) Close() {
 	c.poolMu.Lock()
 	pool := c.pool
@@ -166,6 +264,7 @@ func (c *Context) Close() {
 	c.closed = true
 	c.poolMu.Unlock()
 	if pool != nil {
+		c.inflight.Wait()
 		pool.Close()
 	}
 }
@@ -181,9 +280,16 @@ type Buffer struct {
 
 // CreateBuffer allocates a buffer of size bytes. hostData may be nil;
 // with MemCopyHostPtr or MemUseHostPtr it initializes the buffer.
+// Mutually exclusive flag combinations are rejected with
+// ErrInvalidArgValue, zero and negative sizes with
+// ErrInvalidBufferSize — matching clCreateBuffer instead of silently
+// accepting contradictory requests.
 func (c *Context) CreateBuffer(flags MemFlags, size int64, hostData []byte) (*Buffer, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("size %d: %w", size, ErrInvalidBufferSize)
+	}
+	if err := validateMemFlags(flags); err != nil {
+		return nil, err
 	}
 	if hostData != nil && int64(len(hostData)) > size {
 		return nil, fmt.Errorf("host data larger than buffer: %w", ErrInvalidBufferSize)
@@ -192,6 +298,7 @@ func (c *Context) CreateBuffer(flags MemFlags, size int64, hostData []byte) (*Bu
 	if err != nil {
 		return nil, err
 	}
+	c.metrics.Counter("cl.buffers_created").Inc()
 	b := &Buffer{ctx: c, base: base, size: size, flags: flags}
 	if hostData != nil && flags&(MemCopyHostPtr|MemUseHostPtr) != 0 {
 		dst, err := c.arena.Bytes(base, int64(len(hostData)))
@@ -201,6 +308,21 @@ func (c *Context) CreateBuffer(flags MemFlags, size int64, hostData []byte) (*Bu
 		copy(dst, hostData)
 	}
 	return b, nil
+}
+
+// validateMemFlags rejects the mutually exclusive cl_mem_flags
+// combinations the OpenCL specification forbids.
+func validateMemFlags(flags MemFlags) error {
+	rw := flags & (MemReadWrite | MemReadOnly | MemWriteOnly)
+	if rw&(rw-1) != 0 {
+		return fmt.Errorf("flags %#x combine more than one of READ_WRITE/READ_ONLY/WRITE_ONLY: %w",
+			uint32(flags), ErrInvalidArgValue)
+	}
+	if flags&MemUseHostPtr != 0 && flags&(MemAllocHostPtr|MemCopyHostPtr) != 0 {
+		return fmt.Errorf("flags %#x combine USE_HOST_PTR with ALLOC/COPY_HOST_PTR: %w",
+			uint32(flags), ErrInvalidArgValue)
+	}
+	return nil
 }
 
 // Size returns the buffer size in bytes.
@@ -222,10 +344,12 @@ func (b *Buffer) Release() {
 
 // Bytes returns the live backing slice [off, off+n) of the buffer —
 // what clEnqueueMapBuffer returns on a unified-memory system. It is
-// valid until Release.
+// valid until Release. The bounds check is overflow-safe: a negative
+// length or an offset large enough to wrap off+n must error, never
+// panic or alias another buffer's range.
 func (b *Buffer) Bytes(off, n int64) ([]byte, error) {
-	if off < 0 || off+n > b.size {
-		return nil, fmt.Errorf("map range [%d,%d) outside buffer of %d bytes: %w", off, off+n, b.size, ErrMapFailure)
+	if off < 0 || n < 0 || off > b.size || n > b.size-off {
+		return nil, fmt.Errorf("map range [%d,+%d) outside buffer of %d bytes: %w", off, n, b.size, ErrMapFailure)
 	}
 	return b.ctx.arena.Bytes(b.base+off, n)
 }
@@ -383,14 +507,35 @@ func (k *Kernel) SetArgFloat(i int, v float64) error {
 	return nil
 }
 
-// Event records the outcome of one enqueued command.
+// Event records the outcome of one enqueued command, including the
+// four clGetEventProfilingInfo timestamps. Timestamps are simulated
+// seconds on the queue's clock (zero at queue creation and after
+// ResetEvents), derived purely from the timing model — they are
+// bit-identical whether work-groups executed serially or on the
+// worker pool. Host wall-clock cost lives separately in HostSeconds.
 type Event struct {
-	// Kind is "ndrange", "write" or "read".
+	// Seq is the event's index in the queue history.
+	Seq int
+	// Kind is "ndrange", "write", "read", "map" or "unmap".
 	Kind string
+	// Name labels the command (kernel name for ndrange, else Kind).
+	Name string
 	// Report is the device report for NDRange events (nil otherwise).
 	Report *device.Report
 	// Seconds is the command duration (copies included).
 	Seconds float64
+	// Queued/Submitted/Started/Ended mirror the COMMAND_QUEUED,
+	// COMMAND_SUBMIT, COMMAND_START and COMMAND_END profiling
+	// timestamps. The in-order queue submits immediately, so Submitted
+	// equals Queued; Started trails Submitted by the device's dispatch
+	// overhead (driver enqueue cost, OpenMP fork) and Ended is
+	// Queued + Seconds.
+	Queued, Submitted, Started, Ended float64
+	// HostSeconds is the host wall-clock time the simulator spent
+	// executing the command — a debugging aid, deliberately excluded
+	// from profiling info and trace export because it is not
+	// deterministic.
+	HostSeconds float64
 	// Bytes moved for copy commands.
 	Bytes int64
 	// RaceCheck holds the race-check outcome when the queue has
@@ -432,12 +577,18 @@ func (r *RaceCheckResult) Confirmed() []vm.DataRace {
 	return out
 }
 
-// CommandQueue is an in-order queue bound to one device.
+// CommandQueue is an in-order queue bound to one device. It keeps a
+// simulated clock (seconds since creation) that orders its events
+// into a timeline for profiling and trace export.
 type CommandQueue struct {
-	ctx       *Context
-	dev       device.Device
-	events    []*Event
-	raceCheck bool
+	ctx          *Context
+	dev          device.Device
+	id           int
+	events       []*Event
+	clock        float64
+	raceCheck    bool
+	profileLines bool
+	lineProf     *vm.LineProfiler
 }
 
 // SetRaceCheck switches dynamic race checking on or off for subsequent
@@ -447,9 +598,26 @@ type CommandQueue struct {
 // event. Tracing costs time and memory, so it is off by default.
 func (q *CommandQueue) SetRaceCheck(on bool) { q.raceCheck = on }
 
+// SetLineProfile switches pprof-style hot-line profiling on or off
+// for subsequent NDRange enqueues. When on, each enqueue records
+// work-item-attributed memory traces and folds every access into a
+// per-source-line profile readable with LineProfile. Like the race
+// check, tracing costs time and memory, so it is off by default; both
+// share one trace when enabled together.
+func (q *CommandQueue) SetLineProfile(on bool) {
+	q.profileLines = on
+	if on && q.lineProf == nil {
+		q.lineProf = vm.NewLineProfiler()
+	}
+}
+
+// LineProfile returns the accumulated hot-line profile, or nil when
+// SetLineProfile was never enabled.
+func (q *CommandQueue) LineProfile() *vm.LineProfiler { return q.lineProf }
+
 // CreateCommandQueue mirrors clCreateCommandQueue.
 func (c *Context) CreateCommandQueue(dev device.Device) *CommandQueue {
-	return &CommandQueue{ctx: c, dev: dev}
+	return &CommandQueue{ctx: c, dev: dev, id: int(c.queueSeq.Add(1)) - 1}
 }
 
 // Device returns the queue's device.
@@ -458,9 +626,73 @@ func (q *CommandQueue) Device() device.Device { return q.dev }
 // Events returns all recorded events in order.
 func (q *CommandQueue) Events() []*Event { return q.events }
 
-// ResetEvents clears the recorded history (between measurement
-// regions).
-func (q *CommandQueue) ResetEvents() { q.events = nil }
+// ResetEvents clears the recorded history and rewinds the queue clock
+// to zero (between measurement regions), so a measured timeline
+// always starts at t=0 regardless of warm-up runs. The hot-line
+// profile, if enabled, restarts too.
+func (q *CommandQueue) ResetEvents() {
+	q.events = nil
+	q.clock = 0
+	if q.lineProf != nil {
+		q.lineProf = vm.NewLineProfiler()
+	}
+}
+
+// record stamps the event with the queue's profiling timestamps,
+// advances the clock and appends it to the history. dispatch is the
+// SUBMIT→START window (clamped into [0, Seconds]).
+func (q *CommandQueue) record(ev *Event, dispatch float64) *Event {
+	if ev.Name == "" {
+		ev.Name = ev.Kind
+	}
+	if dispatch < 0 {
+		dispatch = 0
+	}
+	if dispatch > ev.Seconds {
+		dispatch = ev.Seconds
+	}
+	ev.Seq = len(q.events)
+	ev.Queued = q.clock
+	ev.Submitted = ev.Queued
+	ev.Started = ev.Submitted + dispatch
+	ev.Ended = ev.Queued + ev.Seconds
+	q.clock = ev.Ended
+	q.events = append(q.events, ev)
+	q.ctx.metrics.Counter("cl.enqueues." + ev.Kind).Inc()
+	return ev
+}
+
+// Timeline exports the queue's event history as timeline spans for
+// trace writers, one track per queue. Span times are the simulated
+// profiling timestamps, so the export is deterministic.
+func (q *CommandQueue) Timeline() []obs.Span {
+	track := fmt.Sprintf("queue %d — %s", q.id, q.dev.Name())
+	spans := make([]obs.Span, 0, len(q.events))
+	for _, ev := range q.events {
+		sp := obs.Span{
+			Name:    ev.Name,
+			Cat:     ev.Kind,
+			Track:   track,
+			TrackID: q.id,
+			Start:   ev.Queued,
+			Dur:     ev.Seconds,
+		}
+		if rep := ev.Report; rep != nil {
+			sp.Args = map[string]any{
+				"dram_bytes":  rep.DRAMBytes,
+				"utilization": rep.Utilization,
+			}
+			if rep.ArithUtil > 0 || rep.LSUtil > 0 {
+				sp.Args["arith_util"] = rep.ArithUtil
+				sp.Args["ls_util"] = rep.LSUtil
+			}
+		} else if ev.Bytes > 0 {
+			sp.Args = map[string]any{"bytes": ev.Bytes}
+		}
+		spans = append(spans, sp)
+	}
+	return spans
+}
 
 // memTarget adapts the context arena + a program's constant segment to
 // the VM's memory interface. Plain loads and stores go straight to the
@@ -535,14 +767,22 @@ func (q *CommandQueue) EnqueueNDRangeKernelCtx(ctx context.Context, k *Kernel, w
 		}
 	}
 	target := &memTarget{arena: q.ctx.arena, constant: k.prog.prog.ConstantData, mu: &q.ctx.atomicsMu}
+	pool, release := q.ctx.acquirePool()
+	defer release()
+	rc := device.RunConfig{Ctx: ctx, Pool: pool}
 	var detector *vm.RaceDetector
-	rc := device.RunConfig{Ctx: ctx, Pool: q.ctx.enginePool()}
+	var observers []device.RaceObserver
 	if q.raceCheck {
 		detector = &vm.RaceDetector{Kernel: k.k.Name, Max: 32}
-		rc.Race = detector
+		observers = append(observers, detector)
 	}
+	if q.profileLines {
+		observers = append(observers, q.lineProf)
+	}
+	rc.Race = device.FanObservers(observers...)
 	var rep *device.Report
 	var err error
+	hostStart := time.Now()
 	if cr, ok := q.dev.(device.ContextRunner); ok {
 		rep, err = cr.RunWith(rc, ndr, target)
 	} else {
@@ -553,7 +793,13 @@ func (q *CommandQueue) EnqueueNDRangeKernelCtx(ctx context.Context, k *Kernel, w
 	if err != nil {
 		return nil, err
 	}
-	ev := &Event{Kind: "ndrange", Report: rep, Seconds: rep.Seconds}
+	ev := &Event{
+		Kind:        "ndrange",
+		Name:        k.k.Name,
+		Report:      rep,
+		Seconds:     rep.Seconds,
+		HostSeconds: time.Since(hostStart).Seconds(),
+	}
 	if q.raceCheck {
 		res := &RaceCheckResult{}
 		for _, d := range k.prog.Diagnostics() {
@@ -566,8 +812,11 @@ func (q *CommandQueue) EnqueueNDRangeKernelCtx(ctx context.Context, k *Kernel, w
 		}
 		ev.RaceCheck = res
 	}
-	q.events = append(q.events, ev)
-	return ev, nil
+	m := q.ctx.metrics
+	m.Counter("cl.work_items").Add(uint64(ndr.TotalWorkItems()))
+	m.Counter("cl.dram_bytes").Add(rep.DRAMBytes)
+	m.Histogram("cl.ndrange_seconds", nil).Observe(rep.Seconds)
+	return q.record(ev, rep.DispatchSeconds), nil
 }
 
 // hostCopyBandwidth is the achievable memcpy bandwidth of one A15 core
@@ -583,8 +832,9 @@ func (q *CommandQueue) EnqueueWriteBuffer(b *Buffer, off int64, data []byte) (*E
 	}
 	copy(dst, data)
 	ev := &Event{Kind: "write", Seconds: float64(len(data)) / hostCopyBandwidth, Bytes: int64(len(data))}
-	q.events = append(q.events, ev)
-	return ev, nil
+	q.ctx.metrics.Counter("cl.copy_bytes").Add(uint64(len(data)))
+	q.ctx.metrics.Histogram("cl.copy_seconds", nil).Observe(ev.Seconds)
+	return q.record(ev, 0), nil
 }
 
 // EnqueueReadBuffer copies buffer contents back to host memory.
@@ -595,8 +845,9 @@ func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, off int64, data []byte) (*Ev
 	}
 	copy(data, src)
 	ev := &Event{Kind: "read", Seconds: float64(len(data)) / hostCopyBandwidth, Bytes: int64(len(data))}
-	q.events = append(q.events, ev)
-	return ev, nil
+	q.ctx.metrics.Counter("cl.copy_bytes").Add(uint64(len(data)))
+	q.ctx.metrics.Histogram("cl.copy_seconds", nil).Observe(ev.Seconds)
+	return q.record(ev, 0), nil
 }
 
 // EnqueueMapBuffer returns a zero-copy view of the buffer — free on
@@ -607,15 +858,12 @@ func (q *CommandQueue) EnqueueMapBuffer(b *Buffer, off, n int64) ([]byte, *Event
 		return nil, nil, err
 	}
 	ev := &Event{Kind: "map", Seconds: 4e-6}
-	q.events = append(q.events, ev)
-	return view, ev, nil
+	return view, q.record(ev, 0), nil
 }
 
 // EnqueueUnmapMemObject releases a mapping (fixed driver cost).
 func (q *CommandQueue) EnqueueUnmapMemObject(b *Buffer) *Event {
-	ev := &Event{Kind: "unmap", Seconds: 4e-6}
-	q.events = append(q.events, ev)
-	return ev
+	return q.record(&Event{Kind: "unmap", Seconds: 4e-6}, 0)
 }
 
 // Finish drains the queue. The simulated queue executes synchronously,

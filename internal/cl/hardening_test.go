@@ -1,0 +1,190 @@
+package cl_test
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"maligo/internal/cl"
+	"maligo/internal/device"
+	"maligo/internal/mali"
+)
+
+// TestCreateBufferConflictingFlags checks the mutually exclusive
+// cl_mem_flags combinations are rejected with ErrInvalidArgValue
+// instead of silently accepted.
+func TestCreateBufferConflictingFlags(t *testing.T) {
+	ctx, _ := newCtx(t)
+	bad := []cl.MemFlags{
+		cl.MemReadOnly | cl.MemWriteOnly,
+		cl.MemReadWrite | cl.MemReadOnly,
+		cl.MemReadWrite | cl.MemWriteOnly,
+		cl.MemUseHostPtr | cl.MemAllocHostPtr,
+		cl.MemUseHostPtr | cl.MemCopyHostPtr,
+	}
+	for _, flags := range bad {
+		if _, err := ctx.CreateBuffer(flags, 64, nil); !errors.Is(err, cl.ErrInvalidArgValue) {
+			t.Errorf("CreateBuffer(%#x) = %v, want ErrInvalidArgValue", uint32(flags), err)
+		}
+	}
+	good := []cl.MemFlags{
+		cl.MemReadWrite,
+		cl.MemReadOnly | cl.MemCopyHostPtr,
+		cl.MemWriteOnly | cl.MemAllocHostPtr,
+		cl.MemUseHostPtr,
+		cl.MemReadWrite | cl.MemAllocHostPtr | cl.MemCopyHostPtr,
+	}
+	for _, flags := range good {
+		if _, err := ctx.CreateBuffer(flags, 64, nil); err != nil {
+			t.Errorf("CreateBuffer(%#x) = %v, want success", uint32(flags), err)
+		}
+	}
+	if _, err := ctx.CreateBuffer(cl.MemReadWrite, -8, nil); !errors.Is(err, cl.ErrInvalidBufferSize) {
+		t.Errorf("negative size = %v, want ErrInvalidBufferSize", err)
+	}
+}
+
+// TestBufferBytesOverflowSafe checks the [off, off+n) bounds check
+// survives values that wrap int64: a negative length or a huge offset
+// must error, never panic or alias a neighbouring allocation.
+func TestBufferBytesOverflowSafe(t *testing.T) {
+	ctx, _ := newCtx(t)
+	b, err := ctx.CreateBuffer(cl.MemReadWrite, 256, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ off, n int64 }{
+		{-1, 16},
+		{0, -1},
+		{0, 257},
+		{math.MaxInt64, 16}, // off+n wraps negative
+		{16, math.MaxInt64}, // off+n wraps negative
+		{math.MaxInt64, math.MaxInt64},
+		{257, 0},
+	}
+	for _, tc := range cases {
+		if _, err := b.Bytes(tc.off, tc.n); !errors.Is(err, cl.ErrMapFailure) {
+			t.Errorf("Bytes(%d, %d) = %v, want ErrMapFailure", tc.off, tc.n, err)
+		}
+	}
+	if _, err := b.Bytes(256, 0); err != nil {
+		t.Errorf("Bytes(256, 0) = %v, want success (empty tail view)", err)
+	}
+}
+
+// TestEnqueueCopyBounds checks the read/write/map enqueue paths
+// propagate the bounds error instead of corrupting the arena.
+func TestEnqueueCopyBounds(t *testing.T) {
+	ctx, gpu := newCtx(t)
+	b, err := ctx.CreateBuffer(cl.MemReadWrite, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ctx.CreateCommandQueue(gpu)
+	data := make([]byte, 32)
+	if _, err := q.EnqueueWriteBuffer(b, -1, data); err == nil {
+		t.Error("write at negative offset must fail")
+	}
+	if _, err := q.EnqueueWriteBuffer(b, 40, data); err == nil {
+		t.Error("write past the end must fail")
+	}
+	if _, err := q.EnqueueReadBuffer(b, math.MaxInt64, data); err == nil {
+		t.Error("read at wrapping offset must fail")
+	}
+	if _, _, err := q.EnqueueMapBuffer(b, 0, -1); err == nil {
+		t.Error("map with negative length must fail")
+	}
+	if _, _, err := q.EnqueueMapBuffer(b, 32, math.MaxInt64); err == nil {
+		t.Error("map with wrapping length must fail")
+	}
+	if len(q.Events()) != 0 {
+		t.Errorf("failed enqueues must not record events, got %d", len(q.Events()))
+	}
+}
+
+// TestNDRangeOverflowRejected checks a global size whose work-item
+// total overflows the host int fails with ErrInvalidWorkGroupSize
+// instead of wrapping negative and misbehaving downstream.
+func TestNDRangeOverflowRejected(t *testing.T) {
+	ctx, gpu := newCtx(t)
+	prog := buildProgram(t, ctx)
+	k, _ := prog.CreateKernel("scale")
+	buf, _ := ctx.CreateBuffer(cl.MemReadWrite, 1024, nil)
+	k.SetArgBuffer(0, buf)
+	k.SetArgFloat(1, 2.0)
+	k.SetArgInt(2, 4)
+	q := ctx.CreateCommandQueue(gpu)
+	huge := 1<<40 + 2
+	_, err := q.EnqueueNDRangeKernel(k, 2, []int{huge, huge}, []int{2, 2})
+	if !errors.Is(err, device.ErrInvalidWorkGroupSize) {
+		t.Errorf("overflowing NDRange = %v, want ErrInvalidWorkGroupSize", err)
+	}
+}
+
+// TestCloseRacesInFlightEnqueues drives Close concurrently with pool
+// enqueues from many goroutines. Close must wait for in-flight
+// enqueues instead of closing the pool under them, and later enqueues
+// must fall back to the serial engine. Run under -race.
+//
+// Each goroutine gets its own queue AND its own device instance: the
+// stateful device timing models (cache hierarchies) are per-device
+// serial state, so concurrent enqueues are only defined across
+// devices — the shared state under test is the context's worker pool.
+func TestCloseRacesInFlightEnqueues(t *testing.T) {
+	const goroutines = 8
+	gpus := make([]*mali.GPU, goroutines)
+	devs := make([]device.Device, goroutines)
+	for g := range gpus {
+		gpus[g] = mali.New()
+		devs[g] = gpus[g]
+	}
+	ctx := cl.NewContextWith(cl.WithDevices(devs...), cl.WithWorkers(4))
+	prog := ctx.CreateProgramWithSource(testKernel)
+	if err := prog.Build(""); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	// Context objects (arena, kernels) are not thread-safe, so all
+	// setup happens here; only the enqueues race with Close.
+	queues := make([]*cl.CommandQueue, goroutines)
+	kernels := make([]*cl.Kernel, goroutines)
+	for g := 0; g < goroutines; g++ {
+		k, err := prog.CreateKernel("scale")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := ctx.CreateBuffer(cl.MemReadWrite, 256*4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.SetArgBuffer(0, buf)
+		k.SetArgFloat(1, 2.0)
+		k.SetArgInt(2, 256)
+		kernels[g] = k
+		queues[g] = ctx.CreateCommandQueue(gpus[g])
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make(chan error, goroutines*4)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(q *cl.CommandQueue, k *cl.Kernel) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 4; i++ {
+				if _, err := q.EnqueueNDRangeKernel(k, 1, []int{256}, []int{64}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(queues[g], kernels[g])
+	}
+	close(start)
+	ctx.Close() // races the enqueues above
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("enqueue racing Close: %v", err)
+	}
+}

@@ -111,28 +111,29 @@ func (k *Kernel) WorkGroupInfo(d device.Device) KernelWorkGroupInfo {
 }
 
 // ProfilingInfo carries the clGetEventProfilingInfo-style timestamps
-// of an event, in simulated nanoseconds since queue creation.
+// of an event, in simulated nanoseconds since queue creation (or the
+// last ResetEvents). The in-order queue submits immediately, so
+// SubmitNs == QueuedNs; StartNs trails SubmitNs by the device's
+// dispatch overhead and EndNs - QueuedNs is the command duration.
 type ProfilingInfo struct {
 	QueuedNs int64
+	SubmitNs int64
 	StartNs  int64
 	EndNs    int64
 }
 
-// Profiling returns the event's simulated timeline. Events execute
-// back-to-back on the in-order queue, so Queued == Start of the
-// command and End = Start + duration.
+// Profiling returns the event's simulated timeline, read from the
+// timestamps the queue stamped at enqueue time.
 func (q *CommandQueue) Profiling(ev *Event) (ProfilingInfo, error) {
-	var clock float64
 	for _, e := range q.events {
 		if e == ev {
-			start := int64(clock * 1e9)
 			return ProfilingInfo{
-				QueuedNs: start,
-				StartNs:  start,
-				EndNs:    start + int64(e.Seconds*1e9),
+				QueuedNs: int64(e.Queued * 1e9),
+				SubmitNs: int64(e.Submitted * 1e9),
+				StartNs:  int64(e.Started * 1e9),
+				EndNs:    int64(e.Ended * 1e9),
 			}, nil
 		}
-		clock += e.Seconds
 	}
 	return ProfilingInfo{}, fmt.Errorf("cl: event not found on this queue")
 }

@@ -86,14 +86,20 @@ func TestEventProfiling(t *testing.T) {
 	must(err)
 	p2, err := q.Profiling(ev2)
 	must(err)
-	if p1.StartNs != 0 {
-		t.Errorf("first event starts at %d", p1.StartNs)
+	if p1.QueuedNs != 0 {
+		t.Errorf("first event queued at %d", p1.QueuedNs)
+	}
+	if p1.SubmitNs != p1.QueuedNs {
+		t.Errorf("in-order queue submits immediately: submit %d != queued %d", p1.SubmitNs, p1.QueuedNs)
+	}
+	if p1.StartNs <= p1.SubmitNs {
+		t.Error("GPU dispatch overhead must separate SUBMIT from START")
 	}
 	if p1.EndNs <= p1.StartNs {
-		t.Error("event must have positive duration")
+		t.Error("event must have positive execution duration")
 	}
-	if p2.StartNs != p1.EndNs {
-		t.Errorf("in-order queue: second start %d != first end %d", p2.StartNs, p1.EndNs)
+	if p2.QueuedNs != p1.EndNs {
+		t.Errorf("in-order queue: second queued %d != first end %d", p2.QueuedNs, p1.EndNs)
 	}
 	if _, err := q.Profiling(&cl.Event{}); err == nil {
 		t.Error("unknown event must error")

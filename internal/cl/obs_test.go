@@ -1,0 +1,261 @@
+package cl_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"maligo/internal/cl"
+	"maligo/internal/mali"
+	"maligo/internal/obs"
+)
+
+// runObserved executes a fixed command sequence (write, ndrange, map,
+// unmap, read) on a fresh context with the given worker count and
+// returns the queue.
+func runObserved(t *testing.T, workers int) (*cl.Context, *cl.CommandQueue) {
+	t.Helper()
+	gpu := mali.New()
+	ctx := cl.NewContextWith(cl.WithDevices(gpu), cl.WithWorkers(workers))
+	t.Cleanup(ctx.Close)
+	prog := ctx.CreateProgramWithSource(testKernel)
+	if err := prog.Build(""); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	k, _ := prog.CreateKernel("scale")
+	const n = 256
+	host := make([]byte, n*4)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(host[i*4:], math.Float32bits(float32(i)))
+	}
+	buf, err := ctx.CreateBuffer(cl.MemReadWrite, n*4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SetArgBuffer(0, buf)
+	k.SetArgFloat(1, 3.0)
+	k.SetArgInt(2, n)
+
+	q := ctx.CreateCommandQueue(gpu)
+	if _, err := q.EnqueueWriteBuffer(buf, 0, host); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueNDRangeKernel(k, 1, []int{n}, []int{64}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.EnqueueMapBuffer(buf, 0, n*4); err != nil {
+		t.Fatal(err)
+	}
+	q.EnqueueUnmapMemObject(buf)
+	out := make([]byte, n*4)
+	if _, err := q.EnqueueReadBuffer(buf, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	return ctx, q
+}
+
+// TestEventTimestampsMonotone checks the OpenCL profiling invariant
+// QUEUED <= SUBMIT <= START <= END for every command kind, and that
+// consecutive events tile the in-order queue's timeline exactly.
+func TestEventTimestampsMonotone(t *testing.T) {
+	_, q := runObserved(t, 1)
+	events := q.Events()
+	if len(events) != 5 {
+		t.Fatalf("recorded %d events, want 5", len(events))
+	}
+	prevEnd := 0.0
+	for i, ev := range events {
+		if ev.Seq != i {
+			t.Errorf("event %d: Seq = %d", i, ev.Seq)
+		}
+		if ev.Queued != prevEnd {
+			t.Errorf("event %d (%s): queued %g != previous end %g", i, ev.Kind, ev.Queued, prevEnd)
+		}
+		if ev.Submitted < ev.Queued || ev.Started < ev.Submitted || ev.Ended < ev.Started {
+			t.Errorf("event %d (%s): non-monotone timestamps %g/%g/%g/%g",
+				i, ev.Kind, ev.Queued, ev.Submitted, ev.Started, ev.Ended)
+		}
+		if ev.Ended != ev.Queued+ev.Seconds {
+			t.Errorf("event %d (%s): end %g != queued %g + seconds %g", i, ev.Kind, ev.Ended, ev.Queued, ev.Seconds)
+		}
+		prevEnd = ev.Ended
+	}
+	ndr := events[1]
+	if ndr.Kind != "ndrange" || ndr.Name != "scale" {
+		t.Errorf("event 1 = %s/%s, want ndrange/scale", ndr.Kind, ndr.Name)
+	}
+	if ndr.Started == ndr.Submitted {
+		t.Error("ndrange START must trail SUBMIT by the GPU dispatch overhead")
+	}
+	if ndr.HostSeconds <= 0 {
+		t.Error("ndrange must record host wall-clock cost")
+	}
+}
+
+// TestTimestampsDeterministicSerialVsPool checks the profiling
+// timeline is bit-identical whether work-groups ran serially or on
+// the worker pool.
+func TestTimestampsDeterministicSerialVsPool(t *testing.T) {
+	_, qs := runObserved(t, 1)
+	_, qp := runObserved(t, 4)
+	se, pe := qs.Events(), qp.Events()
+	if len(se) != len(pe) {
+		t.Fatalf("event counts differ: %d vs %d", len(se), len(pe))
+	}
+	for i := range se {
+		s, p := se[i], pe[i]
+		if s.Queued != p.Queued || s.Submitted != p.Submitted ||
+			s.Started != p.Started || s.Ended != p.Ended {
+			t.Errorf("event %d (%s): serial %g/%g/%g/%g vs pool %g/%g/%g/%g",
+				i, s.Kind, s.Queued, s.Submitted, s.Started, s.Ended,
+				p.Queued, p.Submitted, p.Started, p.Ended)
+		}
+	}
+}
+
+// TestResetEventsRewindsClock checks a measured timeline starts at
+// t=0 after ResetEvents, as the harness's warm-up pattern requires.
+func TestResetEventsRewindsClock(t *testing.T) {
+	_, q := runObserved(t, 1)
+	q.ResetEvents()
+	buf, err := q.Events(), error(nil)
+	_ = err
+	if len(buf) != 0 {
+		t.Fatalf("events after reset: %d", len(buf))
+	}
+	ctx2, q2 := runObserved(t, 1)
+	_ = ctx2
+	q2.ResetEvents()
+	b, err := ctx2.CreateBuffer(cl.MemReadWrite, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := q2.EnqueueWriteBuffer(b, 0, make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Queued != 0 {
+		t.Errorf("first event after reset queued at %g, want 0", ev.Queued)
+	}
+}
+
+// TestTraceExportGolden locks the Chrome-trace export of a fixed
+// command sequence down to the byte. Regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/cl -run TraceExportGolden.
+func TestTraceExportGolden(t *testing.T) {
+	_, q := runObserved(t, 1)
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, q.Timeline()); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 6 { // 1 thread_name + 5 commands
+		t.Errorf("trace has %d events, want 6", len(parsed.TraceEvents))
+	}
+
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace export drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestContextMetrics checks the registry accumulates enqueue counters
+// and that callback gauges see live runtime state.
+func TestContextMetrics(t *testing.T) {
+	ctx, _ := runObserved(t, 2)
+	snap := ctx.Metrics().Snapshot()
+	if got := snap.Counter("cl.enqueues.ndrange"); got != 1 {
+		t.Errorf("cl.enqueues.ndrange = %d", got)
+	}
+	if got := snap.Counter("cl.enqueues.write"); got != 1 {
+		t.Errorf("cl.enqueues.write = %d", got)
+	}
+	if got := snap.Counter("cl.work_items"); got != 256 {
+		t.Errorf("cl.work_items = %d", got)
+	}
+	if got := snap.Counter("cl.copy_bytes"); got != 2*256*4 {
+		t.Errorf("cl.copy_bytes = %d", got)
+	}
+	if snap.Counter("cl.dram_bytes") == 0 {
+		t.Error("cl.dram_bytes must be non-zero after an ndrange")
+	}
+	if snap.Gauge("arena.in_use_bytes") <= 0 {
+		t.Error("arena.in_use_bytes gauge must see the live buffer")
+	}
+	if snap.Gauge("pool.workers") != 2 {
+		t.Errorf("pool.workers = %g, want 2", snap.Gauge("pool.workers"))
+	}
+	if snap.Gauge("pool.jobs_done") <= 0 {
+		t.Error("pool.jobs_done must count executed work-groups")
+	}
+	hr := snap.Gauge("device.mali_t604.l2_hit_rate")
+	if hr <= 0 || hr > 1 {
+		t.Errorf("device.mali_t604.l2_hit_rate = %g, want (0,1]", hr)
+	}
+	h, ok := snap.Histograms["cl.ndrange_seconds"]
+	if !ok || h.Count != 1 {
+		t.Errorf("cl.ndrange_seconds histogram = %+v", h)
+	}
+}
+
+// TestQueueLineProfile checks hot-line attribution: the scale
+// kernel's load/store line must dominate bytes moved.
+func TestQueueLineProfile(t *testing.T) {
+	gpu := mali.New()
+	ctx := cl.NewContextWith(cl.WithDevices(gpu), cl.WithWorkers(2))
+	defer ctx.Close()
+	prog := ctx.CreateProgramWithSource(testKernel)
+	if err := prog.Build(""); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	k, _ := prog.CreateKernel("scale")
+	const n = 512
+	buf, _ := ctx.CreateBuffer(cl.MemReadWrite, n*4, nil)
+	k.SetArgBuffer(0, buf)
+	k.SetArgFloat(1, 2.0)
+	k.SetArgInt(2, n)
+	q := ctx.CreateCommandQueue(gpu)
+	if q.LineProfile() != nil {
+		t.Error("line profile must be nil before SetLineProfile")
+	}
+	q.SetLineProfile(true)
+	if _, err := q.EnqueueNDRangeKernel(k, 1, []int{n}, []int{64}); err != nil {
+		t.Fatal(err)
+	}
+	top := q.LineProfile().Top(3)
+	if len(top) == 0 {
+		t.Fatal("line profile is empty")
+	}
+	// Line 5 of testKernel is "x[i] = x[i] * k": one 4-byte load and
+	// one 4-byte store per work-item.
+	if top[0].Line != 5 {
+		t.Errorf("hottest line = %d, want 5 (the x[i] load/store)", top[0].Line)
+	}
+	if top[0].Bytes < n*8 {
+		t.Errorf("hottest line moved %d bytes, want >= %d", top[0].Bytes, n*8)
+	}
+	if top[0].Reads == 0 || top[0].Writes == 0 {
+		t.Errorf("hottest line stats = %+v, want reads and writes", top[0])
+	}
+}

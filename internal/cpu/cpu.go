@@ -78,6 +78,10 @@ func (c *CPU) ResetCaches() {
 	c.l2.Reset()
 }
 
+// L2Stats returns the shared L2 cache statistics accumulated so far —
+// the source of the observability layer's cache hit-rate metrics.
+func (c *CPU) L2Stats() mem.CacheStats { return c.l2.Stats() }
+
 // DefaultLocalSize implements device.Device: one work-item per group,
 // groups spread across cores.
 func (c *CPU) DefaultLocalSize(ndr *device.NDRange) [3]int {
@@ -271,8 +275,10 @@ func (c *CPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 	if bw := float64(dramBytes) / platform.CPUClusterBandwidth; bw > seconds {
 		seconds = bw
 	}
+	dispatch := 0.0
 	if c.cores > 1 {
 		seconds += platform.OMPRegionOverheadSec
+		dispatch = platform.OMPRegionOverheadSec
 	}
 	util := 0.0
 	if busySec > 0 {
@@ -280,6 +286,7 @@ func (c *CPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 	}
 	return &device.Report{
 		Seconds:         seconds,
+		DispatchSeconds: dispatch,
 		BusyCoreSeconds: busySec,
 		ActiveCores:     active,
 		Utilization:     util,

@@ -7,6 +7,7 @@ package device
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"maligo/internal/clc/ir"
 	"maligo/internal/vm"
@@ -29,11 +30,17 @@ type NDRange struct {
 	Args    []vm.ArgValue
 }
 
-// TotalWorkItems returns the NDRange size.
+// TotalWorkItems returns the NDRange size. Products that exceed the
+// host int range saturate at math.MaxInt instead of wrapping negative;
+// ValidateNDRange rejects such ranges before any device runs them.
 func (n *NDRange) TotalWorkItems() int {
 	total := 1
 	for d := 0; d < n.WorkDim; d++ {
-		total *= n.Global[d]
+		g := n.Global[d]
+		if g > 0 && total > math.MaxInt/g {
+			return math.MaxInt
+		}
+		total *= g
 	}
 	return total
 }
@@ -43,6 +50,10 @@ type Report struct {
 	// Seconds is the wall-clock duration of the enqueue on the device,
 	// including dispatch overheads.
 	Seconds float64
+	// DispatchSeconds is the portion of Seconds spent before the first
+	// instruction executes (driver enqueue overhead, OpenMP fork).
+	// Event profiling uses it as the SUBMIT→START window.
+	DispatchSeconds float64
 	// BusyCoreSeconds is Σ over cores of seconds spent executing.
 	BusyCoreSeconds float64
 	// ActiveCores is the number of cores that executed any work.
@@ -50,6 +61,11 @@ type Report struct {
 	// Utilization is the average busy-core pipeline utilization in
 	// [0,1]; it drives the dynamic power term.
 	Utilization float64
+	// ArithUtil and LSUtil are the per-pipe busy fractions behind
+	// Utilization, where the device model distinguishes pipes (the
+	// Mali arithmetic and load/store pipelines); zero elsewhere.
+	ArithUtil float64
+	LSUtil    float64
 	// DRAMBytes is traffic that reached DRAM (post-cache).
 	DRAMBytes uint64
 	// Profile is the functional execution profile.
@@ -70,11 +86,15 @@ type Device interface {
 }
 
 // ValidateNDRange applies the OpenCL launch rules common to devices.
+// Besides the per-dimension rules, it rejects ranges whose work-item
+// total, work-group size or work-group count overflows the host int —
+// huge globals must fail with ErrInvalidWorkGroupSize, not wrap to a
+// negative count and misbehave downstream.
 func ValidateNDRange(d Device, ndr *NDRange) error {
 	if ndr.WorkDim < 1 || ndr.WorkDim > 3 {
 		return fmt.Errorf("work_dim %d: %w", ndr.WorkDim, ErrInvalidWorkGroupSize)
 	}
-	wgSize := 1
+	wgSize, totalWI, totalGroups := 1, 1, 1
 	for dim := 0; dim < ndr.WorkDim; dim++ {
 		g, l := ndr.Global[dim], ndr.Local[dim]
 		if g <= 0 {
@@ -87,7 +107,20 @@ func ValidateNDRange(d Device, ndr *NDRange) error {
 			return fmt.Errorf("global size %d not divisible by local size %d in dim %d: %w",
 				g, l, dim, ErrInvalidWorkGroupSize)
 		}
+		if wgSize > math.MaxInt/l {
+			return fmt.Errorf("work-group size overflows in dim %d: %w", dim, ErrInvalidWorkGroupSize)
+		}
 		wgSize *= l
+		if totalWI > math.MaxInt/g {
+			return fmt.Errorf("total work-items overflow in dim %d (global %v): %w",
+				dim, ndr.Global, ErrInvalidWorkGroupSize)
+		}
+		totalWI *= g
+		ng := g / l
+		if ng > 0 && totalGroups > math.MaxInt/ng {
+			return fmt.Errorf("work-group count overflows in dim %d: %w", dim, ErrInvalidWorkGroupSize)
+		}
+		totalGroups *= ng
 	}
 	if wgSize > d.MaxWorkGroupSize() {
 		return fmt.Errorf("work-group size %d exceeds device maximum %d: %w",

@@ -2,6 +2,7 @@ package device_test
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"maligo/internal/device"
@@ -81,5 +82,40 @@ func TestTotalWorkItems(t *testing.T) {
 	ndr2 := &device.NDRange{WorkDim: 1, Global: [3]int{7, 99, 99}}
 	if got := ndr2.TotalWorkItems(); got != 7 {
 		t.Errorf("TotalWorkItems (1D) = %d", got)
+	}
+}
+
+// TestTotalWorkItemsSaturates checks a product that exceeds the host
+// int range saturates at math.MaxInt instead of wrapping negative
+// (1<<40+1 squared wraps to 2^41+1 with plain multiplication).
+func TestTotalWorkItemsSaturates(t *testing.T) {
+	huge := 1<<40 + 1
+	ndr := &device.NDRange{WorkDim: 2, Global: [3]int{huge, huge}}
+	if got := ndr.TotalWorkItems(); got != math.MaxInt {
+		t.Errorf("TotalWorkItems = %d, want math.MaxInt", got)
+	}
+	if got := ndr.TotalWorkItems(); got < 0 {
+		t.Errorf("TotalWorkItems wrapped negative: %d", got)
+	}
+}
+
+// TestValidateNDRangeOverflow checks ranges whose work-item total,
+// group size or group count overflows int are rejected with
+// ErrInvalidWorkGroupSize rather than wrapping.
+func TestValidateNDRangeOverflow(t *testing.T) {
+	d := &stub{maxWG: 1 << 62}
+	huge := 1<<40 + 2
+	bad := []*device.NDRange{
+		// total work-items overflows
+		{WorkDim: 2, Global: [3]int{huge, huge, 1}, Local: [3]int{2, 2, 1}},
+		// work-group size overflows
+		{WorkDim: 2, Global: [3]int{huge, huge, 1}, Local: [3]int{huge, huge, 1}},
+		// work-group count overflows (local 1 keeps wgSize small)
+		{WorkDim: 3, Global: [3]int{huge, huge, huge}, Local: [3]int{1, 1, 1}},
+	}
+	for i, ndr := range bad {
+		if err := device.ValidateNDRange(d, ndr); !errors.Is(err, device.ErrInvalidWorkGroupSize) {
+			t.Errorf("case %d: err = %v, want ErrInvalidWorkGroupSize", i, err)
+		}
 	}
 }

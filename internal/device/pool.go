@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"maligo/internal/vm"
 )
@@ -17,6 +18,9 @@ type Pool struct {
 	workers int
 	wg      sync.WaitGroup
 	once    sync.Once
+
+	busy atomic.Int64  // workers currently executing a job
+	done atomic.Uint64 // jobs completed since creation
 }
 
 // NewPool creates a pool with the given number of workers; workers <= 0
@@ -31,7 +35,10 @@ func NewPool(workers int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for job := range p.jobs {
+				p.busy.Add(1)
 				job()
+				p.busy.Add(-1)
+				p.done.Add(1)
 			}
 		}()
 	}
@@ -40,6 +47,13 @@ func NewPool(workers int) *Pool {
 
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
+
+// Stats reports pool occupancy: jobs completed since creation and the
+// number of workers executing right now. Both are instantaneous
+// observations, meant for metrics gauges.
+func (p *Pool) Stats() (jobsDone uint64, busyWorkers int) {
+	return p.done.Load(), int(p.busy.Load())
+}
 
 // Close stops the workers. Safe to call more than once; must not race
 // with submit.
@@ -51,10 +65,38 @@ func (p *Pool) Close() {
 }
 
 // RaceObserver receives each work-group's detailed memory trace for
-// dynamic race analysis (vm.RaceDetector implements it). Called in
-// dispatch order on the consuming goroutine.
+// dynamic race analysis (vm.RaceDetector implements it, as does
+// vm.LineProfiler for hot-line attribution). Called in dispatch order
+// on the consuming goroutine.
 type RaceObserver interface {
 	ObserveGroup(group [3]int, tr *vm.Trace)
+}
+
+// FanObservers combines trace observers so one enqueue can feed both
+// the race detector and the line profiler from a single detailed
+// trace. Nil entries are dropped; nil is returned when none remain.
+func FanObservers(obs ...RaceObserver) RaceObserver {
+	var live []RaceObserver
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return observerFan(live)
+}
+
+type observerFan []RaceObserver
+
+func (f observerFan) ObserveGroup(group [3]int, tr *vm.Trace) {
+	for _, o := range f {
+		o.ObserveGroup(group, tr)
+	}
 }
 
 // RunConfig carries the execution context of one enqueue: an optional

@@ -14,7 +14,9 @@ import (
 	"maligo/internal/cl"
 	"maligo/internal/cpu"
 	"maligo/internal/mali"
+	"maligo/internal/obs"
 	"maligo/internal/power"
+	"maligo/internal/vm"
 )
 
 // Config controls a harness run.
@@ -35,6 +37,10 @@ type Config struct {
 	// simulated results are bit-identical at every setting — Workers
 	// only changes how fast the simulation itself runs (HostSeconds).
 	Workers int
+	// ProfileLines enables hot-line attribution for the measured run
+	// of every version: each cell gets the top source lines by bytes
+	// moved. Costs detailed tracing time, so off by default.
+	ProfileLines bool
 }
 
 // DefaultConfig is the paper-scale configuration.
@@ -67,6 +73,17 @@ type Cell struct {
 	Kernels     []string
 	Activity    power.Activity
 	VerifyError error
+
+	// Timeline is the measured region's command timeline (profiling
+	// timestamps), ready for obs.WriteChromeTrace.
+	Timeline []obs.Span
+	// Metrics is the benchmark context's metrics snapshot taken right
+	// after this cell's measured run (counters accumulate across the
+	// versions of one benchmark).
+	Metrics obs.Snapshot
+	// HotLines is the top-10 hot-line profile of the measured run when
+	// Config.ProfileLines is set (nil otherwise).
+	HotLines []vm.LineStat
 }
 
 // Results holds every cell of a harness run.
@@ -191,7 +208,10 @@ func runBenchmark(cfg Config, res *Results, meter *power.Meter, name string, pre
 		if _, err := b.Run(q, prog, v); err != nil {
 			return fmt.Errorf("%s warm-up: %w", v, err)
 		}
-		q.ResetEvents()
+		q.ResetEvents() // rewinds the queue clock: measured timeline starts at t=0
+		if cfg.ProfileLines {
+			q.SetLineProfile(true)
+		}
 
 		start := time.Now()
 		info, err := b.Run(q, prog, v)
@@ -209,6 +229,11 @@ func runBenchmark(cfg Config, res *Results, meter *power.Meter, name string, pre
 		cell.Seconds = act.Seconds
 		cell.Activity = act
 		cell.Power = meter.Measure(act)
+		cell.Timeline = q.Timeline()
+		cell.Metrics = ctx.Metrics().Snapshot()
+		if lp := q.LineProfile(); cfg.ProfileLines && lp != nil {
+			cell.HotLines = lp.Top(10)
+		}
 
 		if cfg.Verify {
 			if err := b.Verify(prec); err != nil {

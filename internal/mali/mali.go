@@ -83,6 +83,10 @@ func (g *GPU) MaxWorkGroupSize() int { return platform.GPUMaxWorkGroupSize }
 // ResetCaches clears cache state (cold-start measurement).
 func (g *GPU) ResetCaches() { g.l2.Reset() }
 
+// L2Stats returns the shared L2 cache statistics accumulated so far —
+// the source of the observability layer's cache hit-rate metrics.
+func (g *GPU) L2Stats() mem.CacheStats { return g.l2.Stats() }
+
 // DefaultLocalSize implements the driver heuristic used when the host
 // passes NULL as local work size. As the paper observes (§III-A, Load
 // distribution), the driver "is not always capable of doing a good
@@ -416,10 +420,10 @@ func (g *GPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 	}
 	seconds += platform.GPUEnqueueOverheadSec
 
-	util := 0.0
+	util, arithUtil, lsUtil := 0.0, 0.0, 0.0
 	if busyCycles > 0 {
-		arithUtil := arithSlots / (busyCycles * platform.GPUArithPipes)
-		lsUtil := lsSlots / busyCycles
+		arithUtil = arithSlots / (busyCycles * platform.GPUArithPipes)
+		lsUtil = lsSlots / busyCycles
 		util = 0.65*arithUtil + 0.35*lsUtil
 		if util > 1 {
 			util = 1
@@ -427,9 +431,12 @@ func (g *GPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 	}
 	return &device.Report{
 		Seconds:         seconds,
+		DispatchSeconds: platform.GPUEnqueueOverheadSec,
 		BusyCoreSeconds: busyCycles / platform.GPUFreqHz,
 		ActiveCores:     activeCores,
 		Utilization:     util,
+		ArithUtil:       arithUtil,
+		LSUtil:          lsUtil,
 		DRAMBytes:       obs.dramBytes,
 		Profile:         *total,
 	}, nil

@@ -41,7 +41,9 @@ func (a *Arena) Alloc(size int64, align int64) (int64, error) {
 	// alias pathologically in the low-associativity L1 model.
 	base += (a.count % 29) * 1216
 	a.count++
-	if base+size > a.capacity {
+	// Overflow-safe form of base+size > capacity: a near-MaxInt64 size
+	// must fail cleanly instead of wrapping negative and "fitting".
+	if base < 0 || size > a.capacity-base {
 		return 0, ErrOutOfMemory
 	}
 	a.next = base + size
@@ -89,17 +91,19 @@ func (a *Arena) InUse() int64 {
 	return n
 }
 
-// Bytes returns the backing storage for the range [off, off+n).
+// Bytes returns the backing storage for the range [off, off+n). The
+// checks are written overflow-safe: a negative length or an offset
+// that would wrap int64 must error, never slice out of bounds.
 func (a *Arena) Bytes(off, n int64) ([]byte, error) {
-	if off < 0 || off+n > int64(len(a.data)) {
-		return nil, fmt.Errorf("mem: range [%d,%d) outside arena of %d bytes", off, off+n, len(a.data))
+	if off < 0 || n < 0 || off > int64(len(a.data)) || n > int64(len(a.data))-off {
+		return nil, fmt.Errorf("mem: range [%d,+%d) outside arena of %d bytes", off, n, len(a.data))
 	}
 	return a.data[off : off+n], nil
 }
 
 // LoadBits reads a little-endian value of size bytes at off.
 func (a *Arena) LoadBits(off int64, size int) (uint64, error) {
-	if off < 0 || off+int64(size) > int64(len(a.data)) {
+	if off < 0 || size < 0 || off > int64(len(a.data))-int64(size) {
 		return 0, fmt.Errorf("mem: out-of-bounds load at %d (size %d)", off, size)
 	}
 	var v uint64
@@ -111,7 +115,7 @@ func (a *Arena) LoadBits(off int64, size int) (uint64, error) {
 
 // StoreBits writes a little-endian value of size bytes at off.
 func (a *Arena) StoreBits(off int64, size int, bits uint64) error {
-	if off < 0 || off+int64(size) > int64(len(a.data)) {
+	if off < 0 || size < 0 || off > int64(len(a.data))-int64(size) {
 		return fmt.Errorf("mem: out-of-bounds store at %d (size %d)", off, size)
 	}
 	for i := 0; i < size; i++ {

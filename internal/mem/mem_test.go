@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -156,6 +157,45 @@ func TestArenaLoadStore(t *testing.T) {
 	}
 	if _, err := a.LoadBits(1<<20, 4); err == nil {
 		t.Fatal("out-of-bounds load should fail")
+	}
+}
+
+// TestArenaOverflowSafe checks near-MaxInt64 sizes and offsets error
+// cleanly instead of wrapping negative and "fitting" (or slicing out
+// of bounds).
+func TestArenaOverflowSafe(t *testing.T) {
+	a := NewArena(4096)
+	base, err := a.Alloc(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(math.MaxInt64-32, 64); err == nil {
+		t.Fatal("near-MaxInt64 allocation should fail, not wrap")
+	}
+	if _, err := a.Bytes(math.MaxInt64, 16); err == nil {
+		t.Fatal("Bytes with MaxInt64 offset should fail")
+	}
+	if _, err := a.Bytes(base, math.MaxInt64); err == nil {
+		t.Fatal("Bytes with MaxInt64 length should fail")
+	}
+	if _, err := a.Bytes(math.MaxInt64, math.MaxInt64); err == nil {
+		t.Fatal("Bytes with wrapping off+n should fail")
+	}
+	if _, err := a.Bytes(-1, 4); err == nil {
+		t.Fatal("Bytes with negative offset should fail")
+	}
+	if _, err := a.LoadBits(math.MaxInt64-2, 8); err == nil {
+		t.Fatal("LoadBits with wrapping off+size should fail")
+	}
+	if err := a.StoreBits(math.MaxInt64-2, 8, 0); err == nil {
+		t.Fatal("StoreBits with wrapping off+size should fail")
+	}
+	// The valid allocation still works after the rejected ones.
+	if err := a.StoreBits(base, 8, 0x1122334455667788); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := a.LoadBits(base, 8); err != nil || v != 0x1122334455667788 {
+		t.Fatalf("round trip after rejections: %#x, %v", v, err)
 	}
 }
 

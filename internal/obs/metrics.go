@@ -1,0 +1,305 @@
+// Package obs is the observability layer of the simulated platform:
+// a lightweight metrics registry (counters, gauges, histograms) the
+// runtime feeds from vm.Profile / device.Report data, plus exporters —
+// a deterministic text/JSON metrics dump and a Chrome-tracing /
+// Perfetto JSON writer for command-queue timelines.
+//
+// The package deliberately has no dependency on the rest of the
+// simulator: the cl runtime pushes values in, and tools (malisim, the
+// harness) pull snapshots out. All snapshot output is deterministic —
+// names are emitted in sorted order — so traces and metric dumps can
+// be locked down with golden files.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric, safe for
+// concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 metric holding the most recent value, safe for
+// concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the most recently stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefaultSecondsBuckets are the histogram bucket upper bounds used for
+// duration metrics: decades from 100 ns to 10 s, the range simulated
+// commands actually span.
+var DefaultSecondsBuckets = []float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// Histogram accumulates a distribution over fixed bucket bounds.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	// Overflow bucket (> last bound).
+	h.counts[len(h.bounds)]++
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, b := range h.bounds {
+		if h.counts[i] > 0 {
+			s.Buckets = append(s.Buckets, Bucket{LE: b, Count: h.counts[i]})
+		}
+	}
+	if over := h.counts[len(h.bounds)]; over > 0 {
+		s.Buckets = append(s.Buckets, Bucket{LE: math.Inf(1), Count: over})
+	}
+	return s
+}
+
+// Bucket is one non-empty histogram bucket: samples <= LE (and greater
+// than the previous bound).
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// MarshalJSON renders +Inf as the string "inf" (JSON has no infinity).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	if math.IsInf(b.LE, 1) {
+		return []byte(fmt.Sprintf(`{"le":"inf","count":%d}`, b.Count)), nil
+	}
+	return []byte(fmt.Sprintf(`{"le":%g,"count":%d}`, b.LE, b.Count)), nil
+}
+
+// HistogramSnapshot is the frozen state of one histogram.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Registry is a named collection of metrics. The zero value is not
+// usable; create one with NewRegistry. Metric accessors get-or-create,
+// so instrumentation sites don't need registration ceremony.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	gaugeFuncs map[string]func() float64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		hists:      make(map[string]*Histogram),
+		gaugeFuncs: make(map[string]func() float64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (nil bounds selects
+// DefaultSecondsBuckets). Bounds are fixed at creation.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		if bounds == nil {
+			bounds = DefaultSecondsBuckets
+		}
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeFunc registers a callback gauge: fn is evaluated at every
+// Snapshot. Re-registering a name replaces the callback.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+}
+
+// Snapshot is a frozen, serializable view of a registry's metrics.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry's current state. Callback gauges are
+// evaluated outside the registry lock, so they may themselves read
+// instrumented structures.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)+len(r.gaugeFuncs)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	funcs := make(map[string]func() float64, len(r.gaugeFuncs))
+	for name, fn := range r.gaugeFuncs {
+		funcs[name] = fn
+	}
+	r.mu.Unlock()
+
+	for name, h := range hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	for name, fn := range funcs {
+		s.Gauges[name] = fn()
+	}
+	return s
+}
+
+// Counter returns a counter value from the snapshot (0 if absent).
+func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// Gauge returns a gauge value from the snapshot (0 if absent).
+func (s Snapshot) Gauge(name string) float64 { return s.Gauges[name] }
+
+// Names returns every metric name in the snapshot, sorted.
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteText renders the snapshot as a sorted, human-readable metrics
+// dump (one metric per line).
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, name := range s.Names() {
+		var err error
+		switch {
+		case hasKeyU(s.Counters, name):
+			_, err = fmt.Fprintf(w, "%-40s %d\n", name, s.Counters[name])
+		case hasKeyF(s.Gauges, name):
+			_, err = fmt.Fprintf(w, "%-40s %g\n", name, s.Gauges[name])
+		default:
+			h := s.Histograms[name]
+			_, err = fmt.Fprintf(w, "%-40s count=%d sum=%g min=%g max=%g mean=%g\n",
+				name, h.Count, h.Sum, h.Min, h.Max, h.Mean())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as JSON. Map keys are sorted by the
+// encoder, so the output is deterministic.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+func hasKeyU(m map[string]uint64, k string) bool { _, ok := m[k]; return ok }
+
+func hasKeyF(m map[string]float64, k string) bool { _, ok := m[k]; return ok }

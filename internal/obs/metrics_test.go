@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.total").Add(3)
+	r.Counter("a.total").Inc()
+	r.Gauge("b.level").Set(2.5)
+	r.GaugeFunc("c.live", func() float64 { return 7 })
+
+	s := r.Snapshot()
+	if got := s.Counter("a.total"); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	if got := s.Gauge("b.level"); got != 2.5 {
+		t.Errorf("gauge = %g, want 2.5", got)
+	}
+	if got := s.Gauge("c.live"); got != 7 {
+		t.Errorf("gauge func = %g, want 7", got)
+	}
+	if got := s.Counter("missing"); got != 0 {
+		t.Errorf("missing counter = %d, want 0", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10})
+	for _, v := range []float64{0.5, 0.7, 5, 100} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != 0.5 || s.Max != 100 {
+		t.Errorf("min/max = %g/%g", s.Min, s.Max)
+	}
+	if s.Sum != 106.2 {
+		t.Errorf("sum = %g", s.Sum)
+	}
+	if len(s.Buckets) != 3 {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+	if s.Buckets[0].Count != 2 || s.Buckets[1].Count != 1 || s.Buckets[2].Count != 1 {
+		t.Errorf("bucket counts = %+v", s.Buckets)
+	}
+	if !math.IsInf(s.Buckets[2].LE, 1) {
+		t.Errorf("overflow bucket LE = %g", s.Buckets[2].LE)
+	}
+	if got := s.Mean(); math.Abs(got-26.55) > 1e-12 {
+		t.Errorf("mean = %g", got)
+	}
+}
+
+func TestSnapshotTextAndJSONDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Inc()
+	r.Counter("a.first").Add(2)
+	r.Gauge("m.mid").Set(1)
+	r.Histogram("h.seconds", nil).Observe(3e-4)
+
+	var text bytes.Buffer
+	if err := r.Snapshot().WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(text.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %q", lines)
+	}
+	if !strings.HasPrefix(lines[0], "a.first") || !strings.HasPrefix(lines[3], "z.last") {
+		t.Errorf("not sorted: %q", lines)
+	}
+
+	var j1, j2 bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(&j2); err != nil {
+		t.Fatal(err)
+	}
+	if j1.String() != j2.String() {
+		t.Error("JSON snapshot not deterministic")
+	}
+	var parsed Snapshot
+	if err := json.Unmarshal(j1.Bytes(), &parsed); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if parsed.Counters["a.first"] != 2 {
+		t.Errorf("roundtrip counter = %d", parsed.Counters["a.first"])
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Gauge("g").Set(float64(j))
+				r.Histogram("h", nil).Observe(float64(j) * 1e-6)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counter("n") != 8000 {
+		t.Errorf("counter = %d, want 8000", s.Counter("n"))
+	}
+	if s.Histograms["h"].Count != 8000 {
+		t.Errorf("histogram count = %d, want 8000", s.Histograms["h"].Count)
+	}
+}

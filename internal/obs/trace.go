@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Span is one complete slice on a timeline track — typically one
+// command on a command queue, with simulated start time and duration.
+// Spans are the exporter-neutral form of a queue's event history.
+type Span struct {
+	// Name is the display label (kernel name or command kind).
+	Name string
+	// Cat is the event category ("ndrange", "write", "read", ...).
+	Cat string
+	// Track is the display name of the track (queue/device label).
+	Track string
+	// TrackID distinguishes tracks that share a display name.
+	TrackID int
+	// Start is the simulated start time in seconds since queue
+	// creation; Dur the simulated duration in seconds.
+	Start, Dur float64
+	// Args are extra key/values shown when the slice is selected.
+	// Written in sorted key order, so output stays deterministic.
+	Args map[string]any
+}
+
+// WriteChromeTrace writes spans in the Chrome tracing JSON array
+// format, loadable by chrome://tracing and https://ui.perfetto.dev.
+// Simulated seconds map to trace microseconds. Output is byte-for-byte
+// deterministic for a given span slice.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	// Name each track once via metadata events, in TrackID order.
+	trackNames := map[int]string{}
+	ids := []int{}
+	for _, s := range spans {
+		if _, ok := trackNames[s.TrackID]; !ok {
+			trackNames[s.TrackID] = s.Track
+			ids = append(ids, s.TrackID)
+		}
+	}
+	sort.Ints(ids)
+	first := true
+	emit := func(line string) error {
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := io.WriteString(w, line)
+		return err
+	}
+	for _, id := range ids {
+		name, err := json.Marshal(trackNames[id])
+		if err != nil {
+			return err
+		}
+		if err := emit(fmt.Sprintf(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":%s}}`, id, name)); err != nil {
+			return err
+		}
+	}
+	for _, s := range spans {
+		line, err := chromeEvent(s)
+		if err != nil {
+			return err
+		}
+		if err := emit(line); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// chromeEvent renders one span as a complete ("X") trace event with
+// deterministic field and argument order.
+func chromeEvent(s Span) (string, error) {
+	name, err := json.Marshal(s.Name)
+	if err != nil {
+		return "", err
+	}
+	cat, err := json.Marshal(s.Cat)
+	if err != nil {
+		return "", err
+	}
+	out := fmt.Sprintf(`{"ph":"X","pid":0,"tid":%d,"ts":%s,"dur":%s,"name":%s,"cat":%s`,
+		s.TrackID, micros(s.Start), micros(s.Dur), name, cat)
+	if len(s.Args) > 0 {
+		keys := make([]string, 0, len(s.Args))
+		for k := range s.Args {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out += `,"args":{`
+		for i, k := range keys {
+			kj, err := json.Marshal(k)
+			if err != nil {
+				return "", err
+			}
+			vj, err := json.Marshal(s.Args[k])
+			if err != nil {
+				return "", err
+			}
+			if i > 0 {
+				out += ","
+			}
+			out += string(kj) + ":" + string(vj)
+		}
+		out += "}"
+	}
+	return out + "}", nil
+}
+
+// micros renders seconds as microseconds with nanosecond resolution,
+// in a fixed format so traces diff cleanly.
+func micros(seconds float64) string {
+	return strconv.FormatFloat(seconds*1e6, 'f', 3, 64)
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// chromeTrace mirrors the subset of the Chrome tracing JSON schema the
+// writer emits, for parse-back validation.
+type chromeTrace struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func sampleSpans() []Span {
+	return []Span{
+		{Name: "write", Cat: "write", Track: "queue0 Mali-T604", TrackID: 1, Start: 0, Dur: 1e-5, Args: map[string]any{"bytes": 4096}},
+		{Name: "vecadd", Cat: "ndrange", Track: "queue0 Mali-T604", TrackID: 1, Start: 1e-5, Dur: 3e-4,
+			Args: map[string]any{"work_items": 1024, "dram_bytes": 8192}},
+		{Name: "read", Cat: "read", Track: "queue1 Cortex-A15", TrackID: 2, Start: 3.1e-4, Dur: 1e-5},
+	}
+}
+
+func TestWriteChromeTraceParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace does not parse: %v\n%s", err, buf.String())
+	}
+	// 2 thread_name metadata events + 3 slices.
+	if len(tr.TraceEvents) != 5 {
+		t.Fatalf("events = %d, want 5", len(tr.TraceEvents))
+	}
+	meta, slices := 0, 0
+	for _, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			slices++
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Errorf("negative ts/dur: %+v", ev)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 2 || slices != 3 {
+		t.Errorf("meta/slices = %d/%d", meta, slices)
+	}
+	// Microsecond conversion: 3e-4 s = 300 µs.
+	if tr.TraceEvents[3].Dur != 300 {
+		t.Errorf("ndrange dur = %g µs, want 300", tr.TraceEvents[3].Dur)
+	}
+	if tr.TraceEvents[3].Args["work_items"].(float64) != 1024 {
+		t.Errorf("args = %v", tr.TraceEvents[3].Args)
+	}
+}
+
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("trace output not deterministic")
+	}
+	if !strings.Contains(a.String(), `"thread_name"`) {
+		t.Error("missing track metadata")
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("empty trace does not parse: %v", err)
+	}
+	if len(tr.TraceEvents) != 0 {
+		t.Errorf("events = %d", len(tr.TraceEvents))
+	}
+}

@@ -1,0 +1,68 @@
+package vm_test
+
+import (
+	"testing"
+
+	"maligo/internal/vm"
+)
+
+// TestLineProfilerAttributesAccesses builds a detailed trace by hand
+// and checks per-line aggregation, ordering and totals.
+func TestLineProfilerAttributesAccesses(t *testing.T) {
+	tr := vm.NewTrace()
+	defer tr.Release()
+	tr.EnableDetail()
+
+	// Work-item 0, phase 0: line 10 reads 16 bytes twice, line 12
+	// writes 4 bytes; work-item 1: line 10 reads 16 bytes once, line
+	// 14 does one atomic (write access + atomic marker).
+	tr.OnContext(0, 0, 10)
+	tr.OnAccess(0, 0, 16, false)
+	tr.OnContext(0, 0, 10)
+	tr.OnAccess(0, 64, 16, false)
+	tr.OnContext(0, 0, 12)
+	tr.OnAccess(0, 128, 4, true)
+	tr.OnContext(1, 0, 10)
+	tr.OnAccess(0, 256, 16, false)
+	tr.OnContext(1, 0, 14)
+	tr.OnAccess(0, 512, 4, true)
+	tr.OnAtomic(0, 512, 4)
+
+	p := vm.NewLineProfiler()
+	p.ObserveGroup([3]int{0, 0, 0}, tr)
+
+	top := p.Top(0)
+	if len(top) != 3 {
+		t.Fatalf("lines = %+v", top)
+	}
+	if top[0].Line != 10 || top[0].Bytes != 48 || top[0].Reads != 3 || top[0].Accesses != 3 {
+		t.Errorf("hottest line = %+v, want line 10 with 48 bytes / 3 reads", top[0])
+	}
+	if top[1].Line != 12 || top[1].Writes != 1 || top[1].Bytes != 4 {
+		t.Errorf("second line = %+v", top[1])
+	}
+	if top[2].Line != 14 || top[2].Atomics != 1 || top[2].Writes != 1 {
+		t.Errorf("atomic line = %+v", top[2])
+	}
+	if got := p.TotalBytes(); got != 56 {
+		t.Errorf("TotalBytes = %d, want 56", got)
+	}
+	if got := p.Top(1); len(got) != 1 || got[0].Line != 10 {
+		t.Errorf("Top(1) = %+v", got)
+	}
+}
+
+// TestLineProfilerIgnoresPlainTraces checks traces without detail mode
+// contribute nothing (they carry no line attribution).
+func TestLineProfilerIgnoresPlainTraces(t *testing.T) {
+	tr := vm.NewTrace()
+	defer tr.Release()
+	tr.OnAccess(0, 0, 16, false)
+
+	p := vm.NewLineProfiler()
+	p.ObserveGroup([3]int{0, 0, 0}, tr)
+	p.ObserveGroup([3]int{0, 0, 0}, nil)
+	if got := p.Top(0); len(got) != 0 {
+		t.Errorf("plain trace profiled: %+v", got)
+	}
+}

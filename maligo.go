@@ -76,6 +76,11 @@ func (p *Platform) MeasureKind(q *Queue, kind RunKind) (Measurement, Activity) {
 	return p.Platform.Measure(q, kind)
 }
 
+// Metrics returns the platform context's metrics registry — counters,
+// gauges and histograms the runtime feeds on every enqueue. Take a
+// point-in-time view with Metrics().Snapshot().
+func (p *Platform) Metrics() *MetricsRegistry { return p.Platform.Context.Metrics() }
+
 // Close releases platform resources (the engine worker pool). Queues
 // created from the platform keep working afterwards on the serial
 // engine.
