@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race short bench figures lint trace-smoke verify
+.PHONY: build vet test race short bench bench-smoke figures lint trace-smoke verify
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,15 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+	$(GO) test -run xxx -bench BenchmarkEngine -benchtime 200x -count 3 ./internal/vm \
+		| $(GO) run ./cmd/benchjson > BENCH_vm.json
+	@echo "wrote BENCH_vm.json (VM engine baseline; diff against the committed copy)"
+
+# Cheap benchmark smoke for CI: one iteration of the VM engine
+# benchmarks under both engines, so a broken bench harness fails
+# verify rather than the next baseline refresh.
+bench-smoke:
+	$(GO) test -run xxx -bench BenchmarkEngine -benchtime 1x ./internal/vm >/dev/null
 
 # Static checks: Go hygiene plus the kernel linter over every tracked
 # .cl file. The golden corpus under testdata/analysis is excluded — it
@@ -47,5 +56,7 @@ trace-smoke:
 	$(GO) run ./cmd/malisim -bench vecop -scale 0.05 -trace "$$tmp/trace.json" -metrics-out "$$tmp/metrics.json" >/dev/null && \
 	$(GO) run ./cmd/tracecheck -metrics "$$tmp/metrics.json" "$$tmp/trace.json"
 
-# Full verification: what CI runs.
-verify: build lint test race trace-smoke
+# Full verification: what CI runs. The -short race pass includes the
+# engine differential cross-section; `make test` runs the full
+# interpreter-vs-compiled matrix.
+verify: build lint test race trace-smoke bench-smoke

@@ -75,6 +75,13 @@ type (
 	// LineProfiler accumulates hot-line profiles across enqueues
 	// (Queue.LineProfile hands one out after Queue.SetLineProfile).
 	LineProfiler = vm.LineProfiler
+
+	// Engine selects the VM execution engine: EngineInterp is the
+	// reference switch-dispatch interpreter, EngineCompiled the
+	// closure-compiled fast path. Both are bit-identical in every
+	// observable (results, reports, traces, profiles); only host
+	// wall-clock differs.
+	Engine = vm.Engine
 )
 
 // Buffer creation flags.
@@ -94,6 +101,23 @@ const (
 	GPURun = core.GPURun
 )
 
+// VM execution engines (see Engine).
+const (
+	EngineAuto     = vm.EngineAuto
+	EngineInterp   = vm.EngineInterp
+	EngineCompiled = vm.EngineCompiled
+)
+
+// ParseEngine parses an engine name: "auto" (or empty), "interp" /
+// "interpreter", "compiled". The malisim and figures -engine flags
+// accept the same names, as does the MALIGO_ENGINE environment
+// variable.
+func ParseEngine(s string) (Engine, error) { return vm.ParseEngine(s) }
+
+// EngineFromEnv returns the engine selected by the MALIGO_ENGINE
+// environment variable, or EngineAuto when unset or unparsable.
+func EngineFromEnv() Engine { return vm.EngineFromEnv() }
+
 // NewContext creates a standalone context from functional options
 // (cl.WithDevices / cl.WithArenaBytes / cl.WithWorkers re-exported as
 // ContextDevices / ContextArenaBytes / ContextWorkers) for callers
@@ -108,6 +132,9 @@ func ContextArenaBytes(n int64) ContextOption { return cl.WithArenaBytes(n) }
 
 // ContextWorkers sets a standalone context's engine worker count.
 func ContextWorkers(n int) ContextOption { return cl.WithWorkers(n) }
+
+// ContextEngine selects a standalone context's VM execution engine.
+func ContextEngine(e Engine) ContextOption { return cl.WithEngine(e) }
 
 // GetDeviceInfo mirrors clGetDeviceInfo for any platform device.
 func GetDeviceInfo(d Device) DeviceInfo { return cl.GetDeviceInfo(d) }

@@ -1,0 +1,94 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON document, for committing benchmark baselines:
+//
+//	go test -run xxx -bench BenchmarkEngine ./internal/vm | benchjson > BENCH_vm.json
+//
+// Benchmarks that appear multiple times (go test -count N) are
+// aggregated to the fastest run, the conventional noise-resistant
+// summary for committed baselines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
+	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the whole baseline file.
+type Document struct {
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Package    string   `json:"pkg,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	var doc Document
+	index := make(map[string]int)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Package = strings.TrimPrefix(line, "pkg: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			r.AllocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if i, ok := index[r.Name]; ok {
+			if r.NsPerOp < doc.Benchmarks[i].NsPerOp {
+				doc.Benchmarks[i] = r
+			}
+			continue
+		}
+		index[r.Name] = len(doc.Benchmarks)
+		doc.Benchmarks = append(doc.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}

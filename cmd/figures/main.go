@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	figures [-fig 2a|2b|3a|3b|4a|4b] [-summary] [-scale 1.0] [-bench name,...] [-workers N] [-v]
+//	figures [-fig 2a|2b|3a|3b|4a|4b] [-summary] [-scale 1.0] [-bench name,...]
+//	        [-workers N] [-engine interp|compiled] [-v]
 //
 // With no flags it renders everything. The simulation shards
 // work-groups across all host CPUs by default (-workers 1 forces the
-// serial engine; the rendered figures are identical either way).
+// serial engine; the rendered figures are identical either way), and
+// runs kernels on the closure-compiled VM fast path (-engine interp
+// selects the reference interpreter — slower but bit-identical).
 package main
 
 import (
@@ -30,6 +33,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-equivalent sizes)")
 		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
 		workers = flag.Int("workers", 0, "engine worker goroutines (0 = all host CPUs, 1 = serial engine)")
+		engine  = flag.String("engine", "", "VM execution engine: interp (reference interpreter) or compiled (closure fast path, default); also settable via MALIGO_ENGINE")
 		verify  = flag.Bool("verify", true, "verify kernel results against host references")
 		verbose = flag.Bool("v", false, "also print raw per-configuration measurements")
 	)
@@ -50,10 +54,17 @@ func main() {
 		return
 	}
 
+	eng, err := maligo.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	cfg := maligo.DefaultExperimentConfig()
 	cfg.Scale = *scale
 	cfg.Verify = *verify
 	cfg.Workers = *workers
+	cfg.Engine = eng
 	if *benches != "" {
 		cfg.Benchmarks = strings.Split(*benches, ",")
 	}

@@ -5,12 +5,17 @@
 // Usage:
 //
 //	malisim -bench dmmm [-version opt] [-prec single] [-scale 1.0] [-workers N]
-//	        [-trace out.json] [-metrics] [-metrics-out m.json] [-hotlines N]
+//	        [-engine interp|compiled] [-trace out.json] [-metrics]
+//	        [-metrics-out m.json] [-hotlines N]
 //
 // Versions: serial, omp, cl, opt (paper names: Serial, OpenMP, OpenCL,
 // OpenCL Opt). -workers shards the simulation's work-groups across N
 // host CPUs (default all); the simulated results are identical, only
-// the host wall-clock changes.
+// the host wall-clock changes. -engine selects the VM execution engine
+// (the closure-compiled fast path by default, or the reference
+// interpreter with -engine interp; the MALIGO_ENGINE environment
+// variable sets the same choice) — the two engines are bit-identical
+// in every simulated observable.
 //
 // Observability: -trace writes the measured region's command timeline
 // as Chrome tracing JSON (open in chrome://tracing or
@@ -36,6 +41,7 @@ func main() {
 		prec    = flag.String("prec", "single", "precision: single or double")
 		scale   = flag.Float64("scale", 1.0, "workload scale factor")
 		workers = flag.Int("workers", 0, "engine worker goroutines (0 = all host CPUs, 1 = serial engine)")
+		engine  = flag.String("engine", "", "VM execution engine: interp (reference interpreter) or compiled (closure fast path, default); also settable via MALIGO_ENGINE")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 		lint    = flag.Bool("lint", false, "run the kernel static analyzer over the benchmark's source (all benchmarks when -bench is empty) and exit")
 
@@ -78,12 +84,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	eng, err := maligo.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	cfg := maligo.DefaultExperimentConfig()
 	cfg.Scale = *scale
 	cfg.Benchmarks = []string{*name}
 	cfg.Precisions = []maligo.Precision{p}
 	cfg.Workers = *workers
 	cfg.ProfileLines = *hotlines > 0
+	cfg.Engine = eng
 	res, err := maligo.RunExperiments(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -99,6 +112,14 @@ func main() {
 	if engineWorkers <= 0 {
 		engineWorkers = runtime.NumCPU()
 	}
+	effEng := eng
+	if effEng == maligo.EngineAuto {
+		effEng = maligo.EngineFromEnv()
+	}
+	engineName := "compiled"
+	if !effEng.UseCompiled() {
+		engineName = "interp"
+	}
 	fmt.Printf("benchmark      %s (%s)\n", *name, maligo.BenchmarkByName(*name).Description())
 	fmt.Printf("configuration  %s, %s precision, scale %g\n", v, p, *scale)
 	if !c.Supported {
@@ -110,8 +131,8 @@ func main() {
 		fmt.Println("status         CL_OUT_OF_RESOURCES on the fully optimized kernel; fallback measured")
 	}
 	fmt.Printf("time           %.4f ms simulated\n", c.Seconds*1000)
-	fmt.Printf("host time      %.1f ms wall-clock (%d engine workers)\n",
-		c.HostSeconds*1000, engineWorkers)
+	fmt.Printf("host time      %.1f ms wall-clock (%d engine workers, %s engine)\n",
+		c.HostSeconds*1000, engineWorkers, engineName)
 	fmt.Printf("power          %.3f W (σ %.4f over %d meter repetitions)\n",
 		c.Power.MeanPowerW, c.Power.StdPowerW, 20)
 	fmt.Printf("energy         %.5f J (σ %.6f)\n", c.Power.EnergyJ, c.Power.StdEnergyJ)

@@ -65,6 +65,7 @@ type Context struct {
 	arena   *mem.Arena
 	devices []device.Device
 	workers int
+	engine  vm.Engine
 	metrics *obs.Registry
 
 	poolMu   sync.Mutex
@@ -92,6 +93,7 @@ type contextConfig struct {
 	devices    []device.Device
 	arenaBytes int64
 	workers    int
+	engine     vm.Engine
 }
 
 // WithDevices sets the context's devices.
@@ -113,6 +115,16 @@ func WithWorkers(n int) ContextOption {
 	return func(cfg *contextConfig) { cfg.workers = n }
 }
 
+// WithEngine selects the VM execution engine for every enqueue on the
+// context: vm.EngineInterp for the reference interpreter,
+// vm.EngineCompiled for the closure-compiled fast path. The default
+// (vm.EngineAuto) honours the MALIGO_ENGINE environment variable and
+// otherwise runs the fast path. Both engines produce bit-identical
+// results, reports and traces — only host wall-clock differs.
+func WithEngine(e vm.Engine) ContextOption {
+	return func(cfg *contextConfig) { cfg.engine = e }
+}
+
 // NewContextWith creates a context from functional options.
 func NewContextWith(opts ...ContextOption) *Context {
 	cfg := contextConfig{arenaBytes: DefaultArenaBytes, workers: runtime.NumCPU()}
@@ -125,10 +137,14 @@ func NewContextWith(opts ...ContextOption) *Context {
 	if cfg.workers <= 0 {
 		cfg.workers = runtime.NumCPU()
 	}
+	if cfg.engine == vm.EngineAuto {
+		cfg.engine = vm.EngineFromEnv()
+	}
 	c := &Context{
 		arena:   mem.NewArena(cfg.arenaBytes),
 		devices: cfg.devices,
 		workers: cfg.workers,
+		engine:  cfg.engine,
 		metrics: obs.NewRegistry(),
 	}
 	c.registerGauges()
@@ -216,6 +232,9 @@ func NewContext(devices ...device.Device) *Context {
 
 // Devices returns the context's devices.
 func (c *Context) Devices() []device.Device { return c.devices }
+
+// Engine returns the VM execution engine this context enqueues with.
+func (c *Context) Engine() vm.Engine { return c.engine }
 
 // Arena exposes the unified memory (used by tests and examples to
 // inspect results without going through buffer reads).
@@ -769,7 +788,7 @@ func (q *CommandQueue) EnqueueNDRangeKernelCtx(ctx context.Context, k *Kernel, w
 	target := &memTarget{arena: q.ctx.arena, constant: k.prog.prog.ConstantData, mu: &q.ctx.atomicsMu}
 	pool, release := q.ctx.acquirePool()
 	defer release()
-	rc := device.RunConfig{Ctx: ctx, Pool: pool}
+	rc := device.RunConfig{Ctx: ctx, Pool: pool, Engine: q.ctx.engine}
 	var detector *vm.RaceDetector
 	var observers []device.RaceObserver
 	if q.raceCheck {

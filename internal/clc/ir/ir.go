@@ -16,6 +16,7 @@ package ir
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"maligo/internal/clc/ast"
 	"maligo/internal/clc/builtin"
@@ -235,7 +236,23 @@ type Kernel struct {
 	// them as scheduling-quality hints (see DESIGN.md).
 	RestrictParams int
 	ConstParams    int
+
+	// compiled caches the execution engine's compiled form of the
+	// kernel (internal/vm stores its closure program here, typed as
+	// `any` so ir stays free of a vm dependency). The slot is written
+	// at most with one concrete type; concurrent compilers may race to
+	// fill it, which is benign because compilation is a pure function
+	// of the (immutable) kernel.
+	compiled atomic.Value
 }
+
+// CompiledForm returns the execution engine's cached compiled form of
+// the kernel, or nil when no engine has compiled it yet.
+func (k *Kernel) CompiledForm() any { return k.compiled.Load() }
+
+// SetCompiledForm caches an engine's compiled form on the kernel so
+// every enqueue after the first reuses it.
+func (k *Kernel) SetCompiledForm(v any) { k.compiled.Store(v) }
 
 // RegisterFootprint estimates the per-work-item register demand in
 // bytes. Lowering assigns slots without reuse for straight-line

@@ -21,6 +21,7 @@ import (
 	"maligo/internal/device"
 	"maligo/internal/mali"
 	"maligo/internal/power"
+	"maligo/internal/vm"
 )
 
 // Platform is one simulated Arndale board: two CPU device views (one
@@ -47,6 +48,10 @@ type Options struct {
 	MeterSeed uint64
 	// MeterHz is the power meter's sampling rate.
 	MeterHz float64
+	// Engine selects the VM execution engine (interpreter or the
+	// closure-compiled fast path); zero honours MALIGO_ENGINE and
+	// otherwise runs the fast path.
+	Engine vm.Engine
 }
 
 // NewPlatform assembles a fresh board with cold caches and default
@@ -70,6 +75,7 @@ func NewPlatformWith(o Options) *Platform {
 			cl.WithDevices(cpu1, cpu2, gpu),
 			cl.WithArenaBytes(o.ArenaBytes),
 			cl.WithWorkers(o.Workers),
+			cl.WithEngine(o.Engine),
 		),
 		Meter: power.NewMeterRate(seed, o.MeterHz),
 	}

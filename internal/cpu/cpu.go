@@ -235,6 +235,7 @@ func (c *CPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 				Args:         ndr.Args,
 				Mem:          gmem,
 				Observer:     observers[core],
+				Engine:       rc.Engine,
 			}
 			var detail *vm.Trace
 			if rc.Race != nil {

@@ -110,6 +110,10 @@ type RunConfig struct {
 	// attributed) traces and hand each group's trace to the observer
 	// before cost accounting.
 	Race RaceObserver
+	// Engine selects the VM execution engine (reference interpreter or
+	// the closure-compiled fast path); the zero value resolves to the
+	// fast path. Both engines are observationally identical.
+	Engine vm.Engine
 }
 
 // Parallel reports whether this config asks for concurrent execution.
@@ -211,6 +215,7 @@ func RunGroups(rc RunConfig, ndr *NDRange, gmem vm.GlobalMemory, consume func(*G
 						Args:         ndr.Args,
 						Mem:          gmem,
 						Observer:     tr,
+						Engine:       rc.Engine,
 					}
 					res.gw = gw
 					res.err = vm.RunGroup(cfg, &gw.Profile)

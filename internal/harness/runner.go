@@ -41,6 +41,11 @@ type Config struct {
 	// of every version: each cell gets the top source lines by bytes
 	// moved. Costs detailed tracing time, so off by default.
 	ProfileLines bool
+	// Engine selects the VM execution engine (vm.EngineInterp for the
+	// reference interpreter, vm.EngineCompiled for the closure-compiled
+	// fast path). The default honours MALIGO_ENGINE and otherwise runs
+	// the fast path; results are bit-identical either way.
+	Engine vm.Engine
 }
 
 // DefaultConfig is the paper-scale configuration.
@@ -174,6 +179,7 @@ func runBenchmark(cfg Config, res *Results, meter *power.Meter, name string, pre
 	ctx := cl.NewContextWith(
 		cl.WithDevices(cpu1, cpu2, gpu),
 		cl.WithWorkers(cfg.Workers),
+		cl.WithEngine(cfg.Engine),
 	)
 	defer ctx.Close()
 

@@ -369,6 +369,7 @@ func (g *GPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 				Args:         ndr.Args,
 				Mem:          gmem,
 				Observer:     obs,
+				Engine:       rc.Engine,
 			}
 			var detail *vm.Trace
 			if rc.Race != nil {

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -106,6 +107,18 @@ func (a *Arena) LoadBits(off int64, size int) (uint64, error) {
 	if off < 0 || size < 0 || off > int64(len(a.data))-int64(size) {
 		return 0, fmt.Errorf("mem: out-of-bounds load at %d (size %d)", off, size)
 	}
+	// Single loads for the common element sizes; the generic byte loop
+	// only serves odd sizes.
+	switch size {
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(a.data[off:])), nil
+	case 8:
+		return binary.LittleEndian.Uint64(a.data[off:]), nil
+	case 1:
+		return uint64(a.data[off]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(a.data[off:])), nil
+	}
 	var v uint64
 	for i := size - 1; i >= 0; i-- {
 		v = v<<8 | uint64(a.data[off+int64(i)])
@@ -117,6 +130,20 @@ func (a *Arena) LoadBits(off int64, size int) (uint64, error) {
 func (a *Arena) StoreBits(off int64, size int, bits uint64) error {
 	if off < 0 || size < 0 || off > int64(len(a.data))-int64(size) {
 		return fmt.Errorf("mem: out-of-bounds store at %d (size %d)", off, size)
+	}
+	switch size {
+	case 4:
+		binary.LittleEndian.PutUint32(a.data[off:], uint32(bits))
+		return nil
+	case 8:
+		binary.LittleEndian.PutUint64(a.data[off:], bits)
+		return nil
+	case 1:
+		a.data[off] = byte(bits)
+		return nil
+	case 2:
+		binary.LittleEndian.PutUint16(a.data[off:], uint16(bits))
+		return nil
 	}
 	for i := 0; i < size; i++ {
 		a.data[off+int64(i)] = byte(bits >> (8 * uint(i)))

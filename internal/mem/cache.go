@@ -27,22 +27,39 @@ func (s CacheStats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// line is one cache line: the tag packed with the valid and dirty
+// flags in tv (so a probe is a single masked compare and a line is 16
+// bytes), plus the LRU tick.
 type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	lru   uint64
+	tv  uint64
+	lru uint64
 }
+
+const (
+	lineValid = uint64(1) << 63
+	lineDirty = uint64(1) << 62
+)
 
 // Cache is a set-associative write-back, write-allocate cache with LRU
 // replacement. It models hit/miss behaviour only; data lives in the
 // backing arena.
+//
+// The line/set arithmetic sits on the simulator's per-access hot path,
+// so the geometry divisions are strength-reduced to shifts and masks
+// when line size and set count are powers of two (they always are for
+// the modelled hardware; NewCache requires it) — lines is one flat
+// ways-major array to spare a level of slice indirection.
 type Cache struct {
-	cfg   CacheConfig
-	sets  [][]line
-	nsets uint64
-	tick  uint64
-	stats CacheStats
+	cfg       CacheConfig
+	lines     []line
+	ways      int
+	nsets     uint64
+	pow2      bool
+	lineShift uint
+	setMask   uint64
+	setShift  uint
+	tick      uint64
+	stats     CacheStats
 }
 
 // NewCache builds a cache from cfg. Sizes must be powers of two.
@@ -51,12 +68,30 @@ func NewCache(cfg CacheConfig) *Cache {
 	if nsets < 1 {
 		nsets = 1
 	}
-	sets := make([][]line, nsets)
-	backing := make([]line, nsets*cfg.Ways)
-	for i := range sets {
-		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	c := &Cache{
+		cfg:   cfg,
+		lines: make([]line, nsets*cfg.Ways),
+		ways:  cfg.Ways,
+		nsets: uint64(nsets),
 	}
-	return &Cache{cfg: cfg, sets: sets, nsets: uint64(nsets)}
+	lb := uint64(cfg.LineBytes)
+	if lb > 0 && lb&(lb-1) == 0 && c.nsets&(c.nsets-1) == 0 {
+		c.pow2 = true
+		c.lineShift = uint(trailingZeros(lb))
+		c.setMask = c.nsets - 1
+		c.setShift = uint(trailingZeros(c.nsets))
+	}
+	return c
+}
+
+// trailingZeros returns the number of trailing zero bits of v (v > 0).
+func trailingZeros(v uint64) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
 }
 
 // Config returns the cache geometry.
@@ -67,10 +102,8 @@ func (c *Cache) Stats() CacheStats { return c.stats }
 
 // Reset clears contents and statistics.
 func (c *Cache) Reset() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = line{}
 	}
 	c.stats = CacheStats{}
 	c.tick = 0
@@ -83,60 +116,67 @@ func (c *Cache) Access(addr uint64, size int, write bool) (misses, writebacks in
 	if size <= 0 {
 		size = 1
 	}
-	lb := uint64(c.cfg.LineBytes)
-	first := addr / lb
-	last := (addr + uint64(size) - 1) / lb
+	var first, last uint64
+	if c.pow2 {
+		first = addr >> c.lineShift
+		last = (addr + uint64(size) - 1) >> c.lineShift
+	} else {
+		lb := uint64(c.cfg.LineBytes)
+		first = addr / lb
+		last = (addr + uint64(size) - 1) / lb
+	}
+	// Probe and fill are fused into one pass so the set/tag arithmetic
+	// and the ways subslice are computed once per line touched.
 	for ln := first; ln <= last; ln++ {
-		if c.accessLine(ln, write) {
+		c.tick++
+		c.stats.Accesses++
+		var si, tag uint64
+		if c.pow2 {
+			si = ln & c.setMask
+			tag = ln >> c.setShift
+		} else {
+			si = ln % c.nsets
+			tag = ln / c.nsets
+		}
+		base := int(si) * c.ways
+		set := c.lines[base : base+c.ways]
+		want := tag | lineValid
+		hit := false
+		for i := range set {
+			if set[i].tv&^lineDirty == want {
+				set[i].lru = c.tick
+				if write {
+					set[i].tv |= lineDirty
+				}
+				hit = true
+				break
+			}
+		}
+		if hit {
+			c.stats.Hits++
 			continue
 		}
+		c.stats.Misses++
 		misses++
-		if c.fillLine(ln, write) {
+		victim := 0
+		for i := range set {
+			if set[i].tv&lineValid == 0 {
+				victim = i
+				break
+			}
+			if set[i].lru < set[victim].lru {
+				victim = i
+			}
+		}
+		if set[victim].tv&(lineValid|lineDirty) == lineValid|lineDirty {
+			c.stats.Writebacks++
 			writebacks++
 		}
+		tv := want
+		if write {
+			tv |= lineDirty
+		}
+		set[victim] = line{tv: tv, lru: c.tick}
 	}
 	return misses, writebacks
-}
-
-// accessLine probes for one line; returns true on hit.
-func (c *Cache) accessLine(lineAddr uint64, write bool) bool {
-	c.tick++
-	c.stats.Accesses++
-	set := c.sets[lineAddr%c.nsets]
-	tag := lineAddr / c.nsets
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].lru = c.tick
-			if write {
-				set[i].dirty = true
-			}
-			c.stats.Hits++
-			return true
-		}
-	}
-	c.stats.Misses++
-	return false
-}
-
-// fillLine allocates a line (after a miss), returning true if a dirty
-// victim was evicted.
-func (c *Cache) fillLine(lineAddr uint64, write bool) bool {
-	set := c.sets[lineAddr%c.nsets]
-	tag := lineAddr / c.nsets
-	victim := 0
-	for i := range set {
-		if !set[i].valid {
-			victim = i
-			break
-		}
-		if set[i].lru < set[victim].lru {
-			victim = i
-		}
-	}
-	wb := set[victim].valid && set[victim].dirty
-	if wb {
-		c.stats.Writebacks++
-	}
-	set[victim] = line{tag: tag, valid: true, dirty: write, lru: c.tick}
-	return wb
 }

@@ -1,0 +1,95 @@
+package vm_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"maligo/internal/clc"
+	"maligo/internal/clc/ir"
+	"maligo/internal/vm"
+)
+
+// FuzzEngineEquivalence is the engine cross-check: it generates a
+// random kernel (expression tree over scalars plus global loads, a
+// private scratch array and a data-dependent loop), runs the same
+// work-group under the reference interpreter and the compiled fast
+// path, and requires the two engines to agree on every outcome — the
+// final global memory image and execution profile on success, the
+// fault on failure. The loop bound and the scratch index derive from
+// fuzz inputs, so the corpus naturally explores step-limit exhaustion
+// and private out-of-bounds faults as well as clean runs.
+func FuzzEngineEquivalence(f *testing.F) {
+	f.Add(uint64(1), int32(0), int32(0), int32(0))
+	f.Add(uint64(42), int32(7), int32(-3), int32(5))
+	f.Add(uint64(0x9E3779B9), int32(-100), int32(100), int32(63))
+	f.Add(uint64(12345), int32(1<<30), int32(-(1 << 30)), int32(1023))
+	f.Add(uint64(777), int32(-1), int32(-1), int32(-1))
+
+	f.Fuzz(func(t *testing.T, seed uint64, a, b, idx int32) {
+		g := &exprGen{seed: seed | 1}
+		g.gen(3)
+		expr := g.sb.String()
+		src := fmt.Sprintf(`__kernel void f(__global int* out, __global const int* in,
+		                                 const int a, const int b, const int idx) {
+			int gid = get_global_id(0);
+			int c = in[(gid + idx) & 3];
+			int tmp[4];
+			tmp[gid & 3] = c ^ a;
+			int s = 0;
+			for (int i = 0; i < (idx & 255); i++) {
+				s += tmp[i & 3] + i;
+			}
+			out[gid] = (%s) + s + tmp[idx & 7];
+		}`, expr)
+		prog, err := clc.Compile("fuzzeq.cl", src, "")
+		if err != nil {
+			t.Fatalf("generated kernel failed to compile: %v\nexpr: %s", err, expr)
+		}
+		run := func(eng vm.Engine) ([]byte, vm.Profile, error) {
+			mem := newFlatMem(64, nil)
+			for i := 0; i < 4; i++ {
+				mem.putI32(16+4*i, int32(seed>>(8*uint(i)))) // in[]
+			}
+			cfg := &vm.GroupConfig{
+				Kernel:     prog.Kernel("f"),
+				WorkDim:    1,
+				LocalSize:  [3]int{4, 1, 1},
+				GlobalSize: [3]int{4, 1, 1},
+				Args: []vm.ArgValue{
+					{Bits: ir.EncodeAddr(ir.SpaceGlobal, 0)},
+					{Bits: ir.EncodeAddr(ir.SpaceGlobal, 16)},
+					{Bits: int64(a)}, {Bits: int64(b)}, {Bits: int64(idx)},
+				},
+				Mem:       mem,
+				StepLimit: 4096,
+				Engine:    eng,
+			}
+			var prof vm.Profile
+			err := vm.RunGroup(cfg, &prof)
+			return mem.global, prof, err
+		}
+
+		refMem, refProf, refErr := run(vm.EngineInterp)
+		gotMem, gotProf, gotErr := run(vm.EngineCompiled)
+
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("engines disagree on failure:\n interp:   %v\n compiled: %v\nexpr: %s", refErr, gotErr, expr)
+		}
+		if refErr != nil {
+			// On failure callers discard memory and profile; the engines
+			// must agree on the fault itself.
+			if refErr.Error() != gotErr.Error() {
+				t.Fatalf("fault differs:\n interp:   %v\n compiled: %v\nexpr: %s", refErr, gotErr, expr)
+			}
+			return
+		}
+		if !bytes.Equal(refMem, gotMem) {
+			t.Fatalf("global memory differs\n interp:   %v\n compiled: %v\nexpr: %s", refMem, gotMem, expr)
+		}
+		if !reflect.DeepEqual(refProf, gotProf) {
+			t.Fatalf("profiles differ\n interp:   %+v\n compiled: %+v\nexpr: %s", refProf, gotProf, expr)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -428,6 +429,16 @@ func sliceLoad(mem []byte, off int64, size int) (uint64, error) {
 	if off < 0 || off+int64(size) > int64(len(mem)) {
 		return 0, fmt.Errorf("vm: out-of-bounds load at offset %d (size %d, arena %d)", off, size, len(mem))
 	}
+	switch size {
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(mem[off:])), nil
+	case 8:
+		return binary.LittleEndian.Uint64(mem[off:]), nil
+	case 1:
+		return uint64(mem[off]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(mem[off:])), nil
+	}
 	var v uint64
 	for i := size - 1; i >= 0; i-- {
 		v = v<<8 | uint64(mem[off+int64(i)])
@@ -438,6 +449,20 @@ func sliceLoad(mem []byte, off int64, size int) (uint64, error) {
 func sliceStore(mem []byte, off int64, size int, bits uint64) error {
 	if off < 0 || off+int64(size) > int64(len(mem)) {
 		return fmt.Errorf("vm: out-of-bounds store at offset %d (size %d, arena %d)", off, size, len(mem))
+	}
+	switch size {
+	case 4:
+		binary.LittleEndian.PutUint32(mem[off:], uint32(bits))
+		return nil
+	case 8:
+		binary.LittleEndian.PutUint64(mem[off:], bits)
+		return nil
+	case 1:
+		mem[off] = byte(bits)
+		return nil
+	case 2:
+		binary.LittleEndian.PutUint16(mem[off:], uint16(bits))
+		return nil
 	}
 	for i := 0; i < size; i++ {
 		mem[off+int64(i)] = byte(bits >> (8 * uint(i)))

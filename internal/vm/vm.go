@@ -4,6 +4,15 @@
 // (instruction and memory-traffic counts) that the device timing
 // models in internal/mali and internal/cpu convert into cycles and
 // joules.
+//
+// Two engines implement that contract. The reference interpreter
+// (exec.go) decodes and dispatches one instruction per step; the
+// closure-compiled fast path (compile.go) pre-decodes each kernel once
+// into flat execution units and is the default. They are
+// observationally identical — results, profiles, traces, faults — and
+// selected per run via GroupConfig.Engine; the interpreter is the
+// oracle in the differential and fuzz tests that enforce the
+// equivalence.
 package vm
 
 import (
@@ -210,6 +219,12 @@ type GroupConfig struct {
 	Mem          GlobalMemory
 	Observer     AccessObserver // may be nil
 	StepLimit    uint64         // per work-item; 0 = default
+
+	// Engine selects the execution engine (interpreter or the
+	// closure-compiled fast path). The zero value EngineAuto resolves
+	// to the compiled engine; both are observationally identical (see
+	// Engine).
+	Engine Engine
 }
 
 const defaultStepLimit = 1 << 32
@@ -259,7 +274,6 @@ func RunGroup(cfg *GroupConfig, prof *Profile) error {
 	r := &groupRunner{
 		cfg:   cfg,
 		k:     k,
-		local: make([]byte, localBytes),
 		prof:  prof,
 		limit: limit,
 	}
@@ -272,6 +286,11 @@ func RunGroup(cfg *GroupConfig, prof *Profile) error {
 	}
 	prof.WorkGroups++
 	prof.WorkItems += uint64(nloc)
+
+	if cfg.Engine.UseCompiled() {
+		return r.runGroupCompiled(localBytes, nloc)
+	}
+	r.local = make([]byte, localBytes)
 
 	if !k.UsesBarrier {
 		// Fast path: run each work-item to completion, reusing one state.

@@ -31,6 +31,15 @@ func WithWorkers(n int) Option {
 	return func(o *core.Options) { o.Workers = n }
 }
 
+// WithEngine selects the VM execution engine: EngineInterp for the
+// reference interpreter, EngineCompiled for the closure-compiled fast
+// path. The default (EngineAuto) honours the MALIGO_ENGINE environment
+// variable and otherwise runs the fast path. Results, reports and
+// traces are bit-identical either way.
+func WithEngine(e Engine) Option {
+	return func(o *core.Options) { o.Engine = e }
+}
+
 // WithMeterHz sets the power meter's sampling rate (default 10 Hz,
 // the Yokogawa WT230 the paper used).
 func WithMeterHz(hz float64) Option {
