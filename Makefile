@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build vet test race short bench bench-smoke figures lint trace-smoke verify
+.PHONY: build vet test race race-sched short bench bench-smoke figures lint trace-smoke trace-golden fuzz-smoke verify
+
+# Per-target budget for the fuzz smoke pass.
+FUZZTIME ?= 30s
 
 build:
 	$(GO) build ./...
@@ -20,6 +23,11 @@ test:
 # detector outlasts the default test timeout on small hosts.
 race:
 	$(GO) test -race -short -timeout 30m ./...
+
+# The command-DAG scheduler is the concurrency hot spot: run its full
+# test suite (not -short) under the race detector on every verify.
+race-sched:
+	$(GO) test -race -count=1 ./internal/sched
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -54,9 +62,26 @@ figures:
 trace-smoke:
 	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
 	$(GO) run ./cmd/malisim -bench vecop -scale 0.05 -trace "$$tmp/trace.json" -metrics-out "$$tmp/metrics.json" >/dev/null && \
-	$(GO) run ./cmd/tracecheck -metrics "$$tmp/metrics.json" "$$tmp/trace.json"
+	$(GO) run ./cmd/tracecheck -metrics "$$tmp/metrics.json" "$$tmp/trace.json" && \
+	$(GO) run ./cmd/malisim -bench vecop -scale 0.05 -async -trace "$$tmp/trace_async.json" >/dev/null && \
+	$(GO) run ./cmd/tracecheck "$$tmp/trace_async.json"
+
+# Validate the committed golden multi-queue trace (two out-of-order
+# queues with cross-queue wait-lists; locked byte-exact by
+# TestTraceMultiQueueGolden).
+trace-golden:
+	$(GO) run ./cmd/tracecheck internal/cl/testdata/trace_multiqueue.json
+
+# Short native-fuzzing pass over every fuzz target ($(FUZZTIME) each):
+# the engine differential, the command-DAG scheduler vs its serial
+# oracle, the profile algebra and the kernel analyzer.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz '^FuzzEngineEquivalence$$' -fuzztime $(FUZZTIME) ./internal/vm
+	$(GO) test -run xxx -fuzz '^FuzzCommandDAG$$' -fuzztime $(FUZZTIME) ./internal/sched
+	$(GO) test -run xxx -fuzz '^FuzzProfileAddCommutes$$' -fuzztime $(FUZZTIME) ./internal/vm
+	$(GO) test -run xxx -fuzz '^FuzzAnalyze$$' -fuzztime $(FUZZTIME) ./internal/clc/analysis
 
 # Full verification: what CI runs. The -short race pass includes the
 # engine differential cross-section; `make test` runs the full
 # interpreter-vs-compiled matrix.
-verify: build lint test race trace-smoke bench-smoke
+verify: build lint test race race-sched trace-smoke trace-golden bench-smoke fuzz-smoke

@@ -27,8 +27,11 @@ type (
 	Program = cl.Program
 	// Kernel is a kernel object with bound arguments.
 	Kernel = cl.Kernel
-	// Queue is an in-order command queue bound to one device.
+	// Queue is a command queue bound to one device — in-order by
+	// default, out-of-order with QueueOutOfOrderExec.
 	Queue = cl.CommandQueue
+	// QueueProps mirror cl_command_queue_properties.
+	QueueProps = cl.QueueProps
 	// Event records the outcome of one enqueued command.
 	Event = cl.Event
 	// MemFlags mirror cl_mem_flags.
@@ -101,6 +104,35 @@ const (
 	GPURun = core.GPURun
 )
 
+// Queue properties for CreateCommandQueueWith.
+const (
+	// QueueOutOfOrderExec creates an out-of-order queue: commands only
+	// order through their event wait-lists (and barriers), like
+	// CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE.
+	QueueOutOfOrderExec = cl.QueueOutOfOrderExec
+)
+
+// Typed errors of the asynchronous queue contract.
+var (
+	// ErrContextClosed reports an enqueue or Finish on a closed context.
+	ErrContextClosed = cl.ErrContextClosed
+	// ErrEventCycle reports a wait-list cycle at submit.
+	ErrEventCycle = cl.ErrEventCycle
+	// ErrDoubleWait reports a duplicated wait-list entry.
+	ErrDoubleWait = cl.ErrDoubleWait
+	// ErrOrphanEvent reports a wait that can never finish because an
+	// incomplete user event gates it.
+	ErrOrphanEvent = cl.ErrOrphanEvent
+	// ErrForeignEvent reports a wait-list event from another context.
+	ErrForeignEvent = cl.ErrForeignEvent
+	// ErrNotUserEvent reports SetComplete/SetError on a non-user event.
+	ErrNotUserEvent = cl.ErrNotUserEvent
+	// ErrEventComplete reports a second SetComplete/SetError.
+	ErrEventComplete = cl.ErrEventComplete
+	// ErrEventDepFailed marks events failed because a dependency failed.
+	ErrEventDepFailed = cl.ErrEventDepFailed
+)
+
 // VM execution engines (see Engine).
 const (
 	EngineAuto     = vm.EngineAuto
@@ -135,6 +167,21 @@ func ContextWorkers(n int) ContextOption { return cl.WithWorkers(n) }
 
 // ContextEngine selects a standalone context's VM execution engine.
 func ContextEngine(e Engine) ContextOption { return cl.WithEngine(e) }
+
+// ContextAsyncQueues routes a standalone context's queues through the
+// DAG command scheduler (see WithOutOfOrderQueues).
+func ContextAsyncQueues(on bool) ContextOption { return cl.WithAsyncQueues(on) }
+
+// EnqueueAsync launches a kernel after every wait-list event completes
+// and returns a pending event immediately — the façade spelling of
+// Queue.EnqueueNDRangeKernelAsync.
+func EnqueueAsync(q *Queue, k *Kernel, workDim int, global, local []int, waitList ...*Event) (*Event, error) {
+	return q.EnqueueNDRangeKernelAsync(k, workDim, global, local, waitList)
+}
+
+// WaitForEvents mirrors clWaitForEvents: it blocks until every event
+// completes and returns the first execution error in list order.
+func WaitForEvents(events ...*Event) error { return cl.WaitForEvents(events...) }
 
 // GetDeviceInfo mirrors clGetDeviceInfo for any platform device.
 func GetDeviceInfo(d Device) DeviceInfo { return cl.GetDeviceInfo(d) }

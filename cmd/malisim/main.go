@@ -5,7 +5,7 @@
 // Usage:
 //
 //	malisim -bench dmmm [-version opt] [-prec single] [-scale 1.0] [-workers N]
-//	        [-engine interp|compiled] [-trace out.json] [-metrics]
+//	        [-engine interp|compiled] [-async] [-trace out.json] [-metrics]
 //	        [-metrics-out m.json] [-hotlines N]
 //
 // Versions: serial, omp, cl, opt (paper names: Serial, OpenMP, OpenCL,
@@ -42,6 +42,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "workload scale factor")
 		workers = flag.Int("workers", 0, "engine worker goroutines (0 = all host CPUs, 1 = serial engine)")
 		engine  = flag.String("engine", "", "VM execution engine: interp (reference interpreter) or compiled (closure fast path, default); also settable via MALIGO_ENGINE")
+		async   = flag.Bool("async", false, "run enqueues through the DAG command scheduler (asynchronous queues); all simulated observables are bit-identical")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 		lint    = flag.Bool("lint", false, "run the kernel static analyzer over the benchmark's source (all benchmarks when -bench is empty) and exit")
 
@@ -97,6 +98,7 @@ func main() {
 	cfg.Workers = *workers
 	cfg.ProfileLines = *hotlines > 0
 	cfg.Engine = eng
+	cfg.AsyncQueues = *async
 	res, err := maligo.RunExperiments(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)

@@ -1,0 +1,743 @@
+package cl_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"maligo/internal/cl"
+	"maligo/internal/mali"
+	"maligo/internal/obs"
+)
+
+// newAsyncCtx creates a context whose queues route through the DAG
+// command scheduler, plus its GPU device.
+func newAsyncCtx(t *testing.T) (*cl.Context, *mali.GPU) {
+	t.Helper()
+	gpu := mali.New()
+	ctx := cl.NewContextWith(cl.WithDevices(gpu), cl.WithWorkers(2), cl.WithAsyncQueues(true))
+	t.Cleanup(ctx.Close)
+	return ctx, gpu
+}
+
+// scaleKernel builds the scale kernel over an n-float buffer filled
+// with 0..n-1 and binds all three arguments (factor 2).
+func scaleKernel(t *testing.T, ctx *cl.Context, n int) (*cl.Kernel, *cl.Buffer) {
+	t.Helper()
+	prog := ctx.CreateProgramWithSource(testKernel)
+	if err := prog.Build(""); err != nil {
+		t.Fatalf("Build: %v\n%s", err, prog.BuildLog())
+	}
+	k, err := prog.CreateKernel("scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := ctx.CreateBuffer(cl.MemReadWrite, int64(n*4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := buf.Bytes(0, int64(n*4))
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(float32(i)))
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(k.SetArgBuffer(0, buf))
+	must(k.SetArgFloat(1, 2))
+	must(k.SetArgInt(2, int64(n)))
+	return k, buf
+}
+
+// TestQueueConformance locks down the OpenCL 1.1 command-queue
+// contract of the asynchronous scheduler: in-order chaining,
+// out-of-order overlap, wait-lists (within and across queues),
+// markers, barriers, user events, per-event failure semantics and the
+// typed errors of the wait-list validation. Each scenario is
+// independent — a fresh context per row.
+func TestQueueConformance(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"InOrderImplicitChain", func(t *testing.T) {
+			// In-order queues order commands without wait-lists;
+			// consecutive events tile the timeline exactly.
+			ctx, gpu := newAsyncCtx(t)
+			buf, _ := ctx.CreateBuffer(cl.MemReadWrite, 1<<20, nil)
+			q := ctx.CreateCommandQueue(gpu)
+			if !q.Scheduled() || q.OutOfOrder() {
+				t.Fatalf("want scheduled in-order queue, got scheduled=%v ooo=%v", q.Scheduled(), q.OutOfOrder())
+			}
+			a, err := q.EnqueueWriteBufferAsync(buf, 0, make([]byte, 1<<20), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := q.EnqueueWriteBufferAsync(buf, 0, []byte{7, 8, 9}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := q.Finish(); err != nil {
+				t.Fatal(err)
+			}
+			if b.Queued != a.Ended || b.Submitted != b.Queued {
+				t.Errorf("in-order chain: b queued/submitted %g/%g, a ended %g",
+					b.Queued, b.Submitted, a.Ended)
+			}
+			raw, _ := buf.Bytes(0, 3)
+			if raw[0] != 7 || raw[2] != 9 {
+				t.Errorf("second write lost: % x", raw)
+			}
+			evs := q.Events()
+			if len(evs) != 2 || evs[0] != a || evs[1] != b {
+				t.Errorf("history = %d events, want [a b]", len(evs))
+			}
+		}},
+		{"OutOfOrderIndependentOverlap", func(t *testing.T) {
+			// Independent commands on an out-of-order queue share the
+			// same QUEUED/SUBMIT origin: their windows overlap.
+			ctx, gpu := newAsyncCtx(t)
+			buf, _ := ctx.CreateBuffer(cl.MemReadWrite, 1<<21, nil)
+			q := ctx.CreateCommandQueueWith(gpu, cl.QueueOutOfOrderExec)
+			if !q.OutOfOrder() || q.Properties() != cl.QueueOutOfOrderExec {
+				t.Fatal("queue must report out-of-order properties")
+			}
+			a, _ := q.EnqueueWriteBufferAsync(buf, 0, make([]byte, 1<<20), nil)
+			b, _ := q.EnqueueWriteBufferAsync(buf, 1<<20, make([]byte, 1<<18), nil)
+			if err := q.Finish(); err != nil {
+				t.Fatal(err)
+			}
+			if a.Queued != 0 || b.Queued != 0 || a.Submitted != 0 || b.Submitted != 0 {
+				t.Errorf("independent commands must share t=0: a %g/%g b %g/%g",
+					a.Queued, a.Submitted, b.Queued, b.Submitted)
+			}
+			if b.Ended >= a.Ended {
+				t.Errorf("shorter write must end first: a %g b %g", a.Ended, b.Ended)
+			}
+			// Completion history is deterministic: dispatch order is
+			// lowest-sequence-ready-first, never host interleaving.
+			evs := q.Events()
+			if len(evs) != 2 || evs[0] != a || evs[1] != b {
+				t.Error("out-of-order history must still be deterministic (submit order here)")
+			}
+		}},
+		{"WaitListOrdersWithinQueue", func(t *testing.T) {
+			ctx, gpu := newAsyncCtx(t)
+			buf, _ := ctx.CreateBuffer(cl.MemReadWrite, 1<<20, nil)
+			q := ctx.CreateCommandQueueWith(gpu, cl.QueueOutOfOrderExec)
+			a, _ := q.EnqueueWriteBufferAsync(buf, 0, make([]byte, 1<<20), nil)
+			b, err := q.EnqueueWriteBufferAsync(buf, 0, []byte{1}, []*cl.Event{a})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := q.Finish(); err != nil {
+				t.Fatal(err)
+			}
+			if b.Submitted != a.Ended {
+				t.Errorf("b SUBMIT %g != a END %g", b.Submitted, a.Ended)
+			}
+			raw, _ := buf.Bytes(0, 1)
+			if raw[0] != 1 {
+				t.Error("wait-list ordering violated: dependent write lost")
+			}
+		}},
+		{"WaitListOrdersAcrossQueues", func(t *testing.T) {
+			// Wait-lists synchronize queues of one context, like
+			// OpenCL events shared across command queues.
+			ctx, gpu := newAsyncCtx(t)
+			buf, _ := ctx.CreateBuffer(cl.MemReadWrite, 1<<20, nil)
+			q1 := ctx.CreateCommandQueueWith(gpu, cl.QueueOutOfOrderExec)
+			q2 := ctx.CreateCommandQueueWith(gpu, cl.QueueOutOfOrderExec)
+			a, _ := q1.EnqueueWriteBufferAsync(buf, 0, make([]byte, 1<<20), nil)
+			b, err := q2.EnqueueWriteBufferAsync(buf, 0, []byte{42}, []*cl.Event{a})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.WaitForEvents(a, b); err != nil {
+				t.Fatal(err)
+			}
+			if b.Submitted != a.Ended {
+				t.Errorf("cross-queue b SUBMIT %g != a END %g", b.Submitted, a.Ended)
+			}
+			raw, _ := buf.Bytes(0, 1)
+			if raw[0] != 42 {
+				t.Error("cross-queue ordering violated")
+			}
+			if err := q1.Finish(); err != nil {
+				t.Fatal(err)
+			}
+			if err := q2.Finish(); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"KernelWaitListProfiling", func(t *testing.T) {
+			// An async NDRange obeys its wait-list and carries the full
+			// QUEUED <= SUBMIT <= START <= END profiling ladder, with
+			// START trailing SUBMIT by the GPU dispatch overhead.
+			ctx, gpu := newAsyncCtx(t)
+			k, buf := scaleKernel(t, ctx, 64)
+			q := ctx.CreateCommandQueueWith(gpu, cl.QueueOutOfOrderExec)
+			w, _ := q.EnqueueWriteBufferAsync(buf, 0, make([]byte, 4), nil)
+			ev, err := q.EnqueueNDRangeKernelAsync(k, 1, []int{64}, []int{16}, []*cl.Event{w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ev.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			if ev.Queued > ev.Submitted || ev.Submitted > ev.Started || ev.Started > ev.Ended {
+				t.Errorf("non-monotone stamps %g/%g/%g/%g", ev.Queued, ev.Submitted, ev.Started, ev.Ended)
+			}
+			if ev.Submitted != w.Ended {
+				t.Errorf("SUBMIT %g != dep END %g", ev.Submitted, w.Ended)
+			}
+			if ev.Started == ev.Submitted {
+				t.Error("ndrange START must trail SUBMIT by dispatch overhead")
+			}
+			if ev.Report == nil {
+				t.Error("async ndrange event must carry a device report")
+			}
+			if err := q.Finish(); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"KernelArgsSnapshotAtEnqueue", func(t *testing.T) {
+			// clEnqueueNDRangeKernel captures argument values: a later
+			// SetArg must not change a pending command.
+			ctx, gpu := newAsyncCtx(t)
+			k, buf := scaleKernel(t, ctx, 16)
+			q := ctx.CreateCommandQueue(gpu)
+			gate, err := ctx.CreateUserEvent("gate")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev, err := q.EnqueueNDRangeKernelAsync(k, 1, []int{16}, []int{16}, []*cl.Event{gate})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := k.SetArgFloat(1, 100); err != nil { // rebind for a hypothetical next launch
+				t.Fatal(err)
+			}
+			if err := gate.SetComplete(); err != nil {
+				t.Fatal(err)
+			}
+			if err := ev.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			raw, _ := buf.Bytes(0, 4*4)
+			got := math.Float32frombits(binary.LittleEndian.Uint32(raw[3*4:]))
+			if got != 6 { // 3 * 2, not 3 * 100
+				t.Errorf("x[3] = %v, want 6 (enqueue-time factor)", got)
+			}
+		}},
+		{"MarkerWaitsAllOutstanding", func(t *testing.T) {
+			// An empty-wait-list marker completes when everything
+			// previously enqueued completes, without blocking later
+			// commands.
+			ctx, gpu := newAsyncCtx(t)
+			buf, _ := ctx.CreateBuffer(cl.MemReadWrite, 1<<21, nil)
+			q := ctx.CreateCommandQueueWith(gpu, cl.QueueOutOfOrderExec)
+			a, _ := q.EnqueueWriteBufferAsync(buf, 0, make([]byte, 1<<20), nil)
+			b, _ := q.EnqueueWriteBufferAsync(buf, 1<<20, make([]byte, 1<<18), nil)
+			m, err := q.EnqueueMarkerWithWaitList(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			late, _ := q.EnqueueWriteBufferAsync(buf, 0, make([]byte, 8), nil)
+			if err := q.Finish(); err != nil {
+				t.Fatal(err)
+			}
+			end := a.Ended
+			if b.Ended > end {
+				end = b.Ended
+			}
+			if m.Ended != end || m.Seconds != 0 {
+				t.Errorf("marker END %g (dur %g), want %g (dur 0)", m.Ended, m.Seconds, end)
+			}
+			if late.Submitted != 0 {
+				t.Errorf("marker must not block later commands: SUBMIT %g", late.Submitted)
+			}
+		}},
+		{"MarkerWithExplicitWaitList", func(t *testing.T) {
+			ctx, gpu := newAsyncCtx(t)
+			buf, _ := ctx.CreateBuffer(cl.MemReadWrite, 1<<21, nil)
+			q := ctx.CreateCommandQueueWith(gpu, cl.QueueOutOfOrderExec)
+			a, _ := q.EnqueueWriteBufferAsync(buf, 0, make([]byte, 1<<20), nil)
+			b, _ := q.EnqueueWriteBufferAsync(buf, 1<<20, make([]byte, 1<<18), nil)
+			m, err := q.EnqueueMarkerWithWaitList([]*cl.Event{b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := q.Finish(); err != nil {
+				t.Fatal(err)
+			}
+			if m.Ended != b.Ended || m.Ended >= a.Ended {
+				t.Errorf("marker END %g, want b's %g (not a's %g)", m.Ended, b.Ended, a.Ended)
+			}
+		}},
+		{"BarrierGatesLaterCommands", func(t *testing.T) {
+			ctx, gpu := newAsyncCtx(t)
+			buf, _ := ctx.CreateBuffer(cl.MemReadWrite, 1<<21, nil)
+			q := ctx.CreateCommandQueueWith(gpu, cl.QueueOutOfOrderExec)
+			a, _ := q.EnqueueWriteBufferAsync(buf, 0, make([]byte, 1<<20), nil)
+			bar, err := q.EnqueueBarrierWithWaitList(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			late, _ := q.EnqueueWriteBufferAsync(buf, 1<<20, make([]byte, 8), nil)
+			if err := q.Finish(); err != nil {
+				t.Fatal(err)
+			}
+			if bar.Ended != a.Ended {
+				t.Errorf("barrier END %g != outstanding END %g", bar.Ended, a.Ended)
+			}
+			if late.Submitted != bar.Ended {
+				t.Errorf("post-barrier SUBMIT %g != barrier END %g", late.Submitted, bar.Ended)
+			}
+		}},
+		{"UserEventGatesAtTimeZero", func(t *testing.T) {
+			// Commands gated on a user event stay queued until the host
+			// signals; once released, stamps are as if the gate never
+			// existed (user events complete at simulated time zero).
+			ctx, gpu := newAsyncCtx(t)
+			buf, _ := ctx.CreateBuffer(cl.MemReadWrite, 64, nil)
+			q := ctx.CreateCommandQueueWith(gpu, cl.QueueOutOfOrderExec)
+			gate, err := ctx.CreateUserEvent("gate")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !gate.IsUserEvent() {
+				t.Fatal("user event must report IsUserEvent")
+			}
+			ev, err := q.EnqueueWriteBufferAsync(buf, 0, []byte{5}, []*cl.Event{gate})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.Complete() {
+				t.Fatal("gated command must stay pending")
+			}
+			if err := gate.SetComplete(); err != nil {
+				t.Fatal(err)
+			}
+			if err := ev.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			if ev.Queued != 0 || ev.Submitted != 0 {
+				t.Errorf("gated stamps %g/%g, want 0/0 (host timing must not leak in)", ev.Queued, ev.Submitted)
+			}
+			raw, _ := buf.Bytes(0, 1)
+			if raw[0] != 5 {
+				t.Error("released write did not execute")
+			}
+		}},
+		{"UserEventErrorCascades", func(t *testing.T) {
+			// clSetUserEventStatus with a negative status fails every
+			// waiting command — but clFinish still succeeds: failures
+			// are per-event, not per-queue.
+			ctx, gpu := newAsyncCtx(t)
+			buf, _ := ctx.CreateBuffer(cl.MemReadWrite, 64, nil)
+			q := ctx.CreateCommandQueueWith(gpu, cl.QueueOutOfOrderExec)
+			gate, _ := ctx.CreateUserEvent("gate")
+			ev, err := q.EnqueueWriteBufferAsync(buf, 0, []byte{1}, []*cl.Event{gate})
+			if err != nil {
+				t.Fatal(err)
+			}
+			boom := errors.New("boom")
+			if err := gate.SetError(boom); err != nil {
+				t.Fatal(err)
+			}
+			werr := ev.Wait()
+			if !errors.Is(werr, cl.ErrEventDepFailed) || !errors.Is(werr, boom) {
+				t.Errorf("cascade error = %v, want ErrEventDepFailed wrapping boom", werr)
+			}
+			if ev.Err() == nil {
+				t.Error("failed event must expose its error")
+			}
+			if err := q.Finish(); err != nil {
+				t.Errorf("Finish after per-event failure = %v, want nil", err)
+			}
+			if got := len(q.Events()); got != 0 {
+				t.Errorf("failed command recorded in history (%d events)", got)
+			}
+			raw, _ := buf.Bytes(0, 1)
+			if raw[0] != 0 {
+				t.Error("failed command must not execute")
+			}
+		}},
+		{"FinishDetectsOrphanStall", func(t *testing.T) {
+			// Finishing a queue stuck behind a never-signalled user
+			// event reports the stall instead of hanging.
+			ctx, gpu := newAsyncCtx(t)
+			buf, _ := ctx.CreateBuffer(cl.MemReadWrite, 64, nil)
+			q := ctx.CreateCommandQueue(gpu)
+			gate, _ := ctx.CreateUserEvent("gate")
+			ev, err := q.EnqueueWriteBufferAsync(buf, 0, []byte{1}, []*cl.Event{gate})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := q.Finish(); !errors.Is(err, cl.ErrOrphanEvent) {
+				t.Fatalf("Finish on stalled queue = %v, want ErrOrphanEvent", err)
+			}
+			if err := gate.SetComplete(); err != nil {
+				t.Fatal(err)
+			}
+			if err := q.Finish(); err != nil {
+				t.Fatalf("Finish after signalling = %v", err)
+			}
+			if err := ev.Wait(); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"FinishCtxHonoursCancellation", func(t *testing.T) {
+			ctx, gpu := newAsyncCtx(t)
+			buf, _ := ctx.CreateBuffer(cl.MemReadWrite, 64, nil)
+			q := ctx.CreateCommandQueue(gpu)
+			gate, _ := ctx.CreateUserEvent("gate")
+			if _, err := q.EnqueueWriteBufferAsync(buf, 0, []byte{1}, []*cl.Event{gate}); err != nil {
+				t.Fatal(err)
+			}
+			cctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if err := q.FinishCtx(cctx); !errors.Is(err, context.Canceled) {
+				t.Fatalf("FinishCtx(cancelled) = %v", err)
+			}
+			if err := gate.SetComplete(); err != nil {
+				t.Fatal(err)
+			}
+			if err := q.Finish(); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"WaitListValidation", func(t *testing.T) {
+			ctx, gpu := newAsyncCtx(t)
+			buf, _ := ctx.CreateBuffer(cl.MemReadWrite, 64, nil)
+			q := ctx.CreateCommandQueue(gpu)
+			ev, err := q.EnqueueWriteBufferAsync(buf, 0, []byte{1}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Duplicate wait-list entries.
+			if _, err := q.EnqueueWriteBufferAsync(buf, 0, []byte{2}, []*cl.Event{ev, ev}); !errors.Is(err, cl.ErrDoubleWait) {
+				t.Errorf("duplicate wait entry = %v, want ErrDoubleWait", err)
+			}
+			// Nil wait-list entries.
+			if _, err := q.EnqueueWriteBufferAsync(buf, 0, []byte{2}, []*cl.Event{nil}); !errors.Is(err, cl.ErrInvalidArgValue) {
+				t.Errorf("nil wait entry = %v, want ErrInvalidArgValue", err)
+			}
+			// Events from another context.
+			ctx2, gpu2 := newAsyncCtx(t)
+			buf2, _ := ctx2.CreateBuffer(cl.MemReadWrite, 64, nil)
+			q2 := ctx2.CreateCommandQueue(gpu2)
+			foreign, err := q2.EnqueueWriteBufferAsync(buf2, 0, []byte{1}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := q.EnqueueWriteBufferAsync(buf, 0, []byte{2}, []*cl.Event{foreign}); !errors.Is(err, cl.ErrForeignEvent) {
+				t.Errorf("foreign wait entry = %v, want ErrForeignEvent", err)
+			}
+			// Signalling non-user events.
+			if err := ev.SetComplete(); !errors.Is(err, cl.ErrNotUserEvent) {
+				t.Errorf("SetComplete on command event = %v, want ErrNotUserEvent", err)
+			}
+			// Double-signalling user events.
+			u, _ := ctx.CreateUserEvent("u")
+			if err := u.SetComplete(); err != nil {
+				t.Fatal(err)
+			}
+			if err := u.SetComplete(); !errors.Is(err, cl.ErrEventComplete) {
+				t.Errorf("second SetComplete = %v, want ErrEventComplete", err)
+			}
+			if err := u.SetError(errors.New("x")); !errors.Is(err, cl.ErrEventComplete) {
+				t.Errorf("SetError after complete = %v, want ErrEventComplete", err)
+			}
+			if err := q.Finish(); err != nil {
+				t.Fatal(err)
+			}
+			if err := q2.Finish(); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"FlushIsNonBlocking", func(t *testing.T) {
+			ctx, gpu := newAsyncCtx(t)
+			buf, _ := ctx.CreateBuffer(cl.MemReadWrite, 64, nil)
+			q := ctx.CreateCommandQueue(gpu)
+			gate, _ := ctx.CreateUserEvent("gate")
+			if _, err := q.EnqueueWriteBufferAsync(buf, 0, []byte{1}, []*cl.Event{gate}); err != nil {
+				t.Fatal(err)
+			}
+			// Flush must return without waiting for the gated command.
+			if err := q.Flush(); err != nil {
+				t.Errorf("Flush = %v", err)
+			}
+			if err := gate.SetComplete(); err != nil {
+				t.Fatal(err)
+			}
+			if err := q.Finish(); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"MapBufferAsync", func(t *testing.T) {
+			ctx, gpu := newAsyncCtx(t)
+			buf, _ := ctx.CreateBuffer(cl.MemReadWrite, 64, nil)
+			q := ctx.CreateCommandQueueWith(gpu, cl.QueueOutOfOrderExec)
+			w, _ := q.EnqueueWriteBufferAsync(buf, 0, []byte{9, 9}, nil)
+			view, m, err := q.EnqueueMapBufferAsync(buf, 0, 2, []*cl.Event{w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			if view[0] != 9 || view[1] != 9 {
+				t.Errorf("mapped view = % x after dependency completed", view[:2])
+			}
+			if m.Submitted != w.Ended {
+				t.Errorf("map SUBMIT %g != write END %g", m.Submitted, w.Ended)
+			}
+			if err := q.Finish(); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, tc.run)
+	}
+}
+
+// runSequence executes the fixed write/ndrange/map/unmap/read command
+// sequence of runObserved through the synchronous API on a context
+// with or without the async scheduler, returning the queue and the
+// final buffer contents.
+func runSequence(t *testing.T, async bool) (*cl.CommandQueue, []byte) {
+	t.Helper()
+	gpu := mali.New()
+	ctx := cl.NewContextWith(cl.WithDevices(gpu), cl.WithWorkers(2), cl.WithAsyncQueues(async))
+	t.Cleanup(ctx.Close)
+	prog := ctx.CreateProgramWithSource(testKernel)
+	if err := prog.Build(""); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	k, _ := prog.CreateKernel("scale")
+	const n = 256
+	host := make([]byte, n*4)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(host[i*4:], math.Float32bits(float32(i)))
+	}
+	buf, err := ctx.CreateBuffer(cl.MemReadWrite, n*4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SetArgBuffer(0, buf)
+	k.SetArgFloat(1, 3.0)
+	k.SetArgInt(2, n)
+	q := ctx.CreateCommandQueue(gpu)
+	if _, err := q.EnqueueWriteBuffer(buf, 0, host); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueNDRangeKernel(k, 1, []int{n}, []int{64}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.EnqueueMapBuffer(buf, 0, n*4); err != nil {
+		t.Fatal(err)
+	}
+	q.EnqueueUnmapMemObject(buf)
+	out := make([]byte, n*4)
+	if _, err := q.EnqueueReadBuffer(buf, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return q, out
+}
+
+// TestAsyncMatchesSyncBitIdentical checks the scheduler reproduces the
+// legacy synchronous queue exactly: same event history, same profiling
+// stamps, same memory bytes. HostSeconds is excluded — it is host
+// wall-clock, documented as nondeterministic.
+func TestAsyncMatchesSyncBitIdentical(t *testing.T) {
+	qs, outS := runSequence(t, false)
+	qa, outA := runSequence(t, true)
+	se, ae := qs.Events(), qa.Events()
+	if len(se) != len(ae) {
+		t.Fatalf("event counts differ: sync %d async %d", len(se), len(ae))
+	}
+	for i := range se {
+		s, a := se[i], ae[i]
+		if s.Kind != a.Kind || s.Name != a.Name || s.Seq != a.Seq {
+			t.Errorf("event %d identity: sync %s/%s/%d async %s/%s/%d",
+				i, s.Kind, s.Name, s.Seq, a.Kind, a.Name, a.Seq)
+		}
+		if s.Queued != a.Queued || s.Submitted != a.Submitted ||
+			s.Started != a.Started || s.Ended != a.Ended || s.Seconds != a.Seconds {
+			t.Errorf("event %d (%s): sync %g/%g/%g/%g async %g/%g/%g/%g",
+				i, s.Kind, s.Queued, s.Submitted, s.Started, s.Ended,
+				a.Queued, a.Submitted, a.Started, a.Ended)
+		}
+		if s.Bytes != a.Bytes {
+			t.Errorf("event %d bytes: %d vs %d", i, s.Bytes, a.Bytes)
+		}
+		if (s.Report == nil) != (a.Report == nil) {
+			t.Fatalf("event %d report presence differs", i)
+		}
+		if s.Report != nil && *s.Report != *a.Report {
+			t.Errorf("event %d device report differs:\nsync  %+v\nasync %+v", i, *s.Report, *a.Report)
+		}
+	}
+	if string(outS) != string(outA) {
+		t.Error("buffer contents differ between sync and async runs")
+	}
+}
+
+// TestTraceMultiQueueGolden locks the Chrome-trace export of a fixed
+// two-queue overlapped workload down to the byte: two out-of-order
+// queues, a cross-queue wait-list, a marker and a barrier. Since the
+// schedule is a pure function of the DAG, the export must reproduce
+// exactly on every host. Regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/cl -run TraceMultiQueueGolden.
+func TestTraceMultiQueueGolden(t *testing.T) {
+	ctx, gpu := newAsyncCtx(t)
+	k, buf := scaleKernel(t, ctx, 256)
+	aux, err := ctx.CreateBuffer(cl.MemReadWrite, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := ctx.CreateCommandQueueWith(gpu, cl.QueueOutOfOrderExec)
+	q2 := ctx.CreateCommandQueueWith(gpu, cl.QueueOutOfOrderExec)
+
+	// q1: upload then launch; q2: an independent overlapping upload.
+	w1, err := q1.EnqueueWriteBufferAsync(buf, 0, make([]byte, 256*4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := q1.EnqueueNDRangeKernelAsync(k, 1, []int{256}, []int{64}, []*cl.Event{w1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q2.EnqueueWriteBufferAsync(aux, 0, make([]byte, 1<<20), nil); err != nil {
+		t.Fatal(err)
+	}
+	// q2 reads the kernel's output: a cross-queue dependency.
+	out := make([]byte, 256*4)
+	if _, err := q2.EnqueueReadBufferAsync(buf, 0, out, []*cl.Event{nd}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q1.EnqueueMarkerWithWaitList(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q2.EnqueueBarrierWithWaitList(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q2.EnqueueWriteBufferAsync(aux, 0, make([]byte, 64), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := q1.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := append(q1.Timeline(), q2.Timeline()...)
+	var trace bytes.Buffer
+	if err := obs.WriteChromeTrace(&trace, spans); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "trace_multiqueue.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, trace.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(trace.Bytes(), want) {
+		t.Errorf("multi-queue trace drifted from golden:\ngot:\n%s\nwant:\n%s", trace.Bytes(), want)
+	}
+}
+
+// TestFinishCtxUnwindsWithoutGoroutineLeaks drives the cancellation
+// path end to end: a queue stalled behind a user event, a cancelled
+// FinishCtx, then release and teardown — and requires the goroutine
+// count to return to baseline (scheduler executor and pool workers
+// all gone). Stdlib-only leak check.
+func TestFinishCtxUnwindsWithoutGoroutineLeaks(t *testing.T) {
+	base := runtime.NumGoroutine()
+	func() {
+		gpu := mali.New()
+		ctx := cl.NewContextWith(cl.WithDevices(gpu), cl.WithWorkers(2), cl.WithAsyncQueues(true))
+		defer ctx.Close()
+		buf, err := ctx.CreateBuffer(cl.MemReadWrite, 1<<16, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := ctx.CreateCommandQueue(gpu)
+		gate, _ := ctx.CreateUserEvent("gate")
+		var last *cl.Event
+		for i := 0; i < 8; i++ {
+			ev, err := q.EnqueueWriteBufferAsync(buf, int64(i*16), make([]byte, 16), []*cl.Event{gate})
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = ev
+		}
+		cctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := q.FinishCtx(cctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("FinishCtx(cancelled) = %v", err)
+		}
+		if err := gate.SetComplete(); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if err := last.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), base)
+}
+
+// TestFinishClosedContextError is the regression test for the old
+// silent no-op: Finish (and Flush) on a queue whose context has been
+// closed must report ErrContextClosed, not pretend success.
+func TestFinishClosedContextError(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		gpu := mali.New()
+		ctx := cl.NewContextWith(cl.WithDevices(gpu), cl.WithAsyncQueues(async))
+		q := ctx.CreateCommandQueue(gpu)
+		buf, _ := ctx.CreateBuffer(cl.MemReadWrite, 64, nil)
+		if _, err := q.EnqueueWriteBuffer(buf, 0, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Finish(); err != nil {
+			t.Fatalf("async=%v: Finish on live context = %v", async, err)
+		}
+		ctx.Close()
+		if err := q.Finish(); !errors.Is(err, cl.ErrContextClosed) {
+			t.Errorf("async=%v: Finish on closed context = %v, want ErrContextClosed", async, err)
+		}
+		if err := q.Flush(); !errors.Is(err, cl.ErrContextClosed) {
+			t.Errorf("async=%v: Flush on closed context = %v, want ErrContextClosed", async, err)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,7 @@ import (
 	"maligo/internal/mem"
 	"maligo/internal/obs"
 	"maligo/internal/platform"
+	"maligo/internal/sched"
 	"maligo/internal/vm"
 )
 
@@ -38,6 +40,22 @@ var (
 	ErrBuildFailure      = errors.New("CL_BUILD_PROGRAM_FAILURE")
 	ErrKernelNotFound    = errors.New("CL_INVALID_KERNEL_NAME")
 	ErrMapFailure        = errors.New("CL_MAP_FAILURE")
+	// ErrContextClosed reports an operation (Finish, user-event
+	// creation, ...) against a context that was already closed —
+	// OpenCL's CL_INVALID_CONTEXT after clReleaseContext.
+	ErrContextClosed = errors.New("CL_INVALID_CONTEXT: context closed")
+)
+
+// Typed queue-contract errors re-exported from the scheduler so
+// callers can errors.Is against the cl package alone.
+var (
+	ErrEventCycle     = sched.ErrCycle
+	ErrDoubleWait     = sched.ErrDoubleWait
+	ErrOrphanEvent    = sched.ErrOrphanEvent
+	ErrForeignEvent   = sched.ErrForeignEvent
+	ErrNotUserEvent   = sched.ErrNotUserEvent
+	ErrEventComplete  = sched.ErrAlreadyComplete
+	ErrEventDepFailed = sched.ErrDepFailed
 )
 
 // MemFlags mirror cl_mem_flags.
@@ -70,8 +88,11 @@ type Context struct {
 
 	poolMu   sync.Mutex
 	pool     *device.Pool
+	sched    *sched.Scheduler // lazy; serves every async queue of the context
 	closed   bool
 	inflight sync.WaitGroup // enqueues currently holding the pool
+
+	asyncQueues bool // CreateCommandQueue returns scheduler-backed queues
 
 	queueSeq atomic.Int64
 
@@ -90,10 +111,11 @@ const DefaultArenaBytes = 512 << 20
 type ContextOption func(*contextConfig)
 
 type contextConfig struct {
-	devices    []device.Device
-	arenaBytes int64
-	workers    int
-	engine     vm.Engine
+	devices     []device.Device
+	arenaBytes  int64
+	workers     int
+	engine      vm.Engine
+	asyncQueues bool
 }
 
 // WithDevices sets the context's devices.
@@ -125,6 +147,16 @@ func WithEngine(e vm.Engine) ContextOption {
 	return func(cfg *contextConfig) { cfg.engine = e }
 }
 
+// WithAsyncQueues makes CreateCommandQueue return scheduler-backed
+// in-order queues: enqueues flow through the context's DAG scheduler
+// and the synchronous Enqueue* methods become enqueue-then-wait.
+// Events, timestamps and results stay bit-identical to the legacy
+// synchronous queue; what changes is that the Async enqueue variants
+// and wait-lists become available without opting in per queue.
+func WithAsyncQueues(on bool) ContextOption {
+	return func(cfg *contextConfig) { cfg.asyncQueues = on }
+}
+
 // NewContextWith creates a context from functional options.
 func NewContextWith(opts ...ContextOption) *Context {
 	cfg := contextConfig{arenaBytes: DefaultArenaBytes, workers: runtime.NumCPU()}
@@ -141,11 +173,12 @@ func NewContextWith(opts ...ContextOption) *Context {
 		cfg.engine = vm.EngineFromEnv()
 	}
 	c := &Context{
-		arena:   mem.NewArena(cfg.arenaBytes),
-		devices: cfg.devices,
-		workers: cfg.workers,
-		engine:  cfg.engine,
-		metrics: obs.NewRegistry(),
+		arena:       mem.NewArena(cfg.arenaBytes),
+		devices:     cfg.devices,
+		workers:     cfg.workers,
+		engine:      cfg.engine,
+		metrics:     obs.NewRegistry(),
+		asyncQueues: cfg.asyncQueues,
 	}
 	c.registerGauges()
 	return c
@@ -271,16 +304,58 @@ func (c *Context) acquirePool() (*device.Pool, func()) {
 	return c.pool, func() { once.Do(c.inflight.Done) }
 }
 
-// Close releases the context's worker pool. It first marks the
-// context closed (so no new enqueue can acquire the pool), then waits
-// for in-flight enqueues to release it before stopping the workers —
-// Close racing an enqueue is deterministic, not a panic. Enqueues
-// after Close fall back to the serial engine; Close is idempotent.
+// scheduler lazily creates the context's DAG scheduler — one per
+// context, shared by every async queue so cross-queue wait-lists work.
+// Command bodies are dispatched onto the device worker pool when the
+// context has one. Returns nil once the context is closed.
+func (c *Context) scheduler() *sched.Scheduler {
+	c.poolMu.Lock()
+	defer c.poolMu.Unlock()
+	if c.closed {
+		return nil
+	}
+	if c.sched == nil {
+		c.sched = sched.New(sched.WithExec(c.execBody))
+	}
+	return c.sched
+}
+
+// execBody runs one async command body, on a pool worker when the
+// context is parallel. The body itself may shard work-groups across
+// the same pool (see device.Pool.Run for why that nesting is safe).
+func (c *Context) execBody(f func()) {
+	pool, release := c.acquirePool()
+	defer release()
+	if pool != nil {
+		pool.Run(f)
+	} else {
+		f()
+	}
+}
+
+// Close shuts down the context's async scheduler (the running command
+// completes, every other pending command fails with a typed error) and
+// releases the worker pool. It first marks the context closed (so no
+// new enqueue can acquire the pool), then waits for in-flight enqueues
+// to release it before stopping the workers — Close racing an enqueue
+// is deterministic, not a panic. Enqueues after Close fall back to the
+// serial engine; Close is idempotent.
 func (c *Context) Close() {
+	c.poolMu.Lock()
+	s := c.sched
+	c.sched = nil
+	c.closed = true // no new scheduler, no new pool acquisitions
+	c.poolMu.Unlock()
+	if s != nil {
+		// Before the pool teardown below: the scheduler's running
+		// command may still be sharding work-groups across the pool
+		// (it acquired the pool before closed was set and holds an
+		// inflight reference until it finishes).
+		s.Close()
+	}
 	c.poolMu.Lock()
 	pool := c.pool
 	c.pool = nil
-	c.closed = true
 	c.poolMu.Unlock()
 	if pool != nil {
 		c.inflight.Wait()
@@ -560,6 +635,66 @@ type Event struct {
 	// RaceCheck holds the race-check outcome when the queue has
 	// SetRaceCheck(true); nil otherwise.
 	RaceCheck *RaceCheckResult
+
+	// se links async events to their scheduler state; nil for events
+	// from the legacy synchronous path, which are complete on return.
+	// The exported fields above are filled at completion time — read
+	// them only after Wait/Complete (the synchronous Enqueue* methods
+	// do that for you).
+	se *sched.Event
+}
+
+// Wait blocks until the event's command completes and returns its
+// execution error. Events from synchronous enqueues are already
+// complete, so Wait returns nil immediately. If completion requires a
+// user event the host signals from this same goroutine, signal first
+// or use CommandQueue.FinishCtx, which detects the stall.
+func (ev *Event) Wait() error {
+	if ev.se == nil {
+		return nil
+	}
+	return ev.se.Wait()
+}
+
+// Complete reports whether the event's command has finished (either
+// way). Always true for events from synchronous enqueues.
+func (ev *Event) Complete() bool {
+	return ev.se == nil || ev.se.Complete()
+}
+
+// Err returns the command's execution error: nil while pending or on
+// success, the body's error (or a wrapped ErrEventDepFailed for
+// cascaded failures) otherwise.
+func (ev *Event) Err() error {
+	if ev.se == nil {
+		return nil
+	}
+	return ev.se.Err()
+}
+
+// IsUserEvent reports whether this is a host-signalled user event
+// created with Context.CreateUserEvent.
+func (ev *Event) IsUserEvent() bool { return ev.se != nil && ev.se.IsUserEvent() }
+
+// SetComplete transitions a user event to complete, releasing every
+// command waiting on it. User events complete at simulated time zero,
+// so downstream timestamps never depend on when the host signals.
+// Returns ErrNotUserEvent for ordinary command events and
+// ErrEventComplete on a second signal.
+func (ev *Event) SetComplete() error {
+	if ev.se == nil {
+		return fmt.Errorf("%s: %w", ev.Name, ErrNotUserEvent)
+	}
+	return ev.se.SetComplete()
+}
+
+// SetError fails a user event, cascading ErrEventDepFailed to every
+// command waiting on it.
+func (ev *Event) SetError(err error) error {
+	if ev.se == nil {
+		return fmt.Errorf("%s: %w", ev.Name, ErrNotUserEvent)
+	}
+	return ev.se.SetError(err)
 }
 
 // RaceCheckResult cross-checks the two race-analysis tiers for one
@@ -596,18 +731,60 @@ func (r *RaceCheckResult) Confirmed() []vm.DataRace {
 	return out
 }
 
-// CommandQueue is an in-order queue bound to one device. It keeps a
-// simulated clock (seconds since creation) that orders its events
-// into a timeline for profiling and trace export.
+// QueueProps mirror cl_command_queue_properties.
+type QueueProps uint32
+
+// Queue properties.
+const (
+	// QueueOutOfOrderExec creates an out-of-order queue: commands have
+	// no implicit ordering (QUEUED stamps at simulated time zero) and
+	// order only through wait-lists, markers and barriers.
+	QueueOutOfOrderExec QueueProps = 1 << iota
+)
+
+// CommandQueue is a command queue bound to one device. The default
+// queue executes synchronously and in-order, keeping a simulated
+// clock (seconds since creation) that orders its events into a
+// timeline for profiling and trace export. Queues created with
+// CreateCommandQueueWith (or on a WithAsyncQueues context) route
+// enqueues through the context's DAG scheduler instead: the Async
+// enqueue variants return pending events, wait-lists order commands
+// across queues, and the synchronous Enqueue* methods become
+// enqueue-then-wait — with timestamps that stay bit-identical to the
+// synchronous queue for in-order chains.
 type CommandQueue struct {
 	ctx          *Context
 	dev          device.Device
 	id           int
-	events       []*Event
-	clock        float64
+	props        QueueProps
+	scheduled    bool // enqueues flow through ctx.scheduler()
 	raceCheck    bool
 	profileLines bool
 	lineProf     *vm.LineProfiler
+
+	// enqMu serializes enqueues and guards the enqueue-side ordering
+	// state below. It is held across scheduler Submit calls, so two
+	// racing enqueues cannot interleave their dependency wiring.
+	enqMu sync.Mutex
+	// prev is the in-order predecessor: the event whose END stamps the
+	// next command's QUEUED. Nil on out-of-order queues.
+	prev *sched.Event
+	// outstanding accumulates this queue's scheduled events since the
+	// last reset — the implicit wait-list of markers, barriers and
+	// Finish.
+	outstanding []*sched.Event
+	// barrier gates every command enqueued after it (out-of-order
+	// queues; in-order queues are gated by prev already).
+	barrier *sched.Event
+
+	// mu guards the completion-side state below. The legacy
+	// synchronous path is single-goroutine, but async completions land
+	// from the scheduler's executor. Lock order: enqMu before mu;
+	// never the reverse.
+	mu     sync.Mutex
+	events []*Event
+	clock  float64
+	gen    uint64 // bumped by ResetEvents; stale completions don't record
 }
 
 // SetRaceCheck switches dynamic race checking on or off for subsequent
@@ -634,27 +811,96 @@ func (q *CommandQueue) SetLineProfile(on bool) {
 // SetLineProfile was never enabled.
 func (q *CommandQueue) LineProfile() *vm.LineProfiler { return q.lineProf }
 
-// CreateCommandQueue mirrors clCreateCommandQueue.
+// CreateCommandQueue mirrors clCreateCommandQueue: an in-order queue,
+// synchronous unless the context was created WithAsyncQueues.
 func (c *Context) CreateCommandQueue(dev device.Device) *CommandQueue {
-	return &CommandQueue{ctx: c, dev: dev, id: int(c.queueSeq.Add(1)) - 1}
+	q := &CommandQueue{ctx: c, dev: dev, id: int(c.queueSeq.Add(1)) - 1}
+	q.scheduled = c.asyncQueues
+	return q
 }
+
+// CreateCommandQueueWith creates a scheduler-backed queue with the
+// given properties — in-order by default, out-of-order with
+// QueueOutOfOrderExec. Multiple queues on one context share the
+// context scheduler, so wait-lists may cross queues.
+func (c *Context) CreateCommandQueueWith(dev device.Device, props QueueProps) *CommandQueue {
+	q := c.CreateCommandQueue(dev)
+	q.props = props
+	q.scheduled = true
+	return q
+}
+
+// Properties returns the queue's creation properties.
+func (q *CommandQueue) Properties() QueueProps { return q.props }
+
+// OutOfOrder reports whether the queue executes out of order.
+func (q *CommandQueue) OutOfOrder() bool { return q.props&QueueOutOfOrderExec != 0 }
+
+// Scheduled reports whether enqueues flow through the context's DAG
+// scheduler (true for CreateCommandQueueWith queues and every queue
+// of a WithAsyncQueues context).
+func (q *CommandQueue) Scheduled() bool { return q.scheduled }
 
 // Device returns the queue's device.
 func (q *CommandQueue) Device() device.Device { return q.dev }
 
-// Events returns all recorded events in order.
-func (q *CommandQueue) Events() []*Event { return q.events }
+// Events returns all recorded events in order. On a scheduled queue
+// the history holds completed commands only — call Finish first for a
+// settled view.
+func (q *CommandQueue) Events() []*Event {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.events
+}
 
 // ResetEvents clears the recorded history and rewinds the queue clock
 // to zero (between measurement regions), so a measured timeline
-// always starts at t=0 regardless of warm-up runs. The hot-line
-// profile, if enabled, restarts too.
+// always starts at t=0 regardless of warm-up runs. On a scheduled
+// queue it first drains outstanding commands (ignoring their errors,
+// like the history does). The hot-line profile, if enabled, restarts
+// too.
 func (q *CommandQueue) ResetEvents() {
+	_ = q.drain(context.Background())
+	q.enqMu.Lock()
+	defer q.enqMu.Unlock()
+	q.prev = nil
+	q.outstanding = nil
+	q.barrier = nil
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	q.events = nil
 	q.clock = 0
+	q.gen++
 	if q.lineProf != nil {
 		q.lineProf = vm.NewLineProfiler()
 	}
+}
+
+// drain waits for every outstanding scheduled command. Command
+// execution errors are NOT reported — clFinish succeeds even when
+// individual commands failed; failures live on their events. It
+// returns an error only when the wait itself cannot finish: ctx
+// cancellation, or a queue stalled on an unsignalled user event
+// (ErrOrphanEvent instead of a deadlock).
+func (q *CommandQueue) drain(ctx context.Context) error {
+	q.enqMu.Lock()
+	outstanding := append([]*sched.Event(nil), q.outstanding...)
+	q.enqMu.Unlock()
+	if len(outstanding) == 0 {
+		return nil
+	}
+	sch := q.ctx.scheduler()
+	for _, se := range outstanding {
+		if sch == nil {
+			// Context closed: the scheduler already failed these.
+			_ = se.Wait() // failure recorded on the event
+			continue
+		}
+		if err := sch.WaitEvent(ctx, se); err != nil && !se.Complete() {
+			return err
+		}
+	}
+	return nil
 }
 
 // record stamps the event with the queue's profiling timestamps,
@@ -670,6 +916,7 @@ func (q *CommandQueue) record(ev *Event, dispatch float64) *Event {
 	if dispatch > ev.Seconds {
 		dispatch = ev.Seconds
 	}
+	q.mu.Lock()
 	ev.Seq = len(q.events)
 	ev.Queued = q.clock
 	ev.Submitted = ev.Queued
@@ -677,23 +924,31 @@ func (q *CommandQueue) record(ev *Event, dispatch float64) *Event {
 	ev.Ended = ev.Queued + ev.Seconds
 	q.clock = ev.Ended
 	q.events = append(q.events, ev)
+	q.mu.Unlock()
 	q.ctx.metrics.Counter("cl.enqueues." + ev.Kind).Inc()
 	return ev
 }
 
 // Timeline exports the queue's event history as timeline spans for
-// trace writers, one track per queue. Span times are the simulated
-// profiling timestamps, so the export is deterministic.
+// trace writers, one track (lane) per queue. Span times are the
+// simulated profiling timestamps, so the export is deterministic.
+// Spans start at SUBMIT (equal to QUEUED on in-order queues, so
+// legacy traces are unchanged) and are sorted by start time within
+// the track — on an out-of-order queue the history is in completion
+// order, but trace viewers and tracecheck want monotone lanes.
 func (q *CommandQueue) Timeline() []obs.Span {
+	q.mu.Lock()
+	events := append([]*Event(nil), q.events...)
+	q.mu.Unlock()
 	track := fmt.Sprintf("queue %d — %s", q.id, q.dev.Name())
-	spans := make([]obs.Span, 0, len(q.events))
-	for _, ev := range q.events {
+	spans := make([]obs.Span, 0, len(events))
+	for _, ev := range events {
 		sp := obs.Span{
 			Name:    ev.Name,
 			Cat:     ev.Kind,
 			Track:   track,
 			TrackID: q.id,
-			Start:   ev.Queued,
+			Start:   ev.Submitted,
 			Dur:     ev.Seconds,
 		}
 		if rep := ev.Report; rep != nil {
@@ -710,6 +965,7 @@ func (q *CommandQueue) Timeline() []obs.Span {
 		}
 		spans = append(spans, sp)
 	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
 	return spans
 }
 
@@ -769,8 +1025,30 @@ func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, workDim int, global, loca
 // ctx aborts a long simulation between work-groups. Work-groups are
 // sharded across the context's worker pool when it has more than one
 // worker; the simulated report is bit-identical to serial execution
-// either way.
+// either way. On a scheduled queue this is enqueue-then-wait through
+// the DAG scheduler — still bit-identical.
 func (q *CommandQueue) EnqueueNDRangeKernelCtx(ctx context.Context, k *Kernel, workDim int, global, local []int) (*Event, error) {
+	if q.scheduled {
+		return q.syncViaAsync(func() (*Event, error) {
+			return q.ndrangeAsync(ctx, k, workDim, global, local, nil)
+		})
+	}
+	ndr, err := prepareNDRange(k, workDim, global, local)
+	if err != nil {
+		return nil, err
+	}
+	ev := &Event{Kind: "ndrange", Name: k.k.Name}
+	if err := q.runNDRangeBody(ctx, k, ndr, ev, q.raceCheck, q.profileLines, q.lineProf); err != nil {
+		return nil, err
+	}
+	return q.record(ev, ev.Report.DispatchSeconds), nil
+}
+
+// prepareNDRange validates the kernel's bound arguments and builds the
+// NDRange — the synchronous part of an NDRange enqueue, shared by the
+// immediate and scheduled paths so both reject bad launches at enqueue
+// time with the same errors.
+func prepareNDRange(k *Kernel, workDim int, global, local []int) (*device.NDRange, error) {
 	for i, ok := range k.set {
 		if !ok {
 			return nil, fmt.Errorf("arg %d of kernel %s not set: %w", i, k.k.Name, ErrInvalidKernelArgs)
@@ -785,18 +1063,28 @@ func (q *CommandQueue) EnqueueNDRangeKernelCtx(ctx context.Context, k *Kernel, w
 			ndr.Local[d] = local[d]
 		}
 	}
+	return ndr, nil
+}
+
+// runNDRangeBody executes the prepared NDRange and fills ev with the
+// report, duration and race-check results. It does not stamp or record
+// the event — the immediate path calls record, the scheduled path lets
+// the DAG scheduler derive the stamps. The race/profiling flags are
+// passed in (captured at enqueue time) so an async body never races
+// with the host toggling the queue's settings.
+func (q *CommandQueue) runNDRangeBody(ctx context.Context, k *Kernel, ndr *device.NDRange, ev *Event, raceCheck, profileLines bool, lineProf *vm.LineProfiler) error {
 	target := &memTarget{arena: q.ctx.arena, constant: k.prog.prog.ConstantData, mu: &q.ctx.atomicsMu}
 	pool, release := q.ctx.acquirePool()
 	defer release()
 	rc := device.RunConfig{Ctx: ctx, Pool: pool, Engine: q.ctx.engine}
 	var detector *vm.RaceDetector
 	var observers []device.RaceObserver
-	if q.raceCheck {
+	if raceCheck {
 		detector = &vm.RaceDetector{Kernel: k.k.Name, Max: 32}
 		observers = append(observers, detector)
 	}
-	if q.profileLines {
-		observers = append(observers, q.lineProf)
+	if profileLines {
+		observers = append(observers, lineProf)
 	}
 	rc.Race = device.FanObservers(observers...)
 	var rep *device.Report
@@ -810,16 +1098,12 @@ func (q *CommandQueue) EnqueueNDRangeKernelCtx(ctx context.Context, k *Kernel, w
 		rep, err = q.dev.Run(ndr, target)
 	}
 	if err != nil {
-		return nil, err
+		return err
 	}
-	ev := &Event{
-		Kind:        "ndrange",
-		Name:        k.k.Name,
-		Report:      rep,
-		Seconds:     rep.Seconds,
-		HostSeconds: time.Since(hostStart).Seconds(),
-	}
-	if q.raceCheck {
+	ev.Report = rep
+	ev.Seconds = rep.Seconds
+	ev.HostSeconds = time.Since(hostStart).Seconds()
+	if raceCheck {
 		res := &RaceCheckResult{}
 		for _, d := range k.prog.Diagnostics() {
 			if d.Kernel == k.k.Name && (d.Pass == "race" || d.Pass == "barrierdiv") {
@@ -835,7 +1119,7 @@ func (q *CommandQueue) EnqueueNDRangeKernelCtx(ctx context.Context, k *Kernel, w
 	m.Counter("cl.work_items").Add(uint64(ndr.TotalWorkItems()))
 	m.Counter("cl.dram_bytes").Add(rep.DRAMBytes)
 	m.Histogram("cl.ndrange_seconds", nil).Observe(rep.Seconds)
-	return q.record(ev, rep.DispatchSeconds), nil
+	return nil
 }
 
 // hostCopyBandwidth is the achievable memcpy bandwidth of one A15 core
@@ -845,6 +1129,11 @@ const hostCopyBandwidth = 2.6e9
 // EnqueueWriteBuffer copies host data into a buffer, charging the copy
 // to the host CPU like clEnqueueWriteBuffer does.
 func (q *CommandQueue) EnqueueWriteBuffer(b *Buffer, off int64, data []byte) (*Event, error) {
+	if q.scheduled {
+		return q.syncViaAsync(func() (*Event, error) {
+			return q.EnqueueWriteBufferAsync(b, off, data, nil)
+		})
+	}
 	dst, err := b.Bytes(off, int64(len(data)))
 	if err != nil {
 		return nil, err
@@ -858,6 +1147,11 @@ func (q *CommandQueue) EnqueueWriteBuffer(b *Buffer, off int64, data []byte) (*E
 
 // EnqueueReadBuffer copies buffer contents back to host memory.
 func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, off int64, data []byte) (*Event, error) {
+	if q.scheduled {
+		return q.syncViaAsync(func() (*Event, error) {
+			return q.EnqueueReadBufferAsync(b, off, data, nil)
+		})
+	}
 	src, err := b.Bytes(off, int64(len(data)))
 	if err != nil {
 		return nil, err
@@ -872,6 +1166,16 @@ func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, off int64, data []byte) (*Ev
 // EnqueueMapBuffer returns a zero-copy view of the buffer — free on
 // this unified-memory platform apart from a fixed driver cost.
 func (q *CommandQueue) EnqueueMapBuffer(b *Buffer, off, n int64) ([]byte, *Event, error) {
+	if q.scheduled {
+		var view []byte
+		ev, err := q.syncViaAsync(func() (*Event, error) {
+			var e *Event
+			var err error
+			view, e, err = q.EnqueueMapBufferAsync(b, off, n, nil)
+			return e, err
+		})
+		return view, ev, err
+	}
 	view, err := b.Bytes(off, n)
 	if err != nil {
 		return nil, nil, err
@@ -882,20 +1186,60 @@ func (q *CommandQueue) EnqueueMapBuffer(b *Buffer, off, n int64) ([]byte, *Event
 
 // EnqueueUnmapMemObject releases a mapping (fixed driver cost).
 func (q *CommandQueue) EnqueueUnmapMemObject(b *Buffer) *Event {
+	if q.scheduled {
+		ev, _ := q.syncViaAsync(func() (*Event, error) {
+			return q.enqueueAsync(&Event{Kind: "unmap", Seconds: 4e-6}, nil, nil)
+		})
+		return ev
+	}
 	return q.record(&Event{Kind: "unmap", Seconds: 4e-6}, 0)
 }
 
-// Finish drains the queue. The simulated queue executes synchronously,
-// so this only exists for API fidelity.
-func (q *CommandQueue) Finish() {}
+// Finish drains the queue, blocking until every enqueued command has
+// completed. Like clFinish it succeeds even when individual commands
+// failed (failures live on their events); it returns ErrContextClosed
+// when the owning context was closed — it used to succeed vacuously,
+// hiding exactly the misuse it now reports — and ErrOrphanEvent when
+// the queue can never drain because a user event was never signalled.
+func (q *CommandQueue) Finish() error {
+	return q.FinishCtx(context.Background())
+}
 
-// FinishCtx drains the queue, honouring ctx. Commands execute
-// synchronously at enqueue time in the simulator, so this only
-// reports whether the caller's context is still live.
-func (q *CommandQueue) FinishCtx(ctx context.Context) error { return ctx.Err() }
+// FinishCtx is Finish with cancellation: ctx aborts the wait (the
+// commands keep executing; only the wait stops).
+func (q *CommandQueue) FinishCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := q.drain(ctx); err != nil {
+		return err
+	}
+	q.ctx.poolMu.Lock()
+	closed := q.ctx.closed
+	q.ctx.poolMu.Unlock()
+	if closed {
+		return ErrContextClosed
+	}
+	return ctx.Err()
+}
+
+// Flush mirrors clFlush. Scheduled commands are submitted to the
+// context scheduler eagerly at enqueue time, so there is nothing to
+// push; it reports ErrContextClosed on a closed context like Finish.
+func (q *CommandQueue) Flush() error {
+	q.ctx.poolMu.Lock()
+	closed := q.ctx.closed
+	q.ctx.poolMu.Unlock()
+	if closed {
+		return ErrContextClosed
+	}
+	return nil
+}
 
 // TotalSeconds sums the duration of all recorded events.
 func (q *CommandQueue) TotalSeconds() float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	var t float64
 	for _, ev := range q.events {
 		t += ev.Seconds

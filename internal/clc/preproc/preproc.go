@@ -336,6 +336,8 @@ func (p *state) expand(line string, num int, hide map[string]bool, depth int) (s
 			}
 			if j < len(line) {
 				j++
+			} else if j > len(line) {
+				j = len(line) // unterminated literal ending in a backslash
 			}
 			out.WriteString(line[i:j])
 			i = j

@@ -204,3 +204,15 @@ func TestMacroArgCountMismatch(t *testing.T) {
 		t.Fatal("argument count mismatch should fail")
 	}
 }
+
+// TestUnterminatedLiteralBackslashEOF is the regression test for a
+// fuzz-found panic: a string or char literal left open at end of line
+// with a trailing backslash must not slice past the line.
+func TestUnterminatedLiteralBackslashEOF(t *testing.T) {
+	for _, src := range []string{"\"\\", "'\\", "#define X 1\nX \"\\", "x = \"abc\\"} {
+		if _, err := Process(src, nil); err != nil {
+			// An error is fine — only the panic was the bug.
+			continue
+		}
+	}
+}

@@ -52,6 +52,10 @@ type Options struct {
 	// closure-compiled fast path); zero honours MALIGO_ENGINE and
 	// otherwise runs the fast path.
 	Engine vm.Engine
+	// AsyncQueues routes every queue created from the platform context
+	// through the DAG command scheduler (event wait-lists, out-of-order
+	// queues). Simulated observables are bit-identical either way.
+	AsyncQueues bool
 }
 
 // NewPlatform assembles a fresh board with cold caches and default
@@ -76,6 +80,7 @@ func NewPlatformWith(o Options) *Platform {
 			cl.WithArenaBytes(o.ArenaBytes),
 			cl.WithWorkers(o.Workers),
 			cl.WithEngine(o.Engine),
+			cl.WithAsyncQueues(o.AsyncQueues),
 		),
 		Meter: power.NewMeterRate(seed, o.MeterHz),
 	}

@@ -48,6 +48,21 @@ func NewPool(workers int) *Pool {
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
 
+// Run executes f on a pool worker and waits for it to return. The
+// async command scheduler dispatches command bodies through this, so
+// a body's own RunGroups fan-out shares the remaining workers; that
+// nesting is deadlock-free because pools only exist with two or more
+// workers and at most one command body runs at a time. Must not race
+// with Close.
+func (p *Pool) Run(f func()) {
+	done := make(chan struct{})
+	p.jobs <- func() {
+		defer close(done)
+		f()
+	}
+	<-done
+}
+
 // Stats reports pool occupancy: jobs completed since creation and the
 // number of workers executing right now. Both are instantaneous
 // observations, meant for metrics gauges.

@@ -3,7 +3,9 @@ package device_test
 import (
 	"context"
 	"errors"
+	"runtime"
 	"testing"
+	"time"
 
 	"maligo/internal/clc"
 	"maligo/internal/clc/ir"
@@ -195,6 +197,115 @@ func TestSerialGroupsOrderAndCancel(t *testing.T) {
 	}
 	if ran != 2 {
 		t.Fatalf("ran %d groups after cancel, want 2", ran)
+	}
+}
+
+// slowObserver stalls on every group trace, widening the window in
+// which cancellation catches a run mid-flight — the regression shape
+// for the ordered fan-in stalling behind a slow consumer.
+type slowObserver struct{ delay time.Duration }
+
+func (o slowObserver) ObserveGroup(group [3]int, tr *vm.Trace) { time.Sleep(o.delay) }
+
+// waitGoroutines polls until the goroutine count returns to the
+// baseline (stdlib-only leak check; the runtime may lag a little
+// after channel teardown).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), base)
+}
+
+// TestRunGroupsSlowObserverCancelNoLeak cancels a run whose ordered
+// fan-in is stalled behind a slow observer and checks the whole
+// machinery — dispatcher, window semaphore, reorder buffer, pool
+// workers — unwinds without leaking goroutines.
+func TestRunGroupsSlowObserverCancelNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ndr := idNDRange(t, 4096, 16)
+	mem := &poolMem{data: make([]byte, 4096*4)}
+	pool := device.NewPool(4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	consumed := 0
+	err := device.RunGroups(device.RunConfig{
+		Ctx:  ctx,
+		Pool: pool,
+		Race: slowObserver{delay: time.Millisecond},
+	}, ndr, mem, func(gw *device.GroupWork) error {
+		consumed++
+		gw.Trace.Release()
+		if consumed == 2 {
+			cancel() // cancel mid-run, with groups still in flight
+		}
+		return nil
+	})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if consumed >= 4096/16 {
+		t.Fatal("cancellation did not stop the run early")
+	}
+	pool.Close()
+	waitGoroutines(t, base)
+}
+
+// TestRunGroupsConsumeErrorNoLeak checks the error-abort path also
+// unwinds cleanly when in-flight groups are still being dispatched.
+func TestRunGroupsConsumeErrorNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ndr := idNDRange(t, 4096, 16)
+	mem := &poolMem{data: make([]byte, 4096*4)}
+	pool := device.NewPool(4)
+
+	boom := errors.New("boom")
+	err := device.RunGroups(device.RunConfig{Pool: pool}, ndr, mem, func(gw *device.GroupWork) error {
+		gw.Trace.Release()
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	pool.Close()
+	waitGoroutines(t, base)
+}
+
+// TestPoolRunNested checks Pool.Run — the scheduler's command-body
+// entry point — both alone and with a nested RunGroups fan-out
+// sharing the remaining workers, the exact shape async NDRange
+// commands produce.
+func TestPoolRunNested(t *testing.T) {
+	pool := device.NewPool(2)
+	defer pool.Close()
+
+	ran := false
+	pool.Run(func() { ran = true })
+	if !ran {
+		t.Fatal("Run did not execute the function")
+	}
+
+	ndr := idNDRange(t, 256, 16)
+	mem := &poolMem{data: make([]byte, 256*4)}
+	var groups int
+	pool.Run(func() {
+		err := device.RunGroups(device.RunConfig{Pool: pool}, ndr, mem, func(gw *device.GroupWork) error {
+			groups++
+			gw.Trace.Release()
+			return nil
+		})
+		if err != nil {
+			t.Errorf("nested RunGroups: %v", err)
+		}
+	})
+	if groups != 256/16 {
+		t.Fatalf("nested run consumed %d groups, want %d", groups, 256/16)
 	}
 }
 

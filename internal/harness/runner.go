@@ -46,6 +46,11 @@ type Config struct {
 	// fast path). The default honours MALIGO_ENGINE and otherwise runs
 	// the fast path; results are bit-identical either way.
 	Engine vm.Engine
+	// AsyncQueues routes every benchmark enqueue through the DAG
+	// command scheduler instead of the synchronous queue path. Every
+	// figure is bit-identical either way — the scheduler's timestamps
+	// are a pure function of the dependency graph.
+	AsyncQueues bool
 }
 
 // DefaultConfig is the paper-scale configuration.
@@ -180,6 +185,7 @@ func runBenchmark(cfg Config, res *Results, meter *power.Meter, name string, pre
 		cl.WithDevices(cpu1, cpu2, gpu),
 		cl.WithWorkers(cfg.Workers),
 		cl.WithEngine(cfg.Engine),
+		cl.WithAsyncQueues(cfg.AsyncQueues),
 	)
 	defer ctx.Close()
 

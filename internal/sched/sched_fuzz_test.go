@@ -1,0 +1,99 @@
+package sched_test
+
+import (
+	"testing"
+)
+
+// FuzzCommandDAG decodes arbitrary bytes into a random DAG of commands
+// (kernel-like bodies writing memory regions, in-order chains across
+// three queues, user-event gates, injected failures) plus an
+// adversarial scheduling policy, runs it on the real scheduler, and
+// cross-checks memory bytes, event stamps and completion flags against
+// the serial oracle. This is the executable form of the queue
+// contract: no topological execution order, however hostile, may
+// change observable results.
+func FuzzCommandDAG(f *testing.F) {
+	f.Add([]byte{3, 0x11, 0x22, 0x33})
+	f.Add([]byte{8, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	// Diamond: 0 -> {1,2} -> 3 with differing durations.
+	f.Add([]byte{4, 0x00, 0x81, 0x41, 0xC3, 0x10, 0x20, 0x30, 0x40})
+	// Dense deps + failure-prone bytes.
+	f.Add([]byte{12, 0xFF, 0xFE, 0xFD, 0xFC, 0xFB, 0xFA, 0xF9, 0xF8,
+		0xF7, 0xF6, 0xF5, 0xF4, 0xF3, 0xF2, 0xF1, 0xF0})
+	// User-event gates on every command.
+	f.Add([]byte{6, 0x60, 0x61, 0x62, 0x63, 0x64, 0x65, 0x00, 0xAA})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		d, policy := decodeSpec(data)
+		if d.n == 0 {
+			return
+		}
+		wantMem, wantStamps, wantOK := d.oracle()
+		mem, stamps, ok := d.runFuzz(t, policy)
+		for i := 0; i < d.n; i++ {
+			if ok[i] != wantOK[i] {
+				t.Fatalf("cmd %d ok=%v, oracle %v", i, ok[i], wantOK[i])
+			}
+			if ok[i] && stamps[i] != wantStamps[i] {
+				t.Fatalf("cmd %d stamps %v, oracle %v", i, stamps[i], wantStamps[i])
+			}
+		}
+		for b := range mem {
+			if mem[b] != wantMem[b] {
+				t.Fatalf("memory[%d] = %d, oracle %d", b, mem[b], wantMem[b])
+			}
+		}
+	})
+}
+
+// decodeSpec interprets fuzz bytes as a DAG description. Byte 0 caps
+// the command count; each command consumes one descriptor byte:
+//
+//	bit 0-1: queue assignment (0 = out-of-order, 1-3 = in-order queue)
+//	bit 2:   gate this command on a shared user event
+//	bit 3:   inject a body failure
+//	bit 4-7: simulated duration nibble
+//
+// Remaining bytes feed the dependency mask (one byte per command, each
+// bit j set = wait on command i-1-j) and the scheduling policy.
+func decodeSpec(data []byte) (*dagSpec, int) {
+	n := int(data[0]) % 17
+	if n > len(data)-1 {
+		n = len(data) - 1
+	}
+	d := &dagSpec{n: n}
+	d.deps = make([][]int, n)
+	d.queue = make([]int, n)
+	d.seconds = make([]float64, n)
+	d.disp = make([]float64, n)
+	d.seed = make([]byte, n)
+	d.gated = make([]bool, n)
+	d.fail = make([]bool, n)
+	rest := data[1+n:]
+	for i := 0; i < n; i++ {
+		b := data[1+i]
+		d.queue[i] = int(b&3) - 1
+		d.gated[i] = b&4 != 0
+		d.fail[i] = b&8 != 0
+		d.seconds[i] = float64(b>>4) / 4
+		d.disp[i] = float64((b>>4)&3) / 8
+		d.seed[i] = b * 37
+		var mask byte
+		if i < len(rest) {
+			mask = rest[i]
+		}
+		for j := 0; j < 8 && j < i; j++ {
+			if mask&(1<<j) != 0 {
+				d.deps[i] = append(d.deps[i], i-1-j)
+			}
+		}
+	}
+	policy := 0
+	if len(rest) > n {
+		policy = int(rest[n])
+	}
+	return d, policy
+}

@@ -26,6 +26,18 @@ func FuzzEngineEquivalence(f *testing.F) {
 	f.Add(uint64(0x9E3779B9), int32(-100), int32(100), int32(63))
 	f.Add(uint64(12345), int32(1<<30), int32(-(1 << 30)), int32(1023))
 	f.Add(uint64(777), int32(-1), int32(-1), int32(-1))
+	// Dependency-chain shapes: these idx values drive the generated
+	// kernel's loop-carried accumulation to its extremes — the longest
+	// chain (idx&255 == 255), a chain ending in the private
+	// out-of-bounds fault (idx&7 > 3), and chains whose loads alias the
+	// same in[] slot — the data-flow analogues of deep and diamond
+	// command DAGs in the queue scheduler.
+	f.Add(uint64(0xDEADBEEF), int32(3), int32(9), int32(255))                     // longest loop chain
+	f.Add(uint64(0xCAFEBABE), int32(-7), int32(11), int32(0xFF07))                // long chain into tmp[7] fault
+	f.Add(uint64(0x0F0F0F0F), int32(1), int32(1), int32(4))                       // chain ending out of bounds
+	f.Add(uint64(0xFFFFFFFFFFFFFFFF), int32(1<<31-1), int32(1<<31-1), int32(128)) // overflow mid-chain
+	f.Add(uint64(2), int32(0), int32(-(1 << 31)), int32(131))                     // aliased loads, odd chain length
+	f.Add(uint64(0x123456789ABCDEF), int32(85), int32(-86), int32(252))           // near-max chain, sign flips
 
 	f.Fuzz(func(t *testing.T, seed uint64, a, b, idx int32) {
 		g := &exprGen{seed: seed | 1}

@@ -40,6 +40,17 @@ func WithEngine(e Engine) Option {
 	return func(o *core.Options) { o.Engine = e }
 }
 
+// WithOutOfOrderQueues routes every queue created from the platform
+// context through the DAG command scheduler, enabling event wait-lists
+// (EnqueueAsync, markers, barriers, user events) and out-of-order
+// queues (CreateCommandQueueWith + QueueOutOfOrderExec). Simulated
+// timestamps and results are bit-identical to the serial queue — the
+// schedule is a pure function of the dependency graph, never of host
+// goroutine interleaving.
+func WithOutOfOrderQueues(on bool) Option {
+	return func(o *core.Options) { o.AsyncQueues = on }
+}
+
 // WithMeterHz sets the power meter's sampling rate (default 10 Hz,
 // the Yokogawa WT230 the paper used).
 func WithMeterHz(hz float64) Option {
