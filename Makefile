@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-sched short bench bench-smoke figures lint trace-smoke trace-golden fuzz-smoke verify
+.PHONY: build vet test race race-sched short bench bench-malid bench-smoke figures lint trace-smoke trace-golden serve-smoke fuzz-smoke verify
 
 # Per-target budget for the fuzz smoke pass.
 FUZZTIME ?= 30s
@@ -66,6 +66,21 @@ trace-smoke:
 	$(GO) run ./cmd/malisim -bench vecop -scale 0.05 -async -trace "$$tmp/trace_async.json" >/dev/null && \
 	$(GO) run ./cmd/tracecheck "$$tmp/trace_async.json"
 
+# Serving-layer smoke test: drive an in-process malid daemon with the
+# nine-benchmark mix over real HTTP under the race detector. The
+# driver exits non-zero on any failed job, any served body that is not
+# byte-identical to the in-process run, or a repeat-traffic cache hit
+# rate at or below 90%.
+serve-smoke:
+	$(GO) run -race ./cmd/malid-load -n 360 -c 8 -tenants 3 -min-hit-rate 0.9 >/dev/null
+
+# Refresh the committed malid throughput baseline (larger stream, no
+# race detector — this one is about the numbers).
+bench-malid:
+	$(GO) run ./cmd/malid-load -n 1800 -c 16 -tenants 4 -min-hit-rate 0.9 \
+		| $(GO) run ./cmd/benchjson > BENCH_malid.json
+	@echo "wrote BENCH_malid.json (malid serving baseline; diff against the committed copy)"
+
 # Validate the committed golden multi-queue trace (two out-of-order
 # queues with cross-queue wait-lists; locked byte-exact by
 # TestTraceMultiQueueGolden).
@@ -84,4 +99,4 @@ fuzz-smoke:
 # Full verification: what CI runs. The -short race pass includes the
 # engine differential cross-section; `make test` runs the full
 # interpreter-vs-compiled matrix.
-verify: build lint test race race-sched trace-smoke trace-golden bench-smoke fuzz-smoke
+verify: build lint test race race-sched trace-smoke trace-golden serve-smoke bench-smoke fuzz-smoke

@@ -6,8 +6,10 @@ import (
 	"maligo/internal/cl"
 	"maligo/internal/core"
 	"maligo/internal/device"
+	"maligo/internal/job"
 	"maligo/internal/obs"
 	"maligo/internal/power"
+	"maligo/internal/service"
 	"maligo/internal/vm"
 )
 
@@ -18,9 +20,6 @@ type (
 	// Context owns the unified memory arena and the engine worker
 	// pool; it creates buffers, programs and queues.
 	Context = cl.Context
-	// ContextOption configures cl.NewContextWith for callers that
-	// assemble a context without a full Platform.
-	ContextOption = cl.ContextOption
 	// Buffer is a cl_mem buffer object over unified memory.
 	Buffer = cl.Buffer
 	// Program is a compiled OpenCL C program.
@@ -133,6 +132,38 @@ var (
 	ErrEventDepFailed = cl.ErrEventDepFailed
 )
 
+// Typed errors of the OpenCL-style runtime surface, in the spirit of
+// the CL status codes. Re-exported so callers errors.Is against the
+// root package instead of importing internals.
+var (
+	// ErrInvalidArgIndex reports SetArg* beyond the parameter count.
+	ErrInvalidArgIndex = cl.ErrInvalidArgIndex
+	// ErrInvalidArgValue reports a type-mismatched argument binding or
+	// contradictory buffer flags.
+	ErrInvalidArgValue = cl.ErrInvalidArgValue
+	// ErrInvalidKernelArgs reports an enqueue with unbound arguments.
+	ErrInvalidKernelArgs = cl.ErrInvalidKernelArgs
+	// ErrInvalidBufferSize reports CreateBuffer with size <= 0.
+	ErrInvalidBufferSize = cl.ErrInvalidBufferSize
+	// ErrBuildFailure wraps compiler diagnostics from Program.Build.
+	ErrBuildFailure = cl.ErrBuildFailure
+	// ErrKernelNotFound reports CreateKernel with an unknown name.
+	ErrKernelNotFound = cl.ErrKernelNotFound
+	// ErrMapFailure reports a Map/Bytes range outside the buffer.
+	ErrMapFailure = cl.ErrMapFailure
+)
+
+// Typed errors of the serving layer (malid). ErrInvalidJob rejects a
+// malformed JobSpec; ErrTenantQuota and ErrUnknownJob surface the
+// admission quota (HTTP 429) and the bounded job history (HTTP 404).
+// The Client maps wire error codes back onto these, so errors.Is
+// works identically in-process and over HTTP.
+var (
+	ErrInvalidJob  = job.ErrInvalidJob
+	ErrTenantQuota = service.ErrTenantQuota
+	ErrUnknownJob  = service.ErrUnknownJob
+)
+
 // VM execution engines (see Engine).
 const (
 	EngineAuto     = vm.EngineAuto
@@ -150,27 +181,59 @@ func ParseEngine(s string) (Engine, error) { return vm.ParseEngine(s) }
 // environment variable, or EngineAuto when unset or unparsable.
 func EngineFromEnv() Engine { return vm.EngineFromEnv() }
 
-// NewContext creates a standalone context from functional options
-// (cl.WithDevices / cl.WithArenaBytes / cl.WithWorkers re-exported as
-// ContextDevices / ContextArenaBytes / ContextWorkers) for callers
-// that don't want a full Platform.
-func NewContext(opts ...ContextOption) *Context { return cl.NewContextWith(opts...) }
+// ContextOption is the old name of the option type NewContext takes.
+//
+// Deprecated: use Option — NewPlatform and NewContext now share one
+// option vocabulary (WithDevices, WithArenaBytes, WithWorkers,
+// WithEngine, WithAsyncQueues).
+type ContextOption = Option
+
+// NewContext creates a standalone context from the same functional
+// options NewPlatform takes (WithDevices, WithArenaBytes,
+// WithWorkers, WithEngine, WithAsyncQueues; meter options are
+// ignored) for callers that don't want a full Platform.
+func NewContext(opts ...Option) *Context {
+	var c config
+	for _, opt := range opts {
+		opt(&c)
+	}
+	clOpts := []cl.ContextOption{
+		cl.WithArenaBytes(c.opts.ArenaBytes),
+		cl.WithWorkers(c.opts.Workers),
+		cl.WithEngine(c.opts.Engine),
+		cl.WithAsyncQueues(c.opts.AsyncQueues),
+	}
+	if len(c.devices) > 0 {
+		clOpts = append(clOpts, cl.WithDevices(c.devices...))
+	}
+	return cl.NewContextWith(clOpts...)
+}
 
 // ContextDevices sets a standalone context's devices.
-func ContextDevices(devices ...Device) ContextOption { return cl.WithDevices(devices...) }
+//
+// Deprecated: use WithDevices.
+func ContextDevices(devices ...Device) Option { return WithDevices(devices...) }
 
 // ContextArenaBytes sets a standalone context's memory capacity.
-func ContextArenaBytes(n int64) ContextOption { return cl.WithArenaBytes(n) }
+//
+// Deprecated: use WithArenaBytes.
+func ContextArenaBytes(n int64) Option { return WithArenaBytes(n) }
 
 // ContextWorkers sets a standalone context's engine worker count.
-func ContextWorkers(n int) ContextOption { return cl.WithWorkers(n) }
+//
+// Deprecated: use WithWorkers.
+func ContextWorkers(n int) Option { return WithWorkers(n) }
 
 // ContextEngine selects a standalone context's VM execution engine.
-func ContextEngine(e Engine) ContextOption { return cl.WithEngine(e) }
+//
+// Deprecated: use WithEngine.
+func ContextEngine(e Engine) Option { return WithEngine(e) }
 
 // ContextAsyncQueues routes a standalone context's queues through the
-// DAG command scheduler (see WithOutOfOrderQueues).
-func ContextAsyncQueues(on bool) ContextOption { return cl.WithAsyncQueues(on) }
+// DAG command scheduler.
+//
+// Deprecated: use WithAsyncQueues.
+func ContextAsyncQueues(on bool) Option { return WithAsyncQueues(on) }
 
 // EnqueueAsync launches a kernel after every wait-list event completes
 // and returns a pending event immediately — the façade spelling of

@@ -5,7 +5,10 @@
 //
 // Benchmarks that appear multiple times (go test -count N) are
 // aggregated to the fastest run, the conventional noise-resistant
-// summary for committed baselines.
+// summary for committed baselines. Beyond the three standard columns
+// (ns/op, B/op, allocs/op) any `value unit` metric pair a benchmark
+// reports — b.ReportMetric or a tool like malid-load emitting the
+// same format — is kept in a "metrics" map keyed by unit.
 package main
 
 import (
@@ -20,11 +23,12 @@ import (
 
 // Result is one benchmark line.
 type Result struct {
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
-	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp int64              `json:"bytes_per_op,omitempty"`
+	AllocsOp   int64              `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Document is the whole baseline file.
@@ -36,7 +40,56 @@ type Document struct {
 	Benchmarks []Result `json:"benchmarks"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+var (
+	benchName = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+	// metricPair matches one `value unit` column: a number followed by
+	// a unit token (ns/op, B/op, req/s, p99-ns, hit-rate, MB/s, ...).
+	metricPair = regexp.MustCompile(`([\d.eE+-]+)\s+([A-Za-z][\w./%-]*)`)
+)
+
+// parse decodes one benchmark line, or ok=false when it isn't one.
+func parse(line string) (Result, bool) {
+	m := benchName.FindStringSubmatch(line)
+	if m == nil {
+		return Result{}, false
+	}
+	r := Result{Name: m[1]}
+	r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+	for _, pair := range metricPair.FindAllStringSubmatch(m[3], -1) {
+		v, err := strconv.ParseFloat(pair[1], 64)
+		if err != nil {
+			continue
+		}
+		switch pair[2] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsOp = int64(v)
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[pair[2]] = v
+		}
+	}
+	return r, true
+}
+
+// better reports whether a beats b as the committed summary: fastest
+// by ns/op when both report it, otherwise highest first metric.
+func better(a, b Result) bool {
+	if a.NsPerOp != 0 || b.NsPerOp != 0 {
+		return a.NsPerOp < b.NsPerOp
+	}
+	for k, v := range a.Metrics {
+		if bv, ok := b.Metrics[k]; ok {
+			return v > bv
+		}
+	}
+	return false
+}
 
 func main() {
 	var doc Document
@@ -55,21 +108,12 @@ func main() {
 		case strings.HasPrefix(line, "pkg: "):
 			doc.Package = strings.TrimPrefix(line, "pkg: ")
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+		r, ok := parse(line)
+		if !ok {
 			continue
 		}
-		iters, _ := strconv.ParseInt(m[2], 10, 64)
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-		}
-		if m[5] != "" {
-			r.AllocsOp, _ = strconv.ParseInt(m[5], 10, 64)
-		}
-		if i, ok := index[r.Name]; ok {
-			if r.NsPerOp < doc.Benchmarks[i].NsPerOp {
+		if i, dup := index[r.Name]; dup {
+			if better(r, doc.Benchmarks[i]) {
 				doc.Benchmarks[i] = r
 			}
 			continue

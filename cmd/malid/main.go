@@ -1,0 +1,90 @@
+// Command malid serves the maligo simulator as a multi-tenant job
+// daemon: POST OpenCL C source, kernel arguments and an NDRange to
+// /v1/jobs and get back the deterministic simulated report (timing,
+// power, energy, optional buffer dumps). Programs are compiled once
+// per content address and shared across tenants through an LRU binary
+// cache, optionally persisted to disk.
+//
+//	malid -addr :8372 -cache-dir /var/cache/malid
+//
+//	curl -s localhost:8372/v1/jobs -d @job.json | jq .power.energy_j
+//
+// Endpoints: POST /v1/programs (register source, get its content
+// address), POST /v1/jobs (run; ?async=1 to poll), GET /v1/jobs/{id},
+// GET /metrics, GET /trace/{id} (Chrome trace of a finished job).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"maligo"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8372", "listen address")
+		workers  = flag.Int("workers", 0, "engine worker pool size (0 = NumCPU)")
+		arenaMB  = flag.Int64("arena-mb", 0, "per-context arena capacity in MiB (0 = default 512)")
+		cacheDir = flag.String("cache-dir", "", "persist compiled programs under this directory")
+		cacheN   = flag.Int("cache-entries", 128, "compiled-program LRU capacity")
+		queued   = flag.Int("max-queued", 64, "per-tenant admission queue depth")
+		conc     = flag.Int("max-concurrent", 4, "jobs running at once across all tenants")
+		batch    = flag.Int64("batch-items", 4096, "batch jobs at or below this many work-items (-1 disables)")
+		engine   = flag.String("engine", "", "VM engine: auto, interp, compiled")
+	)
+	flag.Parse()
+
+	eng, err := maligo.ParseEngine(*engine)
+	if err != nil {
+		log.Fatalf("malid: %v", err)
+	}
+	cfg := maligo.ServerConfig{
+		MaxQueued:     *queued,
+		MaxConcurrent: *conc,
+		CacheEntries:  *cacheN,
+		CacheDir:      *cacheDir,
+		BatchItems:    *batch,
+	}
+	cfg.Runtime.Workers = *workers
+	cfg.Runtime.ArenaBytes = *arenaMB << 20
+	cfg.Runtime.Engine = eng
+
+	srv, err := maligo.NewServer(cfg)
+	if err != nil {
+		log.Fatalf("malid: %v", err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("malid: serving on %s (workers=%d cache=%d dir=%q)",
+		*addr, *workers, *cacheN, *cacheDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("malid: %v", err)
+		}
+	case s := <-sig:
+		fmt.Fprintln(os.Stderr)
+		log.Printf("malid: %v, draining", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("malid: shutdown: %v", err)
+	}
+	srv.Close()
+}

@@ -28,10 +28,14 @@
 //	q.Finish()
 //	meas, act := p.Measure(q) // board power, energy, device activity
 //
-// NewPlatform takes functional options: WithArenaBytes sizes the
-// unified memory, WithMeterHz and WithMeterSeed configure the
-// simulated power meter, and WithWorkers sets the parallel NDRange
-// engine's host worker count.
+// NewPlatform and NewContext share one functional-option vocabulary:
+// WithArenaBytes sizes the unified memory, WithWorkers sets the
+// parallel NDRange engine's host worker count, WithEngine selects the
+// VM engine, WithAsyncQueues enables the DAG scheduler, WithDevices
+// picks a standalone context's devices, and WithMeterHz/WithMeterSeed
+// configure the simulated power meter. The older per-constructor
+// spellings (ContextDevices, WithOutOfOrderQueues, ...) remain as
+// deprecated aliases.
 //
 // # The parallel execution engine
 //
@@ -48,8 +52,8 @@
 //
 // # Asynchronous queues
 //
-// WithOutOfOrderQueues(true) (ContextAsyncQueues for standalone
-// contexts) routes every enqueue through a per-context DAG scheduler
+// WithAsyncQueues(true) (on a platform or a standalone context)
+// routes every enqueue through a per-context DAG scheduler
 // that implements the OpenCL 1.1 event model: the Enqueue*Async
 // variants take event wait-lists and return pending Events
 // immediately, queues come in in-order and out-of-order flavours
@@ -58,7 +62,7 @@
 // EnqueueBarrierWithWaitList) order commands within and across
 // queues. Two benchmarks overlapped on separate queues:
 //
-//	p := maligo.NewPlatform(maligo.WithOutOfOrderQueues(true))
+//	p := maligo.NewPlatform(maligo.WithAsyncQueues(true))
 //	defer p.Close()
 //	q1 := p.Context.CreateCommandQueueWith(p.Mali(), maligo.QueueOutOfOrderExec)
 //	q2 := p.Context.CreateCommandQueueWith(p.Mali(), maligo.QueueOutOfOrderExec)
@@ -144,6 +148,44 @@
 // most bytes; FormatHotLines renders them against the kernel source.
 // On the command line, `malisim -trace out.json -metrics -hotlines 5`
 // exposes all three, and `tracecheck` validates the exported JSON.
+//
+// # Serving
+//
+// The simulator also runs as a daemon: cmd/malid serves a versioned
+// JSON API where a JobSpec — OpenCL C source (or a cached program's
+// content address), kernel arguments and an NDRange — is POSTed to
+// /v1/jobs and answered with the deterministic simulated JobResult
+// (timing, event timestamps, power, energy, optional buffer dumps).
+// Tenants get independent in-order admission queues with a quota over
+// one shared device pool; programs compile once per content address
+// into an LRU cache (optionally persisted to disk) and are shared
+// across tenants; small NDRanges batch onto one pooled context. The
+// same document runs in-process:
+//
+//	spec := &maligo.JobSpec{
+//		Source: src, Kernel: "saxpy", Device: maligo.JobDeviceGPU,
+//		Global: []int{n},
+//		Args: []maligo.JobArg{
+//			{Kind: maligo.JobArgBuffer, Data: xBytes},
+//			{Kind: maligo.JobArgBuffer, Size: int64(n * 4), Read: true},
+//			{Kind: maligo.JobArgFloat, Float: 2.0},
+//			{Kind: maligo.JobArgInt, Int: n},
+//		},
+//	}
+//	res, err := maligo.RunJob(spec)                  // in-process
+//	c := maligo.NewClient("http://localhost:8372", nil)
+//	res2, err := c.RunJob(ctx, spec)                 // over the wire
+//
+// The serving contract is bit-identity: the daemon's response body is
+// byte-for-byte the JSON of the in-process result, regardless of
+// which tenant submitted, what ran before, or how jobs were batched —
+// the server adds routing, caching and admission control, never
+// timing. Client maps wire error codes back onto the same typed
+// errors (ErrInvalidJob, ErrTenantQuota, ErrUnknownJob,
+// ErrBuildFailure), so errors.Is works identically on both paths.
+// NewServer embeds the service core in another process; cmd/malid-load
+// drives a daemon with the nine-benchmark mix and verifies the
+// contract under load.
 //
 // See README.md for usage, DESIGN.md for the architecture and
 // EXPERIMENTS.md for paper-versus-measured results.

@@ -181,10 +181,19 @@ func (q *CommandQueue) enqueueAsync(ev *Event, waitList []*Event, body func(cont
 	run := func() (sched.Outcome, error) {
 		var dispatch float64
 		if body != nil {
-			var err error
-			if dispatch, err = body(cfg.ctx); err != nil {
+			// The body context is cancelled by Context.Close with cause
+			// ErrContextClosed; the device layer returns bare
+			// context.Canceled when aborted, so surface the cause.
+			bctx, stop := q.ctx.bodyCtx(cfg.ctx)
+			d, err := body(bctx)
+			stop()
+			if err != nil {
+				if cause := context.Cause(bctx); errors.Is(err, context.Canceled) && cause != nil && !errors.Is(err, cause) {
+					err = fmt.Errorf("async command %q aborted: %w", ev.Name, cause)
+				}
 				return sched.Outcome{}, err
 			}
+			dispatch = d
 		}
 		return sched.Outcome{Seconds: ev.Seconds, Dispatch: dispatch}, nil
 	}

@@ -88,8 +88,10 @@ type Context struct {
 
 	poolMu   sync.Mutex
 	pool     *device.Pool
+	external bool             // pool is shared (WithPool); Close must not stop its workers
 	sched    *sched.Scheduler // lazy; serves every async queue of the context
 	closed   bool
+	closeCh  chan struct{}  // closed by Close; cancels in-flight async bodies
 	inflight sync.WaitGroup // enqueues currently holding the pool
 
 	asyncQueues bool // CreateCommandQueue returns scheduler-backed queues
@@ -116,6 +118,7 @@ type contextConfig struct {
 	workers     int
 	engine      vm.Engine
 	asyncQueues bool
+	pool        *device.Pool
 }
 
 // WithDevices sets the context's devices.
@@ -145,6 +148,16 @@ func WithWorkers(n int) ContextOption {
 // results, reports and traces — only host wall-clock differs.
 func WithEngine(e vm.Engine) ContextOption {
 	return func(cfg *contextConfig) { cfg.engine = e }
+}
+
+// WithPool shares an externally owned worker pool with the context
+// instead of letting it lazily create a private one. Multiple contexts
+// may share one pool — the malid service multiplexes every tenant's
+// work-group fan-out over a single host pool this way. The context
+// never closes a shared pool; the owner must outlive every context
+// using it. The context's worker count becomes the pool's.
+func WithPool(p *device.Pool) ContextOption {
+	return func(cfg *contextConfig) { cfg.pool = p }
 }
 
 // WithAsyncQueues makes CreateCommandQueue return scheduler-backed
@@ -179,6 +192,12 @@ func NewContextWith(opts ...ContextOption) *Context {
 		engine:      cfg.engine,
 		metrics:     obs.NewRegistry(),
 		asyncQueues: cfg.asyncQueues,
+		closeCh:     make(chan struct{}),
+	}
+	if cfg.pool != nil {
+		c.pool = cfg.pool
+		c.external = true
+		c.workers = cfg.pool.Workers()
 	}
 	c.registerGauges()
 	return c
@@ -333,6 +352,26 @@ func (c *Context) execBody(f func()) {
 	}
 }
 
+// bodyCtx derives the context an async command body runs under: the
+// caller's parent cancellation is honoured, and Context.Close cancels
+// it with cause ErrContextClosed — the device layer checks the body
+// context between work-groups, so an in-flight NDRange fails with a
+// typed error instead of stalling Close and FinishCtx. The returned
+// stop function must be called when the body finishes.
+func (c *Context) bodyCtx(parent context.Context) (context.Context, func()) {
+	ctx, cancel := context.WithCancelCause(parent)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-c.closeCh:
+			cancel(ErrContextClosed)
+		case <-done:
+			cancel(context.Canceled)
+		}
+	}()
+	return ctx, func() { close(done) }
+}
+
 // Close shuts down the context's async scheduler (the running command
 // completes, every other pending command fails with a typed error) and
 // releases the worker pool. It first marks the context closed (so no
@@ -344,8 +383,16 @@ func (c *Context) Close() {
 	c.poolMu.Lock()
 	s := c.sched
 	c.sched = nil
+	first := !c.closed
 	c.closed = true // no new scheduler, no new pool acquisitions
 	c.poolMu.Unlock()
+	if first {
+		// Cancel every in-flight async command body: the device layer
+		// checks the body context between work-groups, so a long
+		// NDRange aborts within one group instead of stalling the
+		// scheduler drain below. The job fails with ErrContextClosed.
+		close(c.closeCh)
+	}
 	if s != nil {
 		// Before the pool teardown below: the scheduler's running
 		// command may still be sharding work-groups across the pool
@@ -359,7 +406,9 @@ func (c *Context) Close() {
 	c.poolMu.Unlock()
 	if pool != nil {
 		c.inflight.Wait()
-		pool.Close()
+		if !c.external {
+			pool.Close()
+		}
 	}
 }
 
@@ -463,6 +512,21 @@ type Program struct {
 // CreateProgramWithSource mirrors clCreateProgramWithSource.
 func (c *Context) CreateProgramWithSource(source string) *Program {
 	return &Program{ctx: c, source: source}
+}
+
+// CreateProgramFromArtifacts wraps an already-compiled artifact bundle
+// in a ready-to-use program — the clCreateProgramWithBinary analogue
+// the service layer's compiled-program cache uses to share one compile
+// across tenants. No Build call is needed (or allowed to change it).
+func (c *Context) CreateProgramFromArtifacts(art *clc.Artifacts) *Program {
+	return &Program{ctx: c, source: art.Source, art: art, prog: art.Prog}
+}
+
+// CreateProgramFromIR wraps a bare lowered program (e.g. one decoded
+// from a persisted binary cache, which carries no analyzer artifacts).
+// Diagnostics returns nil for such programs; kernels execute normally.
+func (c *Context) CreateProgramFromIR(prog *ir.Program, source string) *Program {
+	return &Program{ctx: c, source: source, prog: prog}
 }
 
 // Build compiles the program with clBuildProgram-style options

@@ -1,0 +1,208 @@
+// Package job defines the serializable job document of the malid
+// service: a Spec describes one compile+enqueue request (OpenCL C
+// source, kernel arguments, NDRange geometry) and a Result carries the
+// deterministic simulated report back. The same document runs
+// in-process (maligo.RunJob) or over the wire (maligo.Client ->
+// cmd/malid) and produces byte-identical JSON either way — every field
+// is simulated state; host wall-clock never appears.
+package job
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidJob is wrapped around every Spec validation failure, so
+// callers can errors.Is a bad request apart from an execution error.
+var ErrInvalidJob = errors.New("job: invalid spec")
+
+// Devices a Spec may target.
+const (
+	DeviceCPU     = "cpu"  // single Cortex-A15 core (the paper's Serial target)
+	DeviceCPUDual = "cpu2" // both A15 cores (the OpenMP target)
+	DeviceGPU     = "gpu"  // Mali-T604
+)
+
+// Argument kinds.
+const (
+	ArgBuffer = "buffer" // global-memory buffer (Size/Data/Read)
+	ArgInt    = "int"    // integer scalar (Int)
+	ArgFloat  = "float"  // floating scalar (Float)
+	ArgLocal  = "local"  // __local scratch of Size bytes
+)
+
+// Spec is one job request. Source+Options identify the program
+// (content-addressed by ProgramID); Kernel/Device/Global/Local/Args
+// describe the single NDRange to run on it.
+type Spec struct {
+	// Tenant names the submitting tenant (defaults to "default" on the
+	// server; ignored in-process).
+	Tenant string `json:"tenant,omitempty"`
+	// Source is the OpenCL C program. It may be empty when ProgramID
+	// names a program already in the server's compiled-program cache.
+	Source string `json:"source,omitempty"`
+	// ProgramID is the content address sha256:<hex> of Source+Options.
+	// Optional on submission (the server derives it); when set without
+	// Source, the server must find it in the cache.
+	ProgramID string `json:"program_id,omitempty"`
+	// Options are clBuildProgram-style options ("-DREAL=float").
+	Options string `json:"options,omitempty"`
+	// Kernel is the __kernel to launch.
+	Kernel string `json:"kernel"`
+	// Device is one of DeviceCPU, DeviceCPUDual, DeviceGPU.
+	Device string `json:"device"`
+	// Global is the NDRange global size (1-3 dimensions); Local the
+	// optional work-group size.
+	Global []int `json:"global"`
+	Local  []int `json:"local,omitempty"`
+	// Args bind the kernel parameters positionally.
+	Args []Arg `json:"args"`
+	// MeterSeed seeds the power meter's deterministic noise stream
+	// (default 20140519, the harness seed); MeterHz its sampling rate
+	// (default 10 Hz, the paper's Yokogawa WT230).
+	MeterSeed uint64  `json:"meter_seed,omitempty"`
+	MeterHz   float64 `json:"meter_hz,omitempty"`
+}
+
+// Arg is one positional kernel argument.
+type Arg struct {
+	Kind string `json:"kind"`
+	// Size is the byte size of a buffer or __local argument. For
+	// buffers it may be omitted when Data is given (len(Data) is used).
+	Size int64 `json:"size,omitempty"`
+	// Data is the buffer's initial contents (base64 in JSON), zero
+	// padded to Size. Buffers only.
+	Data []byte `json:"data,omitempty"`
+	// Read requests the buffer's final contents in Result.Buffers.
+	Read bool `json:"read,omitempty"`
+	// Int / Float carry scalar values.
+	Int   int64   `json:"int,omitempty"`
+	Float float64 `json:"float,omitempty"`
+}
+
+// Result is the deterministic simulated report of one job. Every
+// field is a pure function of the Spec and the simulation model.
+type Result struct {
+	ProgramID string `json:"program_id"`
+	Kernel    string `json:"kernel"`
+	Device    string `json:"device"`
+	// Seconds is the simulated duration of the measured region (the
+	// sum of command durations on the in-order queue).
+	Seconds float64 `json:"seconds"`
+	// Events is the command timeline with OpenCL profiling stamps.
+	Events []EventStamp `json:"events"`
+	// Power is the simulated board-level measurement.
+	Power Power `json:"power"`
+	// Buffers carries the final contents of every Read argument.
+	Buffers []BufferOut `json:"buffers,omitempty"`
+}
+
+// EventStamp is one command's profiling record.
+type EventStamp struct {
+	Kind      string  `json:"kind"`
+	Name      string  `json:"name"`
+	Queued    float64 `json:"queued"`
+	Submitted float64 `json:"submitted"`
+	Started   float64 `json:"started"`
+	Ended     float64 `json:"ended"`
+	Seconds   float64 `json:"seconds"`
+}
+
+// Power mirrors power.Measurement.
+type Power struct {
+	MeanPowerW float64 `json:"mean_power_w"`
+	StdPowerW  float64 `json:"std_power_w"`
+	EnergyJ    float64 `json:"energy_j"`
+	StdEnergyJ float64 `json:"std_energy_j"`
+	Samples    int     `json:"samples"`
+}
+
+// BufferOut is the final contents of one Read buffer argument.
+type BufferOut struct {
+	Arg  int    `json:"arg"`
+	Data []byte `json:"data"`
+}
+
+// ProgramID computes the content address of a program: sha256 over
+// the source and build options. Identical inputs always map to the
+// same compiled program, which is what makes the binary cache safe.
+func ProgramID(source, options string) string {
+	h := sha256.New()
+	h.Write([]byte(source))
+	h.Write([]byte{0})
+	h.Write([]byte(options))
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// WorkItems returns the total global work-item count of the spec.
+func (s *Spec) WorkItems() int64 {
+	n := int64(1)
+	for _, g := range s.Global {
+		n *= int64(g)
+	}
+	return n
+}
+
+func invalid(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidJob, fmt.Sprintf(format, args...))
+}
+
+// Validate checks everything checkable without compiling the program.
+func (s *Spec) Validate() error {
+	if s.Source == "" && s.ProgramID == "" {
+		return invalid("one of source or program_id is required")
+	}
+	if s.Kernel == "" {
+		return invalid("kernel is required")
+	}
+	switch s.Device {
+	case DeviceCPU, DeviceCPUDual, DeviceGPU:
+	case "":
+		return invalid("device is required (cpu, cpu2 or gpu)")
+	default:
+		return invalid("unknown device %q (want cpu, cpu2 or gpu)", s.Device)
+	}
+	if len(s.Global) < 1 || len(s.Global) > 3 {
+		return invalid("global must have 1-3 dimensions, got %d", len(s.Global))
+	}
+	for d, g := range s.Global {
+		if g <= 0 {
+			return invalid("global[%d] = %d, want > 0", d, g)
+		}
+	}
+	if len(s.Local) > len(s.Global) {
+		return invalid("local has %d dimensions but global has %d", len(s.Local), len(s.Global))
+	}
+	for d, l := range s.Local {
+		if l <= 0 {
+			return invalid("local[%d] = %d, want > 0", d, l)
+		}
+	}
+	for i, a := range s.Args {
+		switch a.Kind {
+		case ArgBuffer:
+			size := a.Size
+			if size == 0 {
+				size = int64(len(a.Data))
+			}
+			if size <= 0 {
+				return invalid("arg %d: buffer needs a positive size or data", i)
+			}
+			if int64(len(a.Data)) > size {
+				return invalid("arg %d: data (%d bytes) exceeds size %d", i, len(a.Data), size)
+			}
+		case ArgLocal:
+			if a.Size <= 0 {
+				return invalid("arg %d: local needs a positive size", i)
+			}
+		case ArgInt, ArgFloat:
+		case "":
+			return invalid("arg %d: kind is required", i)
+		default:
+			return invalid("arg %d: unknown kind %q", i, a.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package job
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	good := func() *Spec {
+		return &Spec{
+			Source: "k", Kernel: "k", Device: DeviceGPU, Global: []int{4},
+			Args: []Arg{{Kind: ArgInt, Int: 1}},
+		}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"no source or program id", func(s *Spec) { s.Source = "" }},
+		{"no kernel", func(s *Spec) { s.Kernel = "" }},
+		{"no device", func(s *Spec) { s.Device = "" }},
+		{"bad device", func(s *Spec) { s.Device = "tpu" }},
+		{"no global", func(s *Spec) { s.Global = nil }},
+		{"4-d global", func(s *Spec) { s.Global = []int{1, 1, 1, 1} }},
+		{"zero global", func(s *Spec) { s.Global = []int{0} }},
+		{"local wider than global", func(s *Spec) { s.Local = []int{2, 2} }},
+		{"zero local", func(s *Spec) { s.Local = []int{0} }},
+		{"sizeless buffer", func(s *Spec) { s.Args = []Arg{{Kind: ArgBuffer}} }},
+		{"data exceeds size", func(s *Spec) { s.Args = []Arg{{Kind: ArgBuffer, Size: 1, Data: []byte{1, 2}}} }},
+		{"sizeless local", func(s *Spec) { s.Args = []Arg{{Kind: ArgLocal}} }},
+		{"kindless arg", func(s *Spec) { s.Args = []Arg{{}} }},
+		{"unknown kind", func(s *Spec) { s.Args = []Arg{{Kind: "image"}} }},
+	}
+	for _, tc := range cases {
+		s := good()
+		tc.mutate(s)
+		if err := s.Validate(); !errors.Is(err, ErrInvalidJob) {
+			t.Errorf("%s: err = %v, want ErrInvalidJob", tc.name, err)
+		}
+	}
+}
+
+func TestProgramIDStable(t *testing.T) {
+	a := ProgramID("src", "opts")
+	if a != ProgramID("src", "opts") {
+		t.Fatal("ProgramID not stable")
+	}
+	if !strings.HasPrefix(a, "sha256:") {
+		t.Fatalf("ProgramID = %q, want sha256: prefix", a)
+	}
+	// The separator keeps (source, options) unambiguous.
+	if ProgramID("ab", "c") == ProgramID("a", "bc") {
+		t.Fatal("ProgramID collides across the source/options boundary")
+	}
+}
+
+// TestMixDeterministicAcrossReuse is the core determinism contract of
+// the service: every mix job yields a byte-identical JSON result on a
+// freshly built runtime and on a reused pooled context (second run),
+// at any worker count.
+func TestMixDeterministicAcrossReuse(t *testing.T) {
+	specs := MixSpecs()
+	if len(specs) != 9 {
+		t.Fatalf("MixSpecs: got %d specs, want 9", len(specs))
+	}
+	parallel := NewRuntime(Config{Workers: 4})
+	defer parallel.Close()
+	serial := NewRuntime(Config{Workers: 1})
+	defer serial.Close()
+
+	for _, spec := range specs {
+		first, err := parallel.Run(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Kernel, err)
+		}
+		again, err := parallel.Run(spec) // reused pooled context
+		if err != nil {
+			t.Fatalf("%s (reuse): %v", spec.Kernel, err)
+		}
+		other, err := serial.Run(spec) // different worker count
+		if err != nil {
+			t.Fatalf("%s (serial): %v", spec.Kernel, err)
+		}
+		j1, _ := json.Marshal(first)
+		j2, _ := json.Marshal(again)
+		j3, _ := json.Marshal(other)
+		if !bytes.Equal(j1, j2) {
+			t.Errorf("%s: context reuse changed the result\nfirst: %s\nagain: %s", spec.Kernel, j1, j2)
+		}
+		if !bytes.Equal(j1, j3) {
+			t.Errorf("%s: worker count changed the result", spec.Kernel)
+		}
+		if first.Seconds <= 0 || first.Power.EnergyJ <= 0 {
+			t.Errorf("%s: implausible report: seconds=%v energy=%v", spec.Kernel, first.Seconds, first.Power.EnergyJ)
+		}
+	}
+}
+
+// TestVecopResultCorrect spot-checks the actual computation through
+// the job layer: c = a + b.
+func TestVecopResultCorrect(t *testing.T) {
+	r := NewRuntime(Config{Workers: 2})
+	defer r.Close()
+	var spec *Spec
+	for _, s := range MixSpecs() {
+		if s.Kernel == "vecop_cl" {
+			spec = s
+		}
+	}
+	res, err := r.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Buffers) != 1 || res.Buffers[0].Arg != 2 {
+		t.Fatalf("Buffers = %+v, want one dump of arg 2", res.Buffers)
+	}
+	a, b, c := spec.Args[0].Data, spec.Args[1].Data, res.Buffers[0].Data
+	for i := 0; i < len(c)/4; i++ {
+		av := math.Float32frombits(binary.LittleEndian.Uint32(a[i*4:]))
+		bv := math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+		cv := math.Float32frombits(binary.LittleEndian.Uint32(c[i*4:]))
+		if cv != av+bv {
+			t.Fatalf("c[%d] = %v, want %v", i, cv, av+bv)
+		}
+	}
+}
+
+// TestRunCompiledSharedProgram runs one compiled program through two
+// runtimes concurrently — the cache-sharing pattern of the service.
+func TestRunCompiledSharedProgram(t *testing.T) {
+	spec := MixSpecs()[1] // vecop
+	art, err := Compile(spec.Source, spec.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRuntime(Config{Workers: 2})
+	defer r.Close()
+
+	type out struct {
+		res *Result
+		err error
+	}
+	ch := make(chan out, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			res, err := r.RunCompiled(spec, art.Prog)
+			ch <- out{res, err}
+		}()
+	}
+	var ref []byte
+	for i := 0; i < 8; i++ {
+		o := <-ch
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		j, _ := json.Marshal(o.res)
+		if ref == nil {
+			ref = j
+		} else if !bytes.Equal(ref, j) {
+			t.Fatal("concurrent RunCompiled results differ")
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package job
+
+import (
+	"encoding/binary"
+	"math"
+
+	"maligo/internal/bench"
+)
+
+// MixSpecs returns one small job per paper benchmark (all nine `_cl`
+// kernels at load-test scale), with deterministic inputs. The load
+// driver cycles through them and the conformance suite replays each
+// one in-process and over the wire, comparing reports byte by byte.
+func MixSpecs() []*Spec {
+	f32 := bench.F32.BuildOptions()
+	mk := func(name, kernel, device string, global, local []int, args []Arg) *Spec {
+		return &Spec{
+			Source:  bench.ByName(name).Source(),
+			Options: f32,
+			Kernel:  kernel,
+			Device:  device,
+			Global:  global,
+			Local:   local,
+			Args:    args,
+		}
+	}
+
+	// vecop: c = a + b over n elements.
+	const vn = 1024
+	vecop := mk("vecop", "vecop_cl", DeviceGPU, []int{vn}, nil, []Arg{
+		{Kind: ArgBuffer, Data: seqFloats(vn, 0.5, 0.25)},
+		{Kind: ArgBuffer, Data: seqFloats(vn, 2.0, -0.125)},
+		{Kind: ArgBuffer, Size: vn * 4, Read: true},
+		{Kind: ArgInt, Int: vn},
+	})
+
+	// spmv: fixed 4 non-zeros per row on a banded pattern.
+	const rows, nnzPerRow = 128, 4
+	rowptr := make([]int32, rows+1)
+	colidx := make([]int32, rows*nnzPerRow)
+	for r := 0; r < rows; r++ {
+		rowptr[r+1] = int32((r + 1) * nnzPerRow)
+		for j := 0; j < nnzPerRow; j++ {
+			colidx[r*nnzPerRow+j] = int32((r + j*7) % rows)
+		}
+	}
+	spmv := mk("spmv", "spmv_cl", DeviceGPU, []int{rows}, nil, []Arg{
+		{Kind: ArgBuffer, Data: int32Bytes(rowptr)},
+		{Kind: ArgBuffer, Data: int32Bytes(colidx)},
+		{Kind: ArgBuffer, Data: seqFloats(rows*nnzPerRow, 1.0, 0.0625)},
+		{Kind: ArgBuffer, Data: seqFloats(rows, 1.0, -0.03125)},
+		{Kind: ArgBuffer, Size: rows * 4, Read: true},
+		{Kind: ArgInt, Int: rows},
+	})
+
+	// hist: n values scattered over 64 bins with atomic_add.
+	const hn, hbins = 1024, 64
+	data := make([]int32, hn)
+	s := uint32(2463534242)
+	for i := range data {
+		s ^= s << 13
+		s ^= s >> 17
+		s ^= s << 5
+		data[i] = int32(s % hbins)
+	}
+	hist := mk("hist", "hist_cl", DeviceGPU, []int{hn}, nil, []Arg{
+		{Kind: ArgBuffer, Data: int32Bytes(data)},
+		{Kind: ArgBuffer, Size: hbins * 4, Read: true},
+		{Kind: ArgInt, Int: hn},
+	})
+
+	// stencil: d^3 interior points of an (d+2)^3 grid.
+	const sd = 6
+	const side = sd + 2
+	stencil := mk("3dstc", "stencil_cl", DeviceGPU, []int{sd, sd, sd}, nil, []Arg{
+		{Kind: ArgBuffer, Data: seqFloats(side*side*side, 0.25, 0.015625)},
+		{Kind: ArgBuffer, Size: side * side * side * 4, Read: true},
+		{Kind: ArgInt, Int: sd},
+	})
+
+	// reduction: each item folds 16 inputs, groups of 16 reduce in
+	// local memory into one partial per group.
+	const rn = 1024
+	const ritems, rlocal = rn / 16, 16
+	red := mk("red", "red_cl", DeviceGPU, []int{ritems}, []int{rlocal}, []Arg{
+		{Kind: ArgBuffer, Data: seqFloats(rn, 0.001, 0.002)},
+		{Kind: ArgBuffer, Size: (ritems / rlocal) * 4, Read: true},
+		{Kind: ArgLocal, Size: rlocal * 4},
+		{Kind: ArgInt, Int: rn},
+	})
+
+	// amcd: nsims independent Metropolis chains over 32 atoms.
+	const nsims, natoms = 32, 32
+	amcd := mk("amcd", "amcd_cl", DeviceGPU, []int{nsims}, nil, []Arg{
+		{Kind: ArgBuffer, Data: seqFloats(3*natoms, -0.4, 0.026)},
+		{Kind: ArgBuffer, Size: nsims * 4, Read: true},
+		{Kind: ArgBuffer, Size: nsims * 4, Read: true},
+		{Kind: ArgInt, Int: 8},
+		{Kind: ArgInt, Int: nsims},
+	})
+
+	// nbody: one integration step of n bodies (AoS x,y,z,m records).
+	const nb = 64
+	nbody := mk("nbody", "nbody_cl", DeviceGPU, []int{nb}, nil, []Arg{
+		{Kind: ArgBuffer, Data: seqFloats(4*nb, 0.1, 0.017)},
+		{Kind: ArgBuffer, Data: seqFloats(3*nb, -0.05, 0.009)},
+		{Kind: ArgBuffer, Size: 4 * nb * 4, Read: true},
+		{Kind: ArgBuffer, Size: 3 * nb * 4, Read: true},
+		{Kind: ArgInt, Int: nb},
+	})
+
+	// conv2d: 5x5 filter over a dim^2 interior with a 2-wide halo.
+	const cd = 16
+	const cside = cd + 4
+	conv := mk("2dcon", "conv2d_cl", DeviceCPUDual, []int{cd, cd}, nil, []Arg{
+		{Kind: ArgBuffer, Data: seqFloats(cside*cside, 0.3, 0.011)},
+		{Kind: ArgBuffer, Data: seqFloats(25, 0.04, 0.001)},
+		{Kind: ArgBuffer, Size: cside * cside * 4, Read: true},
+		{Kind: ArgInt, Int: cd},
+	})
+
+	// dmmm: n x n dense matrix multiply.
+	const dn = 16
+	dmmm := mk("dmmm", "dmmm_cl", DeviceCPU, []int{dn, dn}, nil, []Arg{
+		{Kind: ArgBuffer, Data: seqFloats(dn*dn, 0.5, 0.007)},
+		{Kind: ArgBuffer, Data: seqFloats(dn*dn, -0.25, 0.013)},
+		{Kind: ArgBuffer, Size: dn * dn * 4, Read: true},
+		{Kind: ArgInt, Int: dn},
+	})
+
+	return []*Spec{spmv, vecop, hist, stencil, red, amcd, nbody, conv, dmmm}
+}
+
+// seqFloats encodes n float32 values start, start+step, ... as bytes.
+func seqFloats(n int, start, step float64) []byte {
+	out := make([]byte, n*4)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(float32(start+float64(i)*step)))
+	}
+	return out
+}
+
+// int32Bytes encodes int32 values little-endian.
+func int32Bytes(vals []int32) []byte {
+	out := make([]byte, len(vals)*4)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[i*4:], uint32(v))
+	}
+	return out
+}

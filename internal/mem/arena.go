@@ -72,6 +72,22 @@ func (a *Arena) Free(base int64) {
 	}
 }
 
+// Reset rewinds the arena to its freshly created state — bump offset,
+// page-coloring counter and touched contents — so a pooled context
+// hands every job the exact same deterministic address layout as a
+// brand-new one. It refuses (returning false) while any allocation is
+// still live.
+func (a *Arena) Reset() bool {
+	if len(a.allocs) != 0 {
+		return false
+	}
+	for i := range a.data {
+		a.data[i] = 0
+	}
+	a.next, a.count = 0, 0
+	return true
+}
+
 // Capacity returns the arena's total capacity in bytes.
 func (a *Arena) Capacity() int64 { return a.capacity }
 

@@ -1,0 +1,195 @@
+// Package progcache is the content-addressed compiled-program cache
+// of the malid service — the clGetProgramBinaries analogue. Programs
+// are keyed by the sha256 of (source, build options); a hit skips the
+// whole clc pipeline and shares one *ir.Program across every tenant
+// (safe: the IR is immutable after compilation and each kernel
+// memoizes its engine-compiled form behind an atomic). Entries are
+// LRU-bounded and optionally persisted to disk as gob "binaries", so
+// a restarted daemon warms up from its cache directory.
+package progcache
+
+import (
+	"container/list"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"maligo/internal/cl"
+	"maligo/internal/clc/ir"
+	"maligo/internal/job"
+)
+
+// Entry is one cached compiled program.
+type Entry struct {
+	ID      string // job.ProgramID content address
+	Source  string
+	Options string
+	Prog    *ir.Program
+}
+
+// Cache is the LRU. The zero value is unusable; call New.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	dir     string // "" disables persistence
+	order   *list.List
+	entries map[string]*list.Element
+
+	hits, misses uint64
+}
+
+// New creates a cache bounded to max entries (default 128). dir, when
+// non-empty, enables disk persistence: every compiled program is
+// written there and evicted/missing entries are reloaded on demand.
+func New(max int, dir string) (*Cache, error) {
+	if max <= 0 {
+		max = 128
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("progcache: %w", err)
+		}
+	}
+	return &Cache{
+		max:     max,
+		dir:     dir,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}, nil
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns cumulative hit/miss counts. A disk reload counts as a
+// hit (the compile was skipped — that is what the metric tracks).
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Get returns the entry for a content address, consulting memory and
+// then disk. It does not compile and does not touch the hit/miss
+// counters (it backs program_id-only job submissions).
+func (c *Cache) Get(id string) (*Entry, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[id]; ok {
+		c.order.MoveToFront(el)
+		e := el.Value.(*Entry)
+		c.mu.Unlock()
+		return e, true
+	}
+	c.mu.Unlock()
+	e, err := c.load(id)
+	if err != nil {
+		return nil, false
+	}
+	c.insert(e)
+	return e, true
+}
+
+// GetOrCompile returns the compiled program for (source, options),
+// compiling on a cold miss. hit reports whether the compile was
+// skipped (memory or disk).
+func (c *Cache) GetOrCompile(source, options string) (e *Entry, hit bool, err error) {
+	id := job.ProgramID(source, options)
+	if e, ok := c.Get(id); ok {
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return e, true, nil
+	}
+	art, err := job.Compile(source, options)
+	if err != nil {
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: %v", cl.ErrBuildFailure, err)
+	}
+	e = &Entry{ID: id, Source: source, Options: options, Prog: art.Prog}
+	c.insert(e)
+	c.store(e)
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return e, false, nil
+}
+
+// insert adds an entry at the LRU front, evicting beyond the bound.
+// Evicted entries stay on disk (when persistence is on) and reload
+// transparently on the next Get.
+func (c *Cache) insert(e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.ID]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[e.ID] = c.order.PushFront(e)
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*Entry).ID)
+	}
+}
+
+// path maps a content address to its binary file.
+func (c *Cache) path(id string) string {
+	hex := strings.TrimPrefix(id, "sha256:")
+	return filepath.Join(c.dir, hex+".clbin")
+}
+
+// store persists one entry (best effort — a read-only cache directory
+// degrades to memory-only, it does not fail jobs). The write goes
+// through a temp file + rename so a crashed daemon never leaves a
+// half-written binary that load would then reject.
+func (c *Cache) store(e *Entry) {
+	if c.dir == "" {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, ".clbin-*")
+	if err != nil {
+		return
+	}
+	enc := gob.NewEncoder(tmp)
+	if err := enc.Encode(e); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	_ = os.Rename(tmp.Name(), c.path(e.ID))
+}
+
+// load reads one persisted entry back and verifies its content
+// address, so a corrupted or mismatched binary is recompiled instead
+// of executed.
+func (c *Cache) load(id string) (*Entry, error) {
+	if c.dir == "" {
+		return nil, os.ErrNotExist
+	}
+	f, err := os.Open(c.path(id))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var e Entry
+	if err := gob.NewDecoder(f).Decode(&e); err != nil {
+		return nil, fmt.Errorf("progcache: corrupt binary for %s: %w", id, err)
+	}
+	if e.ID != id || job.ProgramID(e.Source, e.Options) != id || e.Prog == nil {
+		return nil, fmt.Errorf("progcache: binary for %s fails verification", id)
+	}
+	return &e, nil
+}

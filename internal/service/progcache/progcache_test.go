@@ -1,0 +1,124 @@
+package progcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"maligo/internal/job"
+)
+
+func TestCompileHitAndLRU(t *testing.T) {
+	c, err := New(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := job.MixSpecs()
+	e1, hit, err := c.GetOrCompile(specs[0].Source, specs[0].Options)
+	if err != nil || hit {
+		t.Fatalf("first compile: hit=%v err=%v", hit, err)
+	}
+	if _, hit, _ = c.GetOrCompile(specs[0].Source, specs[0].Options); !hit {
+		t.Fatal("repeat compile not a hit")
+	}
+	if e1.ID != job.ProgramID(specs[0].Source, specs[0].Options) {
+		t.Fatal("entry ID mismatch")
+	}
+	// Fill beyond the bound; entry 0 must be evicted (memory-only).
+	if _, _, err := c.GetOrCompile(specs[1].Source, specs[1].Options); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.GetOrCompile(specs[2].Source, specs[2].Options); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get(e1.ID); ok {
+		t.Fatal("evicted entry still resident with no disk backing")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 3 {
+		t.Fatalf("stats = %d/%d, want 1 hit / 3 misses", hits, misses)
+	}
+}
+
+// TestDiskPersistenceBitIdentical proves the gob "binary" round-trip
+// is execution-equivalent: a program reloaded from disk by a second
+// cache yields byte-identical job results.
+func TestDiskPersistenceBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	spec := job.MixSpecs()[1] // vecop
+
+	c1, err := New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, hit, err := c1.GetOrCompile(spec.Source, spec.Options)
+	if err != nil || hit {
+		t.Fatalf("compile: hit=%v err=%v", hit, err)
+	}
+
+	// A fresh cache over the same directory must load without compiling.
+	c2, err := New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, hit, err := c2.GetOrCompile(spec.Source, spec.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("disk reload did not count as a hit")
+	}
+
+	rt := job.NewRuntime(job.Config{Workers: 2})
+	defer rt.Close()
+	r1, err := rt.RunCompiled(spec, e1.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := rt.RunCompiled(spec, e2.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(r1)
+	j2, _ := json.Marshal(r2)
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("disk-reloaded program diverged:\n%s\n%s", j1, j2)
+	}
+}
+
+func TestCorruptBinaryRejected(t *testing.T) {
+	dir := t.TempDir()
+	spec := job.MixSpecs()[0]
+	c, err := New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.GetOrCompile(spec.Source, spec.Options); err != nil {
+		t.Fatal(err)
+	}
+	id := job.ProgramID(spec.Source, spec.Options)
+
+	// Truncate the binary, then force a disk reload via a fresh cache.
+	if err := writeFile(c.path(id), []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(id); ok {
+		t.Fatal("corrupt binary accepted")
+	}
+	// GetOrCompile must recover by recompiling.
+	if _, hit, err := c2.GetOrCompile(spec.Source, spec.Options); err != nil || hit {
+		t.Fatalf("recompile after corruption: hit=%v err=%v", hit, err)
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

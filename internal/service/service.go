@@ -1,0 +1,587 @@
+// Package service implements malid, the multi-tenant simulation
+// daemon: a stdlib-only net/http server exposing a versioned JSON API
+// over the job layer. Each tenant gets its own DAG scheduler as an
+// admission queue (jobs admit in submission order, with a quota), all
+// tenants share one device worker pool and one content-addressed
+// compiled-program cache, and small NDRanges are batched onto a
+// single pooled context. Served reports are byte-identical to
+// in-process job.Runtime runs — the server adds routing, caching and
+// admission control, never timing.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"maligo/internal/clc/ir"
+	"maligo/internal/job"
+	"maligo/internal/obs"
+	"maligo/internal/sched"
+	"maligo/internal/service/progcache"
+)
+
+// Typed errors of the service layer.
+var (
+	// ErrTenantQuota rejects a submission when the tenant already has
+	// MaxQueued jobs admitted and unfinished (HTTP 429).
+	ErrTenantQuota = errors.New("malid: tenant admission quota exceeded")
+	// ErrUnknownJob rejects a lookup of a job id that was never
+	// assigned or has aged out of the bounded history (HTTP 404).
+	ErrUnknownJob = errors.New("malid: unknown job id")
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Runtime configures the shared execution runtime.
+	Runtime job.Config
+	// MaxQueued is the per-tenant admission quota: jobs admitted and
+	// not yet finished (default 64).
+	MaxQueued int
+	// MaxConcurrent bounds jobs executing simultaneously across all
+	// tenants (default 4) — the simulated board fleet size.
+	MaxConcurrent int
+	// History bounds retained finished jobs (default 1024).
+	History int
+	// CacheEntries / CacheDir configure the compiled-program cache.
+	CacheEntries int
+	CacheDir     string
+	// BatchItems: jobs with at most this many global work items are
+	// eligible for small-NDRange batching (default 4096; 0 keeps the
+	// default, negative disables batching).
+	BatchItems int64
+	// BatchMax is the largest batch drained onto one context
+	// (default 8).
+	BatchMax int
+}
+
+// Server is the malid service. Create with New, mount via Handler.
+type Server struct {
+	cfg     Config
+	runtime *job.Runtime
+	cache   *progcache.Cache
+	metrics *obs.Registry
+	slots   chan struct{} // global execution slots
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	jobs    map[string]*jobRec
+	done    []string // finished job ids, oldest first (history bound)
+	seq     uint64
+	closed  bool
+}
+
+// tenant is one admission queue: a DAG scheduler whose in-order chain
+// preserves submission order, plus the quota gate and the open batch.
+type tenant struct {
+	name     string
+	sched    *sched.Scheduler
+	prev     *sched.Event // in-order admission chain
+	inFlight int          // admitted, not yet finished
+	batch    *batch       // open small-job batch, nil when none
+}
+
+// batch accumulates small jobs between submission and execution. Once
+// the batch command's body starts, the batch is sealed and later
+// small jobs open a new one.
+type batch struct {
+	mu     sync.Mutex
+	sealed bool
+	specs  []*job.Spec
+	progs  []*ir.Program
+	recs   []*jobRec
+}
+
+// jobRec is one job's registry entry.
+type jobRec struct {
+	ID     string      `json:"job_id"`
+	Tenant string      `json:"tenant"`
+	Status string      `json:"status"` // "queued" | "running" | "done" | "failed"
+	Error  string      `json:"error,omitempty"`
+	Result *job.Result `json:"result,omitempty"`
+
+	cacheHit bool
+	doneCh   chan struct{}
+}
+
+// New assembles a server.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxQueued <= 0 {
+		cfg.MaxQueued = 64
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.History <= 0 {
+		cfg.History = 1024
+	}
+	if cfg.BatchItems == 0 {
+		cfg.BatchItems = 4096
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 8
+	}
+	cache, err := progcache.New(cfg.CacheEntries, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		runtime: job.NewRuntime(cfg.Runtime),
+		cache:   cache,
+		metrics: obs.NewRegistry(),
+		slots:   make(chan struct{}, cfg.MaxConcurrent),
+		tenants: make(map[string]*tenant),
+		jobs:    make(map[string]*jobRec),
+	}
+	s.metrics.GaugeFunc("malid.cache.entries", func() float64 { return float64(s.cache.Len()) })
+	s.metrics.GaugeFunc("malid.cache.hit_rate", func() float64 {
+		h, m := s.cache.Stats()
+		if h+m == 0 {
+			return 0
+		}
+		return float64(h) / float64(h+m)
+	})
+	return s, nil
+}
+
+// Close drains every tenant scheduler and the runtime.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.Unlock()
+	for _, t := range tenants {
+		t.sched.Close()
+	}
+	s.runtime.Close()
+}
+
+// Metrics exposes the service registry (the /metrics endpoint and
+// tests read it).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// tenantLocked returns (creating if needed) a tenant. s.mu held.
+func (s *Server) tenantLocked(name string) *tenant {
+	t, ok := s.tenants[name]
+	if !ok {
+		t = &tenant{name: name, sched: sched.New()}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// Submit admits one job for a tenant and returns its registry entry
+// immediately; wait on rec.doneCh (or use SubmitWait) for the result.
+// The compile (or cache lookup) happens synchronously so malformed
+// programs fail fast with a build error; execution is scheduled.
+func (s *Server) Submit(spec *job.Spec) (*jobRec, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	tenantName := spec.Tenant
+	if tenantName == "" {
+		tenantName = "default"
+	}
+
+	// Resolve the program first: content address when the source is
+	// present, cache lookup when only program_id is given.
+	var prog *ir.Program
+	var hit bool
+	if spec.Source != "" {
+		e, h, err := s.cache.GetOrCompile(spec.Source, spec.Options)
+		if err != nil {
+			return nil, err
+		}
+		prog, hit = e.Prog, h
+		spec.ProgramID = e.ID
+	} else {
+		e, ok := s.cache.Get(spec.ProgramID)
+		if !ok {
+			return nil, fmt.Errorf("%w: program %s not cached and no source given",
+				job.ErrInvalidJob, spec.ProgramID)
+		}
+		prog, hit = e.Prog, true
+		// The runtime stamps results from the source; restore it so a
+		// program_id-only submission reports identically.
+		spec.Source, spec.Options = e.Source, e.Options
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, sched.ErrClosed
+	}
+	t := s.tenantLocked(tenantName)
+	if t.inFlight >= s.cfg.MaxQueued {
+		s.mu.Unlock()
+		s.metrics.Counter("malid.jobs.rejected_quota").Inc()
+		return nil, fmt.Errorf("tenant %q has %d jobs queued: %w", tenantName, t.inFlight, ErrTenantQuota)
+	}
+	t.inFlight++
+	s.seq++
+	rec := &jobRec{
+		ID:       fmt.Sprintf("j-%08x", s.seq),
+		Tenant:   tenantName,
+		Status:   "queued",
+		cacheHit: hit,
+		doneCh:   make(chan struct{}),
+	}
+	s.jobs[rec.ID] = rec
+
+	small := s.cfg.BatchItems > 0 && spec.WorkItems() <= s.cfg.BatchItems
+	if small && t.batch != nil && t.batch.join(spec, prog, rec) {
+		s.metrics.Counter("malid.jobs.batched").Inc()
+		s.mu.Unlock()
+		return rec, nil
+	}
+
+	if small {
+		b := &batch{
+			specs: []*job.Spec{spec},
+			progs: []*ir.Program{prog},
+			recs:  []*jobRec{rec},
+		}
+		t.batch = b
+		s.enqueueLocked(t, "batch", func() { s.runBatch(t, b) }, func(err error) {
+			b.mu.Lock()
+			b.sealed = true
+			recs := b.recs
+			b.mu.Unlock()
+			for _, r := range recs {
+				s.finish(r, nil, err)
+			}
+		})
+	} else {
+		s.enqueueLocked(t, spec.Kernel, func() { s.runSingle(rec, spec, prog) }, func(err error) {
+			s.finish(rec, nil, err)
+		})
+	}
+	s.mu.Unlock()
+	s.metrics.Counter("malid.jobs.submitted").Inc()
+	return rec, nil
+}
+
+// enqueueLocked chains one command onto the tenant's in-order
+// admission queue. s.mu held. abort resolves the job(s) when the
+// command never ran (scheduler torn down mid-shutdown) so waiters are
+// never stranded on doneCh.
+func (s *Server) enqueueLocked(t *tenant, label string, body func(), abort func(error)) {
+	ran := false
+	cmd := t.sched.NewCommand(label, func() (sched.Outcome, error) {
+		ran = true
+		s.slots <- struct{}{} // global concurrency gate
+		defer func() { <-s.slots }()
+		body()
+		return sched.Outcome{}, nil
+	})
+	cmd.OnComplete(func(e *sched.Event) {
+		if e.Failed() && !ran {
+			go abort(sched.ErrClosed)
+		}
+	})
+	if t.prev != nil {
+		cmd.QueuedAfter(t.prev)
+	}
+	if err := t.sched.Submit(cmd); err != nil {
+		// Closed scheduler (shutdown race): resolve the job out of
+		// band — never block while holding s.mu.
+		go body()
+		return
+	}
+	t.prev = cmd.Event()
+}
+
+// join appends a job to an unsealed batch. Returns false once the
+// batch's command has started (the submitter then opens a new one).
+func (b *batch) join(spec *job.Spec, prog *ir.Program, rec *jobRec) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.sealed {
+		return false
+	}
+	b.specs = append(b.specs, spec)
+	b.progs = append(b.progs, prog)
+	b.recs = append(b.recs, rec)
+	return true
+}
+
+// runBatch seals and executes one small-job batch on a single pooled
+// context, splitting oversized accumulations into BatchMax chunks.
+func (s *Server) runBatch(t *tenant, b *batch) {
+	b.mu.Lock()
+	b.sealed = true
+	specs, progs, recs := b.specs, b.progs, b.recs
+	b.mu.Unlock()
+	s.mu.Lock()
+	if t.batch == b {
+		t.batch = nil
+	}
+	for _, rec := range recs {
+		rec.Status = "running"
+	}
+	s.mu.Unlock()
+
+	for len(specs) > 0 {
+		n := len(specs)
+		if n > s.cfg.BatchMax {
+			n = s.cfg.BatchMax
+		}
+		results, errs := s.runtime.RunBatch(specs[:n], progs[:n])
+		for i := 0; i < n; i++ {
+			s.finish(recs[i], results[i], errs[i])
+		}
+		specs, progs, recs = specs[n:], progs[n:], recs[n:]
+	}
+}
+
+// runSingle executes one large job.
+func (s *Server) runSingle(rec *jobRec, spec *job.Spec, prog *ir.Program) {
+	s.mu.Lock()
+	rec.Status = "running"
+	s.mu.Unlock()
+	res, err := s.runtime.RunCompiled(spec, prog)
+	s.finish(rec, res, err)
+}
+
+// finish resolves one job record and trims history.
+func (s *Server) finish(rec *jobRec, res *job.Result, err error) {
+	s.mu.Lock()
+	t := s.tenants[rec.Tenant]
+	if t != nil {
+		t.inFlight--
+	}
+	if err != nil {
+		rec.Status = "failed"
+		rec.Error = err.Error()
+		s.metrics.Counter("malid.jobs.failed").Inc()
+	} else {
+		rec.Status = "done"
+		rec.Result = res
+		s.metrics.Counter("malid.jobs.done").Inc()
+	}
+	s.done = append(s.done, rec.ID)
+	for len(s.done) > s.cfg.History {
+		delete(s.jobs, s.done[0])
+		s.done = s.done[1:]
+	}
+	s.mu.Unlock()
+	close(rec.doneCh)
+}
+
+// SubmitWait admits a job and blocks until it resolves.
+func (s *Server) SubmitWait(spec *job.Spec) (*jobRec, error) {
+	rec, err := s.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	<-rec.doneCh
+	return rec, nil
+}
+
+// Lookup returns a job record by id.
+func (s *Server) Lookup(id string) (*jobRec, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%q: %w", id, ErrUnknownJob)
+	}
+	return rec, nil
+}
+
+// ---- HTTP layer ----
+
+// Handler returns the versioned API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/programs", s.handlePrograms)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /trace/{id}", s.handleTrace)
+	return mux
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// errCode maps typed errors onto stable wire codes + HTTP statuses.
+func errCode(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrTenantQuota):
+		return http.StatusTooManyRequests, "tenant_quota"
+	case errors.Is(err, ErrUnknownJob):
+		return http.StatusNotFound, "unknown_job"
+	case errors.Is(err, job.ErrInvalidJob):
+		return http.StatusBadRequest, "invalid_job"
+	case errors.Is(err, sched.ErrClosed):
+		return http.StatusServiceUnavailable, "shutting_down"
+	default:
+		// Build and argument errors are client mistakes.
+		return http.StatusUnprocessableEntity, "job_error"
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status, code := errCode(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Code: code})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// decodeJSON strictly decodes one JSON document.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: malformed request body: %v", job.ErrInvalidJob, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%w: trailing data after JSON body", job.ErrInvalidJob)
+	}
+	return nil
+}
+
+// programReq / programResp are the /v1/programs wire types.
+type programReq struct {
+	Source  string `json:"source"`
+	Options string `json:"options,omitempty"`
+}
+
+type programResp struct {
+	ProgramID string   `json:"program_id"`
+	Cached    bool     `json:"cached"`
+	Kernels   []string `json:"kernels"`
+}
+
+// handlePrograms compiles (or looks up) a program and returns its
+// content address — clients then submit jobs by program_id alone.
+func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
+	var req programReq
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Source == "" {
+		writeError(w, fmt.Errorf("%w: source is required", job.ErrInvalidJob))
+		return
+	}
+	e, hit, err := s.cache.GetOrCompile(req.Source, req.Options)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	kernels := e.Prog.KernelNames()
+	sort.Strings(kernels)
+	writeJSON(w, http.StatusOK, programResp{ProgramID: e.ID, Cached: hit, Kernels: kernels})
+}
+
+// submitResp is the async submission acknowledgement.
+type submitResp struct {
+	JobID  string `json:"job_id"`
+	Status string `json:"status"`
+}
+
+// handleSubmit admits a job. By default it waits and returns the bare
+// job.Result (byte-identical to an in-process run); with ?async=1 it
+// returns 202 and the job id for polling. The cache disposition rides
+// in the X-Malid-Cache header so the body stays bit-comparable.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec job.Spec
+	if err := decodeJSON(r, &spec); err != nil {
+		writeError(w, err)
+		return
+	}
+	async := r.URL.Query().Get("async") == "1"
+	rec, err := s.Submit(&spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if rec.cacheHit {
+		w.Header().Set("X-Malid-Cache", "hit")
+	} else {
+		w.Header().Set("X-Malid-Cache", "miss")
+	}
+	w.Header().Set("X-Malid-Job", rec.ID)
+	if async {
+		s.mu.Lock()
+		status := rec.Status
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, submitResp{JobID: rec.ID, Status: status})
+		return
+	}
+	<-rec.doneCh
+	if rec.Error != "" {
+		writeError(w, errors.New(rec.Error))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec.Result)
+}
+
+// handleJob returns the full registry record of one job.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.Lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleMetrics serves the registry in the text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.metrics.Snapshot().WriteText(w)
+}
+
+// handleTrace serves a finished job's command timeline as a Chrome
+// trace (chrome://tracing, ui.perfetto.dev).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.Lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.mu.Lock()
+	res := rec.Result
+	s.mu.Unlock()
+	if res == nil {
+		writeError(w, fmt.Errorf("job %s has no result (status %s): %w", rec.ID, rec.Status, ErrUnknownJob))
+		return
+	}
+	spans := make([]obs.Span, 0, len(res.Events))
+	track := strings.ToUpper(res.Device)
+	for _, ev := range res.Events {
+		spans = append(spans, obs.Span{
+			Name:  ev.Name,
+			Cat:   ev.Kind,
+			Track: track,
+			Start: ev.Started,
+			Dur:   ev.Ended - ev.Started,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteChromeTrace(w, spans)
+}

@@ -14,13 +14,24 @@ type Platform struct {
 	*core.Platform
 }
 
-// Option configures NewPlatform.
-type Option func(*core.Options)
+// Option configures NewPlatform and NewContext through one shared
+// functional-option vocabulary. Every With* option applies to both
+// constructors; the few that only make sense for one (WithDevices for
+// standalone contexts, the meter options for platforms) are no-ops on
+// the other, so option lists can be assembled generically.
+type Option func(*config)
+
+// config is the merged option target: the platform options plus the
+// standalone-context extras.
+type config struct {
+	opts    core.Options
+	devices []Device
+}
 
 // WithArenaBytes sets the simulated unified-memory capacity
 // (default 512 MiB).
 func WithArenaBytes(n int64) Option {
-	return func(o *core.Options) { o.ArenaBytes = n }
+	return func(c *config) { c.opts.ArenaBytes = n }
 }
 
 // WithWorkers sets the host worker count of the parallel NDRange
@@ -28,7 +39,7 @@ func WithArenaBytes(n int64) Option {
 // serial engine. Simulated timing and energy reports are bit-identical
 // at every worker count — only the simulator's own wall-clock changes.
 func WithWorkers(n int) Option {
-	return func(o *core.Options) { o.Workers = n }
+	return func(c *config) { c.opts.Workers = n }
 }
 
 // WithEngine selects the VM execution engine: EngineInterp for the
@@ -37,38 +48,51 @@ func WithWorkers(n int) Option {
 // variable and otherwise runs the fast path. Results, reports and
 // traces are bit-identical either way.
 func WithEngine(e Engine) Option {
-	return func(o *core.Options) { o.Engine = e }
+	return func(c *config) { c.opts.Engine = e }
 }
 
-// WithOutOfOrderQueues routes every queue created from the platform
-// context through the DAG command scheduler, enabling event wait-lists
-// (EnqueueAsync, markers, barriers, user events) and out-of-order
-// queues (CreateCommandQueueWith + QueueOutOfOrderExec). Simulated
+// WithAsyncQueues routes every queue created from the context through
+// the DAG command scheduler, enabling event wait-lists (EnqueueAsync,
+// markers, barriers, user events) and out-of-order queues
+// (CreateCommandQueueWith + QueueOutOfOrderExec). Simulated
 // timestamps and results are bit-identical to the serial queue — the
 // schedule is a pure function of the dependency graph, never of host
 // goroutine interleaving.
-func WithOutOfOrderQueues(on bool) Option {
-	return func(o *core.Options) { o.AsyncQueues = on }
+func WithAsyncQueues(on bool) Option {
+	return func(c *config) { c.opts.AsyncQueues = on }
+}
+
+// WithDevices sets a standalone context's devices (NewContext only; a
+// Platform always carries the Exynos 5250's fixed device set).
+func WithDevices(devices ...Device) Option {
+	return func(c *config) { c.devices = append(c.devices, devices...) }
 }
 
 // WithMeterHz sets the power meter's sampling rate (default 10 Hz,
-// the Yokogawa WT230 the paper used).
+// the Yokogawa WT230 the paper used). Platform only.
 func WithMeterHz(hz float64) Option {
-	return func(o *core.Options) { o.MeterHz = hz }
+	return func(c *config) { c.opts.MeterHz = hz }
 }
 
 // WithMeterSeed seeds the meter's deterministic noise stream.
+// Platform only.
 func WithMeterSeed(seed uint64) Option {
-	return func(o *core.Options) { o.MeterSeed = seed }
+	return func(c *config) { c.opts.MeterSeed = seed }
 }
+
+// WithOutOfOrderQueues is the original spelling of WithAsyncQueues.
+//
+// Deprecated: use WithAsyncQueues, which names what the option
+// enables (scheduler-backed queues) rather than one feature of them.
+func WithOutOfOrderQueues(on bool) Option { return WithAsyncQueues(on) }
 
 // NewPlatform assembles a fresh simulated board with cold caches.
 func NewPlatform(opts ...Option) *Platform {
-	var o core.Options
+	var c config
 	for _, opt := range opts {
-		opt(&o)
+		opt(&c)
 	}
-	return &Platform{Platform: core.NewPlatformWith(o)}
+	return &Platform{Platform: core.NewPlatformWith(c.opts)}
 }
 
 // CPU returns the single-core Cortex-A15 device (the paper's Serial

@@ -1,0 +1,270 @@
+package maligo
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"maligo/internal/job"
+	"maligo/internal/service"
+)
+
+// The serializable request/response layer: the same JobSpec document
+// runs in-process through RunJob or over the wire through Client
+// against a malid daemon, and both paths return byte-identical
+// JobResult JSON — every field of a result is simulated state, never
+// host timing.
+type (
+	// JobSpec describes one compile+enqueue job: OpenCL C source (or
+	// a cached program's content address), the kernel, its positional
+	// arguments, the NDRange geometry and the target device.
+	JobSpec = job.Spec
+	// JobArg is one positional kernel argument of a JobSpec.
+	JobArg = job.Arg
+	// JobResult is the deterministic simulated report of one job.
+	JobResult = job.Result
+	// ServerConfig sizes an embedded malid server (NewServer).
+	ServerConfig = service.Config
+	// Server is the malid service core: admission queues, program
+	// cache and job registry behind an http.Handler.
+	Server = service.Server
+)
+
+// JobSpec device names.
+const (
+	JobDeviceCPU     = job.DeviceCPU
+	JobDeviceCPUDual = job.DeviceCPUDual
+	JobDeviceGPU     = job.DeviceGPU
+)
+
+// JobSpec argument kinds.
+const (
+	JobArgBuffer = job.ArgBuffer
+	JobArgInt    = job.ArgInt
+	JobArgFloat  = job.ArgFloat
+	JobArgLocal  = job.ArgLocal
+)
+
+// JobProgramID computes the content address of a program (the
+// sha256-based id the malid program cache keys on).
+func JobProgramID(source, options string) string { return job.ProgramID(source, options) }
+
+// JobRunner executes JobSpecs in-process with the same pooling and
+// determinism contract as the daemon. Close releases its worker pool
+// and pooled contexts.
+type JobRunner = job.Runtime
+
+// NewJobRunner creates an in-process job executor. workers <= 0
+// selects runtime.NumCPU(); results are bit-identical at any setting.
+func NewJobRunner(workers int) *JobRunner {
+	return job.NewRuntime(job.Config{Workers: workers})
+}
+
+// RunJob executes one job document in-process on a throwaway runner.
+// For repeated runs, hold a NewJobRunner (context pooling amortizes
+// per-job setup) or stand up a Server.
+func RunJob(spec *JobSpec) (*JobResult, error) {
+	r := job.NewRuntime(job.Config{})
+	defer r.Close()
+	return r.Run(spec)
+}
+
+// NewServer assembles the malid service core. Mount Handler on any
+// http.Server (cmd/malid is a thin flag wrapper around exactly this):
+//
+//	srv, _ := maligo.NewServer(maligo.ServerConfig{})
+//	defer srv.Close()
+//	http.ListenAndServe(addr, srv.Handler())
+func NewServer(cfg ServerConfig) (*Server, error) { return service.New(cfg) }
+
+// Client talks to a malid daemon. The zero value is unusable; use
+// NewClient. Errors coming back over the wire are mapped onto the
+// same typed errors the in-process API returns (ErrInvalidJob,
+// ErrTenantQuota, ErrUnknownJob, ErrBuildFailure), so errors.Is-based
+// handling is transport-agnostic.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient creates a client for a malid base URL, e.g.
+// "http://localhost:8372". httpClient may be nil for
+// http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+// ProgramInfo is the daemon's answer to a program registration.
+type ProgramInfo struct {
+	ProgramID string   `json:"program_id"`
+	Cached    bool     `json:"cached"`
+	Kernels   []string `json:"kernels"`
+}
+
+// wireError mirrors the server's error envelope.
+type wireError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// typed maps a wire error code back onto the package's sentinel.
+func (we wireError) typed(status int) error {
+	base := fmt.Errorf("malid: %s", we.Error)
+	switch we.Code {
+	case "tenant_quota":
+		return fmt.Errorf("%w: %s", ErrTenantQuota, we.Error)
+	case "unknown_job":
+		return fmt.Errorf("%w: %s", ErrUnknownJob, we.Error)
+	case "invalid_job":
+		return fmt.Errorf("%w: %s", ErrInvalidJob, we.Error)
+	case "job_error":
+		if strings.Contains(we.Error, "CL_BUILD_PROGRAM_FAILURE") {
+			return fmt.Errorf("%w: %s", ErrBuildFailure, we.Error)
+		}
+		return base
+	default:
+		return fmt.Errorf("malid: HTTP %d: %s", status, we.Error)
+	}
+}
+
+// post sends one JSON document and decodes the response or error
+// envelope.
+func (c *Client) post(ctx context.Context, path string, req, resp any) (http.Header, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	res, err := c.http.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	return res.Header, decodeResponse(res, resp)
+}
+
+func decodeResponse(res *http.Response, out any) error {
+	data, err := io.ReadAll(io.LimitReader(res.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if res.StatusCode >= 400 {
+		var we wireError
+		if json.Unmarshal(data, &we) == nil && we.Error != "" {
+			return we.typed(res.StatusCode)
+		}
+		return fmt.Errorf("malid: HTTP %d: %s", res.StatusCode, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// RegisterProgram uploads source once and returns its content
+// address; subsequent jobs may carry only the program_id.
+func (c *Client) RegisterProgram(ctx context.Context, source, options string) (*ProgramInfo, error) {
+	var info ProgramInfo
+	_, err := c.post(ctx, "/v1/programs", map[string]string{"source": source, "options": options}, &info)
+	if err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// RunJob submits a job and waits for its result. The returned result
+// is byte-identical (as JSON) to running the same spec in-process.
+func (c *Client) RunJob(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+	var res JobResult
+	if _, err := c.post(ctx, "/v1/jobs", spec, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// RunJobCached is RunJob plus the server's cache disposition (whether
+// the program compile was skipped).
+func (c *Client) RunJobCached(ctx context.Context, spec *JobSpec) (*JobResult, bool, error) {
+	var res JobResult
+	hdr, err := c.post(ctx, "/v1/jobs", spec, &res)
+	if err != nil {
+		return nil, false, err
+	}
+	return &res, hdr.Get("X-Malid-Cache") == "hit", nil
+}
+
+// SubmitJob submits a job asynchronously and returns its id for
+// polling with JobStatus.
+func (c *Client) SubmitJob(ctx context.Context, spec *JobSpec) (string, error) {
+	var ack struct {
+		JobID  string `json:"job_id"`
+		Status string `json:"status"`
+	}
+	if _, err := c.post(ctx, "/v1/jobs?async=1", spec, &ack); err != nil {
+		return "", err
+	}
+	return ack.JobID, nil
+}
+
+// JobStatus is one registry record of a submitted job.
+type JobStatus struct {
+	JobID  string     `json:"job_id"`
+	Tenant string     `json:"tenant"`
+	Status string     `json:"status"`
+	Error  string     `json:"error,omitempty"`
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// GetJob fetches a job's registry record.
+func (c *Client) GetJob(ctx context.Context, id string) (*JobStatus, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.http.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	var st JobStatus
+	if err := decodeResponse(res, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Metrics fetches the daemon's /metrics text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	res, err := c.http.Do(hr)
+	if err != nil {
+		return "", err
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(res.Body)
+	if err != nil {
+		return "", err
+	}
+	if res.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("malid: HTTP %d", res.StatusCode)
+	}
+	return string(data), nil
+}
+
+// JobMixSpecs returns the nine paper benchmarks as small job
+// documents — the load driver's mix and a ready-made smoke test.
+func JobMixSpecs() []*JobSpec { return job.MixSpecs() }
