@@ -41,14 +41,17 @@ bench:
 bench-smoke:
 	$(GO) test -run xxx -bench BenchmarkEngine -benchtime 1x ./internal/vm >/dev/null
 
-# Static checks: Go hygiene plus the kernel linter over every tracked
-# .cl file. The golden corpus under testdata/analysis is excluded — it
-# intentionally contains positive findings and is locked down by the
-# analyzer's golden tests instead. The nine benchmarks' kernels are
-# embedded in Go and linted by TestKernelsLintClean.
+# Static checks: Go hygiene, the repository self-lint (no unexplained
+# map iteration or time.Now in deterministic paths — cmd/repolint),
+# and the kernel linter over every tracked .cl file. The golden corpus
+# under testdata/analysis is excluded — it intentionally contains
+# positive findings and is locked down by the analyzer's golden tests
+# instead. The nine benchmarks' kernels are embedded in Go and linted
+# by TestKernelsLintClean.
 lint: vet
 	@fmtout="$$(gofmt -l . 2>/dev/null)"; \
 	if [ -n "$$fmtout" ]; then echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) run ./cmd/repolint
 	@for f in $$(git ls-files '*.cl' | grep -v '^testdata/analysis/'); do \
 		echo "clc -analyze -Werror $$f"; \
 		$(GO) run ./cmd/clc -analyze -Werror -D REAL=float "$$f" || exit 1; \
@@ -95,6 +98,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzCommandDAG$$' -fuzztime $(FUZZTIME) ./internal/sched
 	$(GO) test -run xxx -fuzz '^FuzzProfileAddCommutes$$' -fuzztime $(FUZZTIME) ./internal/vm
 	$(GO) test -run xxx -fuzz '^FuzzAnalyze$$' -fuzztime $(FUZZTIME) ./internal/clc/analysis
+	$(GO) test -run xxx -fuzz '^FuzzSolver$$' -fuzztime $(FUZZTIME) ./internal/clc/analysis/dataflow
 
 # Full verification: what CI runs. The -short race pass includes the
 # engine differential cross-section; `make test` runs the full

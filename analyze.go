@@ -42,8 +42,18 @@ func Analyze(filename, source, options string) ([]Diagnostic, error) {
 	return analysis.AnalyzeSource(filename, source, options)
 }
 
+// AnalyzeWith is Analyze restricted to the named passes (see
+// AnalysisPassNames); a nil or empty list runs everything.
+func AnalyzeWith(filename, source, options string, passes []string) ([]Diagnostic, error) {
+	return analysis.AnalyzeSourcePasses(filename, source, options, passes)
+}
+
 // AnalysisPasses lists the registered passes with their documentation.
 func AnalysisPasses() []AnalysisPass { return analysis.Passes() }
+
+// AnalysisPassNames lists the registered pass names in run order —
+// the vocabulary of AnalyzeWith and the clc -passes flag.
+func AnalysisPassNames() []string { return analysis.PassNames() }
 
 // ParseSeverity converts "info", "warning" or "error" to a Severity.
 func ParseSeverity(s string) (Severity, error) { return analysis.ParseSeverity(s) }

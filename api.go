@@ -162,6 +162,17 @@ var (
 	ErrInvalidJob  = job.ErrInvalidJob
 	ErrTenantQuota = service.ErrTenantQuota
 	ErrUnknownJob  = service.ErrUnknownJob
+	// ErrAnalysisFailed reports a program rejected by the daemon's
+	// static-analysis admission gate (HTTP 422, code "analysis_failed").
+	ErrAnalysisFailed = service.ErrAnalysisFailed
+)
+
+// Analysis admission policies for ServerConfig.Analysis (and the
+// malid -analysis flag): "off", "warn" (default) or "error".
+const (
+	AnalysisOff   = service.AnalysisOff
+	AnalysisWarn  = service.AnalysisWarn
+	AnalysisError = service.AnalysisError
 )
 
 // VM execution engines (see Engine).

@@ -10,10 +10,28 @@
 // Usage:
 //
 //	clc [-D NAME=VAL ...] [-dis] [-check] file.cl
-//	clc -analyze [-json] [-severity info|warning|error] [-Werror] [-D NAME=VAL ...] file.cl|dir
+//	clc -analyze [-json] [-passes race,bounds,...] [-severity info|warning|error] [-Werror] [-D NAME=VAL ...] file.cl|dir
 //
-// In analyze mode the exit status is 1 when any finding at or above
-// the gate severity remains (error by default; warning with -Werror).
+// -passes restricts the run to a comma-separated subset of the
+// registered passes (run "clc -analyze -passes help" to list them);
+// unknown names are a usage error.
+//
+// With -json the findings print as one JSON array of objects, each
+// with the fields
+//
+//	{"file": string, "line": int, "col": int,
+//	 "severity": "info"|"warning"|"error",
+//	 "pass": string, "kernel": string,
+//	 "message": string, "hint": string}
+//
+// sorted by position (then severity, pass, kernel, message) and
+// deduplicated, so the output is byte-stable for a given input.
+//
+// Exit-code contract in analyze mode: 0 — analysis ran and no finding
+// reaches the gate severity; 1 — a gated finding remains (error by
+// default, warning with -Werror) or a file failed to read/compile;
+// 2 — usage error (bad flag value, unknown pass name). Info findings
+// never gate.
 package main
 
 import (
@@ -43,15 +61,28 @@ func main() {
 	jsonOut := flag.Bool("json", false, "with -analyze: print findings as JSON")
 	minSev := flag.String("severity", "info", "with -analyze: lowest severity to report (info|warning|error)")
 	wError := flag.Bool("Werror", false, "with -analyze: exit nonzero on warnings, not just errors")
+	passNames := flag.String("passes", "", "with -analyze: comma-separated pass subset ('help' lists them)")
 	flag.Var(&defs, "D", "preprocessor definition NAME[=VALUE] (repeatable)")
 	flag.Parse()
+
+	only, err := parsePasses(*passNames)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *passNames == "help" {
+		for _, p := range maligo.AnalysisPasses() {
+			fmt.Printf("%-14s %s\n", p.Name, p.Doc)
+		}
+		os.Exit(0)
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: clc [-analyze] [-D NAME=VAL] [-dis] [-check] file.cl")
 		os.Exit(2)
 	}
 	if *analyze {
-		os.Exit(runAnalyze(flag.Arg(0), defs.String(), *minSev, *wError, *jsonOut))
+		os.Exit(runAnalyze(flag.Arg(0), defs.String(), *minSev, *wError, *jsonOut, only))
 	}
 
 	src, err := os.ReadFile(flag.Arg(0))
@@ -91,11 +122,33 @@ func main() {
 	}
 }
 
+// parsePasses validates a comma-separated -passes value against the
+// registry. Empty or "help" return nil (run everything / list mode).
+func parsePasses(s string) ([]string, error) {
+	if s == "" || s == "help" {
+		return nil, nil
+	}
+	known := map[string]bool{}
+	for _, n := range maligo.AnalysisPassNames() {
+		known[n] = true
+	}
+	var only []string
+	for _, n := range strings.Split(s, ",") {
+		n = strings.TrimSpace(n)
+		if !known[n] {
+			return nil, fmt.Errorf("unknown pass %q (known: %s)",
+				n, strings.Join(maligo.AnalysisPassNames(), ", "))
+		}
+		only = append(only, n)
+	}
+	return only, nil
+}
+
 // runAnalyze lints one .cl file, or every .cl file directly under a
 // directory, and returns the process exit code. Directory findings are
 // labeled with the base filename, so the output is independent of how
 // the directory path was spelled.
-func runAnalyze(target, options, minSev string, wError, jsonOut bool) int {
+func runAnalyze(target, options, minSev string, wError, jsonOut bool, only []string) int {
 	gate := maligo.SevError
 	if wError {
 		gate = maligo.SevWarning
@@ -137,7 +190,7 @@ func runAnalyze(target, options, minSev string, wError, jsonOut bool) int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		diags, err := maligo.Analyze(filepath.Base(path), string(src), options)
+		diags, err := maligo.AnalyzeWith(filepath.Base(path), string(src), options, only)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 			return 1

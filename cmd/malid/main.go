@@ -23,11 +23,28 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"maligo"
 )
+
+// parseTenantPolicies parses "tenant=policy,tenant=policy" overrides.
+func parseTenantPolicies(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]string{}
+	for _, pair := range strings.Split(s, ",") {
+		name, policy, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" || policy == "" {
+			return nil, fmt.Errorf("malformed -tenant-analysis entry %q (want tenant=policy)", pair)
+		}
+		out[name] = policy
+	}
+	return out, nil
+}
 
 func main() {
 	var (
@@ -40,19 +57,28 @@ func main() {
 		conc     = flag.Int("max-concurrent", 4, "jobs running at once across all tenants")
 		batch    = flag.Int64("batch-items", 4096, "batch jobs at or below this many work-items (-1 disables)")
 		engine   = flag.String("engine", "", "VM engine: auto, interp, compiled")
+		analysis = flag.String("analysis", "warn", "static-analysis admission policy: off, warn or error")
+		tenantAn = flag.String("tenant-analysis", "", "per-tenant policy overrides, e.g. ci=error,scratch=off")
 	)
 	flag.Parse()
+
+	tenantPolicies, err := parseTenantPolicies(*tenantAn)
+	if err != nil {
+		log.Fatalf("malid: %v", err)
+	}
 
 	eng, err := maligo.ParseEngine(*engine)
 	if err != nil {
 		log.Fatalf("malid: %v", err)
 	}
 	cfg := maligo.ServerConfig{
-		MaxQueued:     *queued,
-		MaxConcurrent: *conc,
-		CacheEntries:  *cacheN,
-		CacheDir:      *cacheDir,
-		BatchItems:    *batch,
+		MaxQueued:      *queued,
+		MaxConcurrent:  *conc,
+		CacheEntries:   *cacheN,
+		CacheDir:       *cacheDir,
+		BatchItems:     *batch,
+		Analysis:       *analysis,
+		TenantAnalysis: tenantPolicies,
 	}
 	cfg.Runtime.Workers = *workers
 	cfg.Runtime.ArenaBytes = *arenaMB << 20

@@ -1,0 +1,43 @@
+// Command repolint runs the repository self-lint (internal/lint)
+// over a source tree — by default the current directory — and prints
+// one finding per line in file:line:col: rule: message form.
+//
+//	repolint [root]
+//
+// Exit status: 0 when the tree is clean, 1 when findings remain,
+// 2 on a usage or I/O error. The Makefile lint target runs it over
+// the repo before the kernel linter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"maligo/internal/lint"
+)
+
+func main() {
+	flag.Parse()
+	root := "."
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		root = flag.Arg(0)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: repolint [root]")
+		os.Exit(2)
+	}
+	findings, err := lint.Check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -109,13 +109,20 @@
 // CPU-style copy-to-private staging that pessimizes Mali, AoS layouts,
 // short unrollable loops, register demand beyond the Mali budget) and
 // diagnose correctness hazards (barrier calls under divergent control
-// flow, static intra-work-group data races on affine indices,
-// out-of-bounds constant indices). Diagnostics carry a source
+// flow, intra-work-group data races, out-of-bounds indices). The
+// correctness passes run on a tier-2 dataflow engine
+// (internal/clc/analysis/dataflow): a CFG and worklist solver over
+// the lowered IR propagate constants, value intervals, affine forms
+// in the work-item ids and divergence facts through branches, loops
+// and inlined helper calls, so races are proven by index separation
+// across barrier phases and bounds findings cover interval-derived
+// overruns, not just literal constants. Diagnostics carry a source
 // position, a severity and a fix hint; FormatDiagnostics and
 // FormatDiagnosticsJSON render them, MaxDiagnosticSeverity gates them,
-// and AnalysisPasses lists the registry. The same report is available
+// and AnalysisPasses lists the registry (AnalyzeWith restricts a run
+// to named passes). The same report is available
 // from a built Program via its Diagnostics method, and on the command
-// line as `clc -analyze` and `malisim -lint`.
+// line as `clc -analyze` (with -passes to filter) and `malisim -lint`.
 //
 // The race diagnostics have a dynamic confirmation tier:
 // Queue.SetRaceCheck(true) makes subsequent enqueues record
@@ -182,7 +189,17 @@
 // the server adds routing, caching and admission control, never
 // timing. Client maps wire error codes back onto the same typed
 // errors (ErrInvalidJob, ErrTenantQuota, ErrUnknownJob,
-// ErrBuildFailure), so errors.Is works identically on both paths.
+// ErrBuildFailure, ErrAnalysisFailed), so errors.Is works identically
+// on both paths.
+//
+// Programs are statically analyzed once at compile time and the
+// findings cached alongside the binary. The daemon's -analysis policy
+// (off, warn, error — overridable per tenant with -tenant-analysis)
+// decides whether registrations report diagnostics, and under the
+// error policy rejects programs with error-severity findings (races,
+// out-of-bounds accesses, divergent barriers) with HTTP 422 and code
+// "analysis_failed" before any job runs; responses carry
+// X-Malid-Analysis and X-Malid-Severity headers.
 // NewServer embeds the service core in another process; cmd/malid-load
 // drives a daemon with the nine-benchmark mix and verifies the
 // contract under load.

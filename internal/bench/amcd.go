@@ -248,7 +248,7 @@ func (a *amcd) Verify(prec Precision) error {
 			return errf("amcd: sim %d accepted %d of %d moves", s, c, a.iters)
 		}
 	}
-	for v, res := range a.results {
+	for v, res := range a.results { // maligo:allow maporder every variant is checked; which failure reports first is immaterial
 		if err := checkClose(res, ref, tolerance(prec)*10, "amcd energies ("+v.String()+" vs "+refVer.String()+")"); err != nil {
 			return err
 		}

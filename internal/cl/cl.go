@@ -1153,7 +1153,7 @@ func (q *CommandQueue) runNDRangeBody(ctx context.Context, k *Kernel, ndr *devic
 	rc.Race = device.FanObservers(observers...)
 	var rep *device.Report
 	var err error
-	hostStart := time.Now()
+	hostStart := time.Now() // maligo:allow walltime HostSeconds is documented host-side profiling, never simulated state
 	if cr, ok := q.dev.(device.ContextRunner); ok {
 		rep, err = cr.RunWith(rc, ndr, target)
 	} else {

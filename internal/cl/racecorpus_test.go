@@ -1,0 +1,134 @@
+package cl_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"maligo/internal/cl"
+	"maligo/internal/clc"
+	"maligo/internal/clc/ir"
+)
+
+// TestRaceCrossCheckCorpus cross-checks the tier-2 static race
+// analysis against the VM's dynamic race detector over the whole
+// analyzer golden corpus: every kernel that executes under generic
+// argument bindings runs with SetRaceCheck(true), and the tiers must
+// agree — each dynamically observed race must overlap a static race
+// diagnostic (no static false negatives on the corpus), and a kernel
+// the analyzer calls race-free must execute without observed races.
+// Kernels that cannot execute under the generic bindings (the bounds
+// corpus faults on purpose) are skipped, not failed.
+func TestRaceCrossCheckCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "analysis", "*.cl"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("golden corpus not found: %v", err)
+	}
+
+	const global, local = 32, 16
+	executed, skipped, confirmed := 0, 0, 0
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := filepath.Base(path)
+		irProg, err := clc.Compile(name, string(src), "")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+
+		ctx, gpu := newCtx(t)
+		prog := ctx.CreateProgramWithSource(string(src))
+		if err := prog.Build(""); err != nil {
+			t.Fatalf("%s: Build: %v\n%s", name, err, prog.BuildLog())
+		}
+		q := ctx.CreateCommandQueue(gpu)
+		q.SetRaceCheck(true)
+
+		staticRaceLines := map[string]map[int]bool{}
+		for _, d := range prog.Diagnostics() {
+			if d.Pass != "race" {
+				continue
+			}
+			if staticRaceLines[d.Kernel] == nil {
+				staticRaceLines[d.Kernel] = map[int]bool{}
+			}
+			staticRaceLines[d.Kernel][d.Pos.Line] = true
+		}
+
+		for _, kname := range prog.KernelNames() {
+			k, err := prog.CreateKernel(kname)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, kname, err)
+			}
+			if err := bindGeneric(k, irProg.Kernels[kname], ctx); err != nil {
+				t.Fatalf("%s/%s: bind: %v", name, kname, err)
+			}
+			ev, err := q.EnqueueNDRangeKernel(k, 1, []int{global}, []int{local})
+			if err != nil {
+				// The bounds/ranges corpus faults by design under any
+				// binding; execution is out of scope for those.
+				t.Logf("%s/%s: skipped (does not execute: %v)", name, kname, err)
+				skipped++
+				continue
+			}
+			executed++
+			rc := ev.RaceCheck
+			if rc == nil {
+				t.Fatalf("%s/%s: no race-check result", name, kname)
+			}
+			lines := staticRaceLines[kname]
+			for _, dr := range rc.Dynamic {
+				if !lines[dr.LineA] && !lines[dr.LineB] {
+					t.Errorf("%s/%s: dynamic race at lines %d/%d (items %d/%d) has no static diagnostic",
+						name, kname, dr.LineA, dr.LineB, dr.ItemA, dr.ItemB)
+				}
+			}
+			if len(lines) == 0 && len(rc.Dynamic) > 0 {
+				t.Errorf("%s/%s: statically clean but %d dynamic race(s) observed",
+					name, kname, len(rc.Dynamic))
+			}
+			if len(lines) > 0 && len(rc.Dynamic) > 0 && len(rc.Confirmed()) == 0 {
+				t.Errorf("%s/%s: tiers disagree: static %v, dynamic %v", name, kname, lines, rc.Dynamic)
+			}
+			confirmed += len(rc.Confirmed())
+		}
+		ctx.Close()
+	}
+	if executed == 0 {
+		t.Fatal("no corpus kernel executed; cross-check checked nothing")
+	}
+	if confirmed == 0 {
+		t.Fatal("no dynamic race was confirmed statically; the positive half of the cross-check ran empty")
+	}
+	t.Logf("cross-checked %d kernels (%d skipped as non-executable, %d races confirmed by both tiers)",
+		executed, skipped, confirmed)
+}
+
+// bindGeneric binds plausible arguments for a corpus kernel: 8 KiB
+// buffers for pointers, small constants for scalars.
+func bindGeneric(k *cl.Kernel, irk *ir.Kernel, ctx *cl.Context) error {
+	const bytes = 8 << 10
+	for i, p := range irk.Params {
+		var err error
+		switch p.Class {
+		case ir.ParamGlobalPtr:
+			var buf *cl.Buffer
+			buf, err = ctx.CreateBuffer(cl.MemReadWrite|cl.MemAllocHostPtr, bytes, nil)
+			if err == nil {
+				err = k.SetArgBuffer(i, buf)
+			}
+		case ir.ParamLocalPtr:
+			err = k.SetArgLocal(i, bytes)
+		case ir.ParamScalarF:
+			err = k.SetArgFloat(i, 1.0)
+		default:
+			err = k.SetArgInt(i, 4)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -74,7 +74,7 @@ func newAffineEnv(res *sema.Result, fn *ast.FuncDecl) *affineEnv {
 			if d.Init == nil || d.ArrayLen != nil {
 				continue
 			}
-			for _, sym := range res.Syms {
+			for _, sym := range res.Syms { // maligo:allow maporder each symbol updates only its own entry
 				if sym.Decl != ds || sym.Name != d.Name || poisoned[sym] {
 					continue
 				}

@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"maligo/internal/clc"
+	"maligo/internal/clc/analysis/dataflow"
 	"maligo/internal/clc/ast"
 	"maligo/internal/clc/ir"
 	"maligo/internal/clc/sema"
@@ -119,8 +120,23 @@ type Context struct {
 	IR   *ir.Kernel    // lowered form of the same kernel
 	Sema *sema.Result
 
-	pass string
-	sink *[]Diagnostic
+	pass      string
+	sink      *[]Diagnostic
+	facts     *dataflow.Facts
+	factsDone bool
+}
+
+// Facts lazily runs the tier-2 dataflow engine over the kernel's IR.
+// The result is shared by every pass analyzing this kernel. Returns
+// nil when no IR is available.
+func (c *Context) Facts() *dataflow.Facts {
+	if !c.factsDone {
+		c.factsDone = true
+		if c.IR != nil {
+			c.facts = dataflow.Analyze(c.IR)
+		}
+	}
+	return c.facts
 }
 
 // Report emits a diagnostic attributed to the running pass.
@@ -171,9 +187,21 @@ func PassNames() []string {
 }
 
 // Analyze runs every pass over every kernel of a compiled unit and
-// returns the surviving diagnostics sorted by position. Suppression
-// directives in the source remove matching diagnostics per kernel.
+// returns the surviving diagnostics deduplicated and sorted by
+// position. Suppression directives in the source remove matching
+// diagnostics per kernel.
 func Analyze(art *clc.Artifacts) []Diagnostic {
+	return AnalyzePasses(art, nil)
+}
+
+// AnalyzePasses is Analyze restricted to a subset of passes by name.
+// A nil or empty subset runs everything. Unknown names are ignored
+// here; callers validate with PassNames.
+func AnalyzePasses(art *clc.Artifacts, only []string) []Diagnostic {
+	want := map[string]bool{}
+	for _, n := range only {
+		want[n] = true
+	}
 	var diags []Diagnostic
 	for _, fn := range art.Sema.Kernels {
 		ctx := &Context{
@@ -184,11 +212,23 @@ func Analyze(art *clc.Artifacts) []Diagnostic {
 			sink: &diags,
 		}
 		for _, p := range passes {
+			if len(want) > 0 && !want[p.Name] {
+				continue
+			}
 			ctx.pass = p.Name
 			p.Run(ctx)
 		}
 	}
 	diags = applySuppressions(art, diags)
+	return dedupeSort(diags)
+}
+
+// dedupeSort imposes the canonical diagnostic order — position, then
+// severity (most severe first), then pass, kernel and message — and
+// drops exact duplicates, which arise when several passes (or one pass
+// reached through two inlined call sites) converge on the same finding
+// at the same position.
+func dedupeSort(diags []Diagnostic) []Diagnostic {
 	sort.SliceStable(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Line != b.Pos.Line {
@@ -197,12 +237,35 @@ func Analyze(art *clc.Artifacts) []Diagnostic {
 		if a.Pos.Col != b.Pos.Col {
 			return a.Pos.Col < b.Pos.Col
 		}
+		if a.Sev != b.Sev {
+			return a.Sev > b.Sev
+		}
 		if a.Pass != b.Pass {
 			return a.Pass < b.Pass
 		}
+		if a.Kernel != b.Kernel {
+			return a.Kernel < b.Kernel
+		}
 		return a.Msg < b.Msg
 	})
-	return diags
+	kept := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// AnalyzeSourcePasses is AnalyzeSource restricted to a subset of
+// passes by name (nil runs everything).
+func AnalyzeSourcePasses(name, src, options string, only []string) ([]Diagnostic, error) {
+	art, err := clc.CompileArtifacts(name, src, options)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzePasses(art, only), nil
 }
 
 // AnalyzeSource compiles OpenCL C source and analyzes it in one step.

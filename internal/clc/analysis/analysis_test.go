@@ -117,3 +117,31 @@ func TestPassNamesUnique(t *testing.T) {
 		t.Fatalf("only %d passes registered, want at least 6", len(seen))
 	}
 }
+
+// TestAnalyzePassesSubset: the -passes filter runs only the named
+// passes, and an empty filter is equivalent to Analyze.
+func TestAnalyzePassesSubset(t *testing.T) {
+	onlyRace, err := analysis.AnalyzeSourcePasses("racy.cl", racySrc, "", []string{"race"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onlyRace) == 0 {
+		t.Fatal("race pass found nothing in racySrc")
+	}
+	for _, d := range onlyRace {
+		if d.Pass != "race" {
+			t.Fatalf("pass filter leaked %q finding: %s", d.Pass, d.String())
+		}
+	}
+	all, err := analysis.AnalyzeSourcePasses("racy.cl", racySrc, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := analysis.AnalyzeSource("racy.cl", racySrc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(full) {
+		t.Fatalf("nil filter ran %d findings, Analyze %d", len(all), len(full))
+	}
+}

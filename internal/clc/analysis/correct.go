@@ -3,396 +3,247 @@ package analysis
 import (
 	"fmt"
 
-	"maligo/internal/clc/ast"
-	"maligo/internal/clc/builtin"
-	"maligo/internal/clc/sema"
+	"maligo/internal/clc/analysis/dataflow"
+	"maligo/internal/clc/ir"
 	"maligo/internal/clc/token"
 )
 
-// passBarrierDiv reports barrier() calls reachable under work-item-
-// dependent control flow. Work-items that skip the barrier deadlock
-// the group (the VM raises ErrBarrierDivergence at run time; this
-// pass catches it at build time).
+// The correctness passes (barrierdiv, race, bounds) run on lowered IR
+// and query the tier-2 dataflow engine. Working on IR instead of
+// syntax makes them interprocedural for free — helper calls are
+// inlined during lowering, so an access inside a helper participates
+// with its own source position — and the engine's value ranges, edge
+// executability and guard constraints remove whole classes of false
+// positives (guarded loops, statically dead branches) that the
+// syntax-level predecessors reported.
+
+// passBarrierDiv reports barrier() instructions reachable under
+// work-item-dependent control flow. Work-items that skip the barrier
+// deadlock the group (the VM raises ErrBarrierDivergence at run time;
+// this pass catches it at build time).
 func passBarrierDiv(c *Context) {
-	u := newUniformity(c.Sema, c.Fn)
-	seen := make(map[*ast.FuncDecl]bool)
-
-	checkCall := func(e ast.Expr, div bool) {
-		walkExprs(e, func(x ast.Expr) {
-			call, ok := x.(*ast.CallExpr)
-			if !ok {
-				return
-			}
-			info := c.Sema.Calls[call]
-			if info == nil || !div {
-				return
-			}
-			direct := info.Kind == sema.CallBuiltin && info.Builtin == builtin.Barrier
-			viaHelper := info.Kind == sema.CallUser && info.Target != nil &&
-				containsBarrier(c.Sema, info.Target.Body, seen)
-			if direct {
-				c.Report(Error, call.Pos(),
-					"barrier() under work-item-dependent control flow",
-					"every work-item of the group must reach the same barrier; hoist it out of the divergent branch")
-			} else if viaHelper {
-				c.Report(Error, call.Pos(),
-					fmt.Sprintf("call to '%s' executes barrier() under work-item-dependent control flow", call.Fun.Name),
-					"every work-item of the group must reach the same barrier; hoist the call out of the divergent branch")
-			}
-		})
+	f := c.Facts()
+	if f == nil {
+		return
 	}
-
-	var walk func(s ast.Stmt, div bool)
-	walk = func(s ast.Stmt, div bool) {
-		switch s := s.(type) {
-		case nil:
-		case *ast.BlockStmt:
-			for _, inner := range s.List {
-				walk(inner, div)
-			}
-		case *ast.IfStmt:
-			branch := div || u.Divergent(s.Cond)
-			walk(s.Then, branch)
-			walk(s.Else, branch)
-		case *ast.ForStmt:
-			walk(s.Init, div)
-			body := div || u.Divergent(s.Cond)
-			checkCall(s.Post, body)
-			walk(s.Body, body)
-		case *ast.WhileStmt:
-			walk(s.Body, div || u.Divergent(s.Cond))
-		case *ast.DoWhileStmt:
-			walk(s.Body, div || u.Divergent(s.Cond))
-		default:
-			stmtExprs(s, func(e ast.Expr) { checkCall(e, div) })
+	f.Each(func(i int, e *dataflow.Env) {
+		if c.IR.Code[i].Op != ir.BarrierOp {
+			return
 		}
-	}
-	walk(c.Fn.Body, false)
+		if !e.DivergentControl() {
+			return
+		}
+		c.Report(Error, c.IR.Code[i].Pos,
+			"barrier() under work-item-dependent control flow",
+			"every work-item of the group must reach the same barrier; hoist it out of the divergent branch")
+	})
 }
 
 // ---------------------------------------------------------------------------
 // Static race detection.
 
-// guardKind classifies the divergent conditions an access sits under.
-type guardKind int
-
-const (
-	guardAll    guardKind = iota // every work-item executes the access
-	guardLidEq                   // only local id == lidVal executes it
-	guardUnique                  // at most one (unknown) work-item executes it
-	guardOpaque                  // data-dependent subset; not analyzable
-)
-
-type guard struct {
-	kind   guardKind
-	lidVal int64
-	cond   ast.Expr // the divergent condition, to recognize accesses sharing a guard
-}
-
-// memAccess is one static memory access with its affine address.
-type memAccess struct {
-	sym    *sema.Symbol
-	space  ast.AddressSpace
-	start  affine // byte offset of the first accessed byte
-	span   int64  // bytes accessed
-	write  bool
-	atomic bool
-	pos    token.Pos
-	phase  int
-	guard  guard
-}
-
 // lidDomain bounds the brute-force local-id search; it covers every
 // legal work-group size of the simulated device.
 const lidDomain = 128
 
+// irAccess is one reachable memory access with its affine address and
+// the guard constraints under which it executes.
+type irAccess struct {
+	instr int
+	// Region identity: accesses are only comparable within one region.
+	// param >= 0 selects a pointer-parameter buffer (the param slot);
+	// param < 0 selects an address space of in-kernel arrays.
+	param int32
+	space int // ir.Space* tag
+	name  string
+
+	// Byte offset of the first accessed byte as base + c + lidCoeff*l
+	// for work-item l (gid = group base + lid, and pairs are only
+	// compared when their gid coefficients agree, so the group base
+	// cancels).
+	c        int64
+	lidCoeff int64
+	gidCoeff int64
+
+	span   int64
+	write  bool
+	atomic bool
+	pos    token.Pos
+
+	cons []dataflow.Constraint        // per-lid evaluable guards
+	uniq map[dataflow.Constraint]bool // single-item guards
+}
+
+// admit reports whether work-item l can execute the access.
+func (a *irAccess) admit(l int64) bool {
+	for _, con := range a.cons {
+		if holds, ok := con.EvalLid(l); ok && !holds {
+			return false
+		}
+	}
+	return true
+}
+
+// at returns the byte offset accessed by work-item l.
+func (a *irAccess) at(l int64) int64 { return a.c + a.lidCoeff*l }
+
 // passRace proves intra-work-group write/write and read/write
 // conflicts on __local and __global memory when every participating
-// index is affine in the work-item id. Non-affine indices, data-
-// dependent guards and cross-phase pairs are skipped, trading recall
-// for a near-zero false-positive rate.
+// index is affine in the work-item id. Non-affine indices and
+// data-dependent divergent guards are skipped, trading recall for a
+// near-zero false-positive rate.
 func passRace(c *Context) {
-	u := newUniformity(c.Sema, c.Fn)
-	env := newAffineEnv(c.Sema, c.Fn)
-	col := &raceCollector{ctx: c, u: u, env: env}
-	col.walk(c.Fn.Body, guard{kind: guardAll})
-	col.reportConflicts()
+	f := c.Facts()
+	if f == nil {
+		return
+	}
+	accesses := collectIRAccesses(c, f)
+	reportIRConflicts(c, f, accesses)
 }
 
-type raceCollector struct {
-	ctx      *Context
-	u        *uniformity
-	env      *affineEnv
-	phase    int
-	accesses []memAccess
-}
+// collectIRAccesses walks every reachable memory instruction and
+// returns the analyzable __local/__global accesses.
+func collectIRAccesses(c *Context, f *dataflow.Facts) []irAccess {
+	k := c.IR
+	type guardInfo struct {
+		cons   []dataflow.Constraint
+		opaque bool
+	}
+	guardCache := map[int]guardInfo{}
+	guardsFor := func(instr int) guardInfo {
+		b := f.G.BlockOf(instr).ID
+		if gi, ok := guardCache[b]; ok {
+			return gi
+		}
+		cons, opaque := f.GuardsFor(b)
+		gi := guardInfo{cons, opaque}
+		guardCache[b] = gi
+		return gi
+	}
 
-// classify merges the enclosing guard with a new condition.
-func (rc *raceCollector) classify(outer guard, cond ast.Expr) guard {
-	if cond == nil || !rc.u.Divergent(cond) {
-		return outer // uniform: all items agree, no per-item filtering
-	}
-	if outer.kind == guardOpaque {
-		return outer
-	}
-	g := guard{kind: guardOpaque, cond: cond}
-	if be, ok := unparen(cond).(*ast.BinaryExpr); ok && be.Op == token.EQL {
-		lhs := rc.env.eval(be.X)
-		rhs := rc.env.eval(be.Y)
-		if lhs.ok && rhs.ok {
-			diff := lhs.sub(rhs)
-			switch {
-			case diff.lidCoeff() == 0:
-				// Identical for all items; uniform after all.
-				return outer
-			case diff.ag == 0 && diff.c%diff.al == 0:
-				l := -diff.c / diff.al
-				if l >= 0 && l < lidDomain {
-					g = guard{kind: guardLidEq, lidVal: l, cond: cond}
-				} else {
-					g = guard{kind: guardUnique, cond: cond} // dead in-domain; be safe
-				}
-			default:
-				// gid == K etc.: exactly one item, unknown lid.
-				g = guard{kind: guardUnique, cond: cond}
-			}
-		}
-	}
-	// Merge with the outer guard.
-	switch {
-	case outer.kind == guardAll:
-		return g
-	case g.kind == guardOpaque || outer.kind == guardOpaque:
-		return guard{kind: guardOpaque, cond: cond}
-	case outer.kind == guardLidEq && g.kind == guardLidEq && outer.lidVal != g.lidVal:
-		return guard{kind: guardOpaque, cond: cond} // contradictory: dead code
-	case g.kind == guardLidEq:
-		return g
-	default:
-		return outer
-	}
-}
-
-func (rc *raceCollector) walk(s ast.Stmt, g guard) {
-	switch s := s.(type) {
-	case nil:
-	case *ast.BlockStmt:
-		for _, inner := range s.List {
-			rc.walk(inner, g)
-		}
-	case *ast.IfStmt:
-		rc.walk(s.Then, rc.classify(g, s.Cond))
-		if s.Else != nil {
-			// The else branch of a divergent condition is an unknown
-			// complement subset; of a uniform condition, all items.
-			eg := g
-			if rc.u.Divergent(s.Cond) {
-				eg = guard{kind: guardOpaque, cond: s.Cond}
-			}
-			rc.walk(s.Else, eg)
-		}
-	case *ast.ForStmt:
-		rc.walk(s.Init, g)
-		bg := rc.classify(g, s.Cond)
-		rc.collectExpr(s.Post, bg, false)
-		rc.walk(s.Body, bg)
-	case *ast.WhileStmt:
-		rc.walk(s.Body, rc.classify(g, s.Cond))
-	case *ast.DoWhileStmt:
-		rc.walk(s.Body, rc.classify(g, s.Cond))
-	case *ast.ExprStmt:
-		if _, ok := builtinCall(rc.ctx.Sema, s.X, builtin.Barrier); ok {
-			rc.phase++
+	var out []irAccess
+	f.Each(func(i int, e *dataflow.Env) {
+		in := &k.Code[i]
+		var write, atomic bool
+		switch in.Op {
+		case ir.LoadI, ir.LoadF:
+		case ir.StoreI, ir.StoreF:
+			write = true
+		case ir.AtomicOp:
+			write, atomic = true, true
+		default:
 			return
 		}
-		rc.collectExpr(s.X, g, false)
-	case *ast.DeclStmt:
-		for _, d := range s.Decls {
-			rc.collectExpr(d.Init, g, false)
+		aff := e.Affine(in.B)
+		if !aff.OK {
+			return
 		}
-	case *ast.ReturnStmt:
-		rc.collectExpr(s.X, g, false)
-	}
-}
-
-// record adds an access to sym through an index expression.
-func (rc *raceCollector) record(sym *sema.Symbol, idx ast.Expr, elemBytes, spanBytes int64, write, atomic bool, pos token.Pos, g guard) {
-	if sym == nil || g.kind == guardOpaque {
-		return
-	}
-	var space ast.AddressSpace
-	switch {
-	case sym.Kind == sema.SymArray:
-		space = sym.Space
-	case sym.Kind == sema.SymParam && sym.Type != nil && sym.Type.IsPointer():
-		space = sym.Type.Space
-	default:
-		return
-	}
-	if space != ast.LocalSpace && space != ast.GlobalSpace {
-		return // __constant and __private cannot race within a group
-	}
-	aff := rc.env.eval(idx)
-	if !aff.ok {
-		return
-	}
-	rc.accesses = append(rc.accesses, memAccess{
-		sym:    sym,
-		space:  space,
-		start:  aff.scale(elemBytes),
-		span:   spanBytes,
-		write:  write,
-		atomic: atomic,
-		pos:    pos,
-		phase:  rc.phase,
-		guard:  g,
+		a := irAccess{
+			instr:    i,
+			c:        aff.C,
+			lidCoeff: aff.Lid + aff.Gid,
+			gidCoeff: aff.Gid,
+			write:    write,
+			atomic:   atomic,
+			pos:      in.Pos,
+		}
+		w := int64(in.Width)
+		if w == 0 {
+			w = 1
+		}
+		a.span = int64(in.Base.Size()) * w
+		if a.span <= 0 {
+			return
+		}
+		switch {
+		case aff.SymC == 1:
+			p := paramBySlot(k, aff.Sym)
+			if p == nil {
+				return
+			}
+			if p.Class == ir.ParamLocalPtr {
+				a.space = ir.SpaceLocal
+			} else {
+				a.space = ir.SpaceGlobal
+			}
+			a.param, a.name = aff.Sym, p.Name
+		case aff.SymC == 0:
+			space, off := ir.DecodeAddr(aff.C)
+			if space != ir.SpaceLocal {
+				return // private arenas are per-item; constants read-only
+			}
+			a.param, a.space, a.c = -1, space, off
+		default:
+			return
+		}
+		gi := guardsFor(i)
+		if gi.opaque {
+			return // data-dependent divergent guard: not analyzable
+		}
+		for _, con := range gi.cons {
+			switch {
+			case con.Diff.Gid == 0 && con.Diff.SymC == 0:
+				a.cons = append(a.cons, con)
+			case con.Unique():
+				if a.uniq == nil {
+					a.uniq = map[dataflow.Constraint]bool{}
+				}
+				a.uniq[con] = true
+			default:
+				return // divergent subset we cannot reason about
+			}
+		}
+		out = append(out, a)
 	})
+	return out
 }
 
-// elemSize returns the byte size of one indexed element of sym.
-func elemSize(sym *sema.Symbol) int64 {
-	if sym == nil || sym.Type == nil {
-		return 0
+func paramBySlot(k *ir.Kernel, slot int32) *ir.Param {
+	for i := range k.Params {
+		p := &k.Params[i]
+		if p.Slot != slot {
+			continue
+		}
+		if p.Class == ir.ParamGlobalPtr || p.Class == ir.ParamLocalPtr {
+			return p
+		}
+		return nil
 	}
-	t := sym.Type
-	if sym.Kind == sema.SymParam && t.IsPointer() {
-		t = t.Elem
-	}
-	if t == nil {
-		return 0
-	}
-	return int64(t.Size())
+	return nil
 }
 
-// collectExpr records every memory access in e. isWrite marks the
-// expression itself as a store target (used for assignment LHS).
-func (rc *raceCollector) collectExpr(e ast.Expr, g guard, isWrite bool) {
-	if e == nil {
-		return
+func spaceName(space int) string {
+	if space == ir.SpaceLocal {
+		return "__local"
 	}
-	switch e := unparen(e).(type) {
-	case *ast.AssignExpr:
-		// Compound assignment reads then writes the target.
-		if lhs, ok := unparen(e.LHS).(*ast.IndexExpr); ok {
-			if e.Op != token.ASSIGN {
-				rc.collectIndex(lhs, g, false)
-			}
-			rc.collectIndex(lhs, g, true)
-			rc.collectExpr(lhs.Index, g, false)
-		} else {
-			rc.collectExpr(e.LHS, g, false)
-		}
-		rc.collectExpr(e.RHS, g, false)
-	case *ast.PostfixExpr:
-		if x, ok := unparen(e.X).(*ast.IndexExpr); ok {
-			rc.collectIndex(x, g, false)
-			rc.collectIndex(x, g, true)
-			rc.collectExpr(x.Index, g, false)
-		} else {
-			rc.collectExpr(e.X, g, false)
-		}
-	case *ast.UnaryExpr:
-		if e.Op == token.INC || e.Op == token.DEC {
-			if x, ok := unparen(e.X).(*ast.IndexExpr); ok {
-				rc.collectIndex(x, g, false)
-				rc.collectIndex(x, g, true)
-				rc.collectExpr(x.Index, g, false)
-				return
-			}
-		}
-		rc.collectExpr(e.X, g, false)
-	case *ast.IndexExpr:
-		rc.collectIndex(e, g, isWrite)
-		rc.collectExpr(e.Index, g, false)
-	case *ast.CallExpr:
-		info := rc.ctx.Sema.Calls[e]
-		if info != nil && info.Kind == sema.CallBuiltin {
-			if n, ok := info.Builtin.IsVload(); ok && len(e.Args) == 2 {
-				rc.collectVec(e, n, false, g)
-				return
-			}
-			if n, ok := info.Builtin.IsVstore(); ok && len(e.Args) == 3 {
-				rc.collectExpr(e.Args[0], g, false)
-				rc.collectVec(e, n, true, g)
-				return
-			}
-			if info.Builtin.IsAtomic() && len(e.Args) > 0 {
-				// atomic_op(&p[i], ...) — an atomic access to p[i].
-				if addr, ok := unparen(e.Args[0]).(*ast.UnaryExpr); ok && addr.Op == token.AND {
-					if ix, ok := unparen(addr.X).(*ast.IndexExpr); ok {
-						sym := symOf(rc.ctx.Sema, ix.X)
-						es := elemSize(sym)
-						if es > 0 {
-							rc.record(sym, ix.Index, es, es, true, true, ix.Pos(), g)
-						}
-						rc.collectExpr(ix.Index, g, false)
-					}
-				}
-				for _, a := range e.Args[1:] {
-					rc.collectExpr(a, g, false)
-				}
-				return
-			}
-		}
-		for _, a := range e.Args {
-			rc.collectExpr(a, g, false)
-		}
-	case *ast.BinaryExpr:
-		rc.collectExpr(e.X, g, false)
-		rc.collectExpr(e.Y, g, false)
-	case *ast.CondExpr:
-		rc.collectExpr(e.Cond, g, false)
-		rc.collectExpr(e.Then, g, false)
-		rc.collectExpr(e.Else, g, false)
-	case *ast.MemberExpr:
-		rc.collectExpr(e.X, g, isWrite)
-	case *ast.CastExpr:
-		rc.collectExpr(e.X, g, false)
-	case *ast.VectorLit:
-		for _, el := range e.Elems {
-			rc.collectExpr(el, g, false)
-		}
-	}
+	return "__global"
 }
 
-func (rc *raceCollector) collectIndex(ix *ast.IndexExpr, g guard, write bool) {
-	sym := symOf(rc.ctx.Sema, ix.X)
-	es := elemSize(sym)
-	if es <= 0 {
-		return
+// regionName resolves the display name for the conflicting bytes: the
+// parameter name for buffer accesses, or the declared array containing
+// the byte for in-kernel __local arrays.
+func regionName(k *ir.Kernel, a *irAccess, byteOff int64) string {
+	if a.param >= 0 {
+		return a.name
 	}
-	rc.record(sym, ix.Index, es, es, write, false, ix.Pos(), g)
+	addr := ir.EncodeAddr(a.space, byteOff)
+	for i := range k.Arrays {
+		if k.Arrays[i].Space == a.space && k.Arrays[i].Contains(addr) {
+			return k.Arrays[i].Name
+		}
+	}
+	return "memory"
 }
 
-// collectVec records a vloadN/vstoreN access: the offset argument is
-// in units of N elements.
-func (rc *raceCollector) collectVec(call *ast.CallExpr, n int, write bool, g guard) {
-	ptrArg := call.Args[len(call.Args)-1]
-	offArg := call.Args[len(call.Args)-2]
-	if write {
-		offArg = call.Args[1]
-		ptrArg = call.Args[2]
-	}
-	sym := symOf(rc.ctx.Sema, ptrArg)
-	es := elemSize(sym)
-	if es <= 0 {
-		return
-	}
-	rc.record(sym, offArg, es*int64(n), es*int64(n), write, false, call.Pos(), g)
-	rc.collectExpr(offArg, g, false)
-}
-
-// reportConflicts brute-forces every comparable access pair over the
-// local-id domain and reports provable same-phase conflicts.
-func (rc *raceCollector) reportConflicts() {
-	type pairKey struct {
-		a, b token.Pos
-	}
-	reported := make(map[pairKey]bool)
-	for i := 0; i < len(rc.accesses); i++ {
-		for j := i; j < len(rc.accesses); j++ {
-			a, b := rc.accesses[i], rc.accesses[j]
-			if a.sym != b.sym || a.phase != b.phase {
+// reportIRConflicts brute-forces every comparable access pair over the
+// local-id domain and reports provable same-interval conflicts.
+func reportIRConflicts(c *Context, f *dataflow.Facts, accesses []irAccess) {
+	type pairKey struct{ a, b token.Pos }
+	reported := map[pairKey]bool{}
+	for i := 0; i < len(accesses); i++ {
+		for j := i; j < len(accesses); j++ {
+			a, b := &accesses[i], &accesses[j]
+			if a.param != b.param || a.space != b.space {
 				continue
 			}
 			if !a.write && !b.write {
@@ -401,21 +252,24 @@ func (rc *raceCollector) reportConflicts() {
 			if a.atomic && b.atomic {
 				continue // atomics serialize against each other
 			}
-			// The groupBase terms only cancel when both accesses carry
-			// the same get_global_id coefficient.
-			if a.start.ag != b.start.ag {
+			// The group-base terms only cancel when both accesses carry
+			// the same gid coefficient.
+			if a.gidCoeff != b.gidCoeff {
 				continue
 			}
 			// Accesses under the same single-item guard are executed by
-			// one work-item in program order.
-			if a.guard.cond != nil && a.guard.cond == b.guard.cond &&
-				a.guard.kind != guardAll && b.guard.kind != guardAll {
+			// one work-item in program order; a single-item access
+			// cannot race itself either.
+			if i == j && len(a.uniq) > 0 {
 				continue
 			}
-			if i == j && a.guard.kind != guardAll {
-				continue // a single-item access cannot race itself
+			if i != j && sharedUnique(a, b) {
+				continue
 			}
-			l1, l2, found := findConflict(a, b)
+			if !f.MaySharePhase(a.instr, b.instr) {
+				continue
+			}
+			l1, l2, found := findIRConflict(a, b)
 			if !found {
 				continue
 			}
@@ -431,39 +285,51 @@ func (rc *raceCollector) reportConflicts() {
 			if a.atomic != b.atomic {
 				what = "atomic/plain"
 			}
-			msg := fmt.Sprintf("intra-work-group %s race on %s '%s': work-items %d and %d touch the same bytes in the same barrier interval (other access at %s)",
-				what, a.space, a.sym.Name, l1, l2, earlierPos(a.pos, b.pos))
-			if i == j {
+			name := regionName(c.IR, a, a.at(l1))
+			space := spaceName(a.space)
+			var msg string
+			switch {
+			case i == j && len(a.cons) == 0:
 				msg = fmt.Sprintf("intra-work-group %s race on %s '%s': every work-item stores to the same bytes in the same barrier interval",
-					what, a.space, a.sym.Name)
+					what, space, name)
+			case i == j:
+				msg = fmt.Sprintf("intra-work-group %s race on %s '%s': work-items %d and %d touch the same bytes in the same barrier interval",
+					what, space, name, l1, l2)
+			default:
+				msg = fmt.Sprintf("intra-work-group %s race on %s '%s': work-items %d and %d touch the same bytes in the same barrier interval (other access at %s)",
+					what, space, name, l1, l2, earlierPos(a.pos, b.pos))
 			}
-			rc.ctx.Report(Error, laterPos(a.pos, b.pos), msg,
+			c.Report(Error, laterPos(a.pos, b.pos), msg,
 				"separate the accesses with barrier(CLK_LOCAL_MEM_FENCE) or make the index work-item-private")
 		}
 	}
 }
 
-// findConflict searches the lid domain for two distinct work-items
-// whose accesses overlap in bytes while both guards are satisfied.
-func findConflict(a, b memAccess) (int64, int64, bool) {
-	admit := func(g guard, l int64) bool {
-		switch g.kind {
-		case guardLidEq:
-			return l == g.lidVal
-		default: // guardAll, guardUnique (some single unknown item)
+// sharedUnique reports whether both accesses sit under a common
+// single-item guard (the same canonical constraint admits at most one
+// work-item, which then executes both accesses in program order).
+func sharedUnique(a, b *irAccess) bool {
+	for con := range a.uniq { // maligo:allow maporder pure membership test
+		if b.uniq[con] {
 			return true
 		}
 	}
+	return false
+}
+
+// findIRConflict searches the lid domain for two distinct admitted
+// work-items whose accesses overlap in bytes.
+func findIRConflict(a, b *irAccess) (int64, int64, bool) {
 	for l1 := int64(0); l1 < lidDomain; l1++ {
-		if !admit(a.guard, l1) {
+		if !a.admit(l1) {
 			continue
 		}
-		s1 := a.start.at(l1)
+		s1 := a.at(l1)
 		for l2 := int64(0); l2 < lidDomain; l2++ {
-			if l1 == l2 || !admit(b.guard, l2) {
+			if l1 == l2 || !b.admit(l2) {
 				continue
 			}
-			s2 := b.start.at(l2)
+			s2 := b.at(l2)
 			if s1 < s2+b.span && s2 < s1+a.span {
 				return l1, l2, true
 			}
@@ -486,30 +352,103 @@ func laterPos(a, b token.Pos) token.Pos {
 	return b
 }
 
-// passBounds reports constant array indices that fall outside the
-// declared bounds of fixed-size __private/__local arrays.
+// ---------------------------------------------------------------------------
+// Bounds checking.
+
+// passBounds reports accesses to fixed-size __local/__private arrays
+// whose address provably (constant index) or possibly (derived value
+// range) falls outside the declared extent. Unreachable code is not
+// checked — the engine's edge executability prunes statically dead
+// branches — and launch-dependent indices (lid/gid terms) are skipped
+// because group sizes are not known statically.
 func passBounds(c *Context) {
-	allExprs(c.Fn.Body, func(e ast.Expr) {
-		ix, ok := e.(*ast.IndexExpr)
-		if !ok {
+	f := c.Facts()
+	if f == nil {
+		return
+	}
+	k := c.IR
+	f.Each(func(i int, e *dataflow.Env) {
+		in := &k.Code[i]
+		switch in.Op {
+		case ir.LoadI, ir.LoadF, ir.StoreI, ir.StoreF:
+		default:
 			return
 		}
-		sym := symOf(c.Sema, ix.X)
-		if sym == nil || sym.ArrayLen <= 0 {
+		aff := e.Affine(in.B)
+		if aff.OK && (aff.Lid != 0 || aff.Gid != 0 || aff.SymC != 0) {
+			return // depends on ids or runtime pointers
+		}
+		iv := e.Interval(in.B)
+		if iv.Lo == dataflow.NegInf || iv.Hi == dataflow.PosInf || iv.Hi-iv.Lo > 1<<24 {
+			return // unbounded or junk-bounded address
+		}
+		spaceLo, offLo := ir.DecodeAddr(iv.Lo)
+		spaceHi, offHi := ir.DecodeAddr(iv.Hi)
+		if spaceLo != spaceHi {
 			return
 		}
-		if sym.Kind != sema.SymArray && sym.Kind != sema.SymFileVar {
+		if spaceLo != ir.SpaceLocal && spaceLo != ir.SpacePrivate {
 			return
 		}
-		idx, ok := constEval(c.Sema, ix.Index)
-		if !ok {
+		w := int64(in.Width)
+		if w == 0 {
+			w = 1
+		}
+		span := int64(in.Base.Size()) * w
+		arr := findArray(k, spaceLo, offLo)
+		if arr == nil || arr.ElemSize <= 0 {
 			return
 		}
-		if idx >= 0 && idx < int64(sym.ArrayLen) {
+		relLo := offLo - arr.Offset
+		relEnd := offHi + span - arr.Offset
+		if relLo >= 0 && relEnd <= arr.Bytes {
 			return
 		}
-		c.Report(Error, ix.Pos(),
-			fmt.Sprintf("index %d is out of bounds for '%s[%d]'", idx, sym.Name, sym.ArrayLen),
-			"the access wraps or faults at run time; fix the index or the array length")
+		if offLo == offHi {
+			idx := floorDiv(relLo, arr.ElemSize)
+			c.Report(Error, in.Pos,
+				fmt.Sprintf("index %d is out of bounds for '%s[%d]'", idx, arr.Name, arr.Len),
+				"the access wraps or faults at run time; fix the index or the array length")
+			return
+		}
+		idx := floorDiv(relLo, arr.ElemSize)
+		if relEnd > arr.Bytes {
+			idx = floorDiv(offHi-arr.Offset, arr.ElemSize)
+		}
+		c.Report(Warning, in.Pos,
+			fmt.Sprintf("index may reach %d, out of bounds for '%s[%d]'", idx, arr.Name, arr.Len),
+			"the derived value range of the index extends past the array; tighten the loop bound or guard")
 	})
+}
+
+// findArray picks the declared array an offset indexes from: the one
+// whose extent contains it, else the nearest array starting at or
+// below it (an overflowing index lands past its own array), else the
+// nearest above (a negative index lands before it).
+func findArray(k *ir.Kernel, space int, off int64) *ir.ArrayDecl {
+	var floor, above *ir.ArrayDecl
+	for i := range k.Arrays {
+		a := &k.Arrays[i]
+		if a.Space != space {
+			continue
+		}
+		if a.Offset <= off && (floor == nil || a.Offset > floor.Offset) {
+			floor = a
+		}
+		if a.Offset > off && (above == nil || a.Offset < above.Offset) {
+			above = a
+		}
+	}
+	if floor != nil {
+		return floor
+	}
+	return above
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
 }

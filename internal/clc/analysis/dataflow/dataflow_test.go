@@ -1,0 +1,321 @@
+package dataflow
+
+import (
+	"testing"
+
+	"maligo/internal/clc"
+	"maligo/internal/clc/ir"
+)
+
+func compile(t *testing.T, src string) *ir.Kernel {
+	t.Helper()
+	prog, err := clc.Compile("test.cl", src, "")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for _, name := range prog.KernelNames() {
+		return prog.Kernels[name]
+	}
+	t.Fatal("no kernels")
+	return nil
+}
+
+func analyze(t *testing.T, src string) (*ir.Kernel, *Facts) {
+	k := compile(t, src)
+	return k, Analyze(k)
+}
+
+func TestGraphShape(t *testing.T) {
+	k, f := analyze(t, `
+__kernel void k(__global int *out, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += i;
+    out[0] = s;
+}`)
+	g := f.G
+	if len(g.Blocks) < 4 {
+		t.Fatalf("expected a loop-shaped CFG, got %d blocks", len(g.Blocks))
+	}
+	// Entry dominates everything reachable; exit postdominates.
+	for _, b := range g.Blocks {
+		if !g.Reachable(b.ID) {
+			continue
+		}
+		if !g.Dominates(0, b.ID) {
+			t.Errorf("entry does not dominate block %d", b.ID)
+		}
+	}
+	if k.Code[len(k.Code)-1].Op != ir.Ret {
+		t.Fatalf("kernel should end in ret")
+	}
+}
+
+// storeIndex locates the nth store instruction.
+func storeIndex(k *ir.Kernel, n int) int {
+	for i, in := range k.Code {
+		if in.Op == ir.StoreI || in.Op == ir.StoreF {
+			if n == 0 {
+				return i
+			}
+			n--
+		}
+	}
+	return -1
+}
+
+func TestDeadBranchUnreachable(t *testing.T) {
+	k, f := analyze(t, `
+__kernel void k(__global int *out) {
+    int n = 4;
+    int acc[8];
+    acc[0] = 1;
+    if (n > 8) { acc[7] = 2; }
+    out[0] = acc[0];
+}`)
+	// The store inside the statically-false branch must be marked
+	// unreachable.
+	dead := storeIndex(k, 1)
+	if dead < 0 {
+		t.Fatal("no second store found")
+	}
+	if f.Reachable(dead) {
+		t.Errorf("store in `if (4 > 8)` branch should be unreachable")
+	}
+	if !f.Reachable(storeIndex(k, 0)) {
+		t.Errorf("first store should be reachable")
+	}
+}
+
+func TestLoopRangeRefinement(t *testing.T) {
+	k, f := analyze(t, `
+__kernel void k(__global int *out) {
+    int s = 0;
+    for (int i = 0; i < 16; i++) s += i;
+    out[0] = s;
+}`)
+	// Find the AddI implementing s += i and check i's range there.
+	// The loop body executes with i in [0, 15].
+	var checked bool
+	f.Each(func(i int, e *Env) {
+		in := &k.Code[i]
+		if in.Op != ir.AddI || checked {
+			return
+		}
+		// s += i reads two non-constant slots; identify it by both
+		// operands having known intervals, one of them [0,15].
+		b, c := e.Interval(in.B), e.Interval(in.C)
+		for _, v := range []Interval{b, c} {
+			if (v == Interval{0, 15}) {
+				checked = true
+			}
+		}
+	})
+	if !checked {
+		t.Errorf("no instruction saw the induction variable refined to [0,15]")
+	}
+}
+
+func TestAffineLidGid(t *testing.T) {
+	k, f := analyze(t, `
+__kernel void k(__global int *out) {
+    int lid = get_local_id(0);
+    int gid = get_global_id(0);
+    out[gid] = lid * 2 + 1;
+}`)
+	st := storeIndex(k, 0)
+	if st < 0 {
+		t.Fatal("no store")
+	}
+	// The stored value is 2*lid + 1.
+	a := f.AffineBefore(st, k.Code[st].A)
+	if !a.OK || a.Lid != 2 || a.C != 1 || a.Gid != 0 {
+		t.Errorf("stored value affine = %v, want 1+2*lid", a)
+	}
+	// The address is base + 4*gid.
+	addr := f.AffineBefore(st, k.Code[st].B)
+	if !addr.OK || addr.Gid != 4 || addr.SymC != 1 {
+		t.Errorf("store address affine = %v, want sym+4*gid", addr)
+	}
+}
+
+func TestDivergenceAndInfluence(t *testing.T) {
+	k, f := analyze(t, `
+__kernel void k(__global int *out, int n) {
+    int lid = get_local_id(0);
+    int u = n + 1;
+    if (lid < 4) { out[lid] = u; }
+    if (u > 2) { out[99] = 1; }
+}`)
+	st0 := storeIndex(k, 0) // under divergent guard
+	st1 := storeIndex(k, 1) // under uniform guard
+	if !f.DivergentControl(st0) {
+		t.Errorf("store under lid guard should be divergence-influenced")
+	}
+	if f.DivergentControl(st1) {
+		t.Errorf("store under uniform guard should not be divergence-influenced")
+	}
+	if f.DivergentBefore(st0, ir.BankI, k.Code[st0].A) {
+		// u = n + 1 is uniform even though it is stored under
+		// divergent control (the value, not the store, is queried).
+		t.Errorf("uniform value reported divergent")
+	}
+}
+
+func TestMaySharePhase(t *testing.T) {
+	k, f := analyze(t, `
+__kernel void k(__global int *out) {
+    __local int tile[16];
+    int lid = get_local_id(0);
+    tile[lid] = lid;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[lid] = tile[15 - lid];
+}`)
+	w := storeIndex(k, 0)
+	var rd int = -1
+	for i, in := range k.Code {
+		if in.Op == ir.LoadI && i > w {
+			rd = i
+			break
+		}
+	}
+	if w < 0 || rd < 0 {
+		t.Fatal("access sites not found")
+	}
+	if f.MaySharePhase(w, rd) {
+		t.Errorf("write and post-barrier read should not share a phase")
+	}
+	if !f.MaySharePhase(w, w) {
+		t.Errorf("an access always shares a phase with itself")
+	}
+}
+
+func TestPhaseDivergedArms(t *testing.T) {
+	// Different work-items may take different arms of a divergent
+	// branch within the same barrier interval.
+	k, f := analyze(t, `
+__kernel void k(__global int *out) {
+    __local int tile[16];
+    int lid = get_local_id(0);
+    if (lid < 8) { tile[0] = 1; } else { tile[1] = 2; }
+    out[lid] = tile[0];
+}`)
+	a := storeIndex(k, 0)
+	b := storeIndex(k, 1)
+	if a < 0 || b < 0 {
+		t.Fatal("stores not found")
+	}
+	if !f.MaySharePhase(a, b) {
+		t.Errorf("if/else arms share the enclosing barrier interval")
+	}
+}
+
+func TestLoopTripCount(t *testing.T) {
+	_, f := analyze(t, `
+__kernel void k(__global int *out) {
+    int s = 0;
+    for (int i = 0; i < 16; i++) s += i;
+    for (int j = 0; j <= 8; j += 2) s += j;
+    out[0] = s;
+}`)
+	loops := f.Loops()
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	if loops[0].Trip != 16 {
+		t.Errorf("first loop trip = %d, want 16", loops[0].Trip)
+	}
+	if loops[1].Trip != 5 {
+		t.Errorf("second loop trip = %d, want 5", loops[1].Trip)
+	}
+}
+
+func TestGuardEquivalence(t *testing.T) {
+	// Two separate `if (gid == n)` statements must produce the same
+	// canonical uniqueness constraint — the source of a pinned race
+	// false positive in the syntax-level analyzer.
+	k, f := analyze(t, `
+__kernel void k(__global int *out, int n) {
+    int gid = get_global_id(0);
+    if (gid == n) { out[0] = 1; }
+    if (gid == n) { out[0] = 2; }
+}`)
+	s0, s1 := storeIndex(k, 0), storeIndex(k, 1)
+	g0, op0 := f.GuardsFor(f.G.BlockOf(s0).ID)
+	g1, op1 := f.GuardsFor(f.G.BlockOf(s1).ID)
+	if op0 || op1 {
+		t.Fatalf("gid==n guards should not be opaque")
+	}
+	if len(g0) != 1 || len(g1) != 1 {
+		t.Fatalf("guard counts = %d, %d, want 1, 1", len(g0), len(g1))
+	}
+	if !g0[0].Unique() {
+		t.Errorf("gid==n is a uniqueness guard")
+	}
+	if g0[0] != g1[0] {
+		t.Errorf("identical guards not canonicalized: %+v vs %+v", g0[0], g1[0])
+	}
+}
+
+func TestGuardEvalLid(t *testing.T) {
+	k, f := analyze(t, `
+__kernel void k(__global int *out) {
+    int lid = get_local_id(0);
+    if (lid < 4) { out[lid] = 1; }
+}`)
+	st := storeIndex(k, 0)
+	cons, opaque := f.GuardsFor(f.G.BlockOf(st).ID)
+	if opaque || len(cons) != 1 {
+		t.Fatalf("guards = %v opaque=%v, want one transparent constraint", cons, opaque)
+	}
+	for l := int64(0); l < 8; l++ {
+		holds, ok := cons[0].EvalLid(l)
+		if !ok {
+			t.Fatalf("lid constraint should evaluate")
+		}
+		if holds != (l < 4) {
+			t.Errorf("lid=%d: holds=%v, want %v", l, holds, l < 4)
+		}
+	}
+}
+
+func TestDefUseChains(t *testing.T) {
+	k, f := analyze(t, `
+__kernel void k(__global int *out, int n) {
+    int x = 1;
+    if (n > 0) { x = 2; }
+    out[0] = x;
+}`)
+	st := storeIndex(k, 0)
+	du := f.DefUse()
+	defs := du.DefsAt(st, ir.RegRef{Bank: ir.BankI, Slot: k.Code[st].A, Width: 1})
+	if len(defs) != 2 {
+		t.Fatalf("x at the store has %d reaching defs (%v), want 2", len(defs), defs)
+	}
+	for _, d := range defs {
+		uses := du.UsesOf(d)
+		found := false
+		for _, u := range uses {
+			if u == st {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("def %d does not list the store %d among uses %v", d, st, uses)
+		}
+	}
+}
+
+func TestInterproceduralAffine(t *testing.T) {
+	// Helpers are inlined during lowering; facts must flow through.
+	k, f := analyze(t, `
+int idx(int base) { return base * 2; }
+__kernel void k(__global int *out) {
+    int lid = get_local_id(0);
+    out[idx(lid)] = 1;
+}`)
+	st := storeIndex(k, 0)
+	addr := f.AffineBefore(st, k.Code[st].B)
+	if !addr.OK || addr.Gid != 0 || addr.Lid != 8 {
+		t.Errorf("address affine through helper = %v, want sym+8*lid", addr)
+	}
+}

@@ -1,0 +1,193 @@
+package dataflow
+
+import (
+	"sort"
+
+	"maligo/internal/clc/ir"
+)
+
+// DefUse holds SSA-style def-use chains computed by classic reaching
+// definitions over (bank, slot) pairs. Because lowering reuses slots
+// for named variables, a use can see several reaching definitions;
+// the chains enumerate all of them.
+type DefUse struct {
+	g *Graph
+	// in[b] maps a slot key to the definition instruction indices that
+	// reach the entry of block b.
+	in []map[regKey][]int
+}
+
+type regKey struct {
+	bank int
+	slot int32
+}
+
+func keysOf(r ir.RegRef) []regKey {
+	ks := make([]regKey, r.Width)
+	for i := int32(0); i < r.Width; i++ {
+		ks[i] = regKey{r.Bank, r.Slot + i}
+	}
+	return ks
+}
+
+// DefUse lazily computes and caches the def-use chains.
+func (f *Facts) DefUse() *DefUse {
+	if f.du == nil {
+		f.du = buildDefUse(f.G)
+	}
+	return f.du
+}
+
+func buildDefUse(g *Graph) *DefUse {
+	code := g.Kernel.Code
+	du := &DefUse{g: g, in: make([]map[regKey][]int, len(g.Blocks))}
+
+	// Per-block gen sets: last definition of each slot in the block.
+	gen := make([]map[regKey]int, len(g.Blocks))
+	for _, b := range g.Blocks {
+		m := map[regKey]int{}
+		for i := b.Start; i < b.End; i++ {
+			if d, ok := ir.Def(&code[i]); ok {
+				for _, k := range keysOf(d) {
+					m[k] = i
+				}
+			}
+		}
+		gen[b.ID] = m
+	}
+
+	merge := func(dst map[regKey][]int, src map[regKey][]int) bool {
+		changed := false
+		for k, defs := range src { // maligo:allow maporder per-key def lists merge independently
+			have := dst[k]
+			for _, d := range defs {
+				found := false
+				for _, h := range have {
+					if h == d {
+						found = true
+						break
+					}
+				}
+				if !found {
+					have = append(have, d)
+					changed = true
+				}
+			}
+			dst[k] = have
+		}
+		return changed
+	}
+
+	out := make([]map[regKey][]int, len(g.Blocks))
+	for i := range out {
+		out[i] = map[regKey][]int{}
+	}
+	du.in[0] = map[regKey][]int{}
+	work := append([]int(nil), g.RPO...)
+	queued := make([]bool, len(g.Blocks))
+	for _, b := range work {
+		queued[b] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		if du.in[b] == nil {
+			du.in[b] = map[regKey][]int{}
+		}
+		// out = gen ∪ (in minus killed)
+		newOut := map[regKey][]int{}
+		for k, defs := range du.in[b] { // maligo:allow maporder distinct keys fill another map
+			if _, killed := gen[b][k]; !killed {
+				newOut[k] = defs
+			}
+		}
+		for k, d := range gen[b] { // maligo:allow maporder distinct keys fill another map
+			newOut[k] = []int{d}
+		}
+		changed := false
+		for k, defs := range newOut { // maligo:allow maporder per-key merges commute
+			if merge(out[b], map[regKey][]int{k: defs}) {
+				changed = true
+			}
+		}
+		if !changed && len(out[b]) > 0 {
+			// No growth; successors already saw this state.
+			continue
+		}
+		for _, s := range g.Blocks[b].Succs {
+			if du.in[s] == nil {
+				du.in[s] = map[regKey][]int{}
+			}
+			if merge(du.in[s], out[b]) && !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return du
+}
+
+// DefsAt returns the definition sites whose values can reach the use
+// of register r at instruction i, sorted ascending.
+func (du *DefUse) DefsAt(i int, r ir.RegRef) []int {
+	blk := du.g.BlockOf(i)
+	set := map[int]bool{}
+	resolved := map[regKey]bool{}
+	// Walk the block prefix: the last in-block def of each slot wins.
+	for j := i - 1; j >= blk.Start; j-- {
+		if d, ok := ir.Def(&du.g.Kernel.Code[j]); ok && d.Overlaps(r) {
+			for _, k := range keysOf(d) {
+				if k.bank == r.Bank && k.slot >= r.Slot && k.slot < r.Slot+r.Width && !resolved[k] {
+					resolved[k] = true
+					set[j] = true
+				}
+			}
+		}
+	}
+	if du.in[blk.ID] != nil {
+		for _, k := range keysOf(r) {
+			if resolved[k] {
+				continue
+			}
+			for _, d := range du.in[blk.ID][k] {
+				set[d] = true
+			}
+		}
+	}
+	defs := make([]int, 0, len(set))
+	for d := range set { // maligo:allow maporder sorted on the next line
+		defs = append(defs, d)
+	}
+	sort.Ints(defs)
+	return defs
+}
+
+// UsesOf returns the instruction indices that may use the value
+// defined at instruction def, sorted ascending.
+func (du *DefUse) UsesOf(def int) []int {
+	d, ok := ir.Def(&du.g.Kernel.Code[def])
+	if !ok {
+		return nil
+	}
+	var uses []int
+	code := du.g.Kernel.Code
+	for i := range code {
+		hit := false
+		ir.Uses(&code[i], func(r ir.RegRef) {
+			if hit || !r.Overlaps(d) {
+				return
+			}
+			for _, rd := range du.DefsAt(i, r) {
+				if rd == def {
+					hit = true
+					return
+				}
+			}
+		})
+		if hit {
+			uses = append(uses, i)
+		}
+	}
+	return uses
+}

@@ -1,0 +1,135 @@
+package dataflow
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"maligo/internal/clc"
+	"maligo/internal/clc/ir"
+)
+
+// FuzzSolver throws compiler-accepted kernels at the dataflow engine
+// and checks the solver's structural invariants on whatever comes out:
+// it never panics, stored interval facts are never empty (Lo <= Hi),
+// every reachable instruction sits in exactly one block, the fixpoint
+// is deterministic (two runs agree fact for fact), and facts are
+// monotone along straight-line flow — transferring the environment
+// before an instruction yields exactly the environment the solver
+// reports after it.
+func FuzzSolver(f *testing.F) {
+	f.Add(`__kernel void k(__global float* p) { p[get_global_id(0)] = 0.0f; }`)
+	f.Add(`__kernel void k(__global int* p, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += i;
+    p[0] = s;
+}`)
+	f.Add(`__kernel void k(__local int* l) {
+    int i = get_local_id(0);
+    if (i < 2) { l[i] = i; }
+    barrier(1);
+    l[0] = l[i];
+}`)
+	f.Add(`int h(int x) { return x - 3; }
+__kernel void k(__global int* p) {
+    for (int i = 0; i <= 8; i++) { p[h(i)] = i; }
+}`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := clc.Compile("fuzz.cl", src, "")
+		if err != nil {
+			return // only compiler-accepted inputs are in scope
+		}
+		for _, name := range prog.KernelNames() {
+			k := prog.Kernels[name]
+			facts := Analyze(k)
+			checkInvariants(t, k, facts)
+			if d1, d2 := dumpFacts(k, facts), dumpFacts(k, Analyze(k)); d1 != d2 {
+				t.Fatalf("%s: solver nondeterministic:\n%s\n--- vs ---\n%s", name, d1, d2)
+			}
+		}
+	})
+}
+
+func checkInvariants(t *testing.T, k *ir.Kernel, f *Facts) {
+	t.Helper()
+	owner := make([]int, len(k.Code))
+	for i := range owner {
+		owner[i] = -1
+	}
+	for _, b := range f.G.Blocks {
+		if b.Start > b.End || b.Start < 0 || b.End > len(k.Code) {
+			t.Fatalf("block %d spans [%d,%d) outside code of %d instrs", b.ID, b.Start, b.End, len(k.Code))
+		}
+		for i := b.Start; i < b.End; i++ {
+			if owner[i] != -1 {
+				t.Fatalf("instr %d in blocks %d and %d", i, owner[i], b.ID)
+			}
+			owner[i] = b.ID
+		}
+	}
+	for i := range k.Code {
+		if owner[i] == -1 {
+			t.Fatalf("instr %d in no block", i)
+		}
+		if b := f.G.BlockOf(i); b == nil || b.ID != owner[i] {
+			t.Fatalf("BlockOf(%d) disagrees with block spans", i)
+		}
+	}
+
+	f.Each(func(i int, e *Env) {
+		in := &k.Code[i]
+		for _, slot := range []int32{in.A, in.B, in.C} {
+			if slot < 0 {
+				continue
+			}
+			if iv := e.Interval(slot); iv.Empty() {
+				t.Fatalf("instr %d slot %d: stored empty interval %v", i, slot, iv)
+			}
+			// The point-query path (replay from the block's in-env) and
+			// the Each path (incremental transfer) must agree exactly —
+			// the solver reached a fixpoint, not a flickering state.
+			if q := f.IntervalBefore(i, slot); q != e.Interval(slot) {
+				t.Fatalf("instr %d slot %d: IntervalBefore %v != Each view %v", i, slot, q, e.Interval(slot))
+			}
+			if q := f.AffineBefore(i, slot); q != e.Affine(slot) {
+				t.Fatalf("instr %d slot %d: AffineBefore %+v != Each view %+v", i, slot, q, e.Affine(slot))
+			}
+			if q := f.DivergentBefore(i, ir.BankI, slot); q != e.Divergent(ir.BankI, slot) {
+				t.Fatalf("instr %d slot %d: DivergentBefore %v != Each view %v", i, slot, q, e.Divergent(ir.BankI, slot))
+			}
+			if after := f.IntervalAfter(i, slot); after.Empty() {
+				t.Fatalf("instr %d slot %d: IntervalAfter empty %v", i, slot, after)
+			}
+		}
+		if f.DivergentControl(i) != e.DivergentControl() {
+			t.Fatalf("instr %d: DivergentControl query disagrees with Each view", i)
+		}
+	})
+
+	for _, l := range f.Loops() {
+		if l.Trip < -1 {
+			t.Fatalf("loop at block %d: trip %d < -1", l.Header, l.Trip)
+		}
+		if !l.Blocks[l.Header] || !l.Blocks[l.Latch] {
+			t.Fatalf("loop at block %d: header/latch outside body", l.Header)
+		}
+	}
+}
+
+// dumpFacts renders every queryable fact to a canonical string.
+func dumpFacts(k *ir.Kernel, f *Facts) string {
+	var sb strings.Builder
+	f.Each(func(i int, e *Env) {
+		in := &k.Code[i]
+		fmt.Fprintf(&sb, "%d infl=%v", i, e.DivergentControl())
+		for _, slot := range []int32{in.A, in.B, in.C} {
+			if slot < 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, " %d:%v/%+v/%v", slot, e.Interval(slot), e.Affine(slot), e.Divergent(ir.BankI, slot))
+		}
+		sb.WriteByte('\n')
+	})
+	return sb.String()
+}

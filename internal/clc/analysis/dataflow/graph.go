@@ -1,0 +1,244 @@
+// Package dataflow is the tier-2 static-analysis engine: a control-
+// flow-graph construction over lowered IR with dominance and
+// postdominance trees, SSA-style def-use chains, a worklist solver,
+// and fact providers (constant/value-range propagation, affine index
+// analysis, uniformity/divergence, barrier-phase reachability, and
+// natural-loop recognition) that the analysis passes query.
+//
+// The engine runs on ir.Kernel code, which has every helper call
+// inlined — so all facts are naturally interprocedural: a store
+// performed inside a helper function participates in the caller's
+// race and bounds analysis with its own source position.
+package dataflow
+
+import (
+	"maligo/internal/clc/ir"
+)
+
+// Block is one basic block: the half-open instruction range
+// [Start, End) of the kernel's code.
+type Block struct {
+	ID    int
+	Start int
+	End   int
+	Succs []int
+	Preds []int
+}
+
+// Terminator returns the index of the block's last instruction, or -1
+// for the synthetic exit block.
+func (b *Block) Terminator() int {
+	if b.End <= b.Start {
+		return -1
+	}
+	return b.End - 1
+}
+
+// Graph is the CFG of one kernel plus its dominance structure. The
+// last block (ID == Exit) is a synthetic exit with an empty range;
+// every Ret and every jump past the end of the code flows into it.
+type Graph struct {
+	Kernel *ir.Kernel
+	Blocks []*Block
+	Exit   int
+
+	blockAt []int // instruction index -> block ID
+	RPO     []int // reverse postorder over forward edges, entry first
+
+	Idom     []int // immediate dominator per block; -1 for entry/unreachable
+	PostIdom []int // immediate postdominator; -1 for exit/blocks that never exit
+
+	rpoNum []int // block -> position in RPO; -1 when unreachable
+}
+
+// BuildGraph constructs the CFG and dominance trees for a kernel.
+func BuildGraph(k *ir.Kernel) *Graph {
+	code := k.Code
+	n := len(code)
+	leader := make([]bool, n+1)
+	leader[0] = true
+	mark := func(t int64) {
+		if t < 0 {
+			t = 0
+		}
+		if t > int64(n) {
+			t = int64(n)
+		}
+		leader[t] = true
+	}
+	for i := 0; i < n; i++ {
+		switch code[i].Op {
+		case ir.Jmp, ir.JmpIf, ir.JmpIfZ:
+			mark(code[i].Imm)
+			leader[i+1] = true
+		case ir.Ret:
+			leader[i+1] = true
+		}
+	}
+
+	g := &Graph{Kernel: k, blockAt: make([]int, n)}
+	start := 0
+	for i := 1; i <= n; i++ {
+		if leader[i] {
+			b := &Block{ID: len(g.Blocks), Start: start, End: i}
+			g.Blocks = append(g.Blocks, b)
+			start = i
+		}
+	}
+	exit := &Block{ID: len(g.Blocks), Start: n, End: n}
+	g.Blocks = append(g.Blocks, exit)
+	g.Exit = exit.ID
+	for _, b := range g.Blocks[:g.Exit] {
+		for i := b.Start; i < b.End; i++ {
+			g.blockAt[i] = b.ID
+		}
+	}
+
+	blockOf := func(t int64) int {
+		if t < 0 {
+			t = 0
+		}
+		if t >= int64(n) {
+			return g.Exit
+		}
+		return g.blockAt[t]
+	}
+	addEdge := func(from, to int) {
+		g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+		g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+	}
+	for _, b := range g.Blocks[:g.Exit] {
+		t := b.Terminator()
+		if t < 0 { // empty block (cannot happen for non-exit, but be safe)
+			addEdge(b.ID, blockOf(int64(b.End)))
+			continue
+		}
+		switch code[t].Op {
+		case ir.Jmp:
+			addEdge(b.ID, blockOf(code[t].Imm))
+		case ir.JmpIf, ir.JmpIfZ:
+			// Successor 0 is the branch target (condition met for
+			// JmpIf, not met for JmpIfZ); successor 1 falls through.
+			addEdge(b.ID, blockOf(code[t].Imm))
+			addEdge(b.ID, blockOf(int64(b.End)))
+		case ir.Ret:
+			addEdge(b.ID, g.Exit)
+		default:
+			addEdge(b.ID, blockOf(int64(b.End)))
+		}
+	}
+
+	g.computeRPO()
+	g.Idom = dominators(len(g.Blocks), 0, g.RPO, g.rpoNum,
+		func(b int) []int { return g.Blocks[b].Preds })
+	// Postdominators: dominators of the reverse graph rooted at exit.
+	rpoBack, numBack := postorderFrom(g, g.Exit, func(b int) []int { return g.Blocks[b].Preds })
+	g.PostIdom = dominators(len(g.Blocks), g.Exit, rpoBack, numBack,
+		func(b int) []int { return g.Blocks[b].Succs })
+	return g
+}
+
+// BlockOf returns the block containing instruction i.
+func (g *Graph) BlockOf(i int) *Block { return g.Blocks[g.blockAt[i]] }
+
+// Reachable reports whether block b is reachable from the entry.
+func (g *Graph) Reachable(b int) bool { return g.rpoNum[b] >= 0 }
+
+// Dominates reports whether block a dominates block b (forward
+// dominance; both must be reachable).
+func (g *Graph) Dominates(a, b int) bool {
+	for b >= 0 {
+		if a == b {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		b = g.Idom[b]
+	}
+	return false
+}
+
+// computeRPO numbers reachable blocks in reverse postorder.
+func (g *Graph) computeRPO() {
+	rpo, num := postorderFrom(g, 0, func(b int) []int { return g.Blocks[b].Succs })
+	g.RPO, g.rpoNum = rpo, num
+}
+
+// postorderFrom returns the reverse postorder of blocks reachable from
+// root along next-edges, and each block's position (-1 if unreached).
+func postorderFrom(g *Graph, root int, next func(int) []int) ([]int, []int) {
+	seen := make([]bool, len(g.Blocks))
+	var order []int
+	var dfs func(b int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range next(b) {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(root)
+	// Reverse into RPO.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	num := make([]int, len(g.Blocks))
+	for i := range num {
+		num[i] = -1
+	}
+	for i, b := range order {
+		num[b] = i
+	}
+	return order, num
+}
+
+// dominators runs the iterative Cooper-Harvey-Kennedy algorithm. rpo
+// and rpoNum describe the traversal order from the root; preds yields
+// the incoming edges in that orientation. Returns the immediate
+// dominator per block (-1 for the root and unreachable blocks).
+func dominators(n, root int, rpo []int, rpoNum []int, preds func(int) []int) []int {
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[root] = root
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == root {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds(b) {
+				if rpoNum[p] < 0 || idom[p] < 0 {
+					continue
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom >= 0 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[root] = -1
+	return idom
+}

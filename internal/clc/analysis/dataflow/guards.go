@@ -1,0 +1,210 @@
+package dataflow
+
+import (
+	"maligo/internal/clc/ir"
+)
+
+// Guard extraction: which branch conditions are known to hold at a
+// block. A constraint is expressed as an affine difference compared
+// against zero; because the difference is over execution invariants
+// (lid, gid, constants, parameter entry values), a condition observed
+// true on entry to a region stays true for that work-item.
+
+// Rel is the relation of a Constraint's Diff to zero.
+type Rel int
+
+// Constraint relations.
+const (
+	RelLT Rel = iota // Diff < 0
+	RelGE            // Diff >= 0
+	RelEQ            // Diff == 0
+	RelNE            // Diff != 0
+)
+
+// Constraint is one branch condition known to hold: Diff Rel 0.
+type Constraint struct {
+	Diff Affine
+	Rel  Rel
+}
+
+// EvalLid evaluates the constraint for a given local id. ok is false
+// when the constraint involves gid or symbolic terms and therefore
+// cannot be decided per work-item.
+func (c Constraint) EvalLid(l int64) (holds, ok bool) {
+	v, ok := c.Diff.AtLid(l)
+	if !ok {
+		return false, false
+	}
+	switch c.Rel {
+	case RelLT:
+		return v < 0, true
+	case RelGE:
+		return v >= 0, true
+	case RelEQ:
+		return v == 0, true
+	default:
+		return v != 0, true
+	}
+}
+
+// Unique reports whether the constraint can hold for at most one
+// work-item of any group: an equality whose difference changes with
+// the local id (gid = group base + lid, so the per-item coefficient is
+// Lid+Gid).
+func (c Constraint) Unique() bool {
+	return c.Rel == RelEQ && c.Diff.Lid+c.Diff.Gid != 0
+}
+
+// canon returns a sign-normalized copy so that logically identical
+// constraints compare equal (x==y and y==x lower to opposite
+// differences).
+func (c Constraint) canon() Constraint {
+	if c.Rel != RelEQ && c.Rel != RelNE {
+		return c
+	}
+	d := c.Diff
+	neg := false
+	switch {
+	case d.Lid+d.Gid != 0:
+		neg = d.Lid+d.Gid < 0
+	case d.SymC != 0:
+		neg = d.SymC < 0
+	default:
+		neg = d.C < 0
+	}
+	if neg {
+		c.Diff = d.Scale(-1)
+	}
+	return c
+}
+
+// GuardsFor returns the constraints known to hold on every execution
+// of block b, considering only branches with divergent conditions
+// (uniform branches cannot separate work-items of one group). opaque
+// is true when some controlling divergent branch could not be
+// expressed as a constraint — callers that enumerate work-item pairs
+// must then treat the block as unanalyzable rather than unguarded.
+func (f *Facts) GuardsFor(b int) (cons []Constraint, opaque bool) {
+	g := f.G
+	if !g.Reachable(b) {
+		return nil, false
+	}
+	// Walk the dominator chain of b. For each dominator S whose
+	// immediate dominator P ends in a conditional branch with S as one
+	// arm, the branch condition (with the polarity of that arm) holds
+	// on entry to S — provided every other edge into S is a back edge
+	// (a pred dominated by S), so the first entry always came from P.
+	for s := b; s > 0; s = g.Idom[s] {
+		p := g.Idom[s]
+		if p < 0 {
+			break
+		}
+		blk := g.Blocks[p]
+		term := blk.Terminator()
+		if term < 0 {
+			continue
+		}
+		t := &g.Kernel.Code[term]
+		if t.Op != ir.JmpIf && t.Op != ir.JmpIfZ {
+			continue
+		}
+		// Which arm is S? Succs[0] is the jump target.
+		var asTrue, seen bool
+		arms := 0
+		for si, sc := range blk.Succs {
+			if sc == s {
+				arms++
+				seen = true
+				asTrue = (si == 0) == (t.Op == ir.JmpIf)
+			}
+		}
+		if !seen || arms != 1 {
+			continue
+		}
+		entryOK := true
+		for _, pr := range g.Blocks[s].Preds {
+			if pr != p && !g.Dominates(s, pr) {
+				entryOK = false
+			}
+		}
+		if !entryOK {
+			continue
+		}
+		if !f.CondDivergent(term) {
+			continue // uniform: all work-items agree, no per-item info
+		}
+		c, ok := f.branchConstraint(p, term, asTrue)
+		if !ok {
+			opaque = true
+			continue
+		}
+		cons = append(cons, c.canon())
+	}
+	return cons, opaque
+}
+
+// branchConstraint turns the branch condition at instruction term
+// (with the given polarity) into an affine constraint.
+func (f *Facts) branchConstraint(block, term int, condTrue bool) (Constraint, bool) {
+	code := f.G.Kernel.Code
+	def := condDef(code, f.G.Blocks[block], term)
+	if def >= 0 {
+		d := &code[def]
+		switch d.Op {
+		case ir.CmpLtI, ir.CmpLeI, ir.CmpEqI, ir.CmpNeI:
+			if d.Width > 1 {
+				break
+			}
+			e := f.envBefore(def)
+			if e == nil {
+				break
+			}
+			diff := e.affine(d.B).Sub(e.affine(d.C))
+			if !diff.OK {
+				return Constraint{}, false
+			}
+			var rel Rel
+			switch d.Op {
+			case ir.CmpLtI: // b - c < 0
+				rel = RelLT
+				if !condTrue {
+					rel = RelGE
+				}
+			case ir.CmpLeI: // b - c <= 0  <=>  b - c - 1 < 0
+				diff = diff.Add(AffineConst(-1))
+				if !diff.OK {
+					return Constraint{}, false
+				}
+				rel = RelLT
+				if !condTrue {
+					rel = RelGE
+				}
+			case ir.CmpEqI:
+				rel = RelEQ
+				if !condTrue {
+					rel = RelNE
+				}
+			case ir.CmpNeI:
+				rel = RelNE
+				if !condTrue {
+					rel = RelEQ
+				}
+			}
+			return Constraint{Diff: diff, Rel: rel}, true
+		}
+	}
+	// Bare truth test of an affine value: cond != 0 / cond == 0.
+	e := f.envBefore(term)
+	if e == nil {
+		return Constraint{}, false
+	}
+	a := e.affine(code[term].B)
+	if !a.OK {
+		return Constraint{}, false
+	}
+	rel := RelNE
+	if !condTrue {
+		rel = RelEQ
+	}
+	return Constraint{Diff: a, Rel: rel}, true
+}

@@ -1,0 +1,153 @@
+package dataflow
+
+import (
+	"sort"
+
+	"maligo/internal/clc/ir"
+)
+
+// Loop is one natural loop: a back edge latch->header where the
+// header dominates the latch, plus the set of blocks in the loop.
+type Loop struct {
+	Header int
+	Latch  int
+	Blocks map[int]bool
+
+	// Trip is the exact iteration count when the loop is a counted
+	// `for (iv = start; iv < bound; iv += step)` shape with all three
+	// quantities statically known; -1 otherwise.
+	Trip int64
+}
+
+// Loops recognizes the kernel's natural loops and, where possible,
+// their trip counts. Loops are returned in header order.
+func (f *Facts) Loops() []Loop {
+	g := f.G
+	var loops []Loop
+	for _, b := range g.RPO {
+		for _, s := range g.Blocks[b].Succs {
+			if g.Reachable(s) && g.Dominates(s, b) {
+				loops = append(loops, f.buildLoop(s, b))
+			}
+		}
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		if loops[i].Header != loops[j].Header {
+			return loops[i].Header < loops[j].Header
+		}
+		return loops[i].Latch < loops[j].Latch
+	})
+	return loops
+}
+
+func (f *Facts) buildLoop(header, latch int) Loop {
+	g := f.G
+	l := Loop{Header: header, Latch: latch, Blocks: map[int]bool{header: true}, Trip: -1}
+	var add func(b int)
+	add = func(b int) {
+		if l.Blocks[b] {
+			return
+		}
+		l.Blocks[b] = true
+		for _, p := range g.Blocks[b].Preds {
+			add(p)
+		}
+	}
+	add(latch)
+	l.Trip = f.tripCount(&l)
+	return l
+}
+
+// tripCount derives an exact trip count for counted loops: the header
+// must exit on a < or <= compare of an induction slot against a
+// constant, the induction slot must enter the loop with a constant
+// value and be advanced by exactly one constant-step add inside it.
+func (f *Facts) tripCount(l *Loop) int64 {
+	g := f.G
+	code := g.Kernel.Code
+	hb := g.Blocks[l.Header]
+	term := hb.Terminator()
+	if term < 0 || code[term].Op != ir.JmpIfZ {
+		return -1
+	}
+	// The JmpIfZ target must leave the loop (the canonical while-shape
+	// lowering: cond; JmpIfZ exit; body; Jmp cond).
+	if tgt := code[term].Imm; tgt < int64(len(code)) && tgt >= 0 && l.Blocks[g.blockAt[tgt]] {
+		return -1
+	}
+	def := condDef(code, hb, term)
+	if def < 0 {
+		return -1
+	}
+	d := &code[def]
+	if (d.Op != ir.CmpLtI && d.Op != ir.CmpLeI) || d.Width > 1 {
+		return -1
+	}
+	bound, ok := f.IntervalBefore(def, d.C).Const()
+	if !ok {
+		return -1
+	}
+	// Classify the reaching definitions of the induction slot at the
+	// compare: constant initializations from outside the loop, and a
+	// single constant-step increment inside it.
+	iv := ir.RegRef{Bank: ir.BankI, Slot: d.B, Width: 1}
+	du := f.DefUse()
+	var start, step int64
+	haveStart, haveStep := false, false
+	for _, di := range du.DefsAt(def, iv) {
+		inLoop := l.Blocks[g.blockAt[di]]
+		dd := &code[di]
+		if !inLoop {
+			v, ok := f.IntervalAfter(di, d.B).Const()
+			if !ok || (haveStart && v != start) {
+				return -1
+			}
+			start, haveStart = v, true
+			continue
+		}
+		if haveStep {
+			return -1
+		}
+		// Chase copy chains: lowering computes iv+step into a temp and
+		// copies it back (movi iv <- t).
+		for depth := 0; dd.Op == ir.MovI && depth < 8; depth++ {
+			srcs := du.DefsAt(di, ir.RegRef{Bank: ir.BankI, Slot: dd.B, Width: 1})
+			if len(srcs) != 1 || !l.Blocks[g.blockAt[srcs[0]]] {
+				break
+			}
+			di = srcs[0]
+			dd = &code[di]
+		}
+		if dd.Op != ir.AddI && dd.Op != ir.SubI {
+			return -1
+		}
+		// iv = iv +/- const
+		var other int32
+		switch {
+		case dd.B == d.B:
+			other = dd.C
+		case dd.C == d.B && dd.Op == ir.AddI:
+			other = dd.B
+		default:
+			return -1
+		}
+		v, ok := f.IntervalBefore(di, other).Const()
+		if !ok {
+			return -1
+		}
+		if dd.Op == ir.SubI {
+			v = -v
+		}
+		step, haveStep = v, true
+	}
+	if !haveStart || !haveStep || step <= 0 {
+		return -1
+	}
+	if d.Op == ir.CmpLeI {
+		bound++
+	}
+	if bound <= start {
+		return 0
+	}
+	return (bound - start + step - 1) / step
+}

@@ -1,0 +1,107 @@
+package dataflow
+
+import (
+	"maligo/internal/clc/ir"
+)
+
+// Barrier-phase analysis. A "phase" (barrier interval) is the period
+// between two consecutive barriers of a work-group. Two accesses can
+// land in the same phase iff some program point can reach both of them
+// without crossing a barrier: divergent branching lets different
+// work-items run different arms of the same phase, so reachability is
+// measured from a common ancestor, not between the accesses
+// themselves.
+
+// segments splits the CFG at BarrierOp instructions. Node i covers a
+// barrier-free straight-line range; edges that cross a barrier are
+// excluded from the reachability relation.
+type segments struct {
+	segAt []int // instruction index -> segment id
+	n     int
+	// reach[a] is the set of segments reachable from a without
+	// crossing a barrier (reflexive).
+	reach [][]bool
+}
+
+func (f *Facts) phaseSegments() *segments {
+	if f.segs != nil {
+		return f.segs
+	}
+	g := f.G
+	code := g.Kernel.Code
+	s := &segments{segAt: make([]int, len(code))}
+
+	// Assign segment ids: a new segment starts at each block start and
+	// after each barrier.
+	firstSeg := make([]int, len(g.Blocks))
+	lastSeg := make([]int, len(g.Blocks))
+	for _, b := range g.Blocks {
+		if b.ID == g.Exit {
+			firstSeg[b.ID], lastSeg[b.ID] = -1, -1
+			continue
+		}
+		firstSeg[b.ID] = s.n
+		for i := b.Start; i < b.End; i++ {
+			s.segAt[i] = s.n
+			if code[i].Op == ir.BarrierOp {
+				s.n++
+			}
+		}
+		lastSeg[b.ID] = s.n
+		s.n++
+	}
+
+	// Barrier-free edges: within a block only if the block has no
+	// barrier between the segments (by construction consecutive
+	// in-block segments are separated by barriers, so no in-block
+	// edges at all); across blocks from the last segment of a block to
+	// the first segment of each successor.
+	succs := make([][]int, s.n)
+	for _, b := range g.Blocks {
+		if b.ID == g.Exit {
+			continue
+		}
+		for _, sc := range b.Succs {
+			if sc == g.Exit {
+				continue
+			}
+			succs[lastSeg[b.ID]] = append(succs[lastSeg[b.ID]], firstSeg[sc])
+		}
+	}
+
+	s.reach = make([][]bool, s.n)
+	for a := 0; a < s.n; a++ {
+		r := make([]bool, s.n)
+		var dfs func(x int)
+		dfs = func(x int) {
+			if r[x] {
+				return
+			}
+			r[x] = true
+			for _, y := range succs[x] {
+				dfs(y)
+			}
+		}
+		dfs(a)
+		s.reach[a] = r
+	}
+	f.segs = s
+	return s
+}
+
+// MaySharePhase reports whether the accesses at instructions i and j
+// can execute (possibly by different work-items) within the same
+// barrier interval: some segment reaches both without a barrier.
+func (f *Facts) MaySharePhase(i, j int) bool {
+	s := f.phaseSegments()
+	si, sj := s.segAt[i], s.segAt[j]
+	if si == sj {
+		return true
+	}
+	for a := 0; a < s.n; a++ {
+		if s.reach[a][si] && s.reach[a][sj] {
+			return true
+		}
+	}
+	return false
+}

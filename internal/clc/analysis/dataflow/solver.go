@@ -1,0 +1,450 @@
+package dataflow
+
+import (
+	"maligo/internal/clc/ir"
+)
+
+// widenAfter is the number of joins into one block before interval
+// bounds are widened to infinity, bounding fixpoint iteration.
+const widenAfter = 16
+
+// Facts is the analysis result for one kernel: per-block entry
+// environments, edge executability, and divergence-influenced blocks,
+// with query helpers that replay the transfer function inside a block.
+type Facts struct {
+	G *Graph
+
+	in   []*env // per block; nil = never reached
+	exec map[[2]int]bool
+	infl []bool // block executes under divergent control
+
+	du   *DefUse
+	segs *segments
+}
+
+// Analyze runs the dataflow engine over a kernel.
+func Analyze(k *ir.Kernel) *Facts {
+	g := BuildGraph(k)
+	f := &Facts{G: g, infl: make([]bool, len(g.Blocks))}
+	// Divergence-influenced blocks force their definitions divergent,
+	// which can make more branch conditions divergent; iterate to a
+	// fixpoint (monotone, bounded by the block count).
+	for round := 0; ; round++ {
+		f.in, f.exec = solve(g, f.infl)
+		next := f.influenced()
+		grew := false
+		for b, v := range next {
+			if v && !f.infl[b] {
+				f.infl[b] = true
+				grew = true
+			}
+		}
+		if !grew || round > len(g.Blocks) {
+			break
+		}
+	}
+	return f
+}
+
+// solve runs the combined worklist iteration and returns per-block
+// entry environments plus edge executability keyed by (block, succ
+// index).
+func solve(g *Graph, forced []bool) ([]*env, map[[2]int]bool) {
+	in := make([]*env, len(g.Blocks))
+	exec := map[[2]int]bool{}
+	joins := make([]int, len(g.Blocks))
+
+	in[0] = entryEnv(g.Kernel)
+	work := []int{0}
+	queued := make([]bool, len(g.Blocks))
+	queued[0] = true
+	steps := 0
+	maxSteps := (len(g.Blocks) + 1) * 256
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		steps++
+		forceWiden := steps > maxSteps
+
+		outs, ex := flowBlock(g, b, in[b], forced[b])
+		blk := g.Blocks[b]
+		for si, s := range blk.Succs {
+			key := [2]int{b, si}
+			if !ex[si] {
+				// Keep any earlier true: executability is monotone.
+				if !exec[key] {
+					exec[key] = false
+				}
+				continue
+			}
+			exec[key] = true
+			changed := false
+			if in[s] == nil {
+				in[s] = outs[si].clone()
+				changed = true
+			} else {
+				joins[s]++
+				changed = joinInto(in[s], outs[si], joins[s] > widenAfter || forceWiden)
+			}
+			if changed && !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in, exec
+}
+
+// flowBlock transfers an entry environment through a block and splits
+// it per outgoing edge, applying branch refinement. Returns one env
+// per successor and whether each edge is executable.
+func flowBlock(g *Graph, b int, entry *env, forced bool) ([]*env, []bool) {
+	blk := g.Blocks[b]
+	code := g.Kernel.Code
+	e := entry.clone()
+	term := blk.Terminator()
+	for i := blk.Start; i < blk.End; i++ {
+		if i == term {
+			break
+		}
+		transfer(e, &code[i], forced)
+	}
+
+	nsucc := len(blk.Succs)
+	outs := make([]*env, nsucc)
+	ex := make([]bool, nsucc)
+	if term < 0 || nsucc == 0 {
+		for i := range outs {
+			outs[i], ex[i] = e, true
+		}
+		return outs, ex
+	}
+	t := &code[term]
+	switch t.Op {
+	case ir.JmpIf, ir.JmpIfZ:
+		cond := e.interval(t.B)
+		mayNonzero := cond.Lo != 0 || cond.Hi != 0
+		mayZero := cond.Contains(0)
+		// Successor 0 is the jump target, successor 1 the fallthrough.
+		// For JmpIf the target is the nonzero ("true") edge; for JmpIfZ
+		// it is the zero ("false") edge.
+		condTrue := [2]bool{t.Op == ir.JmpIf, t.Op != ir.JmpIf}
+		for si := 0; si < nsucc; si++ {
+			if condTrue[si] {
+				ex[si] = mayNonzero
+			} else {
+				ex[si] = mayZero
+			}
+			out := e.clone()
+			if refineEdge(g, blk, term, out, condTrue[si]) {
+				ex[si] = false
+			}
+			outs[si] = out
+		}
+	default:
+		transfer(e, t, forced)
+		for i := range outs {
+			outs[i], ex[i] = e, true
+		}
+	}
+	return outs, ex
+}
+
+// refineEdge narrows the edge environment under the branch condition
+// (cond != 0 when condTrue). Returns true when the refinement is
+// unsatisfiable, i.e. the edge cannot execute.
+func refineEdge(g *Graph, blk *Block, term int, e *env, condTrue bool) bool {
+	code := g.Kernel.Code
+	cond := code[term].B
+
+	// The condition register itself.
+	cv := e.interval(cond)
+	if condTrue {
+		if cv.Lo == 0 {
+			cv.Lo = 1
+		}
+		if cv.Hi == 0 {
+			cv.Hi = -1
+		}
+	} else {
+		cv = Interval{0, 0}
+	}
+	if cv.Empty() {
+		return true
+	}
+	e.setIV(cond, cv)
+
+	// If the condition was produced by an integer compare whose
+	// operands survive to the branch, narrow the operands too.
+	def := condDef(code, blk, term)
+	if def < 0 {
+		return false
+	}
+	d := &code[def]
+	switch d.Op {
+	case ir.CmpLtI, ir.CmpLeI, ir.CmpEqI, ir.CmpNeI:
+	default:
+		return false
+	}
+	if d.Width > 1 {
+		return false
+	}
+	if !d.Base.IsSigned() {
+		// Unsigned compares only refine when both sides are known
+		// nonnegative (otherwise slot values don't order like int64).
+		if e.interval(d.B).Lo < 0 || e.interval(d.C).Lo < 0 {
+			return false
+		}
+	}
+	b, c := e.interval(d.B), e.interval(d.C)
+	op := d.Op
+	truth := condTrue
+	for {
+		switch {
+		case op == ir.CmpLtI && truth:
+			b.Hi = min64(b.Hi, addSat(c.Hi, -1))
+			c.Lo = max64(c.Lo, addSat(b.Lo, 1))
+		case op == ir.CmpLtI: // !(b < c)  =>  b >= c
+			b.Lo = max64(b.Lo, c.Lo)
+			c.Hi = min64(c.Hi, b.Hi)
+		case op == ir.CmpLeI && truth:
+			b.Hi = min64(b.Hi, c.Hi)
+			c.Lo = max64(c.Lo, b.Lo)
+		case op == ir.CmpLeI: // b > c
+			b.Lo = max64(b.Lo, addSat(c.Lo, 1))
+			c.Hi = min64(c.Hi, addSat(b.Hi, -1))
+		case op == ir.CmpEqI && truth:
+			b.Lo, b.Hi = max64(b.Lo, c.Lo), min64(b.Hi, c.Hi)
+			c = b
+		case op == ir.CmpEqI: // b != c: trim constant boundaries
+			if k, ok := c.Const(); ok {
+				if b.Lo == k {
+					b.Lo = addSat(k, 1)
+				}
+				if b.Hi == k {
+					b.Hi = addSat(k, -1)
+				}
+			}
+			if k, ok := b.Const(); ok {
+				if c.Lo == k {
+					c.Lo = addSat(k, 1)
+				}
+				if c.Hi == k {
+					c.Hi = addSat(k, -1)
+				}
+			}
+		case op == ir.CmpNeI:
+			op, truth = ir.CmpEqI, !truth
+			continue
+		}
+		break
+	}
+	if b.Empty() || c.Empty() {
+		return true
+	}
+	e.setIV(d.B, b)
+	e.setIV(d.C, c)
+	return false
+}
+
+// condDef locates the last in-block definition of the branch condition
+// register before the terminator, provided the compared operands are
+// not clobbered between the definition and the branch.
+func condDef(code []ir.Instr, blk *Block, term int) int {
+	cond := ir.RegRef{Bank: ir.BankI, Slot: code[term].B, Width: 1}
+	def := -1
+	for i := term - 1; i >= blk.Start; i-- {
+		if d, ok := ir.Def(&code[i]); ok && d.Overlaps(cond) {
+			def = i
+			break
+		}
+	}
+	if def < 0 {
+		return -1
+	}
+	d := &code[def]
+	ops := []ir.RegRef{
+		{Bank: ir.BankI, Slot: d.B, Width: 1},
+		{Bank: ir.BankI, Slot: d.C, Width: 1},
+	}
+	for i := def + 1; i < term; i++ {
+		if w, ok := ir.Def(&code[i]); ok {
+			for _, o := range ops {
+				if w.Overlaps(o) {
+					return -1
+				}
+			}
+		}
+	}
+	return def
+}
+
+// influenced returns the divergence-influence set: for every branch
+// with a divergent condition and both edges live, the blocks on paths
+// from the branch to its immediate postdominator.
+func (f *Facts) influenced() []bool {
+	g := f.G
+	out := make([]bool, len(g.Blocks))
+	for _, b := range g.RPO {
+		blk := g.Blocks[b]
+		term := blk.Terminator()
+		if term < 0 {
+			continue
+		}
+		t := &g.Kernel.Code[term]
+		if t.Op != ir.JmpIf && t.Op != ir.JmpIfZ {
+			continue
+		}
+		if !f.exec[[2]int{b, 0}] || !f.exec[[2]int{b, 1}] {
+			continue
+		}
+		if !f.CondDivergent(term) {
+			continue
+		}
+		stop := g.PostIdom[b]
+		var mark func(x int)
+		seen := make([]bool, len(g.Blocks))
+		mark = func(x int) {
+			if x == stop || seen[x] {
+				return
+			}
+			seen[x] = true
+			out[x] = true
+			for _, s := range g.Blocks[x].Succs {
+				mark(s)
+			}
+		}
+		for _, s := range blk.Succs {
+			mark(s)
+		}
+	}
+	return out
+}
+
+// EnvBefore returns the environment immediately before instruction i.
+// The result is a fresh snapshot the caller may keep. Returns nil when
+// the instruction is unreachable.
+func (f *Facts) envBefore(i int) *env {
+	blk := f.G.BlockOf(i)
+	if f.in[blk.ID] == nil {
+		return nil
+	}
+	e := f.in[blk.ID].clone()
+	for j := blk.Start; j < i; j++ {
+		transfer(e, &f.G.Kernel.Code[j], f.infl[blk.ID])
+	}
+	return e
+}
+
+// Reachable reports whether instruction i can execute.
+func (f *Facts) Reachable(i int) bool {
+	return f.in[f.G.BlockOf(i).ID] != nil
+}
+
+// IntervalBefore returns the value range of an integer slot just
+// before instruction i.
+func (f *Facts) IntervalBefore(i int, slot int32) Interval {
+	e := f.envBefore(i)
+	if e == nil {
+		return Top
+	}
+	return e.interval(slot)
+}
+
+// IntervalAfter returns the value range of an integer slot just after
+// instruction i executes.
+func (f *Facts) IntervalAfter(i int, slot int32) Interval {
+	e := f.envBefore(i)
+	if e == nil {
+		return Top
+	}
+	transfer(e, &f.G.Kernel.Code[i], f.infl[f.G.BlockOf(i).ID])
+	return e.interval(slot)
+}
+
+// AffineBefore returns the affine form of an integer slot just before
+// instruction i.
+func (f *Facts) AffineBefore(i int, slot int32) Affine {
+	e := f.envBefore(i)
+	if e == nil {
+		return Affine{}
+	}
+	return e.affine(slot)
+}
+
+// DivergentBefore reports whether a slot's value may differ between
+// work-items of one group just before instruction i.
+func (f *Facts) DivergentBefore(i int, bank int, slot int32) bool {
+	e := f.envBefore(i)
+	if e == nil {
+		return false
+	}
+	return e.divergent(bank, slot)
+}
+
+// CondDivergent reports whether the condition of the branch at
+// instruction i is divergent.
+func (f *Facts) CondDivergent(i int) bool {
+	return f.DivergentBefore(i, ir.BankI, f.G.Kernel.Code[i].B)
+}
+
+// DivergentControl reports whether instruction i executes under
+// divergent control flow (some work-items of a group may reach it
+// while others do not).
+func (f *Facts) DivergentControl(i int) bool {
+	return f.infl[f.G.BlockOf(i).ID]
+}
+
+// Each visits every reachable instruction in code order along with the
+// environment in force just before it. The environment is reused
+// between callbacks: snapshot any fact you need to keep.
+func (f *Facts) Each(fn func(i int, e *Env)) {
+	code := f.G.Kernel.Code
+	for _, blk := range f.G.Blocks {
+		if blk.ID == f.G.Exit || f.in[blk.ID] == nil {
+			continue
+		}
+		e := f.in[blk.ID].clone()
+		view := &Env{e: e, infl: f.infl[blk.ID]}
+		for i := blk.Start; i < blk.End; i++ {
+			fn(i, view)
+			transfer(e, &code[i], f.infl[blk.ID])
+		}
+	}
+}
+
+// Env is a read-only view of the dataflow state at one program point,
+// as passed to Each callbacks.
+type Env struct {
+	e    *env
+	infl bool
+}
+
+// Interval returns the value range of an integer slot.
+func (v *Env) Interval(slot int32) Interval { return v.e.interval(slot) }
+
+// Affine returns the affine form of an integer slot.
+func (v *Env) Affine(slot int32) Affine { return v.e.affine(slot) }
+
+// Divergent reports per-work-item divergence of a slot.
+func (v *Env) Divergent(bank int, slot int32) bool { return v.e.divergent(bank, slot) }
+
+// DivergentControl reports whether this point executes under divergent
+// control flow.
+func (v *Env) DivergentControl() bool { return v.infl }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

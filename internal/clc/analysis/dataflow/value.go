@@ -1,0 +1,314 @@
+package dataflow
+
+import (
+	"fmt"
+	"math"
+
+	"maligo/internal/clc/types"
+)
+
+// NegInf and PosInf are the sentinel bounds of unbounded intervals.
+const (
+	NegInf = math.MinInt64
+	PosInf = math.MaxInt64
+)
+
+// Interval is an inclusive signed value range. The full range acts as
+// "unknown" (top); Lo > Hi never occurs in stored facts — refinement
+// that produces an empty range marks the edge unexecutable instead.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Top is the unbounded interval.
+var Top = Interval{NegInf, PosInf}
+
+// IsTop reports whether the interval carries no information.
+func (v Interval) IsTop() bool { return v.Lo == NegInf && v.Hi == PosInf }
+
+// Const returns the value when the interval pins exactly one.
+func (v Interval) Const() (int64, bool) { return v.Lo, v.Lo == v.Hi }
+
+// Empty reports an unsatisfiable range (only produced transiently by
+// branch refinement).
+func (v Interval) Empty() bool { return v.Lo > v.Hi }
+
+// Contains reports whether x lies in the range.
+func (v Interval) Contains(x int64) bool { return v.Lo <= x && x <= v.Hi }
+
+// Hull returns the smallest interval covering both.
+func (v Interval) Hull(o Interval) Interval {
+	if o.Lo < v.Lo {
+		v.Lo = o.Lo
+	}
+	if o.Hi > v.Hi {
+		v.Hi = o.Hi
+	}
+	return v
+}
+
+func (v Interval) String() string {
+	lo, hi := "-inf", "+inf"
+	if v.Lo != NegInf {
+		lo = fmt.Sprint(v.Lo)
+	}
+	if v.Hi != PosInf {
+		hi = fmt.Sprint(v.Hi)
+	}
+	return "[" + lo + "," + hi + "]"
+}
+
+// addSat adds with saturation at the infinities.
+func addSat(a, b int64) int64 {
+	if a == NegInf || b == NegInf {
+		return NegInf
+	}
+	if a == PosInf || b == PosInf {
+		return PosInf
+	}
+	r := a + b
+	if b > 0 && r < a {
+		return PosInf
+	}
+	if b < 0 && r > a {
+		return NegInf
+	}
+	return r
+}
+
+// mulSat multiplies with saturation at the infinities.
+func mulSat(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	neg := (a < 0) != (b < 0)
+	if a == NegInf || a == PosInf || b == NegInf || b == PosInf ||
+		(a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) {
+		if neg {
+			return NegInf
+		}
+		return PosInf
+	}
+	r := a * b
+	if r/b != a {
+		if neg {
+			return NegInf
+		}
+		return PosInf
+	}
+	return r
+}
+
+// Add returns the interval sum.
+func (v Interval) Add(o Interval) Interval {
+	return Interval{addSat(v.Lo, o.Lo), addSat(v.Hi, o.Hi)}
+}
+
+// Neg returns the interval of -x.
+func (v Interval) Neg() Interval {
+	return Interval{mulSat(v.Hi, -1), mulSat(v.Lo, -1)}
+}
+
+// Sub returns the interval difference.
+func (v Interval) Sub(o Interval) Interval { return v.Add(o.Neg()) }
+
+// Mul returns the interval product.
+func (v Interval) Mul(o Interval) Interval {
+	c := [4]int64{
+		mulSat(v.Lo, o.Lo), mulSat(v.Lo, o.Hi),
+		mulSat(v.Hi, o.Lo), mulSat(v.Hi, o.Hi),
+	}
+	r := Interval{c[0], c[0]}
+	for _, x := range c[1:] {
+		if x < r.Lo {
+			r.Lo = x
+		}
+		if x > r.Hi {
+			r.Hi = x
+		}
+	}
+	return r
+}
+
+// baseRange returns the representable range of an integer base type.
+// ok is false for long/ulong (and non-integer bases), whose storage
+// slots span the whole int64 range.
+func baseRange(b types.Base) (Interval, bool) {
+	switch b {
+	case types.Bool:
+		return Interval{0, 1}, true
+	case types.Char:
+		return Interval{-128, 127}, true
+	case types.UChar:
+		return Interval{0, 255}, true
+	case types.Short:
+		return Interval{-32768, 32767}, true
+	case types.UShort:
+		return Interval{0, 65535}, true
+	case types.Int:
+		return Interval{math.MinInt32, math.MaxInt32}, true
+	case types.UInt:
+		return Interval{0, math.MaxUint32}, true
+	}
+	return Top, false
+}
+
+// clampBase widens a computed interval to the base type's full range
+// when the computation may wrap (the VM wraps results to the base
+// type, so the post-wrap value always lies within the base range).
+func clampBase(v Interval, b types.Base) Interval {
+	r, ok := baseRange(b)
+	if !ok {
+		if v.Empty() {
+			return Top
+		}
+		return v
+	}
+	if v.Lo >= r.Lo && v.Hi <= r.Hi {
+		return v
+	}
+	return r
+}
+
+// NoSym marks an Affine with no symbolic term.
+const NoSym = int32(-1)
+
+// Affine is a symbolic value of the form
+//
+//	C + Lid*get_local_id(0) + Gid*get_global_id(0) + SymC*sym
+//
+// where sym is the kernel-entry value of a parameter register slot
+// (Sym). Base addresses of __local/__private arrays are encoded
+// constants, so they fold into C; __global buffer bases appear as Sym
+// terms. OK=false is top (not an affine form).
+type Affine struct {
+	OK   bool
+	C    int64
+	Lid  int64
+	Gid  int64
+	Sym  int32
+	SymC int64
+}
+
+// AffineConst returns the affine form of a constant.
+func AffineConst(c int64) Affine { return Affine{OK: true, C: c, Sym: NoSym} }
+
+// IsConst reports a pure constant and its value.
+func (a Affine) IsConst() (int64, bool) {
+	return a.C, a.OK && a.Lid == 0 && a.Gid == 0 && a.SymC == 0
+}
+
+// norm clears a dangling Sym when its coefficient cancelled.
+func (a Affine) norm() Affine {
+	if a.SymC == 0 {
+		a.Sym = NoSym
+	}
+	if !a.OK {
+		return Affine{}
+	}
+	return a
+}
+
+func addOv(a, b int64) (int64, bool) {
+	r := a + b
+	if (b > 0 && r < a) || (b < 0 && r > a) {
+		return 0, false
+	}
+	return r, true
+}
+
+func mulOv(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	r := a * b
+	if (a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) || r/b != a {
+		return 0, false
+	}
+	return r, true
+}
+
+// Add returns a+o, or top when the forms don't combine.
+func (a Affine) Add(o Affine) Affine {
+	if !a.OK || !o.OK {
+		return Affine{}
+	}
+	r := Affine{OK: true, Sym: a.Sym, SymC: a.SymC}
+	var ok bool
+	if r.C, ok = addOv(a.C, o.C); !ok {
+		return Affine{}
+	}
+	if r.Lid, ok = addOv(a.Lid, o.Lid); !ok {
+		return Affine{}
+	}
+	if r.Gid, ok = addOv(a.Gid, o.Gid); !ok {
+		return Affine{}
+	}
+	switch {
+	case o.SymC == 0:
+	case a.SymC == 0:
+		r.Sym, r.SymC = o.Sym, o.SymC
+	case a.Sym == o.Sym:
+		if r.SymC, ok = addOv(a.SymC, o.SymC); !ok {
+			return Affine{}
+		}
+	default: // two distinct symbols don't fit the form
+		return Affine{}
+	}
+	return r.norm()
+}
+
+// Scale returns a*k, or top on coefficient overflow.
+func (a Affine) Scale(k int64) Affine {
+	if !a.OK {
+		return Affine{}
+	}
+	r := Affine{OK: true, Sym: a.Sym}
+	var ok bool
+	if r.C, ok = mulOv(a.C, k); !ok {
+		return Affine{}
+	}
+	if r.Lid, ok = mulOv(a.Lid, k); !ok {
+		return Affine{}
+	}
+	if r.Gid, ok = mulOv(a.Gid, k); !ok {
+		return Affine{}
+	}
+	if r.SymC, ok = mulOv(a.SymC, k); !ok {
+		return Affine{}
+	}
+	return r.norm()
+}
+
+// Sub returns a-o.
+func (a Affine) Sub(o Affine) Affine { return a.Add(o.Scale(-1)) }
+
+// Uniform reports whether the value is the same for every work-item of
+// a work-group (no lid term; gid = group base + lid varies per item).
+func (a Affine) Uniform() bool { return a.OK && a.Lid == 0 && a.Gid == 0 }
+
+// AtLid evaluates the form for a given local id. Valid only when the
+// form has no gid or symbolic term.
+func (a Affine) AtLid(l int64) (int64, bool) {
+	if !a.OK || a.Gid != 0 || a.SymC != 0 {
+		return 0, false
+	}
+	return a.C + a.Lid*l, true
+}
+
+func (a Affine) String() string {
+	if !a.OK {
+		return "top"
+	}
+	s := fmt.Sprintf("%d", a.C)
+	if a.Lid != 0 {
+		s += fmt.Sprintf("%+d*lid", a.Lid)
+	}
+	if a.Gid != 0 {
+		s += fmt.Sprintf("%+d*gid", a.Gid)
+	}
+	if a.SymC != 0 {
+		s += fmt.Sprintf("%+d*sym(r%d)", a.SymC, a.Sym)
+	}
+	return s
+}

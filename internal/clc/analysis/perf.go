@@ -82,15 +82,38 @@ func globalScalarParam(res *sema.Result, e *ast.IndexExpr) *sema.Symbol {
 	return sym
 }
 
+// irTripByLine maps source lines of loop headers to the exact trip
+// count the dataflow engine derived (-1 for uncounted loops). Syntax
+// passes use it to attach iteration facts to for-statements.
+func irTripByLine(c *Context) map[int]int64 {
+	trips := map[int]int64{}
+	f := c.Facts()
+	if f == nil {
+		return trips
+	}
+	code := c.IR.Code
+	for _, l := range f.Loops() {
+		hb := f.G.Blocks[l.Header]
+		for i := hb.Start; i < hb.End && i < len(code); i++ {
+			if line := code[i].Pos.Line; line > 0 {
+				trips[line] = l.Trip
+			}
+		}
+	}
+	return trips
+}
+
 // passVectorize flags unit-stride scalar accesses to global memory
 // inside loops: the paper's headline Mali optimization is rewriting
 // such loops with vloadN/vstoreN so the load/store pipeline moves
 // 128-bit lines instead of scalars. Kernels that already operate on
-// wide vectors are skipped.
+// wide vectors are skipped, as are loops the dataflow engine proves
+// execute at most once (no stride to coalesce).
 func passVectorize(c *Context) {
 	if c.IR != nil && c.IR.MaxVectorWidth >= 4 {
 		return // already vectorized
 	}
+	trips := irTripByLine(c)
 	walkStmts(c.Fn.Body, func(s ast.Stmt) {
 		f, ok := s.(*ast.ForStmt)
 		if !ok {
@@ -99,6 +122,11 @@ func passVectorize(c *Context) {
 		ind := inductionVar(c.Sema, f)
 		if ind == nil {
 			return
+		}
+		if f.Cond != nil {
+			if trip, ok := trips[f.Cond.Pos().Line]; ok && trip >= 0 && trip < 2 {
+				return // executes at most once: nothing to vectorize
+			}
 		}
 		isVar := func(e ast.Expr) bool { return symOf(c.Sema, e) == ind }
 		seen := make(map[*sema.Symbol]bool)
@@ -203,7 +231,7 @@ func writtenPointerParams(c *Context) map[*ast.Param]bool {
 		}
 	})
 	out := make(map[*ast.Param]bool)
-	for sym := range written {
+	for sym := range written { // maligo:allow maporder fills another map keyed by the same symbols
 		if p, ok := sym.Decl.(*ast.Param); ok && written[sym] {
 			out[p] = true
 		}
@@ -311,54 +339,46 @@ func passSoA(c *Context) {
 	})
 }
 
-// passUnroll flags innermost-style loops with a small constant trip
-// count: the simulated sequencer charges per-iteration branch
-// overhead that manual unrolling removes (§V-E).
+// loopVarName extracts the variable initialized in a for-statement's
+// init clause, for diagnostic display only.
+func loopVarName(f *ast.ForStmt) string {
+	switch init := f.Init.(type) {
+	case *ast.DeclStmt:
+		if len(init.Decls) == 1 {
+			return init.Decls[0].Name
+		}
+	case *ast.ExprStmt:
+		if as, ok := init.X.(*ast.AssignExpr); ok {
+			if id, ok := unparen(as.LHS).(*ast.Ident); ok {
+				return id.Name
+			}
+		}
+	}
+	return ""
+}
+
+// passUnroll flags loops with a small constant trip count: the
+// simulated sequencer charges per-iteration branch overhead that
+// manual unrolling removes (§V-E). Trip counts come from the dataflow
+// engine's loop recognizer, so non-unit steps and folded bounds are
+// handled (`for (j = 0; j <= 8; j += 2)` has trip count 5).
 func passUnroll(c *Context) {
+	trips := irTripByLine(c)
 	walkStmts(c.Fn.Body, func(s ast.Stmt) {
 		f, ok := s.(*ast.ForStmt)
-		if !ok {
+		if !ok || f.Cond == nil {
 			return
 		}
-		ind := inductionVar(c.Sema, f)
-		if ind == nil {
+		trip, ok := trips[f.Cond.Pos().Line]
+		if !ok || trip < 2 || trip > 8 {
 			return
 		}
-		var start int64
-		switch init := f.Init.(type) {
-		case *ast.DeclStmt:
-			v, ok := constEval(c.Sema, init.Decls[0].Init)
-			if !ok {
-				return
-			}
-			start = v
-		case *ast.ExprStmt:
-			as := init.X.(*ast.AssignExpr)
-			v, ok := constEval(c.Sema, as.RHS)
-			if !ok {
-				return
-			}
-			start = v
-		}
-		cond, ok := unparen(f.Cond).(*ast.BinaryExpr)
-		if !ok || symOf(c.Sema, cond.X) != ind {
-			return
-		}
-		limit, ok := constEval(c.Sema, cond.Y)
-		if !ok {
-			return
-		}
-		trip := limit - start
-		if cond.Op == token.LEQ {
-			trip++
-		} else if cond.Op != token.LSS {
-			return
-		}
-		if trip < 2 || trip > 8 {
+		name := loopVarName(f)
+		if name == "" {
 			return
 		}
 		c.Report(Info, f.Pos(),
-			fmt.Sprintf("loop over '%s' has constant trip count %d", ind.Name, trip),
+			fmt.Sprintf("loop over '%s' has constant trip count %d", name, trip),
 			"unroll it manually; short loops pay more in branches than in body work")
 	})
 }

@@ -5,6 +5,8 @@
 // plus room for user kernels.
 package builtin
 
+import "sort"
+
 // ID identifies a built-in function.
 type ID int
 
@@ -153,10 +155,17 @@ var names = map[string]ID{
 }
 
 var idNames = func() map[ID]string {
+	// Sorted so aliases resolve the same way every process (atom_or
+	// and atomic_or both name AtomicOr; the first in sorted order wins).
+	sorted := make([]string, 0, len(names))
+	for n := range names { // maligo:allow maporder sorted on the next line
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
 	m := make(map[ID]string, numIDs)
-	for n, id := range names {
-		if _, ok := m[id]; !ok {
-			m[id] = n
+	for _, n := range sorted {
+		if _, ok := m[names[n]]; !ok {
+			m[names[n]] = n
 		}
 	}
 	return m

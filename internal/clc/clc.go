@@ -60,7 +60,7 @@ func Compile(name, src, options string) (*ir.Program, error) {
 // intermediate stage alongside the executable program.
 func CompileArtifacts(name, src, options string) (*Artifacts, error) {
 	defs := preproc.ParseOptions(options)
-	for k, v := range predefined {
+	for k, v := range predefined { // maligo:allow maporder distinct keys fill the defs map
 		if _, user := defs[k]; !user {
 			defs[k] = v
 		}

@@ -196,11 +196,37 @@ type Param struct {
 	Space ast.AddressSpace
 }
 
+// ArrayDecl records the layout of one fixed-size in-kernel array
+// (__local or __private) so IR-level analyses can map a simulated
+// byte address back to the declaring array and its extent.
+type ArrayDecl struct {
+	Name     string
+	Space    int   // SpaceLocal or SpacePrivate
+	Offset   int64 // byte offset within the space
+	Bytes    int64 // total extent in bytes
+	ElemSize int64
+	Len      int64 // declared element count
+	Pos      token.Pos
+}
+
+// Contains reports whether the byte address addr (an EncodeAddr value)
+// falls inside this array's extent.
+func (a ArrayDecl) Contains(addr int64) bool {
+	space, off := DecodeAddr(addr)
+	return space == a.Space && off >= a.Offset && off < a.Offset+a.Bytes
+}
+
 // Kernel is a lowered kernel ready for execution.
 type Kernel struct {
 	Name   string
 	Params []Param
 	Code   []Instr
+
+	// Arrays lists the fixed-size __local/__private arrays declared in
+	// the kernel (including arrays of inlined helpers), in layout
+	// order. Analyses use it to resolve constant base addresses back to
+	// source-level names and extents.
+	Arrays []ArrayDecl
 
 	NumI int // integer bank size (slots)
 	NumF int // float bank size (slots)
@@ -306,7 +332,7 @@ func (p *Program) Kernel(name string) *Kernel { return p.Kernels[name] }
 // KernelNames lists kernels in deterministic order.
 func (p *Program) KernelNames() []string {
 	names := make([]string, 0, len(p.Kernels))
-	for n := range p.Kernels {
+	for n := range p.Kernels { // maligo:allow maporder sorted below
 		names = append(names, n)
 	}
 	for i := 1; i < len(names); i++ {

@@ -486,7 +486,9 @@ func (lw *lowerer) genDecl(s *ast.DeclStmt) {
 		if sym.Kind == sema.SymArray {
 			size := sym.ArrayLen * sym.Type.Size()
 			var addr int64
+			space := SpacePrivate
 			if sym.Space == ast.LocalSpace {
+				space = SpaceLocal
 				lw.locOff = alignUp(lw.locOff, sym.Type.Align())
 				addr = EncodeAddr(SpaceLocal, int64(lw.locOff))
 				lw.locOff += size
@@ -495,6 +497,16 @@ func (lw *lowerer) genDecl(s *ast.DeclStmt) {
 				addr = EncodeAddr(SpacePrivate, int64(lw.prvOff))
 				lw.prvOff += size
 			}
+			_, off := DecodeAddr(addr)
+			lw.k.Arrays = append(lw.k.Arrays, ArrayDecl{
+				Name:     sym.Name,
+				Space:    space,
+				Offset:   off,
+				Bytes:    int64(size),
+				ElemSize: int64(sym.Type.Size()),
+				Len:      int64(sym.ArrayLen),
+				Pos:      dec.NamePos,
+			})
 			lw.bind(sym, storage{memAddr: addr, isArray: true})
 			continue
 		}
@@ -523,7 +535,7 @@ func alignUp(n, a int) int {
 // the symbol appears in Syms for later identifier uses; for never-used
 // variables we synthesize lookup by walking sema's recorded symbols.
 func (lw *lowerer) symbolForDecl(s *ast.DeclStmt, dec *ast.Declarator) *sema.Symbol {
-	for _, sym := range lw.res.Syms {
+	for _, sym := range lw.res.Syms { // maligo:allow maporder at most one symbol matches a (decl, name) pair
 		if sym.Decl == ast.Node(s) && sym.Name == dec.Name {
 			return sym
 		}

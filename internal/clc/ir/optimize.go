@@ -39,10 +39,10 @@ func foldConstants(k *Kernel) {
 	iconst := make(map[int32]constVal)
 	fconst := make(map[int32]constVal)
 	reset := func() {
-		for s := range iconst {
+		for s := range iconst { // maligo:allow maporder deletes commute
 			delete(iconst, s)
 		}
-		for s := range fconst {
+		for s := range fconst { // maligo:allow maporder deletes commute
 			delete(fconst, s)
 		}
 	}

@@ -1,0 +1,140 @@
+package ir
+
+import "maligo/internal/clc/builtin"
+
+// The exported register def/use model. The optimizer's dead-code pass
+// keeps its own map-based accounting (collectReads); this structured
+// form is what CFG-level analyses (internal/clc/analysis/dataflow)
+// build def-use chains from. Keep the two in sync when adding opcodes.
+
+// Register banks.
+const (
+	BankI = 0 // int64 slots
+	BankF = 1 // float64 slots
+)
+
+// RegRef identifies a contiguous run of Width slots in one bank.
+type RegRef struct {
+	Bank  int
+	Slot  int32
+	Width int32
+}
+
+// Overlaps reports whether two references share at least one slot.
+func (r RegRef) Overlaps(o RegRef) bool {
+	return r.Bank == o.Bank && r.Slot < o.Slot+o.Width && o.Slot < r.Slot+r.Width
+}
+
+func instrWidth(in *Instr) int32 {
+	if in.Width == 0 {
+		return 1
+	}
+	return int32(in.Width)
+}
+
+// Def returns the register range an instruction writes, if any. For
+// CallB the width is an upper bound (scalar-reducing builtins like dot
+// write one lane); over-approximating a def is conservative for
+// analyses that kill facts on writes.
+func Def(in *Instr) (RegRef, bool) {
+	w := instrWidth(in)
+	switch in.Op {
+	case MovI, ImmI, BcastI, AddI, SubI, MulI, DivI, RemI, AndI, OrI, XorI,
+		ShlI, ShrI, NegI, NotI, CmpEqI, CmpNeI, CmpLtI, CmpLeI,
+		CmpEqF, CmpNeF, CmpLtF, CmpLeF, SelI, CvtII, CvtFI, LoadI:
+		return RegRef{BankI, in.A, w}, true
+	case MovF, ImmF, BcastF, AddF, SubF, MulF, DivF, NegF, SelF, CvtIF, CvtFF, LoadF:
+		return RegRef{BankF, in.A, w}, true
+	case CallB, AtomicOp:
+		if in.Base.IsFloat() {
+			return RegRef{BankF, in.A, w}, true
+		}
+		return RegRef{BankI, in.A, w}, true
+	}
+	return RegRef{}, false
+}
+
+// Uses invokes fn for every register range an instruction reads.
+func Uses(in *Instr, fn func(RegRef)) {
+	w := instrWidth(in)
+	i := func(s, n int32) { fn(RegRef{BankI, s, n}) }
+	f := func(s, n int32) { fn(RegRef{BankF, s, n}) }
+	switch in.Op {
+	case MovI:
+		i(in.B, w)
+	case MovF:
+		f(in.B, w)
+	case BcastI:
+		i(in.B, 1)
+	case BcastF:
+		f(in.B, 1)
+	case AddI, SubI, MulI, DivI, RemI, AndI, OrI, XorI, ShlI, ShrI,
+		CmpEqI, CmpNeI, CmpLtI, CmpLeI:
+		i(in.B, w)
+		i(in.C, w)
+	case NegI, NotI, CvtII:
+		i(in.B, w)
+	case AddF, SubF, MulF, DivF, CmpEqF, CmpNeF, CmpLtF, CmpLeF:
+		f(in.B, w)
+		f(in.C, w)
+	case NegF, CvtFF:
+		f(in.B, w)
+	case CvtIF:
+		i(in.B, w)
+	case CvtFI:
+		f(in.B, w)
+	case SelI:
+		i(in.B, w)
+		i(in.C, w)
+		i(in.D, w)
+	case SelF:
+		i(in.B, w)
+		f(in.C, w)
+		f(in.D, w)
+	case LoadI, LoadF:
+		i(in.B, 1)
+	case StoreI:
+		i(in.A, w)
+		i(in.B, 1)
+	case StoreF:
+		f(in.A, w)
+		i(in.B, 1)
+	case CallB:
+		id := builtin.ID(in.Imm)
+		switch {
+		case id.IsWorkItemQuery():
+			i(in.B, 1)
+		case id == builtin.GetWorkDim:
+		case id == builtin.Min || id == builtin.Max || id == builtin.Abs ||
+			id == builtin.Clamp:
+			if in.Base.IsFloat() {
+				f(in.B, w)
+				f(in.C, w)
+				f(in.D, w)
+			} else {
+				i(in.B, w)
+				i(in.C, w)
+				i(in.D, w)
+			}
+		case id == builtin.Select:
+			if in.Base.IsFloat() {
+				f(in.B, w)
+				f(in.C, w)
+			} else {
+				i(in.B, w)
+				i(in.C, w)
+			}
+			i(in.D, w)
+		default:
+			f(in.B, w)
+			f(in.C, w)
+			f(in.D, w)
+		}
+	case AtomicOp:
+		i(in.B, 1)
+		i(in.C, 1)
+		i(in.D, 1)
+	case JmpIf, JmpIfZ:
+		i(in.B, 1)
+	}
+}

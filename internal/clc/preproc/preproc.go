@@ -62,7 +62,7 @@ func ParseOptions(options string) map[string]string {
 // diagnostics keep meaningful line numbers.
 func Process(src string, predefined map[string]string) (string, error) {
 	p := &state{macros: make(map[string]Macro)}
-	for name, val := range predefined {
+	for name, val := range predefined { // maligo:allow maporder distinct keys fill the macro table
 		p.macros[name] = Macro{Name: name, Body: val}
 	}
 	return p.run(src)
@@ -404,7 +404,7 @@ func isIdentStartChar(c byte) bool {
 
 func withHidden(hide map[string]bool, name string) map[string]bool {
 	newHide := make(map[string]bool, len(hide)+1)
-	for k := range hide {
+	for k := range hide { // maligo:allow maporder distinct keys fill the copy
 		newHide[k] = true
 	}
 	newHide[name] = true

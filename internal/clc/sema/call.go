@@ -1,6 +1,7 @@
 package sema
 
 import (
+	"sort"
 	"strings"
 
 	"maligo/internal/clc/ast"
@@ -438,7 +439,7 @@ func (c *checker) constVal(e ast.Expr) (val float64, isFloat, ok bool) {
 // the lowering pass relies on full inlining terminating.
 func (c *checker) checkNoRecursion() {
 	callees := make(map[string][]string)
-	for name, fn := range c.res.Funcs {
+	for name, fn := range c.res.Funcs { // maligo:allow maporder fills the callees map keyed by function name
 		var list []string
 		collectCalls(fn.Body, func(call *ast.CallExpr) {
 			if info := c.res.Calls[call]; info != nil && info.Kind == CallUser {
@@ -475,7 +476,12 @@ func (c *checker) checkNoRecursion() {
 		color[name] = black
 		return true
 	}
-	for name := range callees {
+	names := make([]string, 0, len(callees))
+	for name := range callees { // maligo:allow maporder sorted on the next line
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		visit(name)
 	}
 }

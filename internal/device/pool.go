@@ -303,7 +303,7 @@ func RunGroups(rc RunConfig, ndr *NDRange, gmem vm.GlobalMemory, consume func(*G
 			}
 		}
 	}
-	for _, r := range pending {
+	for _, r := range pending { // maligo:allow maporder releasing distinct traces commutes
 		r.gw.Trace.Release()
 	}
 	if firstErr != nil {

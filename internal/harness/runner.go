@@ -225,7 +225,7 @@ func runBenchmark(cfg Config, res *Results, meter *power.Meter, name string, pre
 			q.SetLineProfile(true)
 		}
 
-		start := time.Now()
+		start := time.Now() // maligo:allow walltime Cell.HostSeconds is documented host wall-clock
 		info, err := b.Run(q, prog, v)
 		if err != nil {
 			return fmt.Errorf("%s: %w", v, err)

@@ -1,0 +1,237 @@
+// Package lint is the repository's self-lint: go/ast + go/types
+// checks that guard the simulator's determinism contract. Two rules:
+//
+//   - maporder: iterating a map with range yields a randomized order,
+//     so any range-over-map inside a deterministic package must either
+//     be order-insensitive or feed a sort — and must say so with an
+//     allow directive.
+//   - walltime: time.Now injects host wall-clock into results that
+//     are supposed to be pure functions of the input; only explicitly
+//     allowlisted call sites (load drivers, host-side profiling) may
+//     read it.
+//
+// A violation is silenced with a comment on the same line (or the
+// line above), mirroring the kernel linter's directive:
+//
+//	for k := range m { // maligo:allow maporder keys sorted below
+//
+// The first whitespace-delimited token after "maligo:allow" is a
+// comma-separated rule list; the rest is the (required) reason.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	File string // slash-separated path relative to the lint root
+	Line int
+	Col  int
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Msg)
+}
+
+// deterministic matches the directories whose outputs must be
+// bit-stable across runs and hosts; the maporder rule applies only
+// under them. Everything under internal/ simulates or serves
+// deterministic state; cmd/ and the root package are front ends.
+func deterministic(rel string) bool {
+	return strings.HasPrefix(rel, "internal/")
+}
+
+// Check lints every non-test .go file under root and returns the
+// findings sorted by position. It typechecks each package (via the
+// source importer), so rules see real types, not syntax guesses.
+func Check(root string) ([]Finding, error) {
+	dirs, err := goDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var all []Finding
+	for _, dir := range dirs {
+		fs, err := checkDir(fset, imp, root, dir)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	return all, nil
+}
+
+// goDirs lists directories under root holding at least one non-test
+// .go file, skipping hidden trees and testdata.
+func goDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen { // maligo:allow maporder sorted on the next line
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// checkDir parses and typechecks one package directory and applies
+// the rules to its files.
+func checkDir(fset *token.FileSet, imp types.Importer, root, dir string) ([]Finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: imp, Error: func(error) {}}
+	relDir, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	relDir = filepath.ToSlash(relDir)
+	// Ignore the returned error: Error above swallows individual
+	// problems so rules still run over whatever typechecked. The tree
+	// builds with `go vet` before lint runs, so full failure means a
+	// lint bug, not user code.
+	conf.Check(relDir, fset, files, info)
+
+	var out []Finding
+	for _, f := range files {
+		out = append(out, checkFile(fset, root, relDir, f, info)...)
+	}
+	return out, nil
+}
+
+// checkFile applies both rules to one file.
+func checkFile(fset *token.FileSet, root, relDir string, f *ast.File, info *types.Info) []Finding {
+	allow := allowedLines(fset, f)
+	rel := relPath(fset, root, f)
+	var out []Finding
+
+	report := func(pos token.Pos, rule, msg string) {
+		p := fset.Position(pos)
+		if allow[p.Line][rule] || allow[p.Line-1][rule] {
+			return
+		}
+		out = append(out, Finding{File: rel, Line: p.Line, Col: p.Column, Rule: rule, Msg: msg})
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if !deterministic(relDir) {
+				return true
+			}
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					report(n.Range, "maporder",
+						"map iteration order is randomized; sort the keys or add a maligo:allow directive with the reason it is order-insensitive")
+				}
+			}
+		case *ast.SelectorExpr:
+			if obj, ok := info.Uses[n.Sel].(*types.Func); ok &&
+				obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Now" {
+				report(n.Sel.Pos(), "walltime",
+					"time.Now leaks host wall-clock into a simulated result; use simulated time or add a maligo:allow directive")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// allowedLines extracts maligo:allow directives: line -> rule -> ok.
+// A directive with no reason text allows nothing, so every exception
+// is explained.
+func allowedLines(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
+	allow := map[int]map[string]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+			idx := strings.Index(text, "maligo:allow")
+			if idx < 0 {
+				continue
+			}
+			fields := strings.Fields(text[idx+len("maligo:allow"):])
+			if len(fields) < 2 { // rules + at least one word of reason
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			if allow[line] == nil {
+				allow[line] = map[string]bool{}
+			}
+			for _, rule := range strings.Split(fields[0], ",") {
+				allow[line][rule] = true
+			}
+		}
+	}
+	return allow
+}
+
+// relPath returns f's path relative to root, slash-separated.
+func relPath(fset *token.FileSet, root string, f *ast.File) string {
+	p := fset.Position(f.FileStart).Filename
+	if rel, err := filepath.Rel(root, p); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(p)
+}

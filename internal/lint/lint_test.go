@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// write lays out a small source tree for Check.
+func write(t *testing.T, root, rel, src string) {
+	t.Helper()
+	path := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ruleCount(fs []Finding, rule string) int {
+	n := 0
+	for _, f := range fs {
+		if f.Rule == rule {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRules(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "internal/det/det.go", `package det
+
+import "time"
+
+func Sum(m map[string]int) (int, time.Time) {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n, time.Now()
+}
+`)
+	// cmd/ is outside the deterministic scope: maporder does not
+	// apply, walltime still does.
+	write(t, root, "cmd/tool/main.go", `package main
+
+import "time"
+
+func main() {
+	m := map[string]int{}
+	for range m {
+	}
+	_ = time.Now()
+}
+`)
+
+	fs, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ruleCount(fs, "maporder"); got != 1 {
+		t.Fatalf("maporder findings = %d, want 1 (internal only): %v", got, fs)
+	}
+	if got := ruleCount(fs, "walltime"); got != 2 {
+		t.Fatalf("walltime findings = %d, want 2: %v", got, fs)
+	}
+	for _, f := range fs {
+		if f.Rule == "maporder" && f.File != "internal/det/det.go" {
+			t.Fatalf("maporder leaked outside internal/: %v", f)
+		}
+	}
+}
+
+func TestAllowDirective(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "internal/det/det.go", `package det
+
+import "time"
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // maligo:allow maporder sorted by the caller
+		out = append(out, k)
+	}
+	return out
+}
+
+func Stamp() time.Time {
+	// maligo:allow walltime host-side profiling only
+	return time.Now()
+}
+
+func Bare(m map[string]int) {
+	for range m { // maligo:allow maporder
+	}
+}
+`)
+	fs, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two reasoned directives suppress; the reasonless one (Bare)
+	// does not.
+	if len(fs) != 1 || fs[0].Rule != "maporder" {
+		t.Fatalf("findings = %v, want exactly the reasonless range", fs)
+	}
+}
+
+// TestTestFilesExempt: _test.go files are not linted (tests may use
+// wall-clock timeouts and unordered iteration freely).
+func TestTestFilesExempt(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "internal/det/det.go", `package det
+`)
+	write(t, root, "internal/det/det_test.go", `package det
+
+import (
+	"testing"
+	"time"
+)
+
+func TestX(t *testing.T) { _ = time.Now() }
+`)
+	fs, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("findings in test files: %v", fs)
+	}
+}
+
+// TestRepoClean locks the self-lint onto the repository itself: the
+// tree must stay free of unexplained map iteration and wall-clock
+// reads even when make lint is skipped.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole repo; skipped in -short")
+	}
+	fs, err := Check(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Errorf("%s", f)
+	}
+}

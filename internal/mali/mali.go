@@ -411,7 +411,7 @@ func (g *GPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 		seconds = dramSec
 	}
 	var hottest uint64
-	for _, n := range obs.atomicLines {
+	for _, n := range obs.atomicLines { // maligo:allow maporder max reduction commutes
 		if n > hottest {
 			hottest = n
 		}

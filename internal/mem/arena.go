@@ -102,7 +102,7 @@ func (a *Arena) Snapshot() []byte {
 // InUse returns the bytes currently allocated.
 func (a *Arena) InUse() int64 {
 	var n int64
-	for _, size := range a.allocs {
+	for _, size := range a.allocs { // maligo:allow maporder sum commutes
 		n += size
 	}
 	return n

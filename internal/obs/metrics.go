@@ -223,26 +223,26 @@ func (r *Registry) Snapshot() Snapshot {
 		Gauges:     make(map[string]float64, len(r.gauges)+len(r.gaugeFuncs)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
 	}
-	for name, c := range r.counters {
+	for name, c := range r.counters { // maligo:allow maporder distinct keys fill the snapshot map
 		s.Counters[name] = c.Value()
 	}
-	for name, g := range r.gauges {
+	for name, g := range r.gauges { // maligo:allow maporder distinct keys fill the snapshot map
 		s.Gauges[name] = g.Value()
 	}
 	hists := make(map[string]*Histogram, len(r.hists))
-	for name, h := range r.hists {
+	for name, h := range r.hists { // maligo:allow maporder distinct keys fill the snapshot map
 		hists[name] = h
 	}
 	funcs := make(map[string]func() float64, len(r.gaugeFuncs))
-	for name, fn := range r.gaugeFuncs {
+	for name, fn := range r.gaugeFuncs { // maligo:allow maporder distinct keys fill the snapshot map
 		funcs[name] = fn
 	}
 	r.mu.Unlock()
 
-	for name, h := range hists {
+	for name, h := range hists { // maligo:allow maporder distinct keys fill the snapshot map
 		s.Histograms[name] = h.snapshot()
 	}
-	for name, fn := range funcs {
+	for name, fn := range funcs { // maligo:allow maporder distinct keys fill the snapshot map
 		s.Gauges[name] = fn()
 	}
 	return s
@@ -257,13 +257,13 @@ func (s Snapshot) Gauge(name string) float64 { return s.Gauges[name] }
 // Names returns every metric name in the snapshot, sorted.
 func (s Snapshot) Names() []string {
 	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
-	for n := range s.Counters {
+	for n := range s.Counters { // maligo:allow maporder sorted below
 		names = append(names, n)
 	}
-	for n := range s.Gauges {
+	for n := range s.Gauges { // maligo:allow maporder sorted below
 		names = append(names, n)
 	}
-	for n := range s.Histograms {
+	for n := range s.Histograms { // maligo:allow maporder sorted below
 		names = append(names, n)
 	}
 	sort.Strings(names)

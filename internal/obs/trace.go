@@ -94,7 +94,7 @@ func chromeEvent(s Span) (string, error) {
 		s.TrackID, micros(s.Start), micros(s.Dur), name, cat)
 	if len(s.Args) > 0 {
 		keys := make([]string, 0, len(s.Args))
-		for k := range s.Args {
+		for k := range s.Args { // maligo:allow maporder sorted on the next line
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)

@@ -713,7 +713,7 @@ func (s *Scheduler) Close() {
 	var fired []*Event
 	for len(s.pending) > 0 {
 		var c *Command
-		for cand := range s.pending {
+		for cand := range s.pending { // maligo:allow maporder min-seq selection commutes
 			if c == nil || cand.seq < c.seq {
 				c = cand
 			}

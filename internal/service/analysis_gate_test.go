@@ -1,0 +1,242 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"maligo/internal/job"
+)
+
+// racyKernelSrc carries a tier-2 race error: tile[lid] is written and
+// tile[lid+1] read in the same barrier interval, so neighboring
+// work-items touch the same __local bytes.
+const racyKernelSrc = `__kernel void racy(__global float *out, __local float *tile) {
+    int lid = get_local_id(0);
+    tile[lid] = (float)lid;
+    out[get_global_id(0)] = tile[lid + 1];
+}
+`
+
+// racyJobSpec is a runnable job over racyKernelSrc (the race is
+// benign at run time without dynamic checking; only the analyzer
+// objects).
+func racyJobSpec() *job.Spec {
+	return &job.Spec{
+		Source: racyKernelSrc,
+		Kernel: "racy",
+		Device: job.DeviceGPU,
+		Global: []int{8},
+		Local:  []int{8},
+		Args: []job.Arg{
+			{Kind: job.ArgBuffer, Size: 32, Read: true},
+			{Kind: job.ArgLocal, Size: 64},
+		},
+	}
+}
+
+func decodeEnvelope(t *testing.T, body []byte) (msg, code string) {
+	t.Helper()
+	var we struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.Unmarshal(body, &we); err != nil {
+		t.Fatalf("decode error envelope: %v (%s)", err, body)
+	}
+	return we.Error, we.Code
+}
+
+// TestAnalysisGateRejects: under the "error" policy a program with an
+// error-severity finding is rejected at registration with the stable
+// wire code, on every upload — but the compile itself stays cached
+// (rejection is a policy decision, not a compile failure).
+func TestAnalysisGateRejects(t *testing.T) {
+	s, ts := newTestServer(t, Config{Analysis: AnalysisError})
+	req, _ := json.Marshal(map[string]string{"source": racyKernelSrc})
+
+	for round := 0; round < 2; round++ {
+		res := postJSON(t, ts.URL+"/v1/programs", string(req))
+		body := readAll(t, res)
+		if res.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("round %d: status %d, want 422: %s", round, res.StatusCode, body)
+		}
+		msg, code := decodeEnvelope(t, body)
+		if code != "analysis_failed" {
+			t.Fatalf("round %d: code %q, want analysis_failed", round, code)
+		}
+		if msg == "" {
+			t.Fatalf("round %d: empty error message", round)
+		}
+	}
+
+	if _, ok := s.cache.Get(job.ProgramID(racyKernelSrc, "")); !ok {
+		t.Fatal("rejected program not cached; repeat uploads would recompile")
+	}
+	if n := s.metrics.Counter("malid.programs.rejected_analysis").Value(); n != 2 {
+		t.Fatalf("rejected_analysis counter = %d, want 2", n)
+	}
+}
+
+// TestAnalysisDiagnosticsCached: under the default "warn" policy the
+// program is admitted with its diagnostics in the response, and a
+// repeat upload serves the identical diagnostics from the cache.
+func TestAnalysisDiagnosticsCached(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req, _ := json.Marshal(map[string]string{"source": racyKernelSrc})
+
+	var first json.RawMessage
+	for round, wantCached := range []bool{false, true} {
+		res := postJSON(t, ts.URL+"/v1/programs", string(req))
+		if got := res.Header.Get("X-Malid-Analysis"); got != AnalysisWarn {
+			t.Fatalf("round %d: X-Malid-Analysis %q, want %q", round, got, AnalysisWarn)
+		}
+		if got := res.Header.Get("X-Malid-Severity"); got != "error" {
+			t.Fatalf("round %d: X-Malid-Severity %q, want error", round, got)
+		}
+		body := readAll(t, res)
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: status %d: %s", round, res.StatusCode, body)
+		}
+		var got struct {
+			Cached      bool            `json:"cached"`
+			Diagnostics json.RawMessage `json:"diagnostics"`
+		}
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatalf("round %d: decode: %v", round, err)
+		}
+		if got.Cached != wantCached {
+			t.Fatalf("round %d: cached %v, want %v", round, got.Cached, wantCached)
+		}
+		if len(got.Diagnostics) == 0 || string(got.Diagnostics) == "null" {
+			t.Fatalf("round %d: no diagnostics under warn policy: %s", round, body)
+		}
+		if round == 0 {
+			first = got.Diagnostics
+		} else if string(got.Diagnostics) != string(first) {
+			t.Fatalf("cached diagnostics diverged:\n%s\n%s", first, got.Diagnostics)
+		}
+	}
+}
+
+// TestAnalysisPolicyOff: the "off" policy neither reports nor gates.
+func TestAnalysisPolicyOff(t *testing.T) {
+	_, ts := newTestServer(t, Config{Analysis: AnalysisOff})
+	req, _ := json.Marshal(map[string]string{"source": racyKernelSrc})
+
+	res := postJSON(t, ts.URL+"/v1/programs", string(req))
+	if got := res.Header.Get("X-Malid-Severity"); got != "" {
+		t.Fatalf("X-Malid-Severity %q leaked under off policy", got)
+	}
+	body := readAll(t, res)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", res.StatusCode, body)
+	}
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if _, ok := got["diagnostics"]; ok {
+		t.Fatalf("diagnostics present under off policy: %s", body)
+	}
+}
+
+// TestAnalysisTenantOverride: per-tenant policies override the daemon
+// default in both directions.
+func TestAnalysisTenantOverride(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Analysis:       AnalysisWarn,
+		TenantAnalysis: map[string]string{"ci": AnalysisError},
+	})
+
+	ciReq, _ := json.Marshal(map[string]string{"source": racyKernelSrc, "tenant": "ci"})
+	res := postJSON(t, ts.URL+"/v1/programs", string(ciReq))
+	body := readAll(t, res)
+	if res.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("ci tenant: status %d, want 422: %s", res.StatusCode, body)
+	}
+	if _, code := decodeEnvelope(t, body); code != "analysis_failed" {
+		t.Fatalf("ci tenant: code %q, want analysis_failed", code)
+	}
+
+	defReq, _ := json.Marshal(map[string]string{"source": racyKernelSrc})
+	res = postJSON(t, ts.URL+"/v1/programs", string(defReq))
+	body = readAll(t, res)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("default tenant: status %d: %s", res.StatusCode, body)
+	}
+}
+
+// TestAnalysisGateOnJobs: the admission gate also covers /v1/jobs, on
+// both the source and the program_id-only submission paths, while a
+// clean program is unaffected by the "error" policy.
+func TestAnalysisGateOnJobs(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Analysis:       AnalysisError,
+		TenantAnalysis: map[string]string{"lax": AnalysisOff},
+	})
+
+	// Seed the cache through the lax tenant, which may register the
+	// racy program.
+	regReq, _ := json.Marshal(map[string]string{"source": racyKernelSrc, "tenant": "lax"})
+	res := postJSON(t, ts.URL+"/v1/programs", string(regReq))
+	if body := readAll(t, res); res.StatusCode != http.StatusOK {
+		t.Fatalf("lax register: status %d: %s", res.StatusCode, body)
+	}
+
+	// Source path under the default (error) tenant.
+	spec := racyJobSpec()
+	body, _ := json.Marshal(spec)
+	res = postJSON(t, ts.URL+"/v1/jobs", string(body))
+	rb := readAll(t, res)
+	if res.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("source job: status %d, want 422: %s", res.StatusCode, rb)
+	}
+	if _, code := decodeEnvelope(t, rb); code != "analysis_failed" {
+		t.Fatalf("source job: code %q, want analysis_failed", code)
+	}
+
+	// program_id-only path hits the same gate.
+	idSpec := racyJobSpec()
+	idSpec.ProgramID = job.ProgramID(idSpec.Source, idSpec.Options)
+	idSpec.Source = ""
+	body, _ = json.Marshal(idSpec)
+	res = postJSON(t, ts.URL+"/v1/jobs", string(body))
+	rb = readAll(t, res)
+	if res.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("program_id job: status %d, want 422: %s", res.StatusCode, rb)
+	}
+	if _, code := decodeEnvelope(t, rb); code != "analysis_failed" {
+		t.Fatalf("program_id job: code %q, want analysis_failed", code)
+	}
+
+	// The lax tenant runs the same spec to completion.
+	laxSpec := racyJobSpec()
+	laxSpec.Tenant = "lax"
+	body, _ = json.Marshal(laxSpec)
+	res = postJSON(t, ts.URL+"/v1/jobs", string(body))
+	rb = readAll(t, res)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("lax job: status %d: %s", res.StatusCode, rb)
+	}
+
+	// A clean program sails through the strict default tenant.
+	clean := vecopSpec(t)
+	body, _ = json.Marshal(clean)
+	res = postJSON(t, ts.URL+"/v1/jobs", string(body))
+	rb = readAll(t, res)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("clean job under error policy: status %d: %s", res.StatusCode, rb)
+	}
+}
+
+// TestAnalysisPolicyValidation: New rejects unknown policy names, for
+// the daemon default and per-tenant overrides alike.
+func TestAnalysisPolicyValidation(t *testing.T) {
+	if _, err := New(Config{Analysis: "strict"}); err == nil {
+		t.Fatal("New accepted bogus Analysis policy")
+	}
+	if _, err := New(Config{TenantAnalysis: map[string]string{"ci": "maybe"}}); err == nil {
+		t.Fatal("New accepted bogus tenant policy")
+	}
+}

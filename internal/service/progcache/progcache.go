@@ -18,17 +18,30 @@ import (
 	"sync"
 
 	"maligo/internal/cl"
+	"maligo/internal/clc/analysis"
 	"maligo/internal/clc/ir"
 	"maligo/internal/job"
 )
 
-// Entry is one cached compiled program.
+// Entry is one cached compiled program plus its static-analysis
+// verdict. Diagnostics are computed once at compile time and ride the
+// content address: a cache hit (memory or disk) serves them without
+// re-running the analyzer.
 type Entry struct {
 	ID      string // job.ProgramID content address
 	Source  string
 	Options string
 	Prog    *ir.Program
+
+	// Analyzed marks entries produced by an analyzer-aware daemon;
+	// persisted binaries without it predate the tier-2 engine and are
+	// recompiled rather than trusted.
+	Analyzed bool
+	Diags    []analysis.Diagnostic
 }
+
+// MaxSeverity returns the highest diagnostic severity in the entry.
+func (e *Entry) MaxSeverity() analysis.Severity { return analysis.MaxSeverity(e.Diags) }
 
 // Cache is the LRU. The zero value is unusable; call New.
 type Cache struct {
@@ -114,7 +127,10 @@ func (c *Cache) GetOrCompile(source, options string) (e *Entry, hit bool, err er
 		c.mu.Unlock()
 		return nil, false, fmt.Errorf("%w: %v", cl.ErrBuildFailure, err)
 	}
-	e = &Entry{ID: id, Source: source, Options: options, Prog: art.Prog}
+	e = &Entry{
+		ID: id, Source: source, Options: options, Prog: art.Prog,
+		Analyzed: true, Diags: analysis.Analyze(art),
+	}
 	c.insert(e)
 	c.store(e)
 	c.mu.Lock()
@@ -188,7 +204,7 @@ func (c *Cache) load(id string) (*Entry, error) {
 	if err := gob.NewDecoder(f).Decode(&e); err != nil {
 		return nil, fmt.Errorf("progcache: corrupt binary for %s: %w", id, err)
 	}
-	if e.ID != id || job.ProgramID(e.Source, e.Options) != id || e.Prog == nil {
+	if e.ID != id || job.ProgramID(e.Source, e.Options) != id || e.Prog == nil || !e.Analyzed {
 		return nil, fmt.Errorf("progcache: binary for %s fails verification", id)
 	}
 	return &e, nil

@@ -2,10 +2,12 @@ package progcache
 
 import (
 	"bytes"
+	"encoding/gob"
 	"encoding/json"
 	"os"
 	"testing"
 
+	"maligo/internal/clc/analysis"
 	"maligo/internal/job"
 )
 
@@ -121,4 +123,73 @@ func TestCorruptBinaryRejected(t *testing.T) {
 
 func writeFile(path string, data []byte) error {
 	return os.WriteFile(path, data, 0o644)
+}
+
+// TestDiagnosticsPersist proves the analyzer's findings ride the gob
+// binary: a fresh cache over the same directory serves the identical
+// diagnostics without re-running the analyzer, and a stale pre-tier-2
+// binary (no analysis baked in) fails verification and recompiles.
+func TestDiagnosticsPersist(t *testing.T) {
+	const racy = `__kernel void racy(__global float *out, __local float *tile) {
+    int lid = get_local_id(0);
+    tile[lid] = (float)lid;
+    out[get_global_id(0)] = tile[lid + 1];
+}
+`
+	dir := t.TempDir()
+	c1, err := New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, hit, err := c1.GetOrCompile(racy, "")
+	if err != nil || hit {
+		t.Fatalf("compile: hit=%v err=%v", hit, err)
+	}
+	if !e1.Analyzed || len(e1.Diags) == 0 {
+		t.Fatalf("compile did not attach diagnostics: analyzed=%v n=%d", e1.Analyzed, len(e1.Diags))
+	}
+	if e1.MaxSeverity() != analysis.Error {
+		t.Fatalf("MaxSeverity = %v, want Error", e1.MaxSeverity())
+	}
+
+	c2, err := New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, hit, err := c2.GetOrCompile(racy, "")
+	if err != nil || !hit {
+		t.Fatalf("disk reload: hit=%v err=%v", hit, err)
+	}
+	j1, _ := json.Marshal(e1.Diags)
+	j2, _ := json.Marshal(e2.Diags)
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("reloaded diagnostics diverged:\n%s\n%s", j1, j2)
+	}
+
+	// Simulate a pre-tier-2 binary: same entry, Analyzed stripped.
+	id := job.ProgramID(racy, "")
+	stale := *e1
+	stale.Analyzed = false
+	stale.Diags = nil
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&stale); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(c1.path(id), buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c3.Get(id); ok {
+		t.Fatal("unanalyzed binary accepted")
+	}
+	e3, hit, err := c3.GetOrCompile(racy, "")
+	if err != nil || hit {
+		t.Fatalf("recompile of stale binary: hit=%v err=%v", hit, err)
+	}
+	if !e3.Analyzed || len(e3.Diags) == 0 {
+		t.Fatal("recompiled entry missing diagnostics")
+	}
 }

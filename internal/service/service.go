@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 
+	"maligo/internal/clc/analysis"
 	"maligo/internal/clc/ir"
 	"maligo/internal/job"
 	"maligo/internal/obs"
@@ -34,7 +35,34 @@ var (
 	// ErrUnknownJob rejects a lookup of a job id that was never
 	// assigned or has aged out of the bounded history (HTTP 404).
 	ErrUnknownJob = errors.New("malid: unknown job id")
+	// ErrAnalysisFailed rejects a program carrying error-severity
+	// static-analysis findings under the "error" admission policy
+	// (HTTP 422, code "analysis_failed").
+	ErrAnalysisFailed = errors.New("malid: program rejected by static analysis")
 )
+
+// Analysis admission policies.
+const (
+	// AnalysisOff disables analysis reporting and gating.
+	AnalysisOff = "off"
+	// AnalysisWarn (the default) returns diagnostics with program
+	// registrations but never rejects.
+	AnalysisWarn = "warn"
+	// AnalysisError additionally rejects programs with error-severity
+	// findings before any job runs.
+	AnalysisError = "error"
+)
+
+// parsePolicy validates an analysis policy name ("" means default).
+func parsePolicy(p string) (string, error) {
+	switch p {
+	case "":
+		return AnalysisWarn, nil
+	case AnalysisOff, AnalysisWarn, AnalysisError:
+		return p, nil
+	}
+	return "", fmt.Errorf("malid: unknown analysis policy %q (want off, warn or error)", p)
+}
 
 // Config sizes a Server.
 type Config struct {
@@ -58,6 +86,11 @@ type Config struct {
 	// BatchMax is the largest batch drained onto one context
 	// (default 8).
 	BatchMax int
+	// Analysis is the daemon-wide admission policy for static-analysis
+	// findings: AnalysisOff, AnalysisWarn (default) or AnalysisError.
+	Analysis string
+	// TenantAnalysis overrides the policy per tenant name.
+	TenantAnalysis map[string]string
 }
 
 // Server is the malid service. Create with New, mount via Handler.
@@ -126,6 +159,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.BatchMax <= 0 {
 		cfg.BatchMax = 8
 	}
+	var err error
+	if cfg.Analysis, err = parsePolicy(cfg.Analysis); err != nil {
+		return nil, err
+	}
+	tenantNames := make([]string, 0, len(cfg.TenantAnalysis))
+	for tenant := range cfg.TenantAnalysis { // maligo:allow maporder sorted on the next line
+		tenantNames = append(tenantNames, tenant)
+	}
+	sort.Strings(tenantNames)
+	for _, tenant := range tenantNames {
+		if _, err := parsePolicy(cfg.TenantAnalysis[tenant]); err != nil {
+			return nil, fmt.Errorf("tenant %q: %w", tenant, err)
+		}
+	}
 	cache, err := progcache.New(cfg.CacheEntries, cfg.CacheDir)
 	if err != nil {
 		return nil, err
@@ -155,7 +202,7 @@ func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
 	tenants := make([]*tenant, 0, len(s.tenants))
-	for _, t := range s.tenants {
+	for _, t := range s.tenants { // maligo:allow maporder closing distinct schedulers commutes
 		tenants = append(tenants, t)
 	}
 	s.mu.Unlock()
@@ -168,6 +215,31 @@ func (s *Server) Close() {
 // Metrics exposes the service registry (the /metrics endpoint and
 // tests read it).
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// policyFor resolves the analysis admission policy for a tenant.
+func (s *Server) policyFor(tenant string) string {
+	if p, ok := s.cfg.TenantAnalysis[tenant]; ok && p != "" {
+		return p
+	}
+	return s.cfg.Analysis
+}
+
+// admitProgram applies the analysis gate: under the "error" policy a
+// program with error-severity findings is rejected before any job
+// runs. The first error finding rides in the message so the client
+// sees what was wrong without a second round trip.
+func (s *Server) admitProgram(tenant string, e *progcache.Entry) error {
+	if s.policyFor(tenant) != AnalysisError || e.MaxSeverity() < analysis.Error {
+		return nil
+	}
+	s.metrics.Counter("malid.programs.rejected_analysis").Inc()
+	for _, d := range e.Diags {
+		if d.Sev == analysis.Error {
+			return fmt.Errorf("%w: %s", ErrAnalysisFailed, d.String())
+		}
+	}
+	return ErrAnalysisFailed
+}
 
 // tenantLocked returns (creating if needed) a tenant. s.mu held.
 func (s *Server) tenantLocked(name string) *tenant {
@@ -201,6 +273,9 @@ func (s *Server) Submit(spec *job.Spec) (*jobRec, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := s.admitProgram(tenantName, e); err != nil {
+			return nil, err
+		}
 		prog, hit = e.Prog, h
 		spec.ProgramID = e.ID
 	} else {
@@ -208,6 +283,9 @@ func (s *Server) Submit(spec *job.Spec) (*jobRec, error) {
 		if !ok {
 			return nil, fmt.Errorf("%w: program %s not cached and no source given",
 				job.ErrInvalidJob, spec.ProgramID)
+		}
+		if err := s.admitProgram(tenantName, e); err != nil {
+			return nil, err
 		}
 		prog, hit = e.Prog, true
 		// The runtime stamps results from the source; restore it so a
@@ -420,6 +498,8 @@ type errorBody struct {
 // errCode maps typed errors onto stable wire codes + HTTP statuses.
 func errCode(err error) (int, string) {
 	switch {
+	case errors.Is(err, ErrAnalysisFailed):
+		return http.StatusUnprocessableEntity, "analysis_failed"
 	case errors.Is(err, ErrTenantQuota):
 		return http.StatusTooManyRequests, "tenant_quota"
 	case errors.Is(err, ErrUnknownJob):
@@ -465,16 +545,22 @@ func decodeJSON(r *http.Request, v any) error {
 type programReq struct {
 	Source  string `json:"source"`
 	Options string `json:"options,omitempty"`
+	Tenant  string `json:"tenant,omitempty"`
 }
 
 type programResp struct {
-	ProgramID string   `json:"program_id"`
-	Cached    bool     `json:"cached"`
-	Kernels   []string `json:"kernels"`
+	ProgramID   string                `json:"program_id"`
+	Cached      bool                  `json:"cached"`
+	Kernels     []string              `json:"kernels"`
+	Diagnostics []analysis.Diagnostic `json:"diagnostics,omitempty"`
 }
 
 // handlePrograms compiles (or looks up) a program and returns its
-// content address — clients then submit jobs by program_id alone.
+// content address plus the analyzer's structured diagnostics —
+// clients then submit jobs by program_id alone. The response carries
+// X-Malid-Analysis (the applied policy) and X-Malid-Severity (the
+// highest finding severity); under the "error" policy a program with
+// error-severity findings is rejected with code "analysis_failed".
 func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
 	var req programReq
 	if err := decodeJSON(r, &req); err != nil {
@@ -485,14 +571,35 @@ func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: source is required", job.ErrInvalidJob))
 		return
 	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
 	e, hit, err := s.cache.GetOrCompile(req.Source, req.Options)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	policy := s.policyFor(tenant)
+	w.Header().Set("X-Malid-Analysis", policy)
+	if policy != AnalysisOff {
+		sev := "clean"
+		if len(e.Diags) > 0 {
+			sev = e.MaxSeverity().String()
+		}
+		w.Header().Set("X-Malid-Severity", sev)
+	}
+	if err := s.admitProgram(tenant, e); err != nil {
+		writeError(w, err)
+		return
+	}
 	kernels := e.Prog.KernelNames()
 	sort.Strings(kernels)
-	writeJSON(w, http.StatusOK, programResp{ProgramID: e.ID, Cached: hit, Kernels: kernels})
+	resp := programResp{ProgramID: e.ID, Cached: hit, Kernels: kernels}
+	if policy != AnalysisOff {
+		resp.Diagnostics = e.Diags
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // submitResp is the async submission acknowledgement.

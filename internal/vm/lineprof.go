@@ -80,7 +80,7 @@ func (p *LineProfiler) ObserveGroup(group [3]int, tr *Trace) {
 func (p *LineProfiler) Top(n int) []LineStat {
 	p.mu.Lock()
 	out := make([]LineStat, 0, len(p.lines))
-	for _, st := range p.lines {
+	for _, st := range p.lines { // maligo:allow maporder sorted below
 		out = append(out, *st)
 	}
 	p.mu.Unlock()
@@ -101,7 +101,7 @@ func (p *LineProfiler) TotalBytes() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var total uint64
-	for _, st := range p.lines {
+	for _, st := range p.lines { // maligo:allow maporder sum commutes
 		total += st.Bytes
 	}
 	return total

@@ -101,11 +101,14 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
 }
 
-// ProgramInfo is the daemon's answer to a program registration.
+// ProgramInfo is the daemon's answer to a program registration:
+// content address, cache disposition, kernels, and the static
+// analyzer's findings (empty under the daemon's "off" policy).
 type ProgramInfo struct {
-	ProgramID string   `json:"program_id"`
-	Cached    bool     `json:"cached"`
-	Kernels   []string `json:"kernels"`
+	ProgramID   string       `json:"program_id"`
+	Cached      bool         `json:"cached"`
+	Kernels     []string     `json:"kernels"`
+	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
 }
 
 // wireError mirrors the server's error envelope.
@@ -118,6 +121,8 @@ type wireError struct {
 func (we wireError) typed(status int) error {
 	base := fmt.Errorf("malid: %s", we.Error)
 	switch we.Code {
+	case "analysis_failed":
+		return fmt.Errorf("%w: %s", ErrAnalysisFailed, we.Error)
 	case "tenant_quota":
 		return fmt.Errorf("%w: %s", ErrTenantQuota, we.Error)
 	case "unknown_job":
@@ -173,11 +178,22 @@ func decodeResponse(res *http.Response, out any) error {
 }
 
 // RegisterProgram uploads source once and returns its content
-// address; subsequent jobs may carry only the program_id.
+// address plus the analyzer's diagnostics; subsequent jobs may carry
+// only the program_id. Under a daemon's "error" analysis policy a
+// program with error-severity findings fails with ErrAnalysisFailed.
 func (c *Client) RegisterProgram(ctx context.Context, source, options string) (*ProgramInfo, error) {
+	return c.RegisterProgramAs(ctx, "", source, options)
+}
+
+// RegisterProgramAs is RegisterProgram on behalf of a named tenant,
+// which selects that tenant's analysis admission policy.
+func (c *Client) RegisterProgramAs(ctx context.Context, tenant, source, options string) (*ProgramInfo, error) {
 	var info ProgramInfo
-	_, err := c.post(ctx, "/v1/programs", map[string]string{"source": source, "options": options}, &info)
-	if err != nil {
+	req := map[string]string{"source": source, "options": options}
+	if tenant != "" {
+		req["tenant"] = tenant
+	}
+	if _, err := c.post(ctx, "/v1/programs", req, &info); err != nil {
 		return nil, err
 	}
 	return &info, nil

@@ -1,0 +1,17 @@
+/* Diagnostic deduplication: a helper inlined at two call sites
+ * produces two position-identical findings; the analyzer must report
+ * the finding once. */
+
+int bump(__local int *t) {
+    t[20] = 1;
+    return 0;
+}
+
+__kernel void dedupe_sites(__global int* restrict out) {
+    __local int tile[16];
+    if (get_local_id(0) == 0) {
+        bump(tile);
+        bump(tile);
+    }
+    out[get_global_id(0)] = tile[0];
+}

@@ -1,0 +1,32 @@
+/* Guard-aware correctness analysis: the syntax-level analyzer
+ * over-reported on guarded code; the dataflow engine proves these
+ * clean (or racy) from the guard constraints themselves. */
+
+/* Clean: both guards select the same single work-item, which executes
+ * the two stores in program order. The syntax analyzer saw two
+ * distinct guard expressions and reported a race. */
+__kernel void same_item_twice(__global int* restrict out, int n) {
+    int gid = get_global_id(0);
+    if (gid == n) { out[0] = 1; }
+    if (gid == n) { out[0] = 2; }
+}
+
+/* Clean: the branch is statically dead, so the out-of-bounds store in
+ * it can never execute. */
+__kernel void dead_branch(__global int* restrict out) {
+    int acc[8];
+    int n = 4;
+    acc[0] = 3;
+    if (n > 8) { acc[31] = 7; }
+    out[get_global_id(0)] = acc[0];
+}
+
+/* Positive: the guard admits work-items 0 and 1, which both store to
+ * the same __local word in the same barrier interval. The old
+ * analyzer dropped every access under a non-equality guard. */
+__kernel void narrow_guard_race(__global int* restrict out) {
+    __local int flag[4];
+    int lid = get_local_id(0);
+    if (lid < 2) { flag[0] = lid; }
+    out[get_global_id(0)] = flag[0];
+}

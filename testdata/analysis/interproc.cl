@@ -1,0 +1,30 @@
+/* Interprocedural findings: helpers are inlined during lowering, so
+ * index facts flow through call sites and diagnostics point at the
+ * access inside the helper-computed expression. */
+
+int mirror(int n, int l) { return n - l; }
+int off_by(int i) { return i + 12; }
+
+/* Positive: work-items l and 4-l collide on the same __local word
+ * through the helper-computed index. */
+__kernel void helper_race(__global int* restrict out) {
+    __local int tile[8];
+    int lid = get_local_id(0);
+    tile[mirror(4, lid)] = lid;
+    out[get_global_id(0)] = tile[lid];
+}
+
+/* Positive: a constant index through a helper lands past the end. */
+__kernel void helper_oob(__global int* restrict out) {
+    int acc[16];
+    acc[0] = 1;
+    acc[off_by(8)] = 2;
+    out[get_global_id(0)] = acc[0];
+}
+
+/* Clean: the same helper with a small argument stays in bounds. */
+__kernel void helper_ok(__global int* restrict out) {
+    int acc[16];
+    acc[off_by(2)] = 2;
+    out[get_global_id(0)] = acc[14];
+}

@@ -1,0 +1,21 @@
+/* Value-range findings from the dataflow engine. */
+
+/* Positive: the loop bound admits i == 16, one past the end. The
+ * index is range-derived rather than constant, so it reports as a
+ * warning ("may reach") instead of a proven error. */
+__kernel void off_by_one(__global float* restrict out) {
+    float acc[16];
+    for (int i = 0; i <= 16; i++) {
+        acc[i] = 0.0f;
+    }
+    out[get_global_id(0)] = acc[3];
+}
+
+/* Clean: the loop keeps every index strictly inside the array. */
+__kernel void exact_fit(__global float* restrict out) {
+    float acc[16];
+    for (int i = 0; i < 16; i++) {
+        acc[i] = 0.0f;
+    }
+    out[get_global_id(0)] = acc[15];
+}
