@@ -32,11 +32,11 @@ race-sched:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 	$(GO) test -run xxx -bench BenchmarkEngine -benchtime 200x -count 3 ./internal/vm \
-		| $(GO) run ./cmd/benchjson > BENCH_vm.json
-	@echo "wrote BENCH_vm.json (VM engine baseline; diff against the committed copy)"
+		| $(GO) run ./cmd/benchjson > BENCH_vm_v2.json
+	@echo "wrote BENCH_vm_v2.json (three-tier VM engine baseline; diff against the committed copy)"
 
 # Cheap benchmark smoke for CI: one iteration of the VM engine
-# benchmarks under both engines, so a broken bench harness fails
+# benchmarks under all three engines, so a broken bench harness fails
 # verify rather than the next baseline refresh.
 bench-smoke:
 	$(GO) test -run xxx -bench BenchmarkEngine -benchtime 1x ./internal/vm >/dev/null
@@ -91,8 +91,9 @@ trace-golden:
 	$(GO) run ./cmd/tracecheck internal/cl/testdata/trace_multiqueue.json
 
 # Short native-fuzzing pass over every fuzz target ($(FUZZTIME) each):
-# the engine differential, the command-DAG scheduler vs its serial
-# oracle, the profile algebra and the kernel analyzer.
+# the 3-way engine differential (interp oracle vs compiled vs lanes),
+# the command-DAG scheduler vs its serial oracle, the profile algebra
+# and the kernel analyzer.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzEngineEquivalence$$' -fuzztime $(FUZZTIME) ./internal/vm
 	$(GO) test -run xxx -fuzz '^FuzzCommandDAG$$' -fuzztime $(FUZZTIME) ./internal/sched
@@ -101,6 +102,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzSolver$$' -fuzztime $(FUZZTIME) ./internal/clc/analysis/dataflow
 
 # Full verification: what CI runs. The -short race pass includes the
-# engine differential cross-section; `make test` runs the full
-# interpreter-vs-compiled matrix.
+# engine differential cross-section; `make test` runs the full 3-way
+# matrix (interp oracle vs compiled vs lanes) plus the codegen backend
+# snapshot tests.
 verify: build lint test race race-sched trace-smoke trace-golden serve-smoke bench-smoke fuzz-smoke

@@ -79,8 +79,9 @@ type (
 	LineProfiler = vm.LineProfiler
 
 	// Engine selects the VM execution engine: EngineInterp is the
-	// reference switch-dispatch interpreter, EngineCompiled the
-	// closure-compiled fast path. Both are bit-identical in every
+	// reference switch-dispatch interpreter (the oracle), EngineCompiled
+	// the closure-compiled fast path, EngineLanes the lock-step
+	// lane-batched SIMT executor. All three are bit-identical in every
 	// observable (results, reports, traces, profiles); only host
 	// wall-clock differs.
 	Engine = vm.Engine
@@ -180,17 +181,30 @@ const (
 	EngineAuto     = vm.EngineAuto
 	EngineInterp   = vm.EngineInterp
 	EngineCompiled = vm.EngineCompiled
+	EngineLanes    = vm.EngineLanes
 )
 
+// ErrUnknownEngine reports an engine name ParseEngine does not know;
+// the malisim/malid -engine flags and strict MALIGO_ENGINE validation
+// surface it instead of silently falling back.
+var ErrUnknownEngine = vm.ErrUnknownEngine
+
 // ParseEngine parses an engine name: "auto" (or empty), "interp" /
-// "interpreter", "compiled". The malisim and figures -engine flags
-// accept the same names, as does the MALIGO_ENGINE environment
-// variable.
+// "interpreter", "compiled", "lanes" (or "simt"). The malisim, malid
+// and figures -engine flags accept the same names, as does the
+// MALIGO_ENGINE environment variable. Unknown names return an error
+// wrapping ErrUnknownEngine.
 func ParseEngine(s string) (Engine, error) { return vm.ParseEngine(s) }
 
 // EngineFromEnv returns the engine selected by the MALIGO_ENGINE
 // environment variable, or EngineAuto when unset or unparsable.
 func EngineFromEnv() Engine { return vm.EngineFromEnv() }
+
+// EngineFromEnvStrict is EngineFromEnv that rejects a set-but-invalid
+// MALIGO_ENGINE with an ErrUnknownEngine-wrapping error instead of
+// silently running the default engine; the daemons validate startup
+// configuration with it.
+func EngineFromEnvStrict() (Engine, error) { return vm.EngineFromEnvStrict() }
 
 // ContextOption is the old name of the option type NewContext takes.
 //

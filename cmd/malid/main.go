@@ -56,7 +56,7 @@ func main() {
 		queued   = flag.Int("max-queued", 64, "per-tenant admission queue depth")
 		conc     = flag.Int("max-concurrent", 4, "jobs running at once across all tenants")
 		batch    = flag.Int64("batch-items", 4096, "batch jobs at or below this many work-items (-1 disables)")
-		engine   = flag.String("engine", "", "VM engine: auto, interp, compiled")
+		engine   = flag.String("engine", "", "VM engine: auto, interp, compiled, lanes")
 		analysis = flag.String("analysis", "warn", "static-analysis admission policy: off, warn or error")
 		tenantAn = flag.String("tenant-analysis", "", "per-tenant policy overrides, e.g. ci=error,scratch=off")
 	)
@@ -70,6 +70,13 @@ func main() {
 	eng, err := maligo.ParseEngine(*engine)
 	if err != nil {
 		log.Fatalf("malid: %v", err)
+	}
+	if eng == maligo.EngineAuto {
+		// A daemon with a mistyped MALIGO_ENGINE must refuse to start,
+		// not silently serve every tenant on the default engine.
+		if _, err := maligo.EngineFromEnvStrict(); err != nil {
+			log.Fatalf("malid: MALIGO_ENGINE: %v", err)
+		}
 	}
 	cfg := maligo.ServerConfig{
 		MaxQueued:      *queued,

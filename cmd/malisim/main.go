@@ -5,17 +5,18 @@
 // Usage:
 //
 //	malisim -bench dmmm [-version opt] [-prec single] [-scale 1.0] [-workers N]
-//	        [-engine interp|compiled] [-async] [-trace out.json] [-metrics]
+//	        [-engine interp|compiled|lanes] [-async] [-trace out.json] [-metrics]
 //	        [-metrics-out m.json] [-hotlines N]
 //
 // Versions: serial, omp, cl, opt (paper names: Serial, OpenMP, OpenCL,
 // OpenCL Opt). -workers shards the simulation's work-groups across N
 // host CPUs (default all); the simulated results are identical, only
 // the host wall-clock changes. -engine selects the VM execution engine
-// (the closure-compiled fast path by default, or the reference
-// interpreter with -engine interp; the MALIGO_ENGINE environment
-// variable sets the same choice) — the two engines are bit-identical
-// in every simulated observable.
+// (the closure-compiled fast path by default, the reference
+// interpreter with -engine interp, or the lock-step lane-batched SIMT
+// executor with -engine lanes; the MALIGO_ENGINE environment variable
+// sets the same choice and an invalid value is rejected at startup) —
+// all three engines are bit-identical in every simulated observable.
 //
 // Observability: -trace writes the measured region's command timeline
 // as Chrome tracing JSON (open in chrome://tracing or
@@ -41,7 +42,7 @@ func main() {
 		prec    = flag.String("prec", "single", "precision: single or double")
 		scale   = flag.Float64("scale", 1.0, "workload scale factor")
 		workers = flag.Int("workers", 0, "engine worker goroutines (0 = all host CPUs, 1 = serial engine)")
-		engine  = flag.String("engine", "", "VM execution engine: interp (reference interpreter) or compiled (closure fast path, default); also settable via MALIGO_ENGINE")
+		engine  = flag.String("engine", "", "VM execution engine: interp (reference interpreter), compiled (closure fast path, default) or lanes (lock-step SIMT batches); also settable via MALIGO_ENGINE")
 		async   = flag.Bool("async", false, "run enqueues through the DAG command scheduler (asynchronous queues); all simulated observables are bit-identical")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 		lint    = flag.Bool("lint", false, "run the kernel static analyzer over the benchmark's source (all benchmarks when -bench is empty) and exit")
@@ -90,6 +91,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if eng == maligo.EngineAuto {
+		// No flag: MALIGO_ENGINE decides, and a typo there is a
+		// startup error, not a silent fall-back to the default engine.
+		if _, err := maligo.EngineFromEnvStrict(); err != nil {
+			fmt.Fprintln(os.Stderr, "MALIGO_ENGINE:", err)
+			os.Exit(2)
+		}
+	}
 
 	cfg := maligo.DefaultExperimentConfig()
 	cfg.Scale = *scale
@@ -118,9 +127,9 @@ func main() {
 	if effEng == maligo.EngineAuto {
 		effEng = maligo.EngineFromEnv()
 	}
-	engineName := "compiled"
-	if !effEng.UseCompiled() {
-		engineName = "interp"
+	engineName := effEng.String()
+	if effEng == maligo.EngineAuto {
+		engineName = "compiled" // the auto default
 	}
 	fmt.Printf("benchmark      %s (%s)\n", *name, maligo.BenchmarkByName(*name).Description())
 	fmt.Printf("configuration  %s, %s precision, scale %g\n", v, p, *scale)

@@ -50,6 +50,38 @@
 // the serial engine; Queue.FinishCtx and EnqueueNDRangeKernelCtx
 // accept a context.Context for cancellation.
 //
+// # Execution engines: a three-tier contract
+//
+// Inside each worker, the VM runs kernels on one of three engines
+// (WithEngine, the malisim/malid -engine flags, or MALIGO_ENGINE):
+//
+//   - EngineInterp — the reference switch-dispatch interpreter. Slow,
+//     simple, and the oracle: every other tier is defined as
+//     "observationally identical to interp".
+//   - EngineCompiled — the closure-compiled fast path (the default).
+//     Kernels pre-decode into basic blocks of fused execution units.
+//   - EngineLanes — the lock-step lane-batched SIMT executor. Work-items
+//     run 16 to a batch over structure-of-arrays register files with an
+//     active-lane mask for divergent control flow, reconverging at
+//     post-dominators; barriers synchronize whole batches, and
+//     unit-stride global loads and stores move as bulk slice copies.
+//
+// The contract across all three tiers is bit-identity in every
+// observable: memory images, profiles, profiling timestamps, traces,
+// race reports, hot-line attribution, fault messages and step-limit
+// errors. The interpreter stays authoritative; a 3-way differential
+// suite (fuzzed kernels plus the full benchmark matrix) enforces the
+// contract, and ParseEngine rejects unknown engine names with
+// ErrUnknownEngine instead of silently falling back (daemons validate
+// MALIGO_ENGINE at startup via EngineFromEnvStrict).
+//
+// The same IR that feeds the engines also feeds code generation:
+// internal/clc/backend emits standalone artifacts from a compiled
+// kernel — "irdump" renders the canonical textual IR, "gosrc" emits a
+// self-contained Go package that executes the kernel as a basic-block
+// state machine against a small Machine interface. Snapshot tests pin
+// both emitters byte-for-byte on every paper benchmark kernel.
+//
 // # Asynchronous queues
 //
 // WithAsyncQueues(true) (on a platform or a standalone context)

@@ -1,0 +1,207 @@
+package maligo_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"maligo"
+)
+
+// TestParseEngineTable pins the engine-name grammar shared by the
+// malisim/malid -engine flags and the MALIGO_ENGINE variable: every
+// accepted spelling, and the typed ErrUnknownEngine for everything
+// else — never a silent fall-back.
+func TestParseEngineTable(t *testing.T) {
+	cases := []struct {
+		in   string
+		want maligo.Engine
+		ok   bool
+	}{
+		{"", maligo.EngineAuto, true},
+		{"auto", maligo.EngineAuto, true},
+		{"interp", maligo.EngineInterp, true},
+		{"interpreter", maligo.EngineInterp, true},
+		{"compiled", maligo.EngineCompiled, true},
+		{"lanes", maligo.EngineLanes, true},
+		{"lane", maligo.EngineLanes, true},
+		{"simt", maligo.EngineLanes, true},
+		{"LANES", maligo.EngineLanes, true},
+		{" compiled ", maligo.EngineCompiled, true},
+		{"fast", 0, false},
+		{"interp2", 0, false},
+		{"lanes,compiled", 0, false},
+		{"gpu", 0, false},
+	}
+	for _, c := range cases {
+		got, err := maligo.ParseEngine(c.in)
+		if c.ok {
+			if err != nil || got != c.want {
+				t.Errorf("ParseEngine(%q) = %v, %v; want %v, nil", c.in, got, err, c.want)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("ParseEngine(%q) accepted an invalid name as %v", c.in, got)
+			continue
+		}
+		if !errors.Is(err, maligo.ErrUnknownEngine) {
+			t.Errorf("ParseEngine(%q) error %v is not ErrUnknownEngine", c.in, err)
+		}
+	}
+}
+
+// TestEngineFromEnvStrict checks the startup-time MALIGO_ENGINE
+// validation both daemons run: valid values parse, invalid values are
+// a typed startup error while the lenient reader still degrades to
+// auto for run-time callers.
+func TestEngineFromEnvStrict(t *testing.T) {
+	t.Setenv("MALIGO_ENGINE", "lanes")
+	if got, err := maligo.EngineFromEnvStrict(); err != nil || got != maligo.EngineLanes {
+		t.Fatalf("strict(lanes) = %v, %v", got, err)
+	}
+
+	t.Setenv("MALIGO_ENGINE", "warp")
+	if _, err := maligo.EngineFromEnvStrict(); !errors.Is(err, maligo.ErrUnknownEngine) {
+		t.Fatalf("strict(warp) err = %v, want ErrUnknownEngine", err)
+	}
+	if got := maligo.EngineFromEnv(); got != maligo.EngineAuto {
+		t.Fatalf("lenient(warp) = %v, want EngineAuto", got)
+	}
+
+	t.Setenv("MALIGO_ENGINE", "")
+	if got, err := maligo.EngineFromEnvStrict(); err != nil || got != maligo.EngineAuto {
+		t.Fatalf("strict(unset) = %v, %v", got, err)
+	}
+}
+
+// TestWithEngineEndToEnd drives the façade with every engine and
+// requires bit-identical output and measurement — the root-package leg
+// of the 3-way differential contract.
+func TestWithEngineEndToEnd(t *testing.T) {
+	run := func(eng maligo.Engine) ([]byte, maligo.Measurement) {
+		const n = 1 << 10
+		p := maligo.NewPlatform(maligo.WithWorkers(1), maligo.WithEngine(eng))
+		defer p.Close()
+		ctx := p.Context
+		prog := ctx.CreateProgramWithSource(saxpySrc)
+		if err := prog.Build(""); err != nil {
+			t.Fatalf("build: %v\n%s", err, prog.BuildLog())
+		}
+		kernel, err := prog.CreateKernel("saxpy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		host := make([]byte, n*4)
+		for i := range host {
+			host[i] = byte(i * 7)
+		}
+		bufX, err := ctx.CreateBuffer(maligo.MemReadOnly|maligo.MemCopyHostPtr, n*4, host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufY, err := ctx.CreateBuffer(maligo.MemReadWrite|maligo.MemCopyHostPtr, n*4, host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernel.SetArgBuffer(0, bufX)
+		kernel.SetArgBuffer(1, bufY)
+		kernel.SetArgFloat(2, 1.5)
+		kernel.SetArgInt(3, n)
+		q := ctx.CreateCommandQueue(p.Mali())
+		if _, err := q.EnqueueNDRangeKernel(kernel, 1, []int{n}, []int{64}); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+		q.Finish()
+		meas, _ := p.Measure(q)
+		out := make([]byte, n*4)
+		if _, err := q.EnqueueReadBuffer(bufY, 0, out); err != nil {
+			t.Fatal(err)
+		}
+		return out, meas
+	}
+
+	refOut, refMeas := run(maligo.EngineInterp)
+	for _, eng := range []maligo.Engine{maligo.EngineCompiled, maligo.EngineLanes} {
+		out, meas := run(eng)
+		for i := range refOut {
+			if out[i] != refOut[i] {
+				t.Fatalf("%v: output differs from interp at byte %d", eng, i)
+			}
+		}
+		if meas != refMeas {
+			t.Errorf("%v: measurement differs:\n interp: %+v\n got:    %+v", eng, refMeas, meas)
+		}
+	}
+}
+
+// TestExperimentsEngineIdentity is the malisim leg: RunExperiments —
+// the exact path malisim drives after its -engine flag parses — must
+// produce identical simulated cells under every engine (only
+// HostSeconds, the host wall-clock, may move).
+func TestExperimentsEngineIdentity(t *testing.T) {
+	run := func(eng maligo.Engine) *maligo.Results {
+		cfg := maligo.DefaultExperimentConfig()
+		cfg.Scale = 0.1
+		cfg.Benchmarks = []string{"2dcon"}
+		cfg.Precisions = []maligo.Precision{maligo.F32}
+		cfg.Workers = 1
+		cfg.Engine = eng
+		res, err := maligo.RunExperiments(cfg)
+		if err != nil {
+			t.Fatalf("RunExperiments(%v): %v", eng, err)
+		}
+		return res
+	}
+	ref := run(maligo.EngineInterp)
+	for _, eng := range []maligo.Engine{maligo.EngineCompiled, maligo.EngineLanes} {
+		res := run(eng)
+		for key, rc := range ref.Cells {
+			gc := res.Cells[key]
+			if gc == nil || rc.Supported != gc.Supported {
+				t.Fatalf("%v: %s: cell mismatch", eng, key)
+			}
+			if !rc.Supported {
+				continue
+			}
+			if rc.Seconds != gc.Seconds || rc.Power != gc.Power || rc.Activity != gc.Activity {
+				t.Errorf("%v: %s: simulated results differ from interp", eng, key)
+			}
+		}
+	}
+}
+
+// TestServerEngineIdentity is the malid leg: a daemon configured with
+// each engine must serve byte-identical job results. (malid's -engine
+// flag parses with ParseEngine and lands in ServerConfig.Runtime.Engine
+// — this drives that exact path.)
+func TestServerEngineIdentity(t *testing.T) {
+	run := func(eng maligo.Engine) []byte {
+		cfg := maligo.ServerConfig{}
+		cfg.Runtime.Workers = 1
+		cfg.Runtime.Engine = eng
+		srv, err := maligo.NewServer(cfg)
+		if err != nil {
+			t.Fatalf("NewServer(%v): %v", eng, err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer func() { ts.Close(); srv.Close() }()
+		client := maligo.NewClient(ts.URL, ts.Client())
+
+		spec := maligo.JobMixSpecs()[0]
+		res, err := client.RunJob(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("RunJob(%v): %v", eng, err)
+		}
+		b, _ := json.Marshal(res)
+		return b
+	}
+	ref := run(maligo.EngineInterp)
+	for _, eng := range []maligo.Engine{maligo.EngineCompiled, maligo.EngineLanes} {
+		if got := run(eng); string(got) != string(ref) {
+			t.Errorf("%v: served job result differs from interp:\n interp: %s\n got:    %s", eng, ref, got)
+		}
+	}
+}

@@ -87,11 +87,11 @@ func runUnderEngine(t *testing.T, name string, prec bench.Precision, eng vm.Engi
 
 // TestEngineDifferential runs the full benchmark matrix — every
 // benchmark, every supported version, both precisions — once under the
-// reference interpreter and once under the compiled fast path, and
-// requires every observable to be bit-identical: buffer contents,
-// event timestamps and device reports, metrics counters and the
-// exported trace timeline. The interpreter is the oracle; any
-// divergence is a compiled-engine bug.
+// reference interpreter and once under each fast engine (compiled,
+// lanes), and requires every observable to be bit-identical: buffer
+// contents, event timestamps and device reports, metrics counters and
+// the exported trace timeline. The interpreter is the oracle; any
+// divergence is a fast-engine bug.
 func TestEngineDifferential(t *testing.T) {
 	names := bench.Names()
 	precs := []bench.Precision{bench.F32, bench.F64}
@@ -106,31 +106,33 @@ func TestEngineDifferential(t *testing.T) {
 			name, prec := name, prec
 			t.Run(name+"/"+prec.String(), func(t *testing.T) {
 				ref := runUnderEngine(t, name, prec, vm.EngineInterp)
-				got := runUnderEngine(t, name, prec, vm.EngineCompiled)
+				for _, eng := range []vm.Engine{vm.EngineCompiled, vm.EngineLanes} {
+					got := runUnderEngine(t, name, prec, eng)
 
-				if !bytes.Equal(ref.arena, got.arena) {
-					diff := -1
-					for i := range ref.arena {
-						if ref.arena[i] != got.arena[i] {
-							diff = i
-							break
+					if !bytes.Equal(ref.arena, got.arena) {
+						diff := -1
+						for i := range ref.arena {
+							if ref.arena[i] != got.arena[i] {
+								diff = i
+								break
+							}
+						}
+						t.Errorf("%v: arena contents differ (first at byte %d of %d)", eng, diff, len(ref.arena))
+					}
+					if len(ref.events) != len(got.events) {
+						t.Fatalf("%v: event count differs: interp %d vs %d", eng, len(ref.events), len(got.events))
+					}
+					for i := range ref.events {
+						if !reflect.DeepEqual(ref.events[i], got.events[i]) {
+							t.Errorf("%v: event %d differs:\n interp: %+v\n got:    %+v", eng, i, ref.events[i], got.events[i])
 						}
 					}
-					t.Errorf("arena contents differ (first at byte %d of %d)", diff, len(ref.arena))
-				}
-				if len(ref.events) != len(got.events) {
-					t.Fatalf("event count differs: interp %d vs compiled %d", len(ref.events), len(got.events))
-				}
-				for i := range ref.events {
-					if !reflect.DeepEqual(ref.events[i], got.events[i]) {
-						t.Errorf("event %d differs:\n interp:   %+v\n compiled: %+v", i, ref.events[i], got.events[i])
+					if !reflect.DeepEqual(ref.metrics, got.metrics) {
+						t.Errorf("%v: metrics snapshots differ:\n interp: %+v\n got:    %+v", eng, ref.metrics, got.metrics)
 					}
-				}
-				if !reflect.DeepEqual(ref.metrics, got.metrics) {
-					t.Errorf("metrics snapshots differ:\n interp:   %+v\n compiled: %+v", ref.metrics, got.metrics)
-				}
-				if !reflect.DeepEqual(ref.timeline, got.timeline) {
-					t.Errorf("timeline spans differ:\n interp:   %+v\n compiled: %+v", ref.timeline, got.timeline)
+					if !reflect.DeepEqual(ref.timeline, got.timeline) {
+						t.Errorf("%v: timeline spans differ:\n interp: %+v\n got:    %+v", eng, ref.timeline, got.timeline)
+					}
 				}
 			})
 		}

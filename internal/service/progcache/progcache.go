@@ -38,7 +38,20 @@ type Entry struct {
 	// recompiled rather than trusted.
 	Analyzed bool
 	Diags    []analysis.Diagnostic
+
+	// EngineTier records the newest execution tier the compiling
+	// daemon knew about. The lane engine (tier 3) leans on IR
+	// invariants older lowerings never promised (block boundaries,
+	// pre-decoded execution units), so a persisted binary from an
+	// older daemon — gob decodes its absent field as 0 — is recompiled
+	// on load rather than trusted, exactly like pre-analyzer binaries.
+	EngineTier int
 }
+
+// CurrentEngineTier is the engine generation stamped into new cache
+// entries: 1 interpreter, 2 compiled closures, 3 lock-step lanes.
+// Bump it whenever a new tier changes what the IR contract promises.
+const CurrentEngineTier = 3
 
 // MaxSeverity returns the highest diagnostic severity in the entry.
 func (e *Entry) MaxSeverity() analysis.Severity { return analysis.MaxSeverity(e.Diags) }
@@ -130,6 +143,7 @@ func (c *Cache) GetOrCompile(source, options string) (e *Entry, hit bool, err er
 	e = &Entry{
 		ID: id, Source: source, Options: options, Prog: art.Prog,
 		Analyzed: true, Diags: analysis.Analyze(art),
+		EngineTier: CurrentEngineTier,
 	}
 	c.insert(e)
 	c.store(e)
@@ -206,6 +220,9 @@ func (c *Cache) load(id string) (*Entry, error) {
 	}
 	if e.ID != id || job.ProgramID(e.Source, e.Options) != id || e.Prog == nil || !e.Analyzed {
 		return nil, fmt.Errorf("progcache: binary for %s fails verification", id)
+	}
+	if e.EngineTier != CurrentEngineTier {
+		return nil, fmt.Errorf("progcache: binary for %s is engine tier %d, need %d; recompiling", id, e.EngineTier, CurrentEngineTier)
 	}
 	return &e, nil
 }

@@ -193,3 +193,64 @@ func TestDiagnosticsPersist(t *testing.T) {
 		t.Fatal("recompiled entry missing diagnostics")
 	}
 }
+
+// TestEngineTierSkewRecompiles proves the engine-generation stamp
+// gates disk reloads: a binary persisted by a pre-lanes daemon (its
+// gob carries no EngineTier field, decoding as tier 0) fails
+// verification and is recompiled, while a freshly stamped binary
+// round-trips. This is how a cache directory survives engine upgrades
+// without serving programs whose IR predates the current tier's
+// contract.
+func TestEngineTierSkewRecompiles(t *testing.T) {
+	dir := t.TempDir()
+	spec := job.MixSpecs()[0]
+	c1, err := New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, hit, err := c1.GetOrCompile(spec.Source, spec.Options)
+	if err != nil || hit {
+		t.Fatalf("compile: hit=%v err=%v", hit, err)
+	}
+	if e1.EngineTier != CurrentEngineTier {
+		t.Fatalf("fresh entry EngineTier = %d, want %d", e1.EngineTier, CurrentEngineTier)
+	}
+
+	// A second cache over the same directory serves the stamped binary.
+	c2, err := New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := c2.GetOrCompile(spec.Source, spec.Options); err != nil || !hit {
+		t.Fatalf("disk reload of current-tier binary: hit=%v err=%v", hit, err)
+	}
+
+	// Rewrite the binary as an older daemon would have produced it:
+	// same program, earlier (or absent) engine tier.
+	id := job.ProgramID(spec.Source, spec.Options)
+	for _, tier := range []int{0, CurrentEngineTier - 1} {
+		stale := *e1
+		stale.EngineTier = tier
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&stale); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeFile(c1.path(id), buf.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		c3, err := New(8, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c3.Get(id); ok {
+			t.Fatalf("tier-%d binary accepted by tier-%d daemon", tier, CurrentEngineTier)
+		}
+		e3, hit, err := c3.GetOrCompile(spec.Source, spec.Options)
+		if err != nil || hit {
+			t.Fatalf("recompile of tier-%d binary: hit=%v err=%v", tier, hit, err)
+		}
+		if e3.EngineTier != CurrentEngineTier {
+			t.Fatalf("recompiled entry EngineTier = %d, want %d", e3.EngineTier, CurrentEngineTier)
+		}
+	}
+}

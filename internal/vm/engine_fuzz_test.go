@@ -11,15 +11,86 @@ import (
 	"maligo/internal/vm"
 )
 
+// fuzzKernelSource builds the generated kernel for one fuzz input. The
+// seed's low bits pick one of three templates: the original
+// expression-tree shape, a divergent-control shape (data-dependent
+// branches so lanes of one batch take different paths and must
+// re-merge), and a barrier-in-loop shape (barriers inside a
+// data-dependent loop so the lock-step phase protocol is exercised
+// against the serial one). Shapes 1 and 2 are the mandatory seeds of
+// the SIMT bug-class hunt: masked-lane side effects and barrier
+// reconvergence bugs only show up under divergence.
+func fuzzKernelSource(seed uint64, expr string) string {
+	switch (seed >> 1) % 3 {
+	case 1: // divergent control: branches + early loop exit keyed on gid
+		return fmt.Sprintf(`__kernel void f(__global int* out, __global const int* in,
+		                                 const int a, const int b, const int idx) {
+			int gid = get_global_id(0);
+			int c = in[(gid + idx) & 3];
+			int tmp[4];
+			tmp[gid & 3] = c ^ a;
+			int s = 0;
+			if ((gid ^ idx) & 1) {
+				s = a - gid;
+				for (int i = 0; i < ((idx & 63) + gid); i++) {
+					s += tmp[(i + gid) & 3] ^ i;
+					if (s > b) { s -= b; }
+				}
+			} else {
+				for (int i = 0; i < (idx & 255); i++) {
+					s += tmp[i & 3] + i;
+				}
+			}
+			out[gid] = (%s) + s + tmp[idx & 7];
+		}`, expr)
+	case 2: // barrier in data-dependent loop, divergent work between phases
+		return fmt.Sprintf(`__kernel void f(__global int* out, __global const int* in,
+		                                 const int a, const int b, const int idx) {
+			__local int tile[4];
+			int gid = get_global_id(0);
+			int lid = get_local_id(0);
+			int c = in[(gid + idx) & 3];
+			int tmp[4];
+			tmp[gid & 3] = c ^ a;
+			int s = 0;
+			for (int i = 0; i < ((idx & 15) + 1); i++) {
+				tile[lid] = s + c + i;
+				barrier(CLK_LOCAL_MEM_FENCE);
+				if ((lid + i) & 1) {
+					s += tile[3 - lid] * 3;
+				} else {
+					s ^= tile[(lid + 1) & 3] + b;
+				}
+				barrier(CLK_LOCAL_MEM_FENCE);
+			}
+			out[gid] = (%s) + s + tmp[idx & 7];
+		}`, expr)
+	}
+	return fmt.Sprintf(`__kernel void f(__global int* out, __global const int* in,
+	                                 const int a, const int b, const int idx) {
+		int gid = get_global_id(0);
+		int c = in[(gid + idx) & 3];
+		int tmp[4];
+		tmp[gid & 3] = c ^ a;
+		int s = 0;
+		for (int i = 0; i < (idx & 255); i++) {
+			s += tmp[i & 3] + i;
+		}
+		out[gid] = (%s) + s + tmp[idx & 7];
+	}`, expr)
+}
+
 // FuzzEngineEquivalence is the engine cross-check: it generates a
 // random kernel (expression tree over scalars plus global loads, a
-// private scratch array and a data-dependent loop), runs the same
-// work-group under the reference interpreter and the compiled fast
-// path, and requires the two engines to agree on every outcome — the
-// final global memory image and execution profile on success, the
-// fault on failure. The loop bound and the scratch index derive from
-// fuzz inputs, so the corpus naturally explores step-limit exhaustion
-// and private out-of-bounds faults as well as clean runs.
+// private scratch array, data-dependent control flow and optionally
+// barriers in loops), runs the same work-group under the reference
+// interpreter, the compiled fast path and the lock-step lane engine,
+// and requires all three to agree on every outcome — the final global
+// memory image and execution profile on success, the fault on failure.
+// The loop bounds and the scratch index derive from fuzz inputs, so
+// the corpus naturally explores step-limit exhaustion, divergence
+// reconvergence and private out-of-bounds faults as well as clean
+// runs.
 func FuzzEngineEquivalence(f *testing.F) {
 	f.Add(uint64(1), int32(0), int32(0), int32(0))
 	f.Add(uint64(42), int32(7), int32(-3), int32(5))
@@ -38,23 +109,23 @@ func FuzzEngineEquivalence(f *testing.F) {
 	f.Add(uint64(0xFFFFFFFFFFFFFFFF), int32(1<<31-1), int32(1<<31-1), int32(128)) // overflow mid-chain
 	f.Add(uint64(2), int32(0), int32(-(1 << 31)), int32(131))                     // aliased loads, odd chain length
 	f.Add(uint64(0x123456789ABCDEF), int32(85), int32(-86), int32(252))           // near-max chain, sign flips
+	// Mandatory SIMT seeds: template 1 (divergent control — per-lane
+	// branch and loop trip counts) and template 2 (barrier in a
+	// data-dependent loop) at characteristic corners, including
+	// step-limit exhaustion inside the divergent region and the
+	// private out-of-bounds fault behind a divergent branch.
+	f.Add(uint64(3), int32(5), int32(2), int32(63))       // divergent control, both arms taken
+	f.Add(uint64(3), int32(-9), int32(0), int32(0xFF05))  // divergent control into tmp[5] fault
+	f.Add(uint64(9), int32(1), int32(7), int32(255))      // divergent control, near step limit
+	f.Add(uint64(5), int32(11), int32(-4), int32(15))     // barrier-in-loop, max phases
+	f.Add(uint64(5), int32(0), int32(0), int32(0))        // barrier-in-loop, single phase
+	f.Add(uint64(11), int32(-1), int32(1), int32(0xFF04)) // barrier-in-loop into tmp[4] fault
 
 	f.Fuzz(func(t *testing.T, seed uint64, a, b, idx int32) {
 		g := &exprGen{seed: seed | 1}
 		g.gen(3)
 		expr := g.sb.String()
-		src := fmt.Sprintf(`__kernel void f(__global int* out, __global const int* in,
-		                                 const int a, const int b, const int idx) {
-			int gid = get_global_id(0);
-			int c = in[(gid + idx) & 3];
-			int tmp[4];
-			tmp[gid & 3] = c ^ a;
-			int s = 0;
-			for (int i = 0; i < (idx & 255); i++) {
-				s += tmp[i & 3] + i;
-			}
-			out[gid] = (%s) + s + tmp[idx & 7];
-		}`, expr)
+		src := fuzzKernelSource(seed, expr)
 		prog, err := clc.Compile("fuzzeq.cl", src, "")
 		if err != nil {
 			t.Fatalf("generated kernel failed to compile: %v\nexpr: %s", err, expr)
@@ -84,24 +155,25 @@ func FuzzEngineEquivalence(f *testing.F) {
 		}
 
 		refMem, refProf, refErr := run(vm.EngineInterp)
-		gotMem, gotProf, gotErr := run(vm.EngineCompiled)
-
-		if (refErr == nil) != (gotErr == nil) {
-			t.Fatalf("engines disagree on failure:\n interp:   %v\n compiled: %v\nexpr: %s", refErr, gotErr, expr)
-		}
-		if refErr != nil {
-			// On failure callers discard memory and profile; the engines
-			// must agree on the fault itself.
-			if refErr.Error() != gotErr.Error() {
-				t.Fatalf("fault differs:\n interp:   %v\n compiled: %v\nexpr: %s", refErr, gotErr, expr)
+		for _, eng := range []vm.Engine{vm.EngineCompiled, vm.EngineLanes} {
+			gotMem, gotProf, gotErr := run(eng)
+			if (refErr == nil) != (gotErr == nil) {
+				t.Fatalf("engines disagree on failure:\n interp: %v\n %v: %v\nexpr: %s", refErr, eng, gotErr, expr)
 			}
-			return
-		}
-		if !bytes.Equal(refMem, gotMem) {
-			t.Fatalf("global memory differs\n interp:   %v\n compiled: %v\nexpr: %s", refMem, gotMem, expr)
-		}
-		if !reflect.DeepEqual(refProf, gotProf) {
-			t.Fatalf("profiles differ\n interp:   %+v\n compiled: %+v\nexpr: %s", refProf, gotProf, expr)
+			if refErr != nil {
+				// On failure callers discard memory and profile; the
+				// engines must agree on the fault itself.
+				if refErr.Error() != gotErr.Error() {
+					t.Fatalf("fault differs:\n interp: %v\n %v: %v\nexpr: %s", refErr, eng, gotErr, expr)
+				}
+				continue
+			}
+			if !bytes.Equal(refMem, gotMem) {
+				t.Fatalf("global memory differs\n interp: %v\n %v: %v\nexpr: %s", refMem, eng, gotMem, expr)
+			}
+			if !reflect.DeepEqual(refProf, gotProf) {
+				t.Fatalf("profiles differ\n interp: %+v\n %v: %+v\nexpr: %s", refProf, eng, gotProf, expr)
+			}
 		}
 	})
 }

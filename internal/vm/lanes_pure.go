@@ -1,0 +1,919 @@
+package vm
+
+import (
+	"math"
+
+	"maligo/internal/clc/ir"
+)
+
+// This file holds the lane engine's pure-instruction executors. Every
+// kind has two bodies with identical semantics (byte-for-byte the
+// compiled engine's runPure, itself mirroring the interpreter): a
+// full-batch body operating on contiguous LaneWidth-long register
+// subslices — the hot path, where Go's compiler can eliminate bounds
+// checks and vectorize — and a masked body indexing through the active
+// lane list for divergent blocks and short tail batches. runGen is the
+// generic fallback mirroring the interpreter for the shapes the
+// specialized kinds don't cover (vector widths, uncommon bases,
+// CvtFI).
+
+// laneFullMask is the identity mask handed to masked executors by the
+// full path for kinds without a full-batch specialization. Read-only.
+var laneFullMask = func() []int {
+	m := make([]int, LaneWidth)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}()
+
+// runPureRun executes one straight-line run of pure instructions in
+// lock-step across the mask. Register slot s of lane l is at
+// (s<<laneShift)+l.
+func (x *laneExec) runPureRun(b *laneBatch, run []lIns, mask []int) {
+	if len(mask) == LaneWidth {
+		x.runPureFull(b, run)
+		return
+	}
+	for idx := range run {
+		x.execPureMasked(b, &run[idx], mask)
+	}
+}
+
+// runPureFull is the converged-batch fast path: all LaneWidth lanes
+// active, every loop a dense pass over one contiguous register row per
+// operand.
+func (x *laneExec) runPureFull(b *laneBatch, run []lIns) {
+	ii, ff := b.ii, b.ff
+	for idx := range run {
+		in := &run[idx]
+		a := int(in.a) << laneShift
+		bb := int(in.b) << laneShift
+		c := int(in.c) << laneShift
+		switch in.kind {
+		case pMovI:
+			copy(ii[a:a+LaneWidth], ii[bb:bb+LaneWidth])
+		case pMovF:
+			copy(ff[a:a+LaneWidth], ff[bb:bb+LaneWidth])
+		case pImmI:
+			dst := ii[a : a+LaneWidth]
+			for l := range dst {
+				dst[l] = in.imm
+			}
+		case pImmF:
+			dst := ff[a : a+LaneWidth]
+			for l := range dst {
+				dst[l] = in.fimm
+			}
+
+		case pAddI64:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = xs[l] + ys[l]
+			}
+		case pSubI64:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = xs[l] - ys[l]
+			}
+		case pMulI64:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = xs[l] * ys[l]
+			}
+		case pAddI32:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = int64(int32(xs[l] + ys[l]))
+			}
+		case pSubI32:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = int64(int32(xs[l] - ys[l]))
+			}
+		case pMulI32:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = int64(int32(xs[l] * ys[l]))
+			}
+		case pAddU32:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = int64(uint32(xs[l] + ys[l]))
+			}
+		case pSubU32:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = int64(uint32(xs[l] - ys[l]))
+			}
+		case pMulU32:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = int64(uint32(xs[l] * ys[l]))
+			}
+		case pAndI64:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = xs[l] & ys[l]
+			}
+		case pOrI64:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = xs[l] | ys[l]
+			}
+		case pXorI64:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = xs[l] ^ ys[l]
+			}
+		case pShlI64:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = xs[l] << (uint64(ys[l]) & 63)
+			}
+		case pShlI32:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = int64(int32(xs[l] << (uint64(ys[l]) & 31)))
+			}
+		case pShrS64:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = xs[l] >> (uint64(ys[l]) & 63)
+			}
+		case pShrS32:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = int64(int32(xs[l] >> (uint64(ys[l]) & 31)))
+			}
+
+		case pAddF32:
+			dst, xs, ys := ff[a:a+LaneWidth], ff[bb:bb+LaneWidth], ff[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = float64(float32(xs[l] + ys[l]))
+			}
+		case pSubF32:
+			dst, xs, ys := ff[a:a+LaneWidth], ff[bb:bb+LaneWidth], ff[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = float64(float32(xs[l] - ys[l]))
+			}
+		case pMulF32:
+			dst, xs, ys := ff[a:a+LaneWidth], ff[bb:bb+LaneWidth], ff[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = float64(float32(xs[l] * ys[l]))
+			}
+		case pDivF32:
+			dst, xs, ys := ff[a:a+LaneWidth], ff[bb:bb+LaneWidth], ff[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = float64(float32(xs[l] / ys[l]))
+			}
+		case pAddF64:
+			dst, xs, ys := ff[a:a+LaneWidth], ff[bb:bb+LaneWidth], ff[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = xs[l] + ys[l]
+			}
+		case pSubF64:
+			dst, xs, ys := ff[a:a+LaneWidth], ff[bb:bb+LaneWidth], ff[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = xs[l] - ys[l]
+			}
+		case pMulF64:
+			dst, xs, ys := ff[a:a+LaneWidth], ff[bb:bb+LaneWidth], ff[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = xs[l] * ys[l]
+			}
+		case pDivF64:
+			dst, xs, ys := ff[a:a+LaneWidth], ff[bb:bb+LaneWidth], ff[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = xs[l] / ys[l]
+			}
+		case pNegF32:
+			dst, xs := ff[a:a+LaneWidth], ff[bb:bb+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = float64(float32(-xs[l]))
+			}
+		case pNegF64:
+			dst, xs := ff[a:a+LaneWidth], ff[bb:bb+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = -xs[l]
+			}
+
+		case pCmpEqI:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				if xs[l] == ys[l] {
+					dst[l] = 1
+				} else {
+					dst[l] = 0
+				}
+			}
+		case pCmpNeI:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				if xs[l] != ys[l] {
+					dst[l] = 1
+				} else {
+					dst[l] = 0
+				}
+			}
+		case pCmpLtS:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				if xs[l] < ys[l] {
+					dst[l] = 1
+				} else {
+					dst[l] = 0
+				}
+			}
+		case pCmpLtU:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				if uint64(xs[l]) < uint64(ys[l]) {
+					dst[l] = 1
+				} else {
+					dst[l] = 0
+				}
+			}
+		case pCmpLeS:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				if xs[l] <= ys[l] {
+					dst[l] = 1
+				} else {
+					dst[l] = 0
+				}
+			}
+		case pCmpLeU:
+			dst, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				if uint64(xs[l]) <= uint64(ys[l]) {
+					dst[l] = 1
+				} else {
+					dst[l] = 0
+				}
+			}
+		case pCmpEqF:
+			dst, xs, ys := ii[a:a+LaneWidth], ff[bb:bb+LaneWidth], ff[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				if xs[l] == ys[l] {
+					dst[l] = 1
+				} else {
+					dst[l] = 0
+				}
+			}
+		case pCmpNeF:
+			dst, xs, ys := ii[a:a+LaneWidth], ff[bb:bb+LaneWidth], ff[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				if xs[l] != ys[l] {
+					dst[l] = 1
+				} else {
+					dst[l] = 0
+				}
+			}
+		case pCmpLtF:
+			dst, xs, ys := ii[a:a+LaneWidth], ff[bb:bb+LaneWidth], ff[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				if xs[l] < ys[l] {
+					dst[l] = 1
+				} else {
+					dst[l] = 0
+				}
+			}
+		case pCmpLeF:
+			dst, xs, ys := ii[a:a+LaneWidth], ff[bb:bb+LaneWidth], ff[c:c+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				if xs[l] <= ys[l] {
+					dst[l] = 1
+				} else {
+					dst[l] = 0
+				}
+			}
+
+		case pSelI:
+			d := int(in.d) << laneShift
+			dst, cond, xs, ys := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth], ii[c:c+LaneWidth], ii[d:d+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				if cond[l] != 0 {
+					dst[l] = xs[l]
+				} else {
+					dst[l] = ys[l]
+				}
+			}
+		case pSelF:
+			d := int(in.d) << laneShift
+			dst, cond, xs, ys := ff[a:a+LaneWidth], ii[bb:bb+LaneWidth], ff[c:c+LaneWidth], ff[d:d+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				if cond[l] != 0 {
+					dst[l] = xs[l]
+				} else {
+					dst[l] = ys[l]
+				}
+			}
+
+		case pCvtII32:
+			dst, xs := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = int64(int32(xs[l]))
+			}
+		case pCvtIIU32:
+			dst, xs := ii[a:a+LaneWidth], ii[bb:bb+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = int64(uint32(xs[l]))
+			}
+		case pCvtSF64:
+			dst, xs := ff[a:a+LaneWidth], ii[bb:bb+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = float64(xs[l])
+			}
+		case pCvtSF32:
+			dst, xs := ff[a:a+LaneWidth], ii[bb:bb+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = float64(float32(float64(xs[l])))
+			}
+		case pCvtUF64:
+			dst, xs := ff[a:a+LaneWidth], ii[bb:bb+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = float64(uint64(xs[l]))
+			}
+		case pCvtUF32:
+			dst, xs := ff[a:a+LaneWidth], ii[bb:bb+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = float64(float32(float64(uint64(xs[l]))))
+			}
+		case pCvtFF32:
+			dst, xs := ff[a:a+LaneWidth], ff[bb:bb+LaneWidth]
+			for l := 0; l < LaneWidth; l++ {
+				dst[l] = float64(float32(xs[l]))
+			}
+
+		default:
+			// Queries (per-lane coordinates) and pFn share the masked
+			// bodies under the identity mask.
+			x.execPureMasked(b, in, laneFullMask)
+		}
+	}
+}
+
+// execPureMasked executes one pure instruction for the active lanes
+// only — the divergent-path and tail-batch body.
+func (x *laneExec) execPureMasked(b *laneBatch, in *lIns, mask []int) {
+	ii, ff := b.ii, b.ff
+	cfg := x.r.cfg
+	a := int(in.a) << laneShift
+	bb := int(in.b) << laneShift
+	c := int(in.c) << laneShift
+	d := int(in.d) << laneShift
+	switch in.kind {
+	case pFn:
+		x.runGen(b, in.gen, mask)
+
+	case pMovI:
+		for _, l := range mask {
+			ii[a+l] = ii[bb+l]
+		}
+	case pMovF:
+		for _, l := range mask {
+			ff[a+l] = ff[bb+l]
+		}
+	case pImmI:
+		for _, l := range mask {
+			ii[a+l] = in.imm
+		}
+	case pImmF:
+		for _, l := range mask {
+			ff[a+l] = in.fimm
+		}
+
+	case pAddI64:
+		for _, l := range mask {
+			ii[a+l] = ii[bb+l] + ii[c+l]
+		}
+	case pSubI64:
+		for _, l := range mask {
+			ii[a+l] = ii[bb+l] - ii[c+l]
+		}
+	case pMulI64:
+		for _, l := range mask {
+			ii[a+l] = ii[bb+l] * ii[c+l]
+		}
+	case pAddI32:
+		for _, l := range mask {
+			ii[a+l] = int64(int32(ii[bb+l] + ii[c+l]))
+		}
+	case pSubI32:
+		for _, l := range mask {
+			ii[a+l] = int64(int32(ii[bb+l] - ii[c+l]))
+		}
+	case pMulI32:
+		for _, l := range mask {
+			ii[a+l] = int64(int32(ii[bb+l] * ii[c+l]))
+		}
+	case pAddU32:
+		for _, l := range mask {
+			ii[a+l] = int64(uint32(ii[bb+l] + ii[c+l]))
+		}
+	case pSubU32:
+		for _, l := range mask {
+			ii[a+l] = int64(uint32(ii[bb+l] - ii[c+l]))
+		}
+	case pMulU32:
+		for _, l := range mask {
+			ii[a+l] = int64(uint32(ii[bb+l] * ii[c+l]))
+		}
+	case pAndI64:
+		for _, l := range mask {
+			ii[a+l] = ii[bb+l] & ii[c+l]
+		}
+	case pOrI64:
+		for _, l := range mask {
+			ii[a+l] = ii[bb+l] | ii[c+l]
+		}
+	case pXorI64:
+		for _, l := range mask {
+			ii[a+l] = ii[bb+l] ^ ii[c+l]
+		}
+	case pShlI64:
+		for _, l := range mask {
+			ii[a+l] = ii[bb+l] << (uint64(ii[c+l]) & 63)
+		}
+	case pShlI32:
+		for _, l := range mask {
+			ii[a+l] = int64(int32(ii[bb+l] << (uint64(ii[c+l]) & 31)))
+		}
+	case pShrS64:
+		for _, l := range mask {
+			ii[a+l] = ii[bb+l] >> (uint64(ii[c+l]) & 63)
+		}
+	case pShrS32:
+		for _, l := range mask {
+			ii[a+l] = int64(int32(ii[bb+l] >> (uint64(ii[c+l]) & 31)))
+		}
+
+	case pAddF32:
+		for _, l := range mask {
+			ff[a+l] = float64(float32(ff[bb+l] + ff[c+l]))
+		}
+	case pSubF32:
+		for _, l := range mask {
+			ff[a+l] = float64(float32(ff[bb+l] - ff[c+l]))
+		}
+	case pMulF32:
+		for _, l := range mask {
+			ff[a+l] = float64(float32(ff[bb+l] * ff[c+l]))
+		}
+	case pDivF32:
+		for _, l := range mask {
+			ff[a+l] = float64(float32(ff[bb+l] / ff[c+l]))
+		}
+	case pAddF64:
+		for _, l := range mask {
+			ff[a+l] = ff[bb+l] + ff[c+l]
+		}
+	case pSubF64:
+		for _, l := range mask {
+			ff[a+l] = ff[bb+l] - ff[c+l]
+		}
+	case pMulF64:
+		for _, l := range mask {
+			ff[a+l] = ff[bb+l] * ff[c+l]
+		}
+	case pDivF64:
+		for _, l := range mask {
+			ff[a+l] = ff[bb+l] / ff[c+l]
+		}
+	case pNegF32:
+		for _, l := range mask {
+			ff[a+l] = float64(float32(-ff[bb+l]))
+		}
+	case pNegF64:
+		for _, l := range mask {
+			ff[a+l] = -ff[bb+l]
+		}
+
+	case pCmpEqI:
+		for _, l := range mask {
+			if ii[bb+l] == ii[c+l] {
+				ii[a+l] = 1
+			} else {
+				ii[a+l] = 0
+			}
+		}
+	case pCmpNeI:
+		for _, l := range mask {
+			if ii[bb+l] != ii[c+l] {
+				ii[a+l] = 1
+			} else {
+				ii[a+l] = 0
+			}
+		}
+	case pCmpLtS:
+		for _, l := range mask {
+			if ii[bb+l] < ii[c+l] {
+				ii[a+l] = 1
+			} else {
+				ii[a+l] = 0
+			}
+		}
+	case pCmpLtU:
+		for _, l := range mask {
+			if uint64(ii[bb+l]) < uint64(ii[c+l]) {
+				ii[a+l] = 1
+			} else {
+				ii[a+l] = 0
+			}
+		}
+	case pCmpLeS:
+		for _, l := range mask {
+			if ii[bb+l] <= ii[c+l] {
+				ii[a+l] = 1
+			} else {
+				ii[a+l] = 0
+			}
+		}
+	case pCmpLeU:
+		for _, l := range mask {
+			if uint64(ii[bb+l]) <= uint64(ii[c+l]) {
+				ii[a+l] = 1
+			} else {
+				ii[a+l] = 0
+			}
+		}
+	case pCmpEqF:
+		for _, l := range mask {
+			if ff[bb+l] == ff[c+l] {
+				ii[a+l] = 1
+			} else {
+				ii[a+l] = 0
+			}
+		}
+	case pCmpNeF:
+		for _, l := range mask {
+			if ff[bb+l] != ff[c+l] {
+				ii[a+l] = 1
+			} else {
+				ii[a+l] = 0
+			}
+		}
+	case pCmpLtF:
+		for _, l := range mask {
+			if ff[bb+l] < ff[c+l] {
+				ii[a+l] = 1
+			} else {
+				ii[a+l] = 0
+			}
+		}
+	case pCmpLeF:
+		for _, l := range mask {
+			if ff[bb+l] <= ff[c+l] {
+				ii[a+l] = 1
+			} else {
+				ii[a+l] = 0
+			}
+		}
+
+	case pSelI:
+		for _, l := range mask {
+			if ii[bb+l] != 0 {
+				ii[a+l] = ii[c+l]
+			} else {
+				ii[a+l] = ii[d+l]
+			}
+		}
+	case pSelF:
+		for _, l := range mask {
+			if ii[bb+l] != 0 {
+				ff[a+l] = ff[c+l]
+			} else {
+				ff[a+l] = ff[d+l]
+			}
+		}
+
+	case pCvtII32:
+		for _, l := range mask {
+			ii[a+l] = int64(int32(ii[bb+l]))
+		}
+	case pCvtIIU32:
+		for _, l := range mask {
+			ii[a+l] = int64(uint32(ii[bb+l]))
+		}
+	case pCvtSF64:
+		for _, l := range mask {
+			ff[a+l] = float64(ii[bb+l])
+		}
+	case pCvtSF32:
+		for _, l := range mask {
+			ff[a+l] = float64(float32(float64(ii[bb+l])))
+		}
+	case pCvtUF64:
+		for _, l := range mask {
+			ff[a+l] = float64(uint64(ii[bb+l]))
+		}
+	case pCvtUF32:
+		for _, l := range mask {
+			ff[a+l] = float64(float32(float64(uint64(ii[bb+l]))))
+		}
+	case pCvtFF32:
+		for _, l := range mask {
+			ff[a+l] = float64(float32(ff[bb+l]))
+		}
+
+	case pGlobalID:
+		for _, l := range mask {
+			dim := int(ii[bb+l])
+			if dim < 0 || dim > 2 {
+				dim = 0
+			}
+			ii[a+l] = int64(cfg.GroupID[dim]*dimOr1(cfg.LocalSize, dim) + b.coords[l][dim] + cfg.GlobalOffset[dim])
+		}
+	case pLocalID:
+		for _, l := range mask {
+			dim := int(ii[bb+l])
+			if dim < 0 || dim > 2 {
+				dim = 0
+			}
+			ii[a+l] = int64(b.coords[l][dim])
+		}
+	case pGroupID:
+		for _, l := range mask {
+			dim := int(ii[bb+l])
+			if dim < 0 || dim > 2 {
+				dim = 0
+			}
+			ii[a+l] = int64(cfg.GroupID[dim])
+		}
+	case pGlobalSize:
+		for _, l := range mask {
+			dim := int(ii[bb+l])
+			if dim < 0 || dim > 2 {
+				dim = 0
+			}
+			ii[a+l] = int64(dimOr1(cfg.GlobalSize, dim))
+		}
+	case pLocalSize:
+		for _, l := range mask {
+			dim := int(ii[bb+l])
+			if dim < 0 || dim > 2 {
+				dim = 0
+			}
+			ii[a+l] = int64(dimOr1(cfg.LocalSize, dim))
+		}
+	case pNumGroups:
+		for _, l := range mask {
+			dim := int(ii[bb+l])
+			if dim < 0 || dim > 2 {
+				dim = 0
+			}
+			ii[a+l] = int64(dimOr1(cfg.GlobalSize, dim) / dimOr1(cfg.LocalSize, dim))
+		}
+	case pGlobalOffset:
+		for _, l := range mask {
+			dim := int(ii[bb+l])
+			if dim < 0 || dim > 2 {
+				dim = 0
+			}
+			ii[a+l] = int64(cfg.GlobalOffset[dim])
+		}
+	case pWorkDim:
+		for _, l := range mask {
+			ii[a+l] = int64(cfg.WorkDim)
+		}
+	}
+}
+
+// runGen executes one generic pure instruction across the mask,
+// mirroring the interpreter's per-op bodies in exec.go with SoA
+// element addressing: element v of slot s in lane l lives at
+// ((s+v)<<laneShift)+l.
+func (x *laneExec) runGen(b *laneBatch, g *laneGen, mask []int) {
+	ii, ff := b.ii, b.ff
+	w := g.w
+	switch g.op {
+	case ir.Nop:
+
+	case ir.MovI:
+		// The serial engines use copy (memmove semantics): overlapping
+		// vector moves read each source element before it is
+		// overwritten. Walk elements backward when the destination
+		// window starts above the source.
+		if g.a <= g.b {
+			for v := 0; v < w; v++ {
+				av, bv := (g.a+v)<<laneShift, (g.b+v)<<laneShift
+				for _, l := range mask {
+					ii[av+l] = ii[bv+l]
+				}
+			}
+		} else {
+			for v := w - 1; v >= 0; v-- {
+				av, bv := (g.a+v)<<laneShift, (g.b+v)<<laneShift
+				for _, l := range mask {
+					ii[av+l] = ii[bv+l]
+				}
+			}
+		}
+	case ir.MovF:
+		if g.a <= g.b {
+			for v := 0; v < w; v++ {
+				av, bv := (g.a+v)<<laneShift, (g.b+v)<<laneShift
+				for _, l := range mask {
+					ff[av+l] = ff[bv+l]
+				}
+			}
+		} else {
+			for v := w - 1; v >= 0; v-- {
+				av, bv := (g.a+v)<<laneShift, (g.b+v)<<laneShift
+				for _, l := range mask {
+					ff[av+l] = ff[bv+l]
+				}
+			}
+		}
+	case ir.ImmI:
+		for v := 0; v < w; v++ {
+			av := (g.a + v) << laneShift
+			for _, l := range mask {
+				ii[av+l] = g.imm
+			}
+		}
+	case ir.ImmF:
+		for v := 0; v < w; v++ {
+			av := (g.a + v) << laneShift
+			for _, l := range mask {
+				ff[av+l] = g.fimm
+			}
+		}
+	case ir.BcastI:
+		bv := g.b << laneShift
+		for v := 0; v < w; v++ {
+			av := (g.a + v) << laneShift
+			for _, l := range mask {
+				ii[av+l] = ii[bv+l]
+			}
+		}
+	case ir.BcastF:
+		bv := g.b << laneShift
+		for v := 0; v < w; v++ {
+			av := (g.a + v) << laneShift
+			for _, l := range mask {
+				ff[av+l] = ff[bv+l]
+			}
+		}
+
+	case ir.AddI, ir.SubI, ir.MulI, ir.DivI, ir.RemI,
+		ir.AndI, ir.OrI, ir.XorI, ir.ShlI, ir.ShrI:
+		fn := g.ifn
+		for v := 0; v < w; v++ {
+			av, bv, cv := (g.a+v)<<laneShift, (g.b+v)<<laneShift, (g.c+v)<<laneShift
+			for _, l := range mask {
+				ii[av+l] = fn(ii[bv+l], ii[cv+l])
+			}
+		}
+	case ir.NegI:
+		for v := 0; v < w; v++ {
+			av, bv := (g.a+v)<<laneShift, (g.b+v)<<laneShift
+			for _, l := range mask {
+				ii[av+l] = g.wrap(-ii[bv+l])
+			}
+		}
+	case ir.NotI:
+		for v := 0; v < w; v++ {
+			av, bv := (g.a+v)<<laneShift, (g.b+v)<<laneShift
+			for _, l := range mask {
+				ii[av+l] = g.wrap(^ii[bv+l])
+			}
+		}
+
+	case ir.AddF, ir.SubF, ir.MulF, ir.DivF:
+		fn := g.ffn
+		for v := 0; v < w; v++ {
+			av, bv, cv := (g.a+v)<<laneShift, (g.b+v)<<laneShift, (g.c+v)<<laneShift
+			for _, l := range mask {
+				ff[av+l] = fn(ff[bv+l], ff[cv+l])
+			}
+		}
+	case ir.NegF:
+		if g.f32 {
+			for v := 0; v < w; v++ {
+				av, bv := (g.a+v)<<laneShift, (g.b+v)<<laneShift
+				for _, l := range mask {
+					ff[av+l] = float64(float32(-ff[bv+l]))
+				}
+			}
+		} else {
+			for v := 0; v < w; v++ {
+				av, bv := (g.a+v)<<laneShift, (g.b+v)<<laneShift
+				for _, l := range mask {
+					ff[av+l] = -ff[bv+l]
+				}
+			}
+		}
+
+	case ir.CmpEqI, ir.CmpNeI, ir.CmpLtI, ir.CmpLeI:
+		fn := g.icmp
+		for v := 0; v < w; v++ {
+			av, bv, cv := (g.a+v)<<laneShift, (g.b+v)<<laneShift, (g.c+v)<<laneShift
+			for _, l := range mask {
+				if fn(ii[bv+l], ii[cv+l]) {
+					ii[av+l] = 1
+				} else {
+					ii[av+l] = 0
+				}
+			}
+		}
+	case ir.CmpEqF, ir.CmpNeF, ir.CmpLtF, ir.CmpLeF:
+		fn := g.fcmp
+		for v := 0; v < w; v++ {
+			av, bv, cv := (g.a+v)<<laneShift, (g.b+v)<<laneShift, (g.c+v)<<laneShift
+			for _, l := range mask {
+				if fn(ff[bv+l], ff[cv+l]) {
+					ii[av+l] = 1
+				} else {
+					ii[av+l] = 0
+				}
+			}
+		}
+
+	case ir.SelI:
+		for v := 0; v < w; v++ {
+			av, bv, cv, dv := (g.a+v)<<laneShift, (g.b+v)<<laneShift, (g.c+v)<<laneShift, (g.d+v)<<laneShift
+			for _, l := range mask {
+				if ii[bv+l] != 0 {
+					ii[av+l] = ii[cv+l]
+				} else {
+					ii[av+l] = ii[dv+l]
+				}
+			}
+		}
+	case ir.SelF:
+		for v := 0; v < w; v++ {
+			av, bv, cv, dv := (g.a+v)<<laneShift, (g.b+v)<<laneShift, (g.c+v)<<laneShift, (g.d+v)<<laneShift
+			for _, l := range mask {
+				if ii[bv+l] != 0 {
+					ff[av+l] = ff[cv+l]
+				} else {
+					ff[av+l] = ff[dv+l]
+				}
+			}
+		}
+
+	case ir.CvtII:
+		for v := 0; v < w; v++ {
+			av, bv := (g.a+v)<<laneShift, (g.b+v)<<laneShift
+			for _, l := range mask {
+				val := ii[bv+l]
+				if g.isBool {
+					if val != 0 {
+						val = 1
+					}
+				} else {
+					val = g.wrap(val)
+				}
+				ii[av+l] = val
+			}
+		}
+	case ir.CvtIF:
+		for v := 0; v < w; v++ {
+			av, bv := (g.a+v)<<laneShift, (g.b+v)<<laneShift
+			for _, l := range mask {
+				var f float64
+				if g.srcSigned {
+					f = float64(ii[bv+l])
+				} else {
+					f = float64(uint64(ii[bv+l]))
+				}
+				if g.f32 {
+					f = float64(float32(f))
+				}
+				ff[av+l] = f
+			}
+		}
+	case ir.CvtFI:
+		for v := 0; v < w; v++ {
+			av, bv := (g.a+v)<<laneShift, (g.b+v)<<laneShift
+			for _, l := range mask {
+				f := ff[bv+l]
+				var val int64
+				switch {
+				case math.IsNaN(f):
+					val = 0
+				case f >= math.MaxInt64:
+					val = math.MaxInt64
+				case f <= math.MinInt64:
+					val = math.MinInt64
+				default:
+					val = int64(f)
+				}
+				ii[av+l] = g.wrap(val)
+			}
+		}
+	case ir.CvtFF:
+		for v := 0; v < w; v++ {
+			av, bv := (g.a+v)<<laneShift, (g.b+v)<<laneShift
+			for _, l := range mask {
+				f := ff[bv+l]
+				if g.f32 {
+					f = float64(float32(f))
+				}
+				ff[av+l] = f
+			}
+		}
+	}
+}
