@@ -52,7 +52,7 @@ lint: vet
 	@fmtout="$$(gofmt -l . 2>/dev/null)"; \
 	if [ -n "$$fmtout" ]; then echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) run ./cmd/repolint
-	@for f in $$(git ls-files '*.cl' | grep -v '^testdata/analysis/'); do \
+	@for f in $$(git ls-files '*.cl' | grep -v '^testdata/analysis/' | grep -v '^internal/clc/opt/testdata/'); do \
 		echo "clc -analyze -Werror $$f"; \
 		$(GO) run ./cmd/clc -analyze -Werror -D REAL=float "$$f" || exit 1; \
 	done
@@ -100,6 +100,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzProfileAddCommutes$$' -fuzztime $(FUZZTIME) ./internal/vm
 	$(GO) test -run xxx -fuzz '^FuzzAnalyze$$' -fuzztime $(FUZZTIME) ./internal/clc/analysis
 	$(GO) test -run xxx -fuzz '^FuzzSolver$$' -fuzztime $(FUZZTIME) ./internal/clc/analysis/dataflow
+	$(GO) test -run xxx -fuzz '^FuzzTransformEquivalence$$' -fuzztime $(FUZZTIME) ./internal/clc/opt
 
 # Full verification: what CI runs. The -short race pass includes the
 # engine differential cross-section; `make test` runs the full 3-way

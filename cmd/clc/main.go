@@ -7,13 +7,21 @@
 // optimization lints, barrier/race diagnostics) over one file or over
 // every .cl file in a directory, printing findings as text or JSON.
 //
+// With -optimize it runs the IR-to-IR transform pipeline — the
+// automatic application of the paper's Section V techniques — and
+// prints each pass's applied/refused verdict per kernel. Adding -dis
+// prints the irdump before/after of every changed kernel; -json
+// prints the applicability report as a JSON array.
+//
 // Usage:
 //
 //	clc [-D NAME=VAL ...] [-dis] [-check] file.cl
 //	clc -analyze [-json] [-passes race,bounds,...] [-severity info|warning|error] [-Werror] [-D NAME=VAL ...] file.cl|dir
+//	clc -optimize [-json] [-dis] [-passes vectorize,unroll,...] [-D NAME=VAL ...] file.cl
 //
 // -passes restricts the run to a comma-separated subset of the
-// registered passes (run "clc -analyze -passes help" to list them);
+// registered passes (run "clc -analyze -passes help" or
+// "clc -optimize -passes help" to list the respective vocabularies);
 // unknown names are a usage error.
 //
 // With -json the findings print as one JSON array of objects, each
@@ -35,6 +43,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -58,6 +67,7 @@ func main() {
 	dis := flag.Bool("dis", false, "print IR disassembly")
 	check := flag.Bool("check", false, "check each kernel against the Mali register budget")
 	analyze := flag.Bool("analyze", false, "run the static-analysis passes instead of printing resources")
+	optimize := flag.Bool("optimize", false, "run the IR transform pipeline and print the applicability report")
 	jsonOut := flag.Bool("json", false, "with -analyze: print findings as JSON")
 	minSev := flag.String("severity", "info", "with -analyze: lowest severity to report (info|warning|error)")
 	wError := flag.Bool("Werror", false, "with -analyze: exit nonzero on warnings, not just errors")
@@ -65,24 +75,37 @@ func main() {
 	flag.Var(&defs, "D", "preprocessor definition NAME[=VALUE] (repeatable)")
 	flag.Parse()
 
-	only, err := parsePasses(*passNames)
+	vocab := maligo.AnalysisPassNames()
+	if *optimize {
+		vocab = maligo.OptimizePassNames()
+	}
+	only, err := parsePasses(*passNames, vocab)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if *passNames == "help" {
-		for _, p := range maligo.AnalysisPasses() {
-			fmt.Printf("%-14s %s\n", p.Name, p.Doc)
+		if *optimize {
+			for _, p := range maligo.OptimizePasses() {
+				fmt.Printf("%-14s %s\n", p.Name, p.Doc)
+			}
+		} else {
+			for _, p := range maligo.AnalysisPasses() {
+				fmt.Printf("%-14s %s\n", p.Name, p.Doc)
+			}
 		}
 		os.Exit(0)
 	}
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: clc [-analyze] [-D NAME=VAL] [-dis] [-check] file.cl")
+		fmt.Fprintln(os.Stderr, "usage: clc [-analyze|-optimize] [-D NAME=VAL] [-dis] [-check] file.cl")
 		os.Exit(2)
 	}
 	if *analyze {
 		os.Exit(runAnalyze(flag.Arg(0), defs.String(), *minSev, *wError, *jsonOut, only))
+	}
+	if *optimize {
+		os.Exit(runOptimize(flag.Arg(0), defs.String(), *jsonOut, *dis, only))
 	}
 
 	src, err := os.ReadFile(flag.Arg(0))
@@ -123,13 +146,14 @@ func main() {
 }
 
 // parsePasses validates a comma-separated -passes value against the
-// registry. Empty or "help" return nil (run everything / list mode).
-func parsePasses(s string) ([]string, error) {
+// active mode's vocabulary (analysis passes, or transform passes under
+// -optimize). Empty or "help" return nil (run everything / list mode).
+func parsePasses(s string, vocab []string) ([]string, error) {
 	if s == "" || s == "help" {
 		return nil, nil
 	}
 	known := map[string]bool{}
-	for _, n := range maligo.AnalysisPassNames() {
+	for _, n := range vocab {
 		known[n] = true
 	}
 	var only []string
@@ -137,11 +161,60 @@ func parsePasses(s string) ([]string, error) {
 		n = strings.TrimSpace(n)
 		if !known[n] {
 			return nil, fmt.Errorf("unknown pass %q (known: %s)",
-				n, strings.Join(maligo.AnalysisPassNames(), ", "))
+				n, strings.Join(vocab, ", "))
 		}
 		only = append(only, n)
 	}
 	return only, nil
+}
+
+// runOptimize compiles one .cl file, runs the transform pipeline
+// (optionally a -passes subset) and prints the applicability report —
+// as JSON with -json, with before/after irdump of every changed
+// kernel under -dis. Exit codes: 0 — pipeline ran (whether or not any
+// pass applied); 1 — the file failed to read or compile.
+func runOptimize(path, options string, jsonOut, dis bool, only []string) int {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	prog, err := maligo.Compile(filepath.Base(path), string(src), options)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		return 1
+	}
+	out, rep, err := maligo.OptimizeWith(prog, only)
+	if err != nil { // pass names were validated already; defensive
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if jsonOut {
+		raw, err := json.MarshalIndent(rep.Results, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Println(string(raw))
+	} else {
+		fmt.Print(rep.String())
+	}
+	if dis {
+		for _, name := range rep.ChangedKernels() {
+			before, err := maligo.KernelIRDump(prog.Kernels[name])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			after, err := maligo.KernelIRDump(out.Kernels[name])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			fmt.Printf("\n== BEFORE %s ==\n%s\n== AFTER %s ==\n%s", name, before, name, after)
+		}
+	}
+	return 0
 }
 
 // runAnalyze lints one .cl file, or every .cl file directly under a

@@ -7,8 +7,12 @@
 //
 //	figures [-fig 2a|2b|3a|3b|4a|4b] [-summary] [-scale 1.0] [-bench name,...]
 //	        [-workers N] [-engine interp|compiled] [-v]
+//	figures -ablations [-scale 1.0]
 //
-// With no flags it renders everything. The simulation shards
+// With no flags it renders everything; -ablations instead runs the
+// §III-A/§III-B isolation experiments and the §V auto-optimization
+// leg (naive versions through the transform pipeline against the
+// hand-optimized ones). The simulation shards
 // work-groups across all host CPUs by default (-workers 1 forces the
 // serial engine; the rendered figures are identical either way), and
 // runs kernels on the closure-compiled VM fast path (-engine interp
@@ -51,6 +55,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(maligo.RenderAblations(hm, lo))
+		ao, err := maligo.RunAutoOptAblation(*scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(ao.Render())
 		return
 	}
 

@@ -59,6 +59,7 @@ func main() {
 		engine   = flag.String("engine", "", "VM engine: auto, interp, compiled, lanes")
 		analysis = flag.String("analysis", "warn", "static-analysis admission policy: off, warn or error")
 		tenantAn = flag.String("tenant-analysis", "", "per-tenant policy overrides, e.g. ci=error,scratch=off")
+		optimize = flag.Bool("optimize", false, "run the transform pipeline on admitted programs (X-Malid-Optimize reports applied passes)")
 	)
 	flag.Parse()
 
@@ -86,6 +87,7 @@ func main() {
 		BatchItems:     *batch,
 		Analysis:       *analysis,
 		TenantAnalysis: tenantPolicies,
+		Optimize:       *optimize,
 	}
 	cfg.Runtime.Workers = *workers
 	cfg.Runtime.ArenaBytes = *arenaMB << 20

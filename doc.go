@@ -163,6 +163,33 @@
 // findings, the dynamically observed races (DataRace), and their
 // overlap via Confirmed — to the returned Event.
 //
+// # The optimizer
+//
+// Where the analyzer diagnoses, the optimizer acts: Optimize runs a
+// fixed pipeline of IR-to-IR transform passes (internal/clc/opt) that
+// apply the paper's §V techniques mechanically — const/restrict
+// promotion of pointer parameters, AoS-to-SoA access rewriting,
+// unit-stride loop vectorization to the 128-bit pipes with a scalar
+// remainder, and short-loop unrolling under the register budget. Each
+// pass names the analyzer diagnostics it answers, and the returned
+// OptimizeReport records, per kernel and per pass, whether it applied
+// (and at how many sites) or why it refused — so the report reads as
+// the transform-side reply to Diagnostics. OptimizeWith restricts a
+// run to named passes, OptimizePasses lists the registry, and
+// KernelIRDump renders a kernel's IR so before/after diffs are
+// inspectable (`clc -optimize -dis` prints them).
+//
+// The contract is the same as the engines': a transformed program is
+// bit-identical to the original in every observable memory image,
+// with the reference interpreter on untransformed IR as the oracle —
+// enforced by a golden corpus, a cross-engine differential matrix
+// over the benchmark kernels, and a fuzzer. Transforms change timing
+// (that is their point) but never results. The daemon opts in with
+// `malid -optimize`: admitted programs run through the pipeline,
+// original and transformed binaries cache under distinct content
+// addresses, and responses carry the applied passes in an
+// X-Malid-Optimize header.
+//
 // # Observability
 //
 // Every Event carries the four clGetEventProfilingInfo timestamps

@@ -25,6 +25,12 @@ type (
 	HostMemResult = harness.HostMemResult
 	// LayoutResult is the §III-B layout ablation outcome.
 	LayoutResult = harness.LayoutResult
+	// AutoOptResult is the §V auto-optimization leg: the naive OpenCL
+	// versions as written, through the transform pipeline, and against
+	// the paper's hand-optimized versions.
+	AutoOptResult = harness.AutoOptResult
+	// AutoOptBench is one benchmark's naive/auto/hand timing triple.
+	AutoOptBench = harness.AutoOptBench
 
 	// Precision selects float or double kernels.
 	Precision = bench.Precision
@@ -80,6 +86,12 @@ func RunLayoutAblation(n int) (LayoutResult, error) { return harness.RunLayoutAb
 // RenderAblations renders both ablation outcomes as text.
 func RenderAblations(hm HostMemResult, lo LayoutResult) string {
 	return harness.RenderAblations(hm, lo)
+}
+
+// RunAutoOptAblation measures, per benchmark, how much of the §V
+// hand-optimization speedup the automatic transform pipeline recovers.
+func RunAutoOptAblation(scale float64) (AutoOptResult, error) {
+	return harness.RunAutoOptAblation(scale)
 }
 
 // Benchmarks returns fresh instances of the paper's nine benchmarks.

@@ -1,0 +1,124 @@
+package opt
+
+import (
+	"maligo/internal/clc/analysis/dataflow"
+	"maligo/internal/clc/ast"
+	"maligo/internal/clc/ir"
+)
+
+// memAttrib is the provenance of one memory instruction's address:
+// the pointer parameter it derives from (or -1) and the address space
+// it stays inside (or -1 when unknown). Both -1 means the access is
+// unattributable and every pass must treat it as potentially touching
+// anything.
+type memAttrib struct {
+	param int
+	space int
+}
+
+func (a memAttrib) known() bool { return a.param >= 0 || a.space >= 0 }
+
+// classifyMem attributes every reachable memory instruction. Two
+// engines cooperate: the tier-2 affine facts resolve straight-line
+// addresses directly, and for addresses that vary inside a recognized
+// counted loop the body-linear form reduces the question to the
+// affine form of the loop-invariant base at the body entry.
+func classifyMem(k *ir.Kernel, f *dataflow.Facts) map[int]memAttrib {
+	type bodyAddr struct {
+		li lin
+		bs int
+	}
+	inBody := map[int]bodyAddr{}
+	for _, l := range f.Loops() {
+		if s, _ := recognizeShape(f, l); s != nil {
+			bl := analyzeBody(f, s)
+			for i, li := range bl.addr { // maligo:allow maporder distinct keys fill the index map
+				inBody[i] = bodyAddr{li, s.bs}
+			}
+		}
+	}
+	out := map[int]memAttrib{}
+	for i := range k.Code {
+		in := &k.Code[i]
+		if !isMemOp(in.Op) || !f.Reachable(i) {
+			continue
+		}
+		a := attribAffine(k, f.AffineBefore(i, in.B))
+		if !a.known() {
+			if ba, ok := inBody[i]; ok {
+				a = attributeLin(f, k, ba.bs, ba.li)
+			}
+		}
+		out[i] = a
+	}
+	return out
+}
+
+// attributeLin resolves a body-linear address form. With no symbolic
+// terms the space tag sits in the constant part. Otherwise exactly
+// one unit-coefficient term must resolve (via the affine facts at the
+// body entry) to a pointer parameter; the remaining terms are integer
+// offsets. As with every production restrict model, an address that
+// launders a second buffer's pointer through integer arithmetic is
+// outside the promise the qualifier makes, so one resolved pointer
+// term attributes the access.
+func attributeLin(f *dataflow.Facts, k *ir.Kernel, bs int, li lin) memAttrib {
+	a := memAttrib{param: -1, space: -1}
+	if !li.ok {
+		return a
+	}
+	if len(li.terms) == 0 {
+		sp, _ := ir.DecodeAddr(li.off)
+		a.space = sp
+		return a
+	}
+	n := 0
+	for _, t := range li.terms {
+		if t.coef != 1 || t.slot >= vnumBase {
+			continue
+		}
+		if ta := attribAffine(k, f.AffineBefore(bs, t.slot)); ta.param >= 0 {
+			n++
+			a = ta
+		}
+	}
+	if n != 1 {
+		return memAttrib{param: -1, space: -1}
+	}
+	return a
+}
+
+// attribAffine resolves one affine address form: constant-rooted
+// forms carry their space in the tag bits, and single-symbol forms
+// with coefficient 1 attribute to a pointer parameter.
+func attribAffine(k *ir.Kernel, af dataflow.Affine) memAttrib {
+	a := memAttrib{param: -1, space: -1}
+	if !af.OK {
+		return a
+	}
+	switch af.SymC {
+	case 0:
+		sp, _ := ir.DecodeAddr(af.C)
+		a.space = sp
+	case 1:
+		for pi := range k.Params {
+			p := &k.Params[pi]
+			if p.Slot != af.Sym {
+				continue
+			}
+			switch p.Class {
+			case ir.ParamGlobalPtr:
+				a.param = pi
+				if p.Space == ast.ConstantSpace {
+					a.space = ir.SpaceConstant
+				} else {
+					a.space = ir.SpaceGlobal
+				}
+			case ir.ParamLocalPtr:
+				a.param = pi
+				a.space = ir.SpaceLocal
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,86 @@
+package opt
+
+import (
+	"maligo/internal/clc/ir"
+	"maligo/internal/clc/types"
+)
+
+// cloneKernel deep-copies the mutable parts of a kernel: code,
+// params, and array descriptors. Types are shared until a pass
+// actually mutates a qualifier (see cloneType); the engine-form
+// caches start empty so every engine compiles the transformed code
+// fresh instead of reusing the original kernel's compiled form.
+func cloneKernel(k *ir.Kernel) *ir.Kernel {
+	return &ir.Kernel{
+		Name:           k.Name,
+		Params:         append([]ir.Param(nil), k.Params...),
+		Code:           append([]ir.Instr(nil), k.Code...),
+		Arrays:         append([]ir.ArrayDecl(nil), k.Arrays...),
+		NumI:           k.NumI,
+		NumF:           k.NumF,
+		RegBytes:       k.RegBytes,
+		LocalBytes:     k.LocalBytes,
+		PrivateBytes:   k.PrivateBytes,
+		MaxVectorWidth: k.MaxVectorWidth,
+		UsesDouble:     k.UsesDouble,
+		UsesBarrier:    k.UsesBarrier,
+		RestrictParams: k.RestrictParams,
+		ConstParams:    k.ConstParams,
+	}
+}
+
+// cloneType shallow-copies one type node so a qualifier can be set
+// without mutating the original program's shared type graph.
+func cloneType(t *types.Type) *types.Type {
+	c := *t
+	return &c
+}
+
+// remapJumps rewrites every jump target in code after the segment
+// [segStart, segEnd) of the pre-rewrite kernel was replaced by a
+// segment of newLen instructions. Jumps *inside* the new segment must
+// already carry final absolute targets; the caller passes the range
+// they occupy so they are left alone.
+func remapJumps(code []ir.Instr, segStart, segEnd, newLen int) {
+	delta := int64(newLen - (segEnd - segStart))
+	if delta == 0 {
+		return
+	}
+	newEnd := segStart + newLen
+	for i := range code {
+		if i >= segStart && i < newEnd {
+			continue
+		}
+		switch code[i].Op {
+		case ir.Jmp, ir.JmpIf, ir.JmpIfZ:
+			if code[i].Imm >= int64(segEnd) {
+				code[i].Imm += delta
+			}
+		}
+	}
+}
+
+// insertAt splices insts into code before index pos and fixes every
+// jump target accordingly. A jump that targeted pos itself now lands
+// on the first inserted instruction — the insertions here are address
+// fixups that must run on every path reaching the instruction they
+// guard, so entering at the fixup is the correct behavior.
+func insertAt(code []ir.Instr, pos int, insts ...ir.Instr) []ir.Instr {
+	n := int64(len(insts))
+	out := make([]ir.Instr, 0, len(code)+len(insts))
+	out = append(out, code[:pos]...)
+	out = append(out, insts...)
+	out = append(out, code[pos:]...)
+	for i := range out {
+		if i >= pos && i < pos+len(insts) {
+			continue
+		}
+		switch out[i].Op {
+		case ir.Jmp, ir.JmpIf, ir.JmpIfZ:
+			if out[i].Imm > int64(pos) {
+				out[i].Imm += n
+			}
+		}
+	}
+	return out
+}

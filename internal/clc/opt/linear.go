@@ -1,0 +1,455 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"maligo/internal/clc/analysis/dataflow"
+	"maligo/internal/clc/ir"
+	"maligo/internal/clc/types"
+)
+
+// loopShape is a counted loop in the exact two-block form the
+// canonical lowering emits:
+//
+//	hs:   [ImmI consts...]          ; header constant prefix
+//	      cmp iv, bound             ; cmpAt == term-1
+//	      jmpifz -> exit            ; term
+//	bs:   [work body...]
+//	      [iv increment chain...]   ; incStart..be-2
+//	      jmp -> hs                 ; be-1
+//	be:
+//
+// The latch is entered only from the header fall-through, so the loop
+// segment [hs, be) can be replaced wholesale and every outside jump
+// remapped mechanically.
+type loopShape struct {
+	l          dataflow.Loop
+	hs         int // header start
+	cmpAt      int // exit compare (== term-1)
+	term       int // the JmpIfZ
+	bs, be     int // latch range; be-1 is the back jump
+	incStart   int // first instruction of the iv-increment chain
+	exitTo     int64
+	headConsts []int // indexes of the header ImmI prefix
+}
+
+// recognizeShape checks one natural loop against the canonical
+// two-block form. It returns nil and a short reason on any mismatch.
+func recognizeShape(f *dataflow.Facts, l dataflow.Loop) (*loopShape, string) {
+	if !l.Counted {
+		return nil, "trip shape not recovered (divergent or non-counted exit condition)"
+	}
+	if len(l.Blocks) != 2 || l.Header == l.Latch {
+		return nil, "loop body is not a single block"
+	}
+	g := f.G
+	hb, lb := g.Blocks[l.Header], g.Blocks[l.Latch]
+	if hb.End != lb.Start {
+		return nil, "latch does not fall through from the header"
+	}
+	term := hb.Terminator()
+	code := g.Kernel.Code
+	if term < 0 || code[term].Op != ir.JmpIfZ || l.CmpAt != term-1 {
+		return nil, "exit compare does not feed the header branch directly"
+	}
+	for _, p := range lb.Preds {
+		if p != l.Header {
+			return nil, "loop body has an entry besides the header"
+		}
+	}
+	if code[lb.Terminator()].Op != ir.Jmp || code[lb.Terminator()].Imm != int64(hb.Start) {
+		return nil, "latch does not end in the back jump"
+	}
+	s := &loopShape{
+		l: l, hs: hb.Start, cmpAt: term - 1, term: term,
+		bs: lb.Start, be: lb.End, exitTo: code[term].Imm,
+	}
+	for i := hb.Start; i < s.cmpAt; i++ {
+		if code[i].Op != ir.ImmI || code[i].Width > 1 {
+			return nil, "header computes more than re-materialized constants"
+		}
+		s.headConsts = append(s.headConsts, i)
+	}
+	// The increment chain must be the contiguous tail of the latch so
+	// the work body [bs, incStart) is a clean straight-line region.
+	inc := l.IncAt
+	if len(inc) == 0 || len(inc) >= s.be-s.bs {
+		return nil, "induction update chain not found in the latch"
+	}
+	for j, i := range inc {
+		if i != s.be-1-len(inc)+j {
+			return nil, "induction update is interleaved with the loop body"
+		}
+	}
+	s.incStart = s.be - 1 - len(inc)
+	// Grow the chain backward over pure scalar feeders (the lowering
+	// re-materializes the step constant and copies the old iv value
+	// right before the add) so the work body above incStart carries no
+	// dangling loop-control defs.
+	du := f.DefUse()
+	for s.incStart > s.bs {
+		j := s.incStart - 1
+		in := &code[j]
+		switch in.Op {
+		case ir.ImmI, ir.MovI, ir.AddI, ir.SubI, ir.MulI, ir.AndI, ir.OrI,
+			ir.XorI, ir.ShlI, ir.ShrI, ir.NegI, ir.NotI, ir.CvtII:
+		default:
+			return s, ""
+		}
+		if in.Width > 1 {
+			return s, ""
+		}
+		d, ok := ir.Def(in)
+		if !ok || (d.Bank == ir.BankI && d.Slot == l.IV) {
+			return s, ""
+		}
+		for _, u := range du.UsesOf(j) {
+			if u <= j || u >= s.be-1 {
+				return s, ""
+			}
+		}
+		s.incStart = j
+	}
+	return s, ""
+}
+
+// linTerm is one loop-invariant symbolic contribution to a linear
+// form: coef * value(slot). Slots at or above vnumBase are pseudo
+// symbols naming a loop-invariant but nonlinear expression (g*n and
+// the like); they compare equal exactly when the expressions are
+// structurally identical, and they never attribute to a parameter.
+type linTerm struct {
+	slot int32
+	coef int64
+}
+
+// vnumBase is far above any real register slot index.
+const vnumBase = int32(1) << 24
+
+// lin is a symbolic linear form of an integer slot's value inside one
+// loop body: value = coef*iv + Σ terms[j].coef*value(terms[j].slot)
+// + off, where every term slot is loop-invariant and terms are kept
+// sorted by slot with non-zero coefficients. Because Long/ULong
+// arithmetic in the VM is exact mod 2^64 and the engines compute
+// per-lane addresses with the same wrapping adds, 64-bit propagation
+// needs no overflow side conditions; narrower bases pass through only
+// when signed (overflow is UB) or when the interval facts prove the
+// operation cannot wrap.
+type lin struct {
+	ok    bool
+	coef  int64
+	terms []linTerm
+	off   int64
+}
+
+func linConst(v int64) lin    { return lin{ok: true, off: v} }
+func linSlot(s int32) lin     { return lin{ok: true, terms: []linTerm{{slot: s, coef: 1}}} }
+func linIV() lin              { return lin{ok: true, coef: 1} }
+func (a lin) invariant() bool { return a.ok && a.coef == 0 }
+
+func (a lin) add(b lin) lin {
+	if !a.ok || !b.ok {
+		return lin{}
+	}
+	out := lin{ok: true, coef: a.coef + b.coef, off: a.off + b.off}
+	i, j := 0, 0
+	for i < len(a.terms) || j < len(b.terms) {
+		switch {
+		case j >= len(b.terms) || (i < len(a.terms) && a.terms[i].slot < b.terms[j].slot):
+			out.terms = append(out.terms, a.terms[i])
+			i++
+		case i >= len(a.terms) || b.terms[j].slot < a.terms[i].slot:
+			out.terms = append(out.terms, b.terms[j])
+			j++
+		default:
+			if c := a.terms[i].coef + b.terms[j].coef; c != 0 {
+				out.terms = append(out.terms, linTerm{slot: a.terms[i].slot, coef: c})
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func (a lin) neg() lin { return a.scale(-1) }
+
+func (a lin) scale(k int64) lin {
+	if !a.ok {
+		return lin{}
+	}
+	out := lin{ok: true, coef: a.coef * k, off: a.off * k}
+	if k == 0 {
+		return out
+	}
+	for _, t := range a.terms {
+		out.terms = append(out.terms, linTerm{slot: t.slot, coef: t.coef * k})
+	}
+	return out
+}
+
+// eq reports structural equality: two equal forms denote the same
+// address stream on every iteration.
+func (a lin) eq(b lin) bool {
+	if !a.ok || !b.ok || a.coef != b.coef || a.off != b.off || len(a.terms) != len(b.terms) {
+		return false
+	}
+	for i := range a.terms {
+		if a.terms[i] != b.terms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// baseIval mirrors the dataflow engine's canonical value range per
+// integer base type; 8-byte bases report ok=false (full int64 range).
+func baseIval(b types.Base) (dataflow.Interval, bool) {
+	switch b {
+	case types.Bool:
+		return dataflow.Interval{Lo: 0, Hi: 1}, true
+	case types.Char:
+		return dataflow.Interval{Lo: -128, Hi: 127}, true
+	case types.UChar:
+		return dataflow.Interval{Lo: 0, Hi: 255}, true
+	case types.Short:
+		return dataflow.Interval{Lo: -32768, Hi: 32767}, true
+	case types.UShort:
+		return dataflow.Interval{Lo: 0, Hi: 65535}, true
+	case types.Int:
+		return dataflow.Interval{Lo: math.MinInt32, Hi: math.MaxInt32}, true
+	case types.UInt:
+		return dataflow.Interval{Lo: 0, Hi: math.MaxUint32}, true
+	}
+	return dataflow.Interval{Lo: dataflow.NegInf, Hi: dataflow.PosInf}, false
+}
+
+func is64(b types.Base) bool {
+	_, narrow := baseIval(b)
+	return !narrow
+}
+
+// satAdd/satMul saturate instead of wrapping, for no-wrap proofs.
+func satAdd(a, b int64) int64 {
+	r := a + b
+	if (b > 0 && r < a) || (b < 0 && r > a) {
+		if b > 0 {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return r
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	r := a * b
+	if r/b != a {
+		if (a > 0) == (b > 0) {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return r
+}
+
+func ivalAdd(a, b dataflow.Interval) dataflow.Interval {
+	return dataflow.Interval{Lo: satAdd(a.Lo, b.Lo), Hi: satAdd(a.Hi, b.Hi)}
+}
+
+func ivalSub(a, b dataflow.Interval) dataflow.Interval {
+	return dataflow.Interval{Lo: satAdd(a.Lo, -b.Hi), Hi: satAdd(a.Hi, -b.Lo)}
+}
+
+func ivalMul(a, b dataflow.Interval) dataflow.Interval {
+	c := [4]int64{satMul(a.Lo, b.Lo), satMul(a.Lo, b.Hi), satMul(a.Hi, b.Lo), satMul(a.Hi, b.Hi)}
+	out := dataflow.Interval{Lo: c[0], Hi: c[0]}
+	for _, v := range c[1:] {
+		if v < out.Lo {
+			out.Lo = v
+		}
+		if v > out.Hi {
+			out.Hi = v
+		}
+	}
+	return out
+}
+
+func within(v, r dataflow.Interval) bool { return v.Lo >= r.Lo && v.Hi <= r.Hi }
+
+// bodyLin symbolically executes one loop body's scalar integer
+// dataflow and records the linear form of every memory instruction's
+// address slot. Slots that resist linear reasoning simply map to
+// lin{ok:false}; the passes decide what that means.
+type bodyLin struct {
+	addr map[int]lin // memory instr index -> address form
+	defs map[int32]bool
+	vn   map[string]int32 // invariant expression structure -> pseudo symbol
+}
+
+func analyzeBody(f *dataflow.Facts, s *loopShape) *bodyLin {
+	code := f.G.Kernel.Code
+	bl := &bodyLin{addr: map[int]lin{}, defs: map[int32]bool{}, vn: map[string]int32{}}
+	for i := s.bs; i < s.incStart; i++ {
+		if d, ok := ir.Def(&code[i]); ok && d.Bank == ir.BankI {
+			for sl := d.Slot; sl < d.Slot+d.Width; sl++ {
+				bl.defs[sl] = true
+			}
+		}
+	}
+	env := map[int32]lin{}
+	cur := s.bs
+	look := func(slot int32) lin {
+		if v, ok := env[slot]; ok {
+			return v
+		}
+		if slot == s.l.IV {
+			return linIV()
+		}
+		if bl.defs[slot] {
+			return lin{} // upward-exposed body def: loop-carried
+		}
+		// Invariant slots with a pinned value fold to constants, so
+		// re-materialized array bases and strides never show up as
+		// symbolic terms.
+		if v, ok := f.IntervalBefore(cur, slot).Const(); ok {
+			return linConst(v)
+		}
+		return linSlot(slot)
+	}
+	for i := s.bs; i < s.incStart; i++ {
+		cur = i
+		in := &code[i]
+		switch in.Op {
+		case ir.LoadI, ir.LoadF, ir.StoreI, ir.StoreF, ir.AtomicOp:
+			bl.addr[i] = look(in.B)
+		}
+		d, hasDef := ir.Def(in)
+		if !hasDef || d.Bank != ir.BankI {
+			continue
+		}
+		var v lin
+		if in.Width <= 1 {
+			v = bl.transfer(f, i, in, look)
+		}
+		for sl := d.Slot; sl < d.Slot+d.Width; sl++ {
+			delete(env, sl)
+		}
+		if in.Width <= 1 {
+			env[d.Slot] = v
+		}
+	}
+	return bl
+}
+
+func (bl *bodyLin) transfer(f *dataflow.Facts, i int, in *ir.Instr, look func(int32) lin) lin {
+	// Arithmetic in a base narrower than 8 bytes wraps to that base.
+	// Signed narrow overflow is undefined behavior in OpenCL C, so the
+	// linear form may assume it never happens — the same license every
+	// production compiler's scalar-evolution engine takes. Unsigned
+	// wraparound is defined, so a linear form survives it only when
+	// the interval facts prove the unwrapped result already fits.
+	narrowOK := func(result dataflow.Interval) bool {
+		if is64(in.Base) || in.Base.IsSigned() {
+			return true
+		}
+		r, _ := baseIval(in.Base)
+		return within(result, r)
+	}
+	iv := func(slot int32) dataflow.Interval { return f.IntervalBefore(i, slot) }
+	switch in.Op {
+	case ir.ImmI:
+		return linConst(in.Imm)
+	case ir.MovI:
+		return look(in.B)
+	case ir.CvtII:
+		// Identity exactly when every incoming value fits the target
+		// base unchanged (8-byte targets always do: the slot already
+		// holds the canonical 64-bit value). The operand's canonical
+		// value always lies in the source base's range, so narrowing
+		// facts compose with whatever the interval engine knows.
+		op := iv(in.B)
+		if sr, snarrow := baseIval(in.Base2); snarrow {
+			if sr.Lo > op.Lo {
+				op.Lo = sr.Lo
+			}
+			if sr.Hi < op.Hi {
+				op.Hi = sr.Hi
+			}
+		}
+		if r, narrow := baseIval(in.Base); !narrow || within(op, r) {
+			return look(in.B)
+		}
+	case ir.AddI:
+		if narrowOK(ivalAdd(iv(in.B), iv(in.C))) {
+			return look(in.B).add(look(in.C))
+		}
+	case ir.SubI:
+		if narrowOK(ivalSub(iv(in.B), iv(in.C))) {
+			return look(in.B).add(look(in.C).neg())
+		}
+	case ir.MulI:
+		if !narrowOK(ivalMul(iv(in.B), iv(in.C))) {
+			break
+		}
+		if c, ok := iv(in.C).Const(); ok {
+			return look(in.B).scale(c)
+		}
+		if c, ok := iv(in.B).Const(); ok {
+			return look(in.C).scale(c)
+		}
+	case ir.ShlI:
+		if c, ok := iv(in.C).Const(); ok && c >= 0 && c < 62 {
+			if narrowOK(ivalMul(iv(in.B), dataflow.Interval{Lo: 1 << c, Hi: 1 << c})) {
+				return look(in.B).scale(1 << c)
+			}
+		}
+	}
+	// An expression the linear model cannot fold still names exactly
+	// one value per loop execution when its operands are invariant
+	// (wrapping included — the symbol denotes whatever the op computes,
+	// it never licenses reassociation). Structurally identical
+	// computations share a pseudo symbol so recomputed bases like g*n
+	// stay comparable and attributable.
+	switch in.Op {
+	case ir.AddI, ir.SubI, ir.MulI, ir.DivI, ir.RemI, ir.AndI, ir.OrI,
+		ir.XorI, ir.ShlI, ir.ShrI:
+		b, c := look(in.B), look(in.C)
+		if b.invariant() && c.invariant() {
+			return bl.vnum(in, b, c)
+		}
+	case ir.NegI, ir.NotI, ir.CvtII:
+		if b := look(in.B); b.invariant() {
+			return bl.vnum(in, b, lin{})
+		}
+	}
+	return lin{}
+}
+
+func (bl *bodyLin) vnum(in *ir.Instr, b, c lin) lin {
+	key := fmt.Sprintf("%d|%d|%d|%v|%v", in.Op, in.Base, in.Base2, b, c)
+	id, ok := bl.vn[key]
+	if !ok {
+		id = vnumBase + int32(len(bl.vn))
+		bl.vn[key] = id
+	}
+	return lin{ok: true, terms: []linTerm{{slot: id, coef: 1}}}
+}
+
+// memAddrSlot returns the scalar address operand of a memory
+// instruction, or -1.
+func memAddrSlot(in *ir.Instr) int32 {
+	switch in.Op {
+	case ir.LoadI, ir.LoadF, ir.StoreI, ir.StoreF, ir.AtomicOp:
+		return in.B
+	}
+	return -1
+}
+
+func isStoreOp(op ir.Op) bool { return op == ir.StoreI || op == ir.StoreF }
+func isMemOp(op ir.Op) bool {
+	return op == ir.LoadI || op == ir.LoadF || op == ir.StoreI || op == ir.StoreF || op == ir.AtomicOp
+}

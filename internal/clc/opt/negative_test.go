@@ -1,0 +1,127 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// negCase pins one refusal path: the pass must NOT apply, and the
+// report must carry the named reason so `clc -optimize` output stays
+// actionable. Every case still runs the differential check — refusing
+// wrongly is a quality bug, transforming wrongly would be a
+// correctness bug, and a refusal must never perturb the kernel.
+type negCase struct {
+	name   string
+	src    string
+	kernel string
+	only   []string
+	pass   string // the pass that must refuse
+	note   string // substring the refusal note must contain
+}
+
+var negCases = []negCase{
+	{
+		// The store's address is data-dependent (a loaded index), so no
+		// access attribution exists and promoting restrict on either
+		// param would be unsound: idx could point out anywhere.
+		name: "aliased_restrict_candidate",
+		src: `__kernel void scatter(__global float* out, __global const int* idx) {
+			int g = get_global_id(0);
+			out[idx[g] & 63] = 1.0f;
+		}`,
+		kernel: "scatter", pass: "constrestrict",
+		note: "not attributable",
+	},
+	{
+		// Stride-2 stores cannot widen: a vec4 store writes 4
+		// consecutive elements, which is not the scalar loop's effect.
+		name: "non_unit_stride",
+		src: `__kernel void even(__global float* io, int n) {
+			int base = get_global_id(0) * n * 2;
+			for (int i = 0; i < n; i++)
+				io[base + i * 2] = 1.0f;
+		}`,
+		kernel: "even", pass: "vectorize",
+		note: "not unit-stride",
+	},
+	{
+		// A non-constant step defeats the counted-loop recovery, so
+		// neither vectorize nor unroll can even see a trip shape.
+		name: "divergent_trip_count",
+		src: `__kernel void stepper(__global float* io, int n, int m) {
+			int base = get_global_id(0) * n;
+			for (int i = 0; i < n; i += m)
+				io[base + i] = 2.0f;
+		}`,
+		kernel: "stepper", pass: "vectorize",
+		note: "trip shape not recovered",
+	},
+	{
+		// Without promoted restrict the dst/src streams cannot be
+		// proven disjoint; run the vectorizer alone to pin the aliasing
+		// refusal the constrestrict pass normally discharges.
+		name: "unpromoted_alias_pair",
+		src: `__kernel void copy2(__global int* dst, __global const int* src, int n) {
+			int base = get_global_id(0) * n;
+			for (int i = 0; i < n; i++)
+				dst[base + i] = src[base + i];
+		}`,
+		kernel: "copy2", only: []string{"vectorize"}, pass: "vectorize",
+		note: "aliasing",
+	},
+}
+
+func init() {
+	// Register budget: a loop body with enough live float values that
+	// widening cannot fit the T604 per-thread register file. Built
+	// programmatically so the case tracks the budget constant's intent
+	// rather than a hand-counted source.
+	var b strings.Builder
+	b.WriteString("__kernel void fat(__global float* io, int n) {\n")
+	b.WriteString("\tint base = get_global_id(0) * n;\n")
+	b.WriteString("\tfor (int i = 0; i < n; i++) {\n")
+	const vals = 28
+	for v := 0; v < vals; v++ {
+		fmt.Fprintf(&b, "\t\tfloat v%d = io[base + i] * %d.5f;\n", v, v)
+	}
+	b.WriteString("\t\tfloat s = 0.0f;\n")
+	for v := 0; v < vals; v++ {
+		fmt.Fprintf(&b, "\t\ts = s + v%d;\n", v)
+	}
+	b.WriteString("\t\tio[base + i] = s;\n\t}\n}\n")
+	negCases = append(negCases, negCase{
+		name: "register_budget_exceeded",
+		src:  b.String(), kernel: "fat", pass: "vectorize",
+		note: "register budget",
+	})
+}
+
+func TestNegativeApplications(t *testing.T) {
+	for _, tc := range negCases {
+		t.Run(tc.name, func(t *testing.T) {
+			orig, out, rep := optimizeOne(t, tc.src, tc.only)
+			found := false
+			for _, r := range rep.Results {
+				if r.Kernel != tc.kernel || r.Pass != tc.pass {
+					continue
+				}
+				if r.Applied {
+					t.Fatalf("pass %s must refuse:\n%s", tc.pass, rep)
+				}
+				for _, n := range r.Notes {
+					if strings.Contains(n, tc.note) {
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Errorf("no %s refusal note contains %q:\n%s", tc.pass, tc.note, rep)
+			}
+			ko, kx := orig.Kernels[tc.kernel], out.Kernels[tc.kernel]
+			for _, seed := range []uint64{1, 42} {
+				checkEquivalence(t, ko, kx, 4, 2, 7, seed)
+			}
+		})
+	}
+}

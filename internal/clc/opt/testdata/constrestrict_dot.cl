@@ -1,0 +1,10 @@
+/* §V-D exemplar: every global access attributes to exactly one
+ * pointer param, so the loads promote to const+restrict; the
+ * float reduction itself must stay scalar. */
+__kernel void dot1(__global float* out, __global const float* a, __global const float* b, int n) {
+	int g = get_global_id(0);
+	float s = 0.0f;
+	for (int i = 0; i < n; i++)
+		s += a[g * n + i] * b[g * n + i];
+	out[g] = s;
+}

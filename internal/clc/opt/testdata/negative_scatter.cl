@@ -1,0 +1,6 @@
+/* Refusal exemplar: the store address is data-dependent, so no pass
+ * may change this kernel — the golden's BEFORE and AFTER match. */
+__kernel void scatter(__global float* out, __global const int* idx) {
+	int g = get_global_id(0);
+	out[idx[g] & 63] = 1.0f;
+}

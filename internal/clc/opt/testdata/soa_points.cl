@@ -1,0 +1,14 @@
+/* §V-C exemplar: the private p[16] array holds 8 interleaved {x,y}
+ * pairs; the relayout gives each component a contiguous plane. */
+__kernel void pts(__global float* out, __global const float* in, int n) {
+	float p[16];
+	int g = get_global_id(0);
+	for (int i = 0; i < 8; i++) {
+		p[i * 2] = in[g * 16 + i];
+		p[i * 2 + 1] = in[g * 16 + 8 + i];
+	}
+	float s = 0.0f;
+	for (int i = 0; i < 8; i++)
+		s += p[i * 2] * p[i * 2 + 1];
+	out[g] = s;
+}

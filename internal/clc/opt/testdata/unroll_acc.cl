@@ -1,0 +1,9 @@
+/* §V-E exemplar: constant-trip loop fully unrolled inside the T604
+ * register budget. */
+__kernel void acc(__global float* out, __global const float* in) {
+	int g = get_global_id(0);
+	float s = 0.0f;
+	for (int i = 0; i < 4; i++)
+		s += in[g * 4 + i];
+	out[g] = s;
+}

@@ -1,0 +1,7 @@
+/* §V-B exemplar: unit-stride scalar loop widened to vec4 with a
+ * scalar remainder; address chains stay scalar. */
+__kernel void saxpy(__global float* y, __global const float* x, float a, int n) {
+	int base = get_global_id(0) * n;
+	for (int i = 0; i < n; i++)
+		y[base + i] = a * x[base + i] + y[base + i];
+}

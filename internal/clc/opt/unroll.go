@@ -1,0 +1,116 @@
+package opt
+
+import (
+	"sort"
+
+	"maligo/internal/clc/ir"
+	"maligo/internal/platform"
+)
+
+const (
+	unrollMinTrip = 2
+	unrollMaxTrip = 8
+	// unrollMaxInstrs bounds the expanded segment so unrolling never
+	// turns a hot loop into an instruction-cache-hostile blob.
+	unrollMaxInstrs = 256
+)
+
+// overBudget mirrors mali.CheckResources: the scaled register
+// footprint against the T604 per-thread budget.
+func overBudget(regBytes int) bool {
+	return float64(regBytes)*platform.GPURegFootprintScale > platform.GPUMaxRegBytesPerThread
+}
+
+// runUnroll fully unrolls counted loops whose trip count the tier-2
+// engine pinned to a small constant (§V-E). The rewrite is pure
+// duplication — each copy keeps the header's re-materialized
+// constants and the induction update, only the compare and branches
+// go — so the dynamic instruction sequence of the loop body is
+// reproduced exactly: reductions, barriers and atomics are all safe
+// to unroll. The pass is gated by the same T604 register budget the
+// device model enforces; a kernel already over budget is left alone
+// (the paper's §V-E observation: unrolling helps only while the
+// register file holds).
+func runUnroll(c *passCtx) bool {
+	k, f := c.k, c.facts
+	if overBudget(k.RegisterFootprint()) {
+		c.note("register budget exceeded (%d reg bytes); unrolling refused", k.RegisterFootprint())
+		return false
+	}
+	du := f.DefUse()
+
+	type job struct {
+		s    *loopShape
+		trip int64
+	}
+	var jobs []job
+	for _, l := range f.Loops() {
+		s, why := recognizeShape(f, l)
+		if s == nil {
+			c.note("loop at %d: %s", l.Header, why)
+			continue
+		}
+		if l.Trip < 0 {
+			c.note("loop at %d: trip count not a compile-time constant", s.hs)
+			continue
+		}
+		if l.Trip < unrollMinTrip || l.Trip > unrollMaxTrip {
+			c.note("loop at %d: trip %d outside the %d..%d unroll window", s.hs, l.Trip, unrollMinTrip, unrollMaxTrip)
+			continue
+		}
+		copyLen := len(s.headConsts) + (s.be - 1 - s.bs)
+		if int64(copyLen)*l.Trip > unrollMaxInstrs {
+			c.note("loop at %d: unrolled size %d exceeds %d instructions", s.hs, int64(copyLen)*l.Trip, unrollMaxInstrs)
+			continue
+		}
+		// The compare's result dies at the branch in the original; the
+		// unrolled form never computes it, so any other use vetoes.
+		otherUse := false
+		for _, u := range du.UsesOf(s.cmpAt) {
+			if u != s.term {
+				otherUse = true
+			}
+		}
+		// Increment-chain temporaries must likewise stay loop-local.
+		for d := s.incStart; d < s.be-1; d++ {
+			dr, ok := ir.Def(&k.Code[d])
+			if !ok || (dr.Bank == ir.BankI && dr.Slot == l.IV && dr.Width == 1) {
+				continue
+			}
+			for _, u := range du.UsesOf(d) {
+				if u < s.incStart || u >= s.be-1 {
+					otherUse = true
+				}
+			}
+		}
+		if otherUse {
+			c.note("loop at %d: loop-control temporaries escape the loop", s.hs)
+			continue
+		}
+		jobs = append(jobs, job{s, l.Trip})
+	}
+	// Rewrite back-to-front so earlier shapes' indexes stay valid.
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].s.hs > jobs[j].s.hs })
+
+	applied := false
+	for _, j := range jobs {
+		s := j.s
+		var seg []ir.Instr
+		for n := int64(0); n < j.trip; n++ {
+			for _, hc := range s.headConsts {
+				seg = append(seg, k.Code[hc])
+			}
+			seg = append(seg, k.Code[s.bs:s.be-1]...)
+		}
+		code := make([]ir.Instr, 0, len(k.Code)-(s.be-s.hs)+len(seg))
+		code = append(code, k.Code[:s.hs]...)
+		code = append(code, seg...)
+		code = append(code, k.Code[s.be:]...)
+		remapJumps(code, s.hs, s.be, len(seg))
+		k.Code = code
+		c.sites++
+		applied = true
+		c.note("loop at %d: unrolled trip %d (%d instructions)", s.hs, j.trip, len(seg))
+	}
+	return applied
+}

@@ -1,0 +1,612 @@
+package opt
+
+import (
+	"sort"
+
+	"maligo/internal/clc/analysis/dataflow"
+	"maligo/internal/clc/ir"
+	"maligo/internal/clc/types"
+)
+
+// vf is the vectorization factor: the paper's §V-B widens to the
+// Mali-T604's natural 128-bit vec4 shape.
+const vf = 4
+
+// runVectorize rewrites eligible counted scalar loops into a 4-lane
+// main loop plus the original loop as a scalar remainder:
+//
+//	pre:  header consts, lane offsets, loop-invariant broadcasts
+//	vh:   ivl = (long)iv; vt = ivl + 3*step; if !(vt < bound) goto sh
+//	vb:   ivv = [iv, iv+step, iv+2*step, iv+3*step]
+//	      ...body, every scalar op widened to 4 lanes...
+//	      iv += 4*step; goto vh
+//	sh:   the untouched scalar loop, running the remainder
+//
+// The 4-ahead bound check runs in 64-bit arithmetic, so it is exact
+// for any iv base up to 32 bits regardless of runtime bounds, and the
+// scalar remainder reproduces the original loop bit-for-bit for the
+// tail iterations. Every widened lane computes exactly the value the
+// corresponding scalar iteration computed — including wraparound,
+// because Long/ULong address chains are exact mod 2^64 and narrower
+// chains are only accepted when the interval facts prove they cannot
+// wrap. Memory safety demands unit-stride stores, unit-stride or
+// loop-invariant loads, and a proof for every store/access pair:
+// identical address stream, distinct restrict-qualified buffers, or
+// distinct address spaces.
+func runVectorize(c *passCtx) bool {
+	f := c.facts
+
+	var shapes []*loopShape
+	for _, l := range f.Loops() {
+		s, why := recognizeShape(f, l)
+		if s == nil {
+			c.note("loop at %d: %s", l.Header, why)
+			continue
+		}
+		shapes = append(shapes, s)
+	}
+	// Back-to-front so earlier shapes' indexes survive rewrites.
+	sort.Slice(shapes, func(i, j int) bool { return shapes[i].hs > shapes[j].hs })
+
+	applied := false
+	for _, s := range shapes {
+		if why := vectorizeLoop(c, f, s); why != "" {
+			c.note("loop at %d: %s", s.hs, why)
+		} else {
+			c.sites++
+			applied = true
+			c.note("loop at %d: vectorized to %d lanes with scalar remainder", s.hs, vf)
+			// The rewrite grew the code, so the def-use graph and the
+			// interval facts are stale. Earlier shapes' indexes are
+			// still valid (rewrites only touch later code), but their
+			// soundness checks must run against fresh facts.
+			f = dataflow.Analyze(c.k)
+		}
+	}
+	return applied
+}
+
+// memKind classifies one body memory access for widening.
+type memKind int
+
+const (
+	memWide  memKind = iota // unit stride: one wide op
+	memSplat                // loop-invariant address: scalar load + broadcast
+)
+
+func vectorizeLoop(c *passCtx, f *dataflow.Facts, s *loopShape) (refuse string) {
+	k := c.k
+	code := k.Code
+	du := f.DefUse()
+	step := s.l.Step
+	ivBase := code[s.cmpAt].Base
+	// The 4-ahead guard computes in 64-bit space, which is exact only
+	// when the induction base is at most 32 bits; the lane offsets
+	// (up to 4*step) must also be representable in that base.
+	if r, narrow := baseIval(ivBase); !narrow || int64(vf)*step > r.Hi {
+		return "induction base unsupported (wider than 32 bits, or lane offsets overflow it)"
+	}
+
+	// --- eligibility -----------------------------------------------------
+
+	defsI, defsF := map[int32]bool{}, map[int32]bool{}
+	for i := s.bs; i < s.incStart; i++ {
+		in := &code[i]
+		switch in.Op {
+		case ir.MovI, ir.MovF, ir.ImmI, ir.ImmF, ir.BcastI, ir.BcastF,
+			ir.AddI, ir.SubI, ir.MulI, ir.DivI, ir.RemI, ir.AndI, ir.OrI, ir.XorI,
+			ir.ShlI, ir.ShrI, ir.NegI, ir.NotI,
+			ir.AddF, ir.SubF, ir.MulF, ir.DivF, ir.NegF,
+			ir.CmpEqI, ir.CmpNeI, ir.CmpLtI, ir.CmpLeI,
+			ir.CmpEqF, ir.CmpNeF, ir.CmpLtF, ir.CmpLeF,
+			ir.SelI, ir.SelF, ir.CvtII, ir.CvtIF, ir.CvtFI, ir.CvtFF,
+			ir.LoadI, ir.LoadF, ir.StoreI, ir.StoreF:
+		default:
+			return "body contains a call, atomic, barrier or branch"
+		}
+		if in.Width > 1 {
+			return "body already operates on vectors"
+		}
+		if d, ok := ir.Def(&code[i]); ok {
+			if d.Bank == ir.BankI {
+				defsI[d.Slot] = true
+			} else {
+				defsF[d.Slot] = true
+			}
+			if d.Bank == ir.BankI && d.Slot == s.l.IV {
+				return "body redefines the induction variable"
+			}
+		}
+	}
+
+	// No loop-carried scalar dependences: a read of a body-defined
+	// slot before its definition carries a value across iterations
+	// (the float-reduction pattern) and cannot widen bit-identically.
+	seenI, seenF := map[int32]bool{}, map[int32]bool{}
+	carried := false
+	for i := s.bs; i < s.incStart; i++ {
+		ir.Uses(&code[i], func(r ir.RegRef) {
+			for sl := r.Slot; sl < r.Slot+r.Width; sl++ {
+				if r.Bank == ir.BankI && defsI[sl] && !seenI[sl] {
+					carried = true
+				}
+				if r.Bank == ir.BankF && defsF[sl] && !seenF[sl] {
+					carried = true
+				}
+			}
+		})
+		if d, ok := ir.Def(&code[i]); ok {
+			for sl := d.Slot; sl < d.Slot+d.Width; sl++ {
+				if d.Bank == ir.BankI {
+					seenI[sl] = true
+				} else {
+					seenF[sl] = true
+				}
+			}
+		}
+	}
+	if carried {
+		return "loop-carried dependence (reduction-style accumulation)"
+	}
+
+	// Body-defined values must die inside the body: the widened loop
+	// computes them in fresh wide registers, and when the remainder
+	// runs zero iterations the original slots would go stale.
+	for i := s.bs; i < s.incStart; i++ {
+		if _, ok := ir.Def(&code[i]); !ok {
+			continue
+		}
+		for _, u := range du.UsesOf(i) {
+			if u < s.bs || u >= s.incStart {
+				return "a body-computed value is used outside the loop body"
+			}
+		}
+	}
+	// Increment-chain temporaries stay loop-control-local (the wide
+	// loop replaces the whole chain with one add).
+	for d := s.incStart; d < s.be-1; d++ {
+		dr, ok := ir.Def(&code[d])
+		if !ok || (dr.Bank == ir.BankI && dr.Slot == s.l.IV && dr.Width == 1) {
+			continue
+		}
+		for _, u := range du.UsesOf(d) {
+			if u < s.incStart || u >= s.be-1 {
+				return "loop-control temporaries escape the loop"
+			}
+		}
+	}
+
+	// --- memory discipline -----------------------------------------------
+
+	bl := analyzeBody(f, s)
+	kinds := map[int]memKind{}
+	type memSite struct {
+		instr int
+		write bool
+		li    lin
+	}
+	var sites []memSite
+	for i := s.bs; i < s.incStart; i++ {
+		in := &code[i]
+		if !isMemOp(in.Op) {
+			continue
+		}
+		li := bl.addr[i]
+		es := int64(in.Base.Size())
+		write := isStoreOp(in.Op)
+		switch {
+		case li.ok && li.coef*step == es:
+			kinds[i] = memWide
+		case li.ok && li.coef == 0 && !write:
+			kinds[i] = memSplat
+		case write:
+			return "store is not unit-stride"
+		default:
+			return "load is neither unit-stride nor loop-invariant"
+		}
+		sites = append(sites, memSite{instr: i, write: write, li: li})
+	}
+	for _, st := range sites {
+		if !st.write {
+			continue
+		}
+		for _, m := range sites {
+			if m.instr == st.instr {
+				continue
+			}
+			if ok, why := disjointOrSame(f, k, s, st.li, m.li); !ok {
+				return why
+			}
+		}
+	}
+
+	// --- lane demand -------------------------------------------------------
+	//
+	// Address chains stay scalar: a wide unit-stride memory op takes
+	// lane 0's address and strides by the element size itself, so the
+	// instructions that only ever feed memory-op address operands keep
+	// computing the scalar (lane 0) address. Only defs whose values
+	// flow into widened computation or stored data need vf lanes; this
+	// is what keeps the widened register footprint inside the T604
+	// budget for real kernels.
+	needWide := map[int]bool{}
+	for i := s.bs; i < s.incStart; i++ {
+		if isMemOp(code[i].Op) {
+			continue
+		}
+		if _, ok := ir.Def(&code[i]); !ok {
+			return "body instruction computes nothing and is not a memory access"
+		}
+	}
+	for {
+		changed := false
+		wideSlot := map[ir.RegRef]bool{}
+		markWide := func(i int) {
+			if d, ok := ir.Def(&code[i]); ok {
+				wideSlot[ir.RegRef{Bank: d.Bank, Slot: d.Slot, Width: 1}] = true
+			}
+		}
+		for i := s.bs; i < s.incStart; i++ {
+			if isMemOp(code[i].Op) || needWide[i] {
+				markWide(i)
+			}
+		}
+		for i := s.incStart - 1; i >= s.bs; i-- {
+			in := &code[i]
+			if isMemOp(in.Op) || needWide[i] {
+				continue
+			}
+			d, _ := ir.Def(in)
+			wide := false
+			for _, u := range du.UsesOf(i) {
+				if u < s.bs || u >= s.incStart {
+					continue
+				}
+				ui := &code[u]
+				if isMemOp(ui.Op) {
+					valBank := ir.BankI
+					if ui.Op == ir.StoreF {
+						valBank = ir.BankF
+					}
+					if isStoreOp(ui.Op) && ui.A == d.Slot && d.Bank == valBank {
+						wide = true
+					}
+					continue
+				}
+				if needWide[u] {
+					wide = true
+				}
+			}
+			// A slot must be all-scalar or all-wide across its body
+			// defs, or wide readers would see the wrong register run.
+			if wideSlot[ir.RegRef{Bank: d.Bank, Slot: d.Slot, Width: 1}] {
+				wide = true
+			}
+			// Reading a slot whose body defs went wide forces this
+			// instruction wide too: slot reuse means the scalar value
+			// it wants is no longer computed anywhere.
+			ir.Uses(in, func(r ir.RegRef) {
+				for sl := r.Slot; sl < r.Slot+r.Width; sl++ {
+					if wideSlot[ir.RegRef{Bank: r.Bank, Slot: sl, Width: 1}] {
+						wide = true
+					}
+				}
+			})
+			if wide && !needWide[i] {
+				needWide[i] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	wideDef := map[ir.RegRef]bool{}
+	for i := s.bs; i < s.incStart; i++ {
+		if isMemOp(code[i].Op) && isStoreOp(code[i].Op) {
+			continue
+		}
+		if isMemOp(code[i].Op) || needWide[i] {
+			if d, ok := ir.Def(&code[i]); ok {
+				wideDef[ir.RegRef{Bank: d.Bank, Slot: d.Slot, Width: 1}] = true
+			}
+		}
+	}
+
+	// --- widening plan ----------------------------------------------------
+
+	newI, newF := int32(k.NumI), int32(k.NumF)
+	addBytes := 0
+	allocI := func(n int32, elem int) int32 {
+		sl := newI
+		newI += n
+		addBytes += int(n) * elem
+		return sl
+	}
+	allocF := func(n int32, elem int) int32 {
+		sl := newF
+		newF += n
+		addBytes += int(n) * elem
+		return sl
+	}
+	ivSize := ivBase.Size()
+	laneOff := allocI(vf, ivSize)
+	c4 := allocI(1, ivSize)
+	c3L := allocI(1, 8)
+	ivl := allocI(1, 8)
+	bL := allocI(1, 8)
+	vt := allocI(1, 8)
+	vc := allocI(1, 8)
+	ivv := allocI(vf, ivSize)
+
+	wideI, wideF := map[int32]int32{}, map[int32]int32{}
+	bcI, bcF := map[int32]int32{}, map[int32]int32{}
+	var bcOrderI, bcOrderF []int32
+	mapI := func(slot int32, elem int) int32 {
+		if slot == s.l.IV {
+			return ivv
+		}
+		if wideDef[ir.RegRef{Bank: ir.BankI, Slot: slot, Width: 1}] {
+			w, ok := wideI[slot]
+			if !ok {
+				w = allocI(vf, elem)
+				wideI[slot] = w
+			}
+			return w
+		}
+		w, ok := bcI[slot]
+		if !ok {
+			w = allocI(vf, elem)
+			bcI[slot] = w
+			bcOrderI = append(bcOrderI, slot)
+		}
+		return w
+	}
+	mapF := func(slot int32, elem int) int32 {
+		if wideDef[ir.RegRef{Bank: ir.BankF, Slot: slot, Width: 1}] {
+			w, ok := wideF[slot]
+			if !ok {
+				w = allocF(vf, elem)
+				wideF[slot] = w
+			}
+			return w
+		}
+		w, ok := bcF[slot]
+		if !ok {
+			w = allocF(vf, elem)
+			bcF[slot] = w
+			bcOrderF = append(bcOrderF, slot)
+		}
+		return w
+	}
+	// Address operands stay scalar (the wide op strides from lane 0's
+	// address itself). The scalar iv and the verbatim scalar-slice body
+	// instructions hold exactly the lane 0 values; a slot whose def was
+	// widened reads lane 0 of its wide run instead.
+	mapAddr := func(slot int32) int32 {
+		if slot == s.l.IV {
+			return slot
+		}
+		if wideDef[ir.RegRef{Bank: ir.BankI, Slot: slot, Width: 1}] {
+			return mapI(slot, 8)
+		}
+		return slot
+	}
+
+	// widen rewrites one scalar body instruction into its wide form,
+	// allocating wide registers on first touch. Called once in
+	// planning mode (emit=nil counts instructions) and once for real.
+	widen := func(in ir.Instr, emit func(ir.Instr)) int {
+		elem := in.Base.Size()
+		if elem == 0 {
+			elem = 8
+		}
+		n := 1
+		out := in
+		out.Width = vf
+		switch in.Op {
+		case ir.ImmI, ir.ImmF:
+			// broadcast immediate: dest wide, no operands
+		case ir.BcastI: // scalar bcast is a move
+			out.Op = ir.MovI
+			out.B = mapI(in.B, elem)
+		case ir.BcastF:
+			out.Op = ir.MovF
+			out.B = mapF(in.B, elem)
+		case ir.MovI, ir.NegI, ir.NotI, ir.CvtII:
+			out.B = mapI(in.B, elem)
+		case ir.MovF, ir.NegF, ir.CvtFF:
+			out.B = mapF(in.B, elem)
+		case ir.CvtIF:
+			out.B = mapI(in.B, 8)
+		case ir.CvtFI:
+			out.B = mapF(in.B, 8)
+		case ir.AddI, ir.SubI, ir.MulI, ir.DivI, ir.RemI, ir.AndI, ir.OrI, ir.XorI,
+			ir.ShlI, ir.ShrI, ir.CmpEqI, ir.CmpNeI, ir.CmpLtI, ir.CmpLeI:
+			out.B = mapI(in.B, elem)
+			out.C = mapI(in.C, elem)
+		case ir.AddF, ir.SubF, ir.MulF, ir.DivF, ir.CmpEqF, ir.CmpNeF, ir.CmpLtF, ir.CmpLeF:
+			out.B = mapF(in.B, elem)
+			out.C = mapF(in.C, elem)
+		case ir.SelI:
+			out.B = mapI(in.B, 8)
+			out.C = mapI(in.C, elem)
+			out.D = mapI(in.D, elem)
+		case ir.SelF:
+			out.B = mapI(in.B, 8)
+			out.C = mapF(in.C, elem)
+			out.D = mapF(in.D, elem)
+		case ir.LoadI, ir.LoadF:
+			// dest handled below; address stays scalar
+			out.B = mapAddr(in.B)
+		case ir.StoreI:
+			out.A = mapI(in.A, elem)
+			out.B = mapAddr(in.B)
+		case ir.StoreF:
+			out.A = mapF(in.A, elem)
+			out.B = mapAddr(in.B)
+		}
+		if d, ok := ir.Def(&in); ok {
+			if d.Bank == ir.BankI {
+				out.A = mapI(in.A, elem)
+			} else {
+				out.A = mapF(in.A, elem)
+			}
+		}
+		if emit != nil {
+			emit(out)
+		}
+		return n
+	}
+
+	// Planning pass: walk the body once to fix every wide/broadcast
+	// slot assignment and count emitted instructions.
+	vbWork := 0
+	for i := s.bs; i < s.incStart; i++ {
+		in := code[i]
+		if !isMemOp(in.Op) && !needWide[i] {
+			vbWork++ // scalar slice: emitted verbatim
+			continue
+		}
+		if isMemOp(in.Op) && kinds[i] == memSplat {
+			mapAddr(in.B)
+			elem := in.Base.Size()
+			if in.Op == ir.LoadI {
+				mapI(in.A, elem)
+			} else {
+				mapF(in.A, elem)
+			}
+			vbWork += 2
+			continue
+		}
+		vbWork += widen(in, nil)
+	}
+
+	if k.RegBytes > 0 && overBudget(k.RegBytes+addBytes) {
+		return "register budget exceeded after widening"
+	}
+
+	// --- layout -----------------------------------------------------------
+
+	preLen := len(s.headConsts) + vf + 3 + len(bcOrderI) + len(bcOrderF)
+	vhLen := 4
+	vbLen := 2 + vbWork + 2
+	segLen := preLen + vhLen + vbLen + (s.be - s.hs)
+	vhStart := s.hs + preLen
+	vbStart := vhStart + vhLen
+	shStart := vbStart + vbLen
+	delta := segLen - (s.be - s.hs)
+
+	seg := make([]ir.Instr, 0, segLen)
+	emit := func(in ir.Instr) { seg = append(seg, in) }
+
+	// Preamble.
+	for _, hc := range s.headConsts {
+		emit(code[hc])
+	}
+	for l := int32(0); l < vf; l++ {
+		emit(ir.Instr{Op: ir.ImmI, A: laneOff + l, Imm: int64(l) * step, Width: 1, Base: ivBase})
+	}
+	emit(ir.Instr{Op: ir.ImmI, A: c4, Imm: int64(vf) * step, Width: 1, Base: ivBase})
+	emit(ir.Instr{Op: ir.ImmI, A: c3L, Imm: int64(vf-1) * step, Width: 1, Base: types.Long})
+	emit(ir.Instr{Op: ir.CvtII, A: bL, B: s.l.BoundSlot, Width: 1, Base: types.Long, Base2: ivBase})
+	for _, sl := range bcOrderI {
+		emit(ir.Instr{Op: ir.BcastI, A: bcI[sl], B: sl, Width: vf, Base: types.Long})
+	}
+	for _, sl := range bcOrderF {
+		emit(ir.Instr{Op: ir.BcastF, A: bcF[sl], B: sl, Width: vf, Base: types.Double})
+	}
+
+	// Vector header: exact 4-ahead bound check in 64-bit space.
+	emit(ir.Instr{Op: ir.CvtII, A: ivl, B: s.l.IV, Width: 1, Base: types.Long, Base2: ivBase})
+	emit(ir.Instr{Op: ir.AddI, A: vt, B: ivl, C: c3L, Width: 1, Base: types.Long})
+	emit(ir.Instr{Op: s.l.CmpOp, A: vc, B: vt, C: bL, Width: 1, Base: types.Long})
+	emit(ir.Instr{Op: ir.JmpIfZ, B: vc, Imm: int64(shStart), Width: 1})
+
+	// Vector body.
+	emit(ir.Instr{Op: ir.BcastI, A: ivv, B: s.l.IV, Width: vf, Base: ivBase})
+	emit(ir.Instr{Op: ir.AddI, A: ivv, B: ivv, C: laneOff, Width: vf, Base: ivBase})
+	for i := s.bs; i < s.incStart; i++ {
+		in := code[i]
+		if !isMemOp(in.Op) && !needWide[i] {
+			emit(in)
+			continue
+		}
+		if isMemOp(in.Op) && kinds[i] == memSplat {
+			elem := in.Base.Size()
+			addr := mapAddr(in.B)
+			if in.Op == ir.LoadI {
+				w := mapI(in.A, elem)
+				emit(ir.Instr{Op: ir.LoadI, A: w, B: addr, Width: 1, Base: in.Base, Pos: in.Pos})
+				emit(ir.Instr{Op: ir.BcastI, A: w, B: w, Width: vf, Base: in.Base, Pos: in.Pos})
+			} else {
+				w := mapF(in.A, elem)
+				emit(ir.Instr{Op: ir.LoadF, A: w, B: addr, Width: 1, Base: in.Base, Pos: in.Pos})
+				emit(ir.Instr{Op: ir.BcastF, A: w, B: w, Width: vf, Base: in.Base, Pos: in.Pos})
+			}
+			continue
+		}
+		widen(in, emit)
+	}
+	emit(ir.Instr{Op: ir.AddI, A: s.l.IV, B: s.l.IV, C: c4, Width: 1, Base: ivBase})
+	emit(ir.Instr{Op: ir.Jmp, Imm: int64(vhStart), Width: 1})
+
+	// Scalar remainder: the original loop, back jump retargeted.
+	for i := s.hs; i < s.be; i++ {
+		in := code[i]
+		switch in.Op {
+		case ir.Jmp, ir.JmpIf, ir.JmpIfZ:
+			switch {
+			case in.Imm == int64(s.hs):
+				in.Imm = int64(shStart)
+			case in.Imm >= int64(s.be):
+				in.Imm += int64(delta)
+			}
+		}
+		emit(in)
+	}
+	if len(seg) != segLen {
+		// Layout accounting must match emission exactly; a mismatch
+		// would scramble every branch target in the kernel.
+		panic("opt: vectorize segment length mismatch")
+	}
+
+	out := make([]ir.Instr, 0, len(code)+delta)
+	out = append(out, code[:s.hs]...)
+	out = append(out, seg...)
+	out = append(out, code[s.be:]...)
+	remapJumps(out, s.hs, s.be, segLen)
+	k.Code = out
+	k.NumI, k.NumF = int(newI), int(newF)
+	if k.RegBytes > 0 {
+		k.RegBytes += addBytes
+	}
+	if k.MaxVectorWidth < vf {
+		k.MaxVectorWidth = vf
+	}
+	return ""
+}
+
+// disjointOrSame proves one store/access pair safe to widen: the two
+// address streams are identical, or they live in provably disjoint
+// memory (distinct restrict-qualified buffers, or distinct address
+// spaces).
+func disjointOrSame(f *dataflow.Facts, k *ir.Kernel, s *loopShape, a, b lin) (bool, string) {
+	if !a.ok || !b.ok {
+		return false, "store aliasing unresolved (address not linear in the induction variable)"
+	}
+	if a.eq(b) {
+		return true, ""
+	}
+	aa := attributeLin(f, k, s.bs, a)
+	ab := attributeLin(f, k, s.bs, b)
+	if aa.param >= 0 && ab.param >= 0 && aa.param != ab.param &&
+		k.Params[aa.param].Type != nil && k.Params[aa.param].Type.Restrict &&
+		k.Params[ab.param].Type != nil && k.Params[ab.param].Type.Restrict {
+		return true, ""
+	}
+	if aa.space >= 0 && ab.space >= 0 && aa.space != ab.space {
+		return true, ""
+	}
+	return false, "possible aliasing between a store and another access"
+}

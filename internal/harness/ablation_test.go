@@ -55,3 +55,39 @@ func TestRenderAblations(t *testing.T) {
 		}
 	}
 }
+
+// TestAutoOptAblationDirection: the transform pipeline must apply to
+// at least one naive benchmark kernel and must never make any of them
+// slower — the §V speedup-recovery claim in its weakest safe form.
+func TestAutoOptAblationDirection(t *testing.T) {
+	res, err := RunAutoOptAblation(0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Benches) == 0 {
+		t.Fatal("no benchmark supports both GPU versions")
+	}
+	applied := 0
+	for _, b := range res.Benches {
+		if b.NaiveSeconds <= 0 || b.AutoSeconds <= 0 || b.HandSeconds <= 0 {
+			t.Errorf("%s: non-positive timing %+v", b.Name, b)
+		}
+		if len(b.Passes) > 0 {
+			applied++
+			if b.AutoSeconds > b.NaiveSeconds {
+				t.Errorf("%s: transformed kernel slower than naive (%.3g s vs %.3g s)",
+					b.Name, b.AutoSeconds, b.NaiveSeconds)
+			}
+		} else if b.AutoSeconds != b.NaiveSeconds {
+			t.Errorf("%s: pipeline refused but timing moved (%.3g s vs %.3g s)",
+				b.Name, b.AutoSeconds, b.NaiveSeconds)
+		}
+	}
+	if applied == 0 {
+		t.Error("transform pipeline applied to no naive benchmark kernel")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "recovered") || !strings.Contains(out, res.Benches[0].Name) {
+		t.Errorf("render is missing expected content:\n%s", out)
+	}
+}

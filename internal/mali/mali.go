@@ -234,14 +234,23 @@ func groupCycles(k *ir.Kernel, p *vm.Profile, dramBytes uint64, nWI int, localAt
 		float64(p.TranscLanes)*platform.GPUTranscSlotCost) / platform.GPUArithPipes
 	// The VM charges every atomic two LS slots; local atomics on Mali
 	// cost about one, so refund the difference.
-	ls := float64(p.LSSlots128) -
+	issued := float64(p.LSSlots128) -
 		float64(localAtomics)*(2-platform.GPULocalAtomicLSSlots) +
-		float64(p.PrivateAccesses)*platform.GPUPrivateLSPenalty +
+		float64(p.PrivateAccesses)*platform.GPUPrivateLSPenalty
+	if issued < 0 {
+		issued = 0
+	}
+	// §V-D qualifiers: restrict-qualified pointer params free the LS
+	// pipe from aliasing interlocks and const params skip write-path
+	// coherence, each a small multiplicative occupancy discount. The
+	// discount applies to issued access slots only — qualifiers do
+	// nothing for cache-miss stall occupancy, so miss-bound kernels
+	// (spmv's gather) keep their full miss terms.
+	issued /= 1 + float64(k.RestrictParams)*platform.GPURestrictLSFactor +
+		float64(k.ConstParams)*platform.GPUConstLSFactor
+	ls := issued +
 		float64(seqMisses)*platform.GPUSeqMissLSOccupancy +
 		float64(rndMisses)*platform.GPURandMissLSOccupancy
-	if ls < 0 {
-		ls = 0
-	}
 
 	// Latency hiding: resident threads per core bounded by register
 	// demand.

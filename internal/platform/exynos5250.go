@@ -115,6 +115,15 @@ const (
 	// gather-heavy kernels slow on Mali.
 	GPUSeqMissLSOccupancy  = 1.0
 	GPURandMissLSOccupancy = 28.0
+	// GPURestrictLSFactor and GPUConstLSFactor are the per-qualified-
+	// parameter load/store-pipe occupancy discounts of the paper's §V-D
+	// qualifiers. restrict removes aliasing hazards, so the compiler
+	// schedules loads ahead of dependent stores; const routes read-only
+	// data through the read path without coherence stalls. Both are
+	// small: §V-D reports the qualifiers alone buy percent-level wins,
+	// not the vectorization-class ones.
+	GPURestrictLSFactor = 0.025
+	GPUConstLSFactor    = 0.015
 	// GPUL2HitLatency and GPUDRAMLatency are load-to-use latencies in
 	// GPU cycles.
 	GPUL2HitLatency = 16.0

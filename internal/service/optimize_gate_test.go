@@ -1,0 +1,187 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"maligo/internal/job"
+	"maligo/internal/service/progcache"
+)
+
+// loopKernelSrc is transformable: the inner loop is unit-stride, so
+// the vectorize pass rewrites it on an optimizing daemon.
+const loopKernelSrc = `__kernel void saxpy(__global float* restrict y,
+                    __global const float* restrict x,
+                    float a, int n) {
+	int g = get_global_id(0);
+	int base = g * n;
+	for (int i = 0; i < n; i++) {
+		y[base + i] = a * x[base + i] + y[base + i];
+	}
+}
+`
+
+// loopJobSpec runs loopKernelSrc over 16 work-items x 32 elements.
+func loopJobSpec() *job.Spec {
+	n := int64(32)
+	buf := make([]byte, 16*n*4)
+	for i := range buf {
+		buf[i] = byte(i % 61)
+	}
+	return &job.Spec{
+		Source: loopKernelSrc,
+		Kernel: "saxpy",
+		Device: job.DeviceGPU,
+		Global: []int{16},
+		Args: []job.Arg{
+			{Kind: job.ArgBuffer, Data: buf, Read: true},
+			{Kind: job.ArgBuffer, Data: buf},
+			{Kind: job.ArgFloat, Float: 1.5},
+			{Kind: job.ArgInt, Int: n},
+		},
+	}
+}
+
+// TestOptimizeDaemonResultContract is the service-level statement of
+// the transform correctness contract: an optimizing daemon serves the
+// same buffer bytes as a plain daemon for the same job, reports the
+// applied passes in X-Malid-Optimize, and the simulated GPU time moves
+// in the paper's direction (the optimized kernel is not slower).
+func TestOptimizeDaemonResultContract(t *testing.T) {
+	_, plainTS := newTestServer(t, Config{})
+	optS, optTS := newTestServer(t, Config{Optimize: true})
+
+	body, _ := json.Marshal(loopJobSpec())
+	plainRes := postJSON(t, plainTS.URL+"/v1/jobs", string(body))
+	plainBody := readAll(t, plainRes)
+	if plainRes.StatusCode != http.StatusOK {
+		t.Fatalf("plain job: status %d: %s", plainRes.StatusCode, plainBody)
+	}
+	if h := plainRes.Header.Get("X-Malid-Optimize"); h != "" {
+		t.Fatalf("plain daemon leaked X-Malid-Optimize %q", h)
+	}
+
+	optRes := postJSON(t, optTS.URL+"/v1/jobs", string(body))
+	optBody := readAll(t, optRes)
+	if optRes.StatusCode != http.StatusOK {
+		t.Fatalf("optimized job: status %d: %s", optRes.StatusCode, optBody)
+	}
+	if h := optRes.Header.Get("X-Malid-Optimize"); h == "" || h == "none" {
+		t.Fatalf("X-Malid-Optimize = %q, want applied pass names", h)
+	}
+
+	var plain, opt job.Result
+	if err := json.Unmarshal(plainBody, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(optBody, &opt); err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Buffers) == 0 || len(opt.Buffers) != len(plain.Buffers) {
+		t.Fatalf("buffer dumps missing: plain %d, optimized %d", len(plain.Buffers), len(opt.Buffers))
+	}
+	for i := range plain.Buffers {
+		if plain.Buffers[i].Arg != opt.Buffers[i].Arg ||
+			string(plain.Buffers[i].Data) != string(opt.Buffers[i].Data) {
+			t.Fatalf("buffer %d diverged between plain and optimizing daemons", i)
+		}
+	}
+	if plain.ProgramID != opt.ProgramID {
+		t.Fatalf("result program_id diverged: %q vs %q (must stamp the program as written)",
+			plain.ProgramID, opt.ProgramID)
+	}
+	if opt.Seconds > plain.Seconds {
+		t.Errorf("optimized kernel simulated slower: %.3g s vs %.3g s", opt.Seconds, plain.Seconds)
+	}
+
+	// Both content addresses coexist in the optimizing daemon's cache.
+	spec := loopJobSpec()
+	plainID := job.ProgramID(spec.Source, spec.Options)
+	optID := progcache.OptimizedID(spec.Source, spec.Options)
+	if plainID == optID {
+		t.Fatal("optimized content address must differ from the plain one")
+	}
+	if _, ok := optS.cache.Get(plainID); !ok {
+		t.Error("plain compile missing from the optimizing daemon's cache")
+	}
+	if _, ok := optS.cache.Get(optID); !ok {
+		t.Error("optimized program missing from the optimizing daemon's cache")
+	}
+	if n := optS.metrics.Counter("malid.programs.optimized").Value(); n != 1 {
+		t.Errorf("programs.optimized counter = %d, want 1", n)
+	}
+}
+
+// TestOptimizeHeaderNoneWhenRefused: a program the pipeline cannot
+// transform still runs, with the disposition header saying so.
+func TestOptimizeHeaderNoneWhenRefused(t *testing.T) {
+	_, ts := newTestServer(t, Config{Optimize: true})
+	// A parameterless straight-line kernel: no loops, no pointer
+	// params, nothing for any pass to do.
+	spec := &job.Spec{
+		Source: "__kernel void nop() { }\n",
+		Kernel: "nop",
+		Device: job.DeviceGPU,
+		Global: []int{1},
+	}
+	body, _ := json.Marshal(spec)
+	res := postJSON(t, ts.URL+"/v1/jobs", string(body))
+	rb := readAll(t, res)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", res.StatusCode, rb)
+	}
+	if h := res.Header.Get("X-Malid-Optimize"); h != "none" {
+		t.Fatalf("X-Malid-Optimize = %q, want none", h)
+	}
+}
+
+// TestOptimizeProgramsEndpoint: registration on an optimizing daemon
+// returns the optimized content address (usable for program_id-only
+// jobs), reports the passes in the header, and hits the cache on the
+// second upload.
+func TestOptimizeProgramsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Optimize: true})
+	req, _ := json.Marshal(map[string]string{"source": loopKernelSrc})
+
+	var progID string
+	for round, wantCached := range []bool{false, true} {
+		res := postJSON(t, ts.URL+"/v1/programs", string(req))
+		body := readAll(t, res)
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: status %d: %s", round, res.StatusCode, body)
+		}
+		if h := res.Header.Get("X-Malid-Optimize"); h == "" || h == "none" {
+			t.Fatalf("round %d: X-Malid-Optimize = %q, want applied passes", round, h)
+		}
+		var got struct {
+			ProgramID string `json:"program_id"`
+			Cached    bool   `json:"cached"`
+		}
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatalf("round %d: decode: %v", round, err)
+		}
+		if want := progcache.OptimizedID(loopKernelSrc, ""); got.ProgramID != want {
+			t.Fatalf("round %d: program_id %q, want optimized address %q", round, got.ProgramID, want)
+		}
+		if got.Cached != wantCached {
+			t.Fatalf("round %d: cached %v, want %v", round, got.Cached, wantCached)
+		}
+		progID = got.ProgramID
+	}
+
+	// A program_id-only job against the optimized address runs the
+	// transformed program and still reports the passes.
+	spec := loopJobSpec()
+	spec.ProgramID = progID
+	spec.Source = ""
+	body, _ := json.Marshal(spec)
+	res := postJSON(t, ts.URL+"/v1/jobs", string(body))
+	rb := readAll(t, res)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("program_id job: status %d: %s", res.StatusCode, rb)
+	}
+	if h := res.Header.Get("X-Malid-Optimize"); h == "" || h == "none" {
+		t.Fatalf("program_id job: X-Malid-Optimize = %q, want applied passes", h)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"maligo/internal/cl"
 	"maligo/internal/clc/analysis"
 	"maligo/internal/clc/ir"
+	"maligo/internal/clc/opt"
 	"maligo/internal/job"
 )
 
@@ -46,6 +47,13 @@ type Entry struct {
 	// older daemon — gob decodes its absent field as 0 — is recompiled
 	// on load rather than trusted, exactly like pre-analyzer binaries.
 	EngineTier int
+
+	// Optimized marks entries holding transform-pipeline output; their
+	// content address is OptimizedID, distinct from the plain compile
+	// of the same (source, options), so both programs coexist in one
+	// cache and on disk. OptPasses lists the passes that applied.
+	Optimized bool
+	OptPasses []string
 }
 
 // CurrentEngineTier is the engine generation stamped into new cache
@@ -55,6 +63,27 @@ const CurrentEngineTier = 3
 
 // MaxSeverity returns the highest diagnostic severity in the entry.
 func (e *Entry) MaxSeverity() analysis.Severity { return analysis.MaxSeverity(e.Diags) }
+
+// optMarker versions the optimized content address: it is appended to
+// the options inside the hash only, never shown to the compiler, so
+// an optimized program can never collide with a plain compile and a
+// pipeline change (new pass, new codegen) retires stale binaries by
+// changing the marker.
+const optMarker = "\x00optimize=v1"
+
+// OptimizedID is the content address of the transform-pipeline output
+// for (source, options).
+func OptimizedID(source, options string) string {
+	return job.ProgramID(source, options+optMarker)
+}
+
+// entryID recomputes the content address an entry must carry.
+func entryID(e *Entry) string {
+	if e.Optimized {
+		return OptimizedID(e.Source, e.Options)
+	}
+	return job.ProgramID(e.Source, e.Options)
+}
 
 // Cache is the LRU. The zero value is unusable; call New.
 type Cache struct {
@@ -153,6 +182,37 @@ func (c *Cache) GetOrCompile(source, options string) (e *Entry, hit bool, err er
 	return e, false, nil
 }
 
+// GetOrCompileOptimized returns the transform-pipeline output for
+// (source, options), compiling and optimizing on a cold miss. The
+// plain compiled program is cached too, under its own content address:
+// admission gates still judge the program the tenant wrote, and a
+// later non-optimizing daemon hits the plain entry untouched. The
+// entry's Diags are the plain program's — the transforms answer those
+// diagnostics, they do not re-lint their own output.
+func (c *Cache) GetOrCompileOptimized(source, options string) (e *Entry, hit bool, err error) {
+	id := OptimizedID(source, options)
+	if e, ok := c.Get(id); ok {
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return e, true, nil
+	}
+	base, _, err := c.GetOrCompile(source, options)
+	if err != nil {
+		return nil, false, err
+	}
+	prog, rep := opt.Optimize(base.Prog)
+	e = &Entry{
+		ID: id, Source: source, Options: options, Prog: prog,
+		Analyzed: true, Diags: base.Diags,
+		EngineTier: CurrentEngineTier,
+		Optimized:  true, OptPasses: rep.AppliedPasses(),
+	}
+	c.insert(e)
+	c.store(e)
+	return e, false, nil
+}
+
 // insert adds an entry at the LRU front, evicting beyond the bound.
 // Evicted entries stay on disk (when persistence is on) and reload
 // transparently on the next Get.
@@ -218,7 +278,7 @@ func (c *Cache) load(id string) (*Entry, error) {
 	if err := gob.NewDecoder(f).Decode(&e); err != nil {
 		return nil, fmt.Errorf("progcache: corrupt binary for %s: %w", id, err)
 	}
-	if e.ID != id || job.ProgramID(e.Source, e.Options) != id || e.Prog == nil || !e.Analyzed {
+	if e.ID != id || entryID(&e) != id || e.Prog == nil || !e.Analyzed {
 		return nil, fmt.Errorf("progcache: binary for %s fails verification", id)
 	}
 	if e.EngineTier != CurrentEngineTier {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"encoding/json"
+	"fmt"
 	"os"
 	"testing"
 
@@ -252,5 +253,97 @@ func TestEngineTierSkewRecompiles(t *testing.T) {
 		if e3.EngineTier != CurrentEngineTier {
 			t.Fatalf("recompiled entry EngineTier = %d, want %d", e3.EngineTier, CurrentEngineTier)
 		}
+	}
+}
+
+// loopSrc is transformable (unit-stride inner loop); the optimized
+// entry's pass list must be non-empty.
+const loopSrc = `__kernel void saxpy(__global float* restrict y,
+                    __global const float* restrict x,
+                    float a, int n) {
+	int g = get_global_id(0);
+	int base = g * n;
+	for (int i = 0; i < n; i++) {
+		y[base + i] = a * x[base + i] + y[base + i];
+	}
+}
+`
+
+// TestOptimizedEntryDistinctAddresses: one GetOrCompileOptimized call
+// caches the plain compile and the transform output side by side under
+// distinct content addresses, both persist to disk, and a flipped
+// Optimized flag fails content-address verification on reload.
+func TestOptimizedEntryDistinctAddresses(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, hit, err := c1.GetOrCompileOptimized(loopSrc, "")
+	if err != nil || hit {
+		t.Fatalf("optimized compile: hit=%v err=%v", hit, err)
+	}
+	optID, plainID := OptimizedID(loopSrc, ""), job.ProgramID(loopSrc, "")
+	if optID == plainID {
+		t.Fatal("optimized and plain content addresses collide")
+	}
+	if e.ID != optID || !e.Optimized || len(e.OptPasses) == 0 {
+		t.Fatalf("optimized entry malformed: id=%q optimized=%v passes=%v", e.ID, e.Optimized, e.OptPasses)
+	}
+	plain, ok := c1.Get(plainID)
+	if !ok {
+		t.Fatal("plain compile not cached beside the optimized entry")
+	}
+	if plain.Optimized || len(plain.OptPasses) != 0 {
+		t.Fatal("plain entry carries transform state")
+	}
+	// The optimized entry's diagnostics are the plain program's: the
+	// admission gate judges the program as written.
+	if len(e.Diags) != len(plain.Diags) {
+		t.Fatalf("optimized entry diags (%d) diverge from plain (%d)", len(e.Diags), len(plain.Diags))
+	}
+
+	// Disk round trip: a fresh cache reloads both without compiling.
+	c2, err := New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, hit, err := c2.GetOrCompileOptimized(loopSrc, "")
+	if err != nil || !hit {
+		t.Fatalf("reload: hit=%v err=%v", hit, err)
+	}
+	if e2.ID != optID || !e2.Optimized ||
+		fmt.Sprint(e2.OptPasses) != fmt.Sprint(e.OptPasses) {
+		t.Fatalf("reloaded optimized entry differs: %+v", e2)
+	}
+
+	// An entry whose Optimized flag disagrees with its address must
+	// fail verification (entryID recomputation), not execute.
+	var tampered Entry
+	f, err := os.Open(c2.path(optID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewDecoder(f).Decode(&tampered); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	tampered.Optimized = false
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&tampered); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(c2.path(optID), buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c3.Get(optID); ok {
+		t.Fatal("entry with mismatched Optimized flag accepted")
+	}
+	if _, hit, err := c3.GetOrCompileOptimized(loopSrc, ""); err != nil || hit {
+		t.Fatalf("recompile after tamper: hit=%v err=%v", hit, err)
 	}
 }

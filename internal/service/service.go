@@ -91,6 +91,11 @@ type Config struct {
 	Analysis string
 	// TenantAnalysis overrides the policy per tenant name.
 	TenantAnalysis map[string]string
+	// Optimize runs the §V transform pipeline (internal/clc/opt) on
+	// every admitted program: jobs execute the optimized IR, cached
+	// under its own content address beside the plain compile. The
+	// analysis gate still judges the program as written.
+	Optimize bool
 }
 
 // Server is the malid service. Create with New, mount via Handler.
@@ -138,8 +143,9 @@ type jobRec struct {
 	Error  string      `json:"error,omitempty"`
 	Result *job.Result `json:"result,omitempty"`
 
-	cacheHit bool
-	doneCh   chan struct{}
+	cacheHit  bool
+	optPasses []string // transform passes applied (optimizing daemons)
+	doneCh    chan struct{}
 }
 
 // New assembles a server.
@@ -241,6 +247,24 @@ func (s *Server) admitProgram(tenant string, e *progcache.Entry) error {
 	return ErrAnalysisFailed
 }
 
+// compileProgram resolves (source, options) through the cache under
+// the daemon's optimize setting. On an optimizing daemon the entry is
+// the transform-pipeline output; its fresh compiles bump the
+// programs.optimized counter when any pass applied.
+func (s *Server) compileProgram(source, options string) (*progcache.Entry, bool, error) {
+	if !s.cfg.Optimize {
+		return s.cache.GetOrCompile(source, options)
+	}
+	e, hit, err := s.cache.GetOrCompileOptimized(source, options)
+	if err != nil {
+		return nil, false, err
+	}
+	if !hit && len(e.OptPasses) > 0 {
+		s.metrics.Counter("malid.programs.optimized").Inc()
+	}
+	return e, hit, nil
+}
+
 // tenantLocked returns (creating if needed) a tenant. s.mu held.
 func (s *Server) tenantLocked(name string) *tenant {
 	t, ok := s.tenants[name]
@@ -268,8 +292,9 @@ func (s *Server) Submit(spec *job.Spec) (*jobRec, error) {
 	// present, cache lookup when only program_id is given.
 	var prog *ir.Program
 	var hit bool
+	var optPasses []string
 	if spec.Source != "" {
-		e, h, err := s.cache.GetOrCompile(spec.Source, spec.Options)
+		e, h, err := s.compileProgram(spec.Source, spec.Options)
 		if err != nil {
 			return nil, err
 		}
@@ -277,6 +302,7 @@ func (s *Server) Submit(spec *job.Spec) (*jobRec, error) {
 			return nil, err
 		}
 		prog, hit = e.Prog, h
+		optPasses = e.OptPasses
 		spec.ProgramID = e.ID
 	} else {
 		e, ok := s.cache.Get(spec.ProgramID)
@@ -288,6 +314,7 @@ func (s *Server) Submit(spec *job.Spec) (*jobRec, error) {
 			return nil, err
 		}
 		prog, hit = e.Prog, true
+		optPasses = e.OptPasses
 		// The runtime stamps results from the source; restore it so a
 		// program_id-only submission reports identically.
 		spec.Source, spec.Options = e.Source, e.Options
@@ -307,11 +334,12 @@ func (s *Server) Submit(spec *job.Spec) (*jobRec, error) {
 	t.inFlight++
 	s.seq++
 	rec := &jobRec{
-		ID:       fmt.Sprintf("j-%08x", s.seq),
-		Tenant:   tenantName,
-		Status:   "queued",
-		cacheHit: hit,
-		doneCh:   make(chan struct{}),
+		ID:        fmt.Sprintf("j-%08x", s.seq),
+		Tenant:    tenantName,
+		Status:    "queued",
+		cacheHit:  hit,
+		optPasses: optPasses,
+		doneCh:    make(chan struct{}),
 	}
 	s.jobs[rec.ID] = rec
 
@@ -521,6 +549,23 @@ func writeError(w http.ResponseWriter, err error) {
 	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Code: code})
 }
 
+// setOptimizeHeader reports the transform disposition: absent on a
+// non-optimizing daemon, "none" when the pipeline refused every pass,
+// else the comma-joined applied pass names. Riding a header keeps the
+// result body free of daemon-configuration fields: an optimized run
+// differs from the plain run only where the simulation says it must
+// (timing, power), never in shape.
+func setOptimizeHeader(w http.ResponseWriter, enabled bool, passes []string) {
+	if !enabled {
+		return
+	}
+	if len(passes) == 0 {
+		w.Header().Set("X-Malid-Optimize", "none")
+		return
+	}
+	w.Header().Set("X-Malid-Optimize", strings.Join(passes, ","))
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -575,13 +620,14 @@ func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
 	if tenant == "" {
 		tenant = "default"
 	}
-	e, hit, err := s.cache.GetOrCompile(req.Source, req.Options)
+	e, hit, err := s.compileProgram(req.Source, req.Options)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	policy := s.policyFor(tenant)
 	w.Header().Set("X-Malid-Analysis", policy)
+	setOptimizeHeader(w, s.cfg.Optimize, e.OptPasses)
 	if policy != AnalysisOff {
 		sev := "clean"
 		if len(e.Diags) > 0 {
@@ -630,6 +676,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Malid-Cache", "miss")
 	}
 	w.Header().Set("X-Malid-Job", rec.ID)
+	setOptimizeHeader(w, s.cfg.Optimize, rec.optPasses)
 	if async {
 		s.mu.Lock()
 		status := rec.Status

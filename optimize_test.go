@@ -1,0 +1,94 @@
+package maligo_test
+
+import (
+	"strings"
+	"testing"
+
+	"maligo"
+)
+
+const optFacadeSrc = `
+__kernel void saxpy(__global float* restrict y,
+                    __global const float* restrict x,
+                    float a, int n) {
+	int g = get_global_id(0);
+	int base = g * n;
+	for (int i = 0; i < n; i++) {
+		y[base + i] = a * x[base + i] + y[base + i];
+	}
+}
+`
+
+func TestOptimizeFacade(t *testing.T) {
+	prog, err := maligo.Compile("saxpy.cl", optFacadeSrc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rep := maligo.Optimize(prog)
+	if !rep.Applied() {
+		t.Fatalf("pipeline should transform the saxpy loop:\n%s", rep.String())
+	}
+	if out == prog {
+		t.Fatal("applied transforms must return a new program, not the input pointer")
+	}
+	applied := rep.AppliedPasses()
+	found := false
+	for _, p := range applied {
+		if p == "vectorize" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("vectorize should be among the applied passes, got %v", applied)
+	}
+	before, err := maligo.KernelIRDump(prog.Kernels["saxpy"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := maligo.KernelIRDump(out.Kernels["saxpy"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before == after {
+		t.Error("irdump of a transformed kernel should differ from the original")
+	}
+}
+
+func TestOptimizeWithFacade(t *testing.T) {
+	prog, err := maligo.Compile("saxpy.cl", optFacadeSrc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := maligo.OptimizeWith(prog, []string{"loopjam"}); err == nil {
+		t.Error("unknown transform pass name should be an error")
+	}
+	_, rep, err := maligo.OptimizeWith(prog, []string{"unroll"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rep.Results {
+		if res.Pass != "unroll" {
+			t.Errorf("restricted run reported pass %q", res.Pass)
+		}
+	}
+}
+
+func TestOptimizePassVocabulary(t *testing.T) {
+	names := maligo.OptimizePassNames()
+	want := []string{"constrestrict", "soa", "vectorize", "unroll"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("pipeline order = %v, want %v", names, want)
+	}
+	passes := maligo.OptimizePasses()
+	if len(passes) != len(names) {
+		t.Fatalf("OptimizePasses returned %d entries for %d names", len(passes), len(names))
+	}
+	for i, p := range passes {
+		if p.Name != names[i] {
+			t.Errorf("pass %d: name %q != %q", i, p.Name, names[i])
+		}
+		if p.Doc == "" || len(p.Answers) == 0 {
+			t.Errorf("pass %q must document itself and name the analyzer passes it answers", p.Name)
+		}
+	}
+}
