@@ -1,0 +1,46 @@
+package maligo
+
+import (
+	"maligo/internal/tune"
+)
+
+// The cross-device autotuner: Autotune exhaustively enumerates
+// placements of one benchmark kernel over the registered device fleet
+// — target unit × DVFS operating point × GPU work-group size × §V
+// transform pass set — and reports the energy-optimal and
+// time-optimal placements with the full deterministic search table.
+type (
+	// TuneSpace is the candidate grid (zero fields select fleet-wide
+	// defaults; Bench is required).
+	TuneSpace = tune.Space
+	// TuneReport is the deterministic search report: every outcome in
+	// enumeration order plus the two argmin indices. Render gives the
+	// byte-stable text table, JSON the machine-readable form.
+	TuneReport = tune.Report
+	// TuneOutcome is one evaluated placement.
+	TuneOutcome = tune.Outcome
+	// TuneCandidate identifies one placement of the grid.
+	TuneCandidate = tune.Candidate
+)
+
+// Autotuner target units.
+const (
+	// TuneTargetCPU is the serial version on one CPU core.
+	TuneTargetCPU = tune.TargetCPU
+	// TuneTargetCPUCluster is the OpenMP version on the full cluster.
+	TuneTargetCPUCluster = tune.TargetCPUCluster
+	// TuneTargetGPU is the naive OpenCL version on the Mali — the
+	// target the work-group-size and pass-set dimensions act on.
+	TuneTargetGPU = tune.TargetGPU
+	// TunePassSetAll selects the full transform pipeline as a pass
+	// set; "" runs the kernel as written.
+	TunePassSetAll = tune.PassSetAll
+)
+
+// TuneTargets lists the valid target names in enumeration order.
+func TuneTargets() []string { return tune.Targets() }
+
+// Autotune runs the search. The report is bit-identical across runs
+// and across Workers settings; an unknown device name fails with an
+// error wrapping ErrUnknownDevice.
+func Autotune(space TuneSpace) (*TuneReport, error) { return tune.Run(space) }

@@ -1,18 +1,22 @@
 // Command figures regenerates the paper's evaluation figures (Figure 2
 // speedup, Figure 3 power, Figure 4 energy-to-solution, in single and
-// double precision) plus the §V-D summary, on the simulated Exynos
-// 5250 platform.
+// double precision) plus the §V-D summary, on a simulated board from
+// the device fleet (the paper's Exynos 5250 by default; -device picks
+// another registered model).
 //
 // Usage:
 //
 //	figures [-fig 2a|2b|3a|3b|4a|4b] [-summary] [-scale 1.0] [-bench name,...]
-//	        [-workers N] [-engine interp|compiled] [-v]
+//	        [-device name] [-workers N] [-engine interp|compiled] [-v]
 //	figures -ablations [-scale 1.0]
+//	figures -fleet [-bench name,...] [-device name,...] [-scale 1.0]
 //
 // With no flags it renders everything; -ablations instead runs the
 // §III-A/§III-B isolation experiments and the §V auto-optimization
 // leg (naive versions through the transform pipeline against the
-// hand-optimized ones). The simulation shards
+// hand-optimized ones); -fleet runs the cross-device autotuner over
+// the selected benchmarks and renders one placement table per kernel
+// (with -device as a comma-separated fleet subset). The simulation shards
 // work-groups across all host CPUs by default (-workers 1 forces the
 // serial engine; the rendered figures are identical either way), and
 // runs kernels on the closure-compiled VM fast path (-engine interp
@@ -33,15 +37,53 @@ func main() {
 		fig     = flag.String("fig", "", "render a single figure: 2a, 2b, 3a, 3b, 4a or 4b")
 		summary = flag.Bool("summary", false, "render only the §V-D summary")
 		ablate  = flag.Bool("ablations", false, "run the §III-A/§III-B ablation experiments instead of the figures")
+		fleet   = flag.Bool("fleet", false, "run the cross-device autotuner fleet leg instead of the figures (one search per benchmark)")
 		csv     = flag.Bool("csv", false, "emit all figure data as CSV instead of rendered tables")
 		scale   = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-equivalent sizes)")
 		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
 		workers = flag.Int("workers", 0, "engine worker goroutines (0 = all host CPUs, 1 = serial engine)")
 		engine  = flag.String("engine", "", "VM execution engine: interp (reference interpreter) or compiled (closure fast path, default); also settable via MALIGO_ENGINE")
 		verify  = flag.Bool("verify", true, "verify kernel results against host references")
+		devName = flag.String("device", "", "board model: "+strings.Join(maligo.DeviceNames(), ", ")+" (default "+maligo.DefaultDeviceName+")")
 		verbose = flag.Bool("v", false, "also print raw per-configuration measurements")
 	)
 	flag.Parse()
+
+	if *fleet {
+		eng, err := maligo.ParseEngine(*engine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		var engines []maligo.Engine
+		if eng != maligo.EngineAuto {
+			engines = []maligo.Engine{eng}
+		}
+		names := maligo.BenchmarkNames()
+		if *benches != "" {
+			names = strings.Split(*benches, ",")
+		}
+		first := true
+		for _, name := range names {
+			rep, err := maligo.Autotune(maligo.TuneSpace{
+				Bench:   name,
+				Scale:   *scale,
+				Devices: splitDevices(*devName),
+				Workers: *workers,
+				Engines: engines,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			if !first {
+				fmt.Println()
+			}
+			first = false
+			fmt.Print(rep.Render())
+		}
+		return
+	}
 
 	if *ablate {
 		hm, err := maligo.RunHostMemAblation(1 << 20)
@@ -70,12 +112,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	soc, err := maligo.LookupDevice(*devName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	cfg := maligo.DefaultExperimentConfig()
 	cfg.Scale = *scale
 	cfg.Verify = *verify
 	cfg.Workers = *workers
 	cfg.Engine = eng
+	cfg.SoC = soc
 	if *benches != "" {
 		cfg.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -142,4 +190,16 @@ func main() {
 
 func cellLabel(c *maligo.Cell) string {
 	return fmt.Sprintf("%s/%s/%s", c.Bench, c.Precision, c.Version)
+}
+
+// splitDevices splits the -device flag into the autotuner's device
+// list (empty = the whole fleet).
+func splitDevices(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }

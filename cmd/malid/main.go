@@ -3,9 +3,12 @@
 // /v1/jobs and get back the deterministic simulated report (timing,
 // power, energy, optional buffer dumps). Programs are compiled once
 // per content address and shared across tenants through an LRU binary
-// cache, optionally persisted to disk.
+// cache, optionally persisted to disk. One daemon serves one board
+// model from the device fleet (-device; the paper's Exynos 5250 by
+// default, unknown names refuse startup).
 //
 //	malid -addr :8372 -cache-dir /var/cache/malid
+//	malid -device exynos5422-big
 //
 //	curl -s localhost:8372/v1/jobs -d @job.json | jq .power.energy_j
 //
@@ -57,6 +60,7 @@ func main() {
 		conc     = flag.Int("max-concurrent", 4, "jobs running at once across all tenants")
 		batch    = flag.Int64("batch-items", 4096, "batch jobs at or below this many work-items (-1 disables)")
 		engine   = flag.String("engine", "", "VM engine: auto, interp, compiled, lanes")
+		device   = flag.String("device", "", "board model the daemon simulates (default exynos5250); unknown names refuse startup")
 		analysis = flag.String("analysis", "warn", "static-analysis admission policy: off, warn or error")
 		tenantAn = flag.String("tenant-analysis", "", "per-tenant policy overrides, e.g. ci=error,scratch=off")
 		optimize = flag.Bool("optimize", false, "run the transform pipeline on admitted programs (X-Malid-Optimize reports applied passes)")
@@ -88,6 +92,7 @@ func main() {
 		Analysis:       *analysis,
 		TenantAnalysis: tenantPolicies,
 		Optimize:       *optimize,
+		Device:         *device,
 	}
 	cfg.Runtime.Workers = *workers
 	cfg.Runtime.ArenaBytes = *arenaMB << 20
@@ -101,8 +106,8 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	log.Printf("malid: serving on %s (workers=%d cache=%d dir=%q)",
-		*addr, *workers, *cacheN, *cacheDir)
+	log.Printf("malid: serving on %s (device=%s workers=%d cache=%d dir=%q)",
+		*addr, srv.Device().Name, *workers, *cacheN, *cacheDir)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

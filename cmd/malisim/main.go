@@ -1,12 +1,16 @@
-// Command malisim runs one benchmark in one configuration on the
-// simulated Exynos 5250 and prints a detailed execution report:
-// runtime, device activity, memory traffic, power and energy.
+// Command malisim runs one benchmark in one configuration on a
+// simulated board from the device fleet (the paper's Exynos 5250 by
+// default) and prints a detailed execution report: runtime, device
+// activity, memory traffic, power and energy.
 //
 // Usage:
 //
 //	malisim -bench dmmm [-version opt] [-prec single] [-scale 1.0] [-workers N]
-//	        [-engine interp|compiled|lanes] [-async] [-trace out.json] [-metrics]
-//	        [-metrics-out m.json] [-hotlines N]
+//	        [-device exynos5422] [-engine interp|compiled|lanes] [-async]
+//	        [-trace out.json] [-metrics] [-metrics-out m.json] [-hotlines N]
+//
+// -device selects a registered device model (malisim -list names
+// them); an unknown name is rejected at startup with the fleet listed.
 //
 // Versions: serial, omp, cl, opt (paper names: Serial, OpenMP, OpenCL,
 // OpenCL Opt). -workers shards the simulation's work-groups across N
@@ -43,8 +47,9 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "workload scale factor")
 		workers = flag.Int("workers", 0, "engine worker goroutines (0 = all host CPUs, 1 = serial engine)")
 		engine  = flag.String("engine", "", "VM execution engine: interp (reference interpreter), compiled (closure fast path, default) or lanes (lock-step SIMT batches); also settable via MALIGO_ENGINE")
+		devName = flag.String("device", "", "board model: "+strings.Join(maligo.DeviceNames(), ", ")+" (default "+maligo.DefaultDeviceName+")")
 		async   = flag.Bool("async", false, "run enqueues through the DAG command scheduler (asynchronous queues); all simulated observables are bit-identical")
-		list    = flag.Bool("list", false, "list benchmarks and exit")
+		list    = flag.Bool("list", false, "list benchmarks and device models and exit")
 		lint    = flag.Bool("lint", false, "run the kernel static analyzer over the benchmark's source (all benchmarks when -bench is empty) and exit")
 
 		traceOut   = flag.String("trace", "", "write the measured region's timeline as Chrome tracing JSON to this file")
@@ -57,6 +62,10 @@ func main() {
 	if *list {
 		for _, b := range maligo.Benchmarks() {
 			fmt.Printf("%-7s %s\n", b.Name(), b.Description())
+		}
+		fmt.Println()
+		for _, s := range maligo.Devices() {
+			fmt.Printf("%-15s %s\n", s.Name, s.Description)
 		}
 		return
 	}
@@ -91,6 +100,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	soc, err := maligo.LookupDevice(*devName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if eng == maligo.EngineAuto {
 		// No flag: MALIGO_ENGINE decides, and a typo there is a
 		// startup error, not a silent fall-back to the default engine.
@@ -108,6 +122,7 @@ func main() {
 	cfg.ProfileLines = *hotlines > 0
 	cfg.Engine = eng
 	cfg.AsyncQueues = *async
+	cfg.SoC = soc
 	res, err := maligo.RunExperiments(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -133,6 +148,7 @@ func main() {
 	}
 	fmt.Printf("benchmark      %s (%s)\n", *name, maligo.BenchmarkByName(*name).Description())
 	fmt.Printf("configuration  %s, %s precision, scale %g\n", v, p, *scale)
+	fmt.Printf("device         %s\n", soc.Description)
 	if !c.Supported {
 		fmt.Printf("status         n/a — %s\n", c.Reason)
 		return

@@ -215,6 +215,49 @@
 // On the command line, `malisim -trace out.json -metrics -hotlines 5`
 // exposes all three, and `tracecheck` validates the exported JSON.
 //
+// # Device fleet
+//
+// Every calibration number the timing, cache and power models consume
+// lives in a platform document — a SoC value holding the CPU cluster
+// (CPUModel), the GPU (GPUModel), the memory system (DRAMModel), the
+// board's power rails (PowerRailModel) and the meter, each unit with
+// its own DVFS OperatingPoint ladder. Registered models are looked up
+// by name:
+//
+//	soc, err := maligo.LookupDevice("exynos5422")   // ErrUnknownDevice on a typo
+//	p := maligo.NewPlatform(maligo.WithSoC(soc))
+//
+// The fleet ships three models: "exynos5250" (the paper's Arndale
+// board — the default everywhere, bit-identical to the pre-fleet
+// constants), and the Odroid-XU3's two scheduler views "exynos5422"
+// (quad Cortex-A7 LITTLE + Mali-T628 MP6) and "exynos5422-big" (quad
+// 2.0 GHz Cortex-A15 + the same GPU). DeviceNames and Devices list
+// them; malisim, figures and malid take -device. Adding a model is
+// one data file in internal/platform with an init Register — each
+// SoC's Dump form is pinned by a golden file under testdata/platform
+// (refresh with `go test -run Golden -update .`), and the fleet
+// differential suite automatically runs every benchmark on it under
+// all three engines.
+//
+// On top of the fleet sits the cross-device autotuner: Autotune
+// exhaustively enumerates placements of one benchmark — device ×
+// target unit (serial core, OpenMP cluster, GPU) × DVFS operating
+// point × GPU work-group size × §V transform pass set — scores each
+// candidate with the deterministic energy model, and reports the
+// energy-optimal and time-optimal placements:
+//
+//	rep, err := maligo.Autotune(maligo.TuneSpace{Bench: "dmmm"})
+//	fmt.Print(rep.Render())           // byte-stable table, optima marked
+//	best := rep.EnergyOptimal()       // argmin over supported candidates
+//
+// The report is byte-for-byte deterministic across runs and host
+// worker counts; listing more than one engine in TuneSpace.Engines
+// turns every candidate into a cross-engine differential that fails
+// on the first mismatched bit. cmd/malitune is the CLI
+// (`malitune -bench dmmm -device exynos5250,exynos5422`), and
+// `figures -fleet` renders the fleet-wide placement tables in
+// EXPERIMENTS.md.
+//
 // # Serving
 //
 // The simulator also runs as a daemon: cmd/malid serves a versioned

@@ -1,0 +1,64 @@
+package maligo
+
+import (
+	"maligo/internal/platform"
+)
+
+// The device-model fleet: every number the timing, cache and power
+// models consume lives in a platform.SoC document, and the simulator
+// is instantiated against one registered SoC. The default everywhere
+// remains the paper's board (Exynos 5250: 2x Cortex-A15 + Mali-T604);
+// the registry adds the Odroid-XU3's two scheduler views — a
+// Cortex-A7 LITTLE cluster and a 2.0 GHz A15 big cluster, both in
+// front of a Mali-T628 MP6 — and each model carries its own DVFS
+// operating-point ladder for the energy model.
+type (
+	// SoC is one registered board model: CPU cluster, GPU, DRAM,
+	// power rails and meter. See the doc.go "Device fleet" chapter
+	// for the schema and how to add a model.
+	SoC = platform.SoC
+	// CPUModel carries the CPU cluster's calibration numbers.
+	CPUModel = platform.CPUModel
+	// GPUModel carries the Mali core's calibration numbers.
+	GPUModel = platform.GPUModel
+	// DRAMModel carries the memory system's bandwidth model.
+	DRAMModel = platform.DRAMModel
+	// PowerRailModel carries the board's power-rail coefficients.
+	PowerRailModel = platform.PowerModel
+	// OperatingPoint is one DVFS frequency/voltage pair.
+	OperatingPoint = platform.OperatingPoint
+)
+
+// ErrUnknownDevice reports a device (SoC) name no registered model
+// carries — the fleet sibling of ErrUnknownEngine. LookupDevice, the
+// malisim/malid/figures -device flags and NewServer wrap it, so
+// errors.Is(err, maligo.ErrUnknownDevice) works across every entry
+// point.
+var ErrUnknownDevice = platform.ErrUnknownDevice
+
+// DefaultDeviceName names the SoC every un-deviced code path runs on:
+// the paper's Exynos 5250.
+const DefaultDeviceName = platform.DefaultName
+
+// LookupDevice returns the registered SoC of that name ("" selects
+// the default Exynos 5250). Unknown names yield an error wrapping
+// ErrUnknownDevice that lists the registered fleet.
+func LookupDevice(name string) (*SoC, error) { return platform.Lookup(name) }
+
+// DefaultDevice returns the default board model (Exynos 5250).
+func DefaultDevice() *SoC { return platform.Default() }
+
+// DeviceNames lists the registered SoC names in sorted order — the
+// deterministic enumeration order of the autotuner and the fleet
+// differential suite.
+func DeviceNames() []string { return platform.Names() }
+
+// Devices returns every registered SoC in DeviceNames order.
+func Devices() []*SoC { return platform.All() }
+
+// WithSoC selects the board model a Platform simulates (default the
+// Exynos 5250). Obtain models from LookupDevice/Devices, or derive a
+// DVFS-scaled variant with SoC.AtNamed.
+func WithSoC(s *SoC) Option {
+	return func(c *config) { c.opts.SoC = s }
+}

@@ -1,0 +1,204 @@
+package maligo_test
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"maligo"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the device-model golden files")
+
+// TestDeviceModelGolden pins every registered SoC's full calibration
+// surface: the canonical Dump form is compared byte-for-byte against
+// testdata/platform/<name>.golden, so any drift in a device model's
+// numbers — intended recalibration or accidental edit — shows up as
+// an explicit diff in review. Refresh with `go test -run Golden
+// -update .` after a deliberate change.
+func TestDeviceModelGolden(t *testing.T) {
+	dir := filepath.Join("testdata", "platform")
+	names := map[string]bool{}
+	for _, s := range maligo.Devices() {
+		names[s.Name] = true
+		path := filepath.Join(dir, s.Name+".golden")
+		got := s.Dump()
+		if *updateGolden {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run `go test -run Golden -update .` after adding a device)", s.Name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: device model drifted from its golden file %s:\n%s",
+				s.Name, path, firstDiffLines(string(want), got))
+		}
+	}
+	if *updateGolden {
+		return
+	}
+	// Every golden file must belong to a registered device — a model
+	// removed from the registry must take its golden file along.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := strings.TrimSuffix(e.Name(), ".golden")
+		if !names[name] {
+			t.Errorf("stray golden file %s: no registered device %q", e.Name(), name)
+		}
+	}
+}
+
+// firstDiffLines renders the first diverging line of two dumps.
+func firstDiffLines(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return "  golden: " + wl[i] + "\n  got:    " + gl[i]
+		}
+	}
+	return "  (dumps differ in length)"
+}
+
+// TestExynos5250Pinned pins the reference board's headline numbers to
+// today's calibration constants in-source (the golden file pins the
+// rest): the registered "exynos5250" must stay exactly the paper's
+// board or every figure moves.
+func TestExynos5250Pinned(t *testing.T) {
+	s, err := maligo.LookupDevice("exynos5250")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != maligo.DefaultDevice() {
+		t.Error("exynos5250 is not the default device")
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"cpu.freq_hz", s.CPU.FreqHz, 1.7e9},
+		{"cpu.cores", float64(s.CPU.Cores), 2},
+		{"gpu.freq_hz", s.GPU.FreqHz, 533e6},
+		{"gpu.cores", float64(s.GPU.Cores), 4},
+		{"dram.peak_bandwidth", s.DRAM.PeakBandwidth, 12.8e9},
+		{"dram.efficiency", s.DRAM.Efficiency, 0.72},
+		{"dram.bandwidth", s.DRAM.Bandwidth, 12.8e9 * 0.72},
+		{"meter.sample_hz", s.Meter.SampleHz, 10.0},
+		{"power.board_static", s.Power.BoardStatic, 2.10},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if s.CPU.Name != "Cortex-A15" || s.GPU.Name != "Mali-T604" {
+		t.Errorf("unit names drifted: %q / %q", s.CPU.Name, s.GPU.Name)
+	}
+	if len(s.CPU.DVFS) < 2 || len(s.GPU.DVFS) < 2 {
+		t.Errorf("DVFS ladders too short: cpu %d, gpu %d", len(s.CPU.DVFS), len(s.GPU.DVFS))
+	}
+}
+
+// TestFleetShape guards the acceptance floor: at least three
+// registered device models, each with at least two operating points
+// per unit, including an A7 LITTLE cluster and a T628-class GPU.
+func TestFleetShape(t *testing.T) {
+	devs := maligo.Devices()
+	if len(devs) < 3 {
+		t.Fatalf("fleet has %d devices, want >= 3 (%v)", len(devs), maligo.DeviceNames())
+	}
+	var haveA7, haveT628 bool
+	for _, s := range devs {
+		if len(s.CPU.DVFS) < 2 {
+			t.Errorf("%s: CPU ladder has %d points, want >= 2", s.Name, len(s.CPU.DVFS))
+		}
+		if len(s.GPU.DVFS) < 2 {
+			t.Errorf("%s: GPU ladder has %d points, want >= 2", s.Name, len(s.GPU.DVFS))
+		}
+		if s.CPU.Name == "Cortex-A7" {
+			haveA7 = true
+		}
+		if strings.HasPrefix(s.GPU.Name, "Mali-T628") {
+			haveT628 = true
+		}
+	}
+	if !haveA7 {
+		t.Error("no Cortex-A7 LITTLE cluster in the fleet")
+	}
+	if !haveT628 {
+		t.Error("no Mali-T628-class GPU in the fleet")
+	}
+}
+
+// TestErrUnknownDevice pins the typed unknown-device error across the
+// entry points: the facade lookup (which the malisim and figures
+// -device flags call), the autotuner, and malid server startup.
+func TestErrUnknownDevice(t *testing.T) {
+	if _, err := maligo.LookupDevice("vax-11"); !errors.Is(err, maligo.ErrUnknownDevice) {
+		t.Errorf("LookupDevice: got %v, want ErrUnknownDevice", err)
+	}
+	if _, err := maligo.Autotune(maligo.TuneSpace{Bench: "vecop", Devices: []string{"vax-11"}}); !errors.Is(err, maligo.ErrUnknownDevice) {
+		t.Errorf("Autotune: got %v, want ErrUnknownDevice", err)
+	}
+	if _, err := maligo.NewServer(maligo.ServerConfig{Device: "vax-11"}); !errors.Is(err, maligo.ErrUnknownDevice) {
+		t.Errorf("NewServer: got %v, want ErrUnknownDevice", err)
+	}
+	// The error names the registered fleet, so a typo is self-serving.
+	_, err := maligo.LookupDevice("vax-11")
+	for _, name := range maligo.DeviceNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered device %q", err, name)
+		}
+	}
+}
+
+// TestWithSoCFacade runs a Platform on a non-default board through
+// the public API and checks the device views took the fleet model.
+func TestWithSoCFacade(t *testing.T) {
+	soc, err := maligo.LookupDevice("exynos5422")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := maligo.NewPlatform(maligo.WithSoC(soc), maligo.WithWorkers(1))
+	defer p.Close()
+	if name := p.Mali().Name(); !strings.Contains(name, "T628") {
+		t.Errorf("Mali() = %q, want a T628 view", name)
+	}
+	if name := p.CPUDual().Name(); !strings.Contains(name, "Cortex-A7") {
+		t.Errorf("CPUDual() = %q, want the A7 cluster", name)
+	}
+}
+
+// TestServerDevice checks a malid server reports its configured board
+// and defaults to the Exynos 5250.
+func TestServerDevice(t *testing.T) {
+	srv, err := maligo.NewServer(maligo.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if got := srv.Device().Name; got != maligo.DefaultDeviceName {
+		t.Errorf("default daemon device = %q, want %q", got, maligo.DefaultDeviceName)
+	}
+	srv2, err := maligo.NewServer(maligo.ServerConfig{Device: "exynos5422-big"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if got := srv2.Device().Name; got != "exynos5422-big" {
+		t.Errorf("daemon device = %q, want exynos5422-big", got)
+	}
+}

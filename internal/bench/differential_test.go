@@ -10,6 +10,7 @@ import (
 	"maligo/internal/cpu"
 	"maligo/internal/mali"
 	"maligo/internal/obs"
+	"maligo/internal/platform"
 	"maligo/internal/vm"
 )
 
@@ -31,16 +32,23 @@ type engineRun struct {
 // be the only variable.
 func runUnderEngine(t *testing.T, name string, prec bench.Precision, eng vm.Engine) engineRun {
 	t.Helper()
+	return runUnderEngineOn(t, platform.Default(), 1, name, prec, eng)
+}
+
+// runUnderEngineOn is runUnderEngine on an arbitrary registered board
+// model and host worker count — the fleet differential suite's probe.
+func runUnderEngineOn(t *testing.T, soc *platform.SoC, workers int, name string, prec bench.Precision, eng vm.Engine) engineRun {
+	t.Helper()
 	b := bench.ByName(name)
 	if b == nil {
 		t.Fatalf("unknown benchmark %q", name)
 	}
-	cpu1 := cpu.New(1)
-	cpu2 := cpu.New(2)
-	gpu := mali.New()
+	cpu1 := cpu.NewOn(soc, 1)
+	cpu2 := cpu.NewOn(soc, soc.CPU.Cores)
+	gpu := mali.NewOn(soc)
 	ctx := cl.NewContextWith(
 		cl.WithDevices(cpu1, cpu2, gpu),
-		cl.WithWorkers(1),
+		cl.WithWorkers(workers),
 		cl.WithEngine(eng),
 	)
 	defer ctx.Close()

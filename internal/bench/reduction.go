@@ -2,6 +2,7 @@ package bench
 
 import (
 	"maligo/internal/cl"
+	"maligo/internal/device"
 )
 
 // reduction is the Reduction benchmark (§IV-A): summing a vector to a
@@ -20,6 +21,7 @@ type reduction struct {
 	bufPart *cl.Buffer
 	bufOut  *cl.Buffer
 	groups  int
+	maxPart int // partial-buffer capacity fixed at Setup
 }
 
 // NewReduction creates the red benchmark.
@@ -144,10 +146,11 @@ func (rd *reduction) Setup(ctx *cl.Context, prec Precision, scale float64) error
 	rd.groups = 32
 	// The naive port's stage 1 produces one partial per work-group of
 	// its huge NDRange; size the partial buffer for that worst case.
-	maxPart := rd.n / 16 / 64
-	if maxPart < rd.groups {
-		maxPart = rd.groups
+	rd.maxPart = rd.n / 16 / 64
+	if rd.maxPart < rd.groups {
+		rd.maxPart = rd.groups
 	}
+	maxPart := rd.maxPart
 	var err error
 	if rd.bufIn, err = ctx.CreateBuffer(cl.MemReadOnly|cl.MemAllocHostPtr, int64(rd.n*prec.Size()), nil); err != nil {
 		return err
@@ -173,12 +176,20 @@ func (rd *reduction) Run(q *cl.CommandQueue, prog *cl.Program, version Version) 
 		return &RunInfo{Kernels: []string{"red_chunk", "red_combine"}},
 			launch(q, prog, "red_combine", 1, []int{1}, []int{1}, rd.bufPart, rd.bufOut, ompChunks)
 	case OpenCL:
-		// One work-item per sixteen elements (driver-default local
-		// size); stage 2 reduces the per-group partials.
+		// One work-item per sixteen elements. Stage 2 reduces one
+		// partial per stage-1 work-group, so the host must know the
+		// group size the driver would pick for a NULL-local launch —
+		// it mirrors the documented heuristic (including any tuned
+		// hint) and passes the result explicitly, doubling it while
+		// the partial count would overflow the buffer sized at Setup.
 		nwi := rd.n / 16
-		groups := nwi / 64
-		if err := launch(q, prog, "red_cl", 1, []int{nwi}, nil,
-			rd.bufIn, rd.bufPart, localArg(64*rd.prec.Size()), rd.n); err != nil {
+		ls := q.Device().DefaultLocalSize(&device.NDRange{WorkDim: 1, Global: [3]int{nwi, 1, 1}})[0]
+		for nwi/ls > rd.maxPart {
+			ls *= 2
+		}
+		groups := nwi / ls
+		if err := launch(q, prog, "red_cl", 1, []int{nwi}, []int{ls},
+			rd.bufIn, rd.bufPart, localArg(ls*rd.prec.Size()), rd.n); err != nil {
 			return nil, err
 		}
 		return &RunInfo{Kernels: []string{"red_cl", "red_combine"}},

@@ -6,11 +6,11 @@ import (
 	"maligo/internal/cpu"
 	"maligo/internal/device"
 	"maligo/internal/mali"
-	"maligo/internal/platform"
 )
 
 // DeviceInfo mirrors the subset of clGetDeviceInfo the benchmarks and
-// examples need; values come from the simulated Exynos 5250 platform.
+// examples need; values come from the device's registered SoC model
+// (the simulated Exynos 5250 by default).
 type DeviceInfo struct {
 	Name                  string
 	Vendor                string
@@ -44,8 +44,8 @@ func GetDeviceInfo(d device.Device) DeviceInfo {
 	switch dev := d.(type) {
 	case *mali.GPU:
 		info.Type = "gpu"
-		info.ComputeUnits = platform.GPUCores
-		info.ClockHz = platform.GPUFreqHz
+		info.ComputeUnits = dev.Model().Cores
+		info.ClockHz = dev.Model().FreqHz
 		info.LocalMemBytes = 32 << 10
 		if !dev.FP64() {
 			info.FP64 = false
@@ -54,7 +54,7 @@ func GetDeviceInfo(d device.Device) DeviceInfo {
 	case *cpu.CPU:
 		info.Type = "cpu"
 		info.ComputeUnits = dev.Cores()
-		info.ClockHz = platform.CPUFreqHz
+		info.ClockHz = dev.Model().FreqHz
 		info.LocalMemBytes = 32 << 10
 	default:
 		info.Type = "custom"
@@ -99,8 +99,8 @@ func (k *Kernel) WorkGroupInfo(d device.Device) KernelWorkGroupInfo {
 		LocalMemBytes:                  k.k.LocalBytes,
 		PrivateMemBytes:                k.k.PrivateBytes,
 	}
-	if _, ok := d.(*mali.GPU); ok {
-		info.RegisterBytes = mali.RegisterDemand(k.k)
+	if g, ok := d.(*mali.GPU); ok {
+		info.RegisterBytes = mali.RegisterDemandOn(g.Model(), k.k)
 		// The Mali driver suggests multiples of four work-items
 		// (quad-scheduling granularity).
 		info.PreferredWorkGroupSizeMultiple = 4

@@ -20,17 +20,20 @@ import (
 	"maligo/internal/cpu"
 	"maligo/internal/device"
 	"maligo/internal/mali"
+	"maligo/internal/platform"
 	"maligo/internal/power"
 	"maligo/internal/vm"
 )
 
-// Platform is one simulated Arndale board: two CPU device views (one
-// and two cores), the Mali GPU, and a context over their shared
-// unified memory.
+// Platform is one simulated board: two CPU device views (one core and
+// the full cluster), the GPU, and a context over their shared unified
+// memory. The default board is the Arndale's Exynos 5250; Options.SoC
+// selects any registered fleet member.
 type Platform struct {
-	CPU1    *cpu.CPU  // Cortex-A15, single core (the paper's Serial target)
-	CPU2    *cpu.CPU  // Cortex-A15, both cores (the OpenMP target)
-	GPU     *mali.GPU // Mali-T604
+	SoC     *platform.SoC
+	CPU1    *cpu.CPU  // one CPU core (the paper's Serial target)
+	CPU2    *cpu.CPU  // the full CPU cluster (the OpenMP target)
+	GPU     *mali.GPU // the SoC's GPU
 	Context *cl.Context
 	Meter   *power.Meter
 }
@@ -56,6 +59,10 @@ type Options struct {
 	// through the DAG command scheduler (event wait-lists, out-of-order
 	// queues). Simulated observables are bit-identical either way.
 	AsyncQueues bool
+	// SoC selects the board model the devices and the power meter are
+	// built from; nil selects the default Exynos 5250. Use
+	// platform.Lookup (maligo.LookupDevice) to resolve a fleet name.
+	SoC *platform.SoC
 }
 
 // NewPlatform assembles a fresh board with cold caches and default
@@ -64,14 +71,19 @@ func NewPlatform() *Platform { return NewPlatformWith(Options{}) }
 
 // NewPlatformWith assembles a fresh board from options.
 func NewPlatformWith(o Options) *Platform {
-	cpu1 := cpu.New(1)
-	cpu2 := cpu.New(2)
-	gpu := mali.New()
+	soc := o.SoC
+	if soc == nil {
+		soc = platform.Default()
+	}
+	cpu1 := cpu.NewOn(soc, 1)
+	cpu2 := cpu.NewOn(soc, soc.CPU.Cores)
+	gpu := mali.NewOn(soc)
 	seed := o.MeterSeed
 	if seed == 0 {
 		seed = 1
 	}
 	return &Platform{
+		SoC:  soc,
 		CPU1: cpu1,
 		CPU2: cpu2,
 		GPU:  gpu,
@@ -82,7 +94,7 @@ func NewPlatformWith(o Options) *Platform {
 			cl.WithEngine(o.Engine),
 			cl.WithAsyncQueues(o.AsyncQueues),
 		),
-		Meter: power.NewMeterRate(seed, o.MeterHz),
+		Meter: power.NewMeterFor(soc, seed, o.MeterHz),
 	}
 }
 

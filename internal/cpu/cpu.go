@@ -15,6 +15,8 @@
 package cpu
 
 import (
+	"fmt"
+
 	"maligo/internal/clc/ir"
 	"maligo/internal/device"
 	"maligo/internal/mem"
@@ -22,44 +24,59 @@ import (
 	"maligo/internal/vm"
 )
 
-// CPU is a Cortex-A15 cluster restricted to a given number of cores.
+// CPU is a CPU cluster built from a registered SoC model (the default
+// is the Exynos 5250's Cortex-A15 pair), restricted to a given number
+// of cores.
 type CPU struct {
+	m     *platform.CPUModel
 	cores int
 	l1    []*mem.Cache
 	l2    *mem.Cache
 }
 
-// New creates an A15 device using the given number of cores (1 for the
-// Serial configuration, 2 for OpenMP).
+// New creates the default CPU device (the Exynos 5250's Cortex-A15)
+// using the given number of cores (1 for the Serial configuration, 2
+// for OpenMP).
 func New(cores int) *CPU {
+	return NewOn(platform.Default(), cores)
+}
+
+// NewOn creates the CPU cluster device of the given SoC model using
+// the given number of cores, capped at the cluster size. Every number
+// the timing model consumes comes from soc.CPU.
+func NewOn(soc *platform.SoC, cores int) *CPU {
+	m := soc.CPU
 	if cores < 1 {
 		cores = 1
 	}
-	if cores > platform.CPUCores {
-		cores = platform.CPUCores
+	if cores > m.Cores {
+		cores = m.Cores
 	}
-	c := &CPU{cores: cores}
+	c := &CPU{m: m, cores: cores}
 	for i := 0; i < cores; i++ {
 		c.l1 = append(c.l1, mem.NewCache(mem.CacheConfig{
-			SizeBytes: platform.CPUL1Size,
-			LineBytes: platform.CPUL1Line,
-			Ways:      platform.CPUL1Ways,
+			SizeBytes: m.L1Size,
+			LineBytes: m.L1Line,
+			Ways:      m.L1Ways,
 		}))
 	}
 	c.l2 = mem.NewCache(mem.CacheConfig{
-		SizeBytes: platform.CPUL2Size,
-		LineBytes: platform.CPUL2Line,
-		Ways:      platform.CPUL2Ways,
+		SizeBytes: m.L2Size,
+		LineBytes: m.L2Line,
+		Ways:      m.L2Ways,
 	})
 	return c
 }
 
+// Model returns the cluster's calibration model.
+func (c *CPU) Model() *platform.CPUModel { return c.m }
+
 // Name implements device.Device.
 func (c *CPU) Name() string {
 	if c.cores == 1 {
-		return "Cortex-A15 (1 core)"
+		return c.m.Name + " (1 core)"
 	}
-	return "Cortex-A15 (2 cores)"
+	return fmt.Sprintf("%s (%d cores)", c.m.Name, c.cores)
 }
 
 // Cores returns the core count of this device configuration.
@@ -156,14 +173,15 @@ func (o *observer) OnAtomic(space int, addr int64, size int) {}
 
 // threadSeconds prices one thread's execution from its profile. The
 // simulator IR is unoptimized three-address code, so instruction and
-// integer-lane counts are derated by CPUInstrFactor to approximate
-// GCC -O3 output (addressing modes, fused compares).
-func threadSeconds(p *vm.Profile, o *observer) (seconds, util float64) {
-	issue := float64(p.Instrs) * platform.CPUInstrFactor / platform.CPUIssueWidth
-	intc := float64(p.IntLanes) * platform.CPUInstrFactor / platform.CPUIntALUs
+// integer-lane counts are derated by the model's InstrFactor to
+// approximate GCC -O3 output (addressing modes, fused compares).
+func (c *CPU) threadSeconds(p *vm.Profile, o *observer) (seconds, util float64) {
+	m := c.m
+	issue := float64(p.Instrs) * m.InstrFactor / m.IssueWidth
+	intc := float64(p.IntLanes) * m.InstrFactor / m.IntALUs
 	fpc := float64(p.F32Lanes) +
-		float64(p.F64Lanes)*platform.CPUF64Factor +
-		float64(p.TranscLanes)*platform.CPUTranscCycles
+		float64(p.F64Lanes)*m.F64Factor +
+		float64(p.TranscLanes)*m.TranscCycles
 	lsc := float64(p.LSLanes) + float64(p.Atomics)*8
 	busy := issue
 	for _, v := range []float64{intc, fpc, lsc} {
@@ -171,12 +189,12 @@ func threadSeconds(p *vm.Profile, o *observer) (seconds, util float64) {
 			busy = v
 		}
 	}
-	stalls := float64(o.l1Misses)*platform.CPUL2HitLatency*platform.CPUL2HideFactor +
-		float64(o.l2RndMiss)*platform.CPUDRAMLatency*platform.CPUDRAMHideFactor +
-		float64(o.l2SeqMiss)*platform.CPUDRAMLatency*platform.CPUPrefetchHideFactor
+	stalls := float64(o.l1Misses)*m.L2HitLatency*m.L2HideFactor +
+		float64(o.l2RndMiss)*m.DRAMLatency*m.DRAMHideFactor +
+		float64(o.l2SeqMiss)*m.DRAMLatency*m.PrefetchHideFactor
 	cycles := busy + stalls
-	seconds = cycles / platform.CPUFreqHz
-	if bw := float64(o.dramBytes) / platform.CPUPerCoreBandwidth; bw > seconds {
+	seconds = cycles / m.FreqHz
+	if bw := float64(o.dramBytes) / m.PerCoreBandwidth; bw > seconds {
 		seconds = bw
 	}
 	if cycles > 0 {
@@ -209,7 +227,7 @@ func (c *CPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 		observers[i] = &observer{
 			l1:        c.l1[i],
 			l2:        c.l2,
-			lineBytes: uint64(platform.CPUL2Line),
+			lineBytes: uint64(c.m.L2Line),
 		}
 	}
 
@@ -261,7 +279,7 @@ func (c *CPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 	active := 0
 	for i := 0; i < c.cores; i++ {
 		total.Add(&profiles[i])
-		sec, util := threadSeconds(&profiles[i], observers[i])
+		sec, util := c.threadSeconds(&profiles[i], observers[i])
 		if sec > 0 {
 			active++
 			busySec += sec
@@ -273,13 +291,13 @@ func (c *CPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 		dramBytes += observers[i].dramBytes
 	}
 	seconds := maxSec
-	if bw := float64(dramBytes) / platform.CPUClusterBandwidth; bw > seconds {
+	if bw := float64(dramBytes) / c.m.ClusterBandwidth; bw > seconds {
 		seconds = bw
 	}
 	dispatch := 0.0
 	if c.cores > 1 {
-		seconds += platform.OMPRegionOverheadSec
-		dispatch = platform.OMPRegionOverheadSec
+		seconds += c.m.OMPOverheadSec
+		dispatch = c.m.OMPOverheadSec
 	}
 	util := 0.0
 	if busySec > 0 {

@@ -15,6 +15,7 @@ import (
 	"maligo/internal/cpu"
 	"maligo/internal/mali"
 	"maligo/internal/obs"
+	"maligo/internal/platform"
 	"maligo/internal/power"
 	"maligo/internal/vm"
 )
@@ -51,6 +52,10 @@ type Config struct {
 	// figure is bit-identical either way — the scheduler's timestamps
 	// are a pure function of the dependency graph.
 	AsyncQueues bool
+	// SoC selects the board model every benchmark runs on; nil is the
+	// default Exynos 5250 — the paper's platform, on which every
+	// figure band is pinned by TestPaperShape.
+	SoC *platform.SoC
 }
 
 // DefaultConfig is the paper-scale configuration.
@@ -62,6 +67,15 @@ func DefaultConfig() Config {
 		Verify:     true,
 		MeterSeed:  20140519, // IPDPS 2014 opening day
 	}
+}
+
+// soc returns the configured board model, defaulting to the Exynos
+// 5250.
+func (c Config) soc() *platform.SoC {
+	if c.SoC != nil {
+		return c.SoC
+	}
+	return platform.Default()
 }
 
 // Cell is one measured configuration.
@@ -155,7 +169,7 @@ func Run(cfg Config) (*Results, error) {
 		cfg.Benchmarks = bench.Names()
 	}
 	res := &Results{Config: cfg, Cells: make(map[string]*Cell)}
-	meter := power.NewMeter(cfg.MeterSeed)
+	meter := power.NewMeterFor(cfg.soc(), cfg.MeterSeed, 0)
 
 	for _, name := range cfg.Benchmarks {
 		for _, prec := range cfg.Precisions {
@@ -178,9 +192,10 @@ func runBenchmark(cfg Config, res *Results, meter *power.Meter, name string, pre
 	if b == nil {
 		return fmt.Errorf("unknown benchmark %q", name)
 	}
-	cpu1 := cpu.New(1)
-	cpu2 := cpu.New(2)
-	gpu := mali.New()
+	soc := cfg.soc()
+	cpu1 := cpu.NewOn(soc, 1)
+	cpu2 := cpu.NewOn(soc, soc.CPU.Cores)
+	gpu := mali.NewOn(soc)
 	ctx := cl.NewContextWith(
 		cl.WithDevices(cpu1, cpu2, gpu),
 		cl.WithWorkers(cfg.Workers),
@@ -234,7 +249,7 @@ func runBenchmark(cfg Config, res *Results, meter *power.Meter, name string, pre
 		cell.FellBack = info.FellBack
 		cell.Kernels = info.Kernels
 
-		act, err := activityFromEvents(q, v)
+		act, err := ActivityFromEvents(q, v)
 		if err != nil {
 			return err
 		}
@@ -257,9 +272,11 @@ func runBenchmark(cfg Config, res *Results, meter *power.Meter, name string, pre
 	return nil
 }
 
-// activityFromEvents folds a measured region's queue events into a
-// power-model activity.
-func activityFromEvents(q *cl.CommandQueue, v bench.Version) (power.Activity, error) {
+// ActivityFromEvents folds a measured region's queue events into a
+// power-model activity. The cross-device autotuner (internal/tune)
+// reuses it so tuner candidates are priced by exactly the figure
+// harness's accounting.
+func ActivityFromEvents(q *cl.CommandQueue, v bench.Version) (power.Activity, error) {
 	var act power.Activity
 	for _, ev := range q.Events() {
 		act.Seconds += ev.Seconds

@@ -21,7 +21,7 @@ var ErrInvalidJob = errors.New("job: invalid spec")
 // Devices a Spec may target.
 const (
 	DeviceCPU     = "cpu"  // single Cortex-A15 core (the paper's Serial target)
-	DeviceCPUDual = "cpu2" // both A15 cores (the OpenMP target)
+	DeviceCPUDual = "cpu2" // the full CPU cluster (the OpenMP target)
 	DeviceGPU     = "gpu"  // Mali-T604
 )
 

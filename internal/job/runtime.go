@@ -11,6 +11,7 @@ import (
 	"maligo/internal/cpu"
 	"maligo/internal/device"
 	"maligo/internal/mali"
+	"maligo/internal/platform"
 	"maligo/internal/power"
 	"maligo/internal/vm"
 )
@@ -29,6 +30,10 @@ type Config struct {
 	Engine Engine
 	// MaxIdle bounds the pooled-context free list (default 4).
 	MaxIdle int
+	// SoC selects the board model jobs run on (nil = the default
+	// Exynos 5250); malid configures it once at startup with
+	// -device, so one daemon serves one board model.
+	SoC *platform.SoC
 }
 
 // Engine aliases the VM engine selector so Runtime users need not
@@ -56,6 +61,9 @@ type Runtime struct {
 func NewRuntime(cfg Config) *Runtime {
 	if cfg.Workers == 0 {
 		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.SoC == nil {
+		cfg.SoC = platform.Default()
 	}
 	if cfg.MaxIdle == 0 {
 		cfg.MaxIdle = 4
@@ -190,11 +198,11 @@ func (r *Runtime) runOn(c *cl.Context, spec *Spec, prog *ir.Program) (*Result, e
 	gpuRun := false
 	switch spec.Device {
 	case DeviceCPU:
-		dev = cpu.New(1)
+		dev = cpu.NewOn(r.cfg.SoC, 1)
 	case DeviceCPUDual:
-		dev = cpu.New(2)
+		dev = cpu.NewOn(r.cfg.SoC, r.cfg.SoC.CPU.Cores)
 	case DeviceGPU:
-		dev = mali.New()
+		dev = mali.NewOn(r.cfg.SoC)
 		gpuRun = true
 	}
 
@@ -285,7 +293,7 @@ func (r *Runtime) runOn(c *cl.Context, spec *Spec, prog *ir.Program) (*Result, e
 	if hz == 0 {
 		hz = 10
 	}
-	m := power.NewMeterRate(seed, hz).Measure(act)
+	m := power.NewMeterFor(r.cfg.SoC, seed, hz).Measure(act)
 	res.Power = Power{
 		MeanPowerW: m.MeanPowerW, StdPowerW: m.StdPowerW,
 		EnergyJ: m.EnergyJ, StdEnergyJ: m.StdEnergyJ, Samples: m.Samples,

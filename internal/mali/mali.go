@@ -33,19 +33,32 @@ import (
 	"maligo/internal/vm"
 )
 
-// GPU is a Mali-T604 instance. It is not safe for concurrent use; the
-// runtime serializes enqueues like a real in-order command queue.
+// GPU is a Midgard-family GPU instance built from a registered SoC
+// model (the default is the Exynos 5250's Mali-T604). It is not safe
+// for concurrent use; the runtime serializes enqueues like a real
+// in-order command queue.
 type GPU struct {
-	l2       *mem.Cache
-	embedded bool
+	soc       *platform.SoC
+	m         *platform.GPUModel
+	l2        *mem.Cache
+	embedded  bool
+	localHint int
 }
 
-// New creates a Mali-T604 device model with a cold L2. The device
-// exposes the OpenCL Full Profile — double precision and full
-// IEEE-754-2008 — which is the paper's reason for studying this GPU at
-// all ("the first embedded GPU with OpenCL Full Profile support").
+// New creates the default GPU device model (the Exynos 5250's
+// Mali-T604) with a cold L2. The device exposes the OpenCL Full
+// Profile — double precision and full IEEE-754-2008 — which is the
+// paper's reason for studying this GPU at all ("the first embedded
+// GPU with OpenCL Full Profile support").
 func New() *GPU {
-	return &GPU{l2: newL2()}
+	return NewOn(platform.Default())
+}
+
+// NewOn creates the GPU device of the given SoC model with a cold L2.
+// Every number the timing model consumes comes from soc.GPU and the
+// shared soc.DRAM channel.
+func NewOn(soc *platform.SoC) *GPU {
+	return &GPU{soc: soc, m: soc.GPU, l2: newL2(soc.GPU), embedded: !soc.GPU.FP64}
 }
 
 // NewEmbeddedProfile creates a contemporary embedded-profile GPU: the
@@ -54,31 +67,51 @@ func New() *GPU {
 // on it — useful for demonstrating why Full Profile support is the
 // gate for HPC workloads (§I, §II-B).
 func NewEmbeddedProfile() *GPU {
-	return &GPU{l2: newL2(), embedded: true}
+	g := New()
+	g.embedded = true
+	return g
 }
 
-func newL2() *mem.Cache {
+func newL2(m *platform.GPUModel) *mem.Cache {
 	return mem.NewCache(mem.CacheConfig{
-		SizeBytes: platform.GPUL2Size,
-		LineBytes: platform.GPUL2Line,
-		Ways:      platform.GPUL2Ways,
+		SizeBytes: m.L2Size,
+		LineBytes: m.L2Line,
+		Ways:      m.L2Ways,
 	})
 }
 
 // FP64 reports whether the device supports double precision
-// (cl_khr_fp64) — true for the Full Profile Mali-T604.
+// (cl_khr_fp64) — true for the Full Profile Midgard models.
 func (g *GPU) FP64() bool { return !g.embedded }
+
+// Model returns the GPU's calibration model.
+func (g *GPU) Model() *platform.GPUModel { return g.m }
+
+// SoC returns the SoC model this device was built from.
+func (g *GPU) SoC() *platform.SoC { return g.soc }
+
+// SetLocalSizeHint tunes the driver's work-group-size heuristic: when
+// the host passes NULL as the local work size, DefaultLocalSize picks
+// n work-items in the first dimension instead of consulting the
+// built-in heuristic — the knob the cross-device autotuner turns. A
+// hint that is not a power of two, does not divide the global size,
+// or exceeds the device limit is ignored for that launch, exactly
+// like a real driver falling back to its own choice (the Midgard
+// heuristic only ever picks powers of two, and kernels written
+// against it — tree reductions halving get_local_size — rely on
+// that); n <= 0 restores the heuristic.
+func (g *GPU) SetLocalSizeHint(n int) { g.localHint = n }
 
 // Name implements device.Device.
 func (g *GPU) Name() string {
 	if g.embedded {
-		return "Mali-T604 (embedded profile)"
+		return g.m.Name + " (embedded profile)"
 	}
-	return "Mali-T604"
+	return g.m.Name
 }
 
 // MaxWorkGroupSize implements device.Device.
-func (g *GPU) MaxWorkGroupSize() int { return platform.GPUMaxWorkGroupSize }
+func (g *GPU) MaxWorkGroupSize() int { return g.m.MaxWorkGroupSize }
 
 // ResetCaches clears cache state (cold-start measurement).
 func (g *GPU) ResetCaches() { g.l2.Reset() }
@@ -96,6 +129,10 @@ func (g *GPU) L2Stats() mem.CacheStats { return g.l2.Stats() }
 // performance trap the paper warns about.
 func (g *GPU) DefaultLocalSize(ndr *device.NDRange) [3]int {
 	local := [3]int{1, 1, 1}
+	if h := g.localHint; h > 0 && h&(h-1) == 0 && h <= g.m.MaxWorkGroupSize && ndr.Global[0]%h == 0 {
+		local[0] = h
+		return local
+	}
 	pick := 1
 	for cand := 2; cand <= 64; cand *= 2 {
 		if ndr.Global[0]%cand == 0 {
@@ -107,17 +144,29 @@ func (g *GPU) DefaultLocalSize(ndr *device.NDRange) [3]int {
 }
 
 // RegisterDemand estimates the per-thread register bytes the real
-// compiler would allocate for k.
+// compiler would allocate for k on the default (Mali-T604) model.
 func RegisterDemand(k *ir.Kernel) float64 {
-	return float64(k.RegisterFootprint()) * platform.GPURegFootprintScale
+	return RegisterDemandOn(platform.Default().GPU, k)
+}
+
+// RegisterDemandOn estimates the per-thread register bytes the real
+// compiler would allocate for k on the given GPU model.
+func RegisterDemandOn(m *platform.GPUModel, k *ir.Kernel) float64 {
+	return float64(k.RegisterFootprint()) * m.RegFootprintScale
 }
 
 // CheckResources returns ErrOutOfResources when the kernel cannot be
-// mapped onto the register file.
+// mapped onto the default (Mali-T604) register file.
 func CheckResources(k *ir.Kernel) error {
-	if demand := RegisterDemand(k); demand > platform.GPUMaxRegBytesPerThread {
+	return CheckResourcesOn(platform.Default().GPU, k)
+}
+
+// CheckResourcesOn returns ErrOutOfResources when the kernel cannot
+// be mapped onto the given model's register file.
+func CheckResourcesOn(m *platform.GPUModel, k *ir.Kernel) error {
+	if demand := RegisterDemandOn(m, k); demand > m.MaxRegBytesPerThread {
 		return fmt.Errorf("kernel %s needs %.0f register bytes/thread (budget %.0f): %w",
-			k.Name, demand, platform.GPUMaxRegBytesPerThread, device.ErrOutOfResources)
+			k.Name, demand, m.MaxRegBytesPerThread, device.ErrOutOfResources)
 	}
 	return nil
 }
@@ -208,7 +257,7 @@ func (o *observer) OnAtomic(space int, addr int64, size int) {
 		return
 	}
 	phys := o.physical(space, addr)
-	o.atomicLines[phys/uint64(platform.GPUL2Line)]++
+	o.atomicLines[phys/uint64(o.l2.Config().LineBytes)]++
 }
 
 // wgCost is the modelled execution time of one work-group on one
@@ -223,20 +272,21 @@ type wgCost struct {
 // localAtomics is the number of this group's atomics that targeted
 // __local memory (they bypass the SCU and cost a single LS slot);
 // seqMisses/rndMisses are the group's L2 miss counts by class.
-func groupCycles(k *ir.Kernel, p *vm.Profile, dramBytes uint64, nWI int, localAtomics, seqMisses, rndMisses uint64) wgCost {
+func (g *GPU) groupCycles(k *ir.Kernel, p *vm.Profile, dramBytes uint64, nWI int, localAtomics, seqMisses, rndMisses uint64) wgCost {
+	m := g.m
 	// Arithmetic: the compiler packs independent lanes into 128-bit
 	// VLIW slots, so cost follows packed lane volume, not source
 	// vectorization; integer addressing is discounted (folded into
 	// LS descriptors and spare scalar slots).
 	fpSlots := (float64(p.F32Lanes)*4 + float64(p.F64Lanes)*8) / 16
-	intSlots := float64(p.IntLanes) * 4 / 16 * platform.GPUIntCostFactor
-	alu := ((fpSlots+intSlots)/platform.GPUPackEff +
-		float64(p.TranscLanes)*platform.GPUTranscSlotCost) / platform.GPUArithPipes
+	intSlots := float64(p.IntLanes) * 4 / 16 * m.IntCostFactor
+	alu := ((fpSlots+intSlots)/m.PackEff +
+		float64(p.TranscLanes)*m.TranscSlotCost) / m.ArithPipes
 	// The VM charges every atomic two LS slots; local atomics on Mali
 	// cost about one, so refund the difference.
 	issued := float64(p.LSSlots128) -
-		float64(localAtomics)*(2-platform.GPULocalAtomicLSSlots) +
-		float64(p.PrivateAccesses)*platform.GPUPrivateLSPenalty
+		float64(localAtomics)*(2-m.LocalAtomicLSSlots) +
+		float64(p.PrivateAccesses)*m.PrivateLSPenalty
 	if issued < 0 {
 		issued = 0
 	}
@@ -246,27 +296,27 @@ func groupCycles(k *ir.Kernel, p *vm.Profile, dramBytes uint64, nWI int, localAt
 	// discount applies to issued access slots only — qualifiers do
 	// nothing for cache-miss stall occupancy, so miss-bound kernels
 	// (spmv's gather) keep their full miss terms.
-	issued /= 1 + float64(k.RestrictParams)*platform.GPURestrictLSFactor +
-		float64(k.ConstParams)*platform.GPUConstLSFactor
+	issued /= 1 + float64(k.RestrictParams)*m.RestrictLSFactor +
+		float64(k.ConstParams)*m.ConstLSFactor
 	ls := issued +
-		float64(seqMisses)*platform.GPUSeqMissLSOccupancy +
-		float64(rndMisses)*platform.GPURandMissLSOccupancy
+		float64(seqMisses)*m.SeqMissLSOccupancy +
+		float64(rndMisses)*m.RandMissLSOccupancy
 
 	// Latency hiding: resident threads per core bounded by register
 	// demand.
-	threads := platform.GPUThreadsForHiding
-	if demand := RegisterDemand(k); demand > 0 {
-		if t := platform.GPURegFileBytes / demand; t < threads {
+	threads := m.ThreadsForHiding
+	if demand := RegisterDemandOn(m, k); demand > 0 {
+		if t := m.RegFileBytes / demand; t < threads {
 			threads = t
 		}
 	}
 	if threads < 2 {
 		threads = 2
 	}
-	bytesPerCycle := platform.GPUPerCoreBandwidth / platform.GPUFreqHz
+	bytesPerCycle := m.PerCoreBandwidth / m.FreqHz
 	dramCycles := float64(dramBytes) / bytesPerCycle
-	latencyCycles := float64(dramBytes) / float64(platform.GPUL2Line) *
-		platform.GPUDRAMLatency / threads
+	latencyCycles := float64(dramBytes) / float64(m.L2Line) *
+		m.DRAMLatency / threads
 	memCycles := dramCycles
 	if latencyCycles > memCycles {
 		memCycles = latencyCycles
@@ -281,11 +331,11 @@ func groupCycles(k *ir.Kernel, p *vm.Profile, dramBytes uint64, nWI int, localAt
 	}
 
 	barriers := float64(p.Barriers)
-	overhead := platform.GPUWorkItemOverhead*float64(nWI) +
-		platform.GPUWorkGroupOverhead +
-		barriers*platform.GPUBarrierWICycles
+	overhead := m.WorkItemOverhead*float64(nWI) +
+		m.WorkGroupOverhead +
+		barriers*m.BarrierWICycles
 	if nWI > 0 {
-		overhead += barriers / float64(nWI) * platform.GPUBarrierWGCycles
+		overhead += barriers / float64(nWI) * m.BarrierWGCycles
 	}
 	return wgCost{cycles: busy + overhead, arithSlots: alu, lsSlots: ls}
 }
@@ -306,7 +356,7 @@ func (g *GPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 		return nil, fmt.Errorf("kernel %s uses double precision but device %s lacks cl_khr_fp64 (OpenCL Embedded Profile): %w",
 			k.Name, g.Name(), device.ErrOutOfResources)
 	}
-	if err := CheckResources(k); err != nil {
+	if err := CheckResourcesOn(g.m, k); err != nil {
 		return nil, err
 	}
 	device.NormalizeLocal(g, ndr)
@@ -314,6 +364,7 @@ func (g *GPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 		return nil, err
 	}
 
+	m := g.m
 	total := &vm.Profile{}
 	obs := &observer{l2: g.l2, atomicLines: make(map[uint64]uint64)}
 
@@ -321,8 +372,8 @@ func (g *GPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 	// core, preserving dispatch order — load imbalance between
 	// work-groups (e.g. spmv rows of uneven length) shows up as idle
 	// cores exactly like on the real job manager.
-	coreClock := [platform.GPUCores]float64{}
-	coreBusy := [platform.GPUCores]float64{}
+	coreClock := make([]float64, m.Cores)
+	coreBusy := make([]float64, m.Cores)
 	var arithSlots, lsSlots, busyCycles float64
 	nWI := 1
 	for d := 0; d < ndr.WorkDim; d++ {
@@ -333,10 +384,10 @@ func (g *GPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 	// through obs. It must run in dispatch order: the cache model, the
 	// miss classifier and the core scheduler are all stateful.
 	account := func(prof *vm.Profile, dram, localAtomics, seq, rnd uint64) {
-		cost := groupCycles(k, prof, dram, nWI, localAtomics, seq, rnd)
+		cost := g.groupCycles(k, prof, dram, nWI, localAtomics, seq, rnd)
 		// Earliest-free core gets the group.
 		core := 0
-		for c := 1; c < platform.GPUCores; c++ {
+		for c := 1; c < m.Cores; c++ {
 			if coreClock[c] < coreClock[core] {
 				core = c
 			}
@@ -407,7 +458,7 @@ func (g *GPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 	// channel and by SCU atomic serialization on the hottest line.
 	var schedCycles float64
 	activeCores := 0
-	for c := 0; c < platform.GPUCores; c++ {
+	for c := 0; c < m.Cores; c++ {
 		if coreClock[c] > schedCycles {
 			schedCycles = coreClock[c]
 		}
@@ -415,8 +466,8 @@ func (g *GPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 			activeCores++
 		}
 	}
-	seconds := schedCycles / platform.GPUFreqHz
-	if dramSec := float64(obs.dramBytes) / platform.DRAMBandwidth; dramSec > seconds {
+	seconds := schedCycles / m.FreqHz
+	if dramSec := float64(obs.dramBytes) / g.soc.DRAM.Bandwidth; dramSec > seconds {
 		seconds = dramSec
 	}
 	var hottest uint64
@@ -425,14 +476,14 @@ func (g *GPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 			hottest = n
 		}
 	}
-	if scuSec := float64(hottest) * platform.GPUAtomicSCUCycles / platform.GPUFreqHz; scuSec > seconds {
+	if scuSec := float64(hottest) * m.AtomicSCUCycles / m.FreqHz; scuSec > seconds {
 		seconds = scuSec
 	}
-	seconds += platform.GPUEnqueueOverheadSec
+	seconds += m.EnqueueOverheadSec
 
 	util, arithUtil, lsUtil := 0.0, 0.0, 0.0
 	if busyCycles > 0 {
-		arithUtil = arithSlots / (busyCycles * platform.GPUArithPipes)
+		arithUtil = arithSlots / (busyCycles * m.ArithPipes)
 		lsUtil = lsSlots / busyCycles
 		util = 0.65*arithUtil + 0.35*lsUtil
 		if util > 1 {
@@ -441,8 +492,8 @@ func (g *GPU) RunWith(rc device.RunConfig, ndr *device.NDRange, gmem vm.GlobalMe
 	}
 	return &device.Report{
 		Seconds:         seconds,
-		DispatchSeconds: platform.GPUEnqueueOverheadSec,
-		BusyCoreSeconds: busyCycles / platform.GPUFreqHz,
+		DispatchSeconds: m.EnqueueOverheadSec,
+		BusyCoreSeconds: busyCycles / m.FreqHz,
 		ActiveCores:     activeCores,
 		Utilization:     util,
 		ArithUtil:       arithUtil,

@@ -1,0 +1,125 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Dump renders the SoC in its canonical text form: one "key = value"
+// line per calibration number in fixed schema order, floats formatted
+// with strconv's shortest exact round-trip representation. The golden
+// files under testdata/platform pin this form for every registered
+// SoC, so any calibration-constant drift — intended or not — shows up
+// as an explicit diff in review rather than as silently moved figures.
+func (s *SoC) Dump() string {
+	var b strings.Builder
+	w := func(key string, v any) {
+		var val string
+		switch x := v.(type) {
+		case float64:
+			val = strconv.FormatFloat(x, 'g', -1, 64)
+		case int:
+			val = strconv.Itoa(x)
+		case bool:
+			val = strconv.FormatBool(x)
+		default:
+			val = fmt.Sprintf("%v", x)
+		}
+		fmt.Fprintf(&b, "%s = %s\n", key, val)
+	}
+	points := func(prefix string, pts []OperatingPoint) {
+		for i, op := range pts {
+			w(fmt.Sprintf("%s.dvfs.%d.name", prefix, i), op.Name)
+			w(fmt.Sprintf("%s.dvfs.%d.freq_hz", prefix, i), op.FreqHz)
+			w(fmt.Sprintf("%s.dvfs.%d.voltage", prefix, i), op.Voltage)
+		}
+	}
+
+	w("soc.name", s.Name)
+	w("soc.description", s.Description)
+
+	c := s.CPU
+	w("cpu.name", c.Name)
+	w("cpu.freq_hz", c.FreqHz)
+	w("cpu.cores", c.Cores)
+	w("cpu.issue_width", c.IssueWidth)
+	w("cpu.instr_factor", c.InstrFactor)
+	w("cpu.int_alus", c.IntALUs)
+	w("cpu.f64_factor", c.F64Factor)
+	w("cpu.transc_cycles", c.TranscCycles)
+	w("cpu.l2_hit_latency", c.L2HitLatency)
+	w("cpu.dram_latency", c.DRAMLatency)
+	w("cpu.l2_hide_factor", c.L2HideFactor)
+	w("cpu.dram_hide_factor", c.DRAMHideFactor)
+	w("cpu.prefetch_hide_factor", c.PrefetchHideFactor)
+	w("cpu.per_core_bandwidth", c.PerCoreBandwidth)
+	w("cpu.cluster_bandwidth", c.ClusterBandwidth)
+	w("cpu.omp_overhead_sec", c.OMPOverheadSec)
+	w("cpu.l1_size", c.L1Size)
+	w("cpu.l1_line", c.L1Line)
+	w("cpu.l1_ways", c.L1Ways)
+	w("cpu.l2_size", c.L2Size)
+	w("cpu.l2_line", c.L2Line)
+	w("cpu.l2_ways", c.L2Ways)
+	points("cpu", c.DVFS)
+
+	g := s.GPU
+	w("gpu.name", g.Name)
+	w("gpu.freq_hz", g.FreqHz)
+	w("gpu.cores", g.Cores)
+	w("gpu.arith_pipes", g.ArithPipes)
+	w("gpu.pack_eff", g.PackEff)
+	w("gpu.int_cost_factor", g.IntCostFactor)
+	w("gpu.transc_slot_cost", g.TranscSlotCost)
+	w("gpu.private_ls_penalty", g.PrivateLSPenalty)
+	w("gpu.work_item_overhead", g.WorkItemOverhead)
+	w("gpu.work_group_overhead", g.WorkGroupOverhead)
+	w("gpu.enqueue_overhead_sec", g.EnqueueOverheadSec)
+	w("gpu.barrier_wi_cycles", g.BarrierWICycles)
+	w("gpu.barrier_wg_cycles", g.BarrierWGCycles)
+	w("gpu.seq_miss_ls_occupancy", g.SeqMissLSOccupancy)
+	w("gpu.rand_miss_ls_occupancy", g.RandMissLSOccupancy)
+	w("gpu.restrict_ls_factor", g.RestrictLSFactor)
+	w("gpu.const_ls_factor", g.ConstLSFactor)
+	w("gpu.l2_hit_latency", g.L2HitLatency)
+	w("gpu.dram_latency", g.DRAMLatency)
+	w("gpu.threads_for_hiding", g.ThreadsForHiding)
+	w("gpu.reg_file_bytes", g.RegFileBytes)
+	w("gpu.reg_footprint_scale", g.RegFootprintScale)
+	w("gpu.max_reg_bytes_per_thread", g.MaxRegBytesPerThread)
+	w("gpu.per_core_bandwidth", g.PerCoreBandwidth)
+	w("gpu.atomic_scu_cycles", g.AtomicSCUCycles)
+	w("gpu.local_atomic_ls_slots", g.LocalAtomicLSSlots)
+	w("gpu.max_work_group_size", g.MaxWorkGroupSize)
+	w("gpu.fp64", g.FP64)
+	w("gpu.l2_size", g.L2Size)
+	w("gpu.l2_line", g.L2Line)
+	w("gpu.l2_ways", g.L2Ways)
+	points("gpu", g.DVFS)
+
+	w("dram.name", s.DRAM.Name)
+	w("dram.peak_bandwidth", s.DRAM.PeakBandwidth)
+	w("dram.efficiency", s.DRAM.Efficiency)
+	w("dram.bandwidth", s.DRAM.Bandwidth)
+
+	w("power.board_static", s.Power.BoardStatic)
+	w("power.cpu_core_base", s.Power.CPUCoreBase)
+	w("power.cpu_core_dynamic", s.Power.CPUCoreDynamic)
+	w("power.cpu_idle_host", s.Power.CPUIdleHost)
+	w("power.gpu_base", s.Power.GPUBase)
+	w("power.gpu_dynamic", s.Power.GPUDynamic)
+	w("power.dram_per_gbs", s.Power.DRAMPerGBs)
+
+	w("meter.sample_hz", s.Meter.SampleHz)
+	w("meter.accuracy", s.Meter.Accuracy)
+	w("meter.repetitions", s.Meter.Repetitions)
+	return b.String()
+}
+
+// JSON renders the SoC as indented canonical JSON (struct field
+// order, exact float round-trip) — the machine-readable twin of Dump.
+func (s *SoC) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -217,3 +217,115 @@ const (
 	// experiment repeated 20 times).
 	MeterRepetitions = 20
 )
+
+// The registered Exynos 5250 SoC model is assembled verbatim from the
+// constants above: every struct field is initialized from the
+// constant of the same name, so the data-driven fleet path computes
+// with exactly the float64 values the original constant-based build
+// did — results are bit-identical, which the golden files under the
+// root testdata/platform pin. The DVFS ladders extend the calibration
+// with the board's lower operating points (cpufreq/devfreq tables of
+// the Arndale's mainline device tree, voltages rounded to the PMIC
+// step); the nominal head of each ladder is the frequency all
+// calibration constants were measured at.
+func newExynos5250() *SoC {
+	return &SoC{
+		Name:        "exynos5250",
+		Description: "Samsung Exynos 5250 (Arndale): 2x Cortex-A15 + Mali-T604 MP4, DDR3L-1600 1x32",
+		CPU: &CPUModel{
+			Name:               "Cortex-A15",
+			FreqHz:             CPUFreqHz,
+			Cores:              CPUCores,
+			IssueWidth:         CPUIssueWidth,
+			InstrFactor:        CPUInstrFactor,
+			IntALUs:            CPUIntALUs,
+			F64Factor:          CPUF64Factor,
+			TranscCycles:       CPUTranscCycles,
+			L2HitLatency:       CPUL2HitLatency,
+			DRAMLatency:        CPUDRAMLatency,
+			L2HideFactor:       CPUL2HideFactor,
+			DRAMHideFactor:     CPUDRAMHideFactor,
+			PrefetchHideFactor: CPUPrefetchHideFactor,
+			PerCoreBandwidth:   CPUPerCoreBandwidth,
+			ClusterBandwidth:   CPUClusterBandwidth,
+			OMPOverheadSec:     OMPRegionOverheadSec,
+			L1Size:             CPUL1Size,
+			L1Line:             CPUL1Line,
+			L1Ways:             CPUL1Ways,
+			L2Size:             CPUL2Size,
+			L2Line:             CPUL2Line,
+			L2Ways:             CPUL2Ways,
+			// Rung voltages are bounded from below by the energy-
+			// monotonicity invariant (TestDVFSMonotonicity): with the
+			// board's static draw, slowing a compute-bound kernel down
+			// must never save energy, which requires
+			// V2² ≥ V1² − Ps·V0²·f0·(f1−f2)/(Pb·f1·f2) per rung.
+			DVFS: []OperatingPoint{
+				{Name: "1700MHz", FreqHz: CPUFreqHz, Voltage: 1.2375},
+				{Name: "1400MHz", FreqHz: 1.4e9, Voltage: 1.15},
+				{Name: "1000MHz", FreqHz: 1.0e9, Voltage: 1.0},
+				{Name: "800MHz", FreqHz: 800e6, Voltage: 0.925},
+			},
+		},
+		GPU: &GPUModel{
+			Name:                 "Mali-T604",
+			FreqHz:               GPUFreqHz,
+			Cores:                GPUCores,
+			ArithPipes:           GPUArithPipes,
+			PackEff:              GPUPackEff,
+			IntCostFactor:        GPUIntCostFactor,
+			TranscSlotCost:       GPUTranscSlotCost,
+			PrivateLSPenalty:     GPUPrivateLSPenalty,
+			WorkItemOverhead:     GPUWorkItemOverhead,
+			WorkGroupOverhead:    GPUWorkGroupOverhead,
+			EnqueueOverheadSec:   GPUEnqueueOverheadSec,
+			BarrierWICycles:      GPUBarrierWICycles,
+			BarrierWGCycles:      GPUBarrierWGCycles,
+			SeqMissLSOccupancy:   GPUSeqMissLSOccupancy,
+			RandMissLSOccupancy:  GPURandMissLSOccupancy,
+			RestrictLSFactor:     GPURestrictLSFactor,
+			ConstLSFactor:        GPUConstLSFactor,
+			L2HitLatency:         GPUL2HitLatency,
+			DRAMLatency:          GPUDRAMLatency,
+			ThreadsForHiding:     GPUThreadsForHiding,
+			RegFileBytes:         GPURegFileBytes,
+			RegFootprintScale:    GPURegFootprintScale,
+			MaxRegBytesPerThread: GPUMaxRegBytesPerThread,
+			PerCoreBandwidth:     GPUPerCoreBandwidth,
+			AtomicSCUCycles:      GPUAtomicSCUCycles,
+			LocalAtomicLSSlots:   GPULocalAtomicLSSlots,
+			MaxWorkGroupSize:     GPUMaxWorkGroupSize,
+			FP64:                 true,
+			L2Size:               GPUL2Size,
+			L2Line:               GPUL2Line,
+			L2Ways:               GPUL2Ways,
+			DVFS: []OperatingPoint{
+				{Name: "533MHz", FreqHz: GPUFreqHz, Voltage: 1.05},
+				{Name: "450MHz", FreqHz: 450e6, Voltage: 1.0},
+				{Name: "266MHz", FreqHz: 266e6, Voltage: 0.925},
+			},
+		},
+		DRAM: DRAMModel{
+			Name:          "DDR3L-1600 1x32",
+			PeakBandwidth: DRAMPeakBandwidth,
+			Efficiency:    DRAMEfficiency,
+			Bandwidth:     DRAMBandwidth,
+		},
+		Power: PowerModel{
+			BoardStatic:    PBoardStatic,
+			CPUCoreBase:    PCPUCoreBase,
+			CPUCoreDynamic: PCPUCoreDynamic,
+			CPUIdleHost:    PCPUIdleHost,
+			GPUBase:        PGPUBase,
+			GPUDynamic:     PGPUDynamic,
+			DRAMPerGBs:     PDRAMPerGBs,
+		},
+		Meter: MeterModel{
+			SampleHz:    MeterSampleHz,
+			Accuracy:    MeterAccuracy,
+			Repetitions: MeterRepetitions,
+		},
+	}
+}
+
+func init() { Register(newExynos5250()) }

@@ -1,0 +1,194 @@
+// The Samsung Exynos 5422 (Odroid-XU3), the fleet's second board:
+// a big.LITTLE SoC pairing a quad Cortex-A7 LITTLE cluster and a quad
+// Cortex-A15 big cluster with a six-core Mali-T628 GPU over dual-
+// channel LPDDR3. The scheduler-visible halves are registered as two
+// SoC views sharing the GPU and memory system:
+//
+//   - "exynos5422"      — the LITTLE view (4x A7 + T628 MP6): the
+//     energy-efficiency end of the fleet;
+//   - "exynos5422-big"  — the big view (4x A15 @ 2.0 GHz + T628 MP6):
+//     the speed end.
+//
+// The numbers follow the same calibration conventions as the Exynos
+// 5250 reference (exynos5250.go documents each field's semantics):
+// cache hierarchies are scaled ~4-8x below the physical chip together
+// with the workload sizes, voltages are the device-tree operating
+// points rounded to the PMIC step, and the power model is calibrated
+// against published Odroid-XU3 per-rail measurements (the board that
+// made big.LITTLE power studies a cottage industry). Unlike the 5250
+// these models are data only — nothing in the simulator names them.
+package platform
+
+// The A7 is an in-order, partial-dual-issue core: it hides far less
+// memory latency than the out-of-order A15 (higher exposed-latency
+// factors), streams less bandwidth per core, and pays more cycles
+// per transcendental — but the whole quad cluster draws less than
+// one busy A15 core, which is the entire point of the LITTLE view.
+func newExynos5422LittleCPU() *CPUModel {
+	return &CPUModel{
+		Name:               "Cortex-A7",
+		FreqHz:             1.4e9,
+		Cores:              4,
+		IssueWidth:         2.0,
+		InstrFactor:        0.5,
+		IntALUs:            1.5,
+		F64Factor:          2.0,
+		TranscCycles:       70.0,
+		L2HitLatency:       10.0,
+		DRAMLatency:        130.0,
+		L2HideFactor:       0.85,
+		DRAMHideFactor:     0.9,
+		PrefetchHideFactor: 0.35,
+		PerCoreBandwidth:   1.2e9,
+		ClusterBandwidth:   3.2e9,
+		OMPOverheadSec:     24e-6,
+		L1Size:             8 << 10,
+		L1Line:             64,
+		L1Ways:             4,
+		L2Size:             128 << 10,
+		L2Line:             64,
+		L2Ways:             8,
+		DVFS: []OperatingPoint{
+			{Name: "1400MHz", FreqHz: 1.4e9, Voltage: 1.1375},
+			{Name: "1000MHz", FreqHz: 1.0e9, Voltage: 1.0},
+			{Name: "600MHz", FreqHz: 600e6, Voltage: 0.9125},
+		},
+	}
+}
+
+// The 5422's big cluster is the 5250's A15 two generations of
+// process and integration later: twice the cores, a higher clock,
+// and a memory subsystem that no longer starves the CPU side.
+func newExynos5422BigCPU() *CPUModel {
+	return &CPUModel{
+		Name:               "Cortex-A15",
+		FreqHz:             2.0e9,
+		Cores:              4,
+		IssueWidth:         CPUIssueWidth,
+		InstrFactor:        CPUInstrFactor,
+		IntALUs:            CPUIntALUs,
+		F64Factor:          CPUF64Factor,
+		TranscCycles:       CPUTranscCycles,
+		L2HitLatency:       CPUL2HitLatency,
+		DRAMLatency:        200.0,
+		L2HideFactor:       CPUL2HideFactor,
+		DRAMHideFactor:     CPUDRAMHideFactor,
+		PrefetchHideFactor: CPUPrefetchHideFactor,
+		PerCoreBandwidth:   3.5e9,
+		ClusterBandwidth:   7.5e9,
+		OMPOverheadSec:     15e-6,
+		L1Size:             8 << 10,
+		L1Line:             64,
+		L1Ways:             2,
+		L2Size:             256 << 10,
+		L2Line:             64,
+		L2Ways:             8,
+		DVFS: []OperatingPoint{
+			{Name: "2000MHz", FreqHz: 2.0e9, Voltage: 1.25},
+			{Name: "1400MHz", FreqHz: 1.4e9, Voltage: 1.1875},
+			{Name: "900MHz", FreqHz: 900e6, Voltage: 1.05},
+		},
+	}
+}
+
+// The T628 MP6 is the same Midgard microarchitecture as the T604
+// (two 128-bit arithmetic pipes and one LS pipe per core, unified
+// memory, Full Profile FP64), so the per-core cost factors carry
+// over; what changes is the shape — six cores, a higher shader
+// clock, a bigger shared L2 — and a per-core L2/AXI interface that
+// streams slightly better than the 5250's.
+func newMaliT628MP6() *GPUModel {
+	return &GPUModel{
+		Name:                 "Mali-T628 MP6",
+		FreqHz:               600e6,
+		Cores:                6,
+		ArithPipes:           GPUArithPipes,
+		PackEff:              GPUPackEff,
+		IntCostFactor:        GPUIntCostFactor,
+		TranscSlotCost:       GPUTranscSlotCost,
+		PrivateLSPenalty:     GPUPrivateLSPenalty,
+		WorkItemOverhead:     GPUWorkItemOverhead,
+		WorkGroupOverhead:    GPUWorkGroupOverhead,
+		EnqueueOverheadSec:   55e-6,
+		BarrierWICycles:      GPUBarrierWICycles,
+		BarrierWGCycles:      GPUBarrierWGCycles,
+		SeqMissLSOccupancy:   GPUSeqMissLSOccupancy,
+		RandMissLSOccupancy:  26.0,
+		RestrictLSFactor:     GPURestrictLSFactor,
+		ConstLSFactor:        GPUConstLSFactor,
+		L2HitLatency:         GPUL2HitLatency,
+		DRAMLatency:          120.0,
+		ThreadsForHiding:     GPUThreadsForHiding,
+		RegFileBytes:         GPURegFileBytes,
+		RegFootprintScale:    GPURegFootprintScale,
+		MaxRegBytesPerThread: GPUMaxRegBytesPerThread,
+		PerCoreBandwidth:     5.0e9,
+		AtomicSCUCycles:      GPUAtomicSCUCycles,
+		LocalAtomicLSSlots:   GPULocalAtomicLSSlots,
+		MaxWorkGroupSize:     256,
+		FP64:                 true,
+		L2Size:               64 << 10,
+		L2Line:               64,
+		L2Ways:               8,
+		DVFS: []OperatingPoint{
+			{Name: "600MHz", FreqHz: 600e6, Voltage: 1.025},
+			{Name: "480MHz", FreqHz: 480e6, Voltage: 0.95},
+			{Name: "266MHz", FreqHz: 266e6, Voltage: 0.875},
+		},
+	}
+}
+
+// newExynos5422DRAM: LPDDR3-1866 over two 32-bit channels — about
+// 14.9 GB/s peak; the sustainable fraction is a touch lower than the
+// Arndale's single channel because two clusters and the GPU share it.
+func newExynos5422DRAM() DRAMModel {
+	return DRAMModel{
+		Name:          "LPDDR3-1866 2x32",
+		PeakBandwidth: 14.9e9,
+		Efficiency:    0.70,
+		Bandwidth:     10.43e9,
+	}
+}
+
+func init() {
+	dram := newExynos5422DRAM()
+	meter := MeterModel{
+		SampleHz:    MeterSampleHz,
+		Accuracy:    MeterAccuracy,
+		Repetitions: MeterRepetitions,
+	}
+	Register(&SoC{
+		Name:        "exynos5422",
+		Description: "Samsung Exynos 5422 (Odroid-XU3) LITTLE view: 4x Cortex-A7 + Mali-T628 MP6, LPDDR3-1866 2x32",
+		CPU:         newExynos5422LittleCPU(),
+		GPU:         newMaliT628MP6(),
+		DRAM:        dram,
+		Power: PowerModel{
+			BoardStatic:    1.85,
+			CPUCoreBase:    0.10,
+			CPUCoreDynamic: 0.17,
+			CPUIdleHost:    0.06,
+			GPUBase:        0.75,
+			GPUDynamic:     1.35,
+			DRAMPerGBs:     0.055,
+		},
+		Meter: meter,
+	})
+	Register(&SoC{
+		Name:        "exynos5422-big",
+		Description: "Samsung Exynos 5422 (Odroid-XU3) big view: 4x Cortex-A15 @ 2.0 GHz + Mali-T628 MP6, LPDDR3-1866 2x32",
+		CPU:         newExynos5422BigCPU(),
+		GPU:         newMaliT628MP6(),
+		DRAM:        dram,
+		Power: PowerModel{
+			BoardStatic:    1.85,
+			CPUCoreBase:    0.65,
+			CPUCoreDynamic: 1.15,
+			CPUIdleHost:    0.30,
+			GPUBase:        0.75,
+			GPUDynamic:     1.35,
+			DRAMPerGBs:     0.055,
+		},
+		Meter: meter,
+	})
+}

@@ -1,0 +1,76 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrUnknownDevice reports a device (SoC) name the registry does not
+// know — the fleet sibling of vm.ErrUnknownEngine. The malisim/malid
+// -device flags, the autotuner and the root façade surface it instead
+// of silently falling back to the default board.
+var ErrUnknownDevice = errors.New("unknown device")
+
+// DefaultName is the SoC the original single-platform simulator
+// modelled; it stays the default everywhere a device is not named.
+const DefaultName = "exynos5250"
+
+var registry = map[string]*SoC{}
+
+// Register adds a SoC model to the fleet. It panics on a malformed or
+// duplicate model — registration happens in init functions, where a
+// bad model is a programming error, not an input error.
+func Register(s *SoC) {
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("platform.Register: %v", err))
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("platform.Register: duplicate soc %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Lookup returns the registered SoC of that name, or an error wrapping
+// ErrUnknownDevice naming the known fleet.
+func Lookup(name string) (*SoC, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	if s, ok := registry[name]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("%w %q (registered: %v)", ErrUnknownDevice, name, Names())
+}
+
+// Default returns the Exynos 5250 — the paper's board and the model
+// every un-deviced code path runs on.
+func Default() *SoC {
+	s, err := Lookup(DefaultName)
+	if err != nil {
+		panic(err) // the package registers it in init; unreachable
+	}
+	return s
+}
+
+// Names lists the registered SoC names in sorted order — the
+// deterministic fleet-enumeration order of the autotuner and the
+// differential suite.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry { // maligo:allow maporder sorted below
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns the registered SoCs in Names order.
+func All() []*SoC {
+	names := Names()
+	socs := make([]*SoC, len(names))
+	for i, name := range names {
+		socs[i] = registry[name]
+	}
+	return socs
+}

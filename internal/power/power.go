@@ -30,39 +30,55 @@ type Activity struct {
 	DRAMBytes uint64
 }
 
-// MeanPower returns the average board power in watts over the region.
-func MeanPower(a Activity) float64 {
+// MeanPower returns the average board power in watts over the region
+// on the default board (the Exynos 5250).
+func MeanPower(a Activity) float64 { return MeanPowerOn(platform.Default(), a) }
+
+// MeanPowerOn returns the average board power in watts over the
+// region on the given SoC model. Pass a DVFS-derived SoC (SoC.At) to
+// price the region at a non-nominal operating point.
+func MeanPowerOn(soc *platform.SoC, a Activity) float64 {
+	pm := soc.Power
 	if a.Seconds <= 0 {
-		return platform.PBoardStatic
+		return pm.BoardStatic
 	}
-	p := platform.PBoardStatic
+	p := pm.BoardStatic
 
 	// CPU cores: base power while busy plus utilization-scaled
 	// dynamic power.
 	cpuBusyFrac := a.CPUBusyCoreSeconds / a.Seconds // in units of cores
-	p += cpuBusyFrac * (platform.PCPUCoreBase + platform.PCPUCoreDynamic*a.CPUUtil)
+	p += cpuBusyFrac * (pm.CPUCoreBase + pm.CPUCoreDynamic*a.CPUUtil)
 
 	// Host core spinning on the GPU queue.
-	p += a.HostSpinSeconds / a.Seconds * platform.PCPUIdleHost
+	p += a.HostSpinSeconds / a.Seconds * pm.CPUIdleHost
 
 	// GPU: base power whenever the GPU is on, dynamic scaled by
 	// utilization and occupancy.
 	if a.GPUBusyCoreSeconds > 0 {
-		occupancy := a.GPUBusyCoreSeconds / (a.Seconds * platform.GPUCores)
+		occupancy := a.GPUBusyCoreSeconds / (a.Seconds * float64(soc.GPU.Cores))
 		if occupancy > 1 {
 			occupancy = 1
 		}
-		p += platform.PGPUBase + platform.PGPUDynamic*a.GPUUtil*occupancy
+		p += pm.GPUBase + pm.GPUDynamic*a.GPUUtil*occupancy
 	}
 
 	// DRAM dynamic power per GB/s of traffic.
 	gbs := float64(a.DRAMBytes) / a.Seconds / 1e9
-	p += platform.PDRAMPerGBs * gbs
+	p += pm.DRAMPerGBs * gbs
 	return p
 }
 
-// Energy returns the energy-to-solution of the region in joules.
+// Energy returns the energy-to-solution of the region in joules on
+// the default board.
 func Energy(a Activity) float64 { return MeanPower(a) * a.Seconds }
+
+// EnergyOn returns the energy-to-solution of the region in joules on
+// the given SoC model — the quantity the cross-device autotuner
+// minimizes. Unlike Meter.Measure it carries no instrument noise, so
+// it is exactly deterministic.
+func EnergyOn(soc *platform.SoC, a Activity) float64 {
+	return MeanPowerOn(soc, a) * a.Seconds
+}
 
 // Measurement is the outcome of a metered experiment.
 type Measurement struct {
@@ -79,6 +95,7 @@ type Measurement struct {
 // experiment the configured number of times. The noise generator is a
 // deterministic xorshift so experiments are reproducible.
 type Meter struct {
+	soc  *platform.SoC
 	seed uint64
 	hz   float64
 }
@@ -86,20 +103,28 @@ type Meter struct {
 // NewMeter creates a meter whose noise stream is derived from seed,
 // sampling at the platform's default rate (the WT230's 10 Hz).
 func NewMeter(seed uint64) *Meter {
-	return NewMeterRate(seed, platform.MeterSampleHz)
+	return NewMeterRate(seed, 0)
 }
 
 // NewMeterRate creates a meter with a custom sampling rate in Hz;
 // hz <= 0 selects the platform default. Higher rates model faster
 // acquisition hardware (more samples over short regions).
 func NewMeterRate(seed uint64, hz float64) *Meter {
+	return NewMeterFor(platform.Default(), seed, hz)
+}
+
+// NewMeterFor creates a meter wired to the given SoC: the true power
+// it samples comes from that board's power model and the instrument
+// parameters (sampling rate when hz <= 0, accuracy, repetitions)
+// from its meter model.
+func NewMeterFor(soc *platform.SoC, seed uint64, hz float64) *Meter {
 	if seed == 0 {
 		seed = 0x9E3779B97F4A7C15
 	}
 	if hz <= 0 {
-		hz = platform.MeterSampleHz
+		hz = soc.Meter.SampleHz
 	}
-	return &Meter{seed: seed, hz: hz}
+	return &Meter{soc: soc, seed: seed, hz: hz}
 }
 
 // SampleHz returns the meter's sampling rate.
@@ -130,17 +155,17 @@ func (m *Meter) gauss() float64 {
 // sample period still yield one sample, as a real averaging power
 // meter integrating over the run would.
 func (m *Meter) Measure(a Activity) Measurement {
-	truePower := MeanPower(a)
+	truePower := MeanPowerOn(m.soc, a)
 	samples := int(a.Seconds * m.hz)
 	if samples < 1 {
 		samples = 1
 	}
-	reps := platform.MeterRepetitions
+	reps := m.soc.Meter.Repetitions
 	powers := make([]float64, reps)
 	for r := 0; r < reps; r++ {
 		var sum float64
 		for s := 0; s < samples; s++ {
-			noise := 1 + m.gauss()*platform.MeterAccuracy/3
+			noise := 1 + m.gauss()*m.soc.Meter.Accuracy/3
 			sum += truePower * noise
 		}
 		powers[r] = sum / float64(samples)

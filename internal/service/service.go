@@ -23,6 +23,7 @@ import (
 	"maligo/internal/clc/ir"
 	"maligo/internal/job"
 	"maligo/internal/obs"
+	"maligo/internal/platform"
 	"maligo/internal/sched"
 	"maligo/internal/service/progcache"
 )
@@ -96,6 +97,12 @@ type Config struct {
 	// under its own content address beside the plain compile. The
 	// analysis gate still judges the program as written.
 	Optimize bool
+	// Device names the board model the daemon simulates (default the
+	// Exynos 5250). An unknown name fails New with an error wrapping
+	// platform.ErrUnknownDevice — a misconfigured daemon must not come
+	// up silently simulating the wrong board. Ignored when Runtime.SoC
+	// is already set.
+	Device string
 }
 
 // Server is the malid service. Create with New, mount via Handler.
@@ -179,6 +186,13 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("tenant %q: %w", tenant, err)
 		}
 	}
+	if cfg.Runtime.SoC == nil {
+		soc, err := platform.Lookup(cfg.Device)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Runtime.SoC = soc
+	}
 	cache, err := progcache.New(cfg.CacheEntries, cfg.CacheDir)
 	if err != nil {
 		return nil, err
@@ -217,6 +231,10 @@ func (s *Server) Close() {
 	}
 	s.runtime.Close()
 }
+
+// Device returns the board model the daemon simulates (set by the
+// Device config name or Runtime.SoC; the default Exynos 5250).
+func (s *Server) Device() *platform.SoC { return s.cfg.Runtime.SoC }
 
 // Metrics exposes the service registry (the /metrics endpoint and
 // tests read it).
